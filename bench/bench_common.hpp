@@ -1,0 +1,40 @@
+// Shared plumbing for the figure/table regeneration binaries.
+//
+// Every bench binary:
+//   * prints a "== <id>: <what the paper shows> ==" banner,
+//   * emits gnuplot-ready series blocks (sim/csv.hpp) and FIT lines,
+//   * honors MCAST_BENCH_SCALE: 0 = smoke (seconds), 1 = default,
+//     2 = paper-scale (slow). Intermediate values interpolate effort.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace mcast::bench {
+
+/// Effort multiplier from MCAST_BENCH_SCALE (default 1). Clamped to [0, 8].
+inline int scale() {
+  const char* env = std::getenv("MCAST_BENCH_SCALE");
+  if (env == nullptr) return 1;
+  const int v = std::atoi(env);
+  return v < 0 ? 0 : (v > 8 ? 8 : v);
+}
+
+/// Picks an effort value by scale tier: smoke / default / paper-scale.
+template <typename T>
+T by_scale(T smoke, T normal, T paper) {
+  const int s = scale();
+  if (s <= 0) return smoke;
+  if (s == 1) return normal;
+  return paper;
+}
+
+/// Standard banner so tee'd bench output is self-describing.
+inline void banner(const std::string& id, const std::string& claim) {
+  std::cout << "== " << id << " ==\n"
+            << "# reproduces: " << claim << "\n"
+            << "# scale: " << scale() << " (set MCAST_BENCH_SCALE=0|1|2)\n\n";
+}
+
+}  // namespace mcast::bench

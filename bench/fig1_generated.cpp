@@ -1,0 +1,7 @@
+// Figure 1(a) — Chuang-Sirbu scaling on generated topologies
+// (r100, ts1000, ts1008, ti5000).
+#include "fig1_support.hpp"
+
+int main() {
+  return mcast::bench::run_fig1("Fig 1(a)", mcast::generated_networks());
+}

@@ -1,0 +1,7 @@
+// Figure 1(b) — Chuang-Sirbu scaling on real-style topologies
+// (ARPA, MBone, Internet, AS; substitutions per DESIGN.md section 3).
+#include "fig1_support.hpp"
+
+int main() {
+  return mcast::bench::run_fig1("Fig 1(b)", mcast::real_networks());
+}

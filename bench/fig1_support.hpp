@@ -1,0 +1,70 @@
+// Shared implementation for the two halves of Figure 1 (generated vs real
+// topologies): measure ln(L(m)/ū) against ln m per network, print the
+// series next to the m^0.8 reference, and fit the Chuang-Sirbu exponent.
+#pragma once
+
+#include <cmath>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/runner.hpp"
+#include "core/scaling_law.hpp"
+#include "graph/components.hpp"
+#include "sim/csv.hpp"
+#include "topo/catalog.hpp"
+
+namespace mcast::bench {
+
+inline int run_fig1(const std::string& figure_id,
+                    std::vector<network_entry> suite) {
+  banner(figure_id,
+         "ln(L(m)/ubar) vs ln m compared to the line m^0.8 "
+         "(Chuang-Sirbu scaling law, paper Fig 1)");
+
+  const node_id budget = by_scale<node_id>(400, 30000, 60000);
+  if (budget < 30000) suite = scaled_networks(suite, budget);
+  monte_carlo_params mc;
+  mc.receiver_sets = by_scale<std::size_t>(5, 40, 100);   // paper: N_rcvr = 100
+  mc.sources = by_scale<std::size_t>(4, 20, 100);         // paper: N_source = 100
+  mc.seed = 1999;
+  mc.threads = 0;  // use all cores; results are thread-count invariant
+  const std::size_t grid_points = by_scale<std::size_t>(10, 22, 30);
+
+  std::ostringstream fits;
+  for (const auto& entry : suite) {
+    const graph g = largest_component(entry.build(7));
+    const std::uint64_t sites = g.node_count() - 1;
+    const auto grid = default_group_grid(sites, grid_points);
+    const auto rows = measure_distinct_receivers(g, grid, mc);
+
+    std::vector<double> x, y;
+    for (const auto& p : rows) {
+      x.push_back(static_cast<double>(p.group_size));
+      y.push_back(p.ratio_mean);
+    }
+    print_series(std::cout, entry.name + "  (L(m)/ubar vs m)", x, y);
+
+    const double lo = std::max(2.0, 2e-3 * static_cast<double>(sites));
+    const double hi = 0.5 * static_cast<double>(sites);
+    const scaling_law law = scaling_law::fit_to(rows, lo, hi);
+    std::ostringstream line;
+    line << "exponent=" << law.exponent() << " amplitude=" << law.amplitude()
+         << " R2=" << law.r_squared() << " (paper: ~0.8)";
+    fits << "FIT: " << figure_id << "/" << entry.name << " " << line.str() << "\n";
+  }
+
+  // The m^0.8 reference line over the widest grid used.
+  std::vector<double> rx, ry;
+  for (double m = 1.0; m <= 1e5; m *= 3.0) {
+    rx.push_back(m);
+    ry.push_back(std::pow(m, 0.8));
+  }
+  print_series(std::cout, "reference m^0.8", rx, ry);
+  std::cout << fits.str();
+  return 0;
+}
+
+}  // namespace mcast::bench

@@ -1,0 +1,126 @@
+// Micro-benchmarks (google-benchmark) for the primitives every figure's
+// Monte-Carlo loop is built from: BFS, delivery-tree growth, receiver
+// sampling, k-ary index arithmetic, RNG throughput, exact-formula
+// evaluation and the affinity chain move.
+#include <benchmark/benchmark.h>
+
+#include "analysis/kary_exact.hpp"
+#include "analysis/reachability.hpp"
+#include "graph/bfs.hpp"
+#include "multicast/affinity.hpp"
+#include "multicast/delivery_tree.hpp"
+#include "multicast/receivers.hpp"
+#include "sim/rng.hpp"
+#include "topo/catalog.hpp"
+#include "topo/kary.hpp"
+#include "topo/transit_stub.hpp"
+
+namespace {
+
+using namespace mcast;
+
+const graph& ts1000_graph() {
+  static const graph g = make_transit_stub(ts1000_params(), 1);
+  return g;
+}
+
+void bm_bfs_ts1000(benchmark::State& state) {
+  const graph& g = ts1000_graph();
+  rng gen(1);
+  for (auto _ : state) {
+    const auto d = bfs_distances(g, static_cast<node_id>(gen.below(g.node_count())));
+    benchmark::DoNotOptimize(d.data());
+  }
+}
+BENCHMARK(bm_bfs_ts1000);
+
+void bm_delivery_tree_ts1000(benchmark::State& state) {
+  const graph& g = ts1000_graph();
+  const source_tree tree(g, 0);
+  const auto universe = all_sites_except(g, 0);
+  rng gen(2);
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  delivery_tree_builder builder(tree);
+  for (auto _ : state) {
+    builder.reset();
+    for (node_id v : sample_with_replacement(universe, m, gen)) {
+      builder.add_receiver(v);
+    }
+    benchmark::DoNotOptimize(builder.link_count());
+  }
+}
+BENCHMARK(bm_delivery_tree_ts1000)->Arg(8)->Arg(64)->Arg(512);
+
+void bm_sample_distinct(benchmark::State& state) {
+  const graph& g = ts1000_graph();
+  const auto universe = all_sites_except(g, 0);
+  rng gen(3);
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto s = sample_distinct(universe, m, gen);
+    benchmark::DoNotOptimize(s.data());
+  }
+}
+BENCHMARK(bm_sample_distinct)->Arg(16)->Arg(256);
+
+void bm_kary_distance(benchmark::State& state) {
+  const kary_shape shape(2, 12);
+  rng gen(4);
+  const std::uint64_t total = shape.node_count();
+  for (auto _ : state) {
+    const node_id a = static_cast<node_id>(gen.below(total));
+    const node_id b = static_cast<node_id>(gen.below(total));
+    benchmark::DoNotOptimize(shape.distance(a, b));
+  }
+}
+BENCHMARK(bm_kary_distance);
+
+void bm_rng_below(benchmark::State& state) {
+  rng gen(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.below(12345));
+  }
+}
+BENCHMARK(bm_rng_below);
+
+void bm_kary_exact_formula(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kary_tree_size_leaves(2, 17, 31337.0));
+  }
+}
+BENCHMARK(bm_kary_exact_formula);
+
+void bm_reachability_profile(benchmark::State& state) {
+  const graph& g = ts1000_graph();
+  rng gen(6);
+  for (auto _ : state) {
+    const auto p = reachability_from(g, static_cast<node_id>(gen.below(g.node_count())));
+    benchmark::DoNotOptimize(p.total_sites());
+  }
+}
+BENCHMARK(bm_reachability_profile);
+
+void bm_affinity_chain(benchmark::State& state) {
+  const kary_shape shape(2, 10);
+  static const graph g = shape.to_graph();
+  const source_tree tree(g, 0);
+  const auto universe = all_sites_except(g, 0);
+  const kary_distance_oracle oracle(shape);
+  affinity_chain_params params;
+  params.beta = 1.0;
+  params.burn_in_sweeps = 2;
+  params.sample_sweeps = 1;
+  params.measurements = 1;
+  rng gen(7);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sample_affinity_tree_size(tree, universe, n, oracle, params, gen)
+            .mean_tree_size);
+  }
+}
+BENCHMARK(bm_affinity_chain)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

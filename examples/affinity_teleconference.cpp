@@ -1,0 +1,70 @@
+// Receiver affinity study — the Section 5 scenario the paper motivates:
+// teleconference participants cluster (affinity, β > 0) while sensor-network
+// sites spread out (disaffinity, β < 0). Prints the delivery-tree size and
+// per-receiver link cost across the β ladder, bracketed by the β = ±∞
+// greedy extremes.
+//
+//   $ affinity_teleconference [depth]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "multicast/affinity.hpp"
+#include "multicast/receivers.hpp"
+#include "sim/csv.hpp"
+#include "topo/kary.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcast;
+
+  const unsigned depth = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 9;
+  const kary_shape shape(2, depth);
+  const graph g = shape.to_graph();
+  const source_tree tree(g, 0);
+  const std::vector<node_id> universe = all_sites_except(g, 0);
+  const kary_distance_oracle oracle(shape);
+  const std::size_t group = 40;
+
+  std::cout << "binary tree depth " << depth << " (" << g.node_count()
+            << " nodes), group of " << group << " receivers\n\n";
+
+  rng greedy_gen(1);
+  const auto packed = greedy_affinity_trajectory(tree, universe, group, greedy_gen);
+  const auto spread = greedy_disaffinity_trajectory(tree, universe, group, greedy_gen);
+
+  table_writer table({"beta", "scenario", "links L", "L per receiver",
+                      "mean pair dist"});
+  table.add_row({"+inf", "single room", table_writer::num(packed.back(), 5),
+                 table_writer::num(packed.back() / double(group), 3), "-"});
+
+  const struct {
+    double beta;
+    const char* scenario;
+  } rows[] = {
+      {10.0, "tight teleconference"}, {1.0, "regional meeting"},
+      {0.1, "mild clustering"},       {0.0, "uniform (CS model)"},
+      {-0.1, "mild spreading"},       {-1.0, "field deployment"},
+      {-10.0, "sensor grid"},
+  };
+  for (const auto& row : rows) {
+    affinity_chain_params params;
+    params.beta = row.beta;
+    params.burn_in_sweeps = 20;
+    params.sample_sweeps = 8;
+    rng gen(1234);
+    const auto est =
+        sample_affinity_tree_size(tree, universe, group, oracle, params, gen);
+    table.add_row({table_writer::num(row.beta, 3), row.scenario,
+                   table_writer::num(est.mean_tree_size, 5),
+                   table_writer::num(est.mean_tree_size / double(group), 3),
+                   table_writer::num(est.mean_pair_distance, 4)});
+  }
+  table.add_row({"-inf", "maximal spread", table_writer::num(spread.back(), 5),
+                 table_writer::num(spread.back() / double(group), 3), "-"});
+  table.print(std::cout);
+
+  std::cout << "\nclustered groups need far fewer links per receiver — the\n"
+               "paper's point that affinity matters at fixed n, even though\n"
+               "it washes out in the large-network limit (Section 5.4).\n";
+  return 0;
+}

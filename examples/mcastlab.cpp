@@ -1,0 +1,181 @@
+// mcastlab — command-line front end to the library, for users who want the
+// paper's measurements on their own topologies without writing C++.
+//
+//   mcastlab networks                          list the built-in suite
+//   mcastlab table1 [--budget N]               Table 1 over the suite
+//   mcastlab measure <network|file> [--sets N] [--sources N] [--seed S]
+//                                              L(m)/ubar curve + fitted law
+//   mcastlab reach <network|file>              S(r)/T(r) profile + growth fit
+//   mcastlab degrees <network|file>            degree CCDF + power-law fit
+//   mcastlab tree <network|file> <source> <m>  one delivery tree as DOT
+//
+// <network> is a catalog name (r100, ts1000, ts1008, ti5000, ARPA, MBone,
+// Internet, AS); anything else is treated as an edge-list file path
+// (format: graph/io.hpp).
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/degree_powerlaw.hpp"
+#include "analysis/reachability.hpp"
+#include "core/runner.hpp"
+#include "core/scaling_law.hpp"
+#include "graph/components.hpp"
+#include "graph/io.hpp"
+#include "graph/metrics.hpp"
+#include "multicast/delivery_tree.hpp"
+#include "multicast/receivers.hpp"
+#include "sim/csv.hpp"
+#include "topo/catalog.hpp"
+
+namespace {
+
+using namespace mcast;
+
+int usage() {
+  std::cerr << "usage: mcastlab networks | table1 [--budget N]\n"
+               "       mcastlab measure <network|file> [--sets N] [--sources N] [--seed S]\n"
+               "       mcastlab reach <network|file>\n"
+               "       mcastlab degrees <network|file>\n"
+               "       mcastlab tree <network|file> <source> <m>\n";
+  return 2;
+}
+
+graph load_topology(const std::string& name) {
+  for (const auto& e : paper_networks()) {
+    if (e.name == name) return largest_component(e.build(7));
+  }
+  return largest_component(load_edge_list(name));
+}
+
+// Parses "--flag value" pairs from argv[from..).
+std::uint64_t flag_value(int argc, char** argv, int from, const std::string& flag,
+                         std::uint64_t fallback) {
+  for (int i = from; i + 1 < argc; ++i) {
+    if (argv[i] == flag) return std::strtoull(argv[i + 1], nullptr, 10);
+  }
+  return fallback;
+}
+
+int cmd_networks() {
+  table_writer t({"name", "kind"});
+  for (const auto& e : paper_networks()) {
+    t.add_row({e.name, e.kind == network_kind::generated ? "generated" : "real-style"});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_table1(int argc, char** argv) {
+  const node_id budget =
+      static_cast<node_id>(flag_value(argc, argv, 2, "--budget", 4000));
+  table_writer t({"network", "nodes", "links", "avg degree", "avg path", "diameter"});
+  for (const auto& e : scaled_networks(paper_networks(), budget)) {
+    const table1_row row = summarize_network(largest_component(e.build(7)));
+    t.add_row({row.name, std::to_string(row.nodes), std::to_string(row.links),
+               table_writer::num(row.avg_degree, 3),
+               table_writer::num(row.avg_path_length, 4),
+               std::to_string(row.diameter)});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_measure(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const graph g = load_topology(argv[2]);
+  monte_carlo_params mc;
+  mc.receiver_sets = flag_value(argc, argv, 3, "--sets", 30);
+  mc.sources = flag_value(argc, argv, 3, "--sources", 20);
+  mc.seed = flag_value(argc, argv, 3, "--seed", 1999);
+
+  const auto grid = default_group_grid(g.node_count() - 1, 18);
+  const auto rows = measure_distinct_receivers(g, grid, mc);
+  table_writer t({"m", "L(m)", "stderr", "ubar", "L/ubar"});
+  for (const auto& p : rows) {
+    t.add_row({std::to_string(p.group_size), table_writer::num(p.tree_links_mean),
+               table_writer::num(p.tree_links_stderr, 3),
+               table_writer::num(p.unicast_mean), table_writer::num(p.ratio_mean)});
+  }
+  t.print(std::cout);
+  const scaling_law law =
+      scaling_law::fit_to(rows, 2.0, 0.5 * static_cast<double>(g.node_count()));
+  std::cout << "\n" << g.name() << ": " << law.describe() << "\n";
+  return 0;
+}
+
+int cmd_reach(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const graph g = load_topology(argv[2]);
+  rng gen(7);
+  const reachability_profile prof = mean_reachability(g, 32, gen);
+  table_writer t({"r", "S(r)", "T(r)"});
+  for (std::size_t r = 1; r < prof.s.size(); ++r) {
+    t.add_row({std::to_string(r), table_writer::num(prof.s[r], 6),
+               table_writer::num(prof.t[r], 6)});
+  }
+  t.print(std::cout);
+  const reachability_growth_fit fit = fit_reachability_growth(prof);
+  std::cout << "\nubar=" << prof.mean_distance() << "  growth lambda="
+            << fit.lambda << "  R2(ln T ~ r)=" << fit.r_squared
+            << (fit.r_squared > 0.97 ? "  [exponential regime]"
+                                     : "  [sub-exponential regime]")
+            << "\n";
+  return 0;
+}
+
+int cmd_degrees(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const graph g = load_topology(argv[2]);
+  table_writer t({"degree", "P(D >= d)"});
+  for (const ccdf_point& p : degree_ccdf(g)) {
+    t.add_row({std::to_string(p.degree), table_writer::num(p.fraction, 5)});
+  }
+  t.print(std::cout);
+  try {
+    const degree_powerlaw_fit fit = fit_degree_powerlaw(g, 2);
+    std::cout << "\npower-law tail: exponent=" << fit.exponent
+              << "  R2=" << fit.r_squared
+              << (fit.r_squared > 0.9 ? "  [heavy-tailed]" : "  [not power-law]")
+              << "\n";
+  } catch (const std::invalid_argument&) {
+    std::cout << "\n(no degree tail to fit)\n";
+  }
+  return 0;
+}
+
+int cmd_tree(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const graph g = load_topology(argv[2]);
+  const node_id source = static_cast<node_id>(std::strtoull(argv[3], nullptr, 10));
+  const std::size_t m = std::strtoull(argv[4], nullptr, 10);
+  const source_tree tree(g, source);
+  rng gen(1);
+  const auto receivers = sample_distinct(all_sites_except(g, source), m, gen);
+  const auto links = delivery_tree_links(tree, receivers);
+  std::cout << "graph \"delivery-tree\" {\n  // source " << source << ", "
+            << links.size() << " links\n";
+  for (const edge& e : links) std::cout << "  " << e.a << " -- " << e.b << ";\n";
+  std::cout << "}\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "networks") return cmd_networks();
+    if (cmd == "table1") return cmd_table1(argc, argv);
+    if (cmd == "measure") return cmd_measure(argc, argv);
+    if (cmd == "reach") return cmd_reach(argc, argv);
+    if (cmd == "degrees") return cmd_degrees(argc, argv);
+    if (cmd == "tree") return cmd_tree(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "mcastlab: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

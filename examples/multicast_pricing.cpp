@@ -1,0 +1,60 @@
+// Multicast pricing — the application Chuang & Sirbu designed the scaling
+// law for. Fits the law on an Internet-like power-law topology and prints a
+// tariff sheet: cost-based multicast price vs per-receiver unicast billing,
+// the savings curve, and the flat-rate plan capacity.
+//
+//   $ multicast_pricing [nodes]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/pricing.hpp"
+#include "core/runner.hpp"
+#include "graph/metrics.hpp"
+#include "sim/csv.hpp"
+#include "topo/power_law.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcast;
+
+  barabasi_albert_params topo;
+  topo.nodes = argc > 1 ? static_cast<node_id>(std::atoi(argv[1])) : 4000;
+  topo.edges_per_node = 2;
+  const graph g = make_barabasi_albert(topo, /*seed=*/7);
+  std::cout << "provider backbone: " << g.name() << " (" << g.node_count()
+            << " routers, " << g.edge_count() << " links)\n";
+
+  // Fit the law from measurement, exactly as a provider would calibrate a
+  // tariff from traffic studies.
+  monte_carlo_params mc;
+  mc.receiver_sets = 20;
+  mc.sources = 15;
+  const auto grid = default_group_grid(g.node_count() - 1, 14);
+  const auto measurement = measure_distinct_receivers(g, grid, mc);
+  const scaling_law law =
+      scaling_law::fit_to(measurement, 2.0, 0.5 * g.node_count());
+  std::cout << "calibrated law: " << law.describe() << "\n\n";
+
+  pricing_policy policy;
+  policy.unit_price_per_link = 0.01;  // $ per link-hop per month
+  policy.mean_unicast_path = measurement.front().unicast_mean;
+  policy.law = law;
+
+  table_writer sheet({"group", "unicast $", "multicast $", "$/receiver",
+                      "savings"});
+  for (double m : {1.0, 5.0, 20.0, 100.0, 500.0, 2000.0}) {
+    sheet.add_row({table_writer::num(m, 4),
+                   table_writer::num(unicast_price(policy, m), 4),
+                   table_writer::num(multicast_price(policy, m), 4),
+                   table_writer::num(multicast_price_per_receiver(policy, m), 3),
+                   table_writer::num(multicast_savings_fraction(policy, m) * 100.0, 3) + "%"});
+  }
+  sheet.print(std::cout);
+
+  std::cout << "\ngroup size for 50% savings : "
+            << group_size_for_savings(policy, 0.5) << " receivers\n";
+  const double flat = 30.0 * policy.unit_price_per_link * policy.mean_unicast_path;
+  std::cout << "a flat plan priced at 30 unicast-streams covers groups up to "
+            << flat_rate_capacity(policy, flat) << " receivers\n";
+  return 0;
+}

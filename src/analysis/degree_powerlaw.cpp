@@ -1,0 +1,48 @@
+#include "analysis/degree_powerlaw.hpp"
+
+#include <cmath>
+
+#include "analysis/fit.hpp"
+#include "common/contract.hpp"
+#include "graph/metrics.hpp"
+
+namespace mcast {
+
+std::vector<ccdf_point> degree_ccdf(const graph& g) {
+  std::vector<ccdf_point> out;
+  if (g.empty()) return out;
+  const degree_stats stats = compute_degree_stats(g);
+  const double n = static_cast<double>(g.node_count());
+
+  // Walk degrees descending, accumulating the tail mass.
+  std::size_t tail = 0;
+  std::vector<ccdf_point> reversed;
+  for (std::size_t d = stats.histogram.size(); d-- > 0;) {
+    if (stats.histogram[d] == 0) continue;
+    tail += stats.histogram[d];
+    reversed.push_back({d, static_cast<double>(tail) / n});
+  }
+  out.assign(reversed.rbegin(), reversed.rend());
+  return out;
+}
+
+degree_powerlaw_fit fit_degree_powerlaw(const graph& g, std::size_t min_degree) {
+  const std::vector<ccdf_point> ccdf = degree_ccdf(g);
+  std::vector<double> xs, ys;
+  for (const ccdf_point& p : ccdf) {
+    if (p.degree >= min_degree && p.degree > 0 && p.fraction > 0.0) {
+      xs.push_back(std::log(static_cast<double>(p.degree)));
+      ys.push_back(std::log(p.fraction));
+    }
+  }
+  expects(xs.size() >= 2,
+          "fit_degree_powerlaw: need >= 2 distinct degrees above min_degree");
+  const linear_fit lf = fit_linear(xs, ys);
+  degree_powerlaw_fit out;
+  out.exponent = 1.0 - lf.slope;  // CCDF slope = -(γ - 1)
+  out.r_squared = lf.r_squared;
+  out.points = xs.size();
+  return out;
+}
+
+}  // namespace mcast

@@ -1,0 +1,38 @@
+// Degree-distribution power laws — the diagnostic of the paper's
+// reference [8] (Faloutsos, Faloutsos & Faloutsos, SIGCOMM '99), cited
+// when discussing whether real Internet maps have exponential reachability.
+// Used here to check that the Internet/AS substitutes actually exhibit the
+// heavy-tailed degrees the real maps were famous for.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mcast {
+
+/// One point of the degree CCDF: fraction of nodes with degree >= degree.
+struct ccdf_point {
+  std::size_t degree = 0;
+  double fraction = 0.0;
+};
+
+/// Complementary CDF of the degree distribution, one point per distinct
+/// degree value, ascending. Empty for an empty graph.
+std::vector<ccdf_point> degree_ccdf(const graph& g);
+
+/// Power-law tail fit: assuming P(D >= d) ∝ d^{-(γ-1)} (i.e. pdf exponent
+/// γ), fits the CCDF in log-log space over degrees >= min_degree.
+struct degree_powerlaw_fit {
+  double exponent = 0.0;   ///< γ, the pdf exponent (CCDF slope is 1 - γ)
+  double r_squared = 0.0;  ///< log-log linearity of the CCDF tail
+  std::size_t points = 0;  ///< distinct degree values used
+};
+
+/// Fits the degree tail. Requires at least two distinct degrees >=
+/// min_degree (throws std::invalid_argument otherwise).
+degree_powerlaw_fit fit_degree_powerlaw(const graph& g,
+                                        std::size_t min_degree = 1);
+
+}  // namespace mcast

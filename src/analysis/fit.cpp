@@ -1,0 +1,80 @@
+#include "analysis/fit.hpp"
+
+#include <cmath>
+
+#include "common/contract.hpp"
+
+namespace mcast {
+
+linear_fit fit_linear(const std::vector<double>& x, const std::vector<double>& y) {
+  expects(x.size() == y.size(), "fit_linear: x/y size mismatch");
+  expects(x.size() >= 2, "fit_linear: need at least two points");
+
+  const double n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  expects(sxx > 0.0, "fit_linear: x values are constant");
+
+  linear_fit f;
+  f.slope = sxy / sxx;
+  f.intercept = my - f.slope * mx;
+  f.points = x.size();
+  if (syy > 0.0) {
+    f.r_squared = (sxy * sxy) / (sxx * syy);
+  } else {
+    f.r_squared = 1.0;  // y constant and perfectly reproduced by slope 0
+  }
+  return f;
+}
+
+power_law_fit fit_power_law(const std::vector<double>& x,
+                            const std::vector<double>& y) {
+  expects(x.size() == y.size(), "fit_power_law: x/y size mismatch");
+  std::vector<double> lx, ly;
+  lx.reserve(x.size());
+  ly.reserve(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    expects(x[i] > 0.0 && y[i] > 0.0,
+            "fit_power_law: all values must be positive");
+    lx.push_back(std::log(x[i]));
+    ly.push_back(std::log(y[i]));
+  }
+  const linear_fit lf = fit_linear(lx, ly);
+  power_law_fit f;
+  f.exponent = lf.slope;
+  f.amplitude = std::exp(lf.intercept);
+  f.r_squared = lf.r_squared;
+  f.points = lf.points;
+  return f;
+}
+
+power_law_fit fit_power_law_windowed(const std::vector<double>& x,
+                                     const std::vector<double>& y,
+                                     double x_lo, double x_hi) {
+  expects(x.size() == y.size(), "fit_power_law_windowed: x/y size mismatch");
+  expects(x_lo <= x_hi, "fit_power_law_windowed: need x_lo <= x_hi");
+  std::vector<double> wx, wy;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] >= x_lo && x[i] <= x_hi) {
+      wx.push_back(x[i]);
+      wy.push_back(y[i]);
+    }
+  }
+  expects(wx.size() >= 2, "fit_power_law_windowed: window contains < 2 points");
+  return fit_power_law(wx, wy);
+}
+
+}  // namespace mcast

@@ -1,0 +1,43 @@
+// Least-squares fitting.
+//
+// The Chuang-Sirbu claim is a power law L(m) ∝ m^0.8; measuring "how 0.8"
+// a topology is means an ordinary least-squares fit of ln L against ln m.
+// The paper's own reference curves (Figs 3, 5, 6) are straight lines in
+// semi-log coordinates, fit here with the same OLS machinery.
+#pragma once
+
+#include <vector>
+
+namespace mcast {
+
+/// y = slope * x + intercept fit summary.
+struct linear_fit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  ///< coefficient of determination, in [0,1]
+  std::size_t points = 0;
+};
+
+/// Ordinary least squares over the given points. Requires at least two
+/// points and non-constant x.
+linear_fit fit_linear(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Power-law fit y = amplitude * x^exponent via OLS in log-log space.
+/// Requires all x and y strictly positive.
+struct power_law_fit {
+  double exponent = 0.0;
+  double amplitude = 0.0;
+  double r_squared = 0.0;
+  std::size_t points = 0;
+};
+
+power_law_fit fit_power_law(const std::vector<double>& x,
+                            const std::vector<double>& y);
+
+/// Power-law fit restricted to points with x in [x_lo, x_hi] — the paper
+/// fits the intermediate-m regime, away from the m=1 and saturation ends.
+power_law_fit fit_power_law_windowed(const std::vector<double>& x,
+                                     const std::vector<double>& y,
+                                     double x_lo, double x_hi);
+
+}  // namespace mcast

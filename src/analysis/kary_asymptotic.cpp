@@ -1,0 +1,58 @@
+#include "analysis/kary_asymptotic.hpp"
+
+#include <cmath>
+
+#include "common/contract.hpp"
+
+namespace mcast {
+
+namespace {
+
+void check_k(double k) {
+  expects(k > 1.0, "kary asymptotics: k must be > 1");
+}
+
+}  // namespace
+
+double kary_h_approx(double k, double x) {
+  check_k(k);
+  expects(x >= 0.0, "kary_h_approx: x must be non-negative");
+  return x / std::sqrt(k);
+}
+
+double kary_tree_size_per_receiver_approx(double k, double x) {
+  check_k(k);
+  expects(x > 0.0, "kary_tree_size_per_receiver_approx: x must be positive");
+  return (1.0 - std::log(x)) / std::log(k);
+}
+
+double kary_tree_size_approx(double k, unsigned depth, double n) {
+  check_k(k);
+  expects(depth >= 1, "kary_tree_size_approx: depth must be >= 1");
+  expects(n >= 0.0, "kary_tree_size_approx: n must be non-negative");
+  const double lnk = std::log(k);
+  // Eq 14 with boundary conditions L̂(0) = 0, L̂(1) = D.
+  return n * static_cast<double>(depth) -
+         ((n + 1.0) * std::log(n + 1.0) - (n + 1.0) + 1.0) / lnk;
+}
+
+double kary_tree_size_distinct_approx(double k, unsigned depth, double m) {
+  check_k(k);
+  expects(depth >= 1, "kary_tree_size_distinct_approx: depth must be >= 1");
+  const double m_sites = std::pow(k, static_cast<double>(depth));
+  expects(m >= 0.0 && m < m_sites,
+          "kary_tree_size_distinct_approx: need 0 <= m < k^depth");
+  if (m == 0.0) return 0.0;
+  // Asymptotic mapping (Eq 2): n = -M ln(1 - m/M), then Eq 16.
+  const double n = -m_sites * std::log1p(-m / m_sites);
+  const double x = n / m_sites;
+  return n * kary_tree_size_per_receiver_approx(k, x);
+}
+
+double chuang_sirbu_curve(double m, double exponent, double amplitude) {
+  expects(m > 0.0, "chuang_sirbu_curve: m must be positive");
+  expects(amplitude > 0.0, "chuang_sirbu_curve: amplitude must be positive");
+  return amplitude * std::pow(m, exponent);
+}
+
+}  // namespace mcast

@@ -1,0 +1,36 @@
+// Asymptotic k-ary forms from Sections 3.2-3.3 of the paper.
+//
+//   Eq 12  h(x) ≈ x·k^{-1/2}
+//   Eq 14  L̂(n) ≈ nD - [(n+1)ln(n+1) - (n+1)]/ln k      (finite form)
+//   Eq 16  L̂(n)/n ≈ 1/ln k - ln(n/M)/ln k              (large-n/M limit)
+//   Eq 17  L̂(n) ≈ n (c - ln(n/M)/ln k)  — linear with log correction
+//   Eq 18  L(m) via Eq 16 composed with the asymptotic n(m) mapping
+//
+// plus the Chuang-Sirbu reference curve m^0.8 every figure compares
+// against. The k = 1 limit is meaningful here (the paper varies k
+// continuously), so these functions require only k > 1.0 as a real value.
+#pragma once
+
+namespace mcast {
+
+/// Eq 12: the predicted straight line of Figure 2. Requires k > 1.
+double kary_h_approx(double k, double x);
+
+/// Eq 16 right-hand side: predicted L̂(n)/n at x = n/M. Requires k > 1,
+/// x > 0.
+double kary_tree_size_per_receiver_approx(double k, double x);
+
+/// Eq 14: the finite-n approximate L̂(n). Requires k > 1, depth >= 1,
+/// n >= 0.
+double kary_tree_size_approx(double k, unsigned depth, double n);
+
+/// Eq 18: approximate L(m) for m expected-distinct leaf receivers, using
+/// the asymptotic mapping n(m) = -M ln(1 - m/M). Requires 0 <= m < k^depth.
+double kary_tree_size_distinct_approx(double k, unsigned depth, double m);
+
+/// The Chuang-Sirbu scaling-law reference: amplitude * m^exponent with the
+/// paper's canonical exponent 0.8. Requires m > 0.
+double chuang_sirbu_curve(double m, double exponent = 0.8,
+                          double amplitude = 1.0);
+
+}  // namespace mcast

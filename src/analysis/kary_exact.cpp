@@ -1,0 +1,135 @@
+#include "analysis/kary_exact.hpp"
+
+#include <cmath>
+
+#include "analysis/mapping.hpp"
+#include "common/contract.hpp"
+
+namespace mcast {
+
+namespace {
+
+void check_tree(unsigned k, unsigned depth) {
+  expects(k >= 2, "kary analysis: k must be >= 2");
+  expects(depth >= 1, "kary analysis: depth must be >= 1");
+  expects(depth <= 63, "kary analysis: depth too large");
+}
+
+// (1 - p)^n in the log domain; exact 0^0 = 1 handling is irrelevant here
+// because p is always in (0,1).
+double pow_one_minus(double p, double n) { return std::exp(n * std::log1p(-p)); }
+
+}  // namespace
+
+double kary_tree_size_leaves(unsigned k, unsigned depth, double n) {
+  check_tree(k, depth);
+  expects(n >= 0.0, "kary_tree_size_leaves: n must be non-negative");
+  double total = 0.0;
+  double kl = 1.0;  // k^l
+  for (unsigned l = 1; l <= depth; ++l) {
+    kl *= k;
+    total += kl * (1.0 - pow_one_minus(1.0 / kl, n));
+  }
+  return total;
+}
+
+double kary_tree_size_delta_leaves(unsigned k, unsigned depth, double n) {
+  check_tree(k, depth);
+  expects(n >= 0.0, "kary_tree_size_delta_leaves: n must be non-negative");
+  double total = 0.0;
+  double kl = 1.0;
+  for (unsigned l = 1; l <= depth; ++l) {
+    kl *= k;
+    total += pow_one_minus(1.0 / kl, n);
+  }
+  return total;
+}
+
+double kary_tree_size_delta2_leaves(unsigned k, unsigned depth, double n) {
+  check_tree(k, depth);
+  expects(n >= 0.0, "kary_tree_size_delta2_leaves: n must be non-negative");
+  double total = 0.0;
+  double kl = 1.0;
+  for (unsigned l = 1; l <= depth; ++l) {
+    kl *= k;
+    total -= (1.0 / kl) * pow_one_minus(1.0 / kl, n);
+  }
+  return total;
+}
+
+double kary_h_exact(unsigned k, unsigned depth, double x) {
+  check_tree(k, depth);
+  expects(x > 0.0, "kary_h_exact: x must be positive");
+  const double m_sites = kary_leaf_count(k, depth);
+  const double ubar = kary_unicast_mean_leaves(depth);
+  const double d2 = kary_tree_size_delta2_leaves(k, depth, x * m_sites);
+  const double inner = -x * m_sites * std::log(m_sites) * d2 / ubar;
+  expects(inner > 0.0, "kary_h_exact: argument underflowed to zero");
+  return -std::log(inner);
+}
+
+double kary_link_probability_all_sites(unsigned k, unsigned depth,
+                                       unsigned level) {
+  check_tree(k, depth);
+  expects(level >= 1 && level <= depth,
+          "kary_link_probability_all_sites: level out of range");
+  // (k^{D+1} - k^l) / (k^{D+1} - k) * k^{-l}: the receiver must land at or
+  // below level l, then under this particular link.
+  const double k_d1 = std::pow(static_cast<double>(k), depth + 1.0);
+  const double k_l = std::pow(static_cast<double>(k), static_cast<double>(level));
+  return (k_d1 - k_l) / (k_d1 - static_cast<double>(k)) / k_l;
+}
+
+double kary_tree_size_all_sites(unsigned k, unsigned depth, double n) {
+  check_tree(k, depth);
+  expects(n >= 0.0, "kary_tree_size_all_sites: n must be non-negative");
+  double total = 0.0;
+  double kl = 1.0;
+  for (unsigned l = 1; l <= depth; ++l) {
+    kl *= k;
+    const double p = kary_link_probability_all_sites(k, depth, l);
+    total += kl * (1.0 - pow_one_minus(p, n));
+  }
+  return total;
+}
+
+double kary_leaf_count(unsigned k, unsigned depth) {
+  check_tree(k, depth);
+  return std::pow(static_cast<double>(k), static_cast<double>(depth));
+}
+
+double kary_site_count_all(unsigned k, unsigned depth) {
+  check_tree(k, depth);
+  // (k^{D+1} - 1)/(k - 1) - 1 = (k^{D+1} - k)/(k - 1).
+  const double k_d1 = std::pow(static_cast<double>(k), depth + 1.0);
+  return (k_d1 - static_cast<double>(k)) / (static_cast<double>(k) - 1.0);
+}
+
+double kary_unicast_mean_leaves(unsigned depth) {
+  expects(depth >= 1, "kary_unicast_mean_leaves: depth must be >= 1");
+  return static_cast<double>(depth);
+}
+
+double kary_unicast_mean_all_sites(unsigned k, unsigned depth) {
+  check_tree(k, depth);
+  double num = 0.0;
+  double den = 0.0;
+  double kl = 1.0;
+  for (unsigned l = 1; l <= depth; ++l) {
+    kl *= k;
+    num += static_cast<double>(l) * kl;
+    den += kl;
+  }
+  return num / den;
+}
+
+double kary_tree_size_distinct_leaves(unsigned k, unsigned depth, double m) {
+  check_tree(k, depth);
+  const double m_sites = kary_leaf_count(k, depth);
+  expects(m >= 0.0 && m < m_sites,
+          "kary_tree_size_distinct_leaves: need 0 <= m < k^depth");
+  const double n = draws_for_expected_distinct(m_sites, m);
+  return kary_tree_size_leaves(k, depth, n);
+}
+
+}  // namespace mcast

@@ -1,0 +1,61 @@
+// Exact k-ary tree expressions from Section 3 of the paper.
+//
+// Setting: a complete k-ary tree of depth D, source at the root, and n
+// receivers drawn uniformly *with replacement* — from the k^D leaves
+// (Sections 3.1-3.3) or from all non-root sites (Section 3.4).
+//
+//   Eq 4   L̂(n)  = Σ_{l=1..D} k^l (1 - (1 - k^{-l})^n)
+//   Eq 5   ΔL̂(n) = Σ_{l=1..D} (1 - k^{-l})^n
+//   Eq 6   Δ²L̂(n)= -Σ_{l=1..D} k^{-l} (1 - k^{-l})^n
+//   Eq 11  h(x)  = -ln( -x (M ln M) Δ²L̂(xM) / ū ),  M = k^D, ū = D
+//   Eq 21  L̂(n) for receivers at all non-root sites, where a level-l link
+//          is used by one draw with probability
+//          p_l = [(k^{D+1} - k^l) / (k^{D+1} - k)] · k^{-l}
+//
+// Each function accepts a real-valued n: the expressions are analytic in n
+// and the paper itself evaluates them along continuous grids. All powers
+// (1-p)^n are computed as exp(n·log1p(-p)) so n up to 1e12 stays stable.
+#pragma once
+
+namespace mcast {
+
+/// Eq 4. Requires k >= 2, depth >= 1, n >= 0.
+double kary_tree_size_leaves(unsigned k, unsigned depth, double n);
+
+/// Eq 5 (analytic continuation of the forward difference).
+double kary_tree_size_delta_leaves(unsigned k, unsigned depth, double n);
+
+/// Eq 6 (analytic continuation of the second difference; negative).
+double kary_tree_size_delta2_leaves(unsigned k, unsigned depth, double n);
+
+/// Eq 11 with the exact Eq 6 inside. Requires 0 < x; x is n/M.
+/// (Diverges logarithmically as x -> 0, as the paper notes.)
+double kary_h_exact(unsigned k, unsigned depth, double x);
+
+/// Probability that a fixed level-l link is used by a single uniform draw
+/// over all non-root sites (Eq 19 in the fixed-D form used by Eq 21).
+/// Requires 1 <= level <= depth.
+double kary_link_probability_all_sites(unsigned k, unsigned depth, unsigned level);
+
+/// Eq 21: L̂(n) with receivers spread uniformly over all non-root sites.
+double kary_tree_size_all_sites(unsigned k, unsigned depth, double n);
+
+/// Number of candidate receiver sites: k^depth (leaves model).
+double kary_leaf_count(unsigned k, unsigned depth);
+
+/// Number of candidate receiver sites: all nodes except the root.
+double kary_site_count_all(unsigned k, unsigned depth);
+
+/// Average root-to-site hop distance when sites are the leaves (== depth).
+double kary_unicast_mean_leaves(unsigned depth);
+
+/// Average root-to-site hop distance over all non-root sites:
+/// Σ_{l=1..D} l·k^l / Σ_{l=1..D} k^l.
+double kary_unicast_mean_all_sites(unsigned k, unsigned depth);
+
+/// L(m) for m expected-distinct leaf receivers: Eq 4 composed with the
+/// finite-M mapping n(m) of Equation 1 (analysis/mapping.hpp).
+/// Requires 0 <= m < k^depth.
+double kary_tree_size_distinct_leaves(unsigned k, unsigned depth, double m);
+
+}  // namespace mcast

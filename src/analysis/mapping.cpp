@@ -1,0 +1,42 @@
+#include "analysis/mapping.hpp"
+
+#include <cmath>
+
+#include "common/contract.hpp"
+
+namespace mcast {
+
+double expected_distinct(double universe_size, double n) {
+  expects(universe_size >= 1.0, "expected_distinct: universe must be >= 1");
+  expects(n >= 0.0, "expected_distinct: n must be non-negative");
+  // M (1 - (1 - 1/M)^n), computed in the log domain for stability.
+  return universe_size * -std::expm1(n * std::log1p(-1.0 / universe_size));
+}
+
+double draws_for_expected_distinct(double universe_size, double m) {
+  expects(universe_size >= 2.0,
+          "draws_for_expected_distinct: universe must be >= 2");
+  expects(m >= 0.0 && m < universe_size,
+          "draws_for_expected_distinct: need 0 <= m < M");
+  return std::log1p(-m / universe_size) / std::log1p(-1.0 / universe_size);
+}
+
+double coverage_fraction(double x) {
+  expects(x >= 0.0, "coverage_fraction: x must be non-negative");
+  return -std::expm1(-x);
+}
+
+double draws_fraction(double y) {
+  expects(y >= 0.0 && y < 1.0, "draws_fraction: need 0 <= y < 1");
+  return -std::log1p(-y);
+}
+
+double equivalent_draws_asymptotic(double universe_size, double m) {
+  expects(universe_size >= 1.0,
+          "equivalent_draws_asymptotic: universe must be >= 1");
+  expects(m >= 0.0 && m < universe_size,
+          "equivalent_draws_asymptotic: need 0 <= m < M");
+  return -universe_size * std::log1p(-m / universe_size);
+}
+
+}  // namespace mcast

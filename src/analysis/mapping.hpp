@@ -1,0 +1,34 @@
+// The n <-> m correspondence (Section 3, Equations 1-2).
+//
+// The paper computes L̂(n) for n receivers drawn *with* replacement because
+// it is analytically tractable, then converts to L(m) for m *distinct*
+// receivers through the expected-coverage relation
+//
+//     m̄ = M (1 - (1 - 1/M)^n)          (finite M)
+//     y  = 1 - e^{-x},  x = n/M, y = m/M  (large-M limit)
+//
+// and the approximation L(m) ≈ L̂(n(m)) with n(m) = the draws whose
+// expected distinct coverage is m (Equation 2: L(m) ≈ L̂(-M ln(1 - m/M))).
+#pragma once
+
+namespace mcast {
+
+/// Expected distinct sites after `n` with-replacement draws from `M` sites:
+/// m̄ = M(1 - (1 - 1/M)^n). Requires M >= 1, n >= 0. Stable for huge n.
+double expected_distinct(double universe_size, double n);
+
+/// Inverse of expected_distinct: n = ln(1 - m/M) / ln(1 - 1/M).
+/// Requires M >= 2 and 0 <= m < M.
+double draws_for_expected_distinct(double universe_size, double m);
+
+/// Large-M limit of the coverage fraction: y(x) = 1 - e^{-x} for x = n/M.
+double coverage_fraction(double x);
+
+/// Inverse of coverage_fraction: x(y) = -ln(1 - y). Requires 0 <= y < 1.
+double draws_fraction(double y);
+
+/// The asymptotic form of Equation 2's argument: n(m) = -M ln(1 - m/M).
+/// Requires 0 <= m < M.
+double equivalent_draws_asymptotic(double universe_size, double m);
+
+}  // namespace mcast

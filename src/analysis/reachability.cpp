@@ -1,0 +1,162 @@
+#include "analysis/reachability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/fit.hpp"
+#include "common/contract.hpp"
+#include "graph/bfs.hpp"
+
+namespace mcast {
+
+unsigned reachability_profile::max_radius() const {
+  for (std::size_t r = s.size(); r > 0; --r) {
+    if (s[r - 1] > 0.0) return static_cast<unsigned>(r - 1);
+  }
+  return 0;
+}
+
+double reachability_profile::mean_distance() const {
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t r = 1; r < s.size(); ++r) {
+    num += static_cast<double>(r) * s[r];
+    den += s[r];
+  }
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+reachability_profile reachability_from(const graph& g, node_id source) {
+  const std::vector<hop_count> dist = bfs_distances(g, source);
+  reachability_profile p;
+  p.s.assign(1, 0.0);
+  for (node_id v = 0; v < g.node_count(); ++v) {
+    const hop_count d = dist[v];
+    if (d == unreachable || d == 0) continue;
+    if (p.s.size() <= d) p.s.resize(d + 1, 0.0);
+    p.s[d] += 1.0;
+  }
+  p.t.assign(p.s.size(), 0.0);
+  for (std::size_t r = 1; r < p.s.size(); ++r) p.t[r] = p.t[r - 1] + p.s[r];
+  return p;
+}
+
+reachability_profile mean_reachability(const graph& g, std::size_t sources,
+                                       rng& gen) {
+  expects(sources >= 1, "mean_reachability: need at least one source");
+  expects(!g.empty(), "mean_reachability: graph is empty");
+  reachability_profile acc;
+  acc.s.assign(1, 0.0);
+  for (std::size_t i = 0; i < sources; ++i) {
+    const node_id src = static_cast<node_id>(gen.below(g.node_count()));
+    const reachability_profile one = reachability_from(g, src);
+    if (acc.s.size() < one.s.size()) acc.s.resize(one.s.size(), 0.0);
+    for (std::size_t r = 0; r < one.s.size(); ++r) acc.s[r] += one.s[r];
+  }
+  for (double& v : acc.s) v /= static_cast<double>(sources);
+  acc.t.assign(acc.s.size(), 0.0);
+  for (std::size_t r = 1; r < acc.s.size(); ++r) acc.t[r] = acc.t[r - 1] + acc.s[r];
+  return acc;
+}
+
+double general_tree_size_leaves(const std::vector<double>& s, double n) {
+  expects(n >= 0.0, "general_tree_size_leaves: n must be non-negative");
+  double total = 0.0;
+  for (std::size_t r = 1; r < s.size(); ++r) {
+    if (s[r] <= 0.0) continue;
+    const double p = 1.0 / s[r];
+    // S(r) (1 - (1 - 1/S(r))^n); p can be 1 (S(r) = 1): log1p(-1) = -inf,
+    // exp(-inf * n) = 0 for n > 0, handled explicitly.
+    const double miss = (p >= 1.0) ? (n > 0.0 ? 0.0 : 1.0)
+                                   : std::exp(n * std::log1p(-p));
+    total += s[r] * (1.0 - miss);
+  }
+  return total;
+}
+
+double general_tree_size_all_sites(const std::vector<double>& s, double n) {
+  expects(n >= 0.0, "general_tree_size_all_sites: n must be non-negative");
+  // T(r) prefix sums.
+  std::vector<double> t(s.size(), 0.0);
+  for (std::size_t r = 1; r < s.size(); ++r) t[r] = t[r - 1] + std::max(0.0, s[r]);
+  const double total_sites = t.empty() ? 0.0 : t.back();
+  if (total_sites <= 0.0) return 0.0;
+
+  double total = 0.0;
+  for (std::size_t l = 1; l < s.size(); ++l) {
+    if (s[l] <= 0.0) continue;
+    const double at_or_beyond = total_sites - t[l - 1];
+    const double p = at_or_beyond / (s[l] * total_sites);
+    const double miss = (p >= 1.0) ? (n > 0.0 ? 0.0 : 1.0)
+                                   : std::exp(n * std::log1p(-p));
+    total += s[l] * (1.0 - miss);
+  }
+  return total;
+}
+
+std::vector<double> synthetic_reachability_exponential(double base,
+                                                       unsigned depth) {
+  expects(base > 1.0, "synthetic_reachability_exponential: base must be > 1");
+  expects(depth >= 1, "synthetic_reachability_exponential: depth must be >= 1");
+  std::vector<double> s(depth + 1, 0.0);
+  for (unsigned r = 1; r <= depth; ++r) {
+    s[r] = std::pow(base, static_cast<double>(r));
+  }
+  return s;
+}
+
+std::vector<double> synthetic_reachability_power(double lambda, unsigned depth,
+                                                 double s_at_depth) {
+  expects(lambda > 0.0, "synthetic_reachability_power: lambda must be > 0");
+  expects(depth >= 1, "synthetic_reachability_power: depth must be >= 1");
+  expects(s_at_depth >= 1.0,
+          "synthetic_reachability_power: s_at_depth must be >= 1");
+  const double c = s_at_depth / std::pow(static_cast<double>(depth), lambda);
+  std::vector<double> s(depth + 1, 0.0);
+  for (unsigned r = 1; r <= depth; ++r) {
+    s[r] = c * std::pow(static_cast<double>(r), lambda);
+  }
+  return s;
+}
+
+std::vector<double> synthetic_reachability_superexponential(double lambda,
+                                                            unsigned depth,
+                                                            double s_at_depth) {
+  expects(lambda > 0.0,
+          "synthetic_reachability_superexponential: lambda must be > 0");
+  expects(depth >= 1,
+          "synthetic_reachability_superexponential: depth must be >= 1");
+  expects(s_at_depth >= 1.0,
+          "synthetic_reachability_superexponential: s_at_depth must be >= 1");
+  const double d = static_cast<double>(depth);
+  const double log_c = std::log(s_at_depth) - lambda * d * d;
+  std::vector<double> s(depth + 1, 0.0);
+  for (unsigned r = 1; r <= depth; ++r) {
+    const double rr = static_cast<double>(r);
+    s[r] = std::exp(log_c + lambda * rr * rr);
+  }
+  return s;
+}
+
+reachability_growth_fit fit_reachability_growth(const reachability_profile& p,
+                                                double saturation_fraction) {
+  expects(saturation_fraction > 0.0 && saturation_fraction <= 1.0,
+          "fit_reachability_growth: saturation_fraction must be in (0,1]");
+  const double cutoff = saturation_fraction * p.total_sites();
+  std::vector<double> xs, ys;
+  for (std::size_t r = 1; r < p.t.size(); ++r) {
+    if (p.t[r] <= 0.0) continue;
+    if (p.t[r] > cutoff) break;
+    xs.push_back(static_cast<double>(r));
+    ys.push_back(std::log(p.t[r]));
+  }
+  reachability_growth_fit out;
+  if (xs.size() < 2) return out;
+  const linear_fit lf = fit_linear(xs, ys);
+  out.lambda = lf.slope;
+  out.r_squared = lf.r_squared;
+  out.radii_used = static_cast<unsigned>(xs.size());
+  return out;
+}
+
+}  // namespace mcast

@@ -1,0 +1,91 @@
+// Reachability functions S(r), T(r) and the generalized tree-size
+// predictors of Section 4.
+//
+// For a graph and source, S(r) counts the sites exactly r hops away and
+// T(r) = Σ_{j=1..r} S(j) the sites within r hops (excluding the source
+// itself, matching the paper's usage). The paper's generalization of the
+// k-ary result replaces k^l by S(l):
+//
+//   Eq 23  L̂(n) = Σ_{r=1..D} S(r) (1 - (1 - 1/S(r))^n)
+//          (receivers at "leaves": sites at distance exactly D)
+//   Eq 30  L̂(n) = Σ_{l=1..D} S(l) (1 - (1 - (T(D)-T(l-1)) / (S(l)·T(D)))^n)
+//          (receivers anywhere; a level-l link is used when the receiver
+//          is at or beyond l hops AND under that link)
+//
+// Section 4.2/4.3 then asks when S(r) is exponential; the synthetic S
+// families below regenerate Figure 8's three contrasting cases.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/rng.hpp"
+
+namespace mcast {
+
+/// S(r)/T(r) profile from one source, or averaged over several sources.
+/// Index r runs 0..max_radius; s[0] = 0 by convention (the source is not a
+/// receiver site), t[r] = s[1] + ... + s[r].
+struct reachability_profile {
+  std::vector<double> s;
+  std::vector<double> t;
+
+  /// Largest radius with s[r] > 0.
+  unsigned max_radius() const;
+
+  /// Total reachable sites T(D).
+  double total_sites() const { return t.empty() ? 0.0 : t.back(); }
+
+  /// Average hop distance from the source over all reachable sites
+  /// (the ū that normalizes Fig 6).
+  double mean_distance() const;
+};
+
+/// Exact profile from a single source (one BFS).
+reachability_profile reachability_from(const graph& g, node_id source);
+
+/// Profile averaged over `sources` random sources drawn with replacement
+/// (the paper averages T(r) over its N_source source choices, Fig 7).
+reachability_profile mean_reachability(const graph& g, std::size_t sources,
+                                       rng& gen);
+
+/// Eq 23 with an arbitrary S(r) (s[0] ignored; radii with s[r] <= 0 are
+/// skipped). `n` may be huge; computed in the log domain.
+double general_tree_size_leaves(const std::vector<double>& s, double n);
+
+/// Eq 30 with an arbitrary S(r).
+double general_tree_size_all_sites(const std::vector<double>& s, double n);
+
+// --- synthetic S(r) families for Figure 8 -------------------------------
+// All three are normalized to the same S(D) (hence comparable saturation
+// size), with the exponential case S(r) = base^r as the anchor.
+
+/// S(r) = base^r for r = 1..depth. Requires base > 1, depth >= 1.
+std::vector<double> synthetic_reachability_exponential(double base, unsigned depth);
+
+/// S(r) = c·r^lambda with c chosen so S(depth) = s_at_depth.
+/// Requires lambda > 0, s_at_depth >= 1.
+std::vector<double> synthetic_reachability_power(double lambda, unsigned depth,
+                                                 double s_at_depth);
+
+/// S(r) = c·e^{lambda·r²} with c chosen so S(depth) = s_at_depth (grows
+/// faster than exponential). Requires lambda > 0, s_at_depth >= 1.
+std::vector<double> synthetic_reachability_superexponential(double lambda,
+                                                            unsigned depth,
+                                                            double s_at_depth);
+
+/// Fits ln T(r) against r over the pre-saturation range (T(r) <=
+/// `saturation_fraction` * T(D)) and reports the exponential growth rate λ
+/// and R² — the tool used to classify networks as exponential vs
+/// sub-exponential (Section 4.2).
+struct reachability_growth_fit {
+  double lambda = 0.0;     ///< slope of ln T(r) vs r
+  double r_squared = 0.0;  ///< linearity of ln T(r) (1 = pure exponential)
+  unsigned radii_used = 0;
+};
+
+reachability_growth_fit fit_reachability_growth(const reachability_profile& p,
+                                                double saturation_fraction = 0.9);
+
+}  // namespace mcast

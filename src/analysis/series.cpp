@@ -1,0 +1,80 @@
+#include "analysis/series.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contract.hpp"
+
+namespace mcast {
+
+void xy_series::add(double xv, double yv) {
+  expects(yerr.empty(), "xy_series::add: series already carries error bars");
+  x.push_back(xv);
+  y.push_back(yv);
+}
+
+void xy_series::add(double xv, double yv, double err) {
+  expects(yerr.size() == y.size(),
+          "xy_series::add: mixing points with and without error bars");
+  x.push_back(xv);
+  y.push_back(yv);
+  yerr.push_back(err);
+}
+
+std::vector<std::uint64_t> log_grid_integers(std::uint64_t lo, std::uint64_t hi,
+                                             std::size_t points) {
+  expects(lo >= 1 && lo <= hi, "log_grid_integers: need 1 <= lo <= hi");
+  expects(points >= 1, "log_grid_integers: need at least one point");
+  std::vector<std::uint64_t> out;
+  if (points == 1 || lo == hi) {
+    out.push_back(lo);
+    if (lo != hi) out.push_back(hi);
+    return out;
+  }
+  const double llo = std::log(static_cast<double>(lo));
+  const double lhi = std::log(static_cast<double>(hi));
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(points - 1);
+    const double v = std::exp(llo + t * (lhi - llo));
+    out.push_back(static_cast<std::uint64_t>(std::llround(v)));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  out.front() = lo;
+  out.back() = hi;
+  return out;
+}
+
+std::vector<double> log_grid(double lo, double hi, std::size_t points) {
+  expects(lo > 0.0 && lo <= hi, "log_grid: need 0 < lo <= hi");
+  expects(points >= 1, "log_grid: need at least one point");
+  std::vector<double> out;
+  if (points == 1 || lo == hi) {
+    out.push_back(lo);
+    return out;
+  }
+  const double llo = std::log(lo);
+  const double lhi = std::log(hi);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(points - 1);
+    out.push_back(std::exp(llo + t * (lhi - llo)));
+  }
+  return out;
+}
+
+std::vector<double> linear_grid(double lo, double hi, std::size_t points) {
+  expects(lo <= hi, "linear_grid: need lo <= hi");
+  expects(points >= 1, "linear_grid: need at least one point");
+  std::vector<double> out;
+  if (points == 1 || lo == hi) {
+    out.push_back(lo);
+    return out;
+  }
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(points - 1);
+    out.push_back(lo + t * (hi - lo));
+  }
+  return out;
+}
+
+}  // namespace mcast

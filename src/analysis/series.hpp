@@ -1,0 +1,40 @@
+// x/y series containers and the log-spaced sampling grids every figure in
+// the paper uses on its group-size axis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcast {
+
+/// A named curve: paired x/y values (plus optional per-point error bars).
+struct xy_series {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+  std::vector<double> yerr;  // empty, or same size as y
+
+  /// Appends a point (no error bar).
+  void add(double xv, double yv);
+
+  /// Appends a point with a symmetric error bar.
+  void add(double xv, double yv, double err);
+
+  std::size_t size() const noexcept { return x.size(); }
+};
+
+/// Roughly `points` integers log-spaced over [lo, hi], deduplicated and
+/// sorted (the paper's m-axis: 1, 2, 3, 5, ..., up to network size).
+/// Requires 1 <= lo <= hi.
+std::vector<std::uint64_t> log_grid_integers(std::uint64_t lo, std::uint64_t hi,
+                                             std::size_t points);
+
+/// `points` doubles log-spaced over [lo, hi] inclusive. Requires
+/// 0 < lo <= hi and points >= 1 (points >= 2 when lo < hi).
+std::vector<double> log_grid(double lo, double hi, std::size_t points);
+
+/// `points` doubles linearly spaced over [lo, hi] inclusive.
+std::vector<double> linear_grid(double lo, double hi, std::size_t points);
+
+}  // namespace mcast

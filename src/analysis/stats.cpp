@@ -1,0 +1,63 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcast {
+
+void running_stats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double running_stats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double running_stats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double running_stats::stderr_mean() const noexcept {
+  return n_ < 2 ? 0.0 : stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+void running_stats::merge(const running_stats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(n_ + other.n_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / total;
+  mean_ += delta * static_cast<double>(other.n_) / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double mean_of(const std::vector<double>& xs) {
+  running_stats s;
+  for (double x : xs) s.add(x);
+  return s.mean();
+}
+
+double variance_of(const std::vector<double>& xs) {
+  running_stats s;
+  for (double x : xs) s.add(x);
+  return s.variance();
+}
+
+double confidence_halfwidth95(const running_stats& s) {
+  return 1.96 * s.stderr_mean();
+}
+
+}  // namespace mcast

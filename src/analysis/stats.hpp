@@ -1,0 +1,58 @@
+// Small statistics toolkit for Monte-Carlo aggregation.
+//
+// Welford-style running accumulation (numerically stable), summary
+// extraction and a two-sided normal confidence half-width. Every figure in
+// the reproduction averages N_rcvr x N_source samples with these.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mcast {
+
+/// Single-pass mean/variance accumulator (Welford).
+class running_stats {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  /// Number of observations so far.
+  std::size_t count() const noexcept { return n_; }
+
+  /// Sample mean; 0 when empty.
+  double mean() const noexcept { return mean_; }
+
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double variance() const noexcept;
+
+  /// Sample standard deviation.
+  double stddev() const noexcept;
+
+  /// Standard error of the mean; 0 with fewer than two observations.
+  double stderr_mean() const noexcept;
+
+  /// Smallest / largest observation; 0 when empty.
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  /// Merges another accumulator (parallel reduction).
+  void merge(const running_stats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of a sample; 0 when empty.
+double mean_of(const std::vector<double>& xs);
+
+/// Unbiased sample variance; 0 with fewer than two values.
+double variance_of(const std::vector<double>& xs);
+
+/// ~95% confidence half-width for the mean (1.96 * stderr).
+double confidence_halfwidth95(const running_stats& s);
+
+}  // namespace mcast

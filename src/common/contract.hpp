@@ -1,0 +1,37 @@
+// Lightweight contract checking used across the mcast libraries.
+//
+// Public API boundaries throw std::invalid_argument / std::out_of_range so
+// misuse is diagnosable from tests and bindings; internal invariants use
+// MCAST_ASSERT which compiles to a cheap check that aborts with location
+// info (kept on in release builds — all hot loops are branch-predictable).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace mcast {
+
+/// Throws std::invalid_argument when a caller-supplied precondition fails.
+/// `what` should name the violated requirement, e.g. "k must be >= 2".
+inline void expects(bool condition, const char* what) {
+  if (!condition) throw std::invalid_argument(std::string("mcast: ") + what);
+}
+
+/// Throws std::out_of_range for index-style precondition failures.
+inline void expects_in_range(bool condition, const char* what) {
+  if (!condition) throw std::out_of_range(std::string("mcast: ") + what);
+}
+
+}  // namespace mcast
+
+/// Internal invariant check. Not for validating user input.
+#define MCAST_ASSERT(cond)                                                 \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "mcast internal invariant failed: %s (%s:%d)\n", \
+                   #cond, __FILE__, __LINE__);                             \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)

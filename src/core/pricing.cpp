@@ -1,0 +1,63 @@
+#include "core/pricing.hpp"
+
+#include <cmath>
+
+#include "common/contract.hpp"
+
+namespace mcast {
+
+namespace {
+
+void check_policy(const pricing_policy& p) {
+  expects(p.unit_price_per_link > 0.0,
+          "pricing: unit_price_per_link must be positive");
+  expects(p.mean_unicast_path > 0.0,
+          "pricing: mean_unicast_path must be positive");
+}
+
+}  // namespace
+
+double multicast_price(const pricing_policy& policy, double m) {
+  check_policy(policy);
+  return policy.unit_price_per_link * policy.law.tree_size(m, policy.mean_unicast_path);
+}
+
+double unicast_price(const pricing_policy& policy, double m) {
+  check_policy(policy);
+  expects(m > 0.0, "unicast_price: m must be positive");
+  return policy.unit_price_per_link * policy.mean_unicast_path * m;
+}
+
+double multicast_price_per_receiver(const pricing_policy& policy, double m) {
+  return multicast_price(policy, m) / m;
+}
+
+double multicast_savings_fraction(const pricing_policy& policy, double m) {
+  return 1.0 - multicast_price(policy, m) / unicast_price(policy, m);
+}
+
+double group_size_for_savings(const pricing_policy& policy, double target) {
+  check_policy(policy);
+  expects(target >= 0.0 && target < 1.0,
+          "group_size_for_savings: target must be in [0,1)");
+  const double eps = policy.law.exponent();
+  const double amp = policy.law.amplitude();
+  expects(eps < 1.0, "group_size_for_savings: requires exponent < 1");
+  // savings(m) = 1 - A·m^(ε-1) >= target  <=>  m >= (A/(1-target))^(1/(1-ε)).
+  const double m = std::pow(amp / (1.0 - target), 1.0 / (1.0 - eps));
+  return std::max(1.0, m);
+}
+
+double flat_rate_capacity(const pricing_policy& policy, double flat_price) {
+  check_policy(policy);
+  expects(flat_price > 0.0, "flat_rate_capacity: flat_price must be positive");
+  const double eps = policy.law.exponent();
+  expects(eps > 0.0, "flat_rate_capacity: requires exponent > 0");
+  // unit·ū·A·m^ε = flat  <=>  m = (flat / (unit·ū·A))^(1/ε).
+  const double base = flat_price / (policy.unit_price_per_link *
+                                    policy.mean_unicast_path *
+                                    policy.law.amplitude());
+  return std::pow(base, 1.0 / eps);
+}
+
+}  // namespace mcast

@@ -1,0 +1,50 @@
+// Cost-based multicast pricing — the application Chuang & Sirbu built the
+// scaling law for (their INET '98 paper, reference [3] of the reproduction
+// target), included here so the library covers the law's practical use.
+//
+// If a provider charges unicast flows in proportion to path length ū, the
+// scaling law says a multicast group of size m consumes A·m^ε·ū links, so
+// a cost-based multicast tariff is
+//
+//     price_mcast(m) = unit_price · ū · A · m^ε
+//
+// versus m separate unicast streams at unit_price · ū · m. The interesting
+// operating points — per-receiver price, savings, and the group size at
+// which multicast beats a flat-rate alternative — fall out of the law.
+#pragma once
+
+#include "core/scaling_law.hpp"
+
+namespace mcast {
+
+struct pricing_policy {
+  double unit_price_per_link = 1.0;  ///< tariff per link-hop, > 0
+  double mean_unicast_path = 10.0;   ///< the network's ū, > 0
+  scaling_law law{};                 ///< fitted (A, ε)
+};
+
+/// Cost-based price for a multicast group of m receivers. Requires m > 0.
+double multicast_price(const pricing_policy& policy, double m);
+
+/// Price of serving the same m receivers with independent unicast streams.
+double unicast_price(const pricing_policy& policy, double m);
+
+/// Per-receiver multicast price — decreasing in m under ε < 1, the
+/// economies-of-scale argument for multicast tariffs.
+double multicast_price_per_receiver(const pricing_policy& policy, double m);
+
+/// Fraction of the unicast bill a multicast group saves: 1 - m^(ε-1)·A.
+double multicast_savings_fraction(const pricing_policy& policy, double m);
+
+/// Smallest group size whose multicast savings fraction reaches `target`
+/// (closed form from the law; requires ε < 1 and 0 <= target < 1).
+/// Groups below the returned size are cheaper to serve by unicast when the
+/// law's amplitude exceeds 1 — the tariff-design question from Chuang-Sirbu.
+double group_size_for_savings(const pricing_policy& policy, double target);
+
+/// Largest group size a flat-rate plan `flat_price` still covers, i.e. the
+/// m at which the cost-based multicast price crosses the flat price
+/// (closed form; requires ε > 0 and flat_price > 0).
+double flat_rate_capacity(const pricing_policy& policy, double flat_price);
+
+}  // namespace mcast

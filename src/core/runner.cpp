@@ -1,0 +1,174 @@
+#include "core/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "analysis/series.hpp"
+#include "analysis/stats.hpp"
+#include "common/contract.hpp"
+#include "graph/components.hpp"
+#include "multicast/delivery_tree.hpp"
+#include "multicast/receivers.hpp"
+#include "multicast/spt.hpp"
+#include "multicast/unicast.hpp"
+#include "sim/rng.hpp"
+
+namespace mcast {
+
+namespace {
+
+enum class receiver_model { distinct, with_replacement };
+
+// Accumulators for one group size.
+struct cell_stats {
+  running_stats ratio;
+  running_stats tree;
+  running_stats unicast;
+  running_stats distinct;
+
+  void merge(const cell_stats& other) {
+    ratio.merge(other.ratio);
+    tree.merge(other.tree);
+    unicast.merge(other.unicast);
+    distinct.merge(other.distinct);
+  }
+};
+
+// Derives the independent RNG stream of source-task `s`. Pure function of
+// (seed, s, salt) so the result is identical for any thread schedule.
+rng task_stream(std::uint64_t seed, std::size_t s, std::uint64_t salt) {
+  std::uint64_t state = seed ^ salt ^ (0x9e3779b97f4a7c15ULL * (s + 1));
+  return rng(splitmix64(state));
+}
+
+// The work of one source: draw the source, build its SPT, run all
+// (group size x receiver set) samples into `out` (size = group count).
+void run_one_source(const graph& g, const std::vector<std::uint64_t>& group_sizes,
+                    const monte_carlo_params& params, receiver_model model,
+                    std::size_t s, std::vector<cell_stats>& out) {
+  rng gen = task_stream(params.seed, s, /*salt=*/0);
+  const node_id source = static_cast<node_id>(gen.below(g.node_count()));
+  rng parent_gen = task_stream(params.seed, s, /*salt=*/0x7469656272656b00ULL);
+  const source_tree spt =
+      params.randomize_spt_parents
+          ? source_tree(g, bfs_from_random_parents(g, source,
+                                                   [&parent_gen](std::uint32_t k) {
+                                                     return parent_gen.below(k);
+                                                   }))
+          : source_tree(g, source);
+  const std::vector<node_id> universe = all_sites_except(g, source);
+  delivery_tree_builder builder(spt);
+
+  for (std::size_t gi = 0; gi < group_sizes.size(); ++gi) {
+    const std::uint64_t size = group_sizes[gi];
+    for (std::size_t rep = 0; rep < params.receiver_sets; ++rep) {
+      const std::vector<node_id> receivers =
+          model == receiver_model::distinct
+              ? sample_distinct(universe, size, gen)
+              : sample_with_replacement(universe, size, gen);
+      builder.reset();
+      std::uint64_t path_total = 0;
+      for (node_id v : receivers) {
+        builder.add_receiver(v);
+        path_total += spt.distance(v);
+      }
+      const double links = static_cast<double>(builder.link_count());
+      const double ubar = static_cast<double>(path_total) /
+                          static_cast<double>(receivers.size());
+      out[gi].tree.add(links);
+      out[gi].unicast.add(ubar);
+      out[gi].distinct.add(static_cast<double>(builder.distinct_receiver_count()));
+      // ū is never 0: receivers exclude the source, so every path >= 1.
+      out[gi].ratio.add(links / ubar);
+    }
+  }
+}
+
+std::vector<scaling_point> measure(const graph& g,
+                                   const std::vector<std::uint64_t>& group_sizes,
+                                   const monte_carlo_params& params,
+                                   receiver_model model) {
+  expects(g.node_count() >= 2, "measure: graph needs at least two nodes");
+  expects(params.sources >= 1 && params.receiver_sets >= 1,
+          "measure: sources and receiver_sets must be >= 1");
+  expects(is_connected(g), "measure: graph must be connected");
+  const std::uint64_t sites = g.node_count() - 1;  // all nodes except source
+  for (std::uint64_t m : group_sizes) {
+    expects(m >= 1, "measure: group sizes must be >= 1");
+    if (model == receiver_model::distinct) {
+      expects(m <= sites, "measure: m exceeds candidate receiver count");
+    }
+  }
+
+  const std::size_t threads = std::min<std::size_t>(
+      params.sources,
+      params.threads == 0
+          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+          : params.threads);
+
+  // Every source task writes its own accumulator block; blocks are merged
+  // in source order afterwards, so the result is independent of both the
+  // thread count and the scheduling.
+  std::vector<std::vector<cell_stats>> per_source(
+      params.sources, std::vector<cell_stats>(group_sizes.size()));
+
+  if (threads <= 1) {
+    for (std::size_t s = 0; s < params.sources; ++s) {
+      run_one_source(g, group_sizes, params, model, s, per_source[s]);
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      for (std::size_t s = next.fetch_add(1); s < params.sources;
+           s = next.fetch_add(1)) {
+        run_one_source(g, group_sizes, params, model, s, per_source[s]);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  std::vector<cell_stats> total(group_sizes.size());
+  for (std::size_t s = 0; s < params.sources; ++s) {
+    for (std::size_t gi = 0; gi < group_sizes.size(); ++gi) {
+      total[gi].merge(per_source[s][gi]);
+    }
+  }
+
+  std::vector<scaling_point> out(group_sizes.size());
+  for (std::size_t gi = 0; gi < group_sizes.size(); ++gi) {
+    out[gi].group_size = group_sizes[gi];
+    out[gi].tree_links_mean = total[gi].tree.mean();
+    out[gi].tree_links_stderr = total[gi].tree.stderr_mean();
+    out[gi].unicast_mean = total[gi].unicast.mean();
+    out[gi].ratio_mean = total[gi].ratio.mean();
+    out[gi].ratio_stderr = total[gi].ratio.stderr_mean();
+    out[gi].distinct_mean = total[gi].distinct.mean();
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<scaling_point> measure_distinct_receivers(
+    const graph& g, const std::vector<std::uint64_t>& group_sizes,
+    const monte_carlo_params& params) {
+  return measure(g, group_sizes, params, receiver_model::distinct);
+}
+
+std::vector<scaling_point> measure_with_replacement(
+    const graph& g, const std::vector<std::uint64_t>& group_sizes,
+    const monte_carlo_params& params) {
+  return measure(g, group_sizes, params, receiver_model::with_replacement);
+}
+
+std::vector<std::uint64_t> default_group_grid(std::uint64_t sites,
+                                              std::size_t points) {
+  expects(sites >= 1, "default_group_grid: need at least one site");
+  return log_grid_integers(1, sites, points);
+}
+
+}  // namespace mcast

@@ -1,0 +1,57 @@
+#include "core/scaling_law.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/contract.hpp"
+
+namespace mcast {
+
+scaling_law::scaling_law(double amplitude, double exponent)
+    : amplitude_(amplitude), exponent_(exponent) {
+  expects(amplitude > 0.0, "scaling_law: amplitude must be positive");
+}
+
+scaling_law scaling_law::fit_to(const std::vector<scaling_point>& measurement,
+                                double m_lo, double m_hi) {
+  std::vector<double> xs, ys;
+  for (const scaling_point& p : measurement) {
+    const double m = static_cast<double>(p.group_size);
+    if (m >= m_lo && m <= m_hi && p.ratio_mean > 0.0) {
+      xs.push_back(m);
+      ys.push_back(p.ratio_mean);
+    }
+  }
+  expects(xs.size() >= 2, "scaling_law::fit_to: fewer than two usable rows");
+  const power_law_fit f = fit_power_law(xs, ys);
+  scaling_law law(f.amplitude, f.exponent);
+  law.r_squared_ = f.r_squared;
+  return law;
+}
+
+double scaling_law::normalized_tree_size(double m) const {
+  expects(m > 0.0, "scaling_law::normalized_tree_size: m must be positive");
+  return amplitude_ * std::pow(m, exponent_);
+}
+
+double scaling_law::tree_size(double m, double ubar) const {
+  expects(ubar > 0.0, "scaling_law::tree_size: ubar must be positive");
+  return normalized_tree_size(m) * ubar;
+}
+
+double scaling_law::efficiency(double m) const {
+  return normalized_tree_size(m) / m;
+}
+
+double scaling_law::multicast_advantage(double m) const {
+  return m / normalized_tree_size(m);
+}
+
+std::string scaling_law::describe() const {
+  std::ostringstream os;
+  os << "L(m)/u ~= " << amplitude_ << " * m^" << exponent_
+     << " (R^2=" << r_squared_ << ")";
+  return os.str();
+}
+
+}  // namespace mcast

@@ -1,0 +1,61 @@
+// The Chuang-Sirbu scaling law as a first-class object.
+//
+// Chuang & Sirbu's empirical law says the normalized multicast tree size
+// follows L(m)/ū ≈ A·m^ε with ε ≈ 0.8 across a wide range of topologies.
+// `scaling_law` packages a fitted (A, ε) pair with the quantities people
+// actually use it for — predicted tree size, multicast-vs-unicast savings,
+// and the paper's headline comparison against the
+// linear-with-log-correction form L̂(n) ≈ n(c − ln(n/M)/ln k).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/fit.hpp"
+#include "core/runner.hpp"
+
+namespace mcast {
+
+class scaling_law {
+ public:
+  /// The canonical Chuang-Sirbu law: amplitude 1, exponent 0.8.
+  scaling_law() = default;
+
+  /// A law with explicit parameters. Requires amplitude > 0.
+  scaling_law(double amplitude, double exponent);
+
+  /// Fits A·m^ε to a measurement (ratio_mean against group_size), using
+  /// only rows with group_size in [m_lo, m_hi]. Requires >= 2 usable rows.
+  static scaling_law fit_to(const std::vector<scaling_point>& measurement,
+                            double m_lo = 1.0, double m_hi = 1e18);
+
+  double amplitude() const noexcept { return amplitude_; }
+  double exponent() const noexcept { return exponent_; }
+  double r_squared() const noexcept { return r_squared_; }
+
+  /// Predicted normalized tree size L(m)/ū. Requires m > 0.
+  double normalized_tree_size(double m) const;
+
+  /// Predicted absolute tree size given the network's average unicast path
+  /// length ū. Requires m > 0, ubar > 0.
+  double tree_size(double m, double ubar) const;
+
+  /// Multicast efficiency δ(m) = L(m)/(m·ū): link cost per receiver
+  /// relative to a dedicated unicast stream (1 = no savings, -> 0 = large
+  /// savings). Requires m > 0.
+  double efficiency(double m) const;
+
+  /// Bandwidth savings factor: unicast total links / multicast links
+  /// = m·ū/L(m). Requires m > 0.
+  double multicast_advantage(double m) const;
+
+  /// Human-readable "L(m)/ū ≈ A·m^ε (R²=..)" summary.
+  std::string describe() const;
+
+ private:
+  double amplitude_ = 1.0;
+  double exponent_ = 0.8;
+  double r_squared_ = 1.0;
+};
+
+}  // namespace mcast

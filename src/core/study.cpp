@@ -1,0 +1,48 @@
+#include "core/study.hpp"
+
+#include <algorithm>
+
+#include "common/contract.hpp"
+#include "graph/components.hpp"
+
+namespace mcast {
+
+double study_result::mean_exponent() const {
+  if (networks.empty()) return 0.0;
+  double total = 0.0;
+  for (const network_result& n : networks) total += n.law.exponent();
+  return total / static_cast<double>(networks.size());
+}
+
+study_result run_scaling_study(const std::vector<network_entry>& suite,
+                               const study_config& config) {
+  expects(config.grid_points >= 2, "run_scaling_study: need >= 2 grid points");
+  study_result result;
+  for (const network_entry& entry : suite) {
+    graph g = entry.build(config.topology_seed);
+    if (!is_connected(g)) {
+      // Generators aim for connectivity, but a user-supplied entry may not;
+      // measure on the giant component, as the paper's cleaning step would.
+      g = largest_component(g);
+    }
+    const std::uint64_t sites = g.node_count() - 1;
+    const std::vector<std::uint64_t> grid =
+        default_group_grid(sites, config.grid_points);
+
+    network_result nr;
+    nr.name = entry.name;
+    nr.nodes = g.node_count();
+    nr.links = g.edge_count();
+    nr.measurement = measure_distinct_receivers(g, grid, config.monte_carlo);
+
+    const double lo = std::max(config.fit_lo_min,
+                               config.fit_lo_fraction * static_cast<double>(sites));
+    const double hi =
+        std::max(lo + 1.0, config.fit_hi_fraction * static_cast<double>(sites));
+    nr.law = scaling_law::fit_to(nr.measurement, lo, hi);
+    result.networks.push_back(std::move(nr));
+  }
+  return result;
+}
+
+}  // namespace mcast

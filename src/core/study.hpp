@@ -1,0 +1,49 @@
+// High-level scaling study: run the Section 2 experiment across a suite of
+// topologies and collect measurement + fitted law per network. This is the
+// one-call entry point the quickstart example and the Fig 1 benches use.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "core/scaling_law.hpp"
+#include "topo/catalog.hpp"
+
+namespace mcast {
+
+struct study_config {
+  monte_carlo_params monte_carlo{};
+  std::size_t grid_points = 24;   ///< group sizes per network (log-spaced)
+  std::uint64_t topology_seed = 7;///< seed fed to the topology generators
+  /// Power-law fit window as fractions of the site count: the paper fits
+  /// the intermediate regime away from m=1 noise and saturation.
+  double fit_lo_fraction = 2e-3;
+  double fit_hi_fraction = 0.5;
+  /// At least this m at the low end of the window regardless of fraction.
+  double fit_lo_min = 2.0;
+};
+
+struct network_result {
+  std::string name;
+  std::uint64_t nodes = 0;
+  std::uint64_t links = 0;
+  std::vector<scaling_point> measurement;
+  scaling_law law;  ///< fitted to `measurement` inside the window
+};
+
+struct study_result {
+  std::vector<network_result> networks;
+
+  /// Mean fitted exponent across networks (the "how universal is 0.8"
+  /// number the paper's Figure 1 conveys).
+  double mean_exponent() const;
+};
+
+/// Runs the full measurement + fit over `suite`. Topologies are built with
+/// config.topology_seed; measurement noise with config.monte_carlo.seed.
+study_result run_scaling_study(const std::vector<network_entry>& suite,
+                               const study_config& config);
+
+}  // namespace mcast

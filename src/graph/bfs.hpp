@@ -1,0 +1,78 @@
+// Breadth-first search: hop-count shortest paths and shortest-path trees.
+//
+// The paper's multicast model is source-specific shortest-path routing
+// (Section 1, footnote 1): packets to each receiver follow a shortest path
+// from the source, and the delivery tree is the union of those paths. BFS
+// from the source yields both the distance field (unicast path lengths) and
+// one canonical shortest-path tree via parent pointers.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mcast {
+
+/// Hop distance type; `unreachable` marks nodes in other components.
+using hop_count = std::uint32_t;
+inline constexpr hop_count unreachable = std::numeric_limits<hop_count>::max();
+
+/// Result of a single-source BFS.
+struct bfs_tree {
+  node_id source = invalid_node;
+  /// dist[v] = hops from source to v, or `unreachable`.
+  std::vector<hop_count> dist;
+  /// parent[v] = predecessor of v on one shortest path (lowest-id neighbor
+  /// rule, making the tree deterministic); parent[source] = invalid_node,
+  /// parent[v] = invalid_node for unreachable v.
+  std::vector<node_id> parent;
+
+  /// Maximum finite distance (graph eccentricity of the source).
+  hop_count eccentricity() const;
+
+  /// Number of nodes with finite distance (including the source).
+  std::size_t reached_count() const;
+};
+
+/// Runs BFS from `source`. Throws std::out_of_range on a bad source id.
+bfs_tree bfs_from(const graph& g, node_id source);
+
+/// Distances only (skips parent bookkeeping; same semantics as bfs_from).
+std::vector<hop_count> bfs_distances(const graph& g, node_id source);
+
+/// Randomized-parent BFS: among the equal-distance predecessors of each
+/// node, one is chosen uniformly using the caller-supplied stream of random
+/// numbers. Used by the SPT tie-breaking ablation (DESIGN.md §6.1).
+/// `pick(k)` must return a value in [0, k).
+template <typename pick_fn>
+bfs_tree bfs_from_random_parents(const graph& g, node_id source, pick_fn&& pick);
+
+// --- implementation of the template ---
+
+template <typename pick_fn>
+bfs_tree bfs_from_random_parents(const graph& g, node_id source, pick_fn&& pick) {
+  bfs_tree t = bfs_from(g, source);  // validates + gives distances
+  // Re-draw each parent uniformly among eligible predecessors.
+  for (node_id v = 0; v < g.node_count(); ++v) {
+    if (v == source || t.dist[v] == unreachable) continue;
+    std::uint32_t eligible = 0;
+    for (node_id w : g.neighbors(v)) {
+      if (t.dist[w] + 1 == t.dist[v]) ++eligible;
+    }
+    std::uint32_t chosen = static_cast<std::uint32_t>(pick(eligible));
+    for (node_id w : g.neighbors(v)) {
+      if (t.dist[w] + 1 == t.dist[v]) {
+        if (chosen == 0) {
+          t.parent[v] = w;
+          break;
+        }
+        --chosen;
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace mcast

@@ -1,0 +1,60 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+
+#include "common/contract.hpp"
+
+namespace mcast {
+
+void graph_builder::add_edge(node_id a, node_id b) {
+  expects_in_range(a < nodes_ && b < nodes_,
+                   "graph_builder::add_edge: endpoint out of range");
+  raw_.push_back({a, b});
+}
+
+bool graph_builder::has_edge_slow(node_id a, node_id b) const {
+  for (const edge& e : raw_) {
+    if ((e.a == a && e.b == b) || (e.a == b && e.b == a)) return true;
+  }
+  return false;
+}
+
+graph graph_builder::build() const {
+  // Normalize to (min,max), drop self-loops, sort, unique.
+  std::vector<edge> norm;
+  norm.reserve(raw_.size());
+  for (const edge& e : raw_) {
+    if (e.a == e.b) continue;
+    norm.push_back({std::min(e.a, e.b), std::max(e.a, e.b)});
+  }
+  std::sort(norm.begin(), norm.end(), [](const edge& x, const edge& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  });
+  norm.erase(std::unique(norm.begin(), norm.end()), norm.end());
+
+  // Degree histogram -> CSR offsets.
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(nodes_) + 1, 0);
+  for (const edge& e : norm) {
+    ++offsets[e.a + 1];
+    ++offsets[e.b + 1];
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<node_id> targets(norm.size() * 2);
+  std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const edge& e : norm) {
+    targets[cursor[e.a]++] = e.b;
+    targets[cursor[e.b]++] = e.a;
+  }
+  // Adjacency lists come out sorted because norm is sorted by (a,b) and
+  // reverse entries are inserted in increasing order of the smaller endpoint;
+  // the latter is not fully sorted, so sort each list explicitly.
+  for (node_id v = 0; v < nodes_; ++v) {
+    std::sort(targets.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+              targets.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
+  }
+
+  return graph(std::move(offsets), std::move(targets), name_);
+}
+
+}  // namespace mcast

@@ -1,0 +1,50 @@
+// Mutable accumulator used to construct immutable graphs.
+//
+// The builder mirrors the topology "cleaning" step from Section 2 of the
+// paper: duplicate edges (common in TIERS output) are merged, self-loops are
+// dropped, and every surviving edge is treated as bi-directional.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mcast {
+
+class graph_builder {
+ public:
+  /// Builder for a graph with `nodes` nodes (ids 0..nodes-1).
+  explicit graph_builder(node_id nodes) : nodes_(nodes) {}
+
+  /// Number of nodes the final graph will have.
+  node_id node_count() const noexcept { return nodes_; }
+
+  /// Records the undirected edge {a,b}. Self-loops and duplicates are
+  /// accepted here and removed at build() time. Throws std::out_of_range
+  /// when an endpoint is not a valid node id.
+  void add_edge(node_id a, node_id b);
+
+  /// Number of edges recorded so far (before dedup).
+  std::size_t raw_edge_count() const noexcept { return raw_.size(); }
+
+  /// True when {a,b} has been recorded already (linear scan — intended for
+  /// generators that need occasional membership checks on small graphs;
+  /// large generators should track membership themselves).
+  bool has_edge_slow(node_id a, node_id b) const;
+
+  /// Sets the name carried over to the built graph.
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  /// Finalizes into an immutable CSR graph: drops self-loops, merges
+  /// duplicates, sorts adjacency lists. The builder may be reused afterwards
+  /// (its recorded edges are untouched).
+  graph build() const;
+
+ private:
+  node_id nodes_;
+  std::vector<edge> raw_;
+  std::string name_;
+};
+
+}  // namespace mcast

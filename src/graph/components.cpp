@@ -1,0 +1,79 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+
+namespace mcast {
+
+component_map connected_components(const graph& g) {
+  component_map cm;
+  cm.label.assign(g.node_count(), invalid_node);
+  std::vector<node_id> stack;
+  for (node_id s = 0; s < g.node_count(); ++s) {
+    if (cm.label[s] != invalid_node) continue;
+    const node_id c = static_cast<node_id>(cm.count++);
+    cm.size.push_back(0);
+    stack.push_back(s);
+    cm.label[s] = c;
+    while (!stack.empty()) {
+      const node_id v = stack.back();
+      stack.pop_back();
+      ++cm.size[c];
+      for (node_id w : g.neighbors(v)) {
+        if (cm.label[w] == invalid_node) {
+          cm.label[w] = c;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return cm;
+}
+
+bool is_connected(const graph& g) {
+  if (g.empty()) return true;
+  return connected_components(g).count == 1;
+}
+
+graph largest_component(const graph& g) {
+  if (g.empty()) return graph{};
+  const component_map cm = connected_components(g);
+  const node_id best = static_cast<node_id>(std::distance(
+      cm.size.begin(), std::max_element(cm.size.begin(), cm.size.end())));
+
+  std::vector<node_id> remap(g.node_count(), invalid_node);
+  node_id next = 0;
+  for (node_id v = 0; v < g.node_count(); ++v) {
+    if (cm.label[v] == best) remap[v] = next++;
+  }
+  graph_builder b(next);
+  b.set_name(g.name());
+  for (node_id v = 0; v < g.node_count(); ++v) {
+    if (remap[v] == invalid_node) continue;
+    for (node_id w : g.neighbors(v)) {
+      if (v < w && remap[w] != invalid_node) b.add_edge(remap[v], remap[w]);
+    }
+  }
+  return b.build();
+}
+
+graph connect_components(const graph& g) {
+  if (g.empty()) return g;
+  const component_map cm = connected_components(g);
+  if (cm.count <= 1) return g;
+
+  std::vector<node_id> representative(cm.count, invalid_node);
+  for (node_id v = 0; v < g.node_count(); ++v) {
+    if (representative[cm.label[v]] == invalid_node) representative[cm.label[v]] = v;
+  }
+  graph_builder b(g.node_count());
+  b.set_name(g.name());
+  for (const edge& e : g.edges()) b.add_edge(e.a, e.b);
+  for (std::size_t c = 1; c < cm.count; ++c) {
+    b.add_edge(representative[0], representative[c]);
+  }
+  return b.build();
+}
+
+}  // namespace mcast

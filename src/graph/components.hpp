@@ -1,0 +1,38 @@
+// Connected-component analysis.
+//
+// Topology generators must hand the experiment pipeline a connected graph
+// (a multicast tree to an unreachable receiver is undefined), so every
+// generator either guarantees connectivity by construction or extracts /
+// repairs the largest component using these utilities.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mcast {
+
+/// Per-node component labels, 0-based, assigned in discovery order.
+struct component_map {
+  std::vector<node_id> label;     // label[v] in [0, count)
+  std::vector<std::size_t> size;  // size[c] = nodes in component c
+  std::size_t count = 0;
+};
+
+/// Labels the connected components of `g`.
+component_map connected_components(const graph& g);
+
+/// True when `g` is connected (the empty graph counts as connected).
+bool is_connected(const graph& g);
+
+/// Returns the subgraph induced by the largest connected component, with
+/// nodes renumbered to 0..n'-1 (ties broken toward the lowest label).
+/// The name is preserved. Returns an empty graph for an empty input.
+graph largest_component(const graph& g);
+
+/// Returns `g` with the minimum number of extra edges added to make it
+/// connected: each component (beyond the first) gains one edge linking its
+/// lowest-id node to the lowest-id node of the first component.
+graph connect_components(const graph& g);
+
+}  // namespace mcast

@@ -1,0 +1,34 @@
+// Dijkstra shortest paths over weighted links (extension; the paper itself
+// uses hop counts only — see graph/weights.hpp for why this exists).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/weights.hpp"
+
+namespace mcast {
+
+/// Result of a single-source Dijkstra run.
+struct weighted_tree {
+  node_id source = invalid_node;
+  /// dist[v] = weighted distance from the source; +infinity if unreachable.
+  std::vector<double> dist;
+  /// parent[v] on one least-weight path; invalid_node for source and
+  /// unreachable nodes. Ties broken toward the first-settled predecessor.
+  std::vector<node_id> parent;
+
+  /// True when v has a finite distance.
+  bool reached(node_id v) const {
+    return dist[v] != std::numeric_limits<double>::infinity();
+  }
+};
+
+/// Runs Dijkstra from `source` using `weights` (must belong to `g`).
+/// Throws std::out_of_range on a bad source, std::invalid_argument when
+/// the weight table was built for a different graph.
+weighted_tree dijkstra_from(const graph& g, const edge_weights& weights,
+                            node_id source);
+
+}  // namespace mcast

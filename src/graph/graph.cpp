@@ -1,0 +1,42 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "common/contract.hpp"
+
+namespace mcast {
+
+std::span<const node_id> graph::neighbors(node_id v) const {
+  expects_in_range(v < node_count(), "graph::neighbors: node id out of range");
+  return {targets_.data() + offsets_[v], targets_.data() + offsets_[v + 1]};
+}
+
+std::size_t graph::adjacency_base(node_id v) const {
+  expects_in_range(v < node_count(), "graph::adjacency_base: node id out of range");
+  return offsets_[v];
+}
+
+std::size_t graph::degree(node_id v) const {
+  expects_in_range(v < node_count(), "graph::degree: node id out of range");
+  return offsets_[v + 1] - offsets_[v];
+}
+
+bool graph::has_edge(node_id a, node_id b) const {
+  expects_in_range(a < node_count() && b < node_count(),
+                   "graph::has_edge: node id out of range");
+  const auto adj = neighbors(a);
+  return std::binary_search(adj.begin(), adj.end(), b);
+}
+
+std::vector<edge> graph::edges() const {
+  std::vector<edge> out;
+  out.reserve(edge_count());
+  for (node_id v = 0; v < node_count(); ++v) {
+    for (node_id w : neighbors(v)) {
+      if (v < w) out.push_back({v, w});
+    }
+  }
+  return out;
+}
+
+}  // namespace mcast

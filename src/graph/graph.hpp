@@ -1,0 +1,92 @@
+// Immutable undirected graph in compressed-sparse-row (CSR) form.
+//
+// This is the substrate every other mcast library builds on: topologies are
+// produced by the generators in topo/, then traversed by BFS to compute
+// shortest-path (delivery) trees, unicast path lengths and reachability
+// functions. The representation is deliberately minimal — the paper counts
+// links without weighting them by length or bandwidth (footnote 3), so edges
+// carry no attributes.
+//
+// Construction goes through graph_builder (builder.hpp), which de-duplicates
+// parallel edges and drops self-loops, mirroring the paper's "cleaning" of
+// the TIERS topologies (Section 2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mcast {
+
+/// Node identifier; nodes of a graph with n nodes are 0..n-1.
+using node_id = std::uint32_t;
+
+/// Sentinel for "no node" (e.g. the BFS parent of the root).
+inline constexpr node_id invalid_node = static_cast<node_id>(-1);
+
+/// An undirected edge as an unordered pair of endpoints.
+struct edge {
+  node_id a = invalid_node;
+  node_id b = invalid_node;
+
+  friend bool operator==(const edge&, const edge&) = default;
+};
+
+class graph_builder;
+
+/// Immutable undirected graph (CSR adjacency).
+///
+/// Invariants: adjacency lists are sorted, contain no self-loops and no
+/// duplicate entries; every edge {a,b} appears both in adjacency(a) and
+/// adjacency(b).
+class graph {
+ public:
+  /// An empty graph (0 nodes, 0 edges).
+  graph() = default;
+
+  /// Number of nodes.
+  node_id node_count() const noexcept { return static_cast<node_id>(offsets_.empty() ? 0 : offsets_.size() - 1); }
+
+  /// Number of undirected edges (each {a,b} counted once).
+  std::size_t edge_count() const noexcept { return targets_.size() / 2; }
+
+  /// True when node_count() == 0.
+  bool empty() const noexcept { return node_count() == 0; }
+
+  /// Neighbors of `v`, sorted ascending. Throws std::out_of_range on bad id.
+  std::span<const node_id> neighbors(node_id v) const;
+
+  /// Index of `v`'s first adjacency slot in the graph's directed-edge
+  /// numbering (0..2*edge_count()). Slot `adjacency_base(v) + i` refers to
+  /// the half-edge v -> neighbors(v)[i]; parallel per-half-edge attribute
+  /// arrays (graph/weights.hpp) are keyed by these indices.
+  std::size_t adjacency_base(node_id v) const;
+
+  /// Degree of `v`. Throws std::out_of_range on bad id.
+  std::size_t degree(node_id v) const;
+
+  /// True when the undirected edge {a,b} exists (binary search, O(log d)).
+  bool has_edge(node_id a, node_id b) const;
+
+  /// All edges, each once, with a < b, in lexicographic order.
+  std::vector<edge> edges() const;
+
+  /// Optional human-readable name (topology generators set this).
+  const std::string& name() const noexcept { return name_; }
+
+  /// Sets the display name; returns *this for chaining.
+  graph& set_name(std::string n) { name_ = std::move(n); return *this; }
+
+  friend class graph_builder;
+
+ private:
+  graph(std::vector<std::size_t> offsets, std::vector<node_id> targets, std::string name)
+      : offsets_(std::move(offsets)), targets_(std::move(targets)), name_(std::move(name)) {}
+
+  std::vector<std::size_t> offsets_;  // size node_count()+1 (or empty)
+  std::vector<node_id> targets_;      // size 2*edge_count()
+  std::string name_;
+};
+
+}  // namespace mcast

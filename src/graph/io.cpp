@@ -1,0 +1,78 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "common/contract.hpp"
+#include "graph/builder.hpp"
+
+namespace mcast {
+
+namespace {
+
+// Returns the next non-comment, non-blank line, or nullopt at EOF.
+std::optional<std::string> next_payload_line(std::istream& in) {
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos) continue;
+    if (line[start] == '#') continue;
+    return line.substr(start);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+graph read_edge_list(std::istream& in, std::string name) {
+  const auto header = next_payload_line(in);
+  expects(header.has_value(), "read_edge_list: missing node-count header");
+  std::istringstream hs(*header);
+  long long nodes = -1;
+  hs >> nodes;
+  expects(!hs.fail() && nodes >= 0,
+          "read_edge_list: node-count header must be a non-negative integer");
+
+  graph_builder b(static_cast<node_id>(nodes));
+  b.set_name(std::move(name));
+  while (auto line = next_payload_line(in)) {
+    std::istringstream ls(*line);
+    long long a = -1, bb = -1;
+    ls >> a >> bb;
+    expects(!ls.fail(), "read_edge_list: edge line must contain two integers");
+    expects(a >= 0 && bb >= 0 && a < nodes && bb < nodes,
+            "read_edge_list: edge endpoint out of range");
+    b.add_edge(static_cast<node_id>(a), static_cast<node_id>(bb));
+  }
+  return b.build();
+}
+
+graph read_edge_list_string(const std::string& text, std::string name) {
+  std::istringstream in(text);
+  return read_edge_list(in, std::move(name));
+}
+
+graph load_edge_list(const std::string& path, std::string name) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("mcast: cannot open edge list: " + path);
+  return read_edge_list(in, name.empty() ? path : std::move(name));
+}
+
+void write_edge_list(std::ostream& out, const graph& g) {
+  if (!g.name().empty()) out << "# " << g.name() << "\n";
+  out << g.node_count() << "\n";
+  for (const edge& e : g.edges()) out << e.a << " " << e.b << "\n";
+}
+
+void write_dot(std::ostream& out, const graph& g) {
+  out << "graph \"" << (g.name().empty() ? "mcast" : g.name()) << "\" {\n";
+  for (const edge& e : g.edges()) {
+    out << "  " << e.a << " -- " << e.b << ";\n";
+  }
+  out << "}\n";
+}
+
+}  // namespace mcast

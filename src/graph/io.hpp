@@ -1,0 +1,41 @@
+// Edge-list and DOT serialization.
+//
+// The paper's real topologies (ARPA, MBone, Internet, AS) were distributed
+// as edge lists; this module reads/writes the same trivially diffable
+// format so users can drop in their own maps:
+//
+//   # comment
+//   <node-count>
+//   <a> <b>
+//   ...
+//
+// Node ids must be 0-based and < node-count. Duplicate edges and self-loops
+// are tolerated on input (cleaned by graph_builder, per Section 2).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace mcast {
+
+/// Parses the edge-list format from a stream.
+/// Throws std::invalid_argument on malformed input.
+graph read_edge_list(std::istream& in, std::string name = {});
+
+/// Parses the edge-list format from a string (convenience for tests and
+/// embedded topologies).
+graph read_edge_list_string(const std::string& text, std::string name = {});
+
+/// Loads an edge-list file. Throws std::runtime_error when the file cannot
+/// be opened, std::invalid_argument when it is malformed.
+graph load_edge_list(const std::string& path, std::string name = {});
+
+/// Writes `g` in the edge-list format (round-trips with read_edge_list).
+void write_edge_list(std::ostream& out, const graph& g);
+
+/// Writes `g` as an undirected Graphviz DOT graph (debug visualization).
+void write_dot(std::ostream& out, const graph& g);
+
+}  // namespace mcast

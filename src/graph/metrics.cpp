@@ -1,0 +1,94 @@
+#include "graph/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/contract.hpp"
+
+namespace mcast {
+
+degree_stats compute_degree_stats(const graph& g) {
+  degree_stats s;
+  if (g.empty()) return s;
+  s.min = g.degree(0);
+  for (node_id v = 0; v < g.node_count(); ++v) {
+    const std::size_t d = g.degree(v);
+    s.min = std::min(s.min, d);
+    s.max = std::max(s.max, d);
+    if (s.histogram.size() <= d) s.histogram.resize(d + 1, 0);
+    ++s.histogram[d];
+  }
+  s.mean = 2.0 * static_cast<double>(g.edge_count()) /
+           static_cast<double>(g.node_count());
+  return s;
+}
+
+double average_path_length_exact(const graph& g) {
+  if (g.node_count() < 2) return 0.0;
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (node_id s = 0; s < g.node_count(); ++s) {
+    for (hop_count d : bfs_distances(g, s)) {
+      if (d != unreachable && d > 0) {
+        total += d;
+        ++pairs;
+      }
+    }
+  }
+  return pairs == 0 ? 0.0 : total / static_cast<double>(pairs);
+}
+
+std::size_t diameter_exact(const graph& g) {
+  std::size_t best = 0;
+  for (node_id s = 0; s < g.node_count(); ++s) {
+    for (hop_count d : bfs_distances(g, s)) {
+      if (d != unreachable) best = std::max<std::size_t>(best, d);
+    }
+  }
+  return best;
+}
+
+table1_row summarize_network(const graph& g, std::size_t exact_threshold,
+                             std::size_t samples, std::uint64_t seed) {
+  table1_row row;
+  row.name = g.name();
+  row.nodes = g.node_count();
+  row.links = g.edge_count();
+  row.avg_degree = g.empty() ? 0.0
+                             : 2.0 * static_cast<double>(g.edge_count()) /
+                                   static_cast<double>(g.node_count());
+  if (g.node_count() < 2) return row;
+
+  if (g.node_count() <= exact_threshold) {
+    row.avg_path_length = average_path_length_exact(g);
+    row.diameter = diameter_exact(g);
+  } else {
+    // splitmix64 stream keeps this header-light and deterministic.
+    std::uint64_t state = seed;
+    auto pick = [&state](std::size_t n) {
+      state += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = state;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      z ^= z >> 31;
+      return z % n;
+    };
+    double total = 0.0;
+    std::size_t pairs = 0;
+    std::size_t ecc_max = 0;
+    for (std::size_t i = 0; i < samples; ++i) {
+      const node_id s = static_cast<node_id>(pick(g.node_count()));
+      for (hop_count d : bfs_distances(g, s)) {
+        if (d != unreachable && d > 0) {
+          total += d;
+          ++pairs;
+          ecc_max = std::max<std::size_t>(ecc_max, d);
+        }
+      }
+    }
+    row.avg_path_length = pairs ? total / static_cast<double>(pairs) : 0.0;
+    row.diameter = ecc_max;  // lower bound from sampled eccentricities
+  }
+  return row;
+}
+
+}  // namespace mcast

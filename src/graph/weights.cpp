@@ -1,0 +1,44 @@
+#include "graph/weights.hpp"
+
+#include <algorithm>
+
+#include "common/contract.hpp"
+
+namespace mcast {
+
+edge_weights::edge_weights(const graph& g, double default_weight) : g_(&g) {
+  expects(default_weight > 0.0, "edge_weights: default weight must be positive");
+  std::size_t half_edges = 0;
+  if (!g.empty()) {
+    half_edges = g.adjacency_base(g.node_count() - 1) +
+                 g.degree(g.node_count() - 1);
+  }
+  weights_.assign(half_edges, default_weight);
+}
+
+std::size_t edge_weights::slot_of(node_id a, node_id b) const {
+  expects_in_range(a < g_->node_count() && b < g_->node_count(),
+                   "edge_weights: node id out of range");
+  const auto adj = g_->neighbors(a);
+  const auto it = std::lower_bound(adj.begin(), adj.end(), b);
+  expects(it != adj.end() && *it == b, "edge_weights: link does not exist");
+  return g_->adjacency_base(a) + static_cast<std::size_t>(it - adj.begin());
+}
+
+void edge_weights::set(node_id a, node_id b, double w) {
+  expects(w > 0.0, "edge_weights::set: weight must be positive");
+  weights_[slot_of(a, b)] = w;
+  weights_[slot_of(b, a)] = w;
+}
+
+double edge_weights::get(node_id a, node_id b) const {
+  return weights_[slot_of(a, b)];
+}
+
+double edge_weights::total() const {
+  double sum = 0.0;
+  for (double w : weights_) sum += w;
+  return sum / 2.0;  // each undirected link has two half-edge slots
+}
+
+}  // namespace mcast

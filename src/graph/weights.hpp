@@ -1,0 +1,62 @@
+// Per-link weights — an extension beyond the paper.
+//
+// The paper counts links without weighting them (footnote 3). Real tariffs
+// and real trees care about link length/cost, so the library also supports
+// weighted shortest-path trees: `edge_weights` attaches a symmetric weight
+// to every link of an immutable graph, keyed by the graph's half-edge
+// numbering (graph::adjacency_base) so Dijkstra's inner loop is one array
+// read. See graph/dijkstra.hpp and multicast/weighted.hpp for the users.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mcast {
+
+class edge_weights {
+ public:
+  /// Weights for every link of `g`, initialized to `default_weight`
+  /// (> 0). The graph must outlive this object.
+  explicit edge_weights(const graph& g, double default_weight = 1.0);
+
+  /// Sets the weight of the undirected link {a,b} (both directions).
+  /// Requires the link to exist and w > 0.
+  void set(node_id a, node_id b, double w);
+
+  /// Weight of link {a,b}. Requires the link to exist.
+  double get(node_id a, node_id b) const;
+
+  /// Weight at a half-edge slot (graph::adjacency_base(v) + i for the i-th
+  /// neighbor of v) — the hot-path accessor.
+  double at_slot(std::size_t slot) const { return weights_[slot]; }
+
+  /// Total weight of all links (each counted once).
+  double total() const;
+
+  /// Applies `fn(a, b) -> double` to every undirected link {a<b} to derive
+  /// weights (e.g. Euclidean lengths from coordinates). fn must return > 0.
+  template <typename weight_fn>
+  void assign(weight_fn&& fn);
+
+  const graph& topology() const noexcept { return *g_; }
+
+ private:
+  std::size_t slot_of(node_id a, node_id b) const;
+
+  const graph* g_;
+  std::vector<double> weights_;  // size 2*edge_count(), symmetric
+};
+
+// --- template implementation ---
+
+template <typename weight_fn>
+void edge_weights::assign(weight_fn&& fn) {
+  for (node_id v = 0; v < g_->node_count(); ++v) {
+    for (node_id w : g_->neighbors(v)) {
+      if (v < w) set(v, w, fn(v, w));
+    }
+  }
+}
+
+}  // namespace mcast

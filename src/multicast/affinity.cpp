@@ -1,0 +1,209 @@
+#include "multicast/affinity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contract.hpp"
+
+namespace mcast {
+
+graph_distance_oracle::graph_distance_oracle(const graph& g)
+    : g_(&g), rows_(g.node_count()) {}
+
+unsigned graph_distance_oracle::distance(node_id a, node_id b) const {
+  expects_in_range(a < g_->node_count() && b < g_->node_count(),
+                   "graph_distance_oracle::distance: node out of range");
+  if (!rows_[a]) {
+    rows_[a] = std::make_unique<std::vector<hop_count>>(bfs_distances(*g_, a));
+  }
+  const hop_count d = (*rows_[a])[b];
+  expects(d != unreachable, "graph_distance_oracle: nodes are disconnected");
+  return d;
+}
+
+affinity_estimate sample_affinity_tree_size(const source_tree& tree,
+                                            const std::vector<node_id>& universe,
+                                            std::size_t n,
+                                            const distance_oracle& distances,
+                                            const affinity_chain_params& params,
+                                            rng& gen) {
+  expects(n >= 1, "sample_affinity_tree_size: n must be >= 1");
+  expects(!universe.empty(), "sample_affinity_tree_size: universe is empty");
+  expects(params.measurements >= 1,
+          "sample_affinity_tree_size: need at least one measurement");
+
+  // Initial configuration: uniform with replacement.
+  std::vector<node_id> r(n);
+  for (node_id& site : r) site = universe[gen.below(universe.size())];
+
+  // Sum of pairwise distances, maintained incrementally.
+  const double pairs = static_cast<double>(n) * (static_cast<double>(n) - 1.0) / 2.0;
+  double pair_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      pair_sum += distances.distance(r[i], r[j]);
+    }
+  }
+
+  std::uint64_t proposed = 0;
+  std::uint64_t accepted = 0;
+  auto do_move = [&] {
+    ++proposed;
+    const std::size_t i = gen.below(n);
+    const node_id old_site = r[i];
+    const node_id new_site = universe[gen.below(universe.size())];
+    if (new_site == old_site) {
+      ++accepted;
+      return;
+    }
+    double delta = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      delta += static_cast<double>(distances.distance(new_site, r[j])) -
+               static_cast<double>(distances.distance(old_site, r[j]));
+    }
+    // W ∝ exp(-beta * d̄); Metropolis acceptance on the change in d̄.
+    const double dmean_delta = pairs > 0.0 ? delta / pairs : 0.0;
+    const double log_accept = -params.beta * dmean_delta;
+    if (log_accept >= 0.0 || gen.uniform() < std::exp(log_accept)) {
+      r[i] = new_site;
+      pair_sum += delta;
+      ++accepted;
+    }
+  };
+
+  const std::uint64_t burn_moves =
+      static_cast<std::uint64_t>(params.burn_in_sweeps) * n;
+  for (std::uint64_t t = 0; t < burn_moves; ++t) do_move();
+
+  const std::uint64_t sample_moves =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(params.sample_sweeps) * n);
+  const std::uint64_t stride =
+      std::max<std::uint64_t>(1, sample_moves / params.measurements);
+
+  delivery_tree_builder builder(tree);
+  double tree_size_sum = 0.0;
+  double pair_mean_sum = 0.0;
+  std::size_t measured = 0;
+  for (std::uint64_t t = 0; t < sample_moves; ++t) {
+    do_move();
+    if ((t + 1) % stride == 0) {
+      builder.reset();
+      for (node_id site : r) builder.add_receiver(site);
+      tree_size_sum += static_cast<double>(builder.link_count());
+      pair_mean_sum += pairs > 0.0 ? pair_sum / pairs : 0.0;
+      ++measured;
+    }
+  }
+  MCAST_ASSERT(measured >= 1);
+
+  affinity_estimate est;
+  est.mean_tree_size = tree_size_sum / static_cast<double>(measured);
+  est.mean_pair_distance = pair_mean_sum / static_cast<double>(measured);
+  est.acceptance_rate =
+      proposed == 0 ? 1.0
+                    : static_cast<double>(accepted) / static_cast<double>(proposed);
+  return est;
+}
+
+namespace {
+
+std::vector<std::size_t> greedy_extreme_trajectory(
+    const source_tree& tree, const std::vector<node_id>& universe,
+    std::size_t n, rng& gen, bool maximize) {
+  expects(!universe.empty(), "greedy trajectory: universe is empty");
+  expects(n <= universe.size(),
+          "greedy trajectory: n exceeds the candidate universe (extreme "
+          "placements use distinct sites)");
+  delivery_tree_builder builder(tree);
+  std::vector<char> used(tree.node_count(), 0);
+
+  // Marginal gain of a candidate = links on its rootward path not yet on
+  // the delivery tree; evaluated without mutating the builder.
+  auto gain_of = [&](node_id v) {
+    std::size_t gain = 0;
+    for (node_id w = v; !builder.covers(w); w = tree.parent(w)) ++gain;
+    return gain;
+  };
+
+  std::vector<std::size_t> trajectory;
+  trajectory.reserve(n);
+  std::vector<node_id> best_sites;
+  for (std::size_t step = 0; step < n; ++step) {
+    std::size_t best_gain = 0;
+    bool have_any = false;
+    best_sites.clear();
+    for (node_id v : universe) {
+      if (used[v]) continue;  // extreme configurations are distinct sites
+      const std::size_t gain = gain_of(v);
+      const bool better =
+          !have_any || (maximize ? gain > best_gain : gain < best_gain);
+      if (better) {
+        best_gain = gain;
+        best_sites.clear();
+        have_any = true;
+      }
+      if (gain == best_gain) best_sites.push_back(v);
+    }
+    MCAST_ASSERT(!best_sites.empty());
+    const node_id chosen = best_sites[gen.below(best_sites.size())];
+    used[chosen] = 1;
+    builder.add_receiver(chosen);
+    trajectory.push_back(builder.link_count());
+  }
+  return trajectory;
+}
+
+}  // namespace
+
+std::vector<std::size_t> greedy_disaffinity_trajectory(
+    const source_tree& tree, const std::vector<node_id>& universe,
+    std::size_t n, rng& gen) {
+  return greedy_extreme_trajectory(tree, universe, n, gen, /*maximize=*/true);
+}
+
+std::vector<std::size_t> greedy_affinity_trajectory(
+    const source_tree& tree, const std::vector<node_id>& universe,
+    std::size_t n, rng& gen) {
+  return greedy_extreme_trajectory(tree, universe, n, gen, /*maximize=*/false);
+}
+
+std::uint64_t extreme_disaffinity_kary_tree_size(unsigned k, unsigned depth,
+                                                 std::uint64_t m) {
+  expects(k >= 2, "extreme_disaffinity_kary_tree_size: k must be >= 2");
+  std::uint64_t total = 0;
+  std::uint64_t level_width = 1;
+  for (unsigned l = 1; l <= depth; ++l) {
+    expects(level_width <= ~0ULL / k, "extreme_disaffinity: tree too large");
+    level_width *= k;
+    total += std::min<std::uint64_t>(m, level_width);
+  }
+  expects(m <= level_width,
+          "extreme_disaffinity_kary_tree_size: m exceeds leaf count");
+  return total;
+}
+
+std::uint64_t extreme_affinity_kary_tree_size(unsigned k, unsigned depth,
+                                              std::uint64_t m) {
+  expects(k >= 2, "extreme_affinity_kary_tree_size: k must be >= 2");
+  expects(m >= 1, "extreme_affinity_kary_tree_size: m must be >= 1");
+  std::uint64_t leaves = 1;
+  for (unsigned l = 0; l < depth; ++l) {
+    expects(leaves <= ~0ULL / k, "extreme_affinity: tree too large");
+    leaves *= k;
+  }
+  expects(m <= leaves, "extreme_affinity_kary_tree_size: m exceeds leaf count");
+  // Σ_{l=1..D} ceil(m / k^{D-l}): walk l downward so the divisor grows.
+  std::uint64_t total = 0;
+  std::uint64_t divisor = 1;
+  for (unsigned l = depth; l >= 1; --l) {
+    total += (m + divisor - 1) / divisor;
+    if (l > 1) {
+      expects(divisor <= ~0ULL / k, "extreme_affinity: tree too large");
+      divisor *= k;
+    }
+  }
+  return total;
+}
+
+}  // namespace mcast

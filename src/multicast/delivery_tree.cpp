@@ -1,0 +1,76 @@
+#include "multicast/delivery_tree.hpp"
+
+#include "common/contract.hpp"
+
+namespace mcast {
+
+delivery_tree_builder::delivery_tree_builder(const source_tree& tree)
+    : tree_(&tree),
+      on_tree_(tree.node_count(), 0),
+      is_receiver_(tree.node_count(), 0) {
+  on_tree_[tree.source()] = 1;
+  touched_.push_back(tree.source());
+}
+
+std::size_t delivery_tree_builder::add_receiver(node_id v) {
+  expects_in_range(v < tree_->node_count(),
+                   "delivery_tree_builder::add_receiver: node out of range");
+  expects(tree_->distance(v) != unreachable,
+          "delivery_tree_builder::add_receiver: receiver unreachable from source");
+  if (!is_receiver_[v]) {
+    is_receiver_[v] = 1;
+    ++distinct_receivers_;
+  }
+  std::size_t gained = 0;
+  for (node_id w = v; !on_tree_[w]; w = tree_->parent(w)) {
+    on_tree_[w] = 1;
+    touched_.push_back(w);
+    ++gained;  // the link (w, parent(w)) is new
+  }
+  links_ += gained;
+  return gained;
+}
+
+bool delivery_tree_builder::covers(node_id v) const {
+  expects_in_range(v < tree_->node_count(),
+                   "delivery_tree_builder::covers: node out of range");
+  return on_tree_[v] != 0;
+}
+
+void delivery_tree_builder::reset() {
+  for (node_id v : touched_) {
+    on_tree_[v] = 0;
+    is_receiver_[v] = 0;
+  }
+  // is_receiver_ may be set on nodes that were already on the tree when
+  // added; those nodes are all in touched_ too (a receiver is always on the
+  // tree after add_receiver), so the loop above cleared everything.
+  touched_.clear();
+  links_ = 0;
+  distinct_receivers_ = 0;
+  on_tree_[tree_->source()] = 1;
+  touched_.push_back(tree_->source());
+}
+
+std::size_t delivery_tree_size(const source_tree& tree,
+                               std::span<const node_id> receivers) {
+  delivery_tree_builder b(tree);
+  for (node_id v : receivers) b.add_receiver(v);
+  return b.link_count();
+}
+
+std::vector<edge> delivery_tree_links(const source_tree& tree,
+                                      std::span<const node_id> receivers) {
+  delivery_tree_builder b(tree);
+  for (node_id v : receivers) b.add_receiver(v);
+  std::vector<edge> links;
+  links.reserve(b.link_count());
+  for (node_id v = 0; v < tree.node_count(); ++v) {
+    if (v != tree.source() && b.covers(v)) {
+      links.push_back({v, tree.parent(v)});
+    }
+  }
+  return links;
+}
+
+}  // namespace mcast

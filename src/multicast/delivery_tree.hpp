@@ -1,0 +1,70 @@
+// Multicast delivery trees and their link counts — the paper's L(m)/L̂(n).
+//
+// Given a source_tree, the delivery tree for a receiver set is the union of
+// the tree paths from the source to each receiver; its size is the number
+// of distinct links in that union (links are unweighted, per the paper's
+// footnote 3). Two interfaces:
+//
+//  * delivery_tree_size(): one-shot count for a receiver set.
+//  * delivery_tree_builder: incremental — add receivers one at a time and
+//    read the running link count. This is what the affinity sampler and the
+//    extreme-β greedy constructions (Section 5.2/5.3) need, and it makes
+//    the per-receiver marginal cost ΔL observable, mirroring the paper's
+//    use of discrete derivatives.
+//
+// Both cost O(total tree size): each receiver walks rootward only over
+// links not yet in the tree.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "multicast/spt.hpp"
+
+namespace mcast {
+
+/// Incremental delivery-tree accumulator over a fixed source_tree.
+class delivery_tree_builder {
+ public:
+  /// Starts from the bare source (zero links). The source_tree must
+  /// outlive the builder.
+  explicit delivery_tree_builder(const source_tree& tree);
+
+  /// Adds one receiver; returns the number of links the union gained
+  /// (0 when the receiver is already covered; receivers may repeat, which
+  /// is how L̂(n) — sampling with replacement — is computed).
+  /// Throws std::invalid_argument when v is unreachable from the source.
+  std::size_t add_receiver(node_id v);
+
+  /// Number of distinct links currently in the delivery tree.
+  std::size_t link_count() const noexcept { return links_; }
+
+  /// Number of distinct receiver *sites* added so far (repeat additions of
+  /// the same node count once) — the paper's m for this sample.
+  std::size_t distinct_receiver_count() const noexcept { return distinct_receivers_; }
+
+  /// True when node v currently lies on the delivery tree.
+  bool covers(node_id v) const;
+
+  /// Resets to the bare source (O(nodes touched)).
+  void reset();
+
+ private:
+  const source_tree* tree_;
+  std::vector<char> on_tree_;      // node flags: on the delivery tree
+  std::vector<char> is_receiver_;  // node flags: was added as a receiver
+  std::vector<node_id> touched_;   // for cheap reset
+  std::size_t links_ = 0;
+  std::size_t distinct_receivers_ = 0;
+};
+
+/// One-shot L for a receiver set (repeats allowed and ignored).
+std::size_t delivery_tree_size(const source_tree& tree,
+                               std::span<const node_id> receivers);
+
+/// The distinct links of the delivery tree for a receiver set, each link as
+/// a (child, parent) pair. Mostly for tests and visualization.
+std::vector<edge> delivery_tree_links(const source_tree& tree,
+                                      std::span<const node_id> receivers);
+
+}  // namespace mcast

@@ -1,0 +1,64 @@
+#include "multicast/dynamic_tree.hpp"
+
+#include "common/contract.hpp"
+
+namespace mcast {
+
+dynamic_delivery_tree::dynamic_delivery_tree(const source_tree& tree)
+    : tree_(&tree),
+      subtree_load_(tree.node_count(), 0),
+      joined_at_(tree.node_count(), 0) {}
+
+std::size_t dynamic_delivery_tree::join(node_id v) {
+  expects_in_range(v < tree_->node_count(),
+                   "dynamic_delivery_tree::join: node out of range");
+  expects(tree_->distance(v) != unreachable,
+          "dynamic_delivery_tree::join: receiver unreachable from source");
+  if (joined_at_[v]++ == 0) ++distinct_sites_;
+  ++receivers_;
+
+  std::size_t gained = 0;
+  // Walk v -> source; each node whose load was 0 contributes a new link
+  // (v, parent) — except the source, which has no uplink.
+  for (node_id w = v; w != tree_->source(); w = tree_->parent(w)) {
+    if (subtree_load_[w]++ == 0) ++gained;
+    // Counting continues rootward even after the path merges with the
+    // existing tree: every ancestor's subtree population grows by one.
+  }
+  subtree_load_[tree_->source()]++;
+  links_ += gained;
+  return gained;
+}
+
+std::size_t dynamic_delivery_tree::leave(node_id v) {
+  expects_in_range(v < tree_->node_count(),
+                   "dynamic_delivery_tree::leave: node out of range");
+  expects(joined_at_[v] > 0,
+          "dynamic_delivery_tree::leave: no receiver joined at this node");
+  if (--joined_at_[v] == 0) --distinct_sites_;
+  --receivers_;
+
+  std::size_t pruned = 0;
+  for (node_id w = v; w != tree_->source(); w = tree_->parent(w)) {
+    MCAST_ASSERT(subtree_load_[w] > 0);
+    if (--subtree_load_[w] == 0) ++pruned;
+  }
+  MCAST_ASSERT(subtree_load_[tree_->source()] > 0);
+  subtree_load_[tree_->source()]--;
+  links_ -= pruned;
+  return pruned;
+}
+
+std::uint32_t dynamic_delivery_tree::receivers_at(node_id v) const {
+  expects_in_range(v < tree_->node_count(),
+                   "dynamic_delivery_tree::receivers_at: node out of range");
+  return joined_at_[v];
+}
+
+bool dynamic_delivery_tree::on_tree(node_id v) const {
+  expects_in_range(v < tree_->node_count(),
+                   "dynamic_delivery_tree::on_tree: node out of range");
+  return subtree_load_[v] > 0;
+}
+
+}  // namespace mcast

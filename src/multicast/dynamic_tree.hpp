@@ -1,0 +1,61 @@
+// Dynamic delivery trees — join/leave churn (extension).
+//
+// The Chuang-Sirbu law prices a group by its instantaneous size m, which
+// only makes sense if the tree tracks membership changes. This class keeps
+// a delivery tree under receiver joins AND leaves in O(path length) per
+// operation by reference-counting each tree link with the number of
+// receivers whose path crosses it (i.e. the receiver population of the
+// subtree below the link). A leave prunes exactly the links whose count
+// drops to zero — the behavior of PIM/DVMRP prune state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "multicast/spt.hpp"
+
+namespace mcast {
+
+class dynamic_delivery_tree {
+ public:
+  /// Starts with an empty group. The source_tree must outlive this object.
+  explicit dynamic_delivery_tree(const source_tree& tree);
+
+  /// Adds one receiver instance at node v (the same node may join multiple
+  /// times — think several hosts behind one router). Returns the number of
+  /// links the tree gained. Throws when v is unreachable from the source.
+  std::size_t join(node_id v);
+
+  /// Removes one receiver instance at node v. Returns the number of links
+  /// pruned. Throws std::invalid_argument when v has no joined receiver.
+  std::size_t leave(node_id v);
+
+  /// Current number of links in the delivery tree.
+  std::size_t link_count() const noexcept { return links_; }
+
+  /// Current number of receiver instances (join() minus leave() calls).
+  std::size_t receiver_count() const noexcept { return receivers_; }
+
+  /// Number of distinct nodes currently hosting at least one receiver.
+  std::size_t distinct_receiver_sites() const noexcept { return distinct_sites_; }
+
+  /// Receiver instances joined at node v.
+  std::uint32_t receivers_at(node_id v) const;
+
+  /// True when node v lies on the current delivery tree (the source is on
+  /// the tree only when the group is non-empty... by convention the bare
+  /// source with no receivers is an empty tree).
+  bool on_tree(node_id v) const;
+
+ private:
+  const source_tree* tree_;
+  /// subtree_load_[v] = receivers at or below v; the link (v, parent(v))
+  /// exists iff subtree_load_[v] > 0.
+  std::vector<std::uint32_t> subtree_load_;
+  std::vector<std::uint32_t> joined_at_;
+  std::size_t links_ = 0;
+  std::size_t receivers_ = 0;
+  std::size_t distinct_sites_ = 0;
+};
+
+}  // namespace mcast

@@ -1,0 +1,51 @@
+#include "multicast/receivers.hpp"
+
+#include <cmath>
+
+#include "common/contract.hpp"
+
+namespace mcast {
+
+std::vector<node_id> all_sites_except(const graph& g, node_id source) {
+  expects_in_range(source < g.node_count(),
+                   "all_sites_except: source out of range");
+  std::vector<node_id> sites;
+  sites.reserve(g.node_count() - 1);
+  for (node_id v = 0; v < g.node_count(); ++v) {
+    if (v != source) sites.push_back(v);
+  }
+  return sites;
+}
+
+std::vector<node_id> leaf_sites(node_id first_leaf, std::uint64_t leaf_count) {
+  std::vector<node_id> sites;
+  sites.reserve(leaf_count);
+  for (std::uint64_t i = 0; i < leaf_count; ++i) {
+    sites.push_back(first_leaf + static_cast<node_id>(i));
+  }
+  return sites;
+}
+
+std::vector<node_id> sample_distinct(const std::vector<node_id>& universe,
+                                     std::size_t m, rng& gen) {
+  expects(m <= universe.size(),
+          "sample_distinct: m exceeds the candidate universe");
+  std::vector<node_id> pool = universe;
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t j = i + gen.below(pool.size() - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(m);
+  return pool;
+}
+
+std::vector<node_id> sample_with_replacement(const std::vector<node_id>& universe,
+                                             std::size_t n, rng& gen) {
+  expects(!universe.empty(),
+          "sample_with_replacement: candidate universe is empty");
+  std::vector<node_id> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = universe[gen.below(universe.size())];
+  return out;
+}
+
+}  // namespace mcast

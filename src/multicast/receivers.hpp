@@ -1,0 +1,40 @@
+// Receiver-set samplers.
+//
+// The paper uses three placement models:
+//  * m distinct sites chosen uniformly over the network (Section 2; L(m));
+//  * n sites chosen uniformly *with* replacement (Section 3; L̂(n));
+//  * leaves-only variants of both for k-ary trees (Section 3 vs 3.4).
+//
+// All samplers draw from an explicit candidate universe (every node except
+// the source, or the leaves of a tree), so the same code serves general
+// graphs and k-ary trees.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/rng.hpp"
+
+namespace mcast {
+
+/// The candidate receiver universe: every node of `g` except `source`.
+std::vector<node_id> all_sites_except(const graph& g, node_id source);
+
+/// Candidate universe for k-ary leaf placement: node ids [first_leaf,
+/// first_leaf + leaf_count).
+std::vector<node_id> leaf_sites(node_id first_leaf, std::uint64_t leaf_count);
+
+/// Draws `m` distinct sites uniformly from `universe` (partial
+/// Fisher-Yates; `universe` is copied). Requires m <= universe.size().
+std::vector<node_id> sample_distinct(const std::vector<node_id>& universe,
+                                     std::size_t m, rng& gen);
+
+/// Draws `n` sites uniformly with replacement from `universe`.
+/// Requires a non-empty universe.
+std::vector<node_id> sample_with_replacement(const std::vector<node_id>& universe,
+                                             std::size_t n, rng& gen);
+
+// The n <-> m̄ conversion formulas (Equations 1/2) live in
+// analysis/mapping.hpp (expected_distinct / draws_for_expected_distinct).
+
+}  // namespace mcast

@@ -1,0 +1,68 @@
+// Shared (core-based) multicast trees — the alternative the paper
+// explicitly scopes out in its footnote 1 and defers to Wei & Estrin
+// (INFOCOM '94, its reference [12]). Included as an extension so the
+// library can reproduce that comparison too: how does the scaling of a
+// core-based tree differ from the source-specific shortest-path trees the
+// Chuang-Sirbu law describes?
+//
+// Model (CBT/PIM-SM style): a core (rendezvous point) c is chosen; the
+// group's shared tree is the union of shortest paths from every receiver
+// to the core. A source sends by unicasting to the core, which forwards
+// down the tree, so the total link footprint for one source is
+//
+//     L_shared(m) = |tree(receivers -> core)| + dist(source, core)
+//
+// Core placement matters; three standard strategies are provided.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "multicast/spt.hpp"
+#include "sim/rng.hpp"
+
+namespace mcast {
+
+/// How the rendezvous point is chosen.
+enum class core_strategy {
+  random,          ///< uniform random node
+  degree_center,   ///< highest-degree node (cheap hub heuristic)
+  path_center,     ///< node minimizing the eccentricity over k BFS probes
+};
+
+/// Picks a core for `g` under `strategy`. `probes` bounds the work of
+/// path_center (it evaluates that many random candidates). Deterministic
+/// given `gen`'s state. Throws on an empty graph.
+node_id choose_core(const graph& g, core_strategy strategy, rng& gen,
+                    std::size_t probes = 16);
+
+/// Footprint of the shared tree for one (source, receivers) pair:
+/// links of the receivers->core union plus the source->core path.
+/// `core_tree` must be the source_tree rooted AT THE CORE.
+/// Receivers and source must be reachable from the core.
+std::size_t shared_tree_size(const source_tree& core_tree, node_id source,
+                             std::span<const node_id> receivers);
+
+/// The receivers->core union alone (no source tail) — the quantity whose
+/// scaling mirrors L(m) with the core playing the source's role.
+std::size_t shared_tree_core_size(const source_tree& core_tree,
+                                  std::span<const node_id> receivers);
+
+/// One row of the source-based vs shared comparison (Wei-Estrin style).
+struct tree_comparison {
+  std::uint64_t group_size = 0;
+  double source_tree_links = 0.0;  ///< ⟨L⟩ for source-specific SPTs
+  double shared_tree_links = 0.0;  ///< ⟨L_shared⟩ including the source tail
+  double shared_over_source = 0.0; ///< ratio of the two means
+};
+
+/// Monte-Carlo comparison over random sources/receiver sets, mirroring the
+/// Section 2 methodology. The graph must be connected.
+std::vector<tree_comparison> compare_source_vs_shared(
+    const graph& g, const std::vector<std::uint64_t>& group_sizes,
+    core_strategy strategy, std::size_t receiver_sets, std::size_t sources,
+    std::uint64_t seed);
+
+}  // namespace mcast

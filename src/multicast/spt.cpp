@@ -1,0 +1,45 @@
+#include "multicast/spt.hpp"
+
+#include <algorithm>
+
+#include "common/contract.hpp"
+
+namespace mcast {
+
+source_tree::source_tree(const graph& g, node_id source)
+    : tree_(bfs_from(g, source)) {}
+
+source_tree::source_tree(const graph& g, bfs_tree tree) : tree_(std::move(tree)) {
+  expects(tree_.dist.size() == g.node_count() &&
+              tree_.parent.size() == g.node_count(),
+          "source_tree: BFS result does not match graph");
+  expects(tree_.source < g.node_count(), "source_tree: bad source in BFS result");
+}
+
+hop_count source_tree::distance(node_id v) const {
+  expects_in_range(v < node_count(), "source_tree::distance: node out of range");
+  return tree_.dist[v];
+}
+
+node_id source_tree::parent(node_id v) const {
+  expects_in_range(v < node_count(), "source_tree::parent: node out of range");
+  return tree_.parent[v];
+}
+
+bool source_tree::spans_graph() const {
+  return std::none_of(tree_.dist.begin(), tree_.dist.end(),
+                      [](hop_count d) { return d == unreachable; });
+}
+
+std::vector<node_id> source_tree::path_to(node_id v) const {
+  expects_in_range(v < node_count(), "source_tree::path_to: node out of range");
+  expects(tree_.dist[v] != unreachable, "source_tree::path_to: node unreachable");
+  std::vector<node_id> path;
+  path.reserve(tree_.dist[v] + 1);
+  for (node_id w = v; w != invalid_node; w = tree_.parent[w]) path.push_back(w);
+  std::reverse(path.begin(), path.end());
+  MCAST_ASSERT(path.front() == tree_.source);
+  return path;
+}
+
+}  // namespace mcast

@@ -1,0 +1,52 @@
+// Source-specific shortest-path trees.
+//
+// A `source_tree` is the object the rest of the multicast layer works
+// against: one BFS result from a fixed source, with helpers for unicast
+// path extraction. The paper's model (Section 1, footnote 1) is exactly
+// this — each receiver is served along a shortest path from the source,
+// and the delivery tree is the union of the chosen paths.
+#pragma once
+
+#include <vector>
+
+#include "graph/bfs.hpp"
+#include "graph/graph.hpp"
+
+namespace mcast {
+
+class source_tree {
+ public:
+  /// Builds the deterministic (lowest-id parent) shortest-path tree rooted
+  /// at `source`. Throws std::out_of_range on a bad source.
+  source_tree(const graph& g, node_id source);
+
+  /// Wraps an existing BFS result (e.g. one built with randomized parents
+  /// for the tie-breaking ablation). Throws std::invalid_argument when the
+  /// result's field sizes do not match `g`.
+  source_tree(const graph& g, bfs_tree tree);
+
+  node_id source() const noexcept { return tree_.source; }
+  node_id node_count() const noexcept { return static_cast<node_id>(tree_.dist.size()); }
+
+  /// Hop distance from the source (== unicast path length); `unreachable`
+  /// when v is in another component.
+  hop_count distance(node_id v) const;
+
+  /// Parent on the tree; invalid_node for the source / unreachable nodes.
+  node_id parent(node_id v) const;
+
+  /// True when every node is reachable from the source.
+  bool spans_graph() const;
+
+  /// The node sequence of the unicast path source -> v (inclusive).
+  /// Throws std::invalid_argument when v is unreachable.
+  std::vector<node_id> path_to(node_id v) const;
+
+  /// Access to the raw BFS result.
+  const bfs_tree& raw() const noexcept { return tree_; }
+
+ private:
+  bfs_tree tree_;
+};
+
+}  // namespace mcast

@@ -1,0 +1,38 @@
+#include "multicast/unicast.hpp"
+
+#include "common/contract.hpp"
+
+namespace mcast {
+
+std::uint64_t unicast_total_links(const source_tree& tree,
+                                  std::span<const node_id> receivers) {
+  std::uint64_t total = 0;
+  for (node_id v : receivers) {
+    const hop_count d = tree.distance(v);
+    expects(d != unreachable, "unicast_total_links: receiver unreachable");
+    total += d;
+  }
+  return total;
+}
+
+double unicast_average_length(const source_tree& tree,
+                              std::span<const node_id> receivers) {
+  if (receivers.empty()) return 0.0;
+  return static_cast<double>(unicast_total_links(tree, receivers)) /
+         static_cast<double>(receivers.size());
+}
+
+double unicast_average_length_all(const source_tree& tree) {
+  std::uint64_t total = 0;
+  std::uint64_t count = 0;
+  for (node_id v = 0; v < tree.node_count(); ++v) {
+    const hop_count d = tree.distance(v);
+    if (v != tree.source() && d != unreachable) {
+      total += d;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(count);
+}
+
+}  // namespace mcast

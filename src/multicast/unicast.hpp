@@ -1,0 +1,31 @@
+// Unicast cost accounting.
+//
+// The paper normalizes every multicast measurement by unicast equivalents:
+// the per-sample average unicast path length ū(m) (Section 2 divides the
+// delivery tree size by it) and the total link-traversals ū·m that m
+// separate unicast streams would consume (Section 1 — the linear baseline
+// multicast is compared against).
+#pragma once
+
+#include <span>
+
+#include "multicast/spt.hpp"
+
+namespace mcast {
+
+/// Sum of unicast path lengths from the tree's source to each receiver
+/// (repeats count every time — n unicast streams cost n paths).
+/// Throws std::invalid_argument when a receiver is unreachable.
+std::uint64_t unicast_total_links(const source_tree& tree,
+                                  std::span<const node_id> receivers);
+
+/// Average unicast path length over the receiver sample; 0 for an empty
+/// sample. This is the paper's ū(m) for one random receiver set.
+double unicast_average_length(const source_tree& tree,
+                              std::span<const node_id> receivers);
+
+/// Average unicast path length from the source to *every* reachable node —
+/// the network-wide ū used when normalizing analytic curves.
+double unicast_average_length_all(const source_tree& tree);
+
+}  // namespace mcast

@@ -1,0 +1,68 @@
+#include "multicast/weighted.hpp"
+
+#include <vector>
+
+#include "common/contract.hpp"
+
+namespace mcast {
+
+namespace {
+
+// Walks rootward from every receiver, marking nodes; calls `on_link(child)`
+// once per distinct link (child, parent(child)) in the union.
+template <typename link_fn>
+void walk_union(const weighted_tree& tree, std::span<const node_id> receivers,
+                link_fn&& on_link) {
+  std::vector<char> on_tree(tree.dist.size(), 0);
+  on_tree[tree.source] = 1;
+  for (node_id v : receivers) {
+    expects_in_range(v < tree.dist.size(), "weighted tree: node out of range");
+    expects(tree.dist[v] != std::numeric_limits<double>::infinity(),
+            "weighted tree: receiver unreachable");
+    for (node_id w = v; !on_tree[w]; w = tree.parent[w]) {
+      on_tree[w] = 1;
+      on_link(w);
+    }
+  }
+}
+
+}  // namespace
+
+double weighted_delivery_tree_cost(const graph& g, const edge_weights& weights,
+                                   const weighted_tree& tree,
+                                   std::span<const node_id> receivers) {
+  expects(&weights.topology() == &g,
+          "weighted_delivery_tree_cost: weights belong to a different graph");
+  expects(tree.dist.size() == g.node_count(),
+          "weighted_delivery_tree_cost: tree does not match graph");
+  double total = 0.0;
+  walk_union(tree, receivers, [&](node_id child) {
+    total += weights.get(child, tree.parent[child]);
+  });
+  return total;
+}
+
+std::size_t weighted_delivery_tree_links(const graph& g,
+                                         const weighted_tree& tree,
+                                         std::span<const node_id> receivers) {
+  expects(tree.dist.size() == g.node_count(),
+          "weighted_delivery_tree_links: tree does not match graph");
+  std::size_t count = 0;
+  walk_union(tree, receivers, [&](node_id) { ++count; });
+  return count;
+}
+
+double weighted_unicast_total(const weighted_tree& tree,
+                              std::span<const node_id> receivers) {
+  double total = 0.0;
+  for (node_id v : receivers) {
+    expects_in_range(v < tree.dist.size(),
+                     "weighted_unicast_total: node out of range");
+    expects(tree.dist[v] != std::numeric_limits<double>::infinity(),
+            "weighted_unicast_total: receiver unreachable");
+    total += tree.dist[v];
+  }
+  return total;
+}
+
+}  // namespace mcast

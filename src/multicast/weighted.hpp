@@ -1,0 +1,35 @@
+// Weighted multicast delivery trees (extension — see graph/weights.hpp).
+//
+// Same union-of-paths construction as multicast/delivery_tree.hpp, but
+// paths come from a Dijkstra least-weight tree and the figure of merit is
+// total link *weight*, not link count. Lets the harness ask whether the
+// Chuang-Sirbu scaling survives link costs (bench/ext_weighted).
+#pragma once
+
+#include <span>
+
+#include "graph/dijkstra.hpp"
+#include "graph/weights.hpp"
+
+namespace mcast {
+
+/// Weighted footprint of the multicast tree from `tree.source` to the
+/// receivers: sum of weights of the distinct links in the union of
+/// least-weight paths. Repeated receivers are ignored. Throws
+/// std::invalid_argument when a receiver is unreachable.
+double weighted_delivery_tree_cost(const graph& g, const edge_weights& weights,
+                                   const weighted_tree& tree,
+                                   std::span<const node_id> receivers);
+
+/// Number of distinct links in the same union (for comparing against the
+/// unweighted L(m) at identical receiver sets).
+std::size_t weighted_delivery_tree_links(const graph& g,
+                                         const weighted_tree& tree,
+                                         std::span<const node_id> receivers);
+
+/// Sum of weighted unicast path costs source -> receiver (each stream
+/// separately; repeats count every time).
+double weighted_unicast_total(const weighted_tree& tree,
+                              std::span<const node_id> receivers);
+
+}  // namespace mcast

@@ -1,0 +1,160 @@
+#include "session/simulator.hpp"
+
+#include <algorithm>
+#include <list>
+
+#include "common/contract.hpp"
+#include "graph/components.hpp"
+#include "multicast/spt.hpp"
+
+namespace mcast {
+
+namespace {
+
+struct live_session {
+  std::unique_ptr<source_tree> tree;
+  std::unique_ptr<dynamic_delivery_tree> delivery;
+  std::vector<node_id> members;  // multiset of joined instances
+  event_queue::event_id end_event = 0;
+  event_queue::event_id next_join_event = 0;
+  std::vector<event_queue::event_id> leave_events;  // parallel to members
+};
+
+}  // namespace
+
+session_metrics simulate_sessions(const graph& g, const session_workload& w,
+                                  double duration, double warmup,
+                                  std::uint64_t seed) {
+  expects(g.node_count() >= 2, "simulate_sessions: graph too small");
+  expects(is_connected(g), "simulate_sessions: graph must be connected");
+  expects(w.session_arrival_rate > 0.0 && w.session_lifetime_mean > 0.0 &&
+              w.member_join_rate > 0.0 && w.member_lifetime_mean > 0.0,
+          "simulate_sessions: workload rates must be positive");
+  expects(w.max_concurrent_sessions >= 1,
+          "simulate_sessions: need capacity for at least one session");
+  expects(duration > 0.0 && warmup >= 0.0,
+          "simulate_sessions: duration must be positive, warmup non-negative");
+
+  rng gen(seed);
+  event_queue events;
+  session_metrics metrics;
+  metrics.duration = duration;
+
+  std::list<live_session> sessions;
+  // Aggregate integrals, accumulated lazily: every state change first adds
+  // current_value * (now - last_change) to the integral.
+  double last_change = 0.0;
+  double links_integral = 0.0;
+  double members_integral = 0.0;
+  double sessions_integral = 0.0;
+  std::size_t total_links = 0;
+  std::size_t total_members = 0;
+  double group_size_sum = 0.0;
+  std::uint64_t group_size_samples = 0;
+  const double t_begin = warmup;
+  const double t_end = warmup + duration;
+
+  auto account = [&](double now) {
+    const double from = std::max(last_change, t_begin);
+    const double to = std::min(now, t_end);
+    if (to > from) {
+      const double dt = to - from;
+      links_integral += static_cast<double>(total_links) * dt;
+      members_integral += static_cast<double>(total_members) * dt;
+      sessions_integral += static_cast<double>(sessions.size()) * dt;
+    }
+    last_change = now;
+    if (now >= t_begin && now <= t_end) {
+      metrics.peak_links =
+          std::max(metrics.peak_links, static_cast<double>(total_links));
+    }
+  };
+
+  // Forward declarations through std::function so events can reschedule
+  // themselves (the join stream) and new arrivals (the arrival stream).
+  std::function<void()> arrive;
+  std::function<void(std::list<live_session>::iterator)> schedule_join;
+
+  schedule_join = [&](std::list<live_session>::iterator it) {
+    it->next_join_event = events.schedule(
+        events.now() + gen.exponential(w.member_join_rate), [&, it] {
+          account(events.now());
+          // Pick a member site (any node but the source).
+          node_id v = static_cast<node_id>(gen.below(g.node_count()));
+          if (v == it->tree->source()) v = (v + 1) % g.node_count();
+          total_links -= it->delivery->link_count();
+          it->delivery->join(v);
+          total_links += it->delivery->link_count();
+          ++total_members;
+          it->members.push_back(v);
+          if (events.now() >= t_begin) {
+            ++metrics.joins;
+            group_size_sum +=
+                static_cast<double>(it->delivery->distinct_receiver_sites());
+            ++group_size_samples;
+          }
+          // Member departure.
+          const std::size_t member_index = it->members.size() - 1;
+          it->leave_events.push_back(events.schedule(
+              events.now() + gen.exponential(1.0 / w.member_lifetime_mean),
+              [&, it, member_index] {
+                account(events.now());
+                total_links -= it->delivery->link_count();
+                it->delivery->leave(it->members[member_index]);
+                total_links += it->delivery->link_count();
+                --total_members;
+                if (events.now() >= t_begin) ++metrics.leaves;
+              }));
+          schedule_join(it);
+        });
+  };
+
+  auto end_session = [&](std::list<live_session>::iterator it) {
+    account(events.now());
+    // Cancel pending events and drain remaining members.
+    events.cancel(it->next_join_event);
+    for (event_queue::event_id id : it->leave_events) events.cancel(id);
+    total_links -= it->delivery->link_count();
+    total_members -= it->delivery->receiver_count();
+    if (events.now() >= t_begin) {
+      metrics.leaves += it->delivery->receiver_count();
+    }
+    sessions.erase(it);
+    ++metrics.sessions_completed;
+  };
+
+  arrive = [&] {
+    account(events.now());
+    if (sessions.size() < w.max_concurrent_sessions) {
+      sessions.emplace_back();
+      auto it = std::prev(sessions.end());
+      const node_id source = static_cast<node_id>(gen.below(g.node_count()));
+      it->tree = std::make_unique<source_tree>(g, source);
+      it->delivery = std::make_unique<dynamic_delivery_tree>(*it->tree);
+      it->end_event = events.schedule(
+          events.now() + gen.exponential(1.0 / w.session_lifetime_mean),
+          [&, it] { end_session(it); });
+      schedule_join(it);
+      ++metrics.sessions_started;
+    } else {
+      ++metrics.sessions_dropped;
+    }
+    events.schedule(events.now() + gen.exponential(w.session_arrival_rate),
+                    arrive);
+  };
+
+  events.schedule(gen.exponential(w.session_arrival_rate), arrive);
+  events.run_until(t_end);
+  account(t_end);
+
+  metrics.time_avg_links = links_integral / duration;
+  metrics.time_avg_members = members_integral / duration;
+  metrics.time_avg_sessions = sessions_integral / duration;
+  metrics.mean_group_size_at_join =
+      group_size_samples == 0
+          ? 0.0
+          : group_size_sum / static_cast<double>(group_size_samples);
+  return metrics;
+}
+
+}  // namespace mcast

@@ -1,0 +1,65 @@
+#include "sim/csv.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/contract.hpp"
+
+namespace mcast {
+
+table_writer::table_writer(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  expects(!headers_.empty(), "table_writer: need at least one column");
+}
+
+void table_writer::add_row(std::vector<std::string> cells) {
+  expects(cells.size() == headers_.size(),
+          "table_writer::add_row: cell count must match header count");
+  rows_.push_back(std::move(cells));
+}
+
+std::string table_writer::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision) << value;
+  return os.str();
+}
+
+void table_writer::print(std::ostream& out) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(width[c]) + 2) << row[c];
+    }
+    out << "\n";
+  };
+  emit(headers_);
+  std::size_t rule = 0;
+  for (std::size_t w : width) rule += w + 2;
+  out << std::string(rule, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+}
+
+void print_series(std::ostream& out, const std::string& label,
+                  const std::vector<double>& x, const std::vector<double>& y) {
+  expects(x.size() == y.size(), "print_series: x/y size mismatch");
+  out << "# series: " << label << "\n";
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out << std::setprecision(10) << x[i] << " " << y[i] << "\n";
+  }
+  out << "\n";
+}
+
+void print_fit_line(std::ostream& out, const std::string& label,
+                    const std::string& text) {
+  out << "FIT: " << label << " " << text << "\n";
+}
+
+}  // namespace mcast

@@ -1,0 +1,52 @@
+// Tabular output for the benchmark harness.
+//
+// Every bench binary regenerating a paper table/figure emits:
+//   * a `table_writer` block — aligned, human-readable columns, and/or
+//   * `series_block`s — gnuplot-ready "# series: <label>" sections of
+//     x y pairs, one block per curve of the figure.
+// Keeping this format stable lets EXPERIMENTS.md quote bench output
+// verbatim and lets users pipe straight into gnuplot.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mcast {
+
+/// Accumulates rows and prints them with aligned columns.
+class table_writer {
+ public:
+  /// Column headers. Must be non-empty.
+  explicit table_writer(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly one cell per header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` significant digits (helper for rows).
+  static std::string num(double value, int precision = 5);
+
+  /// Writes the table: header line, rule, rows.
+  void print(std::ostream& out) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes one named x/y series in gnuplot-friendly form:
+///   # series: <label>
+///   <x> <y>
+///   ...
+///   <blank line>
+void print_series(std::ostream& out, const std::string& label,
+                  const std::vector<double>& x, const std::vector<double>& y);
+
+/// Writes "FIT: <label> <text>" — the one-line machine-greppable summary
+/// each bench emits for EXPERIMENTS.md (measured exponent, slope, ...).
+void print_fit_line(std::ostream& out, const std::string& label,
+                    const std::string& text);
+
+}  // namespace mcast

@@ -1,0 +1,57 @@
+#include "sim/event_queue.hpp"
+
+#include "common/contract.hpp"
+
+namespace mcast {
+
+event_queue::event_id event_queue::schedule(double when, handler fn) {
+  expects(when >= now_, "event_queue::schedule: cannot schedule in the past");
+  expects(static_cast<bool>(fn), "event_queue::schedule: handler must be callable");
+  const event_id id = handlers_.size();
+  handlers_.push_back(std::move(fn));
+  queue_.push({when, id});
+  ++pending_;
+  return id;
+}
+
+bool event_queue::cancel(event_id id) {
+  if (id >= handlers_.size() || !handlers_[id]) return false;
+  handlers_[id] = nullptr;  // lazily dropped when popped
+  --pending_;
+  return true;
+}
+
+bool event_queue::step() {
+  while (!queue_.empty()) {
+    const entry e = queue_.top();
+    queue_.pop();
+    if (!handlers_[e.id]) continue;  // cancelled
+    now_ = e.when;
+    handler fn = std::move(handlers_[e.id]);
+    handlers_[e.id] = nullptr;
+    --pending_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t event_queue::run_until(double t_end) {
+  expects(t_end >= now_, "event_queue::run_until: horizon is in the past");
+  std::size_t fired = 0;
+  while (!queue_.empty()) {
+    // Skip cancelled entries without advancing time.
+    const entry e = queue_.top();
+    if (!handlers_[e.id]) {
+      queue_.pop();
+      continue;
+    }
+    if (e.when > t_end) break;
+    step();
+    ++fired;
+  }
+  now_ = t_end;
+  return fired;
+}
+
+}  // namespace mcast

@@ -1,0 +1,61 @@
+// Minimal discrete-event core: a time-ordered queue of callbacks.
+//
+// Substrate for the session-level simulator (session/simulator.hpp), which
+// needs Poisson arrivals, exponential lifetimes and churn — all expressed
+// as events. Deliberately tiny: schedule, cancel, run. Determinism comes
+// from strict (time, sequence) ordering, so ties fire in scheduling order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace mcast {
+
+class event_queue {
+ public:
+  using handler = std::function<void()>;
+  /// Token for cancellation; monotonically increasing per schedule() call.
+  using event_id = std::uint64_t;
+
+  /// Schedules `fn` at absolute time `when` (>= now()). Returns an id that
+  /// can be passed to cancel().
+  event_id schedule(double when, handler fn);
+
+  /// Cancels a pending event; cancelling an already-fired or unknown id is
+  /// a no-op (returns false).
+  bool cancel(event_id id);
+
+  /// Current simulation time (the time of the last fired event, 0 before
+  /// any event fires).
+  double now() const noexcept { return now_; }
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t pending() const noexcept { return pending_; }
+
+  /// Fires events in (time, schedule order) until the queue is empty or
+  /// the next event is after `t_end`; now() advances to min(t_end, last
+  /// fired time... precisely: to t_end when the run stops on the horizon).
+  /// Returns the number of events fired.
+  std::size_t run_until(double t_end);
+
+  /// Fires exactly one event if any is pending; returns whether one fired.
+  bool step();
+
+ private:
+  struct entry {
+    double when;
+    event_id id;
+    bool operator>(const entry& other) const {
+      return when != other.when ? when > other.when : id > other.id;
+    }
+  };
+
+  std::priority_queue<entry, std::vector<entry>, std::greater<>> queue_;
+  std::vector<handler> handlers_;  // indexed by id; empty fn = cancelled
+  double now_ = 0.0;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace mcast

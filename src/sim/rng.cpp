@@ -1,0 +1,43 @@
+#include "sim/rng.hpp"
+
+#include <cmath>
+
+#include "common/contract.hpp"
+
+namespace mcast {
+
+std::uint64_t rng::below(std::uint64_t bound) {
+  expects(bound > 0, "rng::below: bound must be positive");
+  // Lemire 2019: multiply-shift with rejection in the biased zone.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t rng::between(std::uint64_t lo, std::uint64_t hi) {
+  expects(lo <= hi, "rng::between: requires lo <= hi");
+  return lo + below(hi - lo + 1);
+}
+
+double rng::exponential(double rate) {
+  expects(rate > 0.0, "rng::exponential: rate must be positive");
+  // -log(1-U)/rate; 1-uniform() is in (0,1], avoiding log(0).
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+rng rng::fork(std::uint64_t stream_id) {
+  // Derive the child seed from fresh output plus the stream id, mixed hard.
+  std::uint64_t mixer = (*this)() ^ (stream_id * 0x9e3779b97f4a7c15ULL);
+  return rng(splitmix64(mixer));
+}
+
+}  // namespace mcast

@@ -1,0 +1,31 @@
+#include "topo/arpanet.hpp"
+
+#include <utility>
+
+#include "graph/builder.hpp"
+
+namespace mcast {
+
+graph make_arpanet() {
+  // 47 nodes, 63 links, average degree 2.68. Nodes 0..36 form the national
+  // backbone sweep (west to east), 37..46 are regional spur sites, and the
+  // chord list supplies the sparse cross-country trunks.
+  static constexpr std::pair<unsigned, unsigned> chords[] = {
+      {0, 5},   {2, 9},   {6, 13},  {10, 17}, {14, 21}, {18, 25}, {22, 29},
+      {26, 33}, {30, 36}, {4, 11},  {8, 19},  {15, 27}, {21, 32}, {0, 36},
+      {5, 12},  {13, 20}, {29, 35},
+  };
+  static constexpr std::pair<unsigned, unsigned> spurs[] = {
+      {37, 3},  {38, 7},  {39, 12}, {40, 16}, {41, 20},
+      {42, 24}, {43, 28}, {44, 31}, {45, 34}, {46, 36},
+  };
+
+  graph_builder b(47);
+  b.set_name("ARPA");
+  for (unsigned v = 0; v + 1 <= 36; ++v) b.add_edge(v, v + 1);
+  for (auto [a, c] : spurs) b.add_edge(a, c);
+  for (auto [a, c] : chords) b.add_edge(a, c);
+  return b.build();
+}
+
+}  // namespace mcast

@@ -1,0 +1,21 @@
+// The "ARPA" topology: a fixed 47-node network with the structural
+// character of the ARPANET backbone used by the paper (and by Wei/Estrin
+// and Chuang/Sirbu before it): 47 nodes, average degree ~2.7, large
+// diameter relative to its size, and the concave (sub-exponential)
+// reachability growth the paper reports in Fig 7(b).
+//
+// The original map file is not redistributable; this is a hand-laid
+// substitute committed as a literal edge list (see DESIGN.md §3). It is a
+// long national "backbone" sweep with regional spurs and a handful of
+// cross-country trunks, mirroring how the ARPANET was actually wired.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace mcast {
+
+/// Returns the fixed 47-node ARPA topology (name "ARPA"). Deterministic;
+/// the same graph on every call.
+graph make_arpanet();
+
+}  // namespace mcast

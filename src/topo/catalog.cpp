@@ -1,0 +1,160 @@
+#include "topo/catalog.hpp"
+
+#include <algorithm>
+
+#include "common/contract.hpp"
+#include "topo/arpanet.hpp"
+#include "topo/mbone.hpp"
+#include "topo/power_law.hpp"
+#include "topo/tiers.hpp"
+#include "topo/transit_stub.hpp"
+#include "topo/waxman.hpp"
+
+namespace mcast {
+
+namespace {
+
+graph named(graph g, const std::string& name) {
+  g.set_name(name);
+  return g;
+}
+
+network_entry r100_entry() {
+  return {"r100", network_kind::generated, [](std::uint64_t seed) {
+            waxman_params p;
+            p.nodes = 100;
+            p.alpha = 0.25;
+            p.beta = 0.2;
+            return named(make_waxman(p, seed ^ 0x7231303000ULL), "r100");
+          }};
+}
+
+network_entry ts1000_entry() {
+  return {"ts1000", network_kind::generated, [](std::uint64_t seed) {
+            return named(make_transit_stub(ts1000_params(), seed ^ 0x747331303030ULL),
+                         "ts1000");
+          }};
+}
+
+network_entry ts1008_entry() {
+  return {"ts1008", network_kind::generated, [](std::uint64_t seed) {
+            return named(make_transit_stub(ts1008_params(), seed ^ 0x747331303038ULL),
+                         "ts1008");
+          }};
+}
+
+network_entry ti5000_entry() {
+  return {"ti5000", network_kind::generated, [](std::uint64_t seed) {
+            return named(make_tiers(ti5000_params(), seed ^ 0x746935303030ULL),
+                         "ti5000");
+          }};
+}
+
+network_entry arpa_entry() {
+  return {"ARPA", network_kind::real,
+          [](std::uint64_t /*seed*/) { return make_arpanet(); }};
+}
+
+network_entry mbone_entry() {
+  return {"MBone", network_kind::real, [](std::uint64_t seed) {
+            mbone_params p;
+            return named(make_mbone(p, seed ^ 0x6d626f6e65ULL), "MBone");
+          }};
+}
+
+network_entry internet_entry() {
+  return {"Internet", network_kind::real, [](std::uint64_t seed) {
+            barabasi_albert_params p;
+            p.nodes = 30000;  // paper: 56,317-node SCAN router map
+            p.edges_per_node = 2;
+            return named(make_barabasi_albert(p, seed ^ 0x696e6574ULL), "Internet");
+          }};
+}
+
+network_entry as_entry() {
+  return {"AS", network_kind::real, [](std::uint64_t seed) {
+            barabasi_albert_params p;
+            p.nodes = 4750;  // paper: NLANR AS map, 1999-03-24
+            p.edges_per_node = 2;
+            return named(make_barabasi_albert(p, seed ^ 0x617353ULL), "AS");
+          }};
+}
+
+}  // namespace
+
+std::vector<network_entry> generated_networks() {
+  return {r100_entry(), ts1000_entry(), ts1008_entry(), ti5000_entry()};
+}
+
+std::vector<network_entry> real_networks() {
+  return {arpa_entry(), mbone_entry(), internet_entry(), as_entry()};
+}
+
+std::vector<network_entry> paper_networks() {
+  std::vector<network_entry> all = generated_networks();
+  for (auto& e : real_networks()) all.push_back(std::move(e));
+  return all;
+}
+
+network_entry find_network(const std::string& name) {
+  for (auto& e : paper_networks()) {
+    if (e.name == name) return e;
+  }
+  throw std::invalid_argument("mcast: unknown network name: " + name);
+}
+
+std::vector<network_entry> scaled_networks(const std::vector<network_entry>& suite,
+                                           node_id max_nodes) {
+  expects(max_nodes >= 64, "scaled_networks: max_nodes must be >= 64");
+  std::vector<network_entry> out;
+  out.reserve(suite.size());
+  for (const network_entry& e : suite) {
+    network_entry small = e;
+    if (e.name == "ts1000" || e.name == "ts1008") {
+      const bool dense = e.name == "ts1008";
+      small.build = [dense, max_nodes, name = e.name](std::uint64_t seed) {
+        transit_stub_params p = dense ? ts1008_params() : ts1000_params();
+        // Shrink by cutting stub fanout until under budget.
+        while (transit_stub_node_count(p) > max_nodes && p.stub_domain_size > 1) {
+          --p.stub_domain_size;
+        }
+        while (transit_stub_node_count(p) > max_nodes && p.transit_domains > 1) {
+          --p.transit_domains;
+        }
+        return named(make_transit_stub(p, seed), name);
+      };
+    } else if (e.name == "ti5000") {
+      small.build = [max_nodes](std::uint64_t seed) {
+        tiers_params p = ti5000_params();
+        while (tiers_node_count(p) > max_nodes && p.man_count > 1) --p.man_count;
+        while (tiers_node_count(p) > max_nodes && p.lans_per_man > 1) --p.lans_per_man;
+        while (tiers_node_count(p) > max_nodes && p.wan_size > 8) p.wan_size /= 2;
+        return named(make_tiers(p, seed), "ti5000");
+      };
+    } else if (e.name == "MBone") {
+      small.build = [max_nodes](std::uint64_t seed) {
+        mbone_params p;
+        p.substrate.nodes = std::max<node_id>(64, max_nodes * 3);
+        p.overlay_nodes = std::max<node_id>(32, max_nodes / 2);
+        return named(make_mbone(p, seed), "MBone");
+      };
+    } else if (e.name == "Internet" || e.name == "AS") {
+      const bool is_as = e.name == "AS";
+      const node_id nodes = std::min<node_id>(max_nodes, is_as ? 4750 : 30000);
+      // Perturb the seed per entry so a budget that shrinks both to the
+      // same size still yields two different graphs.
+      const std::uint64_t salt = is_as ? 0x617353ULL : 0x696e6574ULL;
+      small.build = [nodes, salt, name = e.name](std::uint64_t seed) {
+        barabasi_albert_params p;
+        p.nodes = std::max<node_id>(64, nodes);
+        p.edges_per_node = 2;
+        return named(make_barabasi_albert(p, seed ^ salt), name);
+      };
+    }
+    // r100 and ARPA are already tiny.
+    out.push_back(std::move(small));
+  }
+  return out;
+}
+
+}  // namespace mcast

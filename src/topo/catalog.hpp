@@ -1,0 +1,51 @@
+// The paper's eight-network evaluation suite (Table 1), reproduced with
+// this library's generators and substitutions (DESIGN.md §3):
+//
+//   generated: r100 (Waxman), ts1000, ts1008 (transit-stub), ti5000 (TIERS)
+//   real-ish : ARPA (embedded), MBone (overlay model),
+//              Internet (Barabási–Albert, 30k), AS (Barabási–Albert, 4750)
+//
+// Each entry builds lazily — the Internet-scale graphs take a couple of
+// seconds — and deterministically from (entry seed base, caller seed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mcast {
+
+/// Which half of Figure 1 / 6 / 7 a network belongs to.
+enum class network_kind { generated, real };
+
+/// A named, lazily-constructed topology.
+struct network_entry {
+  std::string name;
+  network_kind kind = network_kind::generated;
+  /// Builds the topology; `seed` perturbs the generator (ARPA ignores it).
+  std::function<graph(std::uint64_t seed)> build;
+};
+
+/// All eight networks in the paper's Table 1 order.
+std::vector<network_entry> paper_networks();
+
+/// The subset used in Figure 1(a)/6(a)/7(a): r100, ts1000, ts1008, ti5000.
+std::vector<network_entry> generated_networks();
+
+/// The subset used in Figure 1(b)/6(b)/7(b): ARPA, MBone, Internet, AS.
+std::vector<network_entry> real_networks();
+
+/// Looks an entry up by name ("r100", "ARPA", ...). Throws
+/// std::invalid_argument for unknown names.
+network_entry find_network(const std::string& name);
+
+/// Scales a network suite down for quick runs: entries whose default size
+/// exceeds `max_nodes` get rebuilt with a smaller parameterization of the
+/// same style. Used by tests and by benches under MCAST_BENCH_SCALE=0.
+std::vector<network_entry> scaled_networks(const std::vector<network_entry>& suite,
+                                           node_id max_nodes);
+
+}  // namespace mcast

@@ -1,0 +1,42 @@
+// MBone-like overlay topologies.
+//
+// The paper's MBone map (collected by the SCAN project) is an *overlay*:
+// multicast routers connected by DVMRP tunnels that ride on top of unicast
+// paths. The paper observes that this overlay character gives the MBone a
+// sub-exponential reachability function T(r) (Section 4.2, Fig 7b), making
+// it one of the topologies where the k-ary-tree asymptotics fit poorly.
+//
+// We reproduce the *mechanism*, not just the symptom: generate a unicast
+// substrate (Waxman), choose a subset of its nodes to run multicast, and
+// wire them with tunnels along a minimum spanning tree of substrate hop
+// distance, plus a small fraction of redundant tunnels. MSTs over graph
+// metrics are chain-heavy, which yields the long tendrils and slight T(r)
+// concavity of the real MBone.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "sim/rng.hpp"
+#include "topo/waxman.hpp"
+
+namespace mcast {
+
+struct mbone_params {
+  /// Substrate the tunnels ride on.
+  waxman_params substrate{.nodes = 8000, .alpha = 0.08, .beta = 0.12,
+                          .plane_size = 100.0, .ensure_connected = true};
+  node_id overlay_nodes = 2500;   ///< multicast routers, >= 2, <= substrate
+  /// Extra (redundant) tunnels as a fraction of overlay_nodes, >= 0.
+  double extra_tunnel_fraction = 0.08;
+};
+
+/// Generates an MBone-like overlay graph: nodes are the overlay routers
+/// (renumbered 0..overlay_nodes-1), edges are tunnels. Connected by
+/// construction. Deterministic given (params, seed).
+graph make_mbone(const mbone_params& params, rng& gen);
+
+/// Convenience overload seeding a fresh engine from `seed`.
+graph make_mbone(const mbone_params& params, std::uint64_t seed);
+
+}  // namespace mcast

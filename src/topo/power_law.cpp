@@ -1,0 +1,121 @@
+#include "topo/power_law.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/contract.hpp"
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+
+namespace mcast {
+
+graph make_barabasi_albert(const barabasi_albert_params& p, rng& gen) {
+  expects(p.nodes >= 2, "make_barabasi_albert: nodes must be >= 2");
+  expects(p.edges_per_node >= 1,
+          "make_barabasi_albert: edges_per_node must be >= 1");
+  expects(p.edges_per_node < p.nodes,
+          "make_barabasi_albert: edges_per_node must be < nodes");
+
+  graph_builder b(p.nodes);
+  b.set_name("ba" + std::to_string(p.nodes));
+
+  // `endpoints` holds every edge endpoint seen so far; sampling an entry
+  // uniformly is sampling a node proportionally to its degree.
+  std::vector<node_id> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(p.nodes) * p.edges_per_node * 2);
+
+  // Seed core: a star over the first m+1 nodes (connected, gives every
+  // seed node nonzero degree so preferential attachment is well defined).
+  const node_id core = p.edges_per_node + 1;
+  for (node_id v = 1; v < core; ++v) {
+    b.add_edge(0, v);
+    endpoints.push_back(0);
+    endpoints.push_back(v);
+  }
+
+  std::vector<node_id> chosen;
+  for (node_id v = core; v < p.nodes; ++v) {
+    chosen.clear();
+    // Draw `edges_per_node` distinct targets proportional to degree.
+    while (chosen.size() < p.edges_per_node) {
+      const node_id t = endpoints[gen.below(endpoints.size())];
+      if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+        chosen.push_back(t);
+      }
+    }
+    for (node_id t : chosen) {
+      b.add_edge(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return b.build();
+}
+
+graph make_barabasi_albert(const barabasi_albert_params& params,
+                           std::uint64_t seed) {
+  rng gen(seed);
+  return make_barabasi_albert(params, gen);
+}
+
+graph make_chung_lu(const chung_lu_params& p, rng& gen) {
+  expects(p.nodes >= 2, "make_chung_lu: nodes must be >= 2");
+  expects(p.exponent > 1.0, "make_chung_lu: exponent must be > 1");
+  expects(p.min_degree > 0.0, "make_chung_lu: min_degree must be positive");
+  expects(p.max_degree_fraction > 0.0 && p.max_degree_fraction <= 1.0,
+          "make_chung_lu: max_degree_fraction must be in (0,1]");
+
+  // Expected degrees w_i = min_degree * (i+1)^{-1/(exponent-1)} scaled:
+  // the standard continuous power-law rank sequence, capped.
+  const double inv = 1.0 / (p.exponent - 1.0);
+  const double cap = p.max_degree_fraction * static_cast<double>(p.nodes);
+  std::vector<double> w(p.nodes);
+  double wsum = 0.0;
+  for (node_id i = 0; i < p.nodes; ++i) {
+    const double rank = static_cast<double>(i) + 1.0;
+    w[i] = std::min(cap, p.min_degree * std::pow(static_cast<double>(p.nodes) / rank, inv));
+    wsum += w[i];
+  }
+
+  // Efficient Chung-Lu sampling (Miller & Hagberg '11): walk pairs in rank
+  // order with geometric skipping, since w is non-increasing.
+  graph_builder b(p.nodes);
+  b.set_name("cl" + std::to_string(p.nodes));
+  for (node_id u = 0; u < p.nodes; ++u) {
+    node_id v = u + 1;
+    double prob_prev = 1.0;
+    while (v < p.nodes) {
+      double prob = std::min(1.0, w[u] * w[v] / wsum);
+      if (prob < prob_prev) prob_prev = prob;
+      if (prob_prev <= 0.0) break;
+      // Geometric skip: number of trials until the next success at rate
+      // prob_prev, then accept with prob/prob_prev.
+      if (prob_prev < 1.0) {
+        const double r = 1.0 - gen.uniform();  // in (0, 1]
+        const double skip = std::floor(std::log(r) / std::log(1.0 - prob_prev));
+        v += static_cast<node_id>(std::min(skip, 4.0e9));
+        if (v >= p.nodes) break;
+        prob = std::min(1.0, w[u] * w[v] / wsum);
+      }
+      if (gen.uniform() < prob / prob_prev) b.add_edge(u, v);
+      prob_prev = prob;
+      ++v;
+    }
+  }
+  graph g = b.build();
+  if (p.keep_largest_component) {
+    std::string name = g.name();
+    g = largest_component(g);
+    g.set_name(std::move(name));
+  }
+  return g;
+}
+
+graph make_chung_lu(const chung_lu_params& params, std::uint64_t seed) {
+  rng gen(seed);
+  return make_chung_lu(params, gen);
+}
+
+}  // namespace mcast

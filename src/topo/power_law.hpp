@@ -1,0 +1,54 @@
+// Power-law random graphs.
+//
+// The paper's "Internet" (SCAN router map, 56k nodes) and "AS" (NLANR
+// BGP map) topologies are not redistributable; we substitute generative
+// models with the property the paper actually relies on — power-law degree
+// distributions (Faloutsos^3, SIGCOMM '99, the paper's reference [8])
+// combined with exponential neighborhood growth T(r) until saturation
+// (Fig 7b).
+//
+// Two models:
+//  * Barabási–Albert preferential attachment: grows a connected graph,
+//    each new node attaching to `edges_per_node` existing nodes chosen
+//    proportionally to degree.
+//  * Chung–Lu: expected-degree model for a prescribed power-law exponent;
+//    useful to sweep the exponent independently of growth dynamics.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "sim/rng.hpp"
+
+namespace mcast {
+
+struct barabasi_albert_params {
+  node_id nodes = 1000;        ///< >= 2
+  unsigned edges_per_node = 2; ///< attachments per new node, >= 1
+};
+
+/// Generates a Barabási–Albert graph (connected by construction).
+/// Deterministic given (params, seed).
+graph make_barabasi_albert(const barabasi_albert_params& params, rng& gen);
+
+/// Convenience overload seeding a fresh engine from `seed`.
+graph make_barabasi_albert(const barabasi_albert_params& params,
+                           std::uint64_t seed);
+
+struct chung_lu_params {
+  node_id nodes = 1000;    ///< >= 2
+  double exponent = 2.5;   ///< power-law exponent of expected degrees, > 1
+  double min_degree = 1.0; ///< expected-degree floor, > 0
+  double max_degree_fraction = 0.1;  ///< cap = fraction * nodes, in (0,1]
+  bool keep_largest_component = true;
+};
+
+/// Generates a Chung–Lu expected-degree power-law graph. When
+/// keep_largest_component is set, the returned graph is the (renumbered)
+/// giant component. Deterministic given (params, seed).
+graph make_chung_lu(const chung_lu_params& params, rng& gen);
+
+/// Convenience overload seeding a fresh engine from `seed`.
+graph make_chung_lu(const chung_lu_params& params, std::uint64_t seed);
+
+}  // namespace mcast

@@ -1,0 +1,130 @@
+#include "topo/random.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/contract.hpp"
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+
+namespace mcast {
+
+graph make_erdos_renyi(const erdos_renyi_params& p, rng& gen) {
+  expects(p.nodes >= 1, "make_erdos_renyi: nodes must be >= 1");
+  expects(p.edge_prob >= 0.0 && p.edge_prob <= 1.0,
+          "make_erdos_renyi: edge_prob must be in [0,1]");
+
+  graph_builder b(p.nodes);
+  b.set_name("er" + std::to_string(p.nodes));
+  if (p.edge_prob >= 1.0) {
+    for (node_id u = 0; u < p.nodes; ++u) {
+      for (node_id v = u + 1; v < p.nodes; ++v) b.add_edge(u, v);
+    }
+  } else if (p.edge_prob > 0.0) {
+    // Walk the strictly-upper-triangular pair sequence with geometric
+    // skips: the next linked pair is Geometric(p) steps away.
+    const double log_q = std::log1p(-p.edge_prob);
+    const std::uint64_t total_pairs =
+        static_cast<std::uint64_t>(p.nodes) * (p.nodes - 1) / 2;
+    // Map a linear pair index to (u, v), u < v, row-major over u.
+    auto pair_of = [&](std::uint64_t idx) {
+      // Find u such that idx falls into u's row of (nodes-1-u) pairs.
+      node_id u = 0;
+      std::uint64_t row = p.nodes - 1;
+      while (idx >= row) {
+        idx -= row;
+        ++u;
+        --row;
+      }
+      return edge{u, static_cast<node_id>(u + 1 + idx)};
+    };
+    std::uint64_t idx = 0;
+    while (true) {
+      const double r = 1.0 - gen.uniform();  // (0, 1]
+      const double skip = std::floor(std::log(r) / log_q);
+      if (skip >= static_cast<double>(total_pairs)) break;  // no more pairs
+      idx += static_cast<std::uint64_t>(skip);
+      if (idx >= total_pairs) break;
+      const edge e = pair_of(idx);
+      b.add_edge(e.a, e.b);
+      ++idx;
+      if (idx >= total_pairs) break;
+    }
+  }
+  graph g = b.build();
+  if (p.keep_largest_component && !g.empty()) {
+    std::string name = g.name();
+    g = largest_component(g);
+    g.set_name(std::move(name));
+  }
+  return g;
+}
+
+graph make_erdos_renyi(const erdos_renyi_params& params, std::uint64_t seed) {
+  rng gen(seed);
+  return make_erdos_renyi(params, gen);
+}
+
+graph make_random_regular(const random_regular_params& p, rng& gen) {
+  expects(p.nodes >= 2, "make_random_regular: nodes must be >= 2");
+  expects(p.degree >= 1, "make_random_regular: degree must be >= 1");
+  expects(p.degree < p.nodes, "make_random_regular: degree must be < nodes");
+  expects((static_cast<std::uint64_t>(p.nodes) * p.degree) % 2 == 0,
+          "make_random_regular: nodes * degree must be even");
+  expects(p.max_attempts >= 1, "make_random_regular: need >= 1 attempt");
+
+  // Pairing model: d "stubs" per node, shuffled and paired consecutively;
+  // reject matchings with self-loops or parallel edges and reshuffle.
+  std::vector<node_id> stubs;
+  stubs.reserve(static_cast<std::size_t>(p.nodes) * p.degree);
+  for (node_id v = 0; v < p.nodes; ++v) {
+    for (unsigned i = 0; i < p.degree; ++i) stubs.push_back(v);
+  }
+
+  for (unsigned attempt = 0; attempt < p.max_attempts; ++attempt) {
+    for (std::size_t i = stubs.size(); i > 1; --i) {
+      const std::size_t j = gen.below(i);
+      std::swap(stubs[i - 1], stubs[j]);
+    }
+    graph_builder b(p.nodes);
+    bool simple = true;
+    // Track adjacency with a per-attempt hash-free check: since degree is
+    // small, scan the builder's per-node short lists via a local table.
+    std::vector<std::vector<node_id>> adj(p.nodes);
+    for (std::size_t i = 0; i + 1 < stubs.size() && simple; i += 2) {
+      const node_id a = stubs[i];
+      const node_id c = stubs[i + 1];
+      if (a == c) {
+        simple = false;
+        break;
+      }
+      for (node_id w : adj[a]) {
+        if (w == c) {
+          simple = false;
+          break;
+        }
+      }
+      if (!simple) break;
+      adj[a].push_back(c);
+      adj[c].push_back(a);
+      b.add_edge(a, c);
+    }
+    if (simple) {
+      b.set_name("rr" + std::to_string(p.nodes) + "d" + std::to_string(p.degree));
+      return b.build();
+    }
+  }
+  throw std::runtime_error(
+      "mcast: make_random_regular: no simple matching found; raise "
+      "max_attempts or lower the degree");
+}
+
+graph make_random_regular(const random_regular_params& params,
+                          std::uint64_t seed) {
+  rng gen(seed);
+  return make_random_regular(params, gen);
+}
+
+}  // namespace mcast

@@ -1,0 +1,50 @@
+// Classic random-graph models.
+//
+// Section 4.2 opens with "Random graphs and k-ary trees have the property
+// that S(r) is exponentially increasing" — these two generators make that
+// claim testable directly:
+//   * Erdős–Rényi G(n, p): every pair linked independently with
+//     probability p.
+//   * Random d-regular graphs (configuration/pairing model): every node
+//     has exactly degree d; locally tree-like, S(r) ≈ d·(d-1)^{r-1}.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "sim/rng.hpp"
+
+namespace mcast {
+
+struct erdos_renyi_params {
+  node_id nodes = 100;   ///< >= 1
+  double edge_prob = 0.05;  ///< in [0, 1]
+  /// Return only the largest connected component (renumbered); sparse G(n,p)
+  /// below the connectivity threshold is otherwise fragmented.
+  bool keep_largest_component = true;
+};
+
+/// Generates G(n, p) with geometric pair-skipping (O(n + E) expected).
+/// Deterministic given (params, seed).
+graph make_erdos_renyi(const erdos_renyi_params& params, rng& gen);
+
+/// Convenience overload seeding a fresh engine from `seed`.
+graph make_erdos_renyi(const erdos_renyi_params& params, std::uint64_t seed);
+
+struct random_regular_params {
+  node_id nodes = 100;  ///< >= 2
+  unsigned degree = 3;  ///< >= 1; nodes * degree must be even, degree < nodes
+  /// Pairing-model retries before giving up (a fresh shuffle each time).
+  unsigned max_attempts = 200;
+};
+
+/// Generates a uniform-ish random d-regular simple graph via the pairing
+/// model with rejection. Throws std::runtime_error if no simple matching is
+/// found within max_attempts (vanishingly unlikely for d << n).
+/// Deterministic given (params, seed).
+graph make_random_regular(const random_regular_params& params, rng& gen);
+
+/// Convenience overload seeding a fresh engine from `seed`.
+graph make_random_regular(const random_regular_params& params, std::uint64_t seed);
+
+}  // namespace mcast

@@ -1,0 +1,38 @@
+// Deterministic regular topologies: path, ring, star, complete graph and
+// 2-D grid. These serve three roles: hand-checkable fixtures for the test
+// suite, building blocks for the MBone-like overlay generator, and the
+// polynomial-reachability extreme in the Fig 8 discussion (a grid has
+// S(r) ~ r, the slow-growth case of Section 4.3).
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace mcast {
+
+/// Path 0-1-...-(n-1). Requires n >= 1.
+graph make_path(node_id n);
+
+/// Cycle on n nodes. Requires n >= 3.
+graph make_ring(node_id n);
+
+/// Star with center 0 and n-1 spokes. Requires n >= 1.
+graph make_star(node_id n);
+
+/// Complete graph K_n. Requires n >= 1.
+graph make_complete(node_id n);
+
+/// rows x cols 4-neighbor grid, node (r,c) = r*cols + c.
+/// Requires rows >= 1 and cols >= 1.
+graph make_grid(node_id rows, node_id cols);
+
+/// rows x cols torus (grid with wrap-around links): S(r) grows linearly —
+/// the polynomial-reachability regime of Section 4.3 as an actual graph.
+/// Requires rows >= 3 and cols >= 3 (smaller wraps collapse to multi-edges).
+graph make_torus(node_id rows, node_id cols);
+
+/// dim-dimensional hypercube (2^dim nodes, node ids are coordinate
+/// bitmasks): S(r) = C(dim, r), a super-exponential-then-collapsing
+/// reachability profile. Requires 1 <= dim <= 20.
+graph make_hypercube(unsigned dim);
+
+}  // namespace mcast

@@ -1,0 +1,183 @@
+#include "topo/tiers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/contract.hpp"
+#include "graph/builder.hpp"
+
+namespace mcast {
+
+namespace {
+
+struct point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double sqdist(const point& a, const point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+// Wires `members` (with coordinates pos[i] for members[i]) as a Euclidean
+// MST (Prim) plus redundancy: each node links to its (redundancy - 1)
+// nearest non-neighbor nodes.
+void wire_mesh(graph_builder& b, const std::vector<node_id>& members,
+               const std::vector<point>& pos, unsigned redundancy) {
+  const std::size_t n = members.size();
+  if (n <= 1) return;
+
+  // Prim's MST over the complete Euclidean graph.
+  std::vector<bool> in_tree(n, false);
+  std::vector<double> best(n, std::numeric_limits<double>::infinity());
+  std::vector<std::size_t> best_from(n, 0);
+  in_tree[0] = true;
+  for (std::size_t j = 1; j < n; ++j) {
+    best[j] = sqdist(pos[0], pos[j]);
+    best_from[j] = 0;
+  }
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (std::size_t step = 1; step < n; ++step) {
+    std::size_t pick = n;
+    double pick_d = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!in_tree[j] && best[j] < pick_d) {
+        pick_d = best[j];
+        pick = j;
+      }
+    }
+    MCAST_ASSERT(pick < n);
+    in_tree[pick] = true;
+    b.add_edge(members[pick], members[best_from[pick]]);
+    adj[pick].push_back(best_from[pick]);
+    adj[best_from[pick]].push_back(pick);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!in_tree[j]) {
+        const double d = sqdist(pos[pick], pos[j]);
+        if (d < best[j]) {
+          best[j] = d;
+          best_from[j] = pick;
+        }
+      }
+    }
+  }
+
+  // Redundancy: (redundancy - 1) extra links per node to nearest non-neighbors.
+  if (redundancy <= 1) return;
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t c) {
+      return sqdist(pos[i], pos[a]) < sqdist(pos[i], pos[c]);
+    });
+    unsigned added = 0;
+    for (std::size_t j : order) {
+      if (added + 1 >= redundancy) break;
+      if (j == i) continue;
+      if (std::find(adj[i].begin(), adj[i].end(), j) != adj[i].end()) continue;
+      b.add_edge(members[i], members[j]);
+      adj[i].push_back(j);
+      adj[j].push_back(i);
+      ++added;
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t tiers_node_count(const tiers_params& p) {
+  return static_cast<std::uint64_t>(p.wan_size) +
+         static_cast<std::uint64_t>(p.man_count) * p.man_size +
+         static_cast<std::uint64_t>(p.man_count) * p.lans_per_man * p.lan_size;
+}
+
+graph make_tiers(const tiers_params& p, rng& gen) {
+  expects(p.wan_size >= 1, "make_tiers: wan_size must be >= 1");
+  expects(p.man_size >= 1 || p.man_count == 0, "make_tiers: man_size must be >= 1");
+  expects(p.lan_size >= 1 || p.lans_per_man == 0,
+          "make_tiers: lan_size must be >= 1");
+  expects(p.wan_redundancy >= 1 && p.man_redundancy >= 1,
+          "make_tiers: redundancy must be >= 1");
+  expects(p.man_wan_redundancy >= 1,
+          "make_tiers: man_wan_redundancy must be >= 1");
+
+  const std::uint64_t total = tiers_node_count(p);
+  expects(total <= 0xFFFFFFF0ULL, "make_tiers: too many nodes");
+  graph_builder b(static_cast<node_id>(total));
+  b.set_name("ti" + std::to_string(total));
+
+  auto place = [&gen](std::size_t n) {
+    std::vector<point> pos(n);
+    for (point& q : pos) {
+      q.x = gen.uniform() * 100.0;
+      q.y = gen.uniform() * 100.0;
+    }
+    return pos;
+  };
+
+  node_id next = 0;
+  // WAN tier.
+  std::vector<node_id> wan(p.wan_size);
+  for (node_id& v : wan) v = next++;
+  wire_mesh(b, wan, place(p.wan_size), p.wan_redundancy);
+
+  // MAN tier.
+  std::vector<std::vector<node_id>> mans(p.man_count);
+  for (auto& man : mans) {
+    man.resize(p.man_size);
+    for (node_id& v : man) v = next++;
+    wire_mesh(b, man, place(p.man_size), p.man_redundancy);
+    // Attach the MAN to the WAN: gateway is the MAN's first router;
+    // man_wan_redundancy distinct WAN routers.
+    std::vector<node_id> targets;
+    for (unsigned r = 0; r < p.man_wan_redundancy; ++r) {
+      node_id t = wan[gen.below(wan.size())];
+      while (std::find(targets.begin(), targets.end(), t) != targets.end() &&
+             targets.size() < wan.size()) {
+        t = wan[gen.below(wan.size())];
+      }
+      targets.push_back(t);
+      b.add_edge(man[0], t);
+    }
+  }
+
+  // LAN tier: stars hanging off random routers of the owning MAN.
+  for (const auto& man : mans) {
+    for (unsigned l = 0; l < p.lans_per_man; ++l) {
+      const node_id gateway = next++;
+      b.add_edge(gateway, man[gen.below(man.size())]);
+      for (unsigned h = 1; h < p.lan_size; ++h) {
+        b.add_edge(gateway, next++);
+      }
+    }
+  }
+  MCAST_ASSERT(next == total);
+  return b.build();
+}
+
+graph make_tiers(const tiers_params& params, std::uint64_t seed) {
+  rng gen(seed);
+  return make_tiers(params, gen);
+}
+
+tiers_params ti5000_params() {
+  // 200 + 20*40 + 20*20*10 = 5000 nodes, most of them degree-1 LAN hosts,
+  // matching the sparse (deg ~2) high-diameter character of TIERS maps.
+  tiers_params p;
+  p.wan_size = 200;
+  p.man_count = 20;
+  p.man_size = 40;
+  p.lans_per_man = 20;
+  p.lan_size = 10;
+  p.wan_redundancy = 2;
+  p.man_redundancy = 1;
+  p.man_wan_redundancy = 1;
+  return p;
+}
+
+}  // namespace mcast

@@ -1,0 +1,49 @@
+// TIERS-style hierarchical topologies after Doar (GLOBECOM '96) — the
+// generator behind the paper's ti5000 network.
+//
+// Three tiers: one WAN, `man_count` MANs, and `lans_per_man` LANs hanging
+// off each MAN. WAN and MAN networks place their routers uniformly in a
+// plane and wire them with a Euclidean minimum spanning tree plus a
+// redundancy parameter R: each router also links to its (R-1) next-nearest
+// neighbors. LANs are stars (one gateway, `lan_size - 1` hosts), which is
+// what gives TIERS maps their many degree-1 nodes, large diameter and the
+// sub-exponential reachability growth the paper observes for ti5000
+// (Fig 7a).
+//
+// Inter-tier wiring: each MAN gateway connects to `man_wan_redundancy`
+// distinct WAN routers; each LAN gateway connects to one MAN router.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "sim/rng.hpp"
+
+namespace mcast {
+
+struct tiers_params {
+  unsigned wan_size = 200;          ///< routers in the WAN, >= 1
+  unsigned man_count = 20;          ///< number of MANs
+  unsigned man_size = 40;           ///< routers per MAN, >= 1
+  unsigned lans_per_man = 20;       ///< LANs attached to each MAN
+  unsigned lan_size = 10;           ///< nodes per LAN (gateway + hosts), >= 1
+  unsigned wan_redundancy = 2;      ///< R for the WAN mesh, >= 1
+  unsigned man_redundancy = 1;      ///< R for each MAN mesh, >= 1
+  unsigned man_wan_redundancy = 1;  ///< WAN attachment links per MAN, >= 1
+};
+
+/// Total nodes the parameterization will produce.
+std::uint64_t tiers_node_count(const tiers_params& p);
+
+/// Generates a TIERS-style graph. Deterministic given (params, seed);
+/// connected by construction.
+graph make_tiers(const tiers_params& params, rng& gen);
+
+/// Convenience overload seeding a fresh engine from `seed`.
+graph make_tiers(const tiers_params& params, std::uint64_t seed);
+
+/// Parameters reproducing the character of the paper's ti5000
+/// (5000 nodes: 200 WAN + 20x40 MAN + 400x10 LAN).
+tiers_params ti5000_params();
+
+}  // namespace mcast

@@ -1,0 +1,153 @@
+#include "topo/transit_stub.hpp"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/contract.hpp"
+#include "graph/builder.hpp"
+
+namespace mcast {
+
+namespace {
+
+// Wires `members` into a connected random subgraph: a random recursive
+// spanning tree plus independent extra edges with probability `extra_prob`.
+void wire_domain(graph_builder& b, const std::vector<node_id>& members,
+                 double extra_prob, rng& gen) {
+  for (std::size_t i = 1; i < members.size(); ++i) {
+    const std::size_t j = gen.below(i);
+    b.add_edge(members[i], members[j]);
+  }
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (std::size_t j = i + 1; j < members.size(); ++j) {
+      if (gen.chance(extra_prob)) b.add_edge(members[i], members[j]);
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t transit_stub_node_count(const transit_stub_params& p) {
+  return static_cast<std::uint64_t>(p.transit_domains) * p.transit_domain_size *
+         (1ULL + static_cast<std::uint64_t>(p.stubs_per_transit_node) *
+                     p.stub_domain_size);
+}
+
+graph make_transit_stub(const transit_stub_params& p, rng& gen) {
+  expects(p.transit_domains >= 1, "make_transit_stub: need >= 1 transit domain");
+  expects(p.transit_domain_size >= 1,
+          "make_transit_stub: transit_domain_size must be >= 1");
+  expects(p.stub_domain_size >= 1,
+          "make_transit_stub: stub_domain_size must be >= 1");
+  expects(p.transit_edge_prob >= 0.0 && p.transit_edge_prob <= 1.0 &&
+              p.stub_edge_prob >= 0.0 && p.stub_edge_prob <= 1.0,
+          "make_transit_stub: edge probabilities must be in [0,1]");
+  expects(p.extra_transit_stub_edges >= 0.0 && p.extra_stub_stub_edges >= 0.0,
+          "make_transit_stub: shortcut edge counts must be non-negative");
+
+  const std::uint64_t total = transit_stub_node_count(p);
+  expects(total <= 0xFFFFFFF0ULL, "make_transit_stub: too many nodes");
+  graph_builder b(static_cast<node_id>(total));
+
+  // Node layout: transit routers first (domain-major), then stub domains in
+  // order of their hosting transit router.
+  const unsigned transit_total = p.transit_domains * p.transit_domain_size;
+  std::vector<std::vector<node_id>> transit_members(p.transit_domains);
+  node_id next = 0;
+  for (unsigned d = 0; d < p.transit_domains; ++d) {
+    for (unsigned i = 0; i < p.transit_domain_size; ++i) {
+      transit_members[d].push_back(next++);
+    }
+  }
+
+  // Intra-transit wiring.
+  for (const auto& members : transit_members) {
+    wire_domain(b, members, p.transit_edge_prob, gen);
+  }
+  // Top-level wiring: random recursive tree over domains, edge between
+  // random routers of the two domains.
+  for (unsigned d = 1; d < p.transit_domains; ++d) {
+    const unsigned other = static_cast<unsigned>(gen.below(d));
+    const node_id u = transit_members[d][gen.below(p.transit_domain_size)];
+    const node_id v = transit_members[other][gen.below(p.transit_domain_size)];
+    b.add_edge(u, v);
+  }
+
+  // Stub domains.
+  struct stub_domain {
+    node_id host;                   // transit router it hangs off
+    std::vector<node_id> members;
+  };
+  std::vector<stub_domain> stubs;
+  stubs.reserve(static_cast<std::size_t>(transit_total) * p.stubs_per_transit_node);
+  for (node_id t = 0; t < transit_total; ++t) {
+    for (unsigned s = 0; s < p.stubs_per_transit_node; ++s) {
+      stub_domain sd;
+      sd.host = t;
+      for (unsigned i = 0; i < p.stub_domain_size; ++i) sd.members.push_back(next++);
+      wire_domain(b, sd.members, p.stub_edge_prob, gen);
+      b.add_edge(sd.host, sd.members[gen.below(sd.members.size())]);
+      stubs.push_back(std::move(sd));
+    }
+  }
+  MCAST_ASSERT(next == total);
+
+  // Shortcut edges. Endpoints are random; counts are the rounded
+  // expectations so graphs of a given parameterization have stable density.
+  const auto shortcuts = [&gen, &stubs](double how_many, auto&& make_one) {
+    const std::size_t count = static_cast<std::size_t>(std::llround(how_many));
+    for (std::size_t i = 0; i < count && !stubs.empty(); ++i) make_one();
+  };
+  shortcuts(p.extra_transit_stub_edges, [&] {
+    const stub_domain& sd = stubs[gen.below(stubs.size())];
+    const node_id t = static_cast<node_id>(gen.below(transit_total));
+    b.add_edge(t, sd.members[gen.below(sd.members.size())]);
+  });
+  shortcuts(p.extra_stub_stub_edges, [&] {
+    const stub_domain& s1 = stubs[gen.below(stubs.size())];
+    const stub_domain& s2 = stubs[gen.below(stubs.size())];
+    b.add_edge(s1.members[gen.below(s1.members.size())],
+               s2.members[gen.below(s2.members.size())]);
+  });
+
+  b.set_name("ts" + std::to_string(total));
+  return b.build();
+}
+
+graph make_transit_stub(const transit_stub_params& params, std::uint64_t seed) {
+  rng gen(seed);
+  return make_transit_stub(params, gen);
+}
+
+transit_stub_params ts1000_params() {
+  // 5 transit domains x 8 routers; 3 stubs x 8 routers per transit router:
+  // 5*8*(1 + 3*8) = 1000 nodes, average degree ~3.6 (paper: 3.6).
+  transit_stub_params p;
+  p.transit_domains = 5;
+  p.transit_domain_size = 8;
+  p.stubs_per_transit_node = 3;
+  p.stub_domain_size = 8;
+  p.transit_edge_prob = 0.6;
+  p.stub_edge_prob = 0.2;
+  p.extra_transit_stub_edges = 100.0;
+  p.extra_stub_stub_edges = 100.0;
+  return p;
+}
+
+transit_stub_params ts1008_params() {
+  // 6 transit domains x 6 routers; 3 stubs x 9 routers per transit router:
+  // 6*6*(1 + 3*9) = 1008 nodes, average degree ~7.5 (paper: 7.5).
+  transit_stub_params p;
+  p.transit_domains = 6;
+  p.transit_domain_size = 6;
+  p.stubs_per_transit_node = 3;
+  p.stub_domain_size = 9;
+  p.transit_edge_prob = 0.9;
+  p.stub_edge_prob = 0.55;
+  p.extra_transit_stub_edges = 250.0;
+  p.extra_stub_stub_edges = 800.0;
+  return p;
+}
+
+}  // namespace mcast

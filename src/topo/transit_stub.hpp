@@ -1,0 +1,63 @@
+// Transit-stub topologies after the GT-ITM model of Calvert, Doar and
+// Zegura (IEEE Communications Magazine '97) — the generator behind the
+// paper's ts1000 and ts1008 networks.
+//
+// Structure (three levels of hierarchy):
+//   * a connected top-level graph of `transit_domains` transit domains;
+//   * each transit domain is a connected random graph of
+//     `transit_domain_size` routers; an inter-domain edge joins random
+//     routers of the two domains;
+//   * every transit router hosts `stubs_per_transit_node` stub domains,
+//     each a connected random graph of `stub_domain_size` routers attached
+//     to its transit router through one random member;
+//   * optional extra transit-stub and stub-stub edges add the cross links
+//     real maps exhibit.
+//
+// Intra-domain connectivity uses a uniform random spanning tree plus
+// independent extra edges with probability `edge_prob`, which is GT-ITM's
+// "random graph, repaired to connected" recipe. Total node count is
+//   transit_domains * transit_domain_size * (1 + stubs_per_transit_node *
+//   stub_domain_size).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "sim/rng.hpp"
+
+namespace mcast {
+
+struct transit_stub_params {
+  unsigned transit_domains = 4;          ///< >= 1
+  unsigned transit_domain_size = 10;     ///< routers per transit domain, >= 1
+  unsigned stubs_per_transit_node = 3;   ///< stub domains per transit router
+  unsigned stub_domain_size = 8;         ///< routers per stub domain, >= 1
+  double transit_edge_prob = 0.6;        ///< extra intra-transit edges, [0,1]
+  double stub_edge_prob = 0.2;           ///< extra intra-stub edges, [0,1]
+  /// Expected number of extra transit-stub shortcut edges for the whole
+  /// graph (drawn Poisson-ish by Bernoulli trials over stub domains).
+  double extra_transit_stub_edges = 0.0;
+  /// Expected number of extra stub-stub shortcut edges.
+  double extra_stub_stub_edges = 0.0;
+};
+
+/// Total nodes the parameterization will produce.
+std::uint64_t transit_stub_node_count(const transit_stub_params& p);
+
+/// Generates a transit-stub graph. Deterministic given (params, seed).
+/// The result is connected by construction.
+graph make_transit_stub(const transit_stub_params& params, rng& gen);
+
+/// Convenience overload seeding a fresh engine from `seed`.
+graph make_transit_stub(const transit_stub_params& params, std::uint64_t seed);
+
+/// Parameters reproducing the character of the paper's ts1000
+/// (1000 nodes, average degree ~= 3.6).
+transit_stub_params ts1000_params();
+
+/// Parameters reproducing the character of the paper's ts1008
+/// (1008 nodes, average degree ~= 7.5 via dense intra-domain wiring and
+/// many shortcut edges).
+transit_stub_params ts1008_params();
+
+}  // namespace mcast

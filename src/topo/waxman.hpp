@@ -1,0 +1,49 @@
+// Waxman random graphs [Waxman '88] — the "pure random" model used by the
+// GT-ITM generator for its flat random ("r") topologies such as the
+// paper's r100 network.
+//
+// Nodes are placed uniformly at random on an L x L plane; each pair (u,v)
+// gets an edge independently with probability
+//
+//     P(u,v) = alpha * exp(-d(u,v) / (beta * L * sqrt(2)))
+//
+// where d is Euclidean distance. alpha controls density, beta the
+// prevalence of long edges. Because multicast experiments require a
+// connected substrate, the generator can optionally repair connectivity by
+// linking components along nearest pairs (the same post-processing GT-ITM
+// users apply in practice).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/rng.hpp"
+
+namespace mcast {
+
+struct waxman_params {
+  node_id nodes = 100;
+  double alpha = 0.2;        ///< edge-probability scale, in (0, 1]
+  double beta = 0.15;        ///< long-edge prevalence, in (0, 1]
+  double plane_size = 100.0; ///< side L of the placement square, > 0
+  bool ensure_connected = true;  ///< repair connectivity via nearest pairs
+};
+
+/// A node's position on the Waxman placement plane.
+struct point2d {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Generates a Waxman graph. Deterministic given (params, seed).
+/// When `positions` is non-null it receives every node's coordinates —
+/// the raw material for Euclidean link weights (graph/weights.hpp).
+/// Throws std::invalid_argument on out-of-range parameters.
+graph make_waxman(const waxman_params& params, rng& gen,
+                  std::vector<point2d>* positions = nullptr);
+
+/// Convenience overload seeding a fresh engine from `seed`.
+graph make_waxman(const waxman_params& params, std::uint64_t seed);
+
+}  // namespace mcast

@@ -1,0 +1,223 @@
+// Affinity model (Section 5): distance oracles, extreme-β closed forms vs
+// greedy construction, Metropolis chain behaviour across β.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "analysis/stats.hpp"
+#include "multicast/affinity.hpp"
+#include "multicast/receivers.hpp"
+#include "topo/kary.hpp"
+#include "topo/regular.hpp"
+
+namespace mcast {
+namespace {
+
+TEST(distance_oracle, kary_matches_graph) {
+  const kary_shape shape(2, 4);
+  const graph g = shape.to_graph();
+  const kary_distance_oracle fast(shape);
+  const graph_distance_oracle slow(g);
+  for (node_id a = 0; a < g.node_count(); a += 3) {
+    for (node_id b = 0; b < g.node_count(); b += 5) {
+      EXPECT_EQ(fast.distance(a, b), slow.distance(a, b));
+    }
+  }
+}
+
+TEST(distance_oracle, graph_oracle_errors) {
+  const graph g = make_path(3);
+  const graph_distance_oracle o(g);
+  EXPECT_THROW(o.distance(0, 5), std::out_of_range);
+}
+
+TEST(extreme_closed_forms, disaffinity_matches_paper_sequence) {
+  // Eq 33 area: ΔL(j) = D - i for j (receivers already placed) in
+  // [k^i, k^{i+1}), with ΔL(0) = D. Here delta = L(m) - L(m-1) = ΔL(m-1).
+  const unsigned k = 2, d = 5;
+  std::uint64_t prev = 0;
+  for (std::uint64_t m = 1; m <= 32; ++m) {
+    const std::uint64_t lm = extreme_disaffinity_kary_tree_size(k, d, m);
+    const std::uint64_t delta = lm - prev;
+    const std::uint64_t j = m - 1;
+    std::uint64_t level = 0;
+    while (j > 0 && (1ULL << (level + 1)) <= j) ++level;
+    EXPECT_EQ(delta, d - level) << "m=" << m;
+    prev = lm;
+  }
+}
+
+TEST(extreme_closed_forms, disaffinity_anchor_values) {
+  // L(1)=D, L(k)=kD, L(k^2)=kD + k(k-1)(D-1) (Section 5.2).
+  for (unsigned k : {2u, 3u, 4u}) {
+    const unsigned d = 6;
+    EXPECT_EQ(extreme_disaffinity_kary_tree_size(k, d, 1), d);
+    EXPECT_EQ(extreme_disaffinity_kary_tree_size(k, d, k), k * d);
+    EXPECT_EQ(extreme_disaffinity_kary_tree_size(k, d, k * k),
+              k * d + k * (k - 1) * (d - 1));
+  }
+}
+
+TEST(extreme_closed_forms, affinity_matches_paper_sequence) {
+  // Section 5.3 binary sequence: ΔL = D,1,2,1,3,1,2,1,...
+  const unsigned d = 6;
+  const std::uint64_t expected_delta[] = {6, 1, 2, 1, 3, 1, 2, 1};
+  std::uint64_t prev = 0;
+  for (std::uint64_t m = 1; m <= 8; ++m) {
+    const std::uint64_t lm = extreme_affinity_kary_tree_size(2, d, m);
+    EXPECT_EQ(lm - prev, expected_delta[m - 1]) << "m=" << m;
+    prev = lm;
+  }
+}
+
+TEST(extreme_closed_forms, affinity_anchor_values) {
+  // L(k^l) = (D - l) + (k^{l+1} - k)/(k - 1): root path + full subtree.
+  for (unsigned k : {2u, 3u}) {
+    const unsigned d = 5;
+    for (unsigned l = 0; l <= 3; ++l) {
+      std::uint64_t kl = 1;
+      for (unsigned i = 0; i < l; ++i) kl *= k;
+      const std::uint64_t subtree = (kl * k - k) / (k - 1);
+      EXPECT_EQ(extreme_affinity_kary_tree_size(k, d, kl), (d - l) + subtree)
+          << "k=" << k << " l=" << l;
+    }
+  }
+}
+
+TEST(extreme_closed_forms, extremes_bound_each_other) {
+  for (std::uint64_t m = 1; m <= 64; ++m) {
+    EXPECT_LE(extreme_affinity_kary_tree_size(2, 6, m),
+              extreme_disaffinity_kary_tree_size(2, 6, m));
+  }
+}
+
+TEST(extreme_closed_forms, domain_errors) {
+  EXPECT_THROW(extreme_affinity_kary_tree_size(1, 3, 1), std::invalid_argument);
+  EXPECT_THROW(extreme_affinity_kary_tree_size(2, 3, 0), std::invalid_argument);
+  EXPECT_THROW(extreme_affinity_kary_tree_size(2, 3, 9), std::invalid_argument);
+  EXPECT_THROW(extreme_disaffinity_kary_tree_size(2, 3, 9), std::invalid_argument);
+}
+
+TEST(greedy, trajectories_match_closed_forms_on_kary_leaves) {
+  const kary_shape shape(2, 4);
+  const graph g = shape.to_graph();
+  const source_tree tree(g, 0);
+  const std::vector<node_id> leaves =
+      leaf_sites(shape.first_leaf(), shape.leaf_count());
+  rng gen(11);
+  const auto spread = greedy_disaffinity_trajectory(tree, leaves, 16, gen);
+  const auto packed = greedy_affinity_trajectory(tree, leaves, 16, gen);
+  ASSERT_EQ(spread.size(), 16u);
+  for (std::uint64_t m = 1; m <= 16; ++m) {
+    EXPECT_EQ(spread[m - 1], extreme_disaffinity_kary_tree_size(2, 4, m))
+        << "greedy disaffinity diverges at m=" << m;
+    EXPECT_EQ(packed[m - 1], extreme_affinity_kary_tree_size(2, 4, m))
+        << "greedy affinity diverges at m=" << m;
+  }
+}
+
+TEST(metropolis, beta_zero_matches_uniform_sampling) {
+  const kary_shape shape(2, 6);
+  const graph g = shape.to_graph();
+  const source_tree tree(g, 0);
+  const std::vector<node_id> universe = all_sites_except(g, 0);
+  const kary_distance_oracle oracle(shape);
+
+  // Uniform (direct) estimate of E[L] for n=20 with replacement.
+  rng gen(21);
+  running_stats direct;
+  delivery_tree_builder builder(tree);
+  for (int rep = 0; rep < 400; ++rep) {
+    builder.reset();
+    for (node_id v : sample_with_replacement(universe, 20, gen)) {
+      builder.add_receiver(v);
+    }
+    direct.add(static_cast<double>(builder.link_count()));
+  }
+
+  affinity_chain_params params;
+  params.beta = 0.0;
+  params.burn_in_sweeps = 4;
+  params.sample_sweeps = 30;
+  params.measurements = 60;
+  running_stats chain;
+  for (int rep = 0; rep < 10; ++rep) {
+    rng local(100 + rep);
+    chain.add(sample_affinity_tree_size(tree, universe, 20, oracle, params, local)
+                  .mean_tree_size);
+  }
+  EXPECT_NEAR(chain.mean(), direct.mean(), 0.05 * direct.mean());
+}
+
+TEST(metropolis, beta_zero_accepts_everything) {
+  const kary_shape shape(2, 4);
+  const graph g = shape.to_graph();
+  const source_tree tree(g, 0);
+  const kary_distance_oracle oracle(shape);
+  affinity_chain_params params;
+  params.beta = 0.0;
+  rng gen(5);
+  const auto est = sample_affinity_tree_size(tree, all_sites_except(g, 0), 10,
+                                             oracle, params, gen);
+  EXPECT_DOUBLE_EQ(est.acceptance_rate, 1.0);
+}
+
+TEST(metropolis, affinity_shrinks_and_disaffinity_grows_tree) {
+  const kary_shape shape(2, 7);
+  const graph g = shape.to_graph();
+  const source_tree tree(g, 0);
+  const std::vector<node_id> universe = all_sites_except(g, 0);
+  const kary_distance_oracle oracle(shape);
+
+  auto run = [&](double beta) {
+    affinity_chain_params params;
+    params.beta = beta;
+    params.burn_in_sweeps = 30;
+    params.sample_sweeps = 10;
+    rng gen(31);
+    return sample_affinity_tree_size(tree, universe, 24, oracle, params, gen);
+  };
+  const auto clustered = run(10.0);
+  const auto uniform = run(0.0);
+  const auto spread = run(-10.0);
+  EXPECT_LT(clustered.mean_tree_size, uniform.mean_tree_size);
+  EXPECT_GT(spread.mean_tree_size, uniform.mean_tree_size);
+  EXPECT_LT(clustered.mean_pair_distance, uniform.mean_pair_distance);
+  EXPECT_GT(spread.mean_pair_distance, uniform.mean_pair_distance);
+}
+
+TEST(metropolis, single_receiver_degenerates_gracefully) {
+  const kary_shape shape(2, 4);
+  const graph g = shape.to_graph();
+  const source_tree tree(g, 0);
+  const kary_distance_oracle oracle(shape);
+  affinity_chain_params params;
+  params.beta = 5.0;  // irrelevant with no pairs
+  rng gen(1);
+  const auto est = sample_affinity_tree_size(tree, all_sites_except(g, 0), 1,
+                                             oracle, params, gen);
+  EXPECT_GT(est.mean_tree_size, 0.0);
+  EXPECT_LE(est.mean_tree_size, 4.0);
+  EXPECT_DOUBLE_EQ(est.mean_pair_distance, 0.0);
+}
+
+TEST(metropolis, parameter_validation) {
+  const kary_shape shape(2, 3);
+  const graph g = shape.to_graph();
+  const source_tree tree(g, 0);
+  const kary_distance_oracle oracle(shape);
+  affinity_chain_params params;
+  rng gen(1);
+  EXPECT_THROW(
+      sample_affinity_tree_size(tree, all_sites_except(g, 0), 0, oracle, params, gen),
+      std::invalid_argument);
+  EXPECT_THROW(sample_affinity_tree_size(tree, {}, 3, oracle, params, gen),
+               std::invalid_argument);
+  params.measurements = 0;
+  EXPECT_THROW(
+      sample_affinity_tree_size(tree, all_sites_except(g, 0), 3, oracle, params, gen),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcast

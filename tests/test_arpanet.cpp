@@ -1,0 +1,46 @@
+// Embedded ARPA topology: exact structural fingerprint.
+#include <gtest/gtest.h>
+
+#include "graph/components.hpp"
+#include "graph/metrics.hpp"
+#include "topo/arpanet.hpp"
+
+namespace mcast {
+namespace {
+
+TEST(arpanet, fixed_fingerprint) {
+  const graph g = make_arpanet();
+  EXPECT_EQ(g.node_count(), 47u);
+  EXPECT_EQ(g.edge_count(), 63u);
+  EXPECT_EQ(g.name(), "ARPA");
+}
+
+TEST(arpanet, average_degree_matches_paper_range) {
+  const graph g = make_arpanet();
+  const double deg = compute_degree_stats(g).mean;
+  // Paper's Table 1 lists ARPA at the low end (~2.7) of its degree range.
+  EXPECT_GT(deg, 2.4);
+  EXPECT_LT(deg, 3.0);
+}
+
+TEST(arpanet, connected_with_substantial_diameter) {
+  const graph g = make_arpanet();
+  EXPECT_TRUE(is_connected(g));
+  const std::size_t diam = diameter_exact(g);
+  // Small network, relatively long paths — the ARPANET character.
+  EXPECT_GE(diam, 6u);
+  EXPECT_LE(diam, 14u);
+}
+
+TEST(arpanet, identical_on_every_call) {
+  EXPECT_EQ(make_arpanet().edges(), make_arpanet().edges());
+}
+
+TEST(arpanet, no_high_degree_hubs) {
+  const degree_stats s = compute_degree_stats(make_arpanet());
+  EXPECT_LE(s.max, 6u) << "ARPANET had no big hubs";
+  EXPECT_GE(s.min, 1u);
+}
+
+}  // namespace
+}  // namespace mcast

@@ -1,0 +1,116 @@
+// BFS: distances, parents, unreachable handling, randomized tie-breaking.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/bfs.hpp"
+#include "graph/builder.hpp"
+#include "sim/rng.hpp"
+#include "topo/regular.hpp"
+
+namespace mcast {
+namespace {
+
+TEST(bfs, path_distances) {
+  const graph g = make_path(5);
+  const bfs_tree t = bfs_from(g, 0);
+  for (node_id v = 0; v < 5; ++v) EXPECT_EQ(t.dist[v], v);
+  EXPECT_EQ(t.parent[0], invalid_node);
+  for (node_id v = 1; v < 5; ++v) EXPECT_EQ(t.parent[v], v - 1);
+}
+
+TEST(bfs, ring_distances_wrap) {
+  const graph g = make_ring(6);
+  const bfs_tree t = bfs_from(g, 0);
+  EXPECT_EQ(t.dist[1], 1u);
+  EXPECT_EQ(t.dist[5], 1u);
+  EXPECT_EQ(t.dist[2], 2u);
+  EXPECT_EQ(t.dist[4], 2u);
+  EXPECT_EQ(t.dist[3], 3u);
+  EXPECT_EQ(t.eccentricity(), 3u);
+}
+
+TEST(bfs, parents_form_shortest_path_tree) {
+  const graph g = make_grid(4, 5);
+  const bfs_tree t = bfs_from(g, 7);
+  for (node_id v = 0; v < g.node_count(); ++v) {
+    if (v == t.source) continue;
+    ASSERT_NE(t.parent[v], invalid_node);
+    EXPECT_EQ(t.dist[v], t.dist[t.parent[v]] + 1);
+    EXPECT_TRUE(g.has_edge(v, t.parent[v]));
+  }
+}
+
+TEST(bfs, deterministic_parent_is_lowest_id_predecessor) {
+  const graph g = make_ring(4);  // node 2 reachable via 1 and 3
+  const bfs_tree t = bfs_from(g, 0);
+  EXPECT_EQ(t.parent[2], 1u);  // lowest-id rule
+}
+
+TEST(bfs, unreachable_component) {
+  graph_builder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const graph g = b.build();
+  const bfs_tree t = bfs_from(g, 0);
+  EXPECT_EQ(t.dist[1], 1u);
+  EXPECT_EQ(t.dist[2], unreachable);
+  EXPECT_EQ(t.dist[3], unreachable);
+  EXPECT_EQ(t.parent[2], invalid_node);
+  EXPECT_EQ(t.reached_count(), 2u);
+  EXPECT_EQ(t.eccentricity(), 1u);
+}
+
+TEST(bfs, distances_only_matches_full) {
+  const graph g = make_grid(6, 7);
+  const bfs_tree t = bfs_from(g, 0);
+  const std::vector<hop_count> d = bfs_distances(g, 0);
+  EXPECT_EQ(t.dist, d);
+}
+
+TEST(bfs, bad_source_throws) {
+  const graph g = make_path(3);
+  EXPECT_THROW(bfs_from(g, 3), std::out_of_range);
+  EXPECT_THROW(bfs_distances(g, 99), std::out_of_range);
+}
+
+TEST(bfs, grid_distance_is_manhattan) {
+  const graph g = make_grid(5, 5);
+  const std::vector<hop_count> d = bfs_distances(g, 0);  // corner (0,0)
+  for (node_id r = 0; r < 5; ++r) {
+    for (node_id c = 0; c < 5; ++c) {
+      EXPECT_EQ(d[r * 5 + c], r + c);
+    }
+  }
+}
+
+TEST(bfs, randomized_parents_preserve_distances) {
+  const graph g = make_grid(5, 5);
+  rng gen(42);
+  const bfs_tree base = bfs_from(g, 12);
+  const bfs_tree t = bfs_from_random_parents(
+      g, 12, [&gen](std::uint32_t k) { return gen.below(k); });
+  EXPECT_EQ(t.dist, base.dist);
+  for (node_id v = 0; v < g.node_count(); ++v) {
+    if (v == t.source) continue;
+    EXPECT_EQ(t.dist[v], t.dist[t.parent[v]] + 1)
+        << "random parent must stay on a shortest path";
+    EXPECT_TRUE(g.has_edge(v, t.parent[v]));
+  }
+}
+
+TEST(bfs, randomized_parents_actually_vary) {
+  const graph g = make_grid(6, 6);
+  rng gen(7);
+  auto pick = [&gen](std::uint32_t k) { return gen.below(k); };
+  const bfs_tree t1 = bfs_from_random_parents(g, 0, pick);
+  bool saw_difference = false;
+  for (int trial = 0; trial < 20 && !saw_difference; ++trial) {
+    const bfs_tree t2 = bfs_from_random_parents(g, 0, pick);
+    saw_difference = t2.parent != t1.parent;
+  }
+  EXPECT_TRUE(saw_difference) << "tie-breaking never chose another parent";
+}
+
+}  // namespace
+}  // namespace mcast

@@ -1,0 +1,87 @@
+// graph_builder: cleaning semantics (dedup, self-loops), reuse, errors.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+
+namespace mcast {
+namespace {
+
+TEST(builder, removes_duplicate_edges) {
+  graph_builder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);  // reversed duplicate
+  b.add_edge(1, 2);
+  EXPECT_EQ(b.raw_edge_count(), 4u);
+  const graph g = b.build();
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(builder, removes_self_loops) {
+  graph_builder b(2);
+  b.add_edge(0, 0);
+  b.add_edge(1, 1);
+  b.add_edge(0, 1);
+  const graph g = b.build();
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
+TEST(builder, zero_node_graph) {
+  graph_builder b(0);
+  const graph g = b.build();
+  EXPECT_TRUE(g.empty());
+}
+
+TEST(builder, endpoint_out_of_range_throws) {
+  graph_builder b(2);
+  EXPECT_THROW(b.add_edge(0, 2), std::out_of_range);
+  EXPECT_THROW(b.add_edge(2, 0), std::out_of_range);
+}
+
+TEST(builder, has_edge_slow_sees_both_orientations) {
+  graph_builder b(3);
+  b.add_edge(2, 1);
+  EXPECT_TRUE(b.has_edge_slow(2, 1));
+  EXPECT_TRUE(b.has_edge_slow(1, 2));
+  EXPECT_FALSE(b.has_edge_slow(0, 1));
+}
+
+TEST(builder, build_is_repeatable) {
+  graph_builder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  const graph g1 = b.build();
+  const graph g2 = b.build();
+  EXPECT_EQ(g1.edge_count(), g2.edge_count());
+  EXPECT_EQ(g1.edges(), g2.edges());
+  // Builder still usable afterwards.
+  b.add_edge(0, 2);
+  EXPECT_EQ(b.build().edge_count(), 3u);
+}
+
+TEST(builder, name_propagates) {
+  graph_builder b(1);
+  b.set_name("tiny");
+  EXPECT_EQ(b.build().name(), "tiny");
+}
+
+TEST(builder, adjacency_sorted_after_unordered_insertion) {
+  graph_builder b(5);
+  b.add_edge(4, 2);
+  b.add_edge(0, 2);
+  b.add_edge(3, 2);
+  b.add_edge(1, 2);
+  const graph g = b.build();
+  const auto adj = g.neighbors(2);
+  ASSERT_EQ(adj.size(), 4u);
+  EXPECT_EQ(adj[0], 0u);
+  EXPECT_EQ(adj[1], 1u);
+  EXPECT_EQ(adj[2], 3u);
+  EXPECT_EQ(adj[3], 4u);
+}
+
+}  // namespace
+}  // namespace mcast

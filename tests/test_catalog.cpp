@@ -1,0 +1,74 @@
+// Topology catalog: the paper suite's membership, lookup, scaling.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/components.hpp"
+#include "topo/catalog.hpp"
+
+namespace mcast {
+namespace {
+
+TEST(catalog, paper_suite_membership_and_order) {
+  const auto all = paper_networks();
+  ASSERT_EQ(all.size(), 8u);
+  EXPECT_EQ(all[0].name, "r100");
+  EXPECT_EQ(all[1].name, "ts1000");
+  EXPECT_EQ(all[2].name, "ts1008");
+  EXPECT_EQ(all[3].name, "ti5000");
+  EXPECT_EQ(all[4].name, "ARPA");
+  EXPECT_EQ(all[5].name, "MBone");
+  EXPECT_EQ(all[6].name, "Internet");
+  EXPECT_EQ(all[7].name, "AS");
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(all[i].kind, network_kind::generated);
+  }
+  for (std::size_t i = 4; i < 8; ++i) {
+    EXPECT_EQ(all[i].kind, network_kind::real);
+  }
+}
+
+TEST(catalog, find_network) {
+  EXPECT_EQ(find_network("ARPA").name, "ARPA");
+  EXPECT_EQ(find_network("ts1008").name, "ts1008");
+  EXPECT_THROW(find_network("nope"), std::invalid_argument);
+}
+
+TEST(catalog, small_entries_build_with_expected_sizes) {
+  EXPECT_EQ(find_network("r100").build(1).node_count(), 100u);
+  EXPECT_EQ(find_network("ARPA").build(1).node_count(), 47u);
+  EXPECT_EQ(find_network("ts1000").build(1).node_count(), 1000u);
+  EXPECT_EQ(find_network("ts1008").build(1).node_count(), 1008u);
+}
+
+TEST(catalog, builds_are_deterministic_in_seed) {
+  const auto entry = find_network("r100");
+  EXPECT_EQ(entry.build(3).edges(), entry.build(3).edges());
+  EXPECT_NE(entry.build(3).edges(), entry.build(4).edges());
+}
+
+TEST(catalog, entries_name_their_graphs) {
+  for (const auto& e : generated_networks()) {
+    if (e.name == "ti5000") continue;  // big; covered in tiers tests
+    EXPECT_EQ(e.build(1).name(), e.name);
+  }
+}
+
+TEST(catalog, scaled_suite_respects_budget) {
+  const auto scaled = scaled_networks(paper_networks(), 600);
+  ASSERT_EQ(scaled.size(), 8u);
+  for (const auto& e : scaled) {
+    const graph g = e.build(2);
+    EXPECT_LE(g.node_count(), 700u) << e.name;  // small headroom for MBone
+    EXPECT_GE(g.node_count(), 40u) << e.name;
+    EXPECT_TRUE(is_connected(largest_component(g))) << e.name;
+    EXPECT_EQ(g.name(), e.name);
+  }
+}
+
+TEST(catalog, scaled_suite_rejects_tiny_budget) {
+  EXPECT_THROW(scaled_networks(paper_networks(), 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcast

@@ -1,0 +1,79 @@
+// Connected components: labeling, extraction, repair.
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "topo/regular.hpp"
+
+namespace mcast {
+namespace {
+
+graph two_islands() {
+  // Island A: 0-1-2 path; island B: 3-4; isolated: 5.
+  graph_builder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  return b.build();
+}
+
+TEST(components, labels_and_sizes) {
+  const component_map cm = connected_components(two_islands());
+  EXPECT_EQ(cm.count, 3u);
+  EXPECT_EQ(cm.label[0], cm.label[1]);
+  EXPECT_EQ(cm.label[1], cm.label[2]);
+  EXPECT_EQ(cm.label[3], cm.label[4]);
+  EXPECT_NE(cm.label[0], cm.label[3]);
+  EXPECT_NE(cm.label[0], cm.label[5]);
+  std::size_t total = 0;
+  for (std::size_t s : cm.size) total += s;
+  EXPECT_EQ(total, 6u);
+}
+
+TEST(components, is_connected) {
+  EXPECT_TRUE(is_connected(make_ring(5)));
+  EXPECT_FALSE(is_connected(two_islands()));
+  EXPECT_TRUE(is_connected(graph{}));  // empty counts as connected
+  EXPECT_TRUE(is_connected(make_path(1)));
+}
+
+TEST(components, largest_component_extraction) {
+  const graph g = largest_component(two_islands());
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(components, largest_component_preserves_name) {
+  graph g = two_islands();
+  g.set_name("islands");
+  EXPECT_EQ(largest_component(g).name(), "islands");
+}
+
+TEST(components, largest_component_of_connected_graph_is_identity_shaped) {
+  const graph ring = make_ring(7);
+  const graph lc = largest_component(ring);
+  EXPECT_EQ(lc.node_count(), ring.node_count());
+  EXPECT_EQ(lc.edge_count(), ring.edge_count());
+}
+
+TEST(components, largest_component_of_empty_graph) {
+  EXPECT_TRUE(largest_component(graph{}).empty());
+}
+
+TEST(components, connect_components_adds_minimum_edges) {
+  const graph g = connect_components(two_islands());
+  EXPECT_TRUE(is_connected(g));
+  // 3 components need exactly 2 extra edges.
+  EXPECT_EQ(g.edge_count(), 3u + 2u);
+  EXPECT_EQ(g.node_count(), 6u);
+}
+
+TEST(components, connect_components_noop_when_connected) {
+  const graph ring = make_ring(5);
+  const graph g = connect_components(ring);
+  EXPECT_EQ(g.edge_count(), ring.edge_count());
+}
+
+}  // namespace
+}  // namespace mcast

@@ -1,0 +1,36 @@
+// Contract helpers: the exception types and messages API misuse produces.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/contract.hpp"
+
+namespace mcast {
+namespace {
+
+TEST(contract, expects_passes_on_true) {
+  EXPECT_NO_THROW(expects(true, "never fires"));
+}
+
+TEST(contract, expects_throws_invalid_argument) {
+  EXPECT_THROW(expects(false, "boom"), std::invalid_argument);
+}
+
+TEST(contract, expects_message_carries_prefix_and_reason) {
+  try {
+    expects(false, "k must be >= 2");
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("mcast"), std::string::npos);
+    EXPECT_NE(what.find("k must be >= 2"), std::string::npos);
+  }
+}
+
+TEST(contract, expects_in_range_throws_out_of_range) {
+  EXPECT_NO_THROW(expects_in_range(true, "fine"));
+  EXPECT_THROW(expects_in_range(false, "index"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace mcast

@@ -1,0 +1,73 @@
+// table_writer and series output: formatting contracts the benches rely on.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/csv.hpp"
+
+namespace mcast {
+namespace {
+
+TEST(csv, table_requires_headers) {
+  EXPECT_THROW(table_writer({}), std::invalid_argument);
+}
+
+TEST(csv, table_row_arity_checked) {
+  table_writer t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(csv, table_prints_aligned_columns) {
+  table_writer t({"name", "n"});
+  t.add_row({"short", "1"});
+  t.add_row({"much-longer-name", "22"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("much-longer-name"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  // Header line and each row start at column 0; the "n" column must be
+  // aligned to the same offset on every line.
+  std::istringstream lines(text);
+  std::string header, rule, r1, r2;
+  std::getline(lines, header);
+  std::getline(lines, rule);
+  std::getline(lines, r1);
+  std::getline(lines, r2);
+  EXPECT_EQ(header.find('n', 4), r1.find('1'));
+  EXPECT_EQ(r1.find('1'), r2.find("22"));
+}
+
+TEST(csv, num_formats_significant_digits) {
+  EXPECT_EQ(table_writer::num(3.14159, 3), "3.14");
+  EXPECT_EQ(table_writer::num(1234.0, 2), "1.2e+03");
+  EXPECT_EQ(table_writer::num(2.0), "2");
+}
+
+TEST(csv, series_block_format) {
+  std::ostringstream out;
+  print_series(out, "curve-A", {1.0, 2.0}, {10.0, 20.0});
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# series: curve-A\n"), std::string::npos);
+  EXPECT_NE(text.find("1 10\n"), std::string::npos);
+  EXPECT_NE(text.find("2 20\n"), std::string::npos);
+  EXPECT_TRUE(text.ends_with("\n\n")) << "series blocks end with a blank line";
+}
+
+TEST(csv, series_size_mismatch_throws) {
+  std::ostringstream out;
+  EXPECT_THROW(print_series(out, "bad", {1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(csv, fit_line_format) {
+  std::ostringstream out;
+  print_fit_line(out, "fig1/r100", "exponent=0.79 r2=0.99");
+  EXPECT_EQ(out.str(), "FIT: fig1/r100 exponent=0.79 r2=0.99\n");
+}
+
+}  // namespace
+}  // namespace mcast

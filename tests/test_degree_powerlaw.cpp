@@ -1,0 +1,76 @@
+// Degree CCDF and power-law tail fitting (the Faloutsos^3 diagnostic).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "analysis/degree_powerlaw.hpp"
+#include "topo/power_law.hpp"
+#include "topo/random.hpp"
+#include "topo/regular.hpp"
+
+namespace mcast {
+namespace {
+
+TEST(degree_ccdf, exact_on_star) {
+  // Star of 6: degrees {5, 1, 1, 1, 1, 1}.
+  const auto ccdf = degree_ccdf(make_star(6));
+  ASSERT_EQ(ccdf.size(), 2u);
+  EXPECT_EQ(ccdf[0].degree, 1u);
+  EXPECT_DOUBLE_EQ(ccdf[0].fraction, 1.0);
+  EXPECT_EQ(ccdf[1].degree, 5u);
+  EXPECT_NEAR(ccdf[1].fraction, 1.0 / 6.0, 1e-12);
+}
+
+TEST(degree_ccdf, monotone_nonincreasing) {
+  barabasi_albert_params p;
+  p.nodes = 2000;
+  const auto ccdf = degree_ccdf(make_barabasi_albert(p, 3));
+  ASSERT_GT(ccdf.size(), 5u);
+  for (std::size_t i = 1; i < ccdf.size(); ++i) {
+    EXPECT_LT(ccdf[i - 1].degree, ccdf[i].degree);
+    EXPECT_GE(ccdf[i - 1].fraction, ccdf[i].fraction);
+  }
+  EXPECT_DOUBLE_EQ(ccdf.front().fraction, 1.0);
+}
+
+TEST(degree_ccdf, empty_graph) {
+  EXPECT_TRUE(degree_ccdf(graph{}).empty());
+}
+
+TEST(degree_powerlaw, barabasi_albert_exponent_near_three) {
+  // BA's theoretical pdf exponent is 3.
+  barabasi_albert_params p;
+  p.nodes = 20000;
+  p.edges_per_node = 2;
+  const auto fit = fit_degree_powerlaw(make_barabasi_albert(p, 7), 2);
+  EXPECT_GT(fit.exponent, 2.2);
+  EXPECT_LT(fit.exponent, 3.8);
+  EXPECT_GT(fit.r_squared, 0.9);
+}
+
+TEST(degree_powerlaw, heavy_tail_beats_poisson_tail) {
+  // ER degrees are Poisson — the log-log CCDF bends hard; BA's stays
+  // straight. Compare tail linearity.
+  barabasi_albert_params bp;
+  bp.nodes = 5000;
+  const auto ba = fit_degree_powerlaw(make_barabasi_albert(bp, 3), 2);
+
+  erdos_renyi_params ep;
+  ep.nodes = 5000;
+  ep.edge_prob = 8.0 / 5000.0;
+  ep.keep_largest_component = false;
+  const auto er = fit_degree_powerlaw(make_erdos_renyi(ep, 3), 2);
+  EXPECT_GT(ba.r_squared, er.r_squared);
+}
+
+TEST(degree_powerlaw, validation) {
+  // A 3-regular graph has a single distinct degree: no tail to fit.
+  random_regular_params p;
+  p.nodes = 50;
+  p.degree = 3;
+  EXPECT_THROW(fit_degree_powerlaw(make_random_regular(p, 1)), std::invalid_argument);
+  EXPECT_THROW(fit_degree_powerlaw(graph{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcast

@@ -1,0 +1,178 @@
+// Delivery trees: exact link counts on hand-checkable fixtures plus the
+// structural invariants every multicast tree must satisfy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "multicast/delivery_tree.hpp"
+#include "multicast/receivers.hpp"
+#include "sim/rng.hpp"
+#include "topo/kary.hpp"
+#include "topo/regular.hpp"
+#include "topo/waxman.hpp"
+
+namespace mcast {
+namespace {
+
+TEST(delivery_tree, single_receiver_is_unicast_path) {
+  const graph g = make_kary_tree(2, 3);
+  const source_tree t(g, 0);
+  for (node_id v = 1; v < g.node_count(); ++v) {
+    const node_id r[] = {v};
+    EXPECT_EQ(delivery_tree_size(t, r), t.distance(v));
+  }
+}
+
+TEST(delivery_tree, sibling_leaves_share_path) {
+  const graph g = make_kary_tree(2, 3);
+  const source_tree t(g, 0);
+  // Leaves 7 and 8 share 0-1-3; tree is 0-1,1-3,3-7,3-8 = 4 links.
+  const node_id r[] = {7, 8};
+  EXPECT_EQ(delivery_tree_size(t, r), 4u);
+}
+
+TEST(delivery_tree, opposite_leaves_share_nothing) {
+  const graph g = make_kary_tree(2, 3);
+  const source_tree t(g, 0);
+  const node_id r[] = {7, 14};
+  EXPECT_EQ(delivery_tree_size(t, r), 6u);
+}
+
+TEST(delivery_tree, all_nodes_gives_spanning_tree) {
+  const graph g = make_grid(4, 4);
+  const source_tree t(g, 5);
+  std::vector<node_id> everyone;
+  for (node_id v = 0; v < g.node_count(); ++v) everyone.push_back(v);
+  EXPECT_EQ(delivery_tree_size(t, everyone), g.node_count() - 1u);
+}
+
+TEST(delivery_tree, repeats_do_not_grow_tree) {
+  const graph g = make_kary_tree(3, 2);
+  const source_tree t(g, 0);
+  const node_id once[] = {5};
+  const node_id thrice[] = {5, 5, 5};
+  EXPECT_EQ(delivery_tree_size(t, once), delivery_tree_size(t, thrice));
+}
+
+TEST(delivery_tree, source_as_receiver_adds_nothing) {
+  const graph g = make_ring(8);
+  const source_tree t(g, 0);
+  const node_id r[] = {0};
+  EXPECT_EQ(delivery_tree_size(t, r), 0u);
+}
+
+TEST(delivery_tree, builder_incremental_gains_sum_to_total) {
+  const graph g = make_grid(5, 5);
+  const source_tree t(g, 0);
+  rng gen(3);
+  const std::vector<node_id> universe = all_sites_except(g, 0);
+  const std::vector<node_id> receivers = sample_with_replacement(universe, 40, gen);
+  delivery_tree_builder b(t);
+  std::size_t gain_total = 0;
+  for (node_id v : receivers) gain_total += b.add_receiver(v);
+  EXPECT_EQ(gain_total, b.link_count());
+  EXPECT_EQ(b.link_count(), delivery_tree_size(t, receivers));
+}
+
+TEST(delivery_tree, builder_gain_bounded_by_distance) {
+  const graph g = make_kary_tree(2, 5);
+  const source_tree t(g, 0);
+  delivery_tree_builder b(t);
+  rng gen(4);
+  for (int i = 0; i < 100; ++i) {
+    const node_id v = static_cast<node_id>(gen.below(g.node_count()));
+    const std::size_t before = b.link_count();
+    const std::size_t gain = b.add_receiver(v);
+    EXPECT_LE(gain, t.distance(v));
+    EXPECT_EQ(b.link_count(), before + gain);
+  }
+}
+
+TEST(delivery_tree, builder_covers_and_distinct_count) {
+  const graph g = make_kary_tree(2, 3);
+  const source_tree t(g, 0);
+  delivery_tree_builder b(t);
+  EXPECT_TRUE(b.covers(0));
+  EXPECT_FALSE(b.covers(7));
+  b.add_receiver(7);
+  EXPECT_TRUE(b.covers(7));
+  EXPECT_TRUE(b.covers(3));  // on the path
+  EXPECT_TRUE(b.covers(1));
+  EXPECT_FALSE(b.covers(8));
+  b.add_receiver(7);
+  EXPECT_EQ(b.distinct_receiver_count(), 1u);
+  b.add_receiver(8);
+  EXPECT_EQ(b.distinct_receiver_count(), 2u);
+}
+
+TEST(delivery_tree, builder_reset) {
+  const graph g = make_kary_tree(2, 4);
+  const source_tree t(g, 0);
+  delivery_tree_builder b(t);
+  b.add_receiver(17);
+  b.add_receiver(23);
+  const std::size_t first = b.link_count();
+  b.reset();
+  EXPECT_EQ(b.link_count(), 0u);
+  EXPECT_EQ(b.distinct_receiver_count(), 0u);
+  EXPECT_FALSE(b.covers(17));
+  b.add_receiver(17);
+  b.add_receiver(23);
+  EXPECT_EQ(b.link_count(), first) << "reset must restore exact behavior";
+}
+
+TEST(delivery_tree, links_are_actual_graph_edges_forming_tree) {
+  waxman_params p;
+  p.nodes = 120;
+  const graph g = make_waxman(p, 6);
+  const source_tree t(g, 0);
+  rng gen(8);
+  const std::vector<node_id> receivers =
+      sample_distinct(all_sites_except(g, 0), 25, gen);
+  const std::vector<edge> links = delivery_tree_links(t, receivers);
+  EXPECT_EQ(links.size(), delivery_tree_size(t, receivers));
+  for (const edge& e : links) {
+    EXPECT_TRUE(g.has_edge(e.a, e.b));
+    EXPECT_EQ(t.distance(e.a), t.distance(e.b) + 1) << "link must point rootward";
+  }
+  // Every receiver's full path must be covered.
+  std::vector<char> on_tree(g.node_count(), 0);
+  on_tree[0] = 1;
+  for (const edge& e : links) on_tree[e.a] = 1;
+  for (node_id r : receivers) {
+    for (node_id w = r; w != invalid_node; w = t.parent(w)) {
+      EXPECT_TRUE(on_tree[w]);
+    }
+  }
+}
+
+TEST(delivery_tree, monotone_in_receiver_set) {
+  const graph g = make_grid(6, 6);
+  const source_tree t(g, 0);
+  rng gen(10);
+  std::vector<node_id> receivers =
+      sample_distinct(all_sites_except(g, 0), 20, gen);
+  std::size_t prev = 0;
+  for (std::size_t count = 1; count <= receivers.size(); ++count) {
+    const std::size_t size = delivery_tree_size(
+        t, std::span<const node_id>(receivers.data(), count));
+    EXPECT_GE(size, prev);
+    prev = size;
+  }
+}
+
+TEST(delivery_tree, unreachable_receiver_throws) {
+  graph_builder gb(4);
+  gb.add_edge(0, 1);
+  gb.add_edge(2, 3);
+  const graph g = gb.build();
+  const source_tree t(g, 0);
+  delivery_tree_builder b(t);
+  EXPECT_THROW(b.add_receiver(2), std::invalid_argument);
+  EXPECT_THROW(b.add_receiver(9), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace mcast

@@ -1,0 +1,130 @@
+// Dynamic delivery tree: join/leave reference counting must always agree
+// with a from-scratch rebuild, including under heavy random churn.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "multicast/delivery_tree.hpp"
+#include "multicast/dynamic_tree.hpp"
+#include "multicast/receivers.hpp"
+#include "sim/rng.hpp"
+#include "topo/kary.hpp"
+#include "topo/regular.hpp"
+#include "topo/waxman.hpp"
+
+namespace mcast {
+namespace {
+
+TEST(dynamic_tree, starts_empty) {
+  const graph g = make_kary_tree(2, 3);
+  const source_tree t(g, 0);
+  dynamic_delivery_tree d(t);
+  EXPECT_EQ(d.link_count(), 0u);
+  EXPECT_EQ(d.receiver_count(), 0u);
+  EXPECT_EQ(d.distinct_receiver_sites(), 0u);
+}
+
+TEST(dynamic_tree, join_grows_leave_prunes_exactly) {
+  const graph g = make_kary_tree(2, 3);
+  const source_tree t(g, 0);
+  dynamic_delivery_tree d(t);
+  EXPECT_EQ(d.join(7), 3u);   // full path
+  EXPECT_EQ(d.join(8), 1u);   // sibling shares 2 links
+  EXPECT_EQ(d.link_count(), 4u);
+  EXPECT_EQ(d.leave(7), 1u);  // only the 3-7 leaf link is exclusive
+  EXPECT_EQ(d.link_count(), 3u);
+  EXPECT_EQ(d.leave(8), 3u);  // rest of the tree collapses
+  EXPECT_EQ(d.link_count(), 0u);
+}
+
+TEST(dynamic_tree, multiple_receivers_per_site) {
+  const graph g = make_kary_tree(2, 3);
+  const source_tree t(g, 0);
+  dynamic_delivery_tree d(t);
+  EXPECT_EQ(d.join(9), 3u);
+  EXPECT_EQ(d.join(9), 0u);  // second instance at the same site: no links
+  EXPECT_EQ(d.receivers_at(9), 2u);
+  EXPECT_EQ(d.distinct_receiver_sites(), 1u);
+  EXPECT_EQ(d.leave(9), 0u);  // one instance remains -> nothing pruned
+  EXPECT_EQ(d.link_count(), 3u);
+  EXPECT_EQ(d.leave(9), 3u);
+  EXPECT_EQ(d.link_count(), 0u);
+  EXPECT_EQ(d.distinct_receiver_sites(), 0u);
+}
+
+TEST(dynamic_tree, source_join_is_free) {
+  const graph g = make_ring(8);
+  const source_tree t(g, 2);
+  dynamic_delivery_tree d(t);
+  EXPECT_EQ(d.join(2), 0u);
+  EXPECT_EQ(d.link_count(), 0u);
+  EXPECT_EQ(d.receiver_count(), 1u);
+  EXPECT_EQ(d.leave(2), 0u);
+}
+
+TEST(dynamic_tree, on_tree_tracks_membership) {
+  const graph g = make_kary_tree(2, 4);
+  const source_tree t(g, 0);
+  dynamic_delivery_tree d(t);
+  d.join(19);
+  EXPECT_TRUE(d.on_tree(19));
+  EXPECT_TRUE(d.on_tree(9));  // ancestor
+  EXPECT_TRUE(d.on_tree(0));
+  EXPECT_FALSE(d.on_tree(20));
+  d.leave(19);
+  EXPECT_FALSE(d.on_tree(19));
+}
+
+TEST(dynamic_tree, leave_without_join_throws) {
+  const graph g = make_ring(6);
+  const source_tree t(g, 0);
+  dynamic_delivery_tree d(t);
+  EXPECT_THROW(d.leave(3), std::invalid_argument);
+  d.join(3);
+  d.leave(3);
+  EXPECT_THROW(d.leave(3), std::invalid_argument);
+  EXPECT_THROW(d.join(99), std::out_of_range);
+}
+
+TEST(dynamic_tree, random_churn_matches_rebuild) {
+  waxman_params p;
+  p.nodes = 120;
+  const graph g = make_waxman(p, 7);
+  const source_tree t(g, 5);
+  dynamic_delivery_tree d(t);
+  rng gen(42);
+  std::vector<node_id> members;  // multiset of joined instances
+
+  for (int step = 0; step < 2000; ++step) {
+    const bool can_leave = !members.empty();
+    const bool do_leave = can_leave && gen.chance(0.45);
+    if (do_leave) {
+      const std::size_t i = gen.below(members.size());
+      d.leave(members[i]);
+      members[i] = members.back();
+      members.pop_back();
+    } else {
+      node_id v = static_cast<node_id>(gen.below(g.node_count()));
+      if (v == t.source()) v = (v + 1) % g.node_count();
+      d.join(v);
+      members.push_back(v);
+    }
+    if (step % 100 == 0) {
+      EXPECT_EQ(d.link_count(), delivery_tree_size(t, members))
+          << "diverged at step " << step;
+      EXPECT_EQ(d.receiver_count(), members.size());
+    }
+  }
+  // Drain completely.
+  while (!members.empty()) {
+    d.leave(members.back());
+    members.pop_back();
+  }
+  EXPECT_EQ(d.link_count(), 0u);
+  EXPECT_EQ(d.receiver_count(), 0u);
+  EXPECT_EQ(d.distinct_receiver_sites(), 0u);
+}
+
+}  // namespace
+}  // namespace mcast

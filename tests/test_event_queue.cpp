@@ -1,0 +1,93 @@
+// Discrete-event core: ordering, cancellation, horizons.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace mcast {
+namespace {
+
+TEST(event_queue, fires_in_time_order) {
+  event_queue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(q.run_until(10.0), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);
+}
+
+TEST(event_queue, ties_fire_in_schedule_order) {
+  event_queue q;
+  std::vector<int> order;
+  q.schedule(5.0, [&] { order.push_back(1); });
+  q.schedule(5.0, [&] { order.push_back(2); });
+  q.schedule(5.0, [&] { order.push_back(3); });
+  q.run_until(5.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(event_queue, horizon_stops_late_events) {
+  event_queue q;
+  int fired = 0;
+  q.schedule(1.0, [&] { ++fired; });
+  q.schedule(7.0, [&] { ++fired; });
+  EXPECT_EQ(q.run_until(5.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+  EXPECT_EQ(q.run_until(10.0), 1u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(event_queue, cancellation) {
+  event_queue q;
+  int fired = 0;
+  const auto id = q.schedule(1.0, [&] { ++fired; });
+  q.schedule(2.0, [&] { ++fired; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id)) << "double-cancel is a no-op";
+  EXPECT_FALSE(q.cancel(999));
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(event_queue, events_can_schedule_events) {
+  event_queue q;
+  std::vector<double> times;
+  std::function<void()> tick = [&] {
+    times.push_back(q.now());
+    if (times.size() < 4) q.schedule(q.now() + 1.5, tick);
+  };
+  q.schedule(1.0, tick);
+  q.run_until(100.0);
+  ASSERT_EQ(times.size(), 4u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[3], 5.5);
+}
+
+TEST(event_queue, step_api) {
+  event_queue q;
+  int fired = 0;
+  q.schedule(2.0, [&] { ++fired; });
+  EXPECT_TRUE(q.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  EXPECT_FALSE(q.step());
+}
+
+TEST(event_queue, validation) {
+  event_queue q;
+  q.schedule(5.0, [] {});
+  q.run_until(5.0);
+  EXPECT_THROW(q.schedule(4.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.run_until(4.0), std::invalid_argument);
+  EXPECT_THROW(q.schedule(6.0, event_queue::handler{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcast

@@ -1,0 +1,98 @@
+// Least-squares fitting: exact recovery, noise robustness, windowing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "analysis/fit.hpp"
+#include "sim/rng.hpp"
+
+namespace mcast {
+namespace {
+
+TEST(fit_linear, exact_line) {
+  const linear_fit f = fit_linear({0.0, 1.0, 2.0, 3.0}, {1.0, 3.0, 5.0, 7.0});
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-12);
+  EXPECT_EQ(f.points, 4u);
+}
+
+TEST(fit_linear, constant_y) {
+  const linear_fit f = fit_linear({0.0, 1.0, 2.0}, {5.0, 5.0, 5.0});
+  EXPECT_NEAR(f.slope, 0.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(f.r_squared, 1.0);
+}
+
+TEST(fit_linear, noisy_line_recovers_parameters) {
+  rng gen(5);
+  std::vector<double> x, y;
+  for (int i = 0; i < 500; ++i) {
+    const double xi = i * 0.01;
+    x.push_back(xi);
+    y.push_back(-1.5 * xi + 4.0 + (gen.uniform() - 0.5) * 0.1);
+  }
+  const linear_fit f = fit_linear(x, y);
+  EXPECT_NEAR(f.slope, -1.5, 0.02);
+  EXPECT_NEAR(f.intercept, 4.0, 0.02);
+  EXPECT_GT(f.r_squared, 0.99);
+}
+
+TEST(fit_linear, validation) {
+  EXPECT_THROW(fit_linear({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(fit_linear({1.0, 2.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(fit_linear({2.0, 2.0}, {1.0, 3.0}), std::invalid_argument);
+}
+
+TEST(fit_power_law, exact_recovery) {
+  std::vector<double> x, y;
+  for (double xi : {1.0, 2.0, 5.0, 10.0, 50.0, 100.0}) {
+    x.push_back(xi);
+    y.push_back(3.0 * std::pow(xi, 0.8));
+  }
+  const power_law_fit f = fit_power_law(x, y);
+  EXPECT_NEAR(f.exponent, 0.8, 1e-10);
+  EXPECT_NEAR(f.amplitude, 3.0, 1e-9);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-12);
+}
+
+TEST(fit_power_law, negative_exponent) {
+  std::vector<double> x, y;
+  for (double xi : {1.0, 4.0, 9.0, 16.0}) {
+    x.push_back(xi);
+    y.push_back(2.0 / xi);
+  }
+  const power_law_fit f = fit_power_law(x, y);
+  EXPECT_NEAR(f.exponent, -1.0, 1e-10);
+}
+
+TEST(fit_power_law, rejects_nonpositive_values) {
+  EXPECT_THROW(fit_power_law({0.0, 1.0}, {1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(fit_power_law({1.0, 2.0}, {1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(fit_power_law_windowed, selects_regime) {
+  // Mixture: exact m^0.8 in [10, 1000], garbage outside.
+  std::vector<double> x = {1.0, 2.0};
+  std::vector<double> y = {100.0, 0.001};
+  for (double xi = 10.0; xi <= 1000.0; xi *= 2.0) {
+    x.push_back(xi);
+    y.push_back(std::pow(xi, 0.8));
+  }
+  x.push_back(1e6);
+  y.push_back(1.0);
+  const power_law_fit f = fit_power_law_windowed(x, y, 10.0, 1000.0);
+  EXPECT_NEAR(f.exponent, 0.8, 1e-9);
+  EXPECT_EQ(f.points, 7u);
+}
+
+TEST(fit_power_law_windowed, empty_window_throws) {
+  EXPECT_THROW(fit_power_law_windowed({1.0, 2.0}, {1.0, 2.0}, 10.0, 20.0),
+               std::invalid_argument);
+  EXPECT_THROW(fit_power_law_windowed({1.0, 2.0}, {1.0, 2.0}, 20.0, 10.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcast

@@ -1,0 +1,109 @@
+// graph: CSR invariants, queries, bounds checking.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "graph/graph.hpp"
+
+namespace mcast {
+namespace {
+
+graph triangle_plus_tail() {
+  // 0-1, 1-2, 2-0 triangle; 2-3 tail.
+  graph_builder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(2, 3);
+  return b.build();
+}
+
+TEST(graph, default_is_empty) {
+  graph g;
+  EXPECT_TRUE(g.empty());
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(g.edges().empty());
+}
+
+TEST(graph, counts) {
+  const graph g = triangle_plus_tail();
+  EXPECT_EQ(g.node_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_FALSE(g.empty());
+}
+
+TEST(graph, neighbors_sorted_and_symmetric) {
+  const graph g = triangle_plus_tail();
+  for (node_id v = 0; v < g.node_count(); ++v) {
+    node_id prev = 0;
+    bool first = true;
+    for (node_id w : g.neighbors(v)) {
+      if (!first) {
+        EXPECT_LT(prev, w) << "adjacency not strictly sorted";
+      }
+      prev = w;
+      first = false;
+      EXPECT_TRUE(g.has_edge(w, v)) << "edge not symmetric";
+    }
+  }
+}
+
+TEST(graph, degree_matches_neighbors) {
+  const graph g = triangle_plus_tail();
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.degree(3), 1u);
+  for (node_id v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(g.degree(v), g.neighbors(v).size());
+  }
+}
+
+TEST(graph, has_edge) {
+  const graph g = triangle_plus_tail();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(1, 3));
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
+TEST(graph, edges_lists_each_once_ordered) {
+  const graph g = triangle_plus_tail();
+  const std::vector<edge> es = g.edges();
+  ASSERT_EQ(es.size(), 4u);
+  for (const edge& e : es) EXPECT_LT(e.a, e.b);
+  EXPECT_EQ(es[0], (edge{0, 1}));
+  EXPECT_EQ(es[1], (edge{0, 2}));
+  EXPECT_EQ(es[2], (edge{1, 2}));
+  EXPECT_EQ(es[3], (edge{2, 3}));
+}
+
+TEST(graph, out_of_range_queries_throw) {
+  const graph g = triangle_plus_tail();
+  EXPECT_THROW(g.neighbors(4), std::out_of_range);
+  EXPECT_THROW(g.degree(4), std::out_of_range);
+  EXPECT_THROW(g.has_edge(0, 4), std::out_of_range);
+  EXPECT_THROW(g.has_edge(4, 0), std::out_of_range);
+}
+
+TEST(graph, name_round_trip) {
+  graph g = triangle_plus_tail();
+  EXPECT_TRUE(g.name().empty());
+  g.set_name("fixture");
+  EXPECT_EQ(g.name(), "fixture");
+}
+
+TEST(graph, isolated_nodes_have_empty_adjacency) {
+  graph_builder b(3);
+  b.add_edge(0, 1);
+  const graph g = b.build();
+  EXPECT_EQ(g.degree(2), 0u);
+  EXPECT_TRUE(g.neighbors(2).empty());
+}
+
+}  // namespace
+}  // namespace mcast

@@ -1,0 +1,82 @@
+// Edge-list / DOT serialization: round-trips, comments, malformed input.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/io.hpp"
+#include "topo/regular.hpp"
+
+namespace mcast {
+namespace {
+
+TEST(io, parse_basic) {
+  const graph g = read_edge_list_string("3\n0 1\n1 2\n", "tri");
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.name(), "tri");
+}
+
+TEST(io, parse_skips_comments_and_blank_lines) {
+  const graph g = read_edge_list_string(
+      "# header comment\n\n4\n# edges below\n0 1\n\n  # indented comment\n2 3\n");
+  EXPECT_EQ(g.node_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(io, parse_cleans_duplicates_and_loops) {
+  const graph g = read_edge_list_string("3\n0 1\n1 0\n2 2\n");
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(io, parse_zero_nodes) {
+  const graph g = read_edge_list_string("0\n");
+  EXPECT_TRUE(g.empty());
+}
+
+TEST(io, malformed_inputs_throw) {
+  EXPECT_THROW(read_edge_list_string(""), std::invalid_argument);
+  EXPECT_THROW(read_edge_list_string("# only comments\n"), std::invalid_argument);
+  EXPECT_THROW(read_edge_list_string("abc\n"), std::invalid_argument);
+  EXPECT_THROW(read_edge_list_string("-3\n"), std::invalid_argument);
+  EXPECT_THROW(read_edge_list_string("3\n0\n"), std::invalid_argument);
+  EXPECT_THROW(read_edge_list_string("3\n0 7\n"), std::invalid_argument);
+  EXPECT_THROW(read_edge_list_string("3\n0 x\n"), std::invalid_argument);
+}
+
+TEST(io, missing_file_throws_runtime_error) {
+  EXPECT_THROW(load_edge_list("/nonexistent/path/nope.txt"), std::runtime_error);
+}
+
+TEST(io, round_trip_preserves_structure) {
+  const graph original = make_grid(4, 4);
+  std::ostringstream out;
+  write_edge_list(out, original);
+  const graph parsed = read_edge_list_string(out.str());
+  EXPECT_EQ(parsed.node_count(), original.node_count());
+  EXPECT_EQ(parsed.edge_count(), original.edge_count());
+  EXPECT_EQ(parsed.edges(), original.edges());
+}
+
+TEST(io, write_includes_name_as_comment) {
+  graph g = make_path(2);
+  g.set_name("pair");
+  std::ostringstream out;
+  write_edge_list(out, g);
+  EXPECT_NE(out.str().find("# pair"), std::string::npos);
+}
+
+TEST(io, dot_output_shape) {
+  graph g = make_path(3);
+  g.set_name("p3");
+  std::ostringstream out;
+  write_dot(out, g);
+  const std::string dot = out.str();
+  EXPECT_NE(dot.find("graph \"p3\""), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1;"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2;"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+}  // namespace
+}  // namespace mcast

@@ -1,0 +1,124 @@
+// kary_shape: index arithmetic (levels, parents, LCA, distance) against the
+// materialized graph as ground truth.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/bfs.hpp"
+#include "graph/components.hpp"
+#include "topo/kary.hpp"
+
+namespace mcast {
+namespace {
+
+TEST(kary, node_and_leaf_counts) {
+  const kary_shape s(2, 3);
+  EXPECT_EQ(s.node_count(), 15u);
+  EXPECT_EQ(s.leaf_count(), 8u);
+  const kary_shape t(3, 2);
+  EXPECT_EQ(t.node_count(), 13u);
+  EXPECT_EQ(t.leaf_count(), 9u);
+}
+
+TEST(kary, depth_zero_tree_is_single_node) {
+  const kary_shape s(4, 0);
+  EXPECT_EQ(s.node_count(), 1u);
+  EXPECT_EQ(s.leaf_count(), 1u);
+  EXPECT_EQ(s.first_leaf(), 0u);
+  EXPECT_EQ(s.level_of(0), 0u);
+}
+
+TEST(kary, level_geometry) {
+  const kary_shape s(2, 3);
+  EXPECT_EQ(s.level_begin(0), 0u);
+  EXPECT_EQ(s.level_begin(1), 1u);
+  EXPECT_EQ(s.level_begin(2), 3u);
+  EXPECT_EQ(s.level_begin(3), 7u);
+  EXPECT_EQ(s.first_leaf(), 7u);
+  EXPECT_EQ(s.level_size(0), 1u);
+  EXPECT_EQ(s.level_size(2), 4u);
+  EXPECT_EQ(s.level_size(3), 8u);
+  EXPECT_THROW(s.level_begin(4), std::out_of_range);
+}
+
+TEST(kary, level_of_and_parent) {
+  const kary_shape s(3, 3);
+  EXPECT_EQ(s.level_of(0), 0u);
+  EXPECT_EQ(s.level_of(1), 1u);
+  EXPECT_EQ(s.level_of(3), 1u);
+  EXPECT_EQ(s.level_of(4), 2u);
+  EXPECT_EQ(s.parent(0), invalid_node);
+  for (node_id v = 1; v < s.node_count(); ++v) {
+    const node_id p = s.parent(v);
+    EXPECT_EQ(s.level_of(p) + 1, s.level_of(v));
+    // v must be among p's children k*p+1..k*p+k.
+    EXPECT_GE(v, 3 * p + 1);
+    EXPECT_LE(v, 3 * p + 3);
+  }
+}
+
+TEST(kary, requires_k_at_least_two) {
+  EXPECT_THROW(kary_shape(1, 3), std::invalid_argument);
+  EXPECT_THROW(kary_shape(0, 3), std::invalid_argument);
+}
+
+TEST(kary, lca_basics) {
+  const kary_shape s(2, 3);
+  EXPECT_EQ(s.lca(7, 8), 3u);   // sibling leaves
+  EXPECT_EQ(s.lca(7, 9), 1u);   // cousins
+  EXPECT_EQ(s.lca(7, 14), 0u);  // opposite subtrees
+  EXPECT_EQ(s.lca(3, 7), 3u);   // ancestor relation
+  EXPECT_EQ(s.lca(5, 5), 5u);   // self
+  EXPECT_EQ(s.lca(0, 11), 0u);  // root with anything
+}
+
+TEST(kary, distance_matches_bfs_on_graph) {
+  for (unsigned k : {2u, 3u, 4u}) {
+    const kary_shape s(k, 4);
+    const graph g = s.to_graph();
+    // Compare arithmetic distance with BFS distance from several anchors.
+    for (node_id anchor : {node_id{0}, node_id{1}, s.first_leaf(),
+                           static_cast<node_id>(s.node_count() - 1)}) {
+      const std::vector<hop_count> d = bfs_distances(g, anchor);
+      for (node_id v = 0; v < s.node_count(); ++v) {
+        EXPECT_EQ(s.distance(anchor, v), d[v])
+            << "k=" << k << " anchor=" << anchor << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(kary, distance_symmetry_and_identity) {
+  const kary_shape s(3, 4);
+  EXPECT_EQ(s.distance(17, 17), 0u);
+  EXPECT_EQ(s.distance(5, 29), s.distance(29, 5));
+}
+
+TEST(kary, graph_shape) {
+  const graph g = make_kary_tree(2, 3);
+  EXPECT_EQ(g.node_count(), 15u);
+  EXPECT_EQ(g.edge_count(), 14u);  // a tree
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.degree(0), 2u);      // root has k children
+  EXPECT_EQ(g.degree(7), 1u);      // leaves have degree 1
+  EXPECT_EQ(g.degree(1), 3u);      // internal: parent + k children
+  EXPECT_EQ(g.name(), "kary2x3");
+}
+
+TEST(kary, out_of_range_throws) {
+  const kary_shape s(2, 2);
+  EXPECT_THROW(s.level_of(7), std::out_of_range);
+  EXPECT_THROW(s.parent(7), std::out_of_range);
+  EXPECT_THROW(s.lca(0, 7), std::out_of_range);
+  EXPECT_THROW(s.distance(7, 0), std::out_of_range);
+}
+
+TEST(kary, large_depth_binary_tree_counts) {
+  const kary_shape s(2, 17);
+  EXPECT_EQ(s.leaf_count(), 131072u);
+  EXPECT_EQ(s.node_count(), 262143u);
+  EXPECT_EQ(s.level_of(static_cast<node_id>(s.node_count() - 1)), 17u);
+}
+
+}  // namespace
+}  // namespace mcast

@@ -1,0 +1,126 @@
+// Asymptotic forms (Eqs 12, 14, 16, 18) against the exact expressions —
+// the quantitative content of Figures 2, 3 and 4.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "analysis/kary_asymptotic.hpp"
+#include "analysis/kary_exact.hpp"
+#include "analysis/fit.hpp"
+#include "analysis/series.hpp"
+
+namespace mcast {
+namespace {
+
+TEST(kary_asymptotic, h_approx_is_line_through_origin) {
+  EXPECT_DOUBLE_EQ(kary_h_approx(2.0, 0.0), 0.0);
+  EXPECT_NEAR(kary_h_approx(4.0, 0.8), 0.4, 1e-12);
+  EXPECT_NEAR(kary_h_approx(2.0, 1.0), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(kary_asymptotic, per_receiver_line_values) {
+  // Eq 16 at x = 1: L̂/n = 1/ln k.
+  EXPECT_NEAR(kary_tree_size_per_receiver_approx(2.0, 1.0),
+              1.0 / std::log(2.0), 1e-12);
+  // Slope in ln x must be -1/ln k.
+  const double k = 4.0;
+  const double y1 = kary_tree_size_per_receiver_approx(k, 0.01);
+  const double y2 = kary_tree_size_per_receiver_approx(k, 0.1);
+  EXPECT_NEAR(y1 - y2, std::log(10.0) / std::log(k), 1e-12);
+}
+
+TEST(kary_asymptotic, eq14_boundary_conditions) {
+  EXPECT_NEAR(kary_tree_size_approx(2.0, 10, 0.0), 0.0, 1e-12);
+  // L̂(1) ≈ D - (2 ln 2 - 1)/ln 2 ≈ D - 0.557: within an additive constant
+  // of the true value D (the paper accepts an additive error here).
+  EXPECT_NEAR(kary_tree_size_approx(2.0, 10, 1.0), 10.0, 1.0);
+}
+
+TEST(kary_asymptotic, eq16_matches_exact_in_linear_regime) {
+  // Fig 3: for D/M < x < 1 the exact L̂(n)/n sits near the predicted line,
+  // up to a small additive offset. Verify the SLOPE matches closely by
+  // comparing differences (which cancel the offset).
+  const unsigned k = 2, d = 17;
+  const double m_sites = kary_leaf_count(k, d);
+  const double x1 = 1e-3, x2 = 1e-2;
+  const double exact1 = kary_tree_size_leaves(k, d, x1 * m_sites) / (x1 * m_sites);
+  const double exact2 = kary_tree_size_leaves(k, d, x2 * m_sites) / (x2 * m_sites);
+  const double approx1 = kary_tree_size_per_receiver_approx(k, x1);
+  const double approx2 = kary_tree_size_per_receiver_approx(k, x2);
+  EXPECT_NEAR(exact1 - exact2, approx1 - approx2, 0.05);
+  // And the absolute value agrees within the paper's additive-constant slack.
+  EXPECT_NEAR(exact1, approx1, 1.0);
+}
+
+TEST(kary_asymptotic, eq14_tracks_exact_within_additive_constant) {
+  // The paper claims Eq 16 captures L̂(n)/n "to within an additive
+  // constant" in the regime D < n < M; verify that per-receiver gap for
+  // Eq 14 (whose large-n limit is Eq 16).
+  const unsigned k = 2, d = 14;
+  const double m_sites = kary_leaf_count(k, d);
+  for (double n : {50.0, 500.0, 5000.0}) {
+    ASSERT_LT(n, m_sites);
+    const double exact = kary_tree_size_leaves(k, d, n) / n;
+    const double approx = kary_tree_size_approx(2.0, d, n) / n;
+    EXPECT_NEAR(approx, exact, 1.2) << "n=" << n;
+  }
+}
+
+TEST(kary_asymptotic, chuang_sirbu_curve_basics) {
+  EXPECT_DOUBLE_EQ(chuang_sirbu_curve(1.0), 1.0);
+  EXPECT_NEAR(chuang_sirbu_curve(100.0), std::pow(100.0, 0.8), 1e-9);
+  EXPECT_NEAR(chuang_sirbu_curve(10.0, 0.5, 2.0), 2.0 * std::sqrt(10.0), 1e-9);
+}
+
+TEST(kary_asymptotic, exact_L_of_m_is_close_to_power_law_08) {
+  // Fig 4's claim: even though Eq 18 is not a power law, a log-log fit of
+  // the k-ary L(m)/D comes out near exponent 0.8.
+  for (unsigned k : {2u, 4u}) {
+    const unsigned d = k == 2 ? 14 : 7;
+    const double m_sites = kary_leaf_count(k, d);
+    std::vector<double> ms, ys;
+    for (double m = 2.0; m < 0.3 * m_sites; m *= 1.6) {
+      ms.push_back(m);
+      ys.push_back(kary_tree_size_distinct_leaves(k, d, m) / d);
+    }
+    const power_law_fit f = fit_power_law(ms, ys);
+    EXPECT_GT(f.exponent, 0.68) << "k=" << k;
+    EXPECT_LT(f.exponent, 0.92) << "k=" << k;
+    EXPECT_GT(f.r_squared, 0.98) << "k=" << k;
+  }
+}
+
+TEST(kary_asymptotic, eq18_composition_matches_direct_evaluation) {
+  // kary_tree_size_distinct_approx must equal Eq 16 evaluated at the
+  // asymptotic n(m).
+  const double k = 2.0;
+  const unsigned d = 12;
+  const double m_sites = std::pow(2.0, 12.0);
+  const double m = 300.0;
+  const double n = -m_sites * std::log1p(-m / m_sites);
+  const double expected =
+      n * kary_tree_size_per_receiver_approx(k, n / m_sites);
+  EXPECT_NEAR(kary_tree_size_distinct_approx(k, d, m), expected, 1e-9);
+  EXPECT_DOUBLE_EQ(kary_tree_size_distinct_approx(k, d, 0.0), 0.0);
+}
+
+TEST(kary_asymptotic, continuous_k_toward_one) {
+  // The paper varies k continuously toward 1 (footnote 5); the formulas
+  // must remain finite for k in (1, 2).
+  EXPECT_GT(kary_tree_size_per_receiver_approx(1.2, 0.5), 0.0);
+  EXPECT_GT(kary_h_approx(1.1, 0.5), 0.0);
+}
+
+TEST(kary_asymptotic, validation) {
+  EXPECT_THROW(kary_h_approx(1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(kary_h_approx(2.0, -0.1), std::invalid_argument);
+  EXPECT_THROW(kary_tree_size_per_receiver_approx(2.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(kary_tree_size_approx(0.5, 3, 1.0), std::invalid_argument);
+  EXPECT_THROW(kary_tree_size_distinct_approx(2.0, 3, 8.0), std::invalid_argument);
+  EXPECT_THROW(chuang_sirbu_curve(0.0), std::invalid_argument);
+  EXPECT_THROW(chuang_sirbu_curve(1.0, 0.8, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcast

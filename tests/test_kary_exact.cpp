@@ -1,0 +1,191 @@
+// Exact k-ary expressions (Eqs 4-6, 19-21) validated three ways: small-case
+// hand arithmetic, difference-operator identities, and Monte-Carlo
+// simulation on the actual tree graph.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "analysis/kary_exact.hpp"
+#include "analysis/stats.hpp"
+#include "multicast/delivery_tree.hpp"
+#include "multicast/receivers.hpp"
+#include "sim/rng.hpp"
+#include "topo/kary.hpp"
+
+namespace mcast {
+namespace {
+
+TEST(kary_exact, single_draw_is_full_depth_path) {
+  // One leaf receiver uses exactly D links.
+  for (unsigned k : {2u, 3u, 5u}) {
+    for (unsigned d : {1u, 3u, 7u}) {
+      EXPECT_NEAR(kary_tree_size_leaves(k, d, 1.0), d, 1e-9);
+    }
+  }
+}
+
+TEST(kary_exact, zero_draws_zero_links) {
+  EXPECT_DOUBLE_EQ(kary_tree_size_leaves(2, 5, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(kary_tree_size_all_sites(2, 5, 0.0), 0.0);
+}
+
+TEST(kary_exact, saturates_at_full_tree) {
+  // n >> M: every link ends up in the tree; total links = (k^{D+1}-k)/(k-1).
+  const unsigned k = 3, d = 4;
+  const double total_links = (std::pow(3.0, 5.0) - 3.0) / 2.0;
+  EXPECT_NEAR(kary_tree_size_leaves(k, d, 1e9), total_links, 1e-6);
+  EXPECT_NEAR(kary_tree_size_all_sites(k, d, 1e9), total_links, 1e-6);
+}
+
+TEST(kary_exact, two_draw_hand_computation) {
+  // k=2, D=2, n=2: Eq 4 = 2(1-(1/2)^2) + 4(1-(3/4)^2) = 1.5 + 1.75 = 3.25.
+  EXPECT_NEAR(kary_tree_size_leaves(2, 2, 2.0), 3.25, 1e-12);
+}
+
+TEST(kary_exact, difference_identities) {
+  // The analytic Δ and Δ² must match discrete differences of Eq 4.
+  const unsigned k = 2, d = 6;
+  for (double n : {0.0, 1.0, 5.0, 17.0, 40.0}) {
+    const double l0 = kary_tree_size_leaves(k, d, n);
+    const double l1 = kary_tree_size_leaves(k, d, n + 1.0);
+    const double l2 = kary_tree_size_leaves(k, d, n + 2.0);
+    EXPECT_NEAR(kary_tree_size_delta_leaves(k, d, n), l1 - l0, 1e-9);
+    EXPECT_NEAR(kary_tree_size_delta2_leaves(k, d, n), l2 + l0 - 2.0 * l1, 1e-9);
+  }
+}
+
+TEST(kary_exact, delta_decreasing_and_bounded_by_depth) {
+  // ΔL̂ starts at D (first receiver adds a whole path) and decreases.
+  const unsigned k = 3, d = 5;
+  EXPECT_NEAR(kary_tree_size_delta_leaves(k, d, 0.0), d, 1e-12);
+  double prev = d + 1.0;
+  for (double n = 0.0; n < 2000.0; n += 50.0) {
+    const double delta = kary_tree_size_delta_leaves(k, d, n);
+    EXPECT_LT(delta, prev);
+    EXPECT_GT(delta, 0.0);
+    prev = delta;
+  }
+}
+
+TEST(kary_exact, second_difference_negative) {
+  // L̂ is concave in n.
+  for (double n : {0.0, 3.0, 100.0, 5000.0}) {
+    EXPECT_LT(kary_tree_size_delta2_leaves(2, 8, n), 0.0);
+  }
+}
+
+TEST(kary_exact, monte_carlo_agreement_leaves) {
+  // Eq 4 against simulation on the materialized binary tree, depth 7.
+  const unsigned k = 2, d = 7;
+  const kary_shape shape(k, d);
+  const graph g = shape.to_graph();
+  const source_tree tree(g, 0);
+  const std::vector<node_id> leaves = leaf_sites(shape.first_leaf(), shape.leaf_count());
+  rng gen(99);
+  delivery_tree_builder builder(tree);
+  for (std::size_t n : {1u, 4u, 16u, 64u, 256u}) {
+    running_stats s;
+    for (int rep = 0; rep < 600; ++rep) {
+      builder.reset();
+      for (node_id v : sample_with_replacement(leaves, n, gen)) {
+        builder.add_receiver(v);
+      }
+      s.add(static_cast<double>(builder.link_count()));
+    }
+    const double predicted = kary_tree_size_leaves(k, d, static_cast<double>(n));
+    EXPECT_NEAR(s.mean(), predicted, 5.0 * s.stderr_mean() + 0.02 * predicted)
+        << "n=" << n;
+  }
+}
+
+TEST(kary_exact, monte_carlo_agreement_all_sites) {
+  // Eq 21 against simulation with receivers anywhere except the root.
+  const unsigned k = 3, d = 4;
+  const kary_shape shape(k, d);
+  const graph g = shape.to_graph();
+  const source_tree tree(g, 0);
+  const std::vector<node_id> universe = all_sites_except(g, 0);
+  rng gen(7);
+  delivery_tree_builder builder(tree);
+  for (std::size_t n : {1u, 8u, 32u, 128u}) {
+    running_stats s;
+    for (int rep = 0; rep < 600; ++rep) {
+      builder.reset();
+      for (node_id v : sample_with_replacement(universe, n, gen)) {
+        builder.add_receiver(v);
+      }
+      s.add(static_cast<double>(builder.link_count()));
+    }
+    const double predicted = kary_tree_size_all_sites(k, d, static_cast<double>(n));
+    EXPECT_NEAR(s.mean(), predicted, 5.0 * s.stderr_mean() + 0.02 * predicted)
+        << "n=" << n;
+  }
+}
+
+TEST(kary_exact, all_sites_single_draw_is_mean_distance) {
+  // With one receiver anywhere, E[L] = mean root-to-site distance.
+  const unsigned k = 2, d = 6;
+  EXPECT_NEAR(kary_tree_size_all_sites(k, d, 1.0),
+              kary_unicast_mean_all_sites(k, d), 1e-9);
+}
+
+TEST(kary_exact, link_probability_reduces_to_leaf_form_in_deep_trees) {
+  // Section 3.4: for fixed l and large D the all-sites probability tends to
+  // the leaf-only expression 1/k^l... the *usage* probability k^{-l} times
+  // the at-or-below factor, which -> 1.
+  const unsigned k = 2;
+  const unsigned l = 3;
+  const double leaf_form = 1.0 / std::pow(2.0, 3.0);
+  EXPECT_NEAR(kary_link_probability_all_sites(k, 30, l) / leaf_form, 1.0, 1e-6);
+  // In a shallow tree the factor is materially below 1.
+  EXPECT_LT(kary_link_probability_all_sites(k, 4, 3) / leaf_form, 0.95);
+}
+
+TEST(kary_exact, counts_and_means) {
+  EXPECT_DOUBLE_EQ(kary_leaf_count(2, 10), 1024.0);
+  EXPECT_DOUBLE_EQ(kary_site_count_all(2, 2), 6.0);   // 7 nodes - root
+  EXPECT_DOUBLE_EQ(kary_unicast_mean_leaves(9), 9.0);
+  // k=2, D=2: (1*2 + 2*4)/6 = 10/6.
+  EXPECT_NEAR(kary_unicast_mean_all_sites(2, 2), 10.0 / 6.0, 1e-12);
+}
+
+TEST(kary_exact, h_exact_tracks_linear_approximation_mid_range) {
+  // Fig 2a: k=2 fits h(x) ≈ x k^{-1/2} well for x not too small.
+  const unsigned k = 2, d = 14;
+  for (double x : {0.2, 0.4, 0.6, 0.8}) {
+    const double h = kary_h_exact(k, d, x);
+    EXPECT_NEAR(h, x / std::sqrt(2.0), 0.08) << "x=" << x;
+  }
+}
+
+TEST(kary_exact, h_exact_diverges_for_tiny_x) {
+  // The paper notes h as defined diverges for x << 1/M.
+  const unsigned k = 2, d = 10;
+  EXPECT_GT(kary_h_exact(k, d, 1e-6), kary_h_exact(k, d, 0.5) + 1.0);
+}
+
+TEST(kary_exact, distinct_receivers_composition) {
+  // L(m) == L̂(n(m)) by construction; check endpoints and monotonicity.
+  const unsigned k = 2, d = 8;
+  EXPECT_NEAR(kary_tree_size_distinct_leaves(k, d, 1.0), d, 0.05);
+  double prev = 0.0;
+  for (double m = 1.0; m < 256.0; m *= 2.0) {
+    const double lm = kary_tree_size_distinct_leaves(k, d, m);
+    EXPECT_GT(lm, prev);
+    prev = lm;
+  }
+}
+
+TEST(kary_exact, validation) {
+  EXPECT_THROW(kary_tree_size_leaves(1, 3, 1.0), std::invalid_argument);
+  EXPECT_THROW(kary_tree_size_leaves(2, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(kary_tree_size_leaves(2, 3, -1.0), std::invalid_argument);
+  EXPECT_THROW(kary_h_exact(2, 3, 0.0), std::invalid_argument);
+  EXPECT_THROW(kary_link_probability_all_sites(2, 3, 0), std::invalid_argument);
+  EXPECT_THROW(kary_link_probability_all_sites(2, 3, 4), std::invalid_argument);
+  EXPECT_THROW(kary_tree_size_distinct_leaves(2, 3, 8.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcast

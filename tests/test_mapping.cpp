@@ -1,0 +1,96 @@
+// n <-> m mapping (Equations 1-2): closed forms, inverses, Monte-Carlo
+// agreement, asymptotic limit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "analysis/mapping.hpp"
+#include "multicast/receivers.hpp"
+#include "sim/rng.hpp"
+
+namespace mcast {
+namespace {
+
+TEST(mapping, expected_distinct_anchors) {
+  EXPECT_DOUBLE_EQ(expected_distinct(100.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(expected_distinct(100.0, 1.0), 1.0);
+  // Two draws: 2 - 1/M expected distinct.
+  EXPECT_NEAR(expected_distinct(100.0, 2.0), 2.0 - 1.0 / 100.0, 1e-12);
+  // Huge n saturates at M.
+  EXPECT_NEAR(expected_distinct(100.0, 1e9), 100.0, 1e-6);
+}
+
+TEST(mapping, expected_distinct_monotone_in_n) {
+  double prev = -1.0;
+  for (double n = 0.0; n <= 400.0; n += 10.0) {
+    const double m = expected_distinct(128.0, n);
+    EXPECT_GT(m, prev);
+    prev = m;
+  }
+}
+
+TEST(mapping, inverse_round_trip) {
+  const double m_sites = 4096.0;
+  for (double m : {1.0, 10.0, 100.0, 1000.0, 4000.0}) {
+    const double n = draws_for_expected_distinct(m_sites, m);
+    EXPECT_NEAR(expected_distinct(m_sites, n), m, 1e-8);
+  }
+}
+
+TEST(mapping, monte_carlo_agreement) {
+  // Draw n=300 from M=200 sites and compare distinct-count mean to Eq 1.
+  const std::size_t m_sites = 200;
+  std::vector<node_id> universe(m_sites);
+  for (node_id i = 0; i < m_sites; ++i) universe[i] = i;
+  rng gen(13);
+  double total = 0.0;
+  constexpr int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    const auto draws = sample_with_replacement(universe, 300, gen);
+    total += static_cast<double>(std::set<node_id>(draws.begin(), draws.end()).size());
+  }
+  const double simulated = total / trials;
+  const double predicted = expected_distinct(200.0, 300.0);
+  EXPECT_NEAR(simulated, predicted, 0.5);
+}
+
+TEST(mapping, coverage_fraction_limit) {
+  // y = 1 - e^{-x}, and the finite-M formula converges to it.
+  EXPECT_DOUBLE_EQ(coverage_fraction(0.0), 0.0);
+  EXPECT_NEAR(coverage_fraction(1.0), 1.0 - std::exp(-1.0), 1e-12);
+  const double m_sites = 1e7;
+  const double x = 0.7;
+  EXPECT_NEAR(expected_distinct(m_sites, x * m_sites) / m_sites,
+              coverage_fraction(x), 1e-6);
+}
+
+TEST(mapping, draws_fraction_inverts_coverage) {
+  for (double y : {0.0, 0.1, 0.5, 0.9, 0.999}) {
+    EXPECT_NEAR(coverage_fraction(draws_fraction(y)), y, 1e-12);
+  }
+}
+
+TEST(mapping, equivalent_draws_asymptotic_matches_exact_for_large_m) {
+  const double m_sites = 1e6;
+  for (double m : {10.0, 1000.0, 5e5}) {
+    const double exact = draws_for_expected_distinct(m_sites, m);
+    const double approx = equivalent_draws_asymptotic(m_sites, m);
+    EXPECT_NEAR(approx / exact, 1.0, 1e-4) << "m=" << m;
+  }
+}
+
+TEST(mapping, validation) {
+  EXPECT_THROW(expected_distinct(0.5, 1.0), std::invalid_argument);
+  EXPECT_THROW(expected_distinct(10.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(draws_for_expected_distinct(1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(draws_for_expected_distinct(10.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(draws_fraction(1.0), std::invalid_argument);
+  EXPECT_THROW(draws_fraction(-0.1), std::invalid_argument);
+  EXPECT_THROW(coverage_fraction(-1.0), std::invalid_argument);
+  EXPECT_THROW(equivalent_draws_asymptotic(10.0, 10.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcast

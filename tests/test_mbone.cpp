@@ -1,0 +1,82 @@
+// MBone-like overlay generator: connectivity, tunnel accounting, and the
+// chain-heavy (sub-exponential) character the model is built to reproduce.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "analysis/reachability.hpp"
+#include "graph/components.hpp"
+#include "graph/metrics.hpp"
+#include "topo/mbone.hpp"
+#include "topo/power_law.hpp"
+
+namespace mcast {
+namespace {
+
+mbone_params small_params() {
+  mbone_params p;
+  p.substrate.nodes = 600;
+  p.overlay_nodes = 200;
+  return p;
+}
+
+TEST(mbone, overlay_node_count_and_connectivity) {
+  const graph g = make_mbone(small_params(), 1);
+  EXPECT_EQ(g.node_count(), 200u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(mbone, edge_count_is_tree_plus_extras) {
+  mbone_params p = small_params();
+  p.extra_tunnel_fraction = 0.1;
+  const graph g = make_mbone(p, 2);
+  EXPECT_GE(g.edge_count(), 199u);            // spanning tree
+  EXPECT_LE(g.edge_count(), 199u + 20u);       // + at most 10% extras
+}
+
+TEST(mbone, zero_extras_gives_exact_tree) {
+  mbone_params p = small_params();
+  p.extra_tunnel_fraction = 0.0;
+  const graph g = make_mbone(p, 3);
+  EXPECT_EQ(g.edge_count(), g.node_count() - 1u);
+}
+
+TEST(mbone, deterministic_given_seed) {
+  const mbone_params p = small_params();
+  EXPECT_EQ(make_mbone(p, 5).edges(), make_mbone(p, 5).edges());
+  EXPECT_NE(make_mbone(p, 5).edges(), make_mbone(p, 6).edges());
+}
+
+TEST(mbone, chain_heavy_diameter) {
+  // The tunnel MST should produce a diameter much larger than a random
+  // graph of the same size would have.
+  const graph g = make_mbone(small_params(), 7);
+  EXPECT_GT(diameter_exact(g), 15u);
+}
+
+TEST(mbone, less_exponential_than_power_law_graph) {
+  const graph mb = make_mbone(small_params(), 7);
+  barabasi_albert_params bap;
+  bap.nodes = 200;
+  const graph ba = make_barabasi_albert(bap, 7);
+  rng gen(9);
+  const auto mb_fit = fit_reachability_growth(mean_reachability(mb, 16, gen));
+  const auto ba_fit = fit_reachability_growth(mean_reachability(ba, 16, gen));
+  EXPECT_LT(mb_fit.lambda, ba_fit.lambda)
+      << "overlay growth rate should be below the BA growth rate";
+}
+
+TEST(mbone, invalid_parameters_throw) {
+  mbone_params p = small_params();
+  p.overlay_nodes = 1;
+  EXPECT_THROW(make_mbone(p, 1), std::invalid_argument);
+  p = small_params();
+  p.overlay_nodes = p.substrate.nodes + 1;
+  EXPECT_THROW(make_mbone(p, 1), std::invalid_argument);
+  p = small_params();
+  p.extra_tunnel_fraction = -0.5;
+  EXPECT_THROW(make_mbone(p, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcast

@@ -1,0 +1,85 @@
+// Graph metrics: degree stats, path lengths, diameter, Table 1 rows.
+#include <gtest/gtest.h>
+
+#include "graph/metrics.hpp"
+#include "sim/rng.hpp"
+#include "topo/regular.hpp"
+
+namespace mcast {
+namespace {
+
+TEST(metrics, degree_stats_star) {
+  const degree_stats s = compute_degree_stats(make_star(5));
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0 * 4 / 5);
+  ASSERT_GE(s.histogram.size(), 5u);
+  EXPECT_EQ(s.histogram[1], 4u);
+  EXPECT_EQ(s.histogram[4], 1u);
+}
+
+TEST(metrics, degree_stats_empty) {
+  const degree_stats s = compute_degree_stats(graph{});
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(metrics, average_path_length_complete_graph_is_one) {
+  EXPECT_DOUBLE_EQ(average_path_length_exact(make_complete(6)), 1.0);
+}
+
+TEST(metrics, average_path_length_path3) {
+  // Path 0-1-2: ordered pairs distances {1,2,1,1,2,1} -> mean 4/3.
+  EXPECT_NEAR(average_path_length_exact(make_path(3)), 4.0 / 3.0, 1e-12);
+}
+
+TEST(metrics, diameter_values) {
+  EXPECT_EQ(diameter_exact(make_path(7)), 6u);
+  EXPECT_EQ(diameter_exact(make_ring(8)), 4u);
+  EXPECT_EQ(diameter_exact(make_complete(4)), 1u);
+  EXPECT_EQ(diameter_exact(make_grid(3, 4)), 5u);
+}
+
+TEST(metrics, sampled_average_matches_exact_on_vertex_transitive_graph) {
+  const graph g = make_ring(64);
+  rng gen(3);
+  const double exact = average_path_length_exact(g);
+  const double sampled = average_path_length_sampled(
+      g, 8, [&gen](std::size_t n) { return gen.below(n); });
+  // Every source of a ring sees identical distances, so sampling is exact.
+  EXPECT_NEAR(sampled, exact, 1e-12);
+}
+
+TEST(metrics, summarize_network_small_graph_exact) {
+  graph g = make_ring(10);
+  const table1_row row = summarize_network(g);
+  EXPECT_EQ(row.name, "ring10");
+  EXPECT_EQ(row.nodes, 10u);
+  EXPECT_EQ(row.links, 10u);
+  EXPECT_DOUBLE_EQ(row.avg_degree, 2.0);
+  EXPECT_EQ(row.diameter, 5u);
+  EXPECT_GT(row.avg_path_length, 2.0);
+  EXPECT_LT(row.avg_path_length, 3.0);
+}
+
+TEST(metrics, summarize_network_large_graph_sampled) {
+  const graph g = make_grid(80, 80);  // 6400 nodes > default threshold
+  const table1_row row = summarize_network(g, /*exact_threshold=*/4000,
+                                           /*samples=*/16, /*seed=*/5);
+  EXPECT_EQ(row.nodes, 6400u);
+  // Diameter lower bound can't exceed the true diameter 158.
+  EXPECT_LE(row.diameter, 158u);
+  EXPECT_GT(row.diameter, 60u);
+  EXPECT_GT(row.avg_path_length, 20.0);
+}
+
+TEST(metrics, summarize_trivial_graphs) {
+  const table1_row row = summarize_network(make_path(1));
+  EXPECT_EQ(row.nodes, 1u);
+  EXPECT_EQ(row.links, 0u);
+  EXPECT_DOUBLE_EQ(row.avg_path_length, 0.0);
+}
+
+}  // namespace
+}  // namespace mcast

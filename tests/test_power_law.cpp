@@ -1,0 +1,123 @@
+// Power-law generators: BA structure and degree tail, Chung-Lu exponent.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/components.hpp"
+#include "graph/metrics.hpp"
+#include "topo/power_law.hpp"
+
+namespace mcast {
+namespace {
+
+TEST(barabasi_albert, node_and_edge_counts) {
+  barabasi_albert_params p;
+  p.nodes = 500;
+  p.edges_per_node = 2;
+  const graph g = make_barabasi_albert(p, 1);
+  EXPECT_EQ(g.node_count(), 500u);
+  // Star core of m edges + (n - m - 1) nodes adding m edges each, minus any
+  // parallel-edge merges (the builder dedups; BA draws distinct targets so
+  // only exact repeats across steps are impossible — count is exact).
+  EXPECT_EQ(g.edge_count(), 2u + (500u - 3u) * 2u);
+}
+
+TEST(barabasi_albert, connected_and_deterministic) {
+  barabasi_albert_params p;
+  p.nodes = 800;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    EXPECT_TRUE(is_connected(make_barabasi_albert(p, seed)));
+  }
+  EXPECT_EQ(make_barabasi_albert(p, 5).edges(),
+            make_barabasi_albert(p, 5).edges());
+  EXPECT_NE(make_barabasi_albert(p, 5).edges(),
+            make_barabasi_albert(p, 6).edges());
+}
+
+TEST(barabasi_albert, heavy_tailed_degrees) {
+  barabasi_albert_params p;
+  p.nodes = 4000;
+  p.edges_per_node = 2;
+  const graph g = make_barabasi_albert(p, 9);
+  const degree_stats s = compute_degree_stats(g);
+  // Mean degree ~2m but the max is far above it (hubs).
+  EXPECT_NEAR(s.mean, 4.0, 0.2);
+  EXPECT_GT(s.max, 60u) << "BA should grow hubs";
+  // Most nodes sit at the minimum degree m.
+  EXPECT_GT(s.histogram[2], 1500u);
+}
+
+TEST(barabasi_albert, min_degree_is_m) {
+  barabasi_albert_params p;
+  p.nodes = 300;
+  p.edges_per_node = 3;
+  const degree_stats s = compute_degree_stats(make_barabasi_albert(p, 2));
+  EXPECT_GE(s.min, 3u);
+}
+
+TEST(barabasi_albert, invalid_parameters_throw) {
+  barabasi_albert_params p;
+  p.nodes = 1;
+  EXPECT_THROW(make_barabasi_albert(p, 1), std::invalid_argument);
+  p.nodes = 10;
+  p.edges_per_node = 0;
+  EXPECT_THROW(make_barabasi_albert(p, 1), std::invalid_argument);
+  p.edges_per_node = 10;
+  EXPECT_THROW(make_barabasi_albert(p, 1), std::invalid_argument);
+}
+
+TEST(chung_lu, respects_exponent_ordering) {
+  // A smaller exponent means a heavier tail (larger hubs).
+  chung_lu_params heavy, light;
+  heavy.nodes = light.nodes = 5000;
+  heavy.exponent = 2.1;
+  light.exponent = 3.5;
+  heavy.min_degree = light.min_degree = 2.0;
+  const degree_stats sh = compute_degree_stats(make_chung_lu(heavy, 4));
+  const degree_stats sl = compute_degree_stats(make_chung_lu(light, 4));
+  EXPECT_GT(sh.max, sl.max * 2);
+}
+
+TEST(chung_lu, giant_component_extraction) {
+  chung_lu_params p;
+  p.nodes = 2000;
+  p.min_degree = 1.0;
+  p.keep_largest_component = true;
+  const graph g = make_chung_lu(p, 7);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_GT(g.node_count(), 500u);  // giant component is most of the graph
+  EXPECT_LE(g.node_count(), 2000u);
+}
+
+TEST(chung_lu, keep_all_components_option) {
+  chung_lu_params p;
+  p.nodes = 2000;
+  p.min_degree = 1.0;
+  p.keep_largest_component = false;
+  const graph g = make_chung_lu(p, 7);
+  EXPECT_EQ(g.node_count(), 2000u);
+  EXPECT_FALSE(is_connected(g));  // isolated low-weight nodes exist
+}
+
+TEST(chung_lu, deterministic_given_seed) {
+  chung_lu_params p;
+  p.nodes = 1000;
+  EXPECT_EQ(make_chung_lu(p, 11).edges(), make_chung_lu(p, 11).edges());
+}
+
+TEST(chung_lu, invalid_parameters_throw) {
+  chung_lu_params p;
+  p.exponent = 1.0;
+  EXPECT_THROW(make_chung_lu(p, 1), std::invalid_argument);
+  p = chung_lu_params{};
+  p.min_degree = 0.0;
+  EXPECT_THROW(make_chung_lu(p, 1), std::invalid_argument);
+  p = chung_lu_params{};
+  p.max_degree_fraction = 0.0;
+  EXPECT_THROW(make_chung_lu(p, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcast

@@ -1,0 +1,84 @@
+// Pricing helpers built on the scaling law.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/pricing.hpp"
+
+namespace mcast {
+namespace {
+
+pricing_policy canonical_policy() {
+  pricing_policy p;
+  p.unit_price_per_link = 2.0;
+  p.mean_unicast_path = 10.0;
+  p.law = scaling_law(1.0, 0.8);
+  return p;
+}
+
+TEST(pricing, multicast_price_formula) {
+  const pricing_policy p = canonical_policy();
+  EXPECT_NEAR(multicast_price(p, 100.0),
+              2.0 * 10.0 * std::pow(100.0, 0.8), 1e-9);
+}
+
+TEST(pricing, unicast_price_linear) {
+  const pricing_policy p = canonical_policy();
+  EXPECT_DOUBLE_EQ(unicast_price(p, 1.0), 20.0);
+  EXPECT_DOUBLE_EQ(unicast_price(p, 50.0), 1000.0);
+}
+
+TEST(pricing, group_of_one_costs_the_same_either_way) {
+  // A = 1 means a single receiver pays exactly the unicast price.
+  const pricing_policy p = canonical_policy();
+  EXPECT_NEAR(multicast_price(p, 1.0), unicast_price(p, 1.0), 1e-9);
+  EXPECT_NEAR(multicast_savings_fraction(p, 1.0), 0.0, 1e-12);
+}
+
+TEST(pricing, savings_grow_with_group_size) {
+  const pricing_policy p = canonical_policy();
+  EXPECT_LT(multicast_savings_fraction(p, 10.0),
+            multicast_savings_fraction(p, 1000.0));
+  // δ = m^{-0.2}: at m=1000, savings = 1 - 1000^{-0.2} ≈ 0.749.
+  EXPECT_NEAR(multicast_savings_fraction(p, 1000.0),
+              1.0 - std::pow(1000.0, -0.2), 1e-9);
+}
+
+TEST(pricing, per_receiver_price_decreasing) {
+  const pricing_policy p = canonical_policy();
+  EXPECT_GT(multicast_price_per_receiver(p, 10.0),
+            multicast_price_per_receiver(p, 100.0));
+}
+
+TEST(pricing, group_size_for_savings_inverse) {
+  const pricing_policy p = canonical_policy();
+  const double m = group_size_for_savings(p, 0.5);
+  EXPECT_NEAR(multicast_savings_fraction(p, m), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(group_size_for_savings(p, 0.0), 1.0);
+}
+
+TEST(pricing, flat_rate_capacity_inverse) {
+  const pricing_policy p = canonical_policy();
+  const double flat = 500.0;
+  const double m = flat_rate_capacity(p, flat);
+  EXPECT_NEAR(multicast_price(p, m), flat, 1e-6);
+}
+
+TEST(pricing, validation) {
+  pricing_policy p = canonical_policy();
+  p.unit_price_per_link = 0.0;
+  EXPECT_THROW(multicast_price(p, 10.0), std::invalid_argument);
+  p = canonical_policy();
+  p.mean_unicast_path = -1.0;
+  EXPECT_THROW(unicast_price(p, 10.0), std::invalid_argument);
+  p = canonical_policy();
+  EXPECT_THROW(unicast_price(p, 0.0), std::invalid_argument);
+  EXPECT_THROW(group_size_for_savings(p, 1.0), std::invalid_argument);
+  EXPECT_THROW(flat_rate_capacity(p, 0.0), std::invalid_argument);
+  p.law = scaling_law(1.0, 1.1);
+  EXPECT_THROW(group_size_for_savings(p, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcast

@@ -1,0 +1,306 @@
+// Parameterized property sweeps (TEST_P): invariants that must hold across
+// tree arities/depths, generator seeds and group sizes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "analysis/kary_exact.hpp"
+#include "analysis/mapping.hpp"
+#include "analysis/reachability.hpp"
+#include "graph/components.hpp"
+#include "graph/metrics.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/weights.hpp"
+#include "multicast/affinity.hpp"
+#include "multicast/delivery_tree.hpp"
+#include "multicast/dynamic_tree.hpp"
+#include "multicast/receivers.hpp"
+#include "multicast/shared_tree.hpp"
+#include "topo/kary.hpp"
+#include "topo/tiers.hpp"
+#include "topo/transit_stub.hpp"
+#include "topo/waxman.hpp"
+
+namespace mcast {
+namespace {
+
+// ---------------------------------------------------------------- k-ary --
+
+class kary_sweep : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(kary_sweep, closed_forms_and_graph_agree) {
+  const auto [k, d] = GetParam();
+  const kary_shape shape(k, d);
+  const graph g = shape.to_graph();
+  EXPECT_EQ(g.node_count(), shape.node_count());
+  EXPECT_EQ(g.edge_count(), shape.node_count() - 1);
+  EXPECT_TRUE(is_connected(g));
+  // Eq 4 boundary identities for every (k, D).
+  EXPECT_NEAR(kary_tree_size_leaves(k, d, 0.0), 0.0, 1e-12);
+  EXPECT_NEAR(kary_tree_size_leaves(k, d, 1.0), d, 1e-9);
+  // All-sites single draw = mean distance.
+  EXPECT_NEAR(kary_tree_size_all_sites(k, d, 1.0),
+              kary_unicast_mean_all_sites(k, d), 1e-9);
+}
+
+TEST_P(kary_sweep, exact_form_is_concave_monotone) {
+  const auto [k, d] = GetParam();
+  // Monotone non-decreasing in n (strictly until saturation)...
+  double prev = -1.0;
+  for (double n = 1.0; n <= 4096.0; n *= 2.0) {
+    const double l = kary_tree_size_leaves(k, d, n);
+    EXPECT_GE(l, prev) << "n=" << n;
+    prev = l;
+  }
+  // ...and concave: the unit-step derivative ΔL̂(n) (Eq 5) decreases in n.
+  double prev_delta = 1e300;
+  for (double n = 0.0; n <= 4096.0; n = n == 0.0 ? 1.0 : n * 2.0) {
+    const double delta = kary_tree_size_delta_leaves(k, d, n);
+    EXPECT_LE(delta, prev_delta * (1.0 + 1e-12)) << "concavity violated at n=" << n;
+    prev_delta = delta;
+  }
+}
+
+TEST_P(kary_sweep, extreme_affinity_bounds_uniform_expectation) {
+  const auto [k, d] = GetParam();
+  const double m_sites = kary_leaf_count(k, d);
+  for (double frac : {0.01, 0.1, 0.5}) {
+    const std::uint64_t m =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(frac * m_sites));
+    const double uniform = kary_tree_size_distinct_leaves(k, d, static_cast<double>(m));
+    EXPECT_LE(extreme_affinity_kary_tree_size(k, d, m), uniform * 1.001);
+    EXPECT_GE(extreme_disaffinity_kary_tree_size(k, d, m), uniform * 0.999);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(arities_and_depths, kary_sweep,
+                         ::testing::Values(std::make_tuple(2u, 4u),
+                                           std::make_tuple(2u, 8u),
+                                           std::make_tuple(2u, 12u),
+                                           std::make_tuple(3u, 4u),
+                                           std::make_tuple(3u, 7u),
+                                           std::make_tuple(4u, 5u),
+                                           std::make_tuple(5u, 4u),
+                                           std::make_tuple(8u, 3u)));
+
+// ------------------------------------------------------------ generators --
+
+class generator_sweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(generator_sweep, waxman_connected_and_deterministic) {
+  const std::uint64_t seed = GetParam();
+  waxman_params p;
+  p.nodes = 90;
+  const graph a = make_waxman(p, seed);
+  EXPECT_TRUE(is_connected(a));
+  EXPECT_EQ(a.edges(), make_waxman(p, seed).edges());
+}
+
+TEST_P(generator_sweep, transit_stub_invariants) {
+  const std::uint64_t seed = GetParam();
+  transit_stub_params p;
+  p.transit_domains = 3;
+  p.transit_domain_size = 4;
+  p.stubs_per_transit_node = 2;
+  p.stub_domain_size = 4;
+  const graph g = make_transit_stub(p, seed);
+  EXPECT_EQ(g.node_count(), transit_stub_node_count(p));
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_GE(compute_degree_stats(g).min, 1u);
+}
+
+TEST_P(generator_sweep, tiers_invariants) {
+  const std::uint64_t seed = GetParam();
+  tiers_params p;
+  p.wan_size = 16;
+  p.man_count = 3;
+  p.man_size = 6;
+  p.lans_per_man = 2;
+  p.lan_size = 4;
+  const graph g = make_tiers(p, seed);
+  EXPECT_EQ(g.node_count(), tiers_node_count(p));
+  EXPECT_TRUE(is_connected(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, generator_sweep,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u, 12345u));
+
+// -------------------------------------------------- delivery-tree bounds --
+
+class tree_bounds_sweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {};
+
+TEST_P(tree_bounds_sweep, tree_size_within_theoretical_envelope) {
+  const auto [seed, m] = GetParam();
+  waxman_params p;
+  p.nodes = 150;
+  const graph g = make_waxman(p, seed);
+  const source_tree tree(g, static_cast<node_id>(seed % g.node_count()));
+  rng gen(seed * 31 + 1);
+  const std::vector<node_id> receivers =
+      sample_distinct(all_sites_except(g, tree.source()), m, gen);
+  const std::size_t links = delivery_tree_size(tree, receivers);
+
+  // Lower bound: the longest single path; also at least m links (distinct
+  // receivers are distinct tree nodes, each with a distinct parent link...
+  // receivers could be each other's ancestors, so the true lower bound is
+  // the max distance and the receiver count of any antichain — use max
+  // distance and ceil bounds we can prove:
+  hop_count dmax = 0;
+  std::uint64_t dsum = 0;
+  for (node_id v : receivers) {
+    dmax = std::max(dmax, tree.distance(v));
+    dsum += tree.distance(v);
+  }
+  EXPECT_GE(links, dmax);
+  // Upper bounds: sum of unicast paths, and the node budget.
+  EXPECT_LE(links, dsum);
+  EXPECT_LE(links, g.node_count() - 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    seeds_and_sizes, tree_bounds_sweep,
+    ::testing::Combine(::testing::Values(1u, 5u, 9u),
+                       ::testing::Values(1u, 5u, 25u, 100u)));
+
+// ------------------------------------------------------- mapping sweeps --
+
+class mapping_sweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(mapping_sweep, round_trip_across_universe_sizes) {
+  const double m_sites = GetParam();
+  for (double frac : {0.001, 0.1, 0.5, 0.9, 0.999}) {
+    const double m = frac * m_sites;
+    if (m < 1.0) continue;
+    const double n = draws_for_expected_distinct(m_sites, m);
+    EXPECT_NEAR(expected_distinct(m_sites, n) / m, 1.0, 1e-9)
+        << "M=" << m_sites << " m=" << m;
+    EXPECT_GE(n, m - 1e-9) << "with replacement needs at least m draws";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(universe_sizes, mapping_sweep,
+                         ::testing::Values(10.0, 100.0, 1e4, 1e6, 1e9));
+
+// ------------------------------------------------- affinity beta ladder --
+
+class beta_sweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(beta_sweep, chain_estimates_stay_in_extreme_envelope) {
+  const double beta = GetParam();
+  const kary_shape shape(2, 6);
+  const graph g = shape.to_graph();
+  const source_tree tree(g, 0);
+  const std::vector<node_id> universe = all_sites_except(g, 0);
+  const kary_distance_oracle oracle(shape);
+  affinity_chain_params params;
+  params.beta = beta;
+  params.burn_in_sweeps = 15;
+  params.sample_sweeps = 6;
+  rng gen(7);
+  const auto est =
+      sample_affinity_tree_size(tree, universe, 16, oracle, params, gen);
+  rng greedy_gen(9);
+  const auto packed = greedy_affinity_trajectory(tree, universe, 16, greedy_gen);
+  const auto spread = greedy_disaffinity_trajectory(tree, universe, 16, greedy_gen);
+  EXPECT_GE(est.mean_tree_size, static_cast<double>(packed.back()) - 1e-9);
+  EXPECT_LE(est.mean_tree_size, static_cast<double>(spread.back()) + 1e-9);
+  EXPECT_GT(est.acceptance_rate, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(betas, beta_sweep,
+                         ::testing::Values(-10.0, -1.0, -0.1, 0.0, 0.1, 1.0,
+                                           10.0));
+
+// --------------------------------------- synthetic reachability families --
+
+class reach_sweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(reach_sweep, eq23_monotone_concave_saturating_for_all_families) {
+  const unsigned depth = GetParam();
+  const double anchor = std::pow(2.0, static_cast<double>(depth));
+  const std::vector<std::vector<double>> families = {
+      synthetic_reachability_exponential(2.0, depth),
+      synthetic_reachability_power(3.0, depth, anchor),
+      synthetic_reachability_superexponential(std::log(2.0) / depth, depth,
+                                              anchor),
+  };
+  for (const auto& s : families) {
+    double budget = 0.0;
+    for (double v : s) budget += v;
+    double prev = 0.0;
+    for (double n = 1.0; n <= 1e12; n *= 10.0) {
+      const double l = general_tree_size_leaves(s, n);
+      EXPECT_GE(l, prev - 1e-9);
+      EXPECT_LE(l, budget * (1.0 + 1e-9));
+      prev = l;
+    }
+    EXPECT_NEAR(general_tree_size_leaves(s, 1e15), budget, budget * 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(depths, reach_sweep, ::testing::Values(8u, 12u, 16u, 20u));
+
+// ------------------------------------------ weighted/dynamic extensions --
+
+class extension_sweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(extension_sweep, unit_dijkstra_equals_bfs) {
+  const std::uint64_t seed = GetParam();
+  waxman_params p;
+  p.nodes = 80;
+  const graph g = make_waxman(p, seed);
+  const edge_weights w(g);
+  const weighted_tree wt = dijkstra_from(g, w, static_cast<node_id>(seed % 80));
+  const std::vector<hop_count> bd =
+      bfs_distances(g, static_cast<node_id>(seed % 80));
+  for (node_id v = 0; v < g.node_count(); ++v) {
+    EXPECT_DOUBLE_EQ(wt.dist[v], static_cast<double>(bd[v]));
+  }
+}
+
+TEST_P(extension_sweep, dynamic_tree_tracks_static_rebuild) {
+  const std::uint64_t seed = GetParam();
+  waxman_params p;
+  p.nodes = 60;
+  const graph g = make_waxman(p, seed);
+  const source_tree t(g, 0);
+  dynamic_delivery_tree d(t);
+  rng gen(seed * 7 + 1);
+  std::vector<node_id> members;
+  for (int step = 0; step < 300; ++step) {
+    if (!members.empty() && gen.chance(0.4)) {
+      const std::size_t i = gen.below(members.size());
+      d.leave(members[i]);
+      members[i] = members.back();
+      members.pop_back();
+    } else {
+      const node_id v = 1 + static_cast<node_id>(gen.below(g.node_count() - 1));
+      d.join(v);
+      members.push_back(v);
+    }
+  }
+  EXPECT_EQ(d.link_count(), delivery_tree_size(t, members));
+}
+
+TEST_P(extension_sweep, shared_tree_ratio_sane_for_all_strategies) {
+  const std::uint64_t seed = GetParam();
+  waxman_params p;
+  p.nodes = 80;
+  const graph g = make_waxman(p, seed);
+  for (core_strategy s : {core_strategy::random, core_strategy::degree_center,
+                          core_strategy::path_center}) {
+    const auto rows = compare_source_vs_shared(g, {4, 20}, s, 6, 5, seed);
+    for (const auto& row : rows) {
+      EXPECT_GT(row.shared_over_source, 0.6);
+      EXPECT_LT(row.shared_over_source, 3.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, extension_sweep,
+                         ::testing::Values(1u, 3u, 8u, 21u, 55u));
+
+}  // namespace
+}  // namespace mcast

@@ -1,0 +1,138 @@
+// Erdős–Rényi and random-regular generators, plus the Section 4.2 claim
+// that random graphs have exponentially increasing S(r).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "analysis/reachability.hpp"
+#include "graph/components.hpp"
+#include "graph/metrics.hpp"
+#include "topo/random.hpp"
+
+namespace mcast {
+namespace {
+
+TEST(erdos_renyi, edge_count_near_expectation) {
+  erdos_renyi_params p;
+  p.nodes = 400;
+  p.edge_prob = 0.05;
+  p.keep_largest_component = false;
+  const graph g = make_erdos_renyi(p, 7);
+  const double expected = 0.05 * 400.0 * 399.0 / 2.0;  // ~3990
+  EXPECT_NEAR(static_cast<double>(g.edge_count()), expected, 4.0 * std::sqrt(expected));
+}
+
+TEST(erdos_renyi, extreme_probabilities) {
+  erdos_renyi_params p;
+  p.nodes = 20;
+  p.edge_prob = 0.0;
+  p.keep_largest_component = false;
+  EXPECT_EQ(make_erdos_renyi(p, 1).edge_count(), 0u);
+  p.edge_prob = 1.0;
+  EXPECT_EQ(make_erdos_renyi(p, 1).edge_count(), 190u);  // complete graph
+}
+
+TEST(erdos_renyi, giant_component_extraction) {
+  erdos_renyi_params p;
+  p.nodes = 1000;
+  p.edge_prob = 3.0 / 1000.0;  // supercritical but not connected
+  const graph g = make_erdos_renyi(p, 3);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_GT(g.node_count(), 500u);
+  EXPECT_LT(g.node_count(), 1000u);
+}
+
+TEST(erdos_renyi, deterministic_and_validated) {
+  erdos_renyi_params p;
+  p.nodes = 200;
+  p.edge_prob = 0.04;
+  EXPECT_EQ(make_erdos_renyi(p, 9).edges(), make_erdos_renyi(p, 9).edges());
+  EXPECT_NE(make_erdos_renyi(p, 9).edges(), make_erdos_renyi(p, 10).edges());
+  p.edge_prob = 1.5;
+  EXPECT_THROW(make_erdos_renyi(p, 1), std::invalid_argument);
+  p.edge_prob = -0.1;
+  EXPECT_THROW(make_erdos_renyi(p, 1), std::invalid_argument);
+  p = erdos_renyi_params{};
+  p.nodes = 0;
+  EXPECT_THROW(make_erdos_renyi(p, 1), std::invalid_argument);
+}
+
+TEST(erdos_renyi, uniform_pair_coverage) {
+  // Every pair should appear with roughly equal frequency across seeds —
+  // guards the pair_of index mapping.
+  erdos_renyi_params p;
+  p.nodes = 12;
+  p.edge_prob = 0.3;
+  p.keep_largest_component = false;
+  std::vector<int> hits(12 * 12, 0);
+  for (std::uint64_t seed = 0; seed < 600; ++seed) {
+    for (const edge& e : make_erdos_renyi(p, seed).edges()) {
+      ++hits[e.a * 12 + e.b];
+    }
+  }
+  for (node_id a = 0; a < 12; ++a) {
+    for (node_id b = a + 1; b < 12; ++b) {
+      EXPECT_NEAR(hits[a * 12 + b] / 600.0, 0.3, 0.08)
+          << "pair (" << a << "," << b << ")";
+    }
+  }
+}
+
+TEST(random_regular, exact_degrees) {
+  random_regular_params p;
+  p.nodes = 100;
+  p.degree = 4;
+  const graph g = make_random_regular(p, 5);
+  EXPECT_EQ(g.node_count(), 100u);
+  EXPECT_EQ(g.edge_count(), 200u);
+  for (node_id v = 0; v < g.node_count(); ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(random_regular, deterministic_and_usually_connected) {
+  random_regular_params p;
+  p.nodes = 200;
+  p.degree = 3;
+  EXPECT_EQ(make_random_regular(p, 4).edges(), make_random_regular(p, 4).edges());
+  // 3-regular random graphs are a.a.s. connected.
+  int connected = 0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    connected += is_connected(make_random_regular(p, seed));
+  }
+  EXPECT_GE(connected, 4);
+}
+
+TEST(random_regular, validation) {
+  random_regular_params p;
+  p.nodes = 5;
+  p.degree = 3;  // odd sum
+  EXPECT_THROW(make_random_regular(p, 1), std::invalid_argument);
+  p.nodes = 4;
+  p.degree = 4;  // degree >= nodes
+  EXPECT_THROW(make_random_regular(p, 1), std::invalid_argument);
+  p.degree = 0;
+  EXPECT_THROW(make_random_regular(p, 1), std::invalid_argument);
+}
+
+TEST(random_graphs, exponential_reachability_claim) {
+  // Section 4.2: "Random graphs ... have the property that S(r) is
+  // exponentially increasing". Random-regular S(r) ≈ d(d-1)^{r-1}.
+  random_regular_params p;
+  p.nodes = 2000;
+  p.degree = 3;
+  const graph g = make_random_regular(p, 11);
+  const reachability_profile prof = reachability_from(g, 0);
+  const auto fit = fit_reachability_growth(prof, 0.5);
+  EXPECT_GT(fit.r_squared, 0.98);
+  EXPECT_NEAR(fit.lambda, std::log(2.0), 0.25);  // growth factor d-1 = 2
+
+  erdos_renyi_params ep;
+  ep.nodes = 2000;
+  ep.edge_prob = 4.0 / 2000.0;
+  const graph er = make_erdos_renyi(ep, 11);
+  const auto er_fit = fit_reachability_growth(reachability_from(er, 0), 0.5);
+  EXPECT_GT(er_fit.r_squared, 0.97);
+}
+
+}  // namespace
+}  // namespace mcast

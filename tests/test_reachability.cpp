@@ -1,0 +1,144 @@
+// Reachability profiles and the generalized predictors (Eqs 23, 30).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "analysis/kary_exact.hpp"
+#include "analysis/reachability.hpp"
+#include "topo/kary.hpp"
+#include "topo/regular.hpp"
+
+namespace mcast {
+namespace {
+
+TEST(reachability, profile_on_kary_tree_is_exponential) {
+  const graph g = make_kary_tree(3, 4);
+  const reachability_profile p = reachability_from(g, 0);
+  ASSERT_EQ(p.s.size(), 5u);
+  EXPECT_DOUBLE_EQ(p.s[1], 3.0);
+  EXPECT_DOUBLE_EQ(p.s[2], 9.0);
+  EXPECT_DOUBLE_EQ(p.s[3], 27.0);
+  EXPECT_DOUBLE_EQ(p.s[4], 81.0);
+  EXPECT_DOUBLE_EQ(p.total_sites(), 120.0);
+  EXPECT_EQ(p.max_radius(), 4u);
+  EXPECT_DOUBLE_EQ(p.t[2], 12.0);
+}
+
+TEST(reachability, profile_on_ring_is_flat) {
+  const graph g = make_ring(10);
+  const reachability_profile p = reachability_from(g, 0);
+  for (unsigned r = 1; r <= 4; ++r) EXPECT_DOUBLE_EQ(p.s[r], 2.0);
+  EXPECT_DOUBLE_EQ(p.s[5], 1.0);  // antipode
+  EXPECT_DOUBLE_EQ(p.total_sites(), 9.0);
+}
+
+TEST(reachability, mean_distance_matches_closed_form) {
+  const graph g = make_kary_tree(2, 2);
+  const reachability_profile p = reachability_from(g, 0);
+  EXPECT_NEAR(p.mean_distance(), 10.0 / 6.0, 1e-12);
+}
+
+TEST(reachability, mean_profile_averages_sources) {
+  const graph g = make_path(5);
+  rng gen(3);
+  const reachability_profile p = mean_reachability(g, 64, gen);
+  // Total sites from any source of a connected 5-path is 4.
+  EXPECT_NEAR(p.total_sites(), 4.0, 1e-9);
+  // s[4] > 0 only from the two end nodes: expected 2/5 on average.
+  EXPECT_NEAR(p.s[4], 2.0 / 5.0, 0.15);
+}
+
+TEST(reachability, eq23_reduces_to_kary_formula) {
+  // With S(r) = k^r, Eq 23 must equal Eq 4 exactly.
+  const unsigned k = 2, d = 9;
+  const std::vector<double> s = synthetic_reachability_exponential(2.0, d);
+  for (double n : {1.0, 7.0, 100.0, 5000.0}) {
+    EXPECT_NEAR(general_tree_size_leaves(s, n), kary_tree_size_leaves(k, d, n),
+                1e-6)
+        << "n=" << n;
+  }
+}
+
+TEST(reachability, eq30_reduces_to_kary_all_sites_formula) {
+  // With the tree profile, Eq 30 must equal Eq 21 exactly.
+  const unsigned k = 3, d = 5;
+  const graph g = make_kary_tree(k, d);
+  const reachability_profile p = reachability_from(g, 0);
+  for (double n : {1.0, 10.0, 200.0}) {
+    EXPECT_NEAR(general_tree_size_all_sites(p.s, n),
+                kary_tree_size_all_sites(k, d, n), 1e-6)
+        << "n=" << n;
+  }
+}
+
+TEST(reachability, predictors_saturate_at_link_budget) {
+  const std::vector<double> s = {0.0, 4.0, 16.0, 64.0};
+  const double budget = 4.0 + 16.0 + 64.0;
+  EXPECT_NEAR(general_tree_size_leaves(s, 1e9), budget, 1e-6);
+  EXPECT_NEAR(general_tree_size_all_sites(s, 1e9), budget, 1e-6);
+  EXPECT_DOUBLE_EQ(general_tree_size_leaves(s, 0.0), 0.0);
+}
+
+TEST(reachability, predictor_handles_unit_levels) {
+  // S(r) = 1 at some level (e.g. a chain segment): probability 1 per draw.
+  const std::vector<double> s = {0.0, 1.0, 2.0};
+  EXPECT_NEAR(general_tree_size_leaves(s, 1.0), 1.0 + 2.0 * 0.5, 1e-12);
+}
+
+TEST(reachability, synthetic_families_normalized_at_depth) {
+  const unsigned d = 20;
+  const double anchor = std::pow(2.0, 20.0);
+  const auto exp2 = synthetic_reachability_exponential(2.0, d);
+  const auto pow4 = synthetic_reachability_power(4.0, d, anchor);
+  const auto sup = synthetic_reachability_superexponential(std::log(2.0) / d, d, anchor);
+  EXPECT_NEAR(exp2[d], anchor, 1e-3);
+  EXPECT_NEAR(pow4[d], anchor, 1e-3);
+  EXPECT_NEAR(sup[d], anchor, anchor * 1e-9);
+  // Ordering below the anchor: power > exponential > super-exponential at
+  // mid radii (slow growth has more early mass).
+  EXPECT_GT(pow4[d / 2], exp2[d / 2]);
+  EXPECT_LT(sup[d / 2], exp2[d / 2]);
+}
+
+TEST(reachability, growth_fit_classifies_families) {
+  const unsigned d = 16;
+  const double anchor = std::pow(2.0, 16.0);
+  reachability_profile exp_p, pow_p;
+  exp_p.s = synthetic_reachability_exponential(2.0, d);
+  pow_p.s = synthetic_reachability_power(3.0, d, anchor);
+  exp_p.t.assign(exp_p.s.size(), 0.0);
+  pow_p.t.assign(pow_p.s.size(), 0.0);
+  for (std::size_t r = 1; r <= d; ++r) {
+    exp_p.t[r] = exp_p.t[r - 1] + exp_p.s[r];
+    pow_p.t[r] = pow_p.t[r - 1] + pow_p.s[r];
+  }
+  const auto ef = fit_reachability_growth(exp_p, 1.0);
+  const auto pf = fit_reachability_growth(pow_p, 1.0);
+  EXPECT_GT(ef.r_squared, 0.99) << "pure exponential should fit ln T ~ r";
+  EXPECT_NEAR(ef.lambda, std::log(2.0), 0.1);
+  EXPECT_LT(pf.r_squared, ef.r_squared);
+}
+
+TEST(reachability, growth_fit_degenerate_profiles) {
+  reachability_profile p;  // empty
+  const auto f = fit_reachability_growth(p);
+  EXPECT_EQ(f.radii_used, 0u);
+  EXPECT_DOUBLE_EQ(f.lambda, 0.0);
+}
+
+TEST(reachability, validation) {
+  const graph g = make_path(3);
+  rng gen(1);
+  EXPECT_THROW(mean_reachability(g, 0, gen), std::invalid_argument);
+  EXPECT_THROW(general_tree_size_leaves({0.0, 2.0}, -1.0), std::invalid_argument);
+  EXPECT_THROW(synthetic_reachability_exponential(1.0, 5), std::invalid_argument);
+  EXPECT_THROW(synthetic_reachability_power(0.0, 5, 10.0), std::invalid_argument);
+  EXPECT_THROW(synthetic_reachability_superexponential(0.2, 5, 0.5),
+               std::invalid_argument);
+  reachability_profile p;
+  EXPECT_THROW(fit_reachability_growth(p, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcast

@@ -1,0 +1,110 @@
+// Receiver samplers: universes, distinctness, uniformity, determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "multicast/receivers.hpp"
+#include "topo/kary.hpp"
+#include "topo/regular.hpp"
+
+namespace mcast {
+namespace {
+
+TEST(receivers, all_sites_except_excludes_source) {
+  const graph g = make_ring(5);
+  const std::vector<node_id> u = all_sites_except(g, 2);
+  EXPECT_EQ(u.size(), 4u);
+  EXPECT_EQ(std::count(u.begin(), u.end(), 2u), 0);
+  EXPECT_THROW(all_sites_except(g, 9), std::out_of_range);
+}
+
+TEST(receivers, leaf_sites_enumerates_range) {
+  const kary_shape s(2, 3);
+  const std::vector<node_id> u = leaf_sites(s.first_leaf(), s.leaf_count());
+  ASSERT_EQ(u.size(), 8u);
+  EXPECT_EQ(u.front(), 7u);
+  EXPECT_EQ(u.back(), 14u);
+}
+
+TEST(receivers, sample_distinct_properties) {
+  const graph g = make_ring(30);
+  const std::vector<node_id> u = all_sites_except(g, 0);
+  rng gen(1);
+  const std::vector<node_id> s = sample_distinct(u, 12, gen);
+  EXPECT_EQ(s.size(), 12u);
+  const std::set<node_id> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 12u) << "must be distinct";
+  for (node_id v : s) {
+    EXPECT_NE(v, 0u);
+    EXPECT_LT(v, 30u);
+  }
+}
+
+TEST(receivers, sample_distinct_full_universe_is_permutation) {
+  std::vector<node_id> u = {3, 5, 9, 11};
+  rng gen(2);
+  std::vector<node_id> s = sample_distinct(u, 4, gen);
+  std::sort(s.begin(), s.end());
+  EXPECT_EQ(s, u);
+}
+
+TEST(receivers, sample_distinct_too_many_throws) {
+  rng gen(3);
+  EXPECT_THROW(sample_distinct({1, 2}, 3, gen), std::invalid_argument);
+}
+
+TEST(receivers, sample_distinct_is_uniform) {
+  // Each of 10 sites should appear in a 3-subset with probability 3/10.
+  std::vector<node_id> u(10);
+  for (node_id i = 0; i < 10; ++i) u[i] = i;
+  rng gen(4);
+  std::vector<int> hits(10, 0);
+  constexpr int trials = 30000;
+  for (int t = 0; t < trials; ++t) {
+    for (node_id v : sample_distinct(u, 3, gen)) ++hits[v];
+  }
+  for (int h : hits) {
+    EXPECT_NEAR(static_cast<double>(h) / trials, 0.3, 0.02);
+  }
+}
+
+TEST(receivers, sample_with_replacement_properties) {
+  std::vector<node_id> u = {7, 8, 9};
+  rng gen(5);
+  const std::vector<node_id> s = sample_with_replacement(u, 1000, gen);
+  EXPECT_EQ(s.size(), 1000u);
+  for (node_id v : s) {
+    EXPECT_GE(v, 7u);
+    EXPECT_LE(v, 9u);
+  }
+  // With 1000 draws from 3 sites, repeats are certain.
+  const std::set<node_id> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 3u);
+}
+
+TEST(receivers, sample_with_replacement_empty_universe_throws) {
+  rng gen(6);
+  EXPECT_THROW(sample_with_replacement({}, 1, gen), std::invalid_argument);
+}
+
+TEST(receivers, zero_sized_samples) {
+  std::vector<node_id> u = {1, 2, 3};
+  rng gen(7);
+  EXPECT_TRUE(sample_distinct(u, 0, gen).empty());
+  EXPECT_TRUE(sample_with_replacement(u, 0, gen).empty());
+}
+
+TEST(receivers, samplers_deterministic_given_rng_state) {
+  std::vector<node_id> u(50);
+  for (node_id i = 0; i < 50; ++i) u[i] = i;
+  rng a(9), b(9);
+  EXPECT_EQ(sample_distinct(u, 20, a), sample_distinct(u, 20, b));
+  EXPECT_EQ(sample_with_replacement(u, 20, a),
+            sample_with_replacement(u, 20, b));
+}
+
+}  // namespace
+}  // namespace mcast

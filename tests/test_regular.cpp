@@ -1,0 +1,113 @@
+// Regular topology generators: exact structure checks.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/bfs.hpp"
+#include "graph/components.hpp"
+#include "topo/regular.hpp"
+
+namespace mcast {
+namespace {
+
+TEST(regular, path_structure) {
+  const graph g = make_path(6);
+  EXPECT_EQ(g.node_count(), 6u);
+  EXPECT_EQ(g.edge_count(), 5u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(5), 1u);
+  for (node_id v = 1; v < 5; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.name(), "path6");
+}
+
+TEST(regular, single_node_path) {
+  const graph g = make_path(1);
+  EXPECT_EQ(g.node_count(), 1u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(regular, ring_structure) {
+  const graph g = make_ring(5);
+  EXPECT_EQ(g.edge_count(), 5u);
+  for (node_id v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(g.has_edge(4, 0));
+  EXPECT_THROW(make_ring(2), std::invalid_argument);
+}
+
+TEST(regular, star_structure) {
+  const graph g = make_star(7);
+  EXPECT_EQ(g.edge_count(), 6u);
+  EXPECT_EQ(g.degree(0), 6u);
+  for (node_id v = 1; v < 7; ++v) EXPECT_EQ(g.degree(v), 1u);
+}
+
+TEST(regular, complete_structure) {
+  const graph g = make_complete(5);
+  EXPECT_EQ(g.edge_count(), 10u);
+  for (node_id v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(regular, grid_structure) {
+  const graph g = make_grid(3, 4);
+  EXPECT_EQ(g.node_count(), 12u);
+  // 3 rows x 3 horizontal + 2 x 4 vertical = 9 + 8 = 17.
+  EXPECT_EQ(g.edge_count(), 17u);
+  EXPECT_EQ(g.degree(0), 2u);   // corner
+  EXPECT_EQ(g.degree(1), 3u);   // edge
+  EXPECT_EQ(g.degree(5), 4u);   // interior (row 1, col 1)
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(regular, degenerate_grids) {
+  EXPECT_EQ(make_grid(1, 5).edge_count(), 4u);  // a path
+  EXPECT_EQ(make_grid(5, 1).edge_count(), 4u);
+  EXPECT_EQ(make_grid(1, 1).edge_count(), 0u);
+}
+
+TEST(regular, torus_structure) {
+  const graph g = make_torus(4, 5);
+  EXPECT_EQ(g.node_count(), 20u);
+  // Every node has exactly 4 neighbors (wrap-around regularity).
+  for (node_id v = 0; v < g.node_count(); ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_EQ(g.edge_count(), 40u);
+  EXPECT_TRUE(is_connected(g));
+  // Wrap links exist: (0,0)-(0,4) and (0,0)-(3,0).
+  EXPECT_TRUE(g.has_edge(0, 4));
+  EXPECT_TRUE(g.has_edge(0, 15));
+  EXPECT_THROW(make_torus(2, 5), std::invalid_argument);
+}
+
+TEST(regular, hypercube_structure) {
+  const graph g = make_hypercube(4);
+  EXPECT_EQ(g.node_count(), 16u);
+  EXPECT_EQ(g.edge_count(), 32u);  // n * dim / 2
+  for (node_id v = 0; v < g.node_count(); ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_TRUE(is_connected(g));
+  // Neighbors differ in exactly one bit.
+  for (node_id w : g.neighbors(5)) {
+    const node_id diff = w ^ 5u;
+    EXPECT_EQ(diff & (diff - 1), 0u) << "not a single-bit flip";
+  }
+  EXPECT_THROW(make_hypercube(0), std::invalid_argument);
+  EXPECT_THROW(make_hypercube(21), std::invalid_argument);
+}
+
+TEST(regular, hypercube_distance_is_hamming) {
+  const graph g = make_hypercube(5);
+  const std::vector<hop_count> d = bfs_distances(g, 0);
+  for (node_id v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(d[v], static_cast<hop_count>(__builtin_popcount(v)));
+  }
+}
+
+TEST(regular, invalid_parameters_throw) {
+  EXPECT_THROW(make_path(0), std::invalid_argument);
+  EXPECT_THROW(make_star(0), std::invalid_argument);
+  EXPECT_THROW(make_complete(0), std::invalid_argument);
+  EXPECT_THROW(make_grid(0, 3), std::invalid_argument);
+  EXPECT_THROW(make_grid(3, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcast

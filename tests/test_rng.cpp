@@ -1,0 +1,139 @@
+// rng: determinism, ranges, distribution sanity, stream forking.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace mcast {
+namespace {
+
+TEST(rng, deterministic_given_seed) {
+  rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(rng, different_seeds_diverge) {
+  rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(rng, below_respects_bound) {
+  rng gen(9);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(gen.below(bound), bound);
+  }
+}
+
+TEST(rng, below_zero_throws) {
+  rng gen(1);
+  EXPECT_THROW(gen.below(0), std::invalid_argument);
+}
+
+TEST(rng, below_hits_every_value_of_small_range) {
+  rng gen(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(gen.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(rng, below_is_roughly_uniform) {
+  rng gen(17);
+  constexpr int buckets = 10;
+  constexpr int draws = 100000;
+  std::vector<int> count(buckets, 0);
+  for (int i = 0; i < draws; ++i) ++count[gen.below(buckets)];
+  for (int c : count) {
+    EXPECT_GT(c, draws / buckets * 0.9);
+    EXPECT_LT(c, draws / buckets * 1.1);
+  }
+}
+
+TEST(rng, between_inclusive) {
+  rng gen(2);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = gen.between(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= v == 5;
+    saw_hi |= v == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_EQ(gen.between(3, 3), 3u);
+  EXPECT_THROW(gen.between(4, 3), std::invalid_argument);
+}
+
+TEST(rng, uniform_in_unit_interval_with_correct_mean) {
+  rng gen(11);
+  double sum = 0.0;
+  constexpr int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    const double u = gen.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / draws, 0.5, 0.01);
+}
+
+TEST(rng, chance_extremes) {
+  rng gen(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(gen.chance(0.0));
+    EXPECT_TRUE(gen.chance(1.0));
+  }
+}
+
+TEST(rng, chance_probability) {
+  rng gen(4);
+  int hits = 0;
+  constexpr int draws = 100000;
+  for (int i = 0; i < draws; ++i) hits += gen.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / draws, 0.3, 0.01);
+}
+
+TEST(rng, exponential_mean_and_positivity) {
+  rng gen(6);
+  double sum = 0.0;
+  constexpr int draws = 200000;
+  for (int i = 0; i < draws; ++i) {
+    const double v = gen.exponential(2.0);
+    ASSERT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / draws, 0.5, 0.01);
+  EXPECT_THROW(gen.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(gen.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(rng, fork_produces_decorrelated_reproducible_streams) {
+  rng parent1(77), parent2(77);
+  rng child1 = parent1.fork(5);
+  rng child2 = parent2.fork(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(child1(), child2());
+
+  rng parent3(77);
+  rng childA = parent3.fork(1);
+  rng childB = parent3.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (childA() == childB()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(rng, satisfies_uniform_random_bit_generator) {
+  static_assert(std::uniform_random_bit_generator<rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace mcast

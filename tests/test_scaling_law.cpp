@@ -1,0 +1,90 @@
+// scaling_law: fitting, prediction, efficiency algebra.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/scaling_law.hpp"
+
+namespace mcast {
+namespace {
+
+std::vector<scaling_point> synthetic_measurement(double amplitude,
+                                                 double exponent) {
+  std::vector<scaling_point> rows;
+  for (double m = 1.0; m <= 4096.0; m *= 2.0) {
+    scaling_point p;
+    p.group_size = static_cast<std::uint64_t>(m);
+    p.ratio_mean = amplitude * std::pow(m, exponent);
+    rows.push_back(p);
+  }
+  return rows;
+}
+
+TEST(scaling_law, default_is_canonical_chuang_sirbu) {
+  const scaling_law law;
+  EXPECT_DOUBLE_EQ(law.exponent(), 0.8);
+  EXPECT_DOUBLE_EQ(law.amplitude(), 1.0);
+  EXPECT_NEAR(law.normalized_tree_size(32.0), std::pow(32.0, 0.8), 1e-9);
+}
+
+TEST(scaling_law, fit_recovers_parameters) {
+  const scaling_law law = scaling_law::fit_to(synthetic_measurement(1.3, 0.75));
+  EXPECT_NEAR(law.exponent(), 0.75, 1e-9);
+  EXPECT_NEAR(law.amplitude(), 1.3, 1e-8);
+  EXPECT_NEAR(law.r_squared(), 1.0, 1e-12);
+}
+
+TEST(scaling_law, fit_window_excludes_rows) {
+  auto rows = synthetic_measurement(1.0, 0.8);
+  // Corrupt the endpoints; a [4, 1024] window must ignore them.
+  rows.front().ratio_mean = 500.0;
+  rows.back().ratio_mean = 0.001;
+  const scaling_law law = scaling_law::fit_to(rows, 4.0, 1024.0);
+  EXPECT_NEAR(law.exponent(), 0.8, 1e-9);
+}
+
+TEST(scaling_law, fit_requires_two_rows) {
+  std::vector<scaling_point> rows = synthetic_measurement(1.0, 0.8);
+  rows.resize(1);
+  EXPECT_THROW(scaling_law::fit_to(rows), std::invalid_argument);
+}
+
+TEST(scaling_law, tree_size_scales_with_ubar) {
+  const scaling_law law(1.0, 0.8);
+  EXPECT_NEAR(law.tree_size(100.0, 12.0),
+              12.0 * std::pow(100.0, 0.8), 1e-9);
+}
+
+TEST(scaling_law, efficiency_decreases_with_group_size) {
+  const scaling_law law(1.0, 0.8);
+  EXPECT_DOUBLE_EQ(law.efficiency(1.0), 1.0);
+  EXPECT_GT(law.efficiency(10.0), law.efficiency(100.0));
+  // δ(m) = m^{-0.2}.
+  EXPECT_NEAR(law.efficiency(32.0), std::pow(32.0, -0.2), 1e-12);
+}
+
+TEST(scaling_law, advantage_is_reciprocal_of_efficiency) {
+  const scaling_law law(1.2, 0.8);
+  for (double m : {2.0, 20.0, 200.0}) {
+    EXPECT_NEAR(law.multicast_advantage(m) * law.efficiency(m), 1.0, 1e-12);
+  }
+}
+
+TEST(scaling_law, describe_mentions_parameters) {
+  const scaling_law law(2.0, 0.8);
+  const std::string text = law.describe();
+  EXPECT_NE(text.find("m^0.8"), std::string::npos);
+  EXPECT_NE(text.find('2'), std::string::npos);
+}
+
+TEST(scaling_law, validation) {
+  EXPECT_THROW(scaling_law(0.0, 0.8), std::invalid_argument);
+  EXPECT_THROW(scaling_law(-1.0, 0.8), std::invalid_argument);
+  const scaling_law law;
+  EXPECT_THROW(law.normalized_tree_size(0.0), std::invalid_argument);
+  EXPECT_THROW(law.tree_size(1.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcast

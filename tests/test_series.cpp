@@ -1,0 +1,84 @@
+// xy_series and sampling grids.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "analysis/series.hpp"
+
+namespace mcast {
+namespace {
+
+TEST(series, add_points) {
+  xy_series s;
+  s.label = "curve";
+  s.add(1.0, 2.0);
+  s.add(3.0, 4.0);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.x[1], 3.0);
+  EXPECT_DOUBLE_EQ(s.y[1], 4.0);
+  EXPECT_TRUE(s.yerr.empty());
+}
+
+TEST(series, error_bars_all_or_nothing) {
+  xy_series s;
+  s.add(1.0, 2.0, 0.1);
+  s.add(2.0, 3.0, 0.2);
+  EXPECT_EQ(s.yerr.size(), 2u);
+  EXPECT_THROW(s.add(3.0, 4.0), std::invalid_argument);
+
+  xy_series t;
+  t.add(1.0, 2.0);
+  EXPECT_THROW(t.add(2.0, 3.0, 0.1), std::invalid_argument);
+}
+
+TEST(log_grid_integers, covers_endpoints_sorted_unique) {
+  const auto g = log_grid_integers(1, 10000, 20);
+  ASSERT_GE(g.size(), 10u);
+  EXPECT_EQ(g.front(), 1u);
+  EXPECT_EQ(g.back(), 10000u);
+  for (std::size_t i = 1; i < g.size(); ++i) EXPECT_LT(g[i - 1], g[i]);
+}
+
+TEST(log_grid_integers, small_ranges) {
+  EXPECT_EQ(log_grid_integers(5, 5, 10), (std::vector<std::uint64_t>{5}));
+  const auto g = log_grid_integers(1, 3, 10);
+  EXPECT_EQ(g.front(), 1u);
+  EXPECT_EQ(g.back(), 3u);
+  for (std::uint64_t v : g) {
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 3u);
+  }
+}
+
+TEST(log_grid_integers, single_point_request) {
+  EXPECT_EQ(log_grid_integers(2, 50, 1), (std::vector<std::uint64_t>{2, 50}));
+}
+
+TEST(log_grid_integers, validation) {
+  EXPECT_THROW(log_grid_integers(0, 5, 3), std::invalid_argument);
+  EXPECT_THROW(log_grid_integers(6, 5, 3), std::invalid_argument);
+  EXPECT_THROW(log_grid_integers(1, 5, 0), std::invalid_argument);
+}
+
+TEST(log_grid, geometric_spacing) {
+  const auto g = log_grid(1.0, 100.0, 3);
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_DOUBLE_EQ(g[0], 1.0);
+  EXPECT_NEAR(g[1], 10.0, 1e-9);
+  EXPECT_NEAR(g[2], 100.0, 1e-9);
+  EXPECT_THROW(log_grid(0.0, 1.0, 3), std::invalid_argument);
+  EXPECT_THROW(log_grid(-1.0, 1.0, 3), std::invalid_argument);
+}
+
+TEST(linear_grid, spacing_and_endpoints) {
+  const auto g = linear_grid(0.0, 1.0, 5);
+  ASSERT_EQ(g.size(), 5u);
+  EXPECT_DOUBLE_EQ(g[0], 0.0);
+  EXPECT_DOUBLE_EQ(g[2], 0.5);
+  EXPECT_DOUBLE_EQ(g[4], 1.0);
+  EXPECT_EQ(linear_grid(2.0, 2.0, 7).size(), 1u);
+  EXPECT_THROW(linear_grid(1.0, 0.0, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcast

@@ -1,0 +1,144 @@
+// Session simulator: conservation laws, Little's-law sanity, determinism,
+// and the aggregate-load-vs-scaling-law agreement it exists to demonstrate.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/runner.hpp"
+#include "graph/builder.hpp"
+#include "core/scaling_law.hpp"
+#include "graph/metrics.hpp"
+#include "multicast/unicast.hpp"
+#include "session/simulator.hpp"
+#include "topo/transit_stub.hpp"
+#include "topo/waxman.hpp"
+
+namespace mcast {
+namespace {
+
+session_workload small_workload() {
+  session_workload w;
+  w.session_arrival_rate = 0.4;
+  w.session_lifetime_mean = 15.0;
+  w.member_join_rate = 1.5;
+  w.member_lifetime_mean = 4.0;
+  w.max_concurrent_sessions = 32;
+  return w;
+}
+
+TEST(session, deterministic_given_seed) {
+  waxman_params p;
+  p.nodes = 80;
+  const graph g = make_waxman(p, 2);
+  const auto a = simulate_sessions(g, small_workload(), 200.0, 50.0, 9);
+  const auto b = simulate_sessions(g, small_workload(), 200.0, 50.0, 9);
+  EXPECT_DOUBLE_EQ(a.time_avg_links, b.time_avg_links);
+  EXPECT_EQ(a.joins, b.joins);
+  EXPECT_EQ(a.sessions_started, b.sessions_started);
+}
+
+TEST(session, basic_conservation) {
+  waxman_params p;
+  p.nodes = 80;
+  const graph g = make_waxman(p, 2);
+  const auto m = simulate_sessions(g, small_workload(), 300.0, 50.0, 5);
+  EXPECT_GT(m.sessions_started, 5u);
+  EXPECT_LE(m.sessions_completed, m.sessions_started + 1);
+  EXPECT_GT(m.joins, 10u);
+  // leaves counts both natural departures and session-end drains. It can
+  // exceed joins (warmup members leaving inside the window) or lag them
+  // (members alive at the horizon) — but only slightly in steady state.
+  EXPECT_NEAR(static_cast<double>(m.leaves) / static_cast<double>(m.joins),
+              1.0, 0.05);
+  EXPECT_GT(m.time_avg_links, 0.0);
+  EXPECT_GE(m.peak_links, m.time_avg_links);
+  EXPECT_DOUBLE_EQ(m.duration, 300.0);
+}
+
+TEST(session, littles_law_for_sessions) {
+  // E[active sessions] = arrival_rate * mean_lifetime (M/G/inf), within
+  // Monte-Carlo tolerance, as long as the cap never binds.
+  waxman_params p;
+  p.nodes = 60;
+  const graph g = make_waxman(p, 4);
+  session_workload w = small_workload();
+  w.session_arrival_rate = 0.3;
+  w.session_lifetime_mean = 10.0;
+  w.max_concurrent_sessions = 1000;
+  const auto m = simulate_sessions(g, w, 3000.0, 200.0, 13);
+  EXPECT_EQ(m.sessions_dropped, 0u);
+  EXPECT_NEAR(m.time_avg_sessions, 3.0, 0.5);
+  // Members per active session: the naive join_rate * member_lifetime = 6
+  // is cut by session mortality — a session observed at a random time has
+  // exponential age A (memoryless), and E[members] = lambda*mu*(1 -
+  // E[e^{-A/mu}]) = lambda*mu * mu_rate/(mu_rate + end_rate)... with
+  // end_rate = 1/10 and leave rate 1/4: 6 * (1 - (1/10)/(1/10 + 1/4)) = 4.29.
+  EXPECT_NEAR(m.time_avg_members / m.time_avg_sessions, 4.29, 0.8);
+}
+
+TEST(session, capacity_cap_drops_arrivals) {
+  waxman_params p;
+  p.nodes = 60;
+  const graph g = make_waxman(p, 4);
+  session_workload w = small_workload();
+  w.session_arrival_rate = 2.0;
+  w.session_lifetime_mean = 50.0;
+  w.max_concurrent_sessions = 2;
+  const auto m = simulate_sessions(g, w, 400.0, 50.0, 3);
+  EXPECT_GT(m.sessions_dropped, 0u);
+  EXPECT_LE(m.time_avg_sessions, 2.0 + 1e-9);
+}
+
+TEST(session, aggregate_load_matches_scaling_law_prediction) {
+  // The provisioning calculation: fit the law offline, then predict
+  // aggregate links as E[#sessions] * L(mean group size). Agreement within
+  // ~20% (the law is a power-law fit and group sizes fluctuate).
+  const graph g = make_transit_stub(ts1000_params(), 6);
+  monte_carlo_params mc;
+  mc.receiver_sets = 12;
+  mc.sources = 10;
+  const auto rows =
+      measure_distinct_receivers(g, default_group_grid(g.node_count() - 1, 12), mc);
+  const scaling_law law = scaling_law::fit_to(rows, 2.0, 500.0);
+  // Network-wide mean path length == E over random sources of that
+  // source's mean unicast path (a single source's ubar would bias the
+  // prediction by that node's centrality).
+  const double ubar = average_path_length_exact(g);
+
+  session_workload w;
+  w.session_arrival_rate = 0.25;
+  w.session_lifetime_mean = 40.0;
+  w.member_join_rate = 1.0;
+  w.member_lifetime_mean = 12.0;  // mean group ~12 members
+  w.max_concurrent_sessions = 512;
+  const auto m = simulate_sessions(g, w, 2000.0, 300.0, 21);
+
+  ASSERT_GT(m.mean_group_size_at_join, 2.0);
+  const double predicted_per_session =
+      law.tree_size(m.mean_group_size_at_join, ubar);
+  const double predicted_aggregate = m.time_avg_sessions * predicted_per_session;
+  EXPECT_NEAR(m.time_avg_links / predicted_aggregate, 1.0, 0.2);
+}
+
+TEST(session, validation) {
+  waxman_params p;
+  p.nodes = 40;
+  const graph g = make_waxman(p, 1);
+  session_workload w = small_workload();
+  EXPECT_THROW(simulate_sessions(g, w, 0.0, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(simulate_sessions(g, w, 10.0, -1.0, 1), std::invalid_argument);
+  w.member_join_rate = 0.0;
+  EXPECT_THROW(simulate_sessions(g, w, 10.0, 0.0, 1), std::invalid_argument);
+  w = small_workload();
+  w.max_concurrent_sessions = 0;
+  EXPECT_THROW(simulate_sessions(g, w, 10.0, 0.0, 1), std::invalid_argument);
+
+  graph_builder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  EXPECT_THROW(simulate_sessions(b.build(), small_workload(), 10.0, 0.0, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcast

@@ -1,0 +1,81 @@
+// source_tree: distances, parents, paths, wrapping external BFS results.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "multicast/spt.hpp"
+#include "topo/kary.hpp"
+#include "topo/regular.hpp"
+
+namespace mcast {
+namespace {
+
+TEST(spt, basic_queries) {
+  const graph g = make_kary_tree(2, 3);
+  const source_tree t(g, 0);
+  EXPECT_EQ(t.source(), 0u);
+  EXPECT_EQ(t.node_count(), 15u);
+  EXPECT_EQ(t.distance(0), 0u);
+  EXPECT_EQ(t.distance(7), 3u);
+  EXPECT_EQ(t.parent(0), invalid_node);
+  EXPECT_EQ(t.parent(7), 3u);
+  EXPECT_TRUE(t.spans_graph());
+}
+
+TEST(spt, path_to_root_to_leaf) {
+  const graph g = make_kary_tree(2, 3);
+  const source_tree t(g, 0);
+  const std::vector<node_id> p = t.path_to(9);
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p[0], 0u);
+  EXPECT_EQ(p[1], 1u);
+  EXPECT_EQ(p[2], 4u);
+  EXPECT_EQ(p[3], 9u);
+}
+
+TEST(spt, path_to_source_is_singleton) {
+  const graph g = make_ring(6);
+  const source_tree t(g, 2);
+  const std::vector<node_id> p = t.path_to(2);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0], 2u);
+}
+
+TEST(spt, disconnected_graph_detected) {
+  graph_builder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const graph g = b.build();
+  const source_tree t(g, 0);
+  EXPECT_FALSE(t.spans_graph());
+  EXPECT_EQ(t.distance(3), unreachable);
+  EXPECT_THROW(t.path_to(3), std::invalid_argument);
+}
+
+TEST(spt, wraps_external_bfs_result) {
+  const graph g = make_grid(3, 3);
+  bfs_tree raw = bfs_from(g, 4);
+  const source_tree t(g, std::move(raw));
+  EXPECT_EQ(t.source(), 4u);
+  EXPECT_EQ(t.distance(0), 2u);
+}
+
+TEST(spt, rejects_mismatched_bfs_result) {
+  const graph g = make_grid(3, 3);
+  const graph other = make_path(4);
+  bfs_tree raw = bfs_from(other, 0);
+  EXPECT_THROW(source_tree(g, std::move(raw)), std::invalid_argument);
+}
+
+TEST(spt, out_of_range_throws) {
+  const graph g = make_path(3);
+  EXPECT_THROW(source_tree(g, 5), std::out_of_range);
+  const source_tree t(g, 0);
+  EXPECT_THROW(t.distance(3), std::out_of_range);
+  EXPECT_THROW(t.parent(3), std::out_of_range);
+  EXPECT_THROW(t.path_to(3), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace mcast

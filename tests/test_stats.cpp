@@ -1,0 +1,92 @@
+// running_stats: Welford accumulation, merging, edge cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/stats.hpp"
+#include "sim/rng.hpp"
+
+namespace mcast {
+namespace {
+
+TEST(stats, empty_accumulator) {
+  running_stats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stderr_mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(stats, single_value) {
+  running_stats s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(stats, known_values) {
+  running_stats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stderr_mean(), std::sqrt(32.0 / 7.0 / 8.0), 1e-12);
+}
+
+TEST(stats, merge_equals_sequential) {
+  rng gen(3);
+  running_stats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = gen.uniform() * 10.0 - 3.0;
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(stats, merge_with_empty) {
+  running_stats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a);  // copy
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(stats, numerical_stability_with_large_offset) {
+  running_stats s;
+  const double offset = 1e9;
+  for (double x : {offset + 1.0, offset + 2.0, offset + 3.0}) s.add(x);
+  EXPECT_NEAR(s.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-3);
+}
+
+TEST(stats, helpers) {
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(variance_of({5.0}), 0.0);
+  EXPECT_NEAR(variance_of({1.0, 2.0, 3.0}), 1.0, 1e-12);
+}
+
+TEST(stats, confidence_halfwidth) {
+  running_stats s;
+  for (int i = 0; i < 100; ++i) s.add(i % 2 ? 1.0 : -1.0);
+  EXPECT_NEAR(confidence_halfwidth95(s), 1.96 * s.stderr_mean(), 1e-15);
+}
+
+}  // namespace
+}  // namespace mcast

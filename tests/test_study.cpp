@@ -1,0 +1,97 @@
+// run_scaling_study: end-to-end orchestration over a scaled-down suite.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/study.hpp"
+#include "topo/regular.hpp"
+#include "topo/waxman.hpp"
+
+namespace mcast {
+namespace {
+
+study_config quick_config() {
+  study_config c;
+  c.monte_carlo.receiver_sets = 10;
+  c.monte_carlo.sources = 6;
+  c.monte_carlo.seed = 3;
+  c.grid_points = 10;
+  return c;
+}
+
+std::vector<network_entry> tiny_suite() {
+  return {
+      {"wax", network_kind::generated,
+       [](std::uint64_t seed) {
+         waxman_params p;
+         p.nodes = 120;
+         p.alpha = 0.3;
+         graph g = make_waxman(p, seed);
+         g.set_name("wax");
+         return g;
+       }},
+      {"grid", network_kind::generated,
+       [](std::uint64_t) { return make_grid(10, 12); }},
+  };
+}
+
+TEST(study, produces_one_result_per_network) {
+  const study_result r = run_scaling_study(tiny_suite(), quick_config());
+  ASSERT_EQ(r.networks.size(), 2u);
+  EXPECT_EQ(r.networks[0].name, "wax");
+  EXPECT_EQ(r.networks[1].name, "grid");
+  EXPECT_EQ(r.networks[0].nodes, 120u);
+  EXPECT_EQ(r.networks[1].nodes, 120u);
+  for (const auto& n : r.networks) {
+    EXPECT_GE(n.measurement.size(), 8u);
+    EXPECT_GT(n.links, 0u);
+  }
+}
+
+TEST(study, fitted_exponents_in_sane_band) {
+  const study_result r = run_scaling_study(tiny_suite(), quick_config());
+  for (const auto& n : r.networks) {
+    EXPECT_GT(n.law.exponent(), 0.3) << n.name;
+    EXPECT_LT(n.law.exponent(), 1.0) << n.name;
+  }
+  EXPECT_GT(r.mean_exponent(), 0.3);
+  EXPECT_LT(r.mean_exponent(), 1.0);
+}
+
+TEST(study, deterministic) {
+  const study_result a = run_scaling_study(tiny_suite(), quick_config());
+  const study_result b = run_scaling_study(tiny_suite(), quick_config());
+  ASSERT_EQ(a.networks.size(), b.networks.size());
+  for (std::size_t i = 0; i < a.networks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.networks[i].law.exponent(), b.networks[i].law.exponent());
+  }
+}
+
+TEST(study, handles_disconnected_entry_via_giant_component) {
+  std::vector<network_entry> suite = {
+      {"frag", network_kind::generated, [](std::uint64_t seed) {
+         waxman_params p;
+         p.nodes = 150;
+         p.alpha = 0.06;
+         p.beta = 0.4;  // dense enough for a large giant component
+         p.ensure_connected = false;  // but still fragmenting
+         return make_waxman(p, seed);
+       }}};
+  const study_result r = run_scaling_study(suite, quick_config());
+  ASSERT_EQ(r.networks.size(), 1u);
+  EXPECT_LT(r.networks[0].nodes, 150u) << "should have dropped to giant component";
+  EXPECT_GT(r.networks[0].nodes, 10u);
+}
+
+TEST(study, empty_result_mean_exponent) {
+  EXPECT_DOUBLE_EQ(study_result{}.mean_exponent(), 0.0);
+}
+
+TEST(study, validation) {
+  study_config c = quick_config();
+  c.grid_points = 1;
+  EXPECT_THROW(run_scaling_study(tiny_suite(), c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcast

@@ -1,0 +1,105 @@
+// TIERS generator: tier accounting, connectivity, the sub-exponential
+// reachability character the paper attributes to ti5000.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "analysis/reachability.hpp"
+#include "graph/components.hpp"
+#include "graph/metrics.hpp"
+#include "topo/power_law.hpp"
+#include "topo/tiers.hpp"
+
+namespace mcast {
+namespace {
+
+TEST(tiers, node_count_formula) {
+  tiers_params p;
+  p.wan_size = 10;
+  p.man_count = 3;
+  p.man_size = 5;
+  p.lans_per_man = 2;
+  p.lan_size = 4;
+  // 10 + 15 + 3*2*4 = 49.
+  EXPECT_EQ(tiers_node_count(p), 49u);
+  EXPECT_EQ(make_tiers(p, 1).node_count(), 49u);
+}
+
+TEST(tiers, connected_by_construction) {
+  tiers_params p;
+  p.wan_size = 20;
+  p.man_count = 4;
+  p.man_size = 8;
+  p.lans_per_man = 3;
+  p.lan_size = 5;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    EXPECT_TRUE(is_connected(make_tiers(p, seed))) << "seed " << seed;
+  }
+}
+
+TEST(tiers, deterministic_given_seed) {
+  const tiers_params p = ti5000_params();
+  const graph a = make_tiers(p, 9);
+  const graph b = make_tiers(p, 9);
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(tiers, ti5000_matches_paper_character) {
+  const graph g = make_tiers(ti5000_params(), 3);
+  EXPECT_EQ(g.node_count(), 5000u);
+  EXPECT_TRUE(is_connected(g));
+  const degree_stats deg = compute_degree_stats(g);
+  // TIERS maps are sparse: most nodes are degree-1 LAN hosts.
+  EXPECT_LT(deg.mean, 3.0);
+  EXPECT_GE(deg.histogram[1], 3000u);
+  EXPECT_EQ(g.name(), "ti5000");
+}
+
+TEST(tiers, redundancy_increases_wan_density) {
+  tiers_params lo = ti5000_params(), hi = ti5000_params();
+  lo.wan_redundancy = 1;
+  hi.wan_redundancy = 3;
+  EXPECT_GT(make_tiers(hi, 4).edge_count(), make_tiers(lo, 4).edge_count());
+}
+
+TEST(tiers, reachability_grows_slower_than_power_law_graph) {
+  // The paper's Fig 7 dichotomy: ti5000's T(r) is sub-exponential while a
+  // power-law graph's is exponential until saturation. Compare the
+  // exponential-fit quality (R² of ln T(r) vs r).
+  const graph ti = make_tiers(ti5000_params(), 3);
+  barabasi_albert_params bap;
+  bap.nodes = 5000;
+  const graph ba = make_barabasi_albert(bap, 3);
+  rng gen(5);
+  const auto ti_fit = fit_reachability_growth(mean_reachability(ti, 16, gen));
+  const auto ba_fit = fit_reachability_growth(mean_reachability(ba, 16, gen));
+  EXPECT_GT(ba_fit.r_squared, ti_fit.r_squared)
+      << "TIERS should look less exponential than BA";
+}
+
+TEST(tiers, lan_only_configuration) {
+  tiers_params p;
+  p.wan_size = 4;
+  p.man_count = 0;
+  p.man_size = 1;
+  p.lans_per_man = 0;
+  p.lan_size = 1;
+  const graph g = make_tiers(p, 1);
+  EXPECT_EQ(g.node_count(), 4u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(tiers, invalid_parameters_throw) {
+  tiers_params p;
+  p.wan_size = 0;
+  EXPECT_THROW(make_tiers(p, 1), std::invalid_argument);
+  p = tiers_params{};
+  p.wan_redundancy = 0;
+  EXPECT_THROW(make_tiers(p, 1), std::invalid_argument);
+  p = tiers_params{};
+  p.man_wan_redundancy = 0;
+  EXPECT_THROW(make_tiers(p, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcast

@@ -1,0 +1,102 @@
+// Transit-stub generator: node accounting, connectivity, density targets.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/components.hpp"
+#include "graph/metrics.hpp"
+#include "topo/transit_stub.hpp"
+
+namespace mcast {
+namespace {
+
+TEST(transit_stub, node_count_formula) {
+  transit_stub_params p;
+  p.transit_domains = 3;
+  p.transit_domain_size = 4;
+  p.stubs_per_transit_node = 2;
+  p.stub_domain_size = 5;
+  // 3*4*(1 + 2*5) = 132.
+  EXPECT_EQ(transit_stub_node_count(p), 132u);
+  EXPECT_EQ(make_transit_stub(p, 1).node_count(), 132u);
+}
+
+TEST(transit_stub, connected_by_construction) {
+  transit_stub_params p;
+  p.transit_domains = 4;
+  p.transit_domain_size = 5;
+  p.stubs_per_transit_node = 2;
+  p.stub_domain_size = 4;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    EXPECT_TRUE(is_connected(make_transit_stub(p, seed))) << "seed " << seed;
+  }
+}
+
+TEST(transit_stub, deterministic_given_seed) {
+  const transit_stub_params p = ts1000_params();
+  const graph a = make_transit_stub(p, 42);
+  const graph b = make_transit_stub(p, 42);
+  EXPECT_EQ(a.edges(), b.edges());
+  const graph c = make_transit_stub(p, 43);
+  EXPECT_NE(a.edges(), c.edges());
+}
+
+TEST(transit_stub, ts1000_matches_paper_character) {
+  const graph g = make_transit_stub(ts1000_params(), 7);
+  EXPECT_EQ(g.node_count(), 1000u);
+  const double deg = compute_degree_stats(g).mean;
+  // Paper: average degree 3.6 for ts1000.
+  EXPECT_GT(deg, 3.0);
+  EXPECT_LT(deg, 4.2);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.name(), "ts1000");
+}
+
+TEST(transit_stub, ts1008_matches_paper_character) {
+  const graph g = make_transit_stub(ts1008_params(), 7);
+  EXPECT_EQ(g.node_count(), 1008u);
+  const double deg = compute_degree_stats(g).mean;
+  // Paper: average degree 7.5 for ts1008.
+  EXPECT_GT(deg, 6.6);
+  EXPECT_LT(deg, 8.4);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(transit_stub, shortcut_edges_increase_density) {
+  transit_stub_params base;
+  base.transit_domains = 3;
+  base.transit_domain_size = 4;
+  base.stubs_per_transit_node = 2;
+  base.stub_domain_size = 5;
+  transit_stub_params shortcutted = base;
+  shortcutted.extra_stub_stub_edges = 60.0;
+  const graph g0 = make_transit_stub(base, 5);
+  const graph g1 = make_transit_stub(shortcutted, 5);
+  EXPECT_GT(g1.edge_count(), g0.edge_count() + 30);
+}
+
+TEST(transit_stub, minimal_configuration) {
+  transit_stub_params p;
+  p.transit_domains = 1;
+  p.transit_domain_size = 1;
+  p.stubs_per_transit_node = 0;
+  p.stub_domain_size = 1;
+  const graph g = make_transit_stub(p, 1);
+  EXPECT_EQ(g.node_count(), 1u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(transit_stub, invalid_parameters_throw) {
+  transit_stub_params p;
+  p.transit_domains = 0;
+  EXPECT_THROW(make_transit_stub(p, 1), std::invalid_argument);
+  p = transit_stub_params{};
+  p.transit_edge_prob = 1.5;
+  EXPECT_THROW(make_transit_stub(p, 1), std::invalid_argument);
+  p = transit_stub_params{};
+  p.extra_stub_stub_edges = -1.0;
+  EXPECT_THROW(make_transit_stub(p, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcast

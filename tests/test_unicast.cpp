@@ -1,0 +1,71 @@
+// Unicast cost accounting: totals, averages, repeats, unreachable errors.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "multicast/unicast.hpp"
+#include "topo/kary.hpp"
+#include "topo/regular.hpp"
+
+namespace mcast {
+namespace {
+
+TEST(unicast, totals_on_path) {
+  const graph g = make_path(6);
+  const source_tree t(g, 0);
+  const node_id r[] = {1, 3, 5};
+  EXPECT_EQ(unicast_total_links(t, r), 1u + 3u + 5u);
+  EXPECT_DOUBLE_EQ(unicast_average_length(t, r), 3.0);
+}
+
+TEST(unicast, repeats_count_every_stream) {
+  const graph g = make_path(4);
+  const source_tree t(g, 0);
+  const node_id r[] = {3, 3};
+  EXPECT_EQ(unicast_total_links(t, r), 6u);
+}
+
+TEST(unicast, empty_receiver_set) {
+  const graph g = make_path(4);
+  const source_tree t(g, 0);
+  EXPECT_EQ(unicast_total_links(t, {}), 0u);
+  EXPECT_DOUBLE_EQ(unicast_average_length(t, {}), 0.0);
+}
+
+TEST(unicast, average_over_all_nodes_kary) {
+  // Binary tree depth 2: distances {1,1,2,2,2,2} from root -> mean 10/6.
+  const graph g = make_kary_tree(2, 2);
+  const source_tree t(g, 0);
+  EXPECT_NEAR(unicast_average_length_all(t), 10.0 / 6.0, 1e-12);
+}
+
+TEST(unicast, average_all_ignores_unreachable) {
+  graph_builder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);  // separate island
+  const graph g = b.build();
+  const source_tree t(g, 0);
+  EXPECT_NEAR(unicast_average_length_all(t), (1.0 + 2.0) / 2.0, 1e-12);
+}
+
+TEST(unicast, unreachable_receiver_throws) {
+  graph_builder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const graph g = b.build();
+  const source_tree t(g, 0);
+  const node_id r[] = {2};
+  EXPECT_THROW(unicast_total_links(t, r), std::invalid_argument);
+}
+
+TEST(unicast, source_receiver_contributes_zero) {
+  const graph g = make_ring(6);
+  const source_tree t(g, 1);
+  const node_id r[] = {1, 2};
+  EXPECT_EQ(unicast_total_links(t, r), 1u);
+}
+
+}  // namespace
+}  // namespace mcast

@@ -1,0 +1,102 @@
+// Waxman generator: determinism, parameter effects, connectivity repair.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/components.hpp"
+#include "topo/waxman.hpp"
+
+namespace mcast {
+namespace {
+
+TEST(waxman, deterministic_given_seed) {
+  waxman_params p;
+  p.nodes = 80;
+  const graph a = make_waxman(p, 11);
+  const graph b = make_waxman(p, 11);
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(waxman, different_seeds_differ) {
+  waxman_params p;
+  p.nodes = 80;
+  const graph a = make_waxman(p, 11);
+  const graph b = make_waxman(p, 12);
+  EXPECT_NE(a.edges(), b.edges());
+}
+
+TEST(waxman, connected_when_requested) {
+  waxman_params p;
+  p.nodes = 120;
+  p.alpha = 0.05;  // sparse enough to fragment without repair
+  p.beta = 0.05;
+  p.ensure_connected = true;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    EXPECT_TRUE(is_connected(make_waxman(p, seed))) << "seed " << seed;
+  }
+}
+
+TEST(waxman, repair_can_be_disabled) {
+  waxman_params p;
+  p.nodes = 200;
+  p.alpha = 0.01;
+  p.beta = 0.02;
+  p.ensure_connected = false;
+  bool saw_disconnected = false;
+  for (std::uint64_t seed = 0; seed < 5 && !saw_disconnected; ++seed) {
+    saw_disconnected = !is_connected(make_waxman(p, seed));
+  }
+  EXPECT_TRUE(saw_disconnected)
+      << "ultra-sparse Waxman should fragment without repair";
+}
+
+TEST(waxman, alpha_increases_density) {
+  waxman_params sparse, dense;
+  sparse.nodes = dense.nodes = 100;
+  sparse.alpha = 0.1;
+  dense.alpha = 0.8;
+  const graph gs = make_waxman(sparse, 3);
+  const graph gd = make_waxman(dense, 3);
+  EXPECT_GT(gd.edge_count(), gs.edge_count() * 2);
+}
+
+TEST(waxman, node_count_respected) {
+  waxman_params p;
+  p.nodes = 57;
+  EXPECT_EQ(make_waxman(p, 1).node_count(), 57u);
+}
+
+TEST(waxman, single_node) {
+  waxman_params p;
+  p.nodes = 1;
+  const graph g = make_waxman(p, 1);
+  EXPECT_EQ(g.node_count(), 1u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(waxman, invalid_parameters_throw) {
+  waxman_params p;
+  p.nodes = 0;
+  EXPECT_THROW(make_waxman(p, 1), std::invalid_argument);
+  p.nodes = 10;
+  p.alpha = 0.0;
+  EXPECT_THROW(make_waxman(p, 1), std::invalid_argument);
+  p.alpha = 1.5;
+  EXPECT_THROW(make_waxman(p, 1), std::invalid_argument);
+  p.alpha = 0.5;
+  p.beta = -0.1;
+  EXPECT_THROW(make_waxman(p, 1), std::invalid_argument);
+  p.beta = 0.5;
+  p.plane_size = 0.0;
+  EXPECT_THROW(make_waxman(p, 1), std::invalid_argument);
+}
+
+TEST(waxman, name_reflects_size) {
+  waxman_params p;
+  p.nodes = 42;
+  EXPECT_EQ(make_waxman(p, 1).name(), "waxman42");
+}
+
+}  // namespace
+}  // namespace mcast

@@ -1,0 +1,26 @@
+# Renders the `# series:` blocks a bench binary emits.
+#
+# Usage:
+#   build/bench/fig1_generated > fig1a.dat
+#   gnuplot -e "datafile='fig1a.dat'; logx=1; logy=1" tools/plot_series.gp
+#
+# Each blank-line-separated block in the file is one curve; the `# series:`
+# comment above it is used as the title via `columnheader`-style indexing.
+# Variables:
+#   datafile  (required) path to the bench output
+#   outfile   (optional) PNG path; default: <datafile>.png
+#   logx/logy (optional) set to 1 for log axes
+
+if (!exists("datafile")) { print "set datafile='...'"; exit }
+if (!exists("outfile")) outfile = datafile.".png"
+set terminal pngcairo size 1100,700 enhanced
+set output outfile
+set key outside right
+set grid
+if (exists("logx") && logx) set logscale x
+if (exists("logy") && logy) set logscale y
+
+# gnuplot's `index` walks blank-line-separated blocks; stats counts them.
+stats datafile nooutput
+n = STATS_blocks
+plot for [i=0:n-1] datafile index i using 1:2 with linespoints title sprintf("series %d", i)
