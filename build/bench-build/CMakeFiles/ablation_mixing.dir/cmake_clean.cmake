@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_mixing"
+  "../bench/ablation_mixing.pdb"
+  "CMakeFiles/ablation_mixing.dir/ablation_mixing.cpp.o"
+  "CMakeFiles/ablation_mixing.dir/ablation_mixing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mixing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

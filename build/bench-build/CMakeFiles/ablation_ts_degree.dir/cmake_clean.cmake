@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_ts_degree"
+  "../bench/ablation_ts_degree.pdb"
+  "CMakeFiles/ablation_ts_degree.dir/ablation_ts_degree.cpp.o"
+  "CMakeFiles/ablation_ts_degree.dir/ablation_ts_degree.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ts_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

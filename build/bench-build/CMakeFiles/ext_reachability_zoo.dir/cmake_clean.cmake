@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_reachability_zoo"
+  "../bench/ext_reachability_zoo.pdb"
+  "CMakeFiles/ext_reachability_zoo.dir/ext_reachability_zoo.cpp.o"
+  "CMakeFiles/ext_reachability_zoo.dir/ext_reachability_zoo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_reachability_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

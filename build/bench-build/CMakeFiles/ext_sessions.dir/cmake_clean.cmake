@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_sessions"
+  "../bench/ext_sessions.pdb"
+  "CMakeFiles/ext_sessions.dir/ext_sessions.cpp.o"
+  "CMakeFiles/ext_sessions.dir/ext_sessions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

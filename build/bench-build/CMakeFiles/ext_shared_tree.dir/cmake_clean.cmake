@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_shared_tree"
+  "../bench/ext_shared_tree.pdb"
+  "CMakeFiles/ext_shared_tree.dir/ext_shared_tree.cpp.o"
+  "CMakeFiles/ext_shared_tree.dir/ext_shared_tree.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_shared_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_weighted"
+  "../bench/ext_weighted.pdb"
+  "CMakeFiles/ext_weighted.dir/ext_weighted.cpp.o"
+  "CMakeFiles/ext_weighted.dir/ext_weighted.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_weighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

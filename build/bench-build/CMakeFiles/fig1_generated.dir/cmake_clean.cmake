@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_generated"
+  "../bench/fig1_generated.pdb"
+  "CMakeFiles/fig1_generated.dir/fig1_generated.cpp.o"
+  "CMakeFiles/fig1_generated.dir/fig1_generated.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_generated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

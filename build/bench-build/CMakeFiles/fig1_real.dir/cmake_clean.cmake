@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_real"
+  "../bench/fig1_real.pdb"
+  "CMakeFiles/fig1_real.dir/fig1_real.cpp.o"
+  "CMakeFiles/fig1_real.dir/fig1_real.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_real.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_hx"
+  "../bench/fig2_hx.pdb"
+  "CMakeFiles/fig2_hx.dir/fig2_hx.cpp.o"
+  "CMakeFiles/fig2_hx.dir/fig2_hx.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_hx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

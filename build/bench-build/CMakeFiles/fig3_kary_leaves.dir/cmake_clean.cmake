@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_kary_leaves"
+  "../bench/fig3_kary_leaves.pdb"
+  "CMakeFiles/fig3_kary_leaves.dir/fig3_kary_leaves.cpp.o"
+  "CMakeFiles/fig3_kary_leaves.dir/fig3_kary_leaves.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_kary_leaves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

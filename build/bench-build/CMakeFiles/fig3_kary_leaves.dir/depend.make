@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_kary_leaves.
+# This may be replaced when dependencies are built.

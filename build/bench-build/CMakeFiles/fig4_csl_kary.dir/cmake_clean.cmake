@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_csl_kary"
+  "../bench/fig4_csl_kary.pdb"
+  "CMakeFiles/fig4_csl_kary.dir/fig4_csl_kary.cpp.o"
+  "CMakeFiles/fig4_csl_kary.dir/fig4_csl_kary.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_csl_kary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

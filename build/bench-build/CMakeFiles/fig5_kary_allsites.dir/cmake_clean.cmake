@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_kary_allsites"
+  "../bench/fig5_kary_allsites.pdb"
+  "CMakeFiles/fig5_kary_allsites.dir/fig5_kary_allsites.cpp.o"
+  "CMakeFiles/fig5_kary_allsites.dir/fig5_kary_allsites.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_kary_allsites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_networks"
+  "../bench/fig6_networks.pdb"
+  "CMakeFiles/fig6_networks.dir/fig6_networks.cpp.o"
+  "CMakeFiles/fig6_networks.dir/fig6_networks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

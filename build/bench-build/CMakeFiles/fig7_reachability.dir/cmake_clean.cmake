@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_reachability"
+  "../bench/fig7_reachability.pdb"
+  "CMakeFiles/fig7_reachability.dir/fig7_reachability.cpp.o"
+  "CMakeFiles/fig7_reachability.dir/fig7_reachability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_nonexponential"
+  "../bench/fig8_nonexponential.pdb"
+  "CMakeFiles/fig8_nonexponential.dir/fig8_nonexponential.cpp.o"
+  "CMakeFiles/fig8_nonexponential.dir/fig8_nonexponential.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_nonexponential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_affinity"
+  "../bench/fig9_affinity.pdb"
+  "CMakeFiles/fig9_affinity.dir/fig9_affinity.cpp.o"
+  "CMakeFiles/fig9_affinity.dir/fig9_affinity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affinity_teleconference.dir/affinity_teleconference.cpp.o"
+  "CMakeFiles/affinity_teleconference.dir/affinity_teleconference.cpp.o.d"
+  "affinity_teleconference"
+  "affinity_teleconference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affinity_teleconference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

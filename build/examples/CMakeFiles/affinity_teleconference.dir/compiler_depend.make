@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for affinity_teleconference.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcastlab.dir/mcastlab.cpp.o"
+  "CMakeFiles/mcastlab.dir/mcastlab.cpp.o.d"
+  "mcastlab"
+  "mcastlab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcastlab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicast_pricing.dir/multicast_pricing.cpp.o"
+  "CMakeFiles/multicast_pricing.dir/multicast_pricing.cpp.o.d"
+  "multicast_pricing"
+  "multicast_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicast_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reachability_survey.dir/reachability_survey.cpp.o"
+  "CMakeFiles/reachability_survey.dir/reachability_survey.cpp.o.d"
+  "reachability_survey"
+  "reachability_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reachability_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/degree_powerlaw.cpp" "src/CMakeFiles/mcast_analysis.dir/analysis/degree_powerlaw.cpp.o" "gcc" "src/CMakeFiles/mcast_analysis.dir/analysis/degree_powerlaw.cpp.o.d"
+  "/root/repo/src/analysis/fit.cpp" "src/CMakeFiles/mcast_analysis.dir/analysis/fit.cpp.o" "gcc" "src/CMakeFiles/mcast_analysis.dir/analysis/fit.cpp.o.d"
+  "/root/repo/src/analysis/kary_asymptotic.cpp" "src/CMakeFiles/mcast_analysis.dir/analysis/kary_asymptotic.cpp.o" "gcc" "src/CMakeFiles/mcast_analysis.dir/analysis/kary_asymptotic.cpp.o.d"
+  "/root/repo/src/analysis/kary_exact.cpp" "src/CMakeFiles/mcast_analysis.dir/analysis/kary_exact.cpp.o" "gcc" "src/CMakeFiles/mcast_analysis.dir/analysis/kary_exact.cpp.o.d"
+  "/root/repo/src/analysis/mapping.cpp" "src/CMakeFiles/mcast_analysis.dir/analysis/mapping.cpp.o" "gcc" "src/CMakeFiles/mcast_analysis.dir/analysis/mapping.cpp.o.d"
+  "/root/repo/src/analysis/reachability.cpp" "src/CMakeFiles/mcast_analysis.dir/analysis/reachability.cpp.o" "gcc" "src/CMakeFiles/mcast_analysis.dir/analysis/reachability.cpp.o.d"
+  "/root/repo/src/analysis/series.cpp" "src/CMakeFiles/mcast_analysis.dir/analysis/series.cpp.o" "gcc" "src/CMakeFiles/mcast_analysis.dir/analysis/series.cpp.o.d"
+  "/root/repo/src/analysis/stats.cpp" "src/CMakeFiles/mcast_analysis.dir/analysis/stats.cpp.o" "gcc" "src/CMakeFiles/mcast_analysis.dir/analysis/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcast_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

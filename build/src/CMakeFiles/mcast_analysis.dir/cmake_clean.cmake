@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcast_analysis.dir/analysis/degree_powerlaw.cpp.o"
+  "CMakeFiles/mcast_analysis.dir/analysis/degree_powerlaw.cpp.o.d"
+  "CMakeFiles/mcast_analysis.dir/analysis/fit.cpp.o"
+  "CMakeFiles/mcast_analysis.dir/analysis/fit.cpp.o.d"
+  "CMakeFiles/mcast_analysis.dir/analysis/kary_asymptotic.cpp.o"
+  "CMakeFiles/mcast_analysis.dir/analysis/kary_asymptotic.cpp.o.d"
+  "CMakeFiles/mcast_analysis.dir/analysis/kary_exact.cpp.o"
+  "CMakeFiles/mcast_analysis.dir/analysis/kary_exact.cpp.o.d"
+  "CMakeFiles/mcast_analysis.dir/analysis/mapping.cpp.o"
+  "CMakeFiles/mcast_analysis.dir/analysis/mapping.cpp.o.d"
+  "CMakeFiles/mcast_analysis.dir/analysis/reachability.cpp.o"
+  "CMakeFiles/mcast_analysis.dir/analysis/reachability.cpp.o.d"
+  "CMakeFiles/mcast_analysis.dir/analysis/series.cpp.o"
+  "CMakeFiles/mcast_analysis.dir/analysis/series.cpp.o.d"
+  "CMakeFiles/mcast_analysis.dir/analysis/stats.cpp.o"
+  "CMakeFiles/mcast_analysis.dir/analysis/stats.cpp.o.d"
+  "libmcast_analysis.a"
+  "libmcast_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcast_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

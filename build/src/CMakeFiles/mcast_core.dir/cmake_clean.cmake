@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcast_core.dir/core/pricing.cpp.o"
+  "CMakeFiles/mcast_core.dir/core/pricing.cpp.o.d"
+  "CMakeFiles/mcast_core.dir/core/runner.cpp.o"
+  "CMakeFiles/mcast_core.dir/core/runner.cpp.o.d"
+  "CMakeFiles/mcast_core.dir/core/scaling_law.cpp.o"
+  "CMakeFiles/mcast_core.dir/core/scaling_law.cpp.o.d"
+  "CMakeFiles/mcast_core.dir/core/study.cpp.o"
+  "CMakeFiles/mcast_core.dir/core/study.cpp.o.d"
+  "libmcast_core.a"
+  "libmcast_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcast_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

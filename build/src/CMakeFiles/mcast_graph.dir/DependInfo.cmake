@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bfs.cpp" "src/CMakeFiles/mcast_graph.dir/graph/bfs.cpp.o" "gcc" "src/CMakeFiles/mcast_graph.dir/graph/bfs.cpp.o.d"
+  "/root/repo/src/graph/builder.cpp" "src/CMakeFiles/mcast_graph.dir/graph/builder.cpp.o" "gcc" "src/CMakeFiles/mcast_graph.dir/graph/builder.cpp.o.d"
+  "/root/repo/src/graph/components.cpp" "src/CMakeFiles/mcast_graph.dir/graph/components.cpp.o" "gcc" "src/CMakeFiles/mcast_graph.dir/graph/components.cpp.o.d"
+  "/root/repo/src/graph/dijkstra.cpp" "src/CMakeFiles/mcast_graph.dir/graph/dijkstra.cpp.o" "gcc" "src/CMakeFiles/mcast_graph.dir/graph/dijkstra.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/mcast_graph.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/mcast_graph.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/mcast_graph.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/mcast_graph.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/metrics.cpp" "src/CMakeFiles/mcast_graph.dir/graph/metrics.cpp.o" "gcc" "src/CMakeFiles/mcast_graph.dir/graph/metrics.cpp.o.d"
+  "/root/repo/src/graph/weights.cpp" "src/CMakeFiles/mcast_graph.dir/graph/weights.cpp.o" "gcc" "src/CMakeFiles/mcast_graph.dir/graph/weights.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcast_graph.dir/graph/bfs.cpp.o"
+  "CMakeFiles/mcast_graph.dir/graph/bfs.cpp.o.d"
+  "CMakeFiles/mcast_graph.dir/graph/builder.cpp.o"
+  "CMakeFiles/mcast_graph.dir/graph/builder.cpp.o.d"
+  "CMakeFiles/mcast_graph.dir/graph/components.cpp.o"
+  "CMakeFiles/mcast_graph.dir/graph/components.cpp.o.d"
+  "CMakeFiles/mcast_graph.dir/graph/dijkstra.cpp.o"
+  "CMakeFiles/mcast_graph.dir/graph/dijkstra.cpp.o.d"
+  "CMakeFiles/mcast_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/mcast_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/mcast_graph.dir/graph/io.cpp.o"
+  "CMakeFiles/mcast_graph.dir/graph/io.cpp.o.d"
+  "CMakeFiles/mcast_graph.dir/graph/metrics.cpp.o"
+  "CMakeFiles/mcast_graph.dir/graph/metrics.cpp.o.d"
+  "CMakeFiles/mcast_graph.dir/graph/weights.cpp.o"
+  "CMakeFiles/mcast_graph.dir/graph/weights.cpp.o.d"
+  "libmcast_graph.a"
+  "libmcast_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcast_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

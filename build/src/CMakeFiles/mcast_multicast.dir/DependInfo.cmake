@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/multicast/affinity.cpp" "src/CMakeFiles/mcast_multicast.dir/multicast/affinity.cpp.o" "gcc" "src/CMakeFiles/mcast_multicast.dir/multicast/affinity.cpp.o.d"
+  "/root/repo/src/multicast/delivery_tree.cpp" "src/CMakeFiles/mcast_multicast.dir/multicast/delivery_tree.cpp.o" "gcc" "src/CMakeFiles/mcast_multicast.dir/multicast/delivery_tree.cpp.o.d"
+  "/root/repo/src/multicast/dynamic_tree.cpp" "src/CMakeFiles/mcast_multicast.dir/multicast/dynamic_tree.cpp.o" "gcc" "src/CMakeFiles/mcast_multicast.dir/multicast/dynamic_tree.cpp.o.d"
+  "/root/repo/src/multicast/receivers.cpp" "src/CMakeFiles/mcast_multicast.dir/multicast/receivers.cpp.o" "gcc" "src/CMakeFiles/mcast_multicast.dir/multicast/receivers.cpp.o.d"
+  "/root/repo/src/multicast/shared_tree.cpp" "src/CMakeFiles/mcast_multicast.dir/multicast/shared_tree.cpp.o" "gcc" "src/CMakeFiles/mcast_multicast.dir/multicast/shared_tree.cpp.o.d"
+  "/root/repo/src/multicast/spt.cpp" "src/CMakeFiles/mcast_multicast.dir/multicast/spt.cpp.o" "gcc" "src/CMakeFiles/mcast_multicast.dir/multicast/spt.cpp.o.d"
+  "/root/repo/src/multicast/unicast.cpp" "src/CMakeFiles/mcast_multicast.dir/multicast/unicast.cpp.o" "gcc" "src/CMakeFiles/mcast_multicast.dir/multicast/unicast.cpp.o.d"
+  "/root/repo/src/multicast/weighted.cpp" "src/CMakeFiles/mcast_multicast.dir/multicast/weighted.cpp.o" "gcc" "src/CMakeFiles/mcast_multicast.dir/multicast/weighted.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcast_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcast_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcast_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

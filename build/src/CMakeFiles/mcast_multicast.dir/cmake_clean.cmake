@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcast_multicast.dir/multicast/affinity.cpp.o"
+  "CMakeFiles/mcast_multicast.dir/multicast/affinity.cpp.o.d"
+  "CMakeFiles/mcast_multicast.dir/multicast/delivery_tree.cpp.o"
+  "CMakeFiles/mcast_multicast.dir/multicast/delivery_tree.cpp.o.d"
+  "CMakeFiles/mcast_multicast.dir/multicast/dynamic_tree.cpp.o"
+  "CMakeFiles/mcast_multicast.dir/multicast/dynamic_tree.cpp.o.d"
+  "CMakeFiles/mcast_multicast.dir/multicast/receivers.cpp.o"
+  "CMakeFiles/mcast_multicast.dir/multicast/receivers.cpp.o.d"
+  "CMakeFiles/mcast_multicast.dir/multicast/shared_tree.cpp.o"
+  "CMakeFiles/mcast_multicast.dir/multicast/shared_tree.cpp.o.d"
+  "CMakeFiles/mcast_multicast.dir/multicast/spt.cpp.o"
+  "CMakeFiles/mcast_multicast.dir/multicast/spt.cpp.o.d"
+  "CMakeFiles/mcast_multicast.dir/multicast/unicast.cpp.o"
+  "CMakeFiles/mcast_multicast.dir/multicast/unicast.cpp.o.d"
+  "CMakeFiles/mcast_multicast.dir/multicast/weighted.cpp.o"
+  "CMakeFiles/mcast_multicast.dir/multicast/weighted.cpp.o.d"
+  "libmcast_multicast.a"
+  "libmcast_multicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcast_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

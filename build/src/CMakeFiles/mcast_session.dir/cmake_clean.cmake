@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcast_session.dir/session/simulator.cpp.o"
+  "CMakeFiles/mcast_session.dir/session/simulator.cpp.o.d"
+  "libmcast_session.a"
+  "libmcast_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcast_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

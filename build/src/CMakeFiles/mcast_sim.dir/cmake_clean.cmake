@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcast_sim.dir/sim/csv.cpp.o"
+  "CMakeFiles/mcast_sim.dir/sim/csv.cpp.o.d"
+  "CMakeFiles/mcast_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/mcast_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/mcast_sim.dir/sim/rng.cpp.o"
+  "CMakeFiles/mcast_sim.dir/sim/rng.cpp.o.d"
+  "libmcast_sim.a"
+  "libmcast_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcast_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/arpanet.cpp" "src/CMakeFiles/mcast_topo.dir/topo/arpanet.cpp.o" "gcc" "src/CMakeFiles/mcast_topo.dir/topo/arpanet.cpp.o.d"
+  "/root/repo/src/topo/catalog.cpp" "src/CMakeFiles/mcast_topo.dir/topo/catalog.cpp.o" "gcc" "src/CMakeFiles/mcast_topo.dir/topo/catalog.cpp.o.d"
+  "/root/repo/src/topo/kary.cpp" "src/CMakeFiles/mcast_topo.dir/topo/kary.cpp.o" "gcc" "src/CMakeFiles/mcast_topo.dir/topo/kary.cpp.o.d"
+  "/root/repo/src/topo/mbone.cpp" "src/CMakeFiles/mcast_topo.dir/topo/mbone.cpp.o" "gcc" "src/CMakeFiles/mcast_topo.dir/topo/mbone.cpp.o.d"
+  "/root/repo/src/topo/power_law.cpp" "src/CMakeFiles/mcast_topo.dir/topo/power_law.cpp.o" "gcc" "src/CMakeFiles/mcast_topo.dir/topo/power_law.cpp.o.d"
+  "/root/repo/src/topo/random.cpp" "src/CMakeFiles/mcast_topo.dir/topo/random.cpp.o" "gcc" "src/CMakeFiles/mcast_topo.dir/topo/random.cpp.o.d"
+  "/root/repo/src/topo/regular.cpp" "src/CMakeFiles/mcast_topo.dir/topo/regular.cpp.o" "gcc" "src/CMakeFiles/mcast_topo.dir/topo/regular.cpp.o.d"
+  "/root/repo/src/topo/tiers.cpp" "src/CMakeFiles/mcast_topo.dir/topo/tiers.cpp.o" "gcc" "src/CMakeFiles/mcast_topo.dir/topo/tiers.cpp.o.d"
+  "/root/repo/src/topo/transit_stub.cpp" "src/CMakeFiles/mcast_topo.dir/topo/transit_stub.cpp.o" "gcc" "src/CMakeFiles/mcast_topo.dir/topo/transit_stub.cpp.o.d"
+  "/root/repo/src/topo/waxman.cpp" "src/CMakeFiles/mcast_topo.dir/topo/waxman.cpp.o" "gcc" "src/CMakeFiles/mcast_topo.dir/topo/waxman.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcast_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcast_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcast_topo.dir/topo/arpanet.cpp.o"
+  "CMakeFiles/mcast_topo.dir/topo/arpanet.cpp.o.d"
+  "CMakeFiles/mcast_topo.dir/topo/catalog.cpp.o"
+  "CMakeFiles/mcast_topo.dir/topo/catalog.cpp.o.d"
+  "CMakeFiles/mcast_topo.dir/topo/kary.cpp.o"
+  "CMakeFiles/mcast_topo.dir/topo/kary.cpp.o.d"
+  "CMakeFiles/mcast_topo.dir/topo/mbone.cpp.o"
+  "CMakeFiles/mcast_topo.dir/topo/mbone.cpp.o.d"
+  "CMakeFiles/mcast_topo.dir/topo/power_law.cpp.o"
+  "CMakeFiles/mcast_topo.dir/topo/power_law.cpp.o.d"
+  "CMakeFiles/mcast_topo.dir/topo/random.cpp.o"
+  "CMakeFiles/mcast_topo.dir/topo/random.cpp.o.d"
+  "CMakeFiles/mcast_topo.dir/topo/regular.cpp.o"
+  "CMakeFiles/mcast_topo.dir/topo/regular.cpp.o.d"
+  "CMakeFiles/mcast_topo.dir/topo/tiers.cpp.o"
+  "CMakeFiles/mcast_topo.dir/topo/tiers.cpp.o.d"
+  "CMakeFiles/mcast_topo.dir/topo/transit_stub.cpp.o"
+  "CMakeFiles/mcast_topo.dir/topo/transit_stub.cpp.o.d"
+  "CMakeFiles/mcast_topo.dir/topo/waxman.cpp.o"
+  "CMakeFiles/mcast_topo.dir/topo/waxman.cpp.o.d"
+  "libmcast_topo.a"
+  "libmcast_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcast_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmcast_topo.a"
+)

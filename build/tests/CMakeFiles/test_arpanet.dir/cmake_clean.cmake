@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arpanet.dir/test_arpanet.cpp.o"
+  "CMakeFiles/test_arpanet.dir/test_arpanet.cpp.o.d"
+  "test_arpanet"
+  "test_arpanet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arpanet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_degree_powerlaw.dir/test_degree_powerlaw.cpp.o"
+  "CMakeFiles/test_degree_powerlaw.dir/test_degree_powerlaw.cpp.o.d"
+  "test_degree_powerlaw"
+  "test_degree_powerlaw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_degree_powerlaw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

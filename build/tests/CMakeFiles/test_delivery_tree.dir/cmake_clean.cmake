@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delivery_tree.dir/test_delivery_tree.cpp.o"
+  "CMakeFiles/test_delivery_tree.dir/test_delivery_tree.cpp.o.d"
+  "test_delivery_tree"
+  "test_delivery_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delivery_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamic_tree.dir/test_dynamic_tree.cpp.o"
+  "CMakeFiles/test_dynamic_tree.dir/test_dynamic_tree.cpp.o.d"
+  "test_dynamic_tree"
+  "test_dynamic_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamic_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

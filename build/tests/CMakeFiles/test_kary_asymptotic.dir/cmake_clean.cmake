@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kary_asymptotic.dir/test_kary_asymptotic.cpp.o"
+  "CMakeFiles/test_kary_asymptotic.dir/test_kary_asymptotic.cpp.o.d"
+  "test_kary_asymptotic"
+  "test_kary_asymptotic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kary_asymptotic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

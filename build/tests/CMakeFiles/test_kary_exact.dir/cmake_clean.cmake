@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kary_exact.dir/test_kary_exact.cpp.o"
+  "CMakeFiles/test_kary_exact.dir/test_kary_exact.cpp.o.d"
+  "test_kary_exact"
+  "test_kary_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kary_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

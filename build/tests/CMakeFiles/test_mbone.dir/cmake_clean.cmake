@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mbone.dir/test_mbone.cpp.o"
+  "CMakeFiles/test_mbone.dir/test_mbone.cpp.o.d"
+  "test_mbone"
+  "test_mbone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

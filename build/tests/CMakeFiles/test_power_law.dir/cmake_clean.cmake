@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_law.dir/test_power_law.cpp.o"
+  "CMakeFiles/test_power_law.dir/test_power_law.cpp.o.d"
+  "test_power_law"
+  "test_power_law.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_law.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_receivers.dir/test_receivers.cpp.o"
+  "CMakeFiles/test_receivers.dir/test_receivers.cpp.o.d"
+  "test_receivers"
+  "test_receivers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_receivers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

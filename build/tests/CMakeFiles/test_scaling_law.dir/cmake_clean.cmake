@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scaling_law.dir/test_scaling_law.cpp.o"
+  "CMakeFiles/test_scaling_law.dir/test_scaling_law.cpp.o.d"
+  "test_scaling_law"
+  "test_scaling_law.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scaling_law.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

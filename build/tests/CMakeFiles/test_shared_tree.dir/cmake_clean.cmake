@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shared_tree.dir/test_shared_tree.cpp.o"
+  "CMakeFiles/test_shared_tree.dir/test_shared_tree.cpp.o.d"
+  "test_shared_tree"
+  "test_shared_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shared_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

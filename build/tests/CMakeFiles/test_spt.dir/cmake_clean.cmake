@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spt.dir/test_spt.cpp.o"
+  "CMakeFiles/test_spt.dir/test_spt.cpp.o.d"
+  "test_spt"
+  "test_spt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transit_stub.dir/test_transit_stub.cpp.o"
+  "CMakeFiles/test_transit_stub.dir/test_transit_stub.cpp.o.d"
+  "test_transit_stub"
+  "test_transit_stub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transit_stub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

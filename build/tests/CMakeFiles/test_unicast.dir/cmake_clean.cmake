@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unicast.dir/test_unicast.cpp.o"
+  "CMakeFiles/test_unicast.dir/test_unicast.cpp.o.d"
+  "test_unicast"
+  "test_unicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_waxman.dir/test_waxman.cpp.o"
+  "CMakeFiles/test_waxman.dir/test_waxman.cpp.o.d"
+  "test_waxman"
+  "test_waxman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_waxman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
