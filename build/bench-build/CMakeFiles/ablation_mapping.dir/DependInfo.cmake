@@ -18,6 +18,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/mcast_multicast.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/mcast_topo.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/mcast_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcast_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/mcast_graph.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/mcast_sim.dir/DependInfo.cmake"
   )

@@ -186,5 +186,7 @@ bench-build/CMakeFiles/ablation_ts_degree.dir/ablation_ts_degree.cpp.o: \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /usr/include/c++/12/cstddef /root/repo/src/sim/rng.hpp \
  /root/repo/bench/bench_common.hpp /root/repo/src/core/runner.hpp \
- /root/repo/src/graph/metrics.hpp /root/repo/src/graph/bfs.hpp \
+ /root/repo/src/fault/degraded.hpp /root/repo/src/fault/failure_model.hpp \
+ /root/repo/src/graph/bfs.hpp /root/repo/src/graph/dijkstra.hpp \
+ /root/repo/src/graph/weights.hpp /root/repo/src/graph/metrics.hpp \
  /root/repo/src/sim/csv.hpp /root/repo/src/topo/transit_stub.hpp

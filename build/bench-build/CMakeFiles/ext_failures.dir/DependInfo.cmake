@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_failures.cpp" "bench-build/CMakeFiles/ext_failures.dir/ext_failures.cpp.o" "gcc" "bench-build/CMakeFiles/ext_failures.dir/ext_failures.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcast_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcast_multicast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcast_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcast_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcast_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcast_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcast_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

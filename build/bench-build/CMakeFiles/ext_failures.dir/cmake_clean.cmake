@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_failures"
+  "../bench/ext_failures.pdb"
+  "CMakeFiles/ext_failures.dir/ext_failures.cpp.o"
+  "CMakeFiles/ext_failures.dir/ext_failures.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -186,8 +186,10 @@ bench-build/CMakeFiles/ext_reachability_zoo.dir/ext_reachability_zoo.cpp.o: \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /usr/include/c++/12/cstddef /root/repo/src/sim/rng.hpp \
  /root/repo/bench/bench_common.hpp /root/repo/src/core/runner.hpp \
- /root/repo/src/graph/components.hpp /root/repo/src/sim/csv.hpp \
- /root/repo/src/topo/kary.hpp /root/repo/src/topo/power_law.hpp \
- /root/repo/src/topo/random.hpp /root/repo/src/topo/regular.hpp \
- /root/repo/src/topo/tiers.hpp /root/repo/src/topo/transit_stub.hpp \
- /root/repo/src/topo/waxman.hpp
+ /root/repo/src/fault/degraded.hpp /root/repo/src/fault/failure_model.hpp \
+ /root/repo/src/graph/bfs.hpp /root/repo/src/graph/dijkstra.hpp \
+ /root/repo/src/graph/weights.hpp /root/repo/src/graph/components.hpp \
+ /root/repo/src/sim/csv.hpp /root/repo/src/topo/kary.hpp \
+ /root/repo/src/topo/power_law.hpp /root/repo/src/topo/random.hpp \
+ /root/repo/src/topo/regular.hpp /root/repo/src/topo/tiers.hpp \
+ /root/repo/src/topo/transit_stub.hpp /root/repo/src/topo/waxman.hpp

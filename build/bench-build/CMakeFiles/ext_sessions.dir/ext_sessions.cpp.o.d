@@ -182,11 +182,13 @@ bench-build/CMakeFiles/ext_sessions.dir/ext_sessions.cpp.o: \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/graph/graph.hpp \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/fault/degraded.hpp \
+ /root/repo/src/fault/failure_model.hpp /root/repo/src/graph/graph.hpp \
  /usr/include/c++/12/span /usr/include/c++/12/array \
- /usr/include/c++/12/cstddef /root/repo/src/core/scaling_law.hpp \
- /root/repo/src/analysis/fit.hpp /root/repo/src/graph/metrics.hpp \
- /root/repo/src/graph/bfs.hpp /root/repo/src/multicast/unicast.hpp \
+ /usr/include/c++/12/cstddef /root/repo/src/graph/bfs.hpp \
+ /root/repo/src/graph/dijkstra.hpp /root/repo/src/graph/weights.hpp \
+ /root/repo/src/core/scaling_law.hpp /root/repo/src/analysis/fit.hpp \
+ /root/repo/src/graph/metrics.hpp /root/repo/src/multicast/unicast.hpp \
  /root/repo/src/multicast/spt.hpp /root/repo/src/session/simulator.hpp \
  /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \

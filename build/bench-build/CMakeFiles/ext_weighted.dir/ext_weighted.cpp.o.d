@@ -183,12 +183,12 @@ bench-build/CMakeFiles/ext_weighted.dir/ext_weighted.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/analysis/fit.hpp \
  /root/repo/src/analysis/series.hpp /root/repo/bench/bench_common.hpp \
- /root/repo/src/core/runner.hpp /root/repo/src/graph/graph.hpp \
+ /root/repo/src/core/runner.hpp /root/repo/src/fault/degraded.hpp \
+ /root/repo/src/fault/failure_model.hpp /root/repo/src/graph/graph.hpp \
  /usr/include/c++/12/span /usr/include/c++/12/array \
- /usr/include/c++/12/cstddef /root/repo/src/graph/dijkstra.hpp \
- /root/repo/src/graph/weights.hpp \
+ /usr/include/c++/12/cstddef /root/repo/src/graph/bfs.hpp \
+ /root/repo/src/graph/dijkstra.hpp /root/repo/src/graph/weights.hpp \
  /root/repo/src/multicast/delivery_tree.hpp \
- /root/repo/src/multicast/spt.hpp /root/repo/src/graph/bfs.hpp \
- /root/repo/src/multicast/receivers.hpp /root/repo/src/sim/rng.hpp \
- /root/repo/src/multicast/weighted.hpp /root/repo/src/sim/csv.hpp \
- /root/repo/src/topo/waxman.hpp
+ /root/repo/src/multicast/spt.hpp /root/repo/src/multicast/receivers.hpp \
+ /root/repo/src/sim/rng.hpp /root/repo/src/multicast/weighted.hpp \
+ /root/repo/src/sim/csv.hpp /root/repo/src/topo/waxman.hpp

@@ -182,13 +182,15 @@ bench-build/CMakeFiles/fig1_generated.dir/fig1_generated.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/bench/bench_common.hpp \
- /root/repo/src/core/runner.hpp /root/repo/src/graph/graph.hpp \
+ /root/repo/src/core/runner.hpp /root/repo/src/fault/degraded.hpp \
+ /root/repo/src/fault/failure_model.hpp /root/repo/src/graph/graph.hpp \
  /usr/include/c++/12/span /usr/include/c++/12/array \
- /usr/include/c++/12/cstddef /root/repo/src/core/scaling_law.hpp \
- /root/repo/src/analysis/fit.hpp /root/repo/src/graph/components.hpp \
- /root/repo/src/sim/csv.hpp /root/repo/src/topo/catalog.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/tuple \
- /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/cstddef /root/repo/src/graph/bfs.hpp \
+ /root/repo/src/graph/dijkstra.hpp /root/repo/src/graph/weights.hpp \
+ /root/repo/src/core/scaling_law.hpp /root/repo/src/analysis/fit.hpp \
+ /root/repo/src/graph/components.hpp /root/repo/src/sim/csv.hpp \
+ /root/repo/src/topo/catalog.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \

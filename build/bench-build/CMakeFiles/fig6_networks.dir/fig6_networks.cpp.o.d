@@ -183,11 +183,14 @@ bench-build/CMakeFiles/fig6_networks.dir/fig6_networks.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/analysis/fit.hpp \
  /root/repo/bench/bench_common.hpp /root/repo/src/core/runner.hpp \
+ /root/repo/src/fault/degraded.hpp /root/repo/src/fault/failure_model.hpp \
  /root/repo/src/graph/graph.hpp /usr/include/c++/12/span \
  /usr/include/c++/12/array /usr/include/c++/12/cstddef \
- /root/repo/src/graph/components.hpp /root/repo/src/sim/csv.hpp \
- /root/repo/src/topo/catalog.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
+ /root/repo/src/graph/bfs.hpp /root/repo/src/graph/dijkstra.hpp \
+ /root/repo/src/graph/weights.hpp /root/repo/src/graph/components.hpp \
+ /root/repo/src/sim/csv.hpp /root/repo/src/topo/catalog.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \

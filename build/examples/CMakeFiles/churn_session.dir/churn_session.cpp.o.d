@@ -158,11 +158,13 @@ examples/CMakeFiles/churn_session.dir/churn_session.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/runner.hpp \
+ /root/repo/src/fault/degraded.hpp /root/repo/src/fault/failure_model.hpp \
  /root/repo/src/graph/graph.hpp /usr/include/c++/12/span \
  /usr/include/c++/12/array /usr/include/c++/12/cstddef \
+ /root/repo/src/graph/bfs.hpp /usr/include/c++/12/limits \
+ /root/repo/src/graph/dijkstra.hpp /root/repo/src/graph/weights.hpp \
  /root/repo/src/core/scaling_law.hpp /root/repo/src/analysis/fit.hpp \
  /root/repo/src/multicast/dynamic_tree.hpp \
- /root/repo/src/multicast/spt.hpp /root/repo/src/graph/bfs.hpp \
- /usr/include/c++/12/limits /root/repo/src/multicast/unicast.hpp \
+ /root/repo/src/multicast/spt.hpp /root/repo/src/multicast/unicast.hpp \
  /root/repo/src/sim/csv.hpp /root/repo/src/topo/transit_stub.hpp \
  /root/repo/src/sim/rng.hpp

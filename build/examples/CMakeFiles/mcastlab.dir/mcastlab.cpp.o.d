@@ -162,10 +162,13 @@ examples/CMakeFiles/mcastlab.dir/mcastlab.cpp.o: \
  /root/repo/src/graph/graph.hpp /usr/include/c++/12/span \
  /usr/include/c++/12/array /root/repo/src/analysis/reachability.hpp \
  /root/repo/src/sim/rng.hpp /root/repo/src/core/runner.hpp \
+ /root/repo/src/fault/degraded.hpp /root/repo/src/fault/failure_model.hpp \
+ /root/repo/src/graph/bfs.hpp /usr/include/c++/12/limits \
+ /root/repo/src/graph/dijkstra.hpp /root/repo/src/graph/weights.hpp \
  /root/repo/src/core/scaling_law.hpp /root/repo/src/analysis/fit.hpp \
  /root/repo/src/graph/components.hpp /root/repo/src/graph/io.hpp \
- /root/repo/src/graph/metrics.hpp /root/repo/src/graph/bfs.hpp \
- /usr/include/c++/12/limits /root/repo/src/multicast/delivery_tree.hpp \
+ /root/repo/src/graph/metrics.hpp \
+ /root/repo/src/multicast/delivery_tree.hpp \
  /root/repo/src/multicast/spt.hpp /root/repo/src/multicast/receivers.hpp \
  /root/repo/src/sim/csv.hpp /root/repo/src/topo/catalog.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/tuple \

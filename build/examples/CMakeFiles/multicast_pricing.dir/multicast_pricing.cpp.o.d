@@ -159,9 +159,11 @@ examples/CMakeFiles/multicast_pricing.dir/multicast_pricing.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/analysis/fit.hpp \
- /root/repo/src/core/runner.hpp /root/repo/src/graph/graph.hpp \
+ /root/repo/src/core/runner.hpp /root/repo/src/fault/degraded.hpp \
+ /root/repo/src/fault/failure_model.hpp /root/repo/src/graph/graph.hpp \
  /usr/include/c++/12/span /usr/include/c++/12/array \
- /usr/include/c++/12/cstddef /root/repo/src/graph/metrics.hpp \
- /root/repo/src/graph/bfs.hpp /usr/include/c++/12/limits \
+ /usr/include/c++/12/cstddef /root/repo/src/graph/bfs.hpp \
+ /usr/include/c++/12/limits /root/repo/src/graph/dijkstra.hpp \
+ /root/repo/src/graph/weights.hpp /root/repo/src/graph/metrics.hpp \
  /root/repo/src/sim/csv.hpp /root/repo/src/topo/power_law.hpp \
  /root/repo/src/sim/rng.hpp

@@ -22,6 +22,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/mcast_analysis.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/mcast_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/mcast_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcast_fault.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

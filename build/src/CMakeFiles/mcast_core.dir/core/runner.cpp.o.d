@@ -57,7 +57,8 @@ src/CMakeFiles/mcast_core.dir/core/runner.cpp.o: \
  /usr/include/c++/12/bits/stl_function.h \
  /usr/include/c++/12/backward/binders.h \
  /usr/include/c++/12/bits/range_access.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/graph/graph.hpp \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/fault/degraded.hpp \
+ /root/repo/src/fault/failure_model.hpp /root/repo/src/graph/graph.hpp \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /usr/include/c++/12/cstddef \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
@@ -123,7 +124,9 @@ src/CMakeFiles/mcast_core.dir/core/runner.cpp.o: \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/graph/bfs.hpp \
+ /usr/include/c++/12/limits /root/repo/src/graph/dijkstra.hpp \
+ /root/repo/src/graph/weights.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
@@ -198,8 +201,7 @@ src/CMakeFiles/mcast_core.dir/core/runner.cpp.o: \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/limits /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
@@ -207,6 +209,5 @@ src/CMakeFiles/mcast_core.dir/core/runner.cpp.o: \
  /root/repo/src/analysis/series.hpp /root/repo/src/analysis/stats.hpp \
  /root/repo/src/common/contract.hpp /root/repo/src/graph/components.hpp \
  /root/repo/src/multicast/delivery_tree.hpp \
- /root/repo/src/multicast/spt.hpp /root/repo/src/graph/bfs.hpp \
- /root/repo/src/multicast/receivers.hpp /root/repo/src/sim/rng.hpp \
- /root/repo/src/multicast/unicast.hpp
+ /root/repo/src/multicast/spt.hpp /root/repo/src/multicast/receivers.hpp \
+ /root/repo/src/sim/rng.hpp /root/repo/src/multicast/unicast.hpp

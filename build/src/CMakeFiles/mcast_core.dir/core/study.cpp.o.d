@@ -122,8 +122,11 @@ src/CMakeFiles/mcast_core.dir/core/study.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/runner.hpp \
+ /root/repo/src/fault/degraded.hpp /root/repo/src/fault/failure_model.hpp \
  /root/repo/src/graph/graph.hpp /usr/include/c++/12/span \
  /usr/include/c++/12/array /usr/include/c++/12/cstddef \
+ /root/repo/src/graph/bfs.hpp /usr/include/c++/12/limits \
+ /root/repo/src/graph/dijkstra.hpp /root/repo/src/graph/weights.hpp \
  /root/repo/src/core/scaling_law.hpp /root/repo/src/analysis/fit.hpp \
  /root/repo/src/topo/catalog.hpp /usr/include/c++/12/functional \
  /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \

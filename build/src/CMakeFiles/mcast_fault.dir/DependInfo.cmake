@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/degraded.cpp" "src/CMakeFiles/mcast_fault.dir/fault/degraded.cpp.o" "gcc" "src/CMakeFiles/mcast_fault.dir/fault/degraded.cpp.o.d"
+  "/root/repo/src/fault/failure_model.cpp" "src/CMakeFiles/mcast_fault.dir/fault/failure_model.cpp.o" "gcc" "src/CMakeFiles/mcast_fault.dir/fault/failure_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcast_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcast_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

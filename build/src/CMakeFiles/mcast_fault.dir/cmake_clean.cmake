@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcast_fault.dir/fault/degraded.cpp.o"
+  "CMakeFiles/mcast_fault.dir/fault/degraded.cpp.o.d"
+  "CMakeFiles/mcast_fault.dir/fault/failure_model.cpp.o"
+  "CMakeFiles/mcast_fault.dir/fault/failure_model.cpp.o.d"
+  "libmcast_fault.a"
+  "libmcast_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcast_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

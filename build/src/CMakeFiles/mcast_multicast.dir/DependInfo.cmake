@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/multicast/delivery_tree.cpp" "src/CMakeFiles/mcast_multicast.dir/multicast/delivery_tree.cpp.o" "gcc" "src/CMakeFiles/mcast_multicast.dir/multicast/delivery_tree.cpp.o.d"
   "/root/repo/src/multicast/dynamic_tree.cpp" "src/CMakeFiles/mcast_multicast.dir/multicast/dynamic_tree.cpp.o" "gcc" "src/CMakeFiles/mcast_multicast.dir/multicast/dynamic_tree.cpp.o.d"
   "/root/repo/src/multicast/receivers.cpp" "src/CMakeFiles/mcast_multicast.dir/multicast/receivers.cpp.o" "gcc" "src/CMakeFiles/mcast_multicast.dir/multicast/receivers.cpp.o.d"
+  "/root/repo/src/multicast/repair.cpp" "src/CMakeFiles/mcast_multicast.dir/multicast/repair.cpp.o" "gcc" "src/CMakeFiles/mcast_multicast.dir/multicast/repair.cpp.o.d"
   "/root/repo/src/multicast/shared_tree.cpp" "src/CMakeFiles/mcast_multicast.dir/multicast/shared_tree.cpp.o" "gcc" "src/CMakeFiles/mcast_multicast.dir/multicast/shared_tree.cpp.o.d"
   "/root/repo/src/multicast/spt.cpp" "src/CMakeFiles/mcast_multicast.dir/multicast/spt.cpp.o" "gcc" "src/CMakeFiles/mcast_multicast.dir/multicast/spt.cpp.o.d"
   "/root/repo/src/multicast/unicast.cpp" "src/CMakeFiles/mcast_multicast.dir/multicast/unicast.cpp.o" "gcc" "src/CMakeFiles/mcast_multicast.dir/multicast/unicast.cpp.o.d"
@@ -24,6 +25,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/mcast_topo.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/mcast_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/mcast_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcast_fault.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

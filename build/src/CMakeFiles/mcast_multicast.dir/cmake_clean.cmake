@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/mcast_multicast.dir/multicast/dynamic_tree.cpp.o.d"
   "CMakeFiles/mcast_multicast.dir/multicast/receivers.cpp.o"
   "CMakeFiles/mcast_multicast.dir/multicast/receivers.cpp.o.d"
+  "CMakeFiles/mcast_multicast.dir/multicast/repair.cpp.o"
+  "CMakeFiles/mcast_multicast.dir/multicast/repair.cpp.o.d"
   "CMakeFiles/mcast_multicast.dir/multicast/shared_tree.cpp.o"
   "CMakeFiles/mcast_multicast.dir/multicast/shared_tree.cpp.o.d"
   "CMakeFiles/mcast_multicast.dir/multicast/spt.cpp.o"

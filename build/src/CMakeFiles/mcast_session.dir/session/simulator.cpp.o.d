@@ -197,7 +197,8 @@ src/CMakeFiles/mcast_session.dir/session/simulator.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/graph/graph.hpp \
+ /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/fault/failure_model.hpp /root/repo/src/graph/graph.hpp \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /usr/include/c++/12/cstddef /root/repo/src/multicast/dynamic_tree.hpp \
  /root/repo/src/multicast/spt.hpp /root/repo/src/graph/bfs.hpp \
@@ -219,4 +220,6 @@ src/CMakeFiles/mcast_session.dir/session/simulator.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/common/contract.hpp /root/repo/src/graph/components.hpp
+ /root/repo/src/common/contract.hpp /root/repo/src/fault/degraded.hpp \
+ /root/repo/src/graph/dijkstra.hpp /root/repo/src/graph/weights.hpp \
+ /root/repo/src/graph/components.hpp /root/repo/src/multicast/repair.hpp

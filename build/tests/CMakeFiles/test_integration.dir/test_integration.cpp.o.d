@@ -319,9 +319,11 @@ tests/CMakeFiles/test_integration.dir/test_integration.cpp.o: \
  /root/repo/src/analysis/reachability.hpp /root/repo/src/graph/graph.hpp \
  /usr/include/c++/12/span /root/repo/src/sim/rng.hpp \
  /root/repo/src/core/study.hpp /root/repo/src/core/runner.hpp \
- /root/repo/src/core/scaling_law.hpp /root/repo/src/topo/catalog.hpp \
- /root/repo/src/graph/components.hpp \
+ /root/repo/src/fault/degraded.hpp /root/repo/src/fault/failure_model.hpp \
+ /root/repo/src/graph/bfs.hpp /root/repo/src/graph/dijkstra.hpp \
+ /root/repo/src/graph/weights.hpp /root/repo/src/core/scaling_law.hpp \
+ /root/repo/src/topo/catalog.hpp /root/repo/src/graph/components.hpp \
  /root/repo/src/multicast/affinity.hpp \
  /root/repo/src/multicast/delivery_tree.hpp \
- /root/repo/src/multicast/spt.hpp /root/repo/src/graph/bfs.hpp \
- /root/repo/src/topo/kary.hpp /root/repo/src/multicast/receivers.hpp
+ /root/repo/src/multicast/spt.hpp /root/repo/src/topo/kary.hpp \
+ /root/repo/src/multicast/receivers.hpp

@@ -316,7 +316,9 @@ tests/CMakeFiles/test_runner.dir/test_runner.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/analysis/kary_exact.hpp /root/repo/src/core/runner.hpp \
+ /root/repo/src/fault/degraded.hpp /root/repo/src/fault/failure_model.hpp \
  /root/repo/src/graph/graph.hpp /usr/include/c++/12/span \
- /root/repo/src/graph/builder.hpp /root/repo/src/topo/kary.hpp \
- /root/repo/src/topo/regular.hpp /root/repo/src/topo/waxman.hpp \
- /root/repo/src/sim/rng.hpp
+ /root/repo/src/graph/bfs.hpp /root/repo/src/graph/dijkstra.hpp \
+ /root/repo/src/graph/weights.hpp /root/repo/src/graph/builder.hpp \
+ /root/repo/src/topo/kary.hpp /root/repo/src/topo/regular.hpp \
+ /root/repo/src/topo/waxman.hpp /root/repo/src/sim/rng.hpp

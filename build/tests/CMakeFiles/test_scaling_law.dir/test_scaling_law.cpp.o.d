@@ -316,5 +316,7 @@ tests/CMakeFiles/test_scaling_law.dir/test_scaling_law.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/core/scaling_law.hpp /root/repo/src/analysis/fit.hpp \
- /root/repo/src/core/runner.hpp /root/repo/src/graph/graph.hpp \
- /usr/include/c++/12/span
+ /root/repo/src/core/runner.hpp /root/repo/src/fault/degraded.hpp \
+ /root/repo/src/fault/failure_model.hpp /root/repo/src/graph/graph.hpp \
+ /usr/include/c++/12/span /root/repo/src/graph/bfs.hpp \
+ /root/repo/src/graph/dijkstra.hpp /root/repo/src/graph/weights.hpp

@@ -293,10 +293,12 @@ tests/CMakeFiles/test_session.dir/test_session.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/core/runner.hpp /root/repo/src/graph/graph.hpp \
- /usr/include/c++/12/span /root/repo/src/graph/builder.hpp \
- /root/repo/src/core/scaling_law.hpp /root/repo/src/analysis/fit.hpp \
- /root/repo/src/graph/metrics.hpp /root/repo/src/graph/bfs.hpp \
+ /root/repo/src/core/runner.hpp /root/repo/src/fault/degraded.hpp \
+ /root/repo/src/fault/failure_model.hpp /root/repo/src/graph/graph.hpp \
+ /usr/include/c++/12/span /root/repo/src/graph/bfs.hpp \
+ /root/repo/src/graph/dijkstra.hpp /root/repo/src/graph/weights.hpp \
+ /root/repo/src/graph/builder.hpp /root/repo/src/core/scaling_law.hpp \
+ /root/repo/src/analysis/fit.hpp /root/repo/src/graph/metrics.hpp \
  /root/repo/src/multicast/unicast.hpp /root/repo/src/multicast/spt.hpp \
  /root/repo/src/session/simulator.hpp \
  /root/repo/src/multicast/dynamic_tree.hpp \

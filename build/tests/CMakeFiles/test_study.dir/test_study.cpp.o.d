@@ -294,7 +294,10 @@ tests/CMakeFiles/test_study.dir/test_study.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/study.hpp /root/repo/src/core/runner.hpp \
+ /root/repo/src/fault/degraded.hpp /root/repo/src/fault/failure_model.hpp \
  /root/repo/src/graph/graph.hpp /usr/include/c++/12/span \
- /root/repo/src/core/scaling_law.hpp /root/repo/src/analysis/fit.hpp \
- /root/repo/src/topo/catalog.hpp /root/repo/src/topo/regular.hpp \
- /root/repo/src/topo/waxman.hpp /root/repo/src/sim/rng.hpp
+ /root/repo/src/graph/bfs.hpp /root/repo/src/graph/dijkstra.hpp \
+ /root/repo/src/graph/weights.hpp /root/repo/src/core/scaling_law.hpp \
+ /root/repo/src/analysis/fit.hpp /root/repo/src/topo/catalog.hpp \
+ /root/repo/src/topo/regular.hpp /root/repo/src/topo/waxman.hpp \
+ /root/repo/src/sim/rng.hpp

@@ -27,11 +27,15 @@ inline void expects_in_range(bool condition, const char* what) {
 }  // namespace mcast
 
 /// Internal invariant check. Not for validating user input.
+/// stderr is flushed before aborting: when output is redirected to a file
+/// (fully buffered), the location of the failed invariant must not die in
+/// the buffer.
 #define MCAST_ASSERT(cond)                                                 \
   do {                                                                     \
     if (!(cond)) {                                                         \
       std::fprintf(stderr, "mcast internal invariant failed: %s (%s:%d)\n", \
                    #cond, __FILE__, __LINE__);                             \
+      std::fflush(stderr);                                                 \
       std::abort();                                                        \
     }                                                                      \
   } while (false)

@@ -44,24 +44,40 @@ rng task_stream(std::uint64_t seed, std::size_t s, std::uint64_t salt) {
 
 // The work of one source: draw the source, build its SPT, run all
 // (group size x receiver set) samples into `out` (size = group count).
-void run_one_source(const graph& g, const std::vector<std::uint64_t>& group_sizes,
+// When `view` is non-null the SPT and the candidate universe honor its
+// failure mask, and group sizes the source cannot satisfy are skipped.
+void run_one_source(const graph& g, const degraded_view* view,
+                    const std::vector<std::uint64_t>& group_sizes,
                     const monte_carlo_params& params, receiver_model model,
-                    std::size_t s, std::vector<cell_stats>& out) {
+                    std::size_t s, const std::vector<node_id>& source_pool,
+                    std::vector<cell_stats>& out) {
   rng gen = task_stream(params.seed, s, /*salt=*/0);
-  const node_id source = static_cast<node_id>(gen.below(g.node_count()));
+  const node_id source = source_pool[gen.below(source_pool.size())];
   rng parent_gen = task_stream(params.seed, s, /*salt=*/0x7469656272656b00ULL);
-  const source_tree spt =
-      params.randomize_spt_parents
-          ? source_tree(g, bfs_from_random_parents(g, source,
-                                                   [&parent_gen](std::uint32_t k) {
-                                                     return parent_gen.below(k);
-                                                   }))
-          : source_tree(g, source);
-  const std::vector<node_id> universe = all_sites_except(g, source);
+  const source_tree spt = [&]() -> source_tree {
+    if (view != nullptr) return {g, bfs_from(*view, source)};
+    if (params.randomize_spt_parents) {
+      return {g, bfs_from_random_parents(g, source, [&parent_gen](std::uint32_t k) {
+                return parent_gen.below(k);
+              })};
+    }
+    return {g, source};
+  }();
+  std::vector<node_id> universe;
+  if (view == nullptr) {
+    universe = all_sites_except(g, source);
+  } else {
+    for (node_id v = 0; v < g.node_count(); ++v) {
+      if (v != source && spt.distance(v) != unreachable) universe.push_back(v);
+    }
+  }
   delivery_tree_builder builder(spt);
 
   for (std::size_t gi = 0; gi < group_sizes.size(); ++gi) {
     const std::uint64_t size = group_sizes[gi];
+    if (model == receiver_model::distinct && size > universe.size()) {
+      continue;  // this source cannot field m distinct receivers
+    }
     for (std::size_t rep = 0; rep < params.receiver_sets; ++rep) {
       const std::vector<node_id> receivers =
           model == receiver_model::distinct
@@ -85,20 +101,35 @@ void run_one_source(const graph& g, const std::vector<std::uint64_t>& group_size
   }
 }
 
-std::vector<scaling_point> measure(const graph& g,
+std::vector<scaling_point> measure(const graph& g, const degraded_view* view,
                                    const std::vector<std::uint64_t>& group_sizes,
                                    const monte_carlo_params& params,
                                    receiver_model model) {
   expects(g.node_count() >= 2, "measure: graph needs at least two nodes");
   expects(params.sources >= 1 && params.receiver_sets >= 1,
           "measure: sources and receiver_sets must be >= 1");
-  expects(is_connected(g), "measure: graph must be connected");
   const std::uint64_t sites = g.node_count() - 1;  // all nodes except source
   for (std::uint64_t m : group_sizes) {
     expects(m >= 1, "measure: group sizes must be >= 1");
     if (model == receiver_model::distinct) {
       expects(m <= sites, "measure: m exceeds candidate receiver count");
     }
+  }
+  // Pristine measurements demand a connected graph (the paper's setting);
+  // degraded ones sample around the holes instead.
+  std::vector<node_id> source_pool;
+  if (view == nullptr) {
+    expects(is_connected(g), "measure: graph must be connected");
+    source_pool.resize(g.node_count());
+    for (node_id v = 0; v < g.node_count(); ++v) source_pool[v] = v;
+  } else {
+    expects(!params.randomize_spt_parents,
+            "measure: randomized SPT parents are not supported on degraded views");
+    for (node_id v = 0; v < g.node_count(); ++v) {
+      if (view->node_alive(v)) source_pool.push_back(v);
+    }
+    expects(source_pool.size() >= 2,
+            "measure: degraded view must leave at least two alive nodes");
   }
 
   const std::size_t threads = std::min<std::size_t>(
@@ -115,14 +146,16 @@ std::vector<scaling_point> measure(const graph& g,
 
   if (threads <= 1) {
     for (std::size_t s = 0; s < params.sources; ++s) {
-      run_one_source(g, group_sizes, params, model, s, per_source[s]);
+      run_one_source(g, view, group_sizes, params, model, s, source_pool,
+                     per_source[s]);
     }
   } else {
     std::atomic<std::size_t> next{0};
     auto worker = [&] {
       for (std::size_t s = next.fetch_add(1); s < params.sources;
            s = next.fetch_add(1)) {
-        run_one_source(g, group_sizes, params, model, s, per_source[s]);
+        run_one_source(g, view, group_sizes, params, model, s, source_pool,
+                       per_source[s]);
       }
     };
     std::vector<std::thread> pool;
@@ -147,6 +180,7 @@ std::vector<scaling_point> measure(const graph& g,
     out[gi].ratio_mean = total[gi].ratio.mean();
     out[gi].ratio_stderr = total[gi].ratio.stderr_mean();
     out[gi].distinct_mean = total[gi].distinct.mean();
+    out[gi].samples = total[gi].ratio.count();
   }
   return out;
 }
@@ -156,13 +190,20 @@ std::vector<scaling_point> measure(const graph& g,
 std::vector<scaling_point> measure_distinct_receivers(
     const graph& g, const std::vector<std::uint64_t>& group_sizes,
     const monte_carlo_params& params) {
-  return measure(g, group_sizes, params, receiver_model::distinct);
+  return measure(g, nullptr, group_sizes, params, receiver_model::distinct);
 }
 
 std::vector<scaling_point> measure_with_replacement(
     const graph& g, const std::vector<std::uint64_t>& group_sizes,
     const monte_carlo_params& params) {
-  return measure(g, group_sizes, params, receiver_model::with_replacement);
+  return measure(g, nullptr, group_sizes, params, receiver_model::with_replacement);
+}
+
+std::vector<scaling_point> measure_distinct_receivers(
+    const degraded_view& view, const std::vector<std::uint64_t>& group_sizes,
+    const monte_carlo_params& params) {
+  return measure(view.base(), &view, group_sizes, params,
+                 receiver_model::distinct);
 }
 
 std::vector<std::uint64_t> default_group_grid(std::uint64_t sites,

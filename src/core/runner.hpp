@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/degraded.hpp"
 #include "graph/graph.hpp"
 
 namespace mcast {
@@ -43,6 +44,7 @@ struct scaling_point {
   double ratio_mean = 0.0;        ///< ⟨L / ū_sample⟩ — the Fig 1 y-value
   double ratio_stderr = 0.0;
   double distinct_mean = 0.0;     ///< ⟨#distinct sites⟩ (== m for distinct model)
+  std::uint64_t samples = 0;      ///< samples behind the row (0 => all means are 0)
 };
 
 /// L(m) measurement over `group_sizes` (each must satisfy
@@ -55,6 +57,19 @@ std::vector<scaling_point> measure_distinct_receivers(
 /// replacement from all non-source sites). The graph must be connected.
 std::vector<scaling_point> measure_with_replacement(
     const graph& g, const std::vector<std::uint64_t>& group_sizes,
+    const monte_carlo_params& params);
+
+/// L(m) on a degraded topology (fault/degraded.hpp). Sources are drawn
+/// among alive nodes; each source's candidate receivers are the sites its
+/// degraded BFS still reaches, so trees never cross failed elements. Group
+/// sizes a source cannot satisfy (m exceeds its reachable universe) are
+/// skipped for that source — scaling_point::samples records how many
+/// samples each row kept (rows with 0 samples have all-zero means). On a
+/// pristine view this matches measure_distinct_receivers(graph, ...)
+/// exactly. Thread-count invariant, like the pristine measurement; the
+/// randomize_spt_parents ablation is not supported here.
+std::vector<scaling_point> measure_distinct_receivers(
+    const degraded_view& view, const std::vector<std::uint64_t>& group_sizes,
     const monte_carlo_params& params);
 
 /// Default group-size grid for a network of `sites` candidate receivers:

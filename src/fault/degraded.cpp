@@ -1,0 +1,168 @@
+#include "fault/degraded.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+#include "common/contract.hpp"
+
+namespace mcast {
+
+degraded_view::degraded_view(const graph& g)
+    : g_(&g),
+      link_failed_(g.edge_count() * 2, 0),
+      node_failed_(g.node_count(), 0) {}
+
+std::size_t degraded_view::slot_of(node_id a, node_id b) const {
+  expects_in_range(a < g_->node_count() && b < g_->node_count(),
+                   "degraded_view: node id out of range");
+  const auto adj = g_->neighbors(a);
+  const auto it = std::lower_bound(adj.begin(), adj.end(), b);
+  expects(it != adj.end() && *it == b, "degraded_view: link does not exist");
+  return g_->adjacency_base(a) + static_cast<std::size_t>(it - adj.begin());
+}
+
+bool degraded_view::fail_link(node_id a, node_id b) {
+  const std::size_t ab = slot_of(a, b);
+  if (link_failed_[ab]) return false;
+  link_failed_[ab] = 1;
+  link_failed_[slot_of(b, a)] = 1;
+  ++failed_links_;
+  ++version_;
+  return true;
+}
+
+bool degraded_view::restore_link(node_id a, node_id b) {
+  const std::size_t ab = slot_of(a, b);
+  if (!link_failed_[ab]) return false;
+  link_failed_[ab] = 0;
+  link_failed_[slot_of(b, a)] = 0;
+  --failed_links_;
+  ++version_;
+  return true;
+}
+
+bool degraded_view::fail_node(node_id v) {
+  expects_in_range(v < g_->node_count(),
+                   "degraded_view::fail_node: node id out of range");
+  if (node_failed_[v]) return false;
+  node_failed_[v] = 1;
+  ++failed_nodes_;
+  ++version_;
+  return true;
+}
+
+bool degraded_view::restore_node(node_id v) {
+  expects_in_range(v < g_->node_count(),
+                   "degraded_view::restore_node: node id out of range");
+  if (!node_failed_[v]) return false;
+  node_failed_[v] = 0;
+  --failed_nodes_;
+  ++version_;
+  return true;
+}
+
+void degraded_view::apply(const failure_set& scenario) {
+  for (const edge& e : scenario.links) fail_link(e.a, e.b);
+  for (node_id v : scenario.nodes) fail_node(v);
+}
+
+void degraded_view::clear() {
+  if (pristine()) return;
+  std::fill(link_failed_.begin(), link_failed_.end(), 0);
+  std::fill(node_failed_.begin(), node_failed_.end(), 0);
+  failed_links_ = 0;
+  failed_nodes_ = 0;
+  ++version_;
+}
+
+bool degraded_view::node_alive(node_id v) const {
+  expects_in_range(v < g_->node_count(),
+                   "degraded_view::node_alive: node id out of range");
+  return node_failed_[v] == 0;
+}
+
+bool degraded_view::link_alive(node_id a, node_id b) const {
+  return link_failed_[slot_of(a, b)] == 0;
+}
+
+bool degraded_view::usable(node_id a, node_id b) const {
+  return node_failed_[a] == 0 && node_failed_[b] == 0 && link_alive(a, b);
+}
+
+bfs_tree bfs_from(const degraded_view& view, node_id source) {
+  const graph& g = view.base();
+  expects_in_range(source < g.node_count(), "bfs_from: source out of range");
+  bfs_tree t;
+  t.source = source;
+  t.dist.assign(g.node_count(), unreachable);
+  t.parent.assign(g.node_count(), invalid_node);
+  if (!view.node_alive(source)) return t;  // dead routers forward nothing
+
+  std::vector<node_id> queue;
+  queue.reserve(g.node_count());
+  queue.push_back(source);
+  t.dist[source] = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const node_id v = queue[head];
+    const hop_count dv = t.dist[v];
+    const auto adj = g.neighbors(v);
+    const std::size_t base = g.adjacency_base(v);
+    for (std::size_t i = 0; i < adj.size(); ++i) {
+      const node_id w = adj[i];
+      if (view.link_failed_slot(base + i) || !view.node_alive(w)) continue;
+      if (t.dist[w] == unreachable) {
+        t.dist[w] = dv + 1;
+        t.parent[w] = v;  // sorted neighbors => lowest-id parent rule
+        queue.push_back(w);
+      }
+    }
+  }
+  return t;
+}
+
+std::vector<hop_count> bfs_distances(const degraded_view& view, node_id source) {
+  return bfs_from(view, source).dist;
+}
+
+weighted_tree dijkstra_from(const degraded_view& view,
+                            const edge_weights& weights, node_id source) {
+  const graph& g = view.base();
+  expects_in_range(source < g.node_count(), "dijkstra_from: source out of range");
+  expects(&weights.topology() == &g,
+          "dijkstra_from: weights belong to a different graph");
+
+  weighted_tree t;
+  t.source = source;
+  t.dist.assign(g.node_count(), std::numeric_limits<double>::infinity());
+  t.parent.assign(g.node_count(), invalid_node);
+  if (!view.node_alive(source)) return t;
+
+  using entry = std::pair<double, node_id>;  // (distance, node)
+  std::priority_queue<entry, std::vector<entry>, std::greater<>> frontier;
+  t.dist[source] = 0.0;
+  frontier.push({0.0, source});
+  std::vector<char> settled(g.node_count(), 0);
+
+  while (!frontier.empty()) {
+    const auto [d, v] = frontier.top();
+    frontier.pop();
+    if (settled[v]) continue;
+    settled[v] = 1;
+    const auto adj = g.neighbors(v);
+    const std::size_t base = g.adjacency_base(v);
+    for (std::size_t i = 0; i < adj.size(); ++i) {
+      const node_id w = adj[i];
+      if (view.link_failed_slot(base + i) || !view.node_alive(w)) continue;
+      const double candidate = d + weights.at_slot(base + i);
+      if (candidate < t.dist[w]) {
+        t.dist[w] = candidate;
+        t.parent[w] = v;
+        frontier.push({candidate, w});
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace mcast

@@ -1,0 +1,103 @@
+// Degraded graph views — failure masking without rebuilding the CSR graph.
+//
+// A `degraded_view` overlays per-half-edge and per-node "failed" flags on
+// an immutable graph, so injecting or clearing a failure scenario is O(1)
+// per element and never touches the shared topology. Traversals that honor
+// the mask (BFS, Dijkstra) live here too; their results plug into the same
+// source_tree / dynamic_delivery_tree machinery used on pristine graphs,
+// which is how the repair layer (multicast/repair.hpp) and the session
+// simulator route around failures.
+//
+// Semantics: a link is usable iff neither endpoint node has failed and the
+// link itself has not failed. BFS/Dijkstra from a failed source report
+// every node (including the source) unreachable — a dead router forwards
+// nothing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/failure_model.hpp"
+#include "graph/bfs.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/graph.hpp"
+
+namespace mcast {
+
+class degraded_view {
+ public:
+  /// A fully-healthy view of `g`. The graph must outlive the view.
+  explicit degraded_view(const graph& g);
+
+  /// The underlying (pristine) topology.
+  const graph& base() const noexcept { return *g_; }
+
+  /// Marks the undirected link {a,b} failed / restored. Requires the link
+  /// to exist. Returns true when the call changed the link's state (a
+  /// second fail_link on a down link is a no-op returning false).
+  bool fail_link(node_id a, node_id b);
+  bool restore_link(node_id a, node_id b);
+
+  /// Marks node `v` failed / restored (its incident links become unusable
+  /// while it is down, without changing their own failed state). Returns
+  /// true when the call changed the node's state.
+  bool fail_node(node_id v);
+  bool restore_node(node_id v);
+
+  /// Applies a whole scenario (all links, then all nodes).
+  void apply(const failure_set& scenario);
+
+  /// Restores every link and node.
+  void clear();
+
+  /// True when node `v` has not failed. Throws std::out_of_range on a bad id.
+  bool node_alive(node_id v) const;
+
+  /// True when link {a,b} itself has not failed (ignores endpoint nodes).
+  /// Requires the link to exist.
+  bool link_alive(node_id a, node_id b) const;
+
+  /// True when {a,b} can carry traffic: link alive and both endpoints alive.
+  bool usable(node_id a, node_id b) const;
+
+  /// Hot-path accessor: failed flag of a half-edge slot
+  /// (graph::adjacency_base(v) + i for the i-th neighbor of v).
+  bool link_failed_slot(std::size_t slot) const { return link_failed_[slot] != 0; }
+
+  /// Number of failed undirected links / failed nodes.
+  std::size_t failed_link_count() const noexcept { return failed_links_; }
+  std::size_t failed_node_count() const noexcept { return failed_nodes_; }
+
+  /// True when nothing has failed.
+  bool pristine() const noexcept { return failed_links_ == 0 && failed_nodes_ == 0; }
+
+  /// Monotone counter bumped by every state-changing call — a cheap
+  /// staleness check for cached routing state (trees remember the version
+  /// they were computed at).
+  std::uint64_t version() const noexcept { return version_; }
+
+ private:
+  /// Half-edge slot of a -> b; throws std::invalid_argument when absent.
+  std::size_t slot_of(node_id a, node_id b) const;
+
+  const graph* g_;
+  std::vector<char> link_failed_;  // per half-edge, size 2*edge_count()
+  std::vector<char> node_failed_;  // per node
+  std::size_t failed_links_ = 0;
+  std::size_t failed_nodes_ = 0;
+  std::uint64_t version_ = 0;
+};
+
+/// BFS honoring the mask; same conventions as bfs_from(graph, source)
+/// (lowest-id parent rule), and identical results on a pristine view.
+/// From a failed source every node is unreachable.
+bfs_tree bfs_from(const degraded_view& view, node_id source);
+
+/// Distance field only (skips parent bookkeeping).
+std::vector<hop_count> bfs_distances(const degraded_view& view, node_id source);
+
+/// Dijkstra honoring the mask. `weights` must belong to view.base().
+weighted_tree dijkstra_from(const degraded_view& view,
+                            const edge_weights& weights, node_id source);
+
+}  // namespace mcast

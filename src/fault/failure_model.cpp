@@ -1,0 +1,72 @@
+#include "fault/failure_model.hpp"
+
+#include <algorithm>
+
+#include "common/contract.hpp"
+#include "sim/rng.hpp"
+
+namespace mcast {
+
+failure_set random_link_failures(const graph& g, double p, std::uint64_t seed) {
+  expects(p >= 0.0 && p <= 1.0,
+          "random_link_failures: probability must be in [0, 1]");
+  failure_set out;
+  rng gen(seed);
+  // edges() enumerates each link once with a < b in lexicographic order, so
+  // the draw sequence — and therefore the scenario — is a pure function of
+  // (graph, seed).
+  for (const edge& e : g.edges()) {
+    if (gen.chance(p)) out.links.push_back(e);
+  }
+  return out;
+}
+
+failure_set targeted_hub_failures(const graph& g, std::size_t top_f) {
+  expects(top_f <= g.node_count(),
+          "targeted_hub_failures: top_f exceeds node count");
+  std::vector<node_id> order(g.node_count());
+  for (node_id v = 0; v < g.node_count(); ++v) order[v] = v;
+  // Highest degree first; equal degrees fall back to the lower id so the
+  // attack is deterministic on degree-regular regions.
+  std::stable_sort(order.begin(), order.end(), [&](node_id a, node_id b) {
+    return g.degree(a) != g.degree(b) ? g.degree(a) > g.degree(b) : a < b;
+  });
+  failure_set out;
+  out.nodes.assign(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(top_f));
+  std::sort(out.nodes.begin(), out.nodes.end());
+  return out;
+}
+
+std::vector<link_event> make_failure_trace(const graph& g,
+                                           const failure_trace_params& params,
+                                           std::uint64_t seed) {
+  expects(params.link_failure_rate > 0.0 && params.mean_repair_time > 0.0,
+          "make_failure_trace: rates must be positive");
+  expects(params.horizon > 0.0, "make_failure_trace: horizon must be positive");
+
+  std::vector<link_event> out;
+  rng root(seed);
+  std::uint64_t link_index = 0;
+  for (const edge& e : g.edges()) {
+    // One decorrelated stream per link: the trace does not depend on how
+    // many events earlier links produced.
+    rng gen = root.fork(link_index++);
+    double t = gen.exponential(params.link_failure_rate);
+    bool up = true;
+    while (t < params.horizon) {
+      out.push_back({t, e, up});
+      up = !up;
+      t += gen.exponential(up ? params.link_failure_rate
+                              : 1.0 / params.mean_repair_time);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const link_event& x, const link_event& y) {
+    if (x.time != y.time) return x.time < y.time;
+    if (x.link.a != y.link.a) return x.link.a < y.link.a;
+    if (x.link.b != y.link.b) return x.link.b < y.link.b;
+    return x.fails && !y.fails;  // failure before recovery on exact ties
+  });
+  return out;
+}
+
+}  // namespace mcast

@@ -1,0 +1,73 @@
+// Failure models — deterministic, seeded injectors (extension).
+//
+// The paper measures L(m) on pristine topologies; the provisioning story it
+// motivates only holds up if the m^0.8 rule survives the failures a real
+// network experiences. This module produces concrete failure scenarios from
+// a graph, all bit-for-bit reproducible from an explicit seed:
+//
+//  * random_link_failures    — every link down independently with prob p,
+//                              the classic "random breakdown" model;
+//  * targeted_hub_failures   — the f highest-degree nodes down, the
+//                              attack model under which power-law graphs
+//                              are famously fragile;
+//  * make_failure_trace      — a time-ordered link failure/recovery event
+//                              sequence (per-link alternating renewal
+//                              process) for the session-level simulator.
+//
+// Scenarios are consumed through fault/degraded.hpp, which masks the
+// failed elements without rebuilding the CSR graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mcast {
+
+/// A static failure scenario: which links and nodes are down.
+/// Both lists are sorted (links lexicographically with a < b per edge,
+/// nodes ascending) and duplicate-free, so scenarios compare and diff
+/// cheaply.
+struct failure_set {
+  std::vector<edge> links;     ///< failed links, each with a < b
+  std::vector<node_id> nodes;  ///< failed nodes
+
+  bool empty() const noexcept { return links.empty() && nodes.empty(); }
+};
+
+/// Fails every link of `g` independently with probability `p`.
+/// Deterministic given `seed`. Requires 0 <= p <= 1.
+failure_set random_link_failures(const graph& g, double p, std::uint64_t seed);
+
+/// Fails the `top_f` highest-degree nodes of `g` (ties broken toward the
+/// lower node id — deterministic). Requires top_f <= node_count.
+failure_set targeted_hub_failures(const graph& g, std::size_t top_f);
+
+/// One link state transition in a scheduled failure trace.
+struct link_event {
+  double time = 0.0;  ///< absolute simulation time, >= 0
+  edge link;          ///< affected link, a < b
+  bool fails = true;  ///< true = link goes down, false = link comes back
+
+  friend bool operator==(const link_event&, const link_event&) = default;
+};
+
+/// Parameters of the alternating-renewal failure trace: each link cycles
+/// up -> down -> up ... with exponential holding times.
+struct failure_trace_params {
+  double link_failure_rate = 0.001;  ///< per-link up -> down rate, > 0
+  double mean_repair_time = 10.0;    ///< mean down time, > 0
+  double horizon = 1000.0;           ///< events generated in [0, horizon), > 0
+};
+
+/// Generates the failure/recovery trace for every link of `g` over
+/// [0, horizon), sorted by (time, link). Each link's first event is a
+/// failure and its events strictly alternate fail/recover. Deterministic
+/// given `seed` (each link draws from its own derived stream, so the trace
+/// is independent of iteration order).
+std::vector<link_event> make_failure_trace(const graph& g,
+                                           const failure_trace_params& params,
+                                           std::uint64_t seed);
+
+}  // namespace mcast

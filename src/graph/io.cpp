@@ -13,10 +13,13 @@ namespace mcast {
 
 namespace {
 
-// Returns the next non-comment, non-blank line, or nullopt at EOF.
-std::optional<std::string> next_payload_line(std::istream& in) {
+// Returns the next non-comment, non-blank line (with `line_no` updated to
+// its 1-based position in the stream), or nullopt at EOF.
+std::optional<std::string> next_payload_line(std::istream& in,
+                                             std::size_t& line_no) {
   std::string line;
   while (std::getline(in, line)) {
+    ++line_no;
     const std::size_t start = line.find_first_not_of(" \t\r");
     if (start == std::string::npos) continue;
     if (line[start] == '#') continue;
@@ -25,26 +28,48 @@ std::optional<std::string> next_payload_line(std::istream& in) {
   return std::nullopt;
 }
 
+// Parse failure with the 1-based line number, so a bad row in a
+// million-line topology file is findable.
+[[noreturn]] void parse_fail(std::size_t line_no, const char* what) {
+  throw std::invalid_argument("mcast: read_edge_list: line " +
+                              std::to_string(line_no) + ": " + what);
+}
+
+// True when anything but whitespace remains on the line.
+bool trailing_garbage(std::istringstream& s) {
+  s >> std::ws;
+  return !s.eof();
+}
+
 }  // namespace
 
 graph read_edge_list(std::istream& in, std::string name) {
-  const auto header = next_payload_line(in);
+  std::size_t line_no = 0;
+  const auto header = next_payload_line(in, line_no);
   expects(header.has_value(), "read_edge_list: missing node-count header");
   std::istringstream hs(*header);
   long long nodes = -1;
   hs >> nodes;
-  expects(!hs.fail() && nodes >= 0,
-          "read_edge_list: node-count header must be a non-negative integer");
+  if (hs.fail() || nodes < 0) {
+    parse_fail(line_no, "node-count header must be a non-negative integer");
+  }
+  if (trailing_garbage(hs)) {
+    parse_fail(line_no, "trailing tokens after the node-count header");
+  }
 
   graph_builder b(static_cast<node_id>(nodes));
   b.set_name(std::move(name));
-  while (auto line = next_payload_line(in)) {
+  while (auto line = next_payload_line(in, line_no)) {
     std::istringstream ls(*line);
     long long a = -1, bb = -1;
     ls >> a >> bb;
-    expects(!ls.fail(), "read_edge_list: edge line must contain two integers");
-    expects(a >= 0 && bb >= 0 && a < nodes && bb < nodes,
-            "read_edge_list: edge endpoint out of range");
+    if (ls.fail()) parse_fail(line_no, "edge line must contain two integers");
+    if (trailing_garbage(ls)) {
+      parse_fail(line_no, "trailing tokens after the two edge endpoints");
+    }
+    if (a < 0 || bb < 0 || a >= nodes || bb >= nodes) {
+      parse_fail(line_no, "edge endpoint out of range");
+    }
     b.add_edge(static_cast<node_id>(a), static_cast<node_id>(bb));
   }
   return b.build();

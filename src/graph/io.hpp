@@ -20,8 +20,11 @@
 
 namespace mcast {
 
-/// Parses the edge-list format from a stream.
-/// Throws std::invalid_argument on malformed input.
+/// Parses the edge-list format from a stream. Strict: the node-count
+/// header and every edge line must contain nothing but their integers
+/// (inline trailing tokens are rejected).
+/// Throws std::invalid_argument on malformed input; parse errors carry the
+/// 1-based line number of the offending line.
 graph read_edge_list(std::istream& in, std::string name = {});
 
 /// Parses the edge-list format from a string (convenience for tests and

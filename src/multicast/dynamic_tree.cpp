@@ -1,5 +1,7 @@
 #include "multicast/dynamic_tree.hpp"
 
+#include <algorithm>
+
 #include "common/contract.hpp"
 
 namespace mcast {
@@ -53,6 +55,37 @@ std::uint32_t dynamic_delivery_tree::receivers_at(node_id v) const {
   expects_in_range(v < tree_->node_count(),
                    "dynamic_delivery_tree::receivers_at: node out of range");
   return joined_at_[v];
+}
+
+std::vector<edge> dynamic_delivery_tree::links() const {
+  std::vector<edge> out;
+  out.reserve(links_);
+  for (node_id v = 0; v < tree_->node_count(); ++v) {
+    if (v == tree_->source() || subtree_load_[v] == 0) continue;
+    const node_id p = tree_->parent(v);
+    out.push_back(v < p ? edge{v, p} : edge{p, v});
+  }
+  std::sort(out.begin(), out.end(), [](const edge& x, const edge& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  });
+  return out;
+}
+
+std::vector<node_id> dynamic_delivery_tree::receiver_sites() const {
+  std::vector<node_id> out;
+  out.reserve(distinct_sites_);
+  for (node_id v = 0; v < tree_->node_count(); ++v) {
+    if (joined_at_[v] > 0) out.push_back(v);
+  }
+  return out;
+}
+
+bool dynamic_delivery_tree::uses_link(node_id a, node_id b) const {
+  expects_in_range(a < tree_->node_count() && b < tree_->node_count(),
+                   "dynamic_delivery_tree::uses_link: node out of range");
+  const node_id src = tree_->source();
+  return (a != src && subtree_load_[a] > 0 && tree_->parent(a) == b) ||
+         (b != src && subtree_load_[b] > 0 && tree_->parent(b) == a);
 }
 
 bool dynamic_delivery_tree::on_tree(node_id v) const {

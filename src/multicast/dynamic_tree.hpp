@@ -47,6 +47,22 @@ class dynamic_delivery_tree {
   /// source with no receivers is an empty tree).
   bool on_tree(node_id v) const;
 
+  /// The source_tree this delivery tree routes over.
+  const source_tree& base() const noexcept { return *tree_; }
+
+  /// The current tree links, each as an undirected edge with a < b, sorted
+  /// lexicographically — the representation failure scenarios and repair
+  /// reports diff against (multicast/repair.hpp). O(nodes).
+  std::vector<edge> links() const;
+
+  /// The distinct nodes currently hosting at least one receiver, ascending.
+  /// O(nodes).
+  std::vector<node_id> receiver_sites() const;
+
+  /// True when the undirected link {a,b} carries this tree's traffic, i.e.
+  /// it is some on-tree node's uplink to its parent. O(1).
+  bool uses_link(node_id a, node_id b) const;
+
  private:
   const source_tree* tree_;
   /// subtree_load_[v] = receivers at or below v; the link (v, parent(v))

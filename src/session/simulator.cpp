@@ -1,20 +1,29 @@
 #include "session/simulator.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <list>
 
 #include "common/contract.hpp"
+#include "fault/degraded.hpp"
 #include "graph/components.hpp"
+#include "multicast/repair.hpp"
 #include "multicast/spt.hpp"
 
 namespace mcast {
 
 namespace {
 
+struct member_slot {
+  node_id site = invalid_node;
+  bool active = false;    // joined and not yet left
+  bool attached = false;  // currently served by the delivery tree
+};
+
 struct live_session {
   std::unique_ptr<source_tree> tree;
   std::unique_ptr<dynamic_delivery_tree> delivery;
-  std::vector<node_id> members;  // multiset of joined instances
+  std::vector<member_slot> members;  // every join ever made, by index
   event_queue::event_id end_event = 0;
   event_queue::event_id next_join_event = 0;
   std::vector<event_queue::event_id> leave_events;  // parallel to members
@@ -23,6 +32,14 @@ struct live_session {
 }  // namespace
 
 session_metrics simulate_sessions(const graph& g, const session_workload& w,
+                                  double duration, double warmup,
+                                  std::uint64_t seed) {
+  return simulate_sessions(g, w, std::vector<link_event>{}, duration, warmup,
+                           seed);
+}
+
+session_metrics simulate_sessions(const graph& g, const session_workload& w,
+                                  const std::vector<link_event>& faults,
                                   double duration, double warmup,
                                   std::uint64_t seed) {
   expects(g.node_count() >= 2, "simulate_sessions: graph too small");
@@ -34,11 +51,19 @@ session_metrics simulate_sessions(const graph& g, const session_workload& w,
           "simulate_sessions: need capacity for at least one session");
   expects(duration > 0.0 && warmup >= 0.0,
           "simulate_sessions: duration must be positive, warmup non-negative");
+  for (const link_event& fe : faults) {
+    expects(fe.time >= 0.0, "simulate_sessions: fault event time must be >= 0");
+    expects_in_range(fe.link.a < g.node_count() && fe.link.b < g.node_count(),
+                     "simulate_sessions: fault event node out of range");
+    expects(g.has_edge(fe.link.a, fe.link.b),
+            "simulate_sessions: fault event references a non-existent link");
+  }
 
   rng gen(seed);
   event_queue events;
   session_metrics metrics;
   metrics.duration = duration;
+  degraded_view view(g);
 
   std::list<live_session> sessions;
   // Aggregate integrals, accumulated lazily: every state change first adds
@@ -47,8 +72,10 @@ session_metrics simulate_sessions(const graph& g, const session_workload& w,
   double links_integral = 0.0;
   double members_integral = 0.0;
   double sessions_integral = 0.0;
+  double reachable_integral = 0.0;
   std::size_t total_links = 0;
-  std::size_t total_members = 0;
+  std::size_t total_members = 0;    // active member instances
+  std::size_t total_attached = 0;   // active instances on some delivery tree
   double group_size_sum = 0.0;
   std::uint64_t group_size_samples = 0;
   const double t_begin = warmup;
@@ -62,11 +89,57 @@ session_metrics simulate_sessions(const graph& g, const session_workload& w,
       links_integral += static_cast<double>(total_links) * dt;
       members_integral += static_cast<double>(total_members) * dt;
       sessions_integral += static_cast<double>(sessions.size()) * dt;
+      reachable_integral +=
+          (total_members == 0
+               ? 1.0
+               : static_cast<double>(total_attached) /
+                     static_cast<double>(total_members)) *
+          dt;
     }
     last_change = now;
     if (now >= t_begin && now <= t_end) {
       metrics.peak_links =
           std::max(metrics.peak_links, static_cast<double>(total_links));
+    }
+  };
+
+  // Re-converges one session onto the current degraded view: rebuild its
+  // SPT + tree, detach members the network lost, re-attach members it
+  // regained. Caller has already account()ed the current time.
+  auto repair_session = [&](live_session& s) {
+    const std::size_t old_links = s.delivery->link_count();
+    repaired_tree r = repair_delivery_tree(*s.delivery, view);
+
+    std::uint64_t detached = 0;
+    std::uint64_t reattached = 0;
+    std::size_t reattach_gained = 0;
+    for (member_slot& m : s.members) {
+      if (!m.active) continue;
+      const bool reachable = r.routing->distance(m.site) != unreachable;
+      if (m.attached && !reachable) {
+        m.attached = false;
+        --total_attached;
+        ++detached;
+      } else if (!m.attached && reachable) {
+        reattach_gained += r.delivery->join(m.site);
+        m.attached = true;
+        ++total_attached;
+        ++reattached;
+      }
+    }
+
+    total_links -= old_links;
+    total_links += r.delivery->link_count();
+    s.tree = std::move(r.routing);
+    s.delivery = std::move(r.delivery);
+
+    const std::size_t churn = r.report.churn() + reattach_gained;
+    if (events.now() >= t_begin &&
+        (churn > 0 || detached > 0 || reattached > 0)) {
+      ++metrics.repairs;
+      metrics.repair_links_churned += churn;
+      metrics.receivers_disconnected += detached;
+      metrics.receivers_reconnected += reattached;
     }
   };
 
@@ -82,13 +155,18 @@ session_metrics simulate_sessions(const graph& g, const session_workload& w,
           // Pick a member site (any node but the source).
           node_id v = static_cast<node_id>(gen.below(g.node_count()));
           if (v == it->tree->source()) v = (v + 1) % g.node_count();
-          total_links -= it->delivery->link_count();
-          it->delivery->join(v);
-          total_links += it->delivery->link_count();
+          const bool reachable = it->tree->distance(v) != unreachable;
+          if (reachable) {
+            total_links -= it->delivery->link_count();
+            it->delivery->join(v);
+            total_links += it->delivery->link_count();
+            ++total_attached;
+          }
           ++total_members;
-          it->members.push_back(v);
+          it->members.push_back({v, /*active=*/true, /*attached=*/reachable});
           if (events.now() >= t_begin) {
             ++metrics.joins;
+            if (!reachable) ++metrics.receivers_disconnected;
             group_size_sum +=
                 static_cast<double>(it->delivery->distinct_receiver_sites());
             ++group_size_samples;
@@ -99,9 +177,15 @@ session_metrics simulate_sessions(const graph& g, const session_workload& w,
               events.now() + gen.exponential(1.0 / w.member_lifetime_mean),
               [&, it, member_index] {
                 account(events.now());
-                total_links -= it->delivery->link_count();
-                it->delivery->leave(it->members[member_index]);
-                total_links += it->delivery->link_count();
+                member_slot& m = it->members[member_index];
+                if (m.attached) {
+                  total_links -= it->delivery->link_count();
+                  it->delivery->leave(m.site);
+                  total_links += it->delivery->link_count();
+                  --total_attached;
+                  m.attached = false;
+                }
+                m.active = false;
                 --total_members;
                 if (events.now() >= t_begin) ++metrics.leaves;
               }));
@@ -114,10 +198,15 @@ session_metrics simulate_sessions(const graph& g, const session_workload& w,
     // Cancel pending events and drain remaining members.
     events.cancel(it->next_join_event);
     for (event_queue::event_id id : it->leave_events) events.cancel(id);
+    std::size_t active = 0;
+    for (const member_slot& m : it->members) {
+      if (m.active) ++active;
+    }
     total_links -= it->delivery->link_count();
-    total_members -= it->delivery->receiver_count();
+    total_members -= active;
+    total_attached -= it->delivery->receiver_count();
     if (events.now() >= t_begin) {
-      metrics.leaves += it->delivery->receiver_count();
+      metrics.leaves += active;
     }
     sessions.erase(it);
     ++metrics.sessions_completed;
@@ -129,7 +218,9 @@ session_metrics simulate_sessions(const graph& g, const session_workload& w,
       sessions.emplace_back();
       auto it = std::prev(sessions.end());
       const node_id source = static_cast<node_id>(gen.below(g.node_count()));
-      it->tree = std::make_unique<source_tree>(g, source);
+      // Routed over the current degraded view; identical to the pristine
+      // SPT while nothing is failed.
+      it->tree = std::make_unique<source_tree>(g, bfs_from(view, source));
       it->delivery = std::make_unique<dynamic_delivery_tree>(*it->tree);
       it->end_event = events.schedule(
           events.now() + gen.exponential(1.0 / w.session_lifetime_mean),
@@ -143,6 +234,27 @@ session_metrics simulate_sessions(const graph& g, const session_workload& w,
                     arrive);
   };
 
+  // The failure trace consumes no randomness: the workload trajectory is
+  // identical with and without it (until repairs change tree shapes).
+  for (const link_event& fe : faults) {
+    if (fe.time >= t_end) continue;
+    events.schedule(fe.time, [&, fe] {
+      account(events.now());
+      const bool changed = fe.fails
+                               ? view.fail_link(fe.link.a, fe.link.b)
+                               : view.restore_link(fe.link.a, fe.link.b);
+      if (!changed) return;  // e.g. a recovery for a link that never failed
+      if (events.now() >= t_begin) {
+        if (fe.fails) {
+          ++metrics.link_failures;
+        } else {
+          ++metrics.link_recoveries;
+        }
+      }
+      for (live_session& s : sessions) repair_session(s);
+    });
+  }
+
   events.schedule(gen.exponential(w.session_arrival_rate), arrive);
   events.run_until(t_end);
   account(t_end);
@@ -150,6 +262,7 @@ session_metrics simulate_sessions(const graph& g, const session_workload& w,
   metrics.time_avg_links = links_integral / duration;
   metrics.time_avg_members = members_integral / duration;
   metrics.time_avg_sessions = sessions_integral / duration;
+  metrics.time_avg_reachable_fraction = reachable_integral / duration;
   metrics.mean_group_size_at_join =
       group_size_samples == 0
           ? 0.0

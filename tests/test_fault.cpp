@@ -1,0 +1,203 @@
+// Fault subsystem: failure models (determinism, distributions), degraded
+// views (masking semantics) and failure-aware traversals.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fault/degraded.hpp"
+#include "fault/failure_model.hpp"
+#include "graph/bfs.hpp"
+#include "graph/builder.hpp"
+#include "graph/weights.hpp"
+#include "topo/regular.hpp"
+#include "topo/waxman.hpp"
+
+namespace mcast {
+namespace {
+
+TEST(failure_model, random_link_failures_deterministic) {
+  waxman_params p;
+  p.nodes = 120;
+  const graph g = make_waxman(p, 3);
+  const failure_set a = random_link_failures(g, 0.1, 42);
+  const failure_set b = random_link_failures(g, 0.1, 42);
+  EXPECT_EQ(a.links, b.links);
+  const failure_set c = random_link_failures(g, 0.1, 43);
+  EXPECT_NE(a.links, c.links);  // overwhelmingly likely on 100+ links
+}
+
+TEST(failure_model, random_link_failures_extremes_and_range) {
+  waxman_params p;
+  p.nodes = 100;
+  const graph g = make_waxman(p, 1);
+  EXPECT_TRUE(random_link_failures(g, 0.0, 7).empty());
+  const failure_set all = random_link_failures(g, 1.0, 7);
+  EXPECT_EQ(all.links.size(), g.edge_count());
+  const failure_set some = random_link_failures(g, 0.3, 7);
+  EXPECT_GT(some.links.size(), 0u);
+  EXPECT_LT(some.links.size(), g.edge_count());
+  for (const edge& e : some.links) {
+    EXPECT_LT(e.a, e.b);
+    EXPECT_TRUE(g.has_edge(e.a, e.b));
+  }
+  EXPECT_TRUE(std::is_sorted(some.links.begin(), some.links.end(),
+                             [](const edge& x, const edge& y) {
+                               return x.a != y.a ? x.a < y.a : x.b < y.b;
+                             }));
+  EXPECT_THROW(random_link_failures(g, -0.1, 7), std::invalid_argument);
+  EXPECT_THROW(random_link_failures(g, 1.1, 7), std::invalid_argument);
+}
+
+TEST(failure_model, targeted_hub_failures_picks_highest_degree) {
+  // Star: node 0 is the hub.
+  graph_builder b(5);
+  for (node_id v = 1; v < 5; ++v) b.add_edge(0, v);
+  const graph g = b.build();
+  const failure_set one = targeted_hub_failures(g, 1);
+  ASSERT_EQ(one.nodes.size(), 1u);
+  EXPECT_EQ(one.nodes[0], 0u);
+  // Ties break toward the lower id: all leaves have degree 1.
+  const failure_set three = targeted_hub_failures(g, 3);
+  EXPECT_EQ(three.nodes, (std::vector<node_id>{0, 1, 2}));
+  EXPECT_THROW(targeted_hub_failures(g, 6), std::invalid_argument);
+  EXPECT_TRUE(targeted_hub_failures(g, 0).empty());
+}
+
+TEST(failure_model, trace_is_sorted_alternating_and_deterministic) {
+  waxman_params p;
+  p.nodes = 60;
+  const graph g = make_waxman(p, 5);
+  failure_trace_params tp;
+  tp.link_failure_rate = 0.01;
+  tp.mean_repair_time = 5.0;
+  tp.horizon = 500.0;
+  const auto a = make_failure_trace(g, tp, 11);
+  const auto b = make_failure_trace(g, tp, 11);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.size(), 0u);
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_LE(a[i - 1].time, a[i].time);
+  }
+  // Per link: first event fails, then strict alternation, all in horizon.
+  for (const edge& e : g.edges()) {
+    bool expect_fail = true;
+    for (const link_event& ev : a) {
+      if (ev.link == e) {
+        EXPECT_EQ(ev.fails, expect_fail);
+        expect_fail = !expect_fail;
+        EXPECT_GE(ev.time, 0.0);
+        EXPECT_LT(ev.time, tp.horizon);
+      }
+    }
+  }
+  EXPECT_THROW(make_failure_trace(g, {0.0, 5.0, 100.0}, 1),
+               std::invalid_argument);
+}
+
+TEST(degraded_view, link_and_node_masking) {
+  const graph g = make_path(4);  // 0-1-2-3
+  degraded_view view(g);
+  EXPECT_TRUE(view.pristine());
+  EXPECT_TRUE(view.usable(1, 2));
+
+  EXPECT_TRUE(view.fail_link(1, 2));
+  EXPECT_FALSE(view.fail_link(2, 1));  // already down, either orientation
+  EXPECT_EQ(view.failed_link_count(), 1u);
+  EXPECT_FALSE(view.link_alive(1, 2));
+  EXPECT_FALSE(view.usable(2, 1));
+  EXPECT_TRUE(view.usable(0, 1));
+
+  EXPECT_TRUE(view.fail_node(0));
+  EXPECT_FALSE(view.node_alive(0));
+  EXPECT_FALSE(view.usable(0, 1));  // node down masks its links
+  EXPECT_TRUE(view.link_alive(0, 1));  // ...without failing them
+
+  EXPECT_TRUE(view.restore_link(1, 2));
+  EXPECT_FALSE(view.restore_link(1, 2));
+  EXPECT_TRUE(view.restore_node(0));
+  EXPECT_TRUE(view.pristine());
+  EXPECT_TRUE(view.usable(0, 1));
+
+  EXPECT_THROW(view.fail_link(0, 2), std::invalid_argument);  // no such link
+  EXPECT_THROW(view.fail_link(0, 9), std::out_of_range);
+  EXPECT_THROW(view.fail_node(9), std::out_of_range);
+}
+
+TEST(degraded_view, apply_clear_and_version) {
+  const graph g = make_ring(6);
+  degraded_view view(g);
+  const std::uint64_t v0 = view.version();
+  failure_set scenario;
+  scenario.links.push_back({0, 1});
+  scenario.links.push_back({2, 3});
+  scenario.nodes.push_back(5);
+  view.apply(scenario);
+  EXPECT_EQ(view.failed_link_count(), 2u);
+  EXPECT_EQ(view.failed_node_count(), 1u);
+  EXPECT_GT(view.version(), v0);
+  const std::uint64_t v1 = view.version();
+  view.clear();
+  EXPECT_TRUE(view.pristine());
+  EXPECT_GT(view.version(), v1);
+  view.clear();  // clearing a pristine view is a no-op
+  EXPECT_EQ(view.version(), v1 + 1);
+}
+
+TEST(degraded_bfs, matches_plain_bfs_on_pristine_view) {
+  waxman_params p;
+  p.nodes = 90;
+  const graph g = make_waxman(p, 9);
+  const degraded_view view(g);
+  for (node_id s : {node_id{0}, node_id{17}, node_id{89}}) {
+    const bfs_tree plain = bfs_from(g, s);
+    const bfs_tree masked = bfs_from(view, s);
+    EXPECT_EQ(plain.dist, masked.dist);
+    EXPECT_EQ(plain.parent, masked.parent);  // same lowest-id parent rule
+  }
+}
+
+TEST(degraded_bfs, routes_around_and_partitions) {
+  const graph g = make_path(4);  // 0-1-2-3
+  degraded_view view(g);
+  view.fail_link(1, 2);
+  const bfs_tree t = bfs_from(view, 0);
+  EXPECT_EQ(t.dist[1], 1u);
+  EXPECT_EQ(t.dist[2], unreachable);
+  EXPECT_EQ(t.dist[3], unreachable);
+
+  view.clear();
+  view.fail_node(1);
+  const auto d = bfs_distances(view, 0);
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[1], unreachable);
+  EXPECT_EQ(d[2], unreachable);
+
+  // A failed source reaches nothing — not even itself.
+  const bfs_tree dead = bfs_from(view, 1);
+  for (node_id v = 0; v < 4; ++v) EXPECT_EQ(dead.dist[v], unreachable);
+
+  // Redundancy heals: on a cycle the failed link is routed around.
+  const graph c = make_ring(5);
+  degraded_view cv(c);
+  cv.fail_link(0, 1);
+  const auto cd = bfs_distances(cv, 0);
+  EXPECT_EQ(cd[1], 4u);  // the long way round
+}
+
+TEST(degraded_dijkstra, honors_mask) {
+  const graph g = make_ring(4);  // 0-1-2-3-0
+  edge_weights w(g, 1.0);
+  degraded_view view(g);
+  view.fail_link(0, 1);
+  const weighted_tree t = dijkstra_from(view, w, 0);
+  EXPECT_DOUBLE_EQ(t.dist[1], 3.0);  // 0-3-2-1
+  EXPECT_DOUBLE_EQ(t.dist[3], 1.0);
+  view.fail_node(0);
+  const weighted_tree dead = dijkstra_from(view, w, 0);
+  EXPECT_FALSE(dead.reached(0));
+  EXPECT_FALSE(dead.reached(2));
+}
+
+}  // namespace
+}  // namespace mcast

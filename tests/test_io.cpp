@@ -44,6 +44,35 @@ TEST(io, malformed_inputs_throw) {
   EXPECT_THROW(read_edge_list_string("3\n0 x\n"), std::invalid_argument);
 }
 
+TEST(io, parse_errors_carry_line_numbers) {
+  // The bad edge sits on (1-based) line 4: comment, header, edge, bad edge.
+  try {
+    read_edge_list_string("# map\n3\n0 1\n0 x\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+  try {
+    read_edge_list_string("3\n0 1\n0 7\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("out of range"), std::string::npos) << what;
+  }
+}
+
+TEST(io, rejects_trailing_garbage) {
+  // Inline junk after the two endpoints must not be silently dropped.
+  EXPECT_THROW(read_edge_list_string("3\n0 1 junk\n"), std::invalid_argument);
+  EXPECT_THROW(read_edge_list_string("3\n0 1 2\n"), std::invalid_argument);
+  // Same for the node-count header.
+  EXPECT_THROW(read_edge_list_string("3 nodes\n0 1\n"), std::invalid_argument);
+  // Plain trailing whitespace stays fine.
+  EXPECT_EQ(read_edge_list_string("3 \n0 1 \n").edge_count(), 1u);
+}
+
 TEST(io, missing_file_throws_runtime_error) {
   EXPECT_THROW(load_edge_list("/nonexistent/path/nope.txt"), std::runtime_error);
 }

@@ -1,0 +1,217 @@
+// Delivery-tree repair: receiver classification, repair cost accounting,
+// and the "no failed element in a repaired tree" invariant.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "fault/degraded.hpp"
+#include "fault/failure_model.hpp"
+#include "graph/builder.hpp"
+#include "multicast/repair.hpp"
+#include "topo/regular.hpp"
+#include "topo/waxman.hpp"
+
+namespace mcast {
+namespace {
+
+bool contains(const std::vector<node_id>& xs, node_id v) {
+  return std::find(xs.begin(), xs.end(), v) != xs.end();
+}
+
+TEST(dynamic_tree_hooks, links_sites_and_uses_link) {
+  const graph g = make_star(5);  // center 0, spokes 1..4
+  const source_tree t(g, 0);
+  dynamic_delivery_tree d(t);
+  EXPECT_TRUE(d.links().empty());
+  EXPECT_TRUE(d.receiver_sites().empty());
+
+  d.join(3);
+  d.join(1);
+  d.join(1);
+  EXPECT_EQ(d.links(), (std::vector<edge>{{0, 1}, {0, 3}}));
+  EXPECT_EQ(d.receiver_sites(), (std::vector<node_id>{1, 3}));
+  EXPECT_TRUE(d.uses_link(0, 3));
+  EXPECT_TRUE(d.uses_link(3, 0));  // orientation-free
+  EXPECT_FALSE(d.uses_link(0, 2));
+  EXPECT_FALSE(d.uses_link(0, 4));
+
+  d.leave(3);
+  EXPECT_EQ(d.links(), (std::vector<edge>{{0, 1}}));
+  EXPECT_FALSE(d.uses_link(0, 3));
+}
+
+TEST(repair, classifies_unaffected_rerouted_partitioned) {
+  // 0-1-2-3 path plus a detour 1-4-3, and a pendant 5 off node 2:
+  //
+  //   0 - 1 - 2 - 3
+  //        \     /
+  //         4 --
+  //   2 - 5
+  graph_builder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(1, 4);
+  b.add_edge(4, 3);
+  b.add_edge(2, 5);
+  const graph g = b.build();
+
+  const source_tree t(g, 0);
+  dynamic_delivery_tree d(t);
+  d.join(1);  // one hop, nowhere near the failure
+  d.join(3);  // served via 0-1-2-3 (lowest-id parent), will reroute via 4
+  d.join(5);  // behind link 2-5, will be partitioned
+  d.join(5);  //   ...with multiplicity 2
+
+  degraded_view view(g);
+  view.fail_link(2, 3);
+  view.fail_link(2, 5);
+
+  const repaired_tree r = repair_delivery_tree(d, view);
+  EXPECT_FALSE(r.report.source_lost);
+  EXPECT_TRUE(contains(r.report.unaffected, 1));
+  EXPECT_TRUE(contains(r.report.rerouted, 3));
+  EXPECT_TRUE(contains(r.report.partitioned, 5));
+  EXPECT_EQ(r.report.receivers_lost, 2u);  // both instances at site 5
+
+  // New tree: 0-1 (for receiver 1) and 0-1-4-3 (for receiver 3).
+  EXPECT_EQ(r.delivery->links(), (std::vector<edge>{{0, 1}, {1, 4}, {3, 4}}));
+  EXPECT_EQ(r.delivery->receiver_count(), 2u);
+  // Old links 1-2, 2-3, 2-5 gone; new links 1-4, 3-4 added; 0-1 kept.
+  EXPECT_EQ(r.report.links_removed, 3u);
+  EXPECT_EQ(r.report.links_added, 2u);
+  EXPECT_EQ(r.report.churn(), 5u);
+}
+
+TEST(repair, source_partitioned_drops_everyone) {
+  const graph g = make_path(4);  // 0-1-2-3
+  const source_tree t(g, 1);
+  dynamic_delivery_tree d(t);
+  d.join(0);
+  d.join(3);
+
+  degraded_view view(g);
+  view.fail_node(1);  // the source itself dies
+
+  const repaired_tree r = repair_delivery_tree(d, view);
+  EXPECT_TRUE(r.report.source_lost);
+  EXPECT_TRUE(r.report.unaffected.empty());
+  EXPECT_TRUE(r.report.rerouted.empty());
+  EXPECT_EQ(r.report.partitioned, (std::vector<node_id>{0, 3}));
+  EXPECT_EQ(r.report.receivers_lost, 2u);
+  EXPECT_EQ(r.delivery->receiver_count(), 0u);
+  EXPECT_TRUE(r.delivery->links().empty());
+  EXPECT_EQ(r.report.links_removed, 3u);  // the whole old tree is torn down
+  EXPECT_EQ(r.report.links_added, 0u);
+}
+
+TEST(repair, can_empty_a_tree_without_killing_the_source) {
+  const graph g = make_path(3);  // 0-1-2
+  const source_tree t(g, 0);
+  dynamic_delivery_tree d(t);
+  d.join(2);
+
+  degraded_view view(g);
+  view.fail_link(0, 1);  // source alive but cut off from its one receiver
+
+  const repaired_tree r = repair_delivery_tree(d, view);
+  EXPECT_FALSE(r.report.source_lost);
+  EXPECT_EQ(r.report.partitioned, (std::vector<node_id>{2}));
+  EXPECT_EQ(r.delivery->receiver_count(), 0u);
+  EXPECT_EQ(r.delivery->link_count(), 0u);
+  EXPECT_EQ(r.report.churn(), 2u);  // links 0-1 and 1-2 removed, none added
+}
+
+TEST(repair, recovery_restores_partitioned_receiver) {
+  const graph g = make_path(3);  // 0-1-2
+  const source_tree t(g, 0);
+  dynamic_delivery_tree d(t);
+  d.join(2);
+
+  degraded_view view(g);
+  view.fail_link(1, 2);
+  const repaired_tree broken = repair_delivery_tree(d, view);
+  EXPECT_EQ(broken.delivery->receiver_count(), 0u);
+
+  // The link comes back; repairing the (now empty) tree cannot resurrect
+  // the dropped receiver — the session layer re-joins it (tested in
+  // test_session) — but repairing the ORIGINAL tree in the healed view
+  // restores the full path, with zero churn against the original.
+  view.restore_link(1, 2);
+  const repaired_tree healed = repair_delivery_tree(d, view);
+  EXPECT_TRUE(contains(healed.report.unaffected, 2));
+  EXPECT_EQ(healed.delivery->receiver_count(), 1u);
+  EXPECT_EQ(healed.delivery->links(), (std::vector<edge>{{0, 1}, {1, 2}}));
+  EXPECT_EQ(healed.report.churn(), 0u);
+}
+
+TEST(repair, preserves_receiver_multiplicity) {
+  const graph g = make_ring(5);
+  const source_tree t(g, 0);
+  dynamic_delivery_tree d(t);
+  d.join(2);
+  d.join(2);
+  d.join(2);
+  d.join(3);
+
+  degraded_view view(g);
+  view.fail_link(1, 2);  // 2 reroutes the long way: 0-4-3-2
+
+  const repaired_tree r = repair_delivery_tree(d, view);
+  EXPECT_EQ(r.delivery->receiver_count(), 4u);
+  EXPECT_EQ(r.delivery->receivers_at(2), 3u);
+  EXPECT_EQ(r.delivery->receivers_at(3), 1u);
+  EXPECT_TRUE(contains(r.report.rerouted, 2));
+}
+
+TEST(repair, never_leaves_a_failed_element_in_the_tree) {
+  // Property sweep: random topologies x random failure scenarios. The
+  // repaired tree must never traffic over a failed link or failed node,
+  // and its receiver accounting must match the classification.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    waxman_params wp;
+    wp.nodes = 80;
+    const graph g = make_waxman(wp, seed);
+
+    const source_tree t(g, 0);
+    dynamic_delivery_tree d(t);
+    std::size_t joined = 0;
+    for (node_id v = 1; v < g.node_count(); v += 3) {
+      if (t.distance(v) != unreachable) {
+        d.join(v);
+        ++joined;
+      }
+    }
+    ASSERT_GT(joined, 0u);
+
+    degraded_view view(g);
+    view.apply(random_link_failures(g, 0.15, seed * 977));
+    const failure_set hubs = targeted_hub_failures(g, 2);
+    for (node_id v : hubs.nodes) {
+      if (v != 0) view.fail_node(v);  // keep the source alive
+    }
+
+    const repaired_tree r = repair_delivery_tree(d, view);
+    for (const edge& e : r.delivery->links()) {
+      EXPECT_TRUE(view.usable(e.a, e.b))
+          << "seed " << seed << ": repaired tree uses failed element "
+          << e.a << "-" << e.b;
+    }
+    EXPECT_EQ(r.report.unaffected.size() + r.report.rerouted.size(),
+              r.delivery->distinct_receiver_sites());
+    EXPECT_EQ(r.delivery->receiver_count() + r.report.receivers_lost, joined);
+
+    // Determinism: repairing the same tree against the same view twice
+    // yields identical trees and identical reports.
+    const repaired_tree r2 = repair_delivery_tree(d, view);
+    EXPECT_EQ(r.delivery->links(), r2.delivery->links());
+    EXPECT_EQ(r.report.unaffected, r2.report.unaffected);
+    EXPECT_EQ(r.report.rerouted, r2.report.rerouted);
+    EXPECT_EQ(r.report.partitioned, r2.report.partitioned);
+    EXPECT_EQ(r.report.churn(), r2.report.churn());
+  }
+}
+
+}  // namespace
+}  // namespace mcast

@@ -130,14 +130,125 @@ TEST(session, validation) {
   w.member_join_rate = 0.0;
   EXPECT_THROW(simulate_sessions(g, w, 10.0, 0.0, 1), std::invalid_argument);
   w = small_workload();
+  w.session_arrival_rate = 0.0;
+  EXPECT_THROW(simulate_sessions(g, w, 10.0, 0.0, 1), std::invalid_argument);
+  w = small_workload();
+  w.session_lifetime_mean = -2.0;
+  EXPECT_THROW(simulate_sessions(g, w, 10.0, 0.0, 1), std::invalid_argument);
+  w = small_workload();
+  w.member_lifetime_mean = 0.0;
+  EXPECT_THROW(simulate_sessions(g, w, 10.0, 0.0, 1), std::invalid_argument);
+  w = small_workload();
   w.max_concurrent_sessions = 0;
   EXPECT_THROW(simulate_sessions(g, w, 10.0, 0.0, 1), std::invalid_argument);
+
+  // A single node has no possible receiver sites.
+  EXPECT_THROW(simulate_sessions(graph_builder(1).build(), small_workload(),
+                                 10.0, 0.0, 1),
+               std::invalid_argument);
 
   graph_builder b(4);
   b.add_edge(0, 1);
   b.add_edge(2, 3);
   EXPECT_THROW(simulate_sessions(b.build(), small_workload(), 10.0, 0.0, 1),
                std::invalid_argument);
+}
+
+// Two triangles joined by the bridge 2-3; failing the bridge partitions
+// whichever side a session's source is not on.
+graph barbell() {
+  graph_builder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  b.add_edge(3, 5);
+  b.add_edge(4, 5);
+  b.add_edge(2, 3);
+  return b.build();
+}
+
+TEST(session_faults, fault_event_validation) {
+  const graph g = barbell();
+  const session_workload w = small_workload();
+  std::vector<link_event> bad_time{{-1.0, {2, 3}, true}};
+  EXPECT_THROW(simulate_sessions(g, w, bad_time, 10.0, 0.0, 1),
+               std::invalid_argument);
+  std::vector<link_event> bad_node{{5.0, {0, 99}, true}};
+  EXPECT_THROW(simulate_sessions(g, w, bad_node, 10.0, 0.0, 1),
+               std::out_of_range);
+  std::vector<link_event> no_such_link{{5.0, {0, 3}, true}};
+  EXPECT_THROW(simulate_sessions(g, w, no_such_link, 10.0, 0.0, 1),
+               std::invalid_argument);
+}
+
+TEST(session_faults, ineffective_trace_matches_pristine_run) {
+  // The trace consumes no randomness, so a trace with no effective
+  // transition (recoveries for links that never failed, events past the
+  // horizon) must reproduce the pristine run bit for bit.
+  const graph g = barbell();
+  const session_workload w = small_workload();
+  const auto pristine = simulate_sessions(g, w, 120.0, 20.0, 17);
+  std::vector<link_event> noop{{5.0, {2, 3}, false},   // recovery of an up link
+                               {900.0, {2, 3}, true}};  // beyond the horizon
+  const auto traced = simulate_sessions(g, w, noop, 120.0, 20.0, 17);
+  EXPECT_DOUBLE_EQ(traced.time_avg_links, pristine.time_avg_links);
+  EXPECT_EQ(traced.joins, pristine.joins);
+  EXPECT_EQ(traced.leaves, pristine.leaves);
+  EXPECT_EQ(traced.sessions_started, pristine.sessions_started);
+  EXPECT_EQ(traced.link_failures, 0u);
+  EXPECT_EQ(traced.link_recoveries, 0u);
+  EXPECT_EQ(traced.repairs, 0u);
+  EXPECT_EQ(traced.receivers_disconnected, 0u);
+  EXPECT_DOUBLE_EQ(traced.time_avg_reachable_fraction, 1.0);
+}
+
+TEST(session_faults, bridge_failure_degrades_then_recovery_restores) {
+  const graph g = barbell();
+  session_workload w;
+  w.session_arrival_rate = 0.5;
+  w.session_lifetime_mean = 40.0;
+  w.member_join_rate = 2.0;
+  w.member_lifetime_mean = 15.0;
+  w.max_concurrent_sessions = 64;
+
+  // Run A: the bridge fails mid-window and never comes back.
+  std::vector<link_event> fail_only{{60.0, {2, 3}, true}};
+  const auto a = simulate_sessions(g, w, fail_only, 160.0, 20.0, 23);
+  EXPECT_EQ(a.link_failures, 1u);
+  EXPECT_EQ(a.link_recoveries, 0u);
+  EXPECT_GT(a.repairs, 0u);
+  EXPECT_GT(a.repair_links_churned, 0u);
+  EXPECT_GT(a.receivers_disconnected, 0u);
+  EXPECT_LT(a.time_avg_reachable_fraction, 1.0);
+  EXPECT_GT(a.time_avg_reachable_fraction, 0.0);
+
+  // Run B: same seed, same failure, but the bridge recovers. The workload
+  // trajectory is identical (the trace draws no randomness), so the only
+  // difference is the repair that re-attaches partitioned receivers.
+  std::vector<link_event> fail_recover{{60.0, {2, 3}, true},
+                                       {100.0, {2, 3}, false}};
+  const auto b = simulate_sessions(g, w, fail_recover, 160.0, 20.0, 23);
+  EXPECT_EQ(b.link_failures, 1u);
+  EXPECT_EQ(b.link_recoveries, 1u);
+  EXPECT_GT(b.receivers_reconnected, 0u);
+  EXPECT_GT(b.time_avg_reachable_fraction, a.time_avg_reachable_fraction);
+}
+
+TEST(session_faults, deterministic_under_failures) {
+  const graph g = barbell();
+  const session_workload w = small_workload();
+  std::vector<link_event> trace{{30.0, {2, 3}, true},
+                                {70.0, {2, 3}, false},
+                                {90.0, {0, 1}, true}};
+  const auto a = simulate_sessions(g, w, trace, 150.0, 25.0, 31);
+  const auto b = simulate_sessions(g, w, trace, 150.0, 25.0, 31);
+  EXPECT_DOUBLE_EQ(a.time_avg_links, b.time_avg_links);
+  EXPECT_DOUBLE_EQ(a.time_avg_reachable_fraction, b.time_avg_reachable_fraction);
+  EXPECT_EQ(a.repairs, b.repairs);
+  EXPECT_EQ(a.repair_links_churned, b.repair_links_churned);
+  EXPECT_EQ(a.receivers_disconnected, b.receivers_disconnected);
+  EXPECT_EQ(a.receivers_reconnected, b.receivers_reconnected);
 }
 
 }  // namespace
