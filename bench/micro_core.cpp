@@ -1,19 +1,47 @@
 // Micro-benchmarks (google-benchmark) for the primitives every figure's
 // Monte-Carlo loop is built from: BFS, delivery-tree growth, receiver
 // sampling, k-ary index arithmetic, RNG throughput, exact-formula
-// evaluation and the affinity chain move.
+// evaluation and the affinity chain move — plus the before/after pair for
+// the workspace + spt_cache hot path (bm_mc_repeated_source_*), whose
+// items/sec ratio is the headline speedup in docs/performance.md.
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <optional>
 
 #include "analysis/kary_exact.hpp"
 #include "analysis/reachability.hpp"
 #include "graph/bfs.hpp"
+#include "graph/workspace.hpp"
 #include "multicast/affinity.hpp"
 #include "multicast/delivery_tree.hpp"
 #include "multicast/receivers.hpp"
+#include "multicast/spt_cache.hpp"
 #include "sim/rng.hpp"
 #include "topo/catalog.hpp"
 #include "topo/kary.hpp"
 #include "topo/transit_stub.hpp"
+
+// Global allocation counter so benchmarks can report allocations per
+// sample. Replacing operator new is only safe binary-wide, so this lives
+// in the bench executable and nowhere near the libraries.
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -99,6 +127,106 @@ void bm_reachability_profile(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_reachability_profile);
+
+// Before/after pair for the PR's hot-path work. Both run the same
+// repeated-source Monte-Carlo inner loop on ts1000 (sources drawn with
+// replacement from a small pool, m receivers with replacement per sample,
+// delivery-tree size + unicast total per sample — exactly the core/runner
+// sample). "seed" allocates everything per sample the way the pre-workspace
+// code did; "cached" uses the traversal workspace, the spt_cache and the
+// reusable builder/sample buffers. items/sec == samples/sec.
+
+constexpr std::size_t kMcSourcePool = 16;
+constexpr std::size_t kMcGroupSize = 32;
+
+std::vector<node_id> mc_source_pool(const graph& g) {
+  rng gen(42);
+  std::vector<node_id> pool(kMcSourcePool);
+  for (node_id& s : pool) s = static_cast<node_id>(gen.below(g.node_count()));
+  return pool;
+}
+
+void bm_mc_repeated_source_seed(benchmark::State& state) {
+  const graph& g = ts1000_graph();
+  const std::vector<node_id> pool = mc_source_pool(g);
+  rng gen(8);
+  const std::uint64_t allocs_before =
+      g_heap_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    const node_id source = pool[gen.below(pool.size())];
+    const source_tree tree(g, source);
+    const auto universe = all_sites_except(g, source);
+    delivery_tree_builder builder(tree);
+    std::uint64_t path_total = 0;
+    for (node_id v : sample_with_replacement(universe, kMcGroupSize, gen)) {
+      builder.add_receiver(v);
+      path_total += tree.distance(v);
+    }
+    benchmark::DoNotOptimize(builder.link_count());
+    benchmark::DoNotOptimize(path_total);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["allocs_per_sample"] = benchmark::Counter(
+      static_cast<double>(g_heap_allocs.load(std::memory_order_relaxed) -
+                          allocs_before) /
+      static_cast<double>(state.iterations()));
+}
+BENCHMARK(bm_mc_repeated_source_seed);
+
+void bm_mc_repeated_source_cached(benchmark::State& state) {
+  const graph& g = ts1000_graph();
+  const std::vector<node_id> pool = mc_source_pool(g);
+  rng gen(8);
+  traversal_workspace ws;
+  spt_cache cache(64);
+  std::vector<node_id> universe;
+  std::vector<node_id> sample;
+  std::optional<delivery_tree_builder> builder;
+  const std::uint64_t allocs_before =
+      g_heap_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    const node_id source = pool[gen.below(pool.size())];
+    const auto spt = cache.get(g, source, ws);
+    universe.clear();
+    for (node_id v = 0; v < g.node_count(); ++v) {
+      if (v != source) universe.push_back(v);
+    }
+    if (builder) {
+      builder->rebind(*spt);
+    } else {
+      builder.emplace(*spt);
+    }
+    sample_with_replacement_into(universe, kMcGroupSize, gen, sample);
+    std::uint64_t path_total = 0;
+    for (node_id v : sample) {
+      builder->add_receiver(v);
+      path_total += spt->distance(v);
+    }
+    benchmark::DoNotOptimize(builder->link_count());
+    benchmark::DoNotOptimize(path_total);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["allocs_per_sample"] = benchmark::Counter(
+      static_cast<double>(g_heap_allocs.load(std::memory_order_relaxed) -
+                          allocs_before) /
+      static_cast<double>(state.iterations()));
+}
+BENCHMARK(bm_mc_repeated_source_cached);
+
+// The workspace alone (no memoization): same BFS every iteration, scratch
+// reused across passes. Isolates the epoch-reset win from the cache win.
+void bm_bfs_ts1000_workspace(benchmark::State& state) {
+  const graph& g = ts1000_graph();
+  rng gen(1);
+  traversal_workspace ws;
+  std::vector<hop_count> dist;
+  for (auto _ : state) {
+    const auto& d = bfs_distances(
+        g, static_cast<node_id>(gen.below(g.node_count())), ws, dist);
+    benchmark::DoNotOptimize(d.data());
+  }
+}
+BENCHMARK(bm_bfs_ts1000_workspace);
 
 void bm_affinity_chain(benchmark::State& state) {
   const kary_shape shape(2, 10);

@@ -2,15 +2,18 @@
 
 #include <algorithm>
 #include <atomic>
+#include <optional>
 #include <thread>
 
 #include "analysis/series.hpp"
 #include "analysis/stats.hpp"
 #include "common/contract.hpp"
 #include "graph/components.hpp"
+#include "graph/workspace.hpp"
 #include "multicast/delivery_tree.hpp"
 #include "multicast/receivers.hpp"
 #include "multicast/spt.hpp"
+#include "multicast/spt_cache.hpp"
 #include "multicast/unicast.hpp"
 #include "sim/rng.hpp"
 
@@ -42,56 +45,98 @@ rng task_stream(std::uint64_t seed, std::size_t s, std::uint64_t salt) {
   return rng(splitmix64(state));
 }
 
-// The work of one source: draw the source, build its SPT, run all
-// (group size x receiver set) samples into `out` (size = group count).
+// Reusable hot-path state owned by one worker thread. Everything in here
+// is an optimization only — SPTs, universes and samples come out identical
+// to freshly allocated ones, so sharing a context across that worker's
+// source tasks cannot perturb any result.
+struct worker_context {
+  traversal_workspace ws;
+  spt_cache cache{64};
+  std::vector<node_id> universe;
+  std::vector<node_id> sample;
+  std::optional<delivery_tree_builder> builder;
+};
+
+// The work of one source: draw the source, build (or fetch) its SPT, run
+// all (group size x receiver set) samples into `out` (size = group count).
 // When `view` is non-null the SPT and the candidate universe honor its
 // failure mask, and group sizes the source cannot satisfy are skipped.
+// The context supplies the reusable SPT cache, traversal workspace and
+// sample buffers of the calling worker thread.
 void run_one_source(const graph& g, const degraded_view* view,
                     const std::vector<std::uint64_t>& group_sizes,
                     const monte_carlo_params& params, receiver_model model,
                     std::size_t s, const std::vector<node_id>& source_pool,
-                    std::vector<cell_stats>& out) {
+                    worker_context& ctx, std::vector<cell_stats>& out) {
   rng gen = task_stream(params.seed, s, /*salt=*/0);
   const node_id source = source_pool[gen.below(source_pool.size())];
   rng parent_gen = task_stream(params.seed, s, /*salt=*/0x7469656272656b00ULL);
-  const source_tree spt = [&]() -> source_tree {
-    if (view != nullptr) return {g, bfs_from(*view, source)};
-    if (params.randomize_spt_parents) {
-      return {g, bfs_from_random_parents(g, source, [&parent_gen](std::uint32_t k) {
-                return parent_gen.below(k);
-              })};
+
+  // The SPT either lives in the worker's cache (shared_ptr keeps it alive
+  // for this task even if evicted) or in task-local storage.
+  std::shared_ptr<const source_tree> from_cache;
+  std::optional<source_tree> local;
+  if (params.randomize_spt_parents && view == nullptr) {
+    // Randomized tie-breaking consumes parent_gen, so every task's tree is
+    // unique — nothing to memoize.
+    local.emplace(g, bfs_from_random_parents(
+                         g, source,
+                         [&parent_gen](std::uint32_t k) {
+                           return parent_gen.below(k);
+                         }));
+  } else if (view != nullptr) {
+    if (params.use_spt_cache) {
+      from_cache = ctx.cache.get(*view, source, ctx.ws);
+    } else {
+      bfs_tree t;
+      local.emplace(g, std::move(bfs_from(*view, source, ctx.ws, t)));
     }
-    return {g, source};
-  }();
-  std::vector<node_id> universe;
+  } else if (params.use_spt_cache) {
+    from_cache = ctx.cache.get(g, source, ctx.ws);
+  } else {
+    local.emplace(g, source, ctx.ws);
+  }
+  const source_tree& spt = from_cache ? *from_cache : *local;
+
+  ctx.universe.clear();
   if (view == nullptr) {
-    universe = all_sites_except(g, source);
+    for (node_id v = 0; v < g.node_count(); ++v) {
+      if (v != source) ctx.universe.push_back(v);
+    }
   } else {
     for (node_id v = 0; v < g.node_count(); ++v) {
-      if (v != source && spt.distance(v) != unreachable) universe.push_back(v);
+      if (v != source && spt.distance(v) != unreachable) {
+        ctx.universe.push_back(v);
+      }
     }
   }
-  delivery_tree_builder builder(spt);
+  if (ctx.builder) {
+    ctx.builder->rebind(spt);
+  } else {
+    ctx.builder.emplace(spt);
+  }
+  delivery_tree_builder& builder = *ctx.builder;
 
   for (std::size_t gi = 0; gi < group_sizes.size(); ++gi) {
     const std::uint64_t size = group_sizes[gi];
-    if (model == receiver_model::distinct && size > universe.size()) {
+    if (model == receiver_model::distinct && size > ctx.universe.size()) {
       continue;  // this source cannot field m distinct receivers
     }
     for (std::size_t rep = 0; rep < params.receiver_sets; ++rep) {
-      const std::vector<node_id> receivers =
-          model == receiver_model::distinct
-              ? sample_distinct(universe, size, gen)
-              : sample_with_replacement(universe, size, gen);
+      if (model == receiver_model::distinct) {
+        sample_distinct_into(ctx.universe, size, gen, ctx.sample);
+      } else {
+        sample_with_replacement_into(ctx.universe, size, gen, ctx.sample);
+      }
       builder.reset();
       std::uint64_t path_total = 0;
-      for (node_id v : receivers) {
+      for (node_id v : ctx.sample) {
         builder.add_receiver(v);
         path_total += spt.distance(v);
       }
       const double links = static_cast<double>(builder.link_count());
       const double ubar = static_cast<double>(path_total) /
-                          static_cast<double>(receivers.size());
+                          static_cast<double>(ctx.sample.size());
       out[gi].tree.add(links);
       out[gi].unicast.add(ubar);
       out[gi].distinct.add(static_cast<double>(builder.distinct_receiver_count()));
@@ -145,17 +190,22 @@ std::vector<scaling_point> measure(const graph& g, const degraded_view* view,
       params.sources, std::vector<cell_stats>(group_sizes.size()));
 
   if (threads <= 1) {
+    worker_context ctx;
     for (std::size_t s = 0; s < params.sources; ++s) {
-      run_one_source(g, view, group_sizes, params, model, s, source_pool,
+      run_one_source(g, view, group_sizes, params, model, s, source_pool, ctx,
                      per_source[s]);
     }
   } else {
     std::atomic<std::size_t> next{0};
     auto worker = [&] {
+      // Each worker owns its cache/workspace: no sharing, no locks, and —
+      // because cache state can never alter a tree — no dependence of the
+      // results on which worker ran which source.
+      worker_context ctx;
       for (std::size_t s = next.fetch_add(1); s < params.sources;
            s = next.fetch_add(1)) {
         run_one_source(g, view, group_sizes, params, model, s, source_pool,
-                       per_source[s]);
+                       ctx, per_source[s]);
       }
     };
     std::vector<std::thread> pool;

@@ -1,12 +1,49 @@
 #include "fault/degraded.hpp"
 
 #include <algorithm>
-#include <queue>
-#include <utility>
 
 #include "common/contract.hpp"
+#include "graph/workspace.hpp"
 
 namespace mcast {
+
+// Drives the shared traversal cores in graph/workspace.hpp with this
+// view's failure mask (friend of traversal_workspace).
+class degraded_traversals {
+ public:
+  static void bfs(traversal_workspace& ws, const degraded_view& view,
+                  node_id source) {
+    const graph& g = view.base();
+    expects_in_range(source < g.node_count(), "bfs_from: source out of range");
+    ws.bfs_pass(g, source, view.node_alive(source),
+                [&view](std::size_t slot, node_id w) {
+                  return !view.link_failed_slot(slot) && view.node_alive(w);
+                });
+  }
+
+  static void dijkstra(traversal_workspace& ws, const degraded_view& view,
+                       const edge_weights& weights, node_id source) {
+    const graph& g = view.base();
+    expects_in_range(source < g.node_count(),
+                     "dijkstra_from: source out of range");
+    expects(&weights.topology() == &g,
+            "dijkstra_from: weights belong to a different graph");
+    ws.dijkstra_pass(g, weights, source, view.node_alive(source),
+                     [&view](std::size_t slot, node_id w) {
+                       return !view.link_failed_slot(slot) &&
+                              view.node_alive(w);
+                     });
+  }
+
+  static void export_bfs(const traversal_workspace& ws, node_id source,
+                         bfs_tree& out) {
+    ws.export_bfs(source, out);
+  }
+  static void export_dijkstra(const traversal_workspace& ws, node_id source,
+                              weighted_tree& out) {
+    ws.export_dijkstra(source, out);
+  }
+};
 
 degraded_view::degraded_view(const graph& g)
     : g_(&g),
@@ -91,33 +128,9 @@ bool degraded_view::usable(node_id a, node_id b) const {
 }
 
 bfs_tree bfs_from(const degraded_view& view, node_id source) {
-  const graph& g = view.base();
-  expects_in_range(source < g.node_count(), "bfs_from: source out of range");
+  traversal_workspace ws;
   bfs_tree t;
-  t.source = source;
-  t.dist.assign(g.node_count(), unreachable);
-  t.parent.assign(g.node_count(), invalid_node);
-  if (!view.node_alive(source)) return t;  // dead routers forward nothing
-
-  std::vector<node_id> queue;
-  queue.reserve(g.node_count());
-  queue.push_back(source);
-  t.dist[source] = 0;
-  for (std::size_t head = 0; head < queue.size(); ++head) {
-    const node_id v = queue[head];
-    const hop_count dv = t.dist[v];
-    const auto adj = g.neighbors(v);
-    const std::size_t base = g.adjacency_base(v);
-    for (std::size_t i = 0; i < adj.size(); ++i) {
-      const node_id w = adj[i];
-      if (view.link_failed_slot(base + i) || !view.node_alive(w)) continue;
-      if (t.dist[w] == unreachable) {
-        t.dist[w] = dv + 1;
-        t.parent[w] = v;  // sorted neighbors => lowest-id parent rule
-        queue.push_back(w);
-      }
-    }
-  }
+  bfs_from(view, source, ws, t);
   return t;
 }
 
@@ -127,42 +140,25 @@ std::vector<hop_count> bfs_distances(const degraded_view& view, node_id source) 
 
 weighted_tree dijkstra_from(const degraded_view& view,
                             const edge_weights& weights, node_id source) {
-  const graph& g = view.base();
-  expects_in_range(source < g.node_count(), "dijkstra_from: source out of range");
-  expects(&weights.topology() == &g,
-          "dijkstra_from: weights belong to a different graph");
-
+  traversal_workspace ws;
   weighted_tree t;
-  t.source = source;
-  t.dist.assign(g.node_count(), std::numeric_limits<double>::infinity());
-  t.parent.assign(g.node_count(), invalid_node);
-  if (!view.node_alive(source)) return t;
-
-  using entry = std::pair<double, node_id>;  // (distance, node)
-  std::priority_queue<entry, std::vector<entry>, std::greater<>> frontier;
-  t.dist[source] = 0.0;
-  frontier.push({0.0, source});
-  std::vector<char> settled(g.node_count(), 0);
-
-  while (!frontier.empty()) {
-    const auto [d, v] = frontier.top();
-    frontier.pop();
-    if (settled[v]) continue;
-    settled[v] = 1;
-    const auto adj = g.neighbors(v);
-    const std::size_t base = g.adjacency_base(v);
-    for (std::size_t i = 0; i < adj.size(); ++i) {
-      const node_id w = adj[i];
-      if (view.link_failed_slot(base + i) || !view.node_alive(w)) continue;
-      const double candidate = d + weights.at_slot(base + i);
-      if (candidate < t.dist[w]) {
-        t.dist[w] = candidate;
-        t.parent[w] = v;
-        frontier.push({candidate, w});
-      }
-    }
-  }
+  dijkstra_from(view, weights, source, ws, t);
   return t;
+}
+
+bfs_tree& bfs_from(const degraded_view& view, node_id source,
+                   traversal_workspace& ws, bfs_tree& out) {
+  degraded_traversals::bfs(ws, view, source);
+  degraded_traversals::export_bfs(ws, source, out);
+  return out;
+}
+
+weighted_tree& dijkstra_from(const degraded_view& view,
+                             const edge_weights& weights, node_id source,
+                             traversal_workspace& ws, weighted_tree& out) {
+  degraded_traversals::dijkstra(ws, view, weights, source);
+  degraded_traversals::export_dijkstra(ws, source, out);
+  return out;
 }
 
 }  // namespace mcast

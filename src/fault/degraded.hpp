@@ -100,4 +100,13 @@ std::vector<hop_count> bfs_distances(const degraded_view& view, node_id source);
 weighted_tree dijkstra_from(const degraded_view& view,
                             const edge_weights& weights, node_id source);
 
+/// Workspace-accepting overloads (graph/workspace.hpp): bit-identical
+/// output to the one-shot functions above, but reusing the workspace
+/// scratch and `out`'s capacity. Each returns `out`.
+bfs_tree& bfs_from(const degraded_view& view, node_id source,
+                   traversal_workspace& ws, bfs_tree& out);
+weighted_tree& dijkstra_from(const degraded_view& view,
+                             const edge_weights& weights, node_id source,
+                             traversal_workspace& ws, weighted_tree& out);
+
 }  // namespace mcast

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/contract.hpp"
+#include "graph/workspace.hpp"
 
 namespace mcast {
 
@@ -22,49 +22,19 @@ std::size_t bfs_tree::reached_count() const {
   return n;
 }
 
+// One-shot entry points: thin wrappers over a throwaway workspace. Hot
+// loops should hold a traversal_workspace and call the overloads below.
 bfs_tree bfs_from(const graph& g, node_id source) {
-  expects_in_range(source < g.node_count(), "bfs_from: source out of range");
+  traversal_workspace ws;
   bfs_tree t;
-  t.source = source;
-  t.dist.assign(g.node_count(), unreachable);
-  t.parent.assign(g.node_count(), invalid_node);
-
-  std::vector<node_id> queue;
-  queue.reserve(g.node_count());
-  queue.push_back(source);
-  t.dist[source] = 0;
-  for (std::size_t head = 0; head < queue.size(); ++head) {
-    const node_id v = queue[head];
-    const hop_count dv = t.dist[v];
-    for (node_id w : g.neighbors(v)) {
-      if (t.dist[w] == unreachable) {
-        t.dist[w] = dv + 1;
-        t.parent[w] = v;  // neighbors are sorted => lowest-id parent rule
-        queue.push_back(w);
-      }
-    }
-  }
+  bfs_from(g, source, ws, t);
   return t;
 }
 
 std::vector<hop_count> bfs_distances(const graph& g, node_id source) {
-  expects_in_range(source < g.node_count(),
-                   "bfs_distances: source out of range");
-  std::vector<hop_count> dist(g.node_count(), unreachable);
-  std::vector<node_id> queue;
-  queue.reserve(g.node_count());
-  queue.push_back(source);
-  dist[source] = 0;
-  for (std::size_t head = 0; head < queue.size(); ++head) {
-    const node_id v = queue[head];
-    const hop_count dv = dist[v];
-    for (node_id w : g.neighbors(v)) {
-      if (dist[w] == unreachable) {
-        dist[w] = dv + 1;
-        queue.push_back(w);
-      }
-    }
-  }
+  traversal_workspace ws;
+  std::vector<hop_count> dist;
+  bfs_distances(g, source, ws, dist);
   return dist;
 }
 

@@ -15,6 +15,8 @@
 
 namespace mcast {
 
+class traversal_workspace;  // graph/workspace.hpp
+
 /// Hop distance type; `unreachable` marks nodes in other components.
 using hop_count = std::uint32_t;
 inline constexpr hop_count unreachable = std::numeric_limits<hop_count>::max();
@@ -41,6 +43,17 @@ bfs_tree bfs_from(const graph& g, node_id source);
 
 /// Distances only (skips parent bookkeeping; same semantics as bfs_from).
 std::vector<hop_count> bfs_distances(const graph& g, node_id source);
+
+/// Workspace-accepting overload: bit-identical output to
+/// bfs_from(g, source), but reuses the workspace scratch and `out`'s
+/// capacity — no allocation once both are warm. Returns `out`.
+bfs_tree& bfs_from(const graph& g, node_id source, traversal_workspace& ws,
+                   bfs_tree& out);
+
+/// Distance field into a reused vector (same semantics as bfs_distances).
+std::vector<hop_count>& bfs_distances(const graph& g, node_id source,
+                                      traversal_workspace& ws,
+                                      std::vector<hop_count>& out);
 
 /// Randomized-parent BFS: among the equal-distance predecessors of each
 /// node, one is chosen uniformly using the caller-supplied stream of random

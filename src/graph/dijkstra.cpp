@@ -1,46 +1,16 @@
 #include "graph/dijkstra.hpp"
 
-#include <queue>
-#include <utility>
-
-#include "common/contract.hpp"
+#include "graph/workspace.hpp"
 
 namespace mcast {
 
+// One-shot entry point: thin wrapper over a throwaway workspace. Hot loops
+// should hold a traversal_workspace and call the overload in workspace.cpp.
 weighted_tree dijkstra_from(const graph& g, const edge_weights& weights,
                             node_id source) {
-  expects_in_range(source < g.node_count(), "dijkstra_from: source out of range");
-  expects(&weights.topology() == &g,
-          "dijkstra_from: weights belong to a different graph");
-
+  traversal_workspace ws;
   weighted_tree t;
-  t.source = source;
-  t.dist.assign(g.node_count(), std::numeric_limits<double>::infinity());
-  t.parent.assign(g.node_count(), invalid_node);
-
-  using entry = std::pair<double, node_id>;  // (distance, node)
-  std::priority_queue<entry, std::vector<entry>, std::greater<>> frontier;
-  t.dist[source] = 0.0;
-  frontier.push({0.0, source});
-  std::vector<char> settled(g.node_count(), 0);
-
-  while (!frontier.empty()) {
-    const auto [d, v] = frontier.top();
-    frontier.pop();
-    if (settled[v]) continue;
-    settled[v] = 1;
-    const auto adj = g.neighbors(v);
-    const std::size_t base = g.adjacency_base(v);
-    for (std::size_t i = 0; i < adj.size(); ++i) {
-      const node_id w = adj[i];
-      const double candidate = d + weights.at_slot(base + i);
-      if (candidate < t.dist[w]) {
-        t.dist[w] = candidate;
-        t.parent[w] = v;
-        frontier.push({candidate, w});
-      }
-    }
-  }
+  dijkstra_from(g, weights, source, ws, t);
   return t;
 }
 

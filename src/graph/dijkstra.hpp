@@ -10,6 +10,8 @@
 
 namespace mcast {
 
+class traversal_workspace;  // graph/workspace.hpp
+
 /// Result of a single-source Dijkstra run.
 struct weighted_tree {
   node_id source = invalid_node;
@@ -30,5 +32,13 @@ struct weighted_tree {
 /// the weight table was built for a different graph.
 weighted_tree dijkstra_from(const graph& g, const edge_weights& weights,
                             node_id source);
+
+/// Workspace-accepting overload: bit-identical output to
+/// dijkstra_from(g, weights, source) — including equal-distance heap tie
+/// behavior — but reuses the workspace scratch and `out`'s capacity.
+/// Returns `out`.
+weighted_tree& dijkstra_from(const graph& g, const edge_weights& weights,
+                             node_id source, traversal_workspace& ws,
+                             weighted_tree& out);
 
 }  // namespace mcast

@@ -1,0 +1,174 @@
+#include "graph/workspace.hpp"
+
+#include <limits>
+
+#include "common/contract.hpp"
+
+namespace mcast {
+
+// --- traversal_result -------------------------------------------------
+
+hop_count traversal_result::dist(node_id v) const {
+  MCAST_ASSERT(ws_->epoch_ == epoch_);  // view outlived its pass
+  expects(ws_->kind_ == traversal_kind::bfs,
+          "traversal_result::dist: last pass was not a BFS");
+  expects_in_range(v < ws_->nodes_, "traversal_result::dist: node out of range");
+  return ws_->touched(v) ? ws_->hop_dist_[v] : unreachable;
+}
+
+double traversal_result::weighted_dist(node_id v) const {
+  MCAST_ASSERT(ws_->epoch_ == epoch_);
+  expects(ws_->kind_ == traversal_kind::dijkstra,
+          "traversal_result::weighted_dist: last pass was not a Dijkstra");
+  expects_in_range(v < ws_->nodes_,
+                   "traversal_result::weighted_dist: node out of range");
+  return ws_->touched(v) ? ws_->weight_dist_[v]
+                         : std::numeric_limits<double>::infinity();
+}
+
+node_id traversal_result::parent(node_id v) const {
+  MCAST_ASSERT(ws_->epoch_ == epoch_);
+  expects_in_range(v < ws_->nodes_,
+                   "traversal_result::parent: node out of range");
+  return ws_->touched(v) ? ws_->parent_[v] : invalid_node;
+}
+
+bool traversal_result::reached(node_id v) const {
+  MCAST_ASSERT(ws_->epoch_ == epoch_);
+  expects_in_range(v < ws_->nodes_,
+                   "traversal_result::reached: node out of range");
+  return ws_->touched(v);
+}
+
+std::span<const node_id> traversal_result::visit_order() const {
+  MCAST_ASSERT(ws_->epoch_ == epoch_);
+  return {ws_->order_.data(), ws_->order_.size()};
+}
+
+std::size_t traversal_result::reached_count() const {
+  MCAST_ASSERT(ws_->epoch_ == epoch_);
+  return ws_->order_.size();
+}
+
+// --- traversal_workspace ----------------------------------------------
+
+void traversal_workspace::begin_pass(std::size_t nodes, traversal_kind kind) {
+  bool grew = false;
+  if (mark_.size() < nodes) {
+    mark_.resize(nodes, 0);
+    settled_.resize(nodes, 0);
+    parent_.resize(nodes);
+    grew = true;
+  }
+  if (kind == traversal_kind::bfs && hop_dist_.size() < nodes) {
+    hop_dist_.resize(nodes);
+    grew = true;
+  }
+  if (kind == traversal_kind::dijkstra && weight_dist_.size() < nodes) {
+    weight_dist_.resize(nodes);
+    grew = true;
+  }
+  if (order_.capacity() < nodes) {
+    order_.reserve(nodes);
+    grew = true;
+  }
+  if (grew) ++grows_;
+  order_.clear();
+  nodes_ = nodes;
+  kind_ = kind;
+  ++epoch_;  // O(1) reset: all previous marks become stale
+  ++passes_;
+}
+
+traversal_result traversal_workspace::run_bfs(const graph& g, node_id source) {
+  expects_in_range(source < g.node_count(),
+                   "traversal_workspace::run_bfs: source out of range");
+  bfs_pass(g, source, /*source_alive=*/true,
+           [](std::size_t, node_id) { return true; });
+  return traversal_result(*this, source, epoch_);
+}
+
+traversal_result traversal_workspace::run_dijkstra(const graph& g,
+                                                   const edge_weights& weights,
+                                                   node_id source) {
+  expects_in_range(source < g.node_count(),
+                   "traversal_workspace::run_dijkstra: source out of range");
+  expects(&weights.topology() == &g,
+          "traversal_workspace::run_dijkstra: weights belong to a different graph");
+  dijkstra_pass(g, weights, source, /*source_alive=*/true,
+                [](std::size_t, node_id) { return true; });
+  return traversal_result(*this, source, epoch_);
+}
+
+void traversal_workspace::export_bfs(node_id source, bfs_tree& out) const {
+  MCAST_ASSERT(kind_ == traversal_kind::bfs);
+  out.source = source;
+  out.dist.resize(nodes_);
+  out.parent.resize(nodes_);
+  for (std::size_t v = 0; v < nodes_; ++v) {
+    if (mark_[v] == epoch_) {
+      out.dist[v] = hop_dist_[v];
+      out.parent[v] = parent_[v];
+    } else {
+      out.dist[v] = unreachable;
+      out.parent[v] = invalid_node;
+    }
+  }
+}
+
+void traversal_workspace::export_dijkstra(node_id source,
+                                          weighted_tree& out) const {
+  MCAST_ASSERT(kind_ == traversal_kind::dijkstra);
+  out.source = source;
+  out.dist.resize(nodes_);
+  out.parent.resize(nodes_);
+  for (std::size_t v = 0; v < nodes_; ++v) {
+    if (mark_[v] == epoch_) {
+      out.dist[v] = weight_dist_[v];
+      out.parent[v] = parent_[v];
+    } else {
+      out.dist[v] = std::numeric_limits<double>::infinity();
+      out.parent[v] = invalid_node;
+    }
+  }
+}
+
+// --- materializing free-function overloads ----------------------------
+
+bfs_tree& bfs_from(const graph& g, node_id source, traversal_workspace& ws,
+                   bfs_tree& out) {
+  expects_in_range(source < g.node_count(), "bfs_from: source out of range");
+  ws.bfs_pass(g, source, /*source_alive=*/true,
+              [](std::size_t, node_id) { return true; });
+  ws.export_bfs(source, out);
+  return out;
+}
+
+std::vector<hop_count>& bfs_distances(const graph& g, node_id source,
+                                      traversal_workspace& ws,
+                                      std::vector<hop_count>& out) {
+  expects_in_range(source < g.node_count(),
+                   "bfs_distances: source out of range");
+  ws.bfs_pass(g, source, /*source_alive=*/true,
+              [](std::size_t, node_id) { return true; });
+  out.resize(ws.nodes_);
+  for (std::size_t v = 0; v < ws.nodes_; ++v) {
+    out[v] = ws.mark_[v] == ws.epoch_ ? ws.hop_dist_[v] : unreachable;
+  }
+  return out;
+}
+
+weighted_tree& dijkstra_from(const graph& g, const edge_weights& weights,
+                             node_id source, traversal_workspace& ws,
+                             weighted_tree& out) {
+  expects_in_range(source < g.node_count(),
+                   "dijkstra_from: source out of range");
+  expects(&weights.topology() == &g,
+          "dijkstra_from: weights belong to a different graph");
+  ws.dijkstra_pass(g, weights, source, /*source_alive=*/true,
+                   [](std::size_t, node_id) { return true; });
+  ws.export_dijkstra(source, out);
+  return out;
+}
+
+}  // namespace mcast

@@ -1,0 +1,233 @@
+// Reusable traversal scratch — the hot-path allocation killer.
+//
+// Every figure bench and Monte-Carlo study calls BFS/Dijkstra thousands of
+// times per topology. The one-shot entry points (bfs_from, dijkstra_from)
+// allocate and fill fresh O(V) distance/parent arrays on every call; for a
+// sweep that resamples sources this dominates the runtime. A
+// `traversal_workspace` owns those arrays once and reuses them across
+// calls, with *epoch tagging*: instead of refilling dist/parent with
+// sentinels before each traversal, every node carries the epoch of the
+// last pass that touched it, and a new pass just bumps the epoch counter —
+// per-call reset is O(1), and total work is O(nodes actually visited).
+//
+// Two ways to consume a pass:
+//
+//  * `traversal_result` — a zero-copy view into the workspace, valid until
+//    the next pass. Reads are epoch-checked, so untouched nodes report
+//    unreachable/invalid exactly like the one-shot APIs.
+//  * the materializing overloads in bfs.hpp / dijkstra.hpp /
+//    fault/degraded.hpp, which export the pass into a caller-owned
+//    bfs_tree / weighted_tree whose capacity is reused across calls (no
+//    allocation after the first).
+//
+// A workspace is NOT thread-safe and holds no pass-to-pass semantic state:
+// results are bit-identical to the one-shot APIs (locked down by
+// tests/test_workspace_diff.cpp), so one workspace per worker thread
+// preserves every determinism guarantee. See docs/performance.md.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/bfs.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/graph.hpp"
+
+namespace mcast {
+
+class traversal_workspace;
+class degraded_traversals;
+
+/// What kind of pass last ran on a workspace.
+enum class traversal_kind : std::uint8_t { none, bfs, dijkstra };
+
+/// Zero-copy view of the most recent pass on a workspace. Valid until the
+/// next pass on (or destruction/move of) that workspace; staleness is
+/// caught by MCAST_ASSERT on every read.
+class traversal_result {
+ public:
+  node_id source() const noexcept { return source_; }
+
+  /// Hop distance (BFS passes only); `unreachable` for untouched nodes.
+  hop_count dist(node_id v) const;
+
+  /// Weighted distance (Dijkstra passes only); +infinity when untouched.
+  double weighted_dist(node_id v) const;
+
+  /// Parent on the traversal tree; invalid_node for source/untouched nodes.
+  node_id parent(node_id v) const;
+
+  /// True when v was reached by the pass.
+  bool reached(node_id v) const;
+
+  /// Nodes in the order they were discovered (BFS) or settled (Dijkstra);
+  /// the source comes first (empty for a dead degraded source). O(1).
+  std::span<const node_id> visit_order() const;
+
+  /// Number of reached nodes, including the source. O(1).
+  std::size_t reached_count() const;
+
+ private:
+  friend class traversal_workspace;
+  friend class degraded_traversals;
+  traversal_result(const traversal_workspace& ws, node_id source,
+                   std::uint64_t epoch)
+      : ws_(&ws), source_(source), epoch_(epoch) {}
+
+  const traversal_workspace* ws_;
+  node_id source_;
+  std::uint64_t epoch_;  // pass this view belongs to (staleness check)
+};
+
+/// Reusable scratch arrays for BFS/Dijkstra with epoch-tagged reset.
+class traversal_workspace {
+ public:
+  traversal_workspace() = default;
+
+  // Not copyable (views point into it).
+  traversal_workspace(const traversal_workspace&) = delete;
+  traversal_workspace& operator=(const traversal_workspace&) = delete;
+
+  /// Runs BFS from `source`; same semantics and bit-identical results as
+  /// bfs_from(g, source) (lowest-id parent rule). The returned view is
+  /// valid until the next pass.
+  traversal_result run_bfs(const graph& g, node_id source);
+
+  /// Runs Dijkstra from `source`; same semantics and bit-identical results
+  /// as dijkstra_from(g, weights, source) (same heap tie behavior).
+  traversal_result run_dijkstra(const graph& g, const edge_weights& weights,
+                                node_id source);
+
+  /// Number of passes in which a scratch array had to grow (i.e. an
+  /// allocation happened). Stops increasing once warmed up on a fixed
+  /// topology — the number the micro benches report as "allocs".
+  std::uint64_t grow_count() const noexcept { return grows_; }
+
+  /// Number of passes run on this workspace.
+  std::uint64_t pass_count() const noexcept { return passes_; }
+
+ private:
+  friend class traversal_result;
+  friend class degraded_traversals;
+  friend bfs_tree& bfs_from(const graph& g, node_id source,
+                            traversal_workspace& ws, bfs_tree& out);
+  friend std::vector<hop_count>& bfs_distances(const graph& g, node_id source,
+                                               traversal_workspace& ws,
+                                               std::vector<hop_count>& out);
+  friend weighted_tree& dijkstra_from(const graph& g,
+                                      const edge_weights& weights,
+                                      node_id source, traversal_workspace& ws,
+                                      weighted_tree& out);
+
+  /// Grows the per-node arrays to cover `nodes` and opens a new epoch.
+  /// O(1) except when the topology got bigger (one amortized grow).
+  void begin_pass(std::size_t nodes, traversal_kind kind);
+
+  bool touched(node_id v) const { return mark_[v] == epoch_; }
+
+  /// Shared BFS core. `usable(slot, w)` filters half-edges: pristine
+  /// graphs accept everything, degraded views test their failure mask
+  /// (slot = graph::adjacency_base(v) + i for the i-th neighbor of v).
+  template <typename usable_fn>
+  void bfs_pass(const graph& g, node_id source, bool source_alive,
+                usable_fn&& usable);
+
+  /// Shared Dijkstra core, same filtering hook.
+  template <typename usable_fn>
+  void dijkstra_pass(const graph& g, const edge_weights& weights,
+                     node_id source, bool source_alive, usable_fn&& usable);
+
+  /// Exports the current pass into a caller-owned tree (O(V), reuses the
+  /// target's capacity).
+  void export_bfs(node_id source, bfs_tree& out) const;
+  void export_dijkstra(node_id source, weighted_tree& out) const;
+
+  std::vector<std::uint64_t> mark_;     // epoch of the last pass touching v
+  std::vector<std::uint64_t> settled_;  // epoch of the pass that settled v
+  std::vector<hop_count> hop_dist_;     // valid where touched (BFS)
+  std::vector<double> weight_dist_;     // valid where touched (Dijkstra)
+  std::vector<node_id> parent_;         // valid where touched
+  std::vector<node_id> order_;          // visit order of the current pass
+  std::vector<std::pair<double, node_id>> heap_;  // Dijkstra frontier
+  std::size_t nodes_ = 0;               // node count of the current pass
+  std::uint64_t epoch_ = 0;             // 0 = no pass yet (marks start at 0)
+  traversal_kind kind_ = traversal_kind::none;
+  std::uint64_t grows_ = 0;
+  std::uint64_t passes_ = 0;
+};
+
+// --- template cores (instantiated here and by fault/degraded.cpp) ---
+
+template <typename usable_fn>
+void traversal_workspace::bfs_pass(const graph& g, node_id source,
+                                   bool source_alive, usable_fn&& usable) {
+  begin_pass(g.node_count(), traversal_kind::bfs);
+  if (!source_alive) return;  // dead routers forward nothing
+  mark_[source] = epoch_;
+  hop_dist_[source] = 0;
+  parent_[source] = invalid_node;
+  order_.push_back(source);
+  for (std::size_t head = 0; head < order_.size(); ++head) {
+    const node_id v = order_[head];
+    const hop_count dv = hop_dist_[v];
+    const auto adj = g.neighbors(v);
+    const std::size_t base = g.adjacency_base(v);
+    for (std::size_t i = 0; i < adj.size(); ++i) {
+      const node_id w = adj[i];
+      if (!usable(base + i, w)) continue;
+      if (mark_[w] != epoch_) {
+        mark_[w] = epoch_;
+        hop_dist_[w] = dv + 1;
+        parent_[w] = v;  // sorted neighbors => lowest-id parent rule
+        order_.push_back(w);
+      }
+    }
+  }
+}
+
+template <typename usable_fn>
+void traversal_workspace::dijkstra_pass(const graph& g,
+                                        const edge_weights& weights,
+                                        node_id source, bool source_alive,
+                                        usable_fn&& usable) {
+  begin_pass(g.node_count(), traversal_kind::dijkstra);
+  heap_.clear();
+  if (!source_alive) return;
+  // push_heap/pop_heap with std::greater<> replicate exactly what
+  // std::priority_queue<entry, vector<entry>, greater<>> does, so the
+  // settle order — and therefore every tie-broken parent — matches
+  // dijkstra_from bit for bit.
+  const std::greater<> cmp{};
+  mark_[source] = epoch_;
+  weight_dist_[source] = 0.0;
+  parent_[source] = invalid_node;
+  heap_.emplace_back(0.0, source);
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), cmp);
+    const auto [d, v] = heap_.back();
+    heap_.pop_back();
+    if (settled_[v] == epoch_) continue;
+    settled_[v] = epoch_;
+    order_.push_back(v);
+    const auto adj = g.neighbors(v);
+    const std::size_t base = g.adjacency_base(v);
+    for (std::size_t i = 0; i < adj.size(); ++i) {
+      const node_id w = adj[i];
+      if (!usable(base + i, w)) continue;
+      const double candidate = d + weights.at_slot(base + i);
+      if (mark_[w] != epoch_ || candidate < weight_dist_[w]) {
+        mark_[w] = epoch_;
+        weight_dist_[w] = candidate;
+        parent_[w] = v;
+        heap_.emplace_back(candidate, w);
+        std::push_heap(heap_.begin(), heap_.end(), cmp);
+      }
+    }
+  }
+}
+
+}  // namespace mcast

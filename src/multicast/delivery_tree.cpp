@@ -37,6 +37,24 @@ bool delivery_tree_builder::covers(node_id v) const {
   return on_tree_[v] != 0;
 }
 
+void delivery_tree_builder::rebind(const source_tree& tree) {
+  // Clear the old tree's flags first (O(touched)), then grow if needed.
+  for (node_id v : touched_) {
+    on_tree_[v] = 0;
+    is_receiver_[v] = 0;
+  }
+  touched_.clear();
+  tree_ = &tree;
+  if (on_tree_.size() < tree.node_count()) {
+    on_tree_.resize(tree.node_count(), 0);
+    is_receiver_.resize(tree.node_count(), 0);
+  }
+  links_ = 0;
+  distinct_receivers_ = 0;
+  on_tree_[tree.source()] = 1;
+  touched_.push_back(tree.source());
+}
+
 void delivery_tree_builder::reset() {
   for (node_id v : touched_) {
     on_tree_[v] = 0;

@@ -49,6 +49,13 @@ class delivery_tree_builder {
   /// Resets to the bare source (O(nodes touched)).
   void reset();
 
+  /// Re-targets the builder at another source_tree, reusing the flag
+  /// arrays (they only reallocate when the node count grows). Equivalent
+  /// to constructing a fresh builder on `tree`; the hot-path way to walk
+  /// one builder across many sources. The source_tree must outlive the
+  /// builder.
+  void rebind(const source_tree& tree);
+
  private:
   const source_tree* tree_;
   std::vector<char> on_tree_;      // node flags: on the delivery tree

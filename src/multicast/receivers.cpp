@@ -48,4 +48,36 @@ std::vector<node_id> sample_with_replacement(const std::vector<node_id>& univers
   return out;
 }
 
+void sample_distinct_into(std::vector<node_id>& pool, std::size_t m, rng& gen,
+                          std::vector<node_id>& out) {
+  expects(m <= pool.size(), "sample_distinct: m exceeds the candidate universe");
+  out.resize(m);
+  // Same partial Fisher-Yates draws as sample_distinct; `out` temporarily
+  // records each step's swap target so the swaps can be undone afterwards.
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t j = i + gen.below(pool.size() - i);
+    std::swap(pool[i], pool[j]);
+    out[i] = static_cast<node_id>(j);
+  }
+  // Undo in reverse order. Step i was the last to write position i (later
+  // steps only touch positions > i), so pool[i] still holds sample value i
+  // when its swap is unwound.
+  for (std::size_t i = m; i-- > 0;) {
+    const std::size_t j = out[i];
+    out[i] = pool[i];
+    std::swap(pool[i], pool[j]);
+  }
+}
+
+void sample_with_replacement_into(const std::vector<node_id>& universe,
+                                  std::size_t n, rng& gen,
+                                  std::vector<node_id>& out) {
+  expects(!universe.empty(),
+          "sample_with_replacement: candidate universe is empty");
+  out.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = universe[gen.below(universe.size())];
+  }
+}
+
 }  // namespace mcast

@@ -34,6 +34,21 @@ std::vector<node_id> sample_distinct(const std::vector<node_id>& universe,
 std::vector<node_id> sample_with_replacement(const std::vector<node_id>& universe,
                                              std::size_t n, rng& gen);
 
+/// Allocation-free variant of sample_distinct for Monte-Carlo hot loops:
+/// consumes the identical RNG stream and produces the identical sample
+/// (locked down by tests/test_workspace_diff.cpp), but shuffles `pool`
+/// in place and then undoes its swaps — on return `pool` is unchanged and
+/// `out` (capacity reused across calls) holds the sample. O(m) instead of
+/// the O(|universe|) copy the one-shot version pays per call.
+void sample_distinct_into(std::vector<node_id>& pool, std::size_t m, rng& gen,
+                          std::vector<node_id>& out);
+
+/// Allocation-free variant of sample_with_replacement (same draws, `out`
+/// capacity reused).
+void sample_with_replacement_into(const std::vector<node_id>& universe,
+                                  std::size_t n, rng& gen,
+                                  std::vector<node_id>& out);
+
 // The n <-> m̄ conversion formulas (Equations 1/2) live in
 // analysis/mapping.hpp (expected_distinct / draws_for_expected_distinct).
 

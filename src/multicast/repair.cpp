@@ -28,17 +28,15 @@ void diff_links(const std::vector<edge>& old_links,
   }
 }
 
-}  // namespace
-
-repaired_tree repair_delivery_tree(const dynamic_delivery_tree& broken,
-                                   const degraded_view& view) {
+// Re-converges `broken` onto the already-computed degraded SPT `routing`.
+repaired_tree reconverge(const dynamic_delivery_tree& broken,
+                         const degraded_view& view,
+                         std::shared_ptr<const source_tree> routing) {
   const source_tree& old_routing = broken.base();
-  expects(old_routing.node_count() == view.base().node_count(),
-          "repair_delivery_tree: view overlays a different topology");
   const node_id src = old_routing.source();
 
   repaired_tree out;
-  out.routing = std::make_unique<source_tree>(view.base(), bfs_from(view, src));
+  out.routing = std::move(routing);
   out.delivery = std::make_unique<dynamic_delivery_tree>(*out.routing);
   out.report.source_lost = !view.node_alive(src);
 
@@ -62,6 +60,27 @@ repaired_tree repair_delivery_tree(const dynamic_delivery_tree& broken,
 
   diff_links(broken.links(), out.delivery->links(), out.report);
   return out;
+}
+
+}  // namespace
+
+repaired_tree repair_delivery_tree(const dynamic_delivery_tree& broken,
+                                   const degraded_view& view) {
+  expects(broken.base().node_count() == view.base().node_count(),
+          "repair_delivery_tree: view overlays a different topology");
+  const node_id src = broken.base().source();
+  return reconverge(broken, view,
+                    std::make_shared<const source_tree>(view.base(),
+                                                        bfs_from(view, src)));
+}
+
+repaired_tree repair_delivery_tree(const dynamic_delivery_tree& broken,
+                                   const degraded_view& view, spt_cache& cache,
+                                   traversal_workspace& ws) {
+  expects(broken.base().node_count() == view.base().node_count(),
+          "repair_delivery_tree: view overlays a different topology");
+  return reconverge(broken, view,
+                    cache.get(view, broken.base().source(), ws));
 }
 
 }  // namespace mcast

@@ -1,12 +1,15 @@
 #include "multicast/shared_tree.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "analysis/stats.hpp"
 #include "common/contract.hpp"
 #include "graph/components.hpp"
+#include "graph/workspace.hpp"
 #include "multicast/delivery_tree.hpp"
 #include "multicast/receivers.hpp"
+#include "multicast/spt_cache.hpp"
 
 namespace mcast {
 
@@ -75,29 +78,42 @@ std::vector<tree_comparison> compare_source_vs_shared(
 
   rng gen(seed);
   const node_id core = choose_core(g, strategy, gen);
-  const source_tree core_tree(g, core);
+  traversal_workspace ws;
+  spt_cache cache(64);
+  const source_tree core_tree(g, core, ws);
   delivery_tree_builder core_builder(core_tree);
 
   std::vector<running_stats> src_stats(group_sizes.size());
   std::vector<running_stats> shared_stats(group_sizes.size());
 
+  std::vector<node_id> universe;
+  std::vector<node_id> receivers;
+  std::optional<delivery_tree_builder> src_builder;
   for (std::size_t s = 0; s < sources; ++s) {
     const node_id source = static_cast<node_id>(gen.below(g.node_count()));
-    const source_tree spt(g, source);
-    const std::vector<node_id> universe = all_sites_except(g, source);
-    delivery_tree_builder src_builder(spt);
+    // Sources are drawn with replacement, so repeats hit the cache; the
+    // tree is deterministic either way (same draws, same numbers).
+    const std::shared_ptr<const source_tree> spt = cache.get(g, source, ws);
+    universe.clear();
+    for (node_id v = 0; v < g.node_count(); ++v) {
+      if (v != source) universe.push_back(v);
+    }
+    if (src_builder) {
+      src_builder->rebind(*spt);
+    } else {
+      src_builder.emplace(*spt);
+    }
 
     for (std::size_t gi = 0; gi < group_sizes.size(); ++gi) {
       for (std::size_t rep = 0; rep < receiver_sets; ++rep) {
-        const std::vector<node_id> receivers =
-            sample_distinct(universe, group_sizes[gi], gen);
-        src_builder.reset();
+        sample_distinct_into(universe, group_sizes[gi], gen, receivers);
+        src_builder->reset();
         core_builder.reset();
         for (node_id v : receivers) {
-          src_builder.add_receiver(v);
+          src_builder->add_receiver(v);
           core_builder.add_receiver(v);
         }
-        src_stats[gi].add(static_cast<double>(src_builder.link_count()));
+        src_stats[gi].add(static_cast<double>(src_builder->link_count()));
         shared_stats[gi].add(static_cast<double>(core_builder.link_count() +
                                                  core_tree.distance(source)));
       }

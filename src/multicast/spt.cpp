@@ -3,11 +3,17 @@
 #include <algorithm>
 
 #include "common/contract.hpp"
+#include "graph/workspace.hpp"
 
 namespace mcast {
 
 source_tree::source_tree(const graph& g, node_id source)
     : tree_(bfs_from(g, source)) {}
+
+source_tree::source_tree(const graph& g, node_id source,
+                         traversal_workspace& ws) {
+  bfs_from(g, source, ws, tree_);
+}
 
 source_tree::source_tree(const graph& g, bfs_tree tree) : tree_(std::move(tree)) {
   expects(tree_.dist.size() == g.node_count() &&

@@ -20,6 +20,10 @@ class source_tree {
   /// at `source`. Throws std::out_of_range on a bad source.
   source_tree(const graph& g, node_id source);
 
+  /// Same tree, but the BFS runs on a reusable workspace
+  /// (graph/workspace.hpp) — bit-identical result, fewer allocations.
+  source_tree(const graph& g, node_id source, traversal_workspace& ws);
+
   /// Wraps an existing BFS result (e.g. one built with randomized parents
   /// for the tie-breaking ablation). Throws std::invalid_argument when the
   /// result's field sizes do not match `g`.

@@ -1,0 +1,68 @@
+#include "multicast/spt_cache.hpp"
+
+#include <utility>
+
+#include "common/contract.hpp"
+
+namespace mcast {
+
+spt_cache::spt_cache(std::size_t capacity) : capacity_(capacity) {
+  expects(capacity >= 1, "spt_cache: capacity must be >= 1");
+}
+
+void spt_cache::clear() { entries_.clear(); }
+
+template <typename compute_fn>
+std::shared_ptr<const source_tree> spt_cache::lookup(const graph& topology,
+                                                     std::uint64_t generation,
+                                                     node_id source,
+                                                     compute_fn&& compute) {
+  if (topology_ != &topology || generation_ != generation) {
+    if (!entries_.empty()) {
+      ++stats_.invalidations;
+      entries_.clear();
+    }
+    topology_ = &topology;
+    generation_ = generation;
+  }
+  ++tick_;
+  if (auto it = entries_.find(source); it != entries_.end()) {
+    ++stats_.hits;
+    it->second.last_use = tick_;
+    return it->second.tree;
+  }
+  ++stats_.misses;
+  auto tree = compute();
+  if (entries_.size() >= capacity_) {
+    // Evict the least-recently-used entry; capacities are small enough
+    // that a linear scan beats maintaining an intrusive list.
+    auto victim = entries_.begin();
+    for (auto it = std::next(victim); it != entries_.end(); ++it) {
+      if (it->second.last_use < victim->second.last_use) victim = it;
+    }
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+  entries_.emplace(source, entry{tree, tick_});
+  return tree;
+}
+
+std::shared_ptr<const source_tree> spt_cache::get(const graph& g,
+                                                  node_id source,
+                                                  traversal_workspace& ws) {
+  return lookup(g, /*generation=*/0, source, [&] {
+    return std::make_shared<const source_tree>(g, source, ws);
+  });
+}
+
+std::shared_ptr<const source_tree> spt_cache::get(const degraded_view& view,
+                                                  node_id source,
+                                                  traversal_workspace& ws) {
+  return lookup(view.base(), view.version(), source, [&] {
+    bfs_tree t;
+    bfs_from(view, source, ws, t);
+    return std::make_shared<const source_tree>(view.base(), std::move(t));
+  });
+}
+
+}  // namespace mcast

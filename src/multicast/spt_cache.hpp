@@ -1,0 +1,92 @@
+// Per-source shortest-path-tree memoization.
+//
+// The Section 2 methodology draws sources *with replacement*: a sweep over
+// many group sizes and receiver sets recomputes the same source's SPT over
+// and over. Because the tree is a pure deterministic function of
+// (topology, failure state, source) — BFS with the lowest-id parent rule —
+// memoizing it cannot change any result, only skip recomputation. This
+// cache holds up to `capacity` trees keyed by source id and scoped to one
+// (topology, view generation) pair:
+//
+//  * topology identity: the graph's address. A get() against a different
+//    graph drops every entry and rebinds.
+//  * view generation: degraded_view::version(), the monotone counter every
+//    fail/restore bumps (fault/degraded.hpp). Pristine-graph lookups use
+//    generation 0, matching a freshly constructed view. Any generation
+//    change — i.e. any failure or recovery — invalidates the whole cache,
+//    because a single link flip can reroute every tree.
+//
+// Trees are handed out as shared_ptr<const source_tree> so a consumer
+// (e.g. a live session's delivery tree) keeps its routing base alive even
+// after eviction or invalidation.
+//
+// NOT thread-safe by design: the Monte-Carlo engine gives each worker
+// thread its own cache + workspace, which preserves the bit-identical-
+// for-any-thread-count guarantee (results never depend on hit/miss
+// history). Keying and invalidation rules: docs/performance.md.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "fault/degraded.hpp"
+#include "graph/workspace.hpp"
+#include "multicast/spt.hpp"
+
+namespace mcast {
+
+class spt_cache {
+ public:
+  struct cache_stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;      ///< single entries displaced when full
+    std::uint64_t invalidations = 0;  ///< whole-cache drops (generation/topology)
+  };
+
+  /// Caches at most `capacity` trees (>= 1).
+  explicit spt_cache(std::size_t capacity = 64);
+
+  /// The SPT rooted at `source` on the pristine `g` (generation 0).
+  /// Computes via `ws` on a miss. Bit-identical to source_tree(g, source).
+  std::shared_ptr<const source_tree> get(const graph& g, node_id source,
+                                         traversal_workspace& ws);
+
+  /// The SPT rooted at `source` honoring `view`'s failure mask, scoped to
+  /// view.version(). Bit-identical to source_tree(view.base(),
+  /// bfs_from(view, source)).
+  std::shared_ptr<const source_tree> get(const degraded_view& view,
+                                         node_id source,
+                                         traversal_workspace& ws);
+
+  /// Drops every entry (keeps the topology binding and statistics).
+  void clear();
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  const cache_stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct entry {
+    std::shared_ptr<const source_tree> tree;
+    std::uint64_t last_use = 0;
+  };
+
+  /// Clears when (topology, generation) moved; then looks `source` up,
+  /// computing on a miss via the overload-specific `compute`.
+  template <typename compute_fn>
+  std::shared_ptr<const source_tree> lookup(const graph& topology,
+                                            std::uint64_t generation,
+                                            node_id source,
+                                            compute_fn&& compute);
+
+  const graph* topology_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::uint64_t tick_ = 0;  // LRU clock
+  std::size_t capacity_;
+  std::unordered_map<node_id, entry> entries_;
+  cache_stats stats_;
+};
+
+}  // namespace mcast

@@ -7,8 +7,10 @@
 #include "common/contract.hpp"
 #include "fault/degraded.hpp"
 #include "graph/components.hpp"
+#include "graph/workspace.hpp"
 #include "multicast/repair.hpp"
 #include "multicast/spt.hpp"
+#include "multicast/spt_cache.hpp"
 
 namespace mcast {
 
@@ -21,7 +23,10 @@ struct member_slot {
 };
 
 struct live_session {
-  std::unique_ptr<source_tree> tree;
+  // Shared because the routing base may live in the simulator's spt_cache:
+  // concurrent sessions with the same source (and repairs after the same
+  // failure event) reuse one SPT.
+  std::shared_ptr<const source_tree> tree;
   std::unique_ptr<dynamic_delivery_tree> delivery;
   std::vector<member_slot> members;  // every join ever made, by index
   event_queue::event_id end_event = 0;
@@ -64,6 +69,11 @@ session_metrics simulate_sessions(const graph& g, const session_workload& w,
   session_metrics metrics;
   metrics.duration = duration;
   degraded_view view(g);
+  // Hot-path scratch: SPTs are memoized per (source, view generation) and
+  // traversals run on one reusable workspace. Both are invisible in the
+  // results (see session_workload::use_spt_cache).
+  traversal_workspace ws;
+  spt_cache cache(64);
 
   std::list<live_session> sessions;
   // Aggregate integrals, accumulated lazily: every state change first adds
@@ -108,7 +118,9 @@ session_metrics simulate_sessions(const graph& g, const session_workload& w,
   // regained. Caller has already account()ed the current time.
   auto repair_session = [&](live_session& s) {
     const std::size_t old_links = s.delivery->link_count();
-    repaired_tree r = repair_delivery_tree(*s.delivery, view);
+    repaired_tree r = w.use_spt_cache
+                          ? repair_delivery_tree(*s.delivery, view, cache, ws)
+                          : repair_delivery_tree(*s.delivery, view);
 
     std::uint64_t detached = 0;
     std::uint64_t reattached = 0;
@@ -220,7 +232,11 @@ session_metrics simulate_sessions(const graph& g, const session_workload& w,
       const node_id source = static_cast<node_id>(gen.below(g.node_count()));
       // Routed over the current degraded view; identical to the pristine
       // SPT while nothing is failed.
-      it->tree = std::make_unique<source_tree>(g, bfs_from(view, source));
+      if (w.use_spt_cache) {
+        it->tree = cache.get(view, source, ws);
+      } else {
+        it->tree = std::make_shared<const source_tree>(g, bfs_from(view, source));
+      }
       it->delivery = std::make_unique<dynamic_delivery_tree>(*it->tree);
       it->end_event = events.schedule(
           events.now() + gen.exponential(1.0 / w.session_lifetime_mean),

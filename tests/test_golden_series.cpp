@@ -1,0 +1,169 @@
+// Golden-file regression tests for the closed-form k-ary curves behind
+// Figures 2, 3 and 4. The analytic layer (analysis/kary_exact.hpp,
+// analysis/kary_asymptotic.hpp) is pure math — any change to its output is
+// either a bug or a deliberate re-derivation, and both must be loud. Each
+// curve is evaluated on a fixed grid and compared against a checked-in
+// golden file within 1e-12 relative tolerance.
+//
+// Regenerating (after a *deliberate* formula change):
+//   MCAST_REGEN_GOLDEN=1 ./test_golden_series
+// rewrites the files under tests/data/, then rerun the test without the
+// variable and commit the diff alongside the justification.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/kary_asymptotic.hpp"
+#include "analysis/kary_exact.hpp"
+#include "analysis/series.hpp"
+
+namespace mcast {
+namespace {
+
+#ifndef MCAST_TEST_DATA_DIR
+#error "MCAST_TEST_DATA_DIR must be defined by the build"
+#endif
+
+std::string data_path(const std::string& file) {
+  return std::string(MCAST_TEST_DATA_DIR) + "/" + file;
+}
+
+// One golden curve: an x-grid and the function values along it.
+struct golden_series {
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+// Serialization: one "x y" pair per line, both printed with %.17g so a
+// round-trip through text is exact for IEEE doubles. '#' lines are comments.
+void write_golden(const std::string& path, const golden_series& s,
+                  const std::string& what) {
+  std::ofstream out(path);
+  ASSERT_TRUE(out) << "cannot write " << path;
+  out << "# " << what << "\n";
+  char buf[80];
+  for (std::size_t i = 0; i < s.x.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%.17g %.17g\n", s.x[i], s.y[i]);
+    out << buf;
+  }
+}
+
+golden_series read_golden(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << "missing golden file " << path
+                  << " (regenerate with MCAST_REGEN_GOLDEN=1)";
+  golden_series s;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    double x = 0.0, y = 0.0;
+    row >> x >> y;
+    s.x.push_back(x);
+    s.y.push_back(y);
+  }
+  return s;
+}
+
+bool regen() { return std::getenv("MCAST_REGEN_GOLDEN") != nullptr; }
+
+// Evaluates `fn` along `grid`, then either rewrites the golden file
+// (MCAST_REGEN_GOLDEN=1) or compares against it within 1e-12 relative.
+void check_curve(const std::string& file, const std::string& what,
+                 const std::vector<double>& grid,
+                 const std::function<double(double)>& fn) {
+  golden_series fresh;
+  fresh.x = grid;
+  for (double x : grid) fresh.y.push_back(fn(x));
+  if (regen()) {
+    write_golden(data_path(file), fresh, what);
+    return;
+  }
+  const golden_series golden = read_golden(data_path(file));
+  ASSERT_EQ(golden.x.size(), fresh.x.size()) << file;
+  for (std::size_t i = 0; i < fresh.x.size(); ++i) {
+    // The grid itself must match exactly (it round-trips via %.17g).
+    ASSERT_EQ(golden.x[i], fresh.x[i]) << file << " row " << i;
+    const double want = golden.y[i];
+    const double got = fresh.y[i];
+    const double scale = std::max(std::abs(want), std::abs(got));
+    const double tol = scale == 0.0 ? 1e-12 : 1e-12 * scale;
+    EXPECT_NEAR(got, want, tol) << file << " row " << i << " (x=" << fresh.x[i]
+                                << ")";
+  }
+}
+
+// --- Figure 2: h(x), exact (Eq 11) vs asymptote (Eq 12) ---
+
+TEST(golden_series, fig2_h_exact) {
+  const auto grid = log_grid(1e-4, 10.0, 40);
+  for (unsigned k : {2u, 4u, 10u}) {
+    check_curve("fig2_h_exact_k" + std::to_string(k) + ".txt",
+                "Eq 11: h(x) exact, k=" + std::to_string(k) + ", D=15",
+                grid, [k](double x) { return kary_h_exact(k, 15, x); });
+  }
+}
+
+TEST(golden_series, fig2_h_approx) {
+  const auto grid = log_grid(1e-4, 10.0, 40);
+  for (unsigned k : {2u, 4u, 10u}) {
+    check_curve("fig2_h_approx_k" + std::to_string(k) + ".txt",
+                "Eq 12: h(x) ~ x k^{-1/2}, k=" + std::to_string(k),
+                grid, [k](double x) {
+                  return kary_h_approx(static_cast<double>(k), x);
+                });
+  }
+}
+
+// --- Figure 3: L̂(n) and its differences, exact vs Eq 14 ---
+
+TEST(golden_series, fig3_tree_size_and_differences) {
+  const auto grid = log_grid(1.0, 1e6, 48);
+  check_curve("fig3_Lhat_k2_d15.txt", "Eq 4: L-hat(n), k=2, D=15", grid,
+              [](double n) { return kary_tree_size_leaves(2, 15, n); });
+  check_curve("fig3_dLhat_k2_d15.txt", "Eq 5: delta L-hat(n), k=2, D=15", grid,
+              [](double n) { return kary_tree_size_delta_leaves(2, 15, n); });
+  check_curve("fig3_d2Lhat_k2_d15.txt", "Eq 6: delta^2 L-hat(n), k=2, D=15",
+              grid,
+              [](double n) { return kary_tree_size_delta2_leaves(2, 15, n); });
+  check_curve("fig3_Lhat_approx_k2_d15.txt", "Eq 14: approx L-hat(n), k=2, D=15",
+              grid, [](double n) { return kary_tree_size_approx(2.0, 15, n); });
+}
+
+// --- Figure 4: L(m) for distinct receivers vs the m^0.8 reference ---
+
+TEST(golden_series, fig4_distinct_receivers) {
+  // m stays below M = 2^15 (the exact mapping requires m < M).
+  const auto grid = log_grid(1.0, 3e4, 48);
+  check_curve("fig4_L_distinct_k2_d15.txt",
+              "Eq 4 + Eq 1 mapping: L(m), k=2, D=15", grid,
+              [](double m) { return kary_tree_size_distinct_leaves(2, 15, m); });
+  check_curve("fig4_L_distinct_approx_k2_d15.txt",
+              "Eq 18: approx L(m), k=2, D=15", grid, [](double m) {
+                return kary_tree_size_distinct_approx(2.0, 15, m);
+              });
+  check_curve("fig4_chuang_sirbu_m08.txt", "reference curve m^0.8", grid,
+              [](double m) { return chuang_sirbu_curve(m); });
+}
+
+// A meta-check: the golden layer itself must catch drift. Perturb one value
+// by 1e-9 relative and confirm the comparison would flag it.
+TEST(golden_series, tolerance_actually_bites) {
+  if (regen()) GTEST_SKIP();
+  const golden_series s = read_golden(data_path("fig3_Lhat_k2_d15.txt"));
+  ASSERT_FALSE(s.y.empty());
+  const double want = s.y.back();
+  const double drifted = want * (1.0 + 1e-9);
+  const double tol = 1e-12 * std::max(std::abs(want), std::abs(drifted));
+  EXPECT_GT(std::abs(drifted - want), tol);
+}
+
+}  // namespace
+}  // namespace mcast
