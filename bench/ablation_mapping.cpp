@@ -4,65 +4,79 @@
 // by Monte-Carlo with m DISTINCT leaf receivers on k-ary trees and compare
 // with the converted exact formula, across tree sizes.
 #include <cmath>
-#include <iostream>
 #include <sstream>
-#include <vector>
+
+#include "experiments.hpp"
 
 #include "analysis/kary_exact.hpp"
 #include "analysis/series.hpp"
-#include "bench_common.hpp"
+#include "lab/registry.hpp"
 #include "multicast/delivery_tree.hpp"
 #include "multicast/receivers.hpp"
 #include "sim/csv.hpp"
 #include "topo/kary.hpp"
 
-int main() {
-  using namespace mcast;
-  bench::banner("Ablation: n<->m mapping",
-                "true Monte-Carlo L(m) (distinct receivers) vs Eq 4 composed "
-                "with the Eq 1 mapping, across tree depths (DESIGN.md 6.2)");
+namespace mcast::lab {
 
-  const unsigned k = 2;
-  const std::vector<unsigned> depths = {8, 11, 14};
-  const int reps = bench::by_scale<int>(60, 400, 1500);
+void register_ablation_mapping(registry& reg) {
+  experiment e;
+  e.id = "ablation_mapping";
+  e.title = "Ablation: n<->m mapping accuracy at finite M";
+  e.claim =
+      "true Monte-Carlo L(m) (distinct receivers) vs Eq 4 composed "
+      "with the Eq 1 mapping, across tree depths (DESIGN.md 6.2)";
+  e.params = {
+      p_u64("reps", "Monte-Carlo repetitions per (depth, m)", 60, 400, 1500),
+  };
+  e.run = [](context& ctx) {
+    const unsigned k = 2;
+    const std::vector<unsigned> depths = {8, 11, 14};
+    const int reps = static_cast<int>(ctx.u64("reps"));
 
-  table_writer table({"depth", "M", "m", "MC L(m)", "mapped Eq4", "rel err"});
-  for (unsigned d : depths) {
-    const kary_shape shape(k, d);
-    const graph g = shape.to_graph();
-    const source_tree tree(g, 0);
-    const std::vector<node_id> leaves =
-        leaf_sites(shape.first_leaf(), shape.leaf_count());
-    rng gen(31 + d);
-    delivery_tree_builder builder(tree);
+    table_writer table({"depth", "M", "m", "MC L(m)", "mapped Eq4", "rel err"});
+    for (unsigned d : depths) {
+      const kary_shape shape(k, d);
+      const graph g = shape.to_graph();
+      const source_tree tree(g, 0);
+      const std::vector<node_id> leaves =
+          leaf_sites(shape.first_leaf(), shape.leaf_count());
+      rng gen(31 + d);
+      delivery_tree_builder builder(tree);
 
-    double worst = 0.0;
-    for (double frac : {0.02, 0.1, 0.3, 0.7}) {
-      const std::size_t m = std::max<std::size_t>(
-          1, static_cast<std::size_t>(frac * static_cast<double>(leaves.size())));
-      double total = 0.0;
-      for (int rep = 0; rep < reps; ++rep) {
-        builder.reset();
-        for (node_id v : sample_distinct(leaves, m, gen)) {
-          builder.add_receiver(v);
+      double worst = 0.0;
+      for (double frac : {0.02, 0.1, 0.3, 0.7}) {
+        const std::size_t m = std::max<std::size_t>(
+            1,
+            static_cast<std::size_t>(frac * static_cast<double>(leaves.size())));
+        double total = 0.0;
+        for (int rep = 0; rep < reps; ++rep) {
+          builder.reset();
+          for (node_id v : sample_distinct(leaves, m, gen)) {
+            builder.add_receiver(v);
+          }
+          total += static_cast<double>(builder.link_count());
         }
-        total += static_cast<double>(builder.link_count());
+        const double measured = total / reps;
+        const double mapped =
+            kary_tree_size_distinct_leaves(k, d, static_cast<double>(m));
+        const double rel = std::abs(mapped - measured) / measured;
+        worst = std::max(worst, rel);
+        table.add_row({std::to_string(d), std::to_string(leaves.size()),
+                       std::to_string(m), table_writer::num(measured, 6),
+                       table_writer::num(mapped, 6),
+                       table_writer::num(rel, 3)});
       }
-      const double measured = total / reps;
-      const double mapped =
-          kary_tree_size_distinct_leaves(k, d, static_cast<double>(m));
-      const double rel = std::abs(mapped - measured) / measured;
-      worst = std::max(worst, rel);
-      table.add_row({std::to_string(d), std::to_string(leaves.size()),
-                     std::to_string(m), table_writer::num(measured, 6),
-                     table_writer::num(mapped, 6), table_writer::num(rel, 3)});
+      std::ostringstream line;
+      line << "worst_rel_err=" << worst << " (should shrink as M grows)";
+      ctx.fit("AblMapping/D=" + std::to_string(d), line.str());
     }
-    std::ostringstream line;
-    line << "worst_rel_err=" << worst << " (should shrink as M grows)";
-    print_fit_line(std::cout, "AblMapping/D=" + std::to_string(d), line.str());
-  }
-  table.print(std::cout);
-  std::cout << "\nexpected: sub-percent agreement, improving with M — the "
-               "mapping's 'tightly centered m' premise (Section 3).\n";
-  return 0;
+    ctx.table(table);
+    ctx.line("");
+    ctx.line(
+        "expected: sub-percent agreement, improving with M — the "
+        "mapping's 'tightly centered m' premise (Section 3).");
+  };
+  reg.add(std::move(e));
 }
+
+}  // namespace mcast::lab

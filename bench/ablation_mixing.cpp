@@ -3,68 +3,84 @@
 // long-chain reference, for attractive and repulsive β. Converged-by-N
 // sweeps is the evidence that Fig 9's default budget is sufficient.
 #include <cmath>
-#include <iostream>
 #include <sstream>
-#include <vector>
 
-#include "bench_common.hpp"
+#include "experiments.hpp"
+
+#include "lab/registry.hpp"
 #include "multicast/affinity.hpp"
 #include "multicast/receivers.hpp"
 #include "sim/csv.hpp"
 #include "topo/kary.hpp"
 
-int main() {
-  using namespace mcast;
-  bench::banner("Ablation: affinity chain mixing",
-                "L-hat_beta(n) estimate vs burn-in sweeps, against a "
-                "long-chain reference (DESIGN.md 6.3)");
+namespace mcast::lab {
 
-  const kary_shape shape(2, bench::by_scale<unsigned>(8, 10, 12));
-  const graph g = shape.to_graph();
-  const source_tree tree(g, 0);
-  const std::vector<node_id> universe = all_sites_except(g, 0);
-  const kary_distance_oracle oracle(shape);
-  const std::size_t n = 48;
+void register_ablation_mixing(registry& reg) {
+  experiment e;
+  e.id = "ablation_mixing";
+  e.title = "Ablation: Metropolis burn-in for the affinity chain";
+  e.claim =
+      "L-hat_beta(n) estimate vs burn-in sweeps, against a "
+      "long-chain reference (DESIGN.md 6.3)";
+  e.params = {
+      p_u64("depth", "binary-tree depth", 8, 10, 12),
+      p_u64("reference_burn", "burn-in sweeps of the reference chain",
+            60, 150, 400),
+  };
+  e.run = [](context& ctx) {
+    const kary_shape shape(2, static_cast<unsigned>(ctx.u64("depth")));
+    const graph g = shape.to_graph();
+    const source_tree tree(g, 0);
+    const std::vector<node_id> universe = all_sites_except(g, 0);
+    const kary_distance_oracle oracle(shape);
+    const std::size_t n = 48;
 
-  const unsigned reference_burn = bench::by_scale<unsigned>(60, 150, 400);
-  const std::vector<unsigned> budgets = {1, 2, 5, 10, 20, 40};
+    const unsigned reference_burn =
+        static_cast<unsigned>(ctx.u64("reference_burn"));
+    const std::vector<unsigned> budgets = {1, 2, 5, 10, 20, 40};
 
-  table_writer table({"beta", "burn sweeps", "estimate", "reference",
-                      "rel err", "acceptance"});
-  for (double beta : {2.0, -2.0}) {
-    affinity_chain_params ref_params;
-    ref_params.beta = beta;
-    ref_params.burn_in_sweeps = reference_burn;
-    ref_params.sample_sweeps = 40;
-    ref_params.measurements = 60;
-    rng ref_gen(5150);
-    const double reference =
-        sample_affinity_tree_size(tree, universe, n, oracle, ref_params, ref_gen)
-            .mean_tree_size;
+    table_writer table({"beta", "burn sweeps", "estimate", "reference",
+                        "rel err", "acceptance"});
+    for (double beta : {2.0, -2.0}) {
+      affinity_chain_params ref_params;
+      ref_params.beta = beta;
+      ref_params.burn_in_sweeps = reference_burn;
+      ref_params.sample_sweeps = 40;
+      ref_params.measurements = 60;
+      rng ref_gen(5150);
+      const double reference =
+          sample_affinity_tree_size(tree, universe, n, oracle, ref_params,
+                                    ref_gen)
+              .mean_tree_size;
 
-    for (unsigned burn : budgets) {
-      affinity_chain_params params;
-      params.beta = beta;
-      params.burn_in_sweeps = burn;
-      params.sample_sweeps = 8;
-      rng gen(99);
-      const affinity_estimate est =
-          sample_affinity_tree_size(tree, universe, n, oracle, params, gen);
-      const double rel = std::abs(est.mean_tree_size - reference) / reference;
-      table.add_row({table_writer::num(beta, 2), std::to_string(burn),
-                     table_writer::num(est.mean_tree_size, 5),
-                     table_writer::num(reference, 5), table_writer::num(rel, 3),
-                     table_writer::num(est.acceptance_rate, 3)});
-      if (burn == 10) {
-        std::ostringstream line;
-        line << "rel_err_at_10_sweeps=" << rel;
-        print_fit_line(std::cout, "AblMixing/beta=" + table_writer::num(beta, 2),
-                       line.str());
+      for (unsigned burn : budgets) {
+        affinity_chain_params params;
+        params.beta = beta;
+        params.burn_in_sweeps = burn;
+        params.sample_sweeps = 8;
+        rng gen(99);
+        const affinity_estimate est =
+            sample_affinity_tree_size(tree, universe, n, oracle, params, gen);
+        const double rel = std::abs(est.mean_tree_size - reference) / reference;
+        table.add_row({table_writer::num(beta, 2), std::to_string(burn),
+                       table_writer::num(est.mean_tree_size, 5),
+                       table_writer::num(reference, 5),
+                       table_writer::num(rel, 3),
+                       table_writer::num(est.acceptance_rate, 3)});
+        if (burn == 10) {
+          std::ostringstream line;
+          line << "rel_err_at_10_sweeps=" << rel;
+          ctx.fit("AblMixing/beta=" + table_writer::num(beta, 2), line.str());
+        }
       }
     }
-  }
-  table.print(std::cout);
-  std::cout << "\nexpected: estimates settle within a few percent of the "
-               "reference by ~10 sweeps; Fig 9 uses 14+ by default.\n";
-  return 0;
+    ctx.table(table);
+    ctx.line("");
+    ctx.line(
+        "expected: estimates settle within a few percent of the "
+        "reference by ~10 sweeps; Fig 9 uses 14+ by default.");
+  };
+  reg.add(std::move(e));
 }
+
+}  // namespace mcast::lab

@@ -1,0 +1,35 @@
+// Registration entry points for every figure/table/ablation/extension
+// experiment. Each `register_<id>` lives in its own TU next to the code it
+// registers; `register_builtin` (register_all.cpp) installs the full suite.
+// Explicit calls — not static initializers — so a static-library link can
+// never silently drop an experiment.
+#pragma once
+
+namespace mcast::lab {
+
+class registry;
+
+void register_table1(registry& reg);
+void register_fig1(registry& reg);
+void register_fig2(registry& reg);
+void register_fig3(registry& reg);
+void register_fig4(registry& reg);
+void register_fig5(registry& reg);
+void register_fig6(registry& reg);
+void register_fig7(registry& reg);
+void register_fig8(registry& reg);
+void register_fig9(registry& reg);
+void register_ablation_tiebreak(registry& reg);
+void register_ablation_mapping(registry& reg);
+void register_ablation_mixing(registry& reg);
+void register_ablation_ts_degree(registry& reg);
+void register_ext_shared_tree(registry& reg);
+void register_ext_reachability_zoo(registry& reg);
+void register_ext_weighted(registry& reg);
+void register_ext_sessions(registry& reg);
+void register_ext_failures(registry& reg);
+
+/// Installs the complete built-in suite (19 experiments).
+void register_builtin(registry& reg);
+
+}  // namespace mcast::lab

@@ -4,69 +4,92 @@
 // the prediction a provider would compute from the fitted Chuang-Sirbu law:
 //   predicted = E[#sessions] * ū * A * (mean group size)^ε
 #include <cmath>
-#include <iostream>
 #include <sstream>
 
-#include "bench_common.hpp"
+#include "experiments.hpp"
+
 #include "core/runner.hpp"
 #include "core/scaling_law.hpp"
 #include "graph/metrics.hpp"
+#include "lab/registry.hpp"
 #include "multicast/unicast.hpp"
 #include "session/simulator.hpp"
 #include "sim/csv.hpp"
 #include "topo/transit_stub.hpp"
 
-int main() {
-  using namespace mcast;
-  bench::banner("Extension: session-level provisioning",
-                "aggregate multicast link load under churn vs the "
-                "m^0.8-law prediction (the tariff/provisioning use case)");
+namespace mcast::lab {
 
-  const graph g = make_transit_stub(ts1000_params(), 6);
-  monte_carlo_params mc;
-  mc.receiver_sets = bench::by_scale<std::size_t>(6, 20, 60);
-  mc.sources = bench::by_scale<std::size_t>(5, 15, 50);
-  mc.threads = 0;
-  const auto rows =
-      measure_distinct_receivers(g, default_group_grid(g.node_count() - 1, 14), mc);
-  const scaling_law law = scaling_law::fit_to(rows, 2.0, 500.0);
-  const double ubar = average_path_length_exact(g);  // mean over sources
-  std::cout << "calibrated: " << law.describe() << "  ubar=" << ubar << "\n\n";
-
-  const double horizon = bench::by_scale<double>(400.0, 2000.0, 8000.0);
-  table_writer table({"arrival rate", "mean members", "avg sessions",
-                      "avg links (sim)", "avg links (law)", "sim/law"});
-  double worst = 0.0;
-  for (double arrival : {0.1, 0.25, 0.5}) {
-    for (double member_life : {6.0, 12.0, 24.0}) {
-      session_workload w;
-      w.session_arrival_rate = arrival;
-      w.session_lifetime_mean = 40.0;
-      w.member_join_rate = 1.0;
-      w.member_lifetime_mean = member_life;
-      w.max_concurrent_sessions = 4096;
-      const session_metrics m =
-          simulate_sessions(g, w, horizon, horizon / 5.0, 77);
-      if (m.mean_group_size_at_join < 1.0 || m.time_avg_sessions <= 0.0) continue;
-      const double predicted =
-          m.time_avg_sessions * law.tree_size(m.mean_group_size_at_join, ubar);
-      const double ratio = m.time_avg_links / predicted;
-      worst = std::max(worst, std::abs(ratio - 1.0));
-      table.add_row({table_writer::num(arrival, 3),
-                     table_writer::num(w.member_join_rate * member_life, 3),
-                     table_writer::num(m.time_avg_sessions, 4),
-                     table_writer::num(m.time_avg_links, 5),
-                     table_writer::num(predicted, 5),
-                     table_writer::num(ratio, 3)});
+void register_ext_sessions(registry& reg) {
+  experiment e;
+  e.id = "ext_sessions";
+  e.title = "Extension: provisioning sessions from the fitted law";
+  e.claim =
+      "aggregate multicast link load under churn vs the "
+      "m^0.8-law prediction (the tariff/provisioning use case)";
+  e.params = {
+      p_u64("receiver_sets", "receiver sets for law calibration", 6, 20, 60),
+      p_u64("sources", "sources for law calibration", 5, 15, 50),
+      p_real("horizon", "simulated time horizon", 400.0, 2000.0, 8000.0),
+      p_u64("session_seed", "session simulator seed", 77),
+  };
+  e.run = [](context& ctx) {
+    const graph g = make_transit_stub(ts1000_params(), 6);
+    monte_carlo_params mc = ctx.monte_carlo();
+    mc.receiver_sets = ctx.u64("receiver_sets");
+    mc.sources = ctx.u64("sources");
+    const auto rows = measure_distinct_receivers(
+        g, default_group_grid(g.node_count() - 1, 14), mc);
+    const scaling_law law = scaling_law::fit_to(rows, 2.0, 500.0);
+    const double ubar = average_path_length_exact(g);  // mean over sources
+    {
+      std::ostringstream calibrated;
+      calibrated << "calibrated: " << law.describe() << "  ubar=" << ubar;
+      ctx.line(calibrated.str());
+      ctx.line("");
     }
-  }
-  table.print(std::cout);
-  std::ostringstream line;
-  line << "worst_abs_error=" << worst
-       << " (law-based provisioning vs simulated churn)";
-  print_fit_line(std::cout, "ExtSessions", line.str());
-  std::cout << "\nfinding: composing the fitted law with the workload's "
-               "mean group size predicts aggregate multicast bandwidth "
-               "typically within 10% (worst ~18%) across a 9-point load matrix.\n";
-  return 0;
+
+    const double horizon = ctx.real("horizon");
+    const std::uint64_t session_seed = ctx.u64("session_seed");
+    table_writer table({"arrival rate", "mean members", "avg sessions",
+                        "avg links (sim)", "avg links (law)", "sim/law"});
+    double worst = 0.0;
+    for (double arrival : {0.1, 0.25, 0.5}) {
+      for (double member_life : {6.0, 12.0, 24.0}) {
+        session_workload w;
+        w.session_arrival_rate = arrival;
+        w.session_lifetime_mean = 40.0;
+        w.member_join_rate = 1.0;
+        w.member_lifetime_mean = member_life;
+        w.max_concurrent_sessions = 4096;
+        const session_metrics m =
+            simulate_sessions(g, w, horizon, horizon / 5.0, session_seed);
+        if (m.mean_group_size_at_join < 1.0 || m.time_avg_sessions <= 0.0) {
+          continue;
+        }
+        const double predicted =
+            m.time_avg_sessions * law.tree_size(m.mean_group_size_at_join, ubar);
+        const double ratio = m.time_avg_links / predicted;
+        worst = std::max(worst, std::abs(ratio - 1.0));
+        table.add_row({table_writer::num(arrival, 3),
+                       table_writer::num(w.member_join_rate * member_life, 3),
+                       table_writer::num(m.time_avg_sessions, 4),
+                       table_writer::num(m.time_avg_links, 5),
+                       table_writer::num(predicted, 5),
+                       table_writer::num(ratio, 3)});
+      }
+    }
+    ctx.table(table);
+    std::ostringstream line;
+    line << "worst_abs_error=" << worst
+         << " (law-based provisioning vs simulated churn)";
+    ctx.fit("ExtSessions", line.str());
+    ctx.line("");
+    ctx.line(
+        "finding: composing the fitted law with the workload's "
+        "mean group size predicts aggregate multicast bandwidth "
+        "typically within 10% (worst ~18%) across a 9-point load matrix.");
+  };
+  reg.add(std::move(e));
 }
+
+}  // namespace mcast::lab

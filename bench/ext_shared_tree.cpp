@@ -4,64 +4,78 @@
 // Chuang-Sirbu-style scaling hold for core-based trees too, and what does
 // the core detour cost across group sizes and core-placement strategies?
 #include <cmath>
-#include <iostream>
 #include <sstream>
-#include <vector>
+
+#include "experiments.hpp"
 
 #include "analysis/fit.hpp"
-#include "bench_common.hpp"
 #include "core/runner.hpp"
 #include "graph/components.hpp"
+#include "lab/registry.hpp"
 #include "multicast/shared_tree.hpp"
-#include "sim/csv.hpp"
 #include "topo/catalog.hpp"
 
-int main() {
-  using namespace mcast;
-  bench::banner("Extension: shared vs source trees",
-                "core-based tree footprint vs source-specific SPT footprint "
-                "across group sizes (Wei-Estrin comparison; paper footnote 1)");
+namespace mcast::lab {
 
-  const node_id budget = bench::by_scale<node_id>(300, 2500, 6000);
-  const auto suite = scaled_networks(
-      std::vector<network_entry>{find_network("ts1000"), find_network("AS")},
-      budget);
-  const std::size_t receiver_sets = bench::by_scale<std::size_t>(6, 25, 60);
-  const std::size_t sources = bench::by_scale<std::size_t>(4, 15, 40);
+void register_ext_shared_tree(registry& reg) {
+  experiment e;
+  e.id = "ext_shared_tree";
+  e.title = "Extension: core-based shared trees vs source trees";
+  e.claim =
+      "core-based tree footprint vs source-specific SPT footprint "
+      "across group sizes (Wei-Estrin comparison; paper footnote 1)";
+  e.params = {
+      p_u64("budget", "node budget for ts1000 and AS", 300, 2500, 6000),
+      p_u64("receiver_sets", "receiver sets per source", 6, 25, 60),
+      p_u64("sources", "random sources per network", 4, 15, 40),
+      p_u64("seed", "Monte-Carlo seed", 404),
+  };
+  e.run = [](context& ctx) {
+    const node_id budget = static_cast<node_id>(ctx.u64("budget"));
+    const auto suite = scaled_networks(
+        std::vector<network_entry>{find_network("ts1000"),
+                                   find_network("AS")},
+        budget);
+    const std::size_t receiver_sets = ctx.u64("receiver_sets");
+    const std::size_t sources = ctx.u64("sources");
+    const std::uint64_t seed = ctx.u64("seed");
 
-  for (const auto& entry : suite) {
-    const graph g = largest_component(entry.build(7));
-    const auto grid = default_group_grid(g.node_count() - 1, 12);
+    for (const auto& entry : suite) {
+      const graph g = largest_component(entry.build(7));
+      const auto grid = default_group_grid(g.node_count() - 1, 12);
 
-    for (core_strategy strategy :
-         {core_strategy::random, core_strategy::path_center}) {
-      const char* sname =
-          strategy == core_strategy::random ? "random-core" : "center-core";
-      const auto rows = compare_source_vs_shared(g, grid, strategy,
-                                                 receiver_sets, sources, 404);
-      std::vector<double> xs, ratio, shared_links;
-      for (const auto& row : rows) {
-        xs.push_back(static_cast<double>(row.group_size));
-        ratio.push_back(row.shared_over_source);
-        shared_links.push_back(row.shared_tree_links);
+      for (core_strategy strategy :
+           {core_strategy::random, core_strategy::path_center}) {
+        const char* sname =
+            strategy == core_strategy::random ? "random-core" : "center-core";
+        const auto rows = compare_source_vs_shared(g, grid, strategy,
+                                                   receiver_sets, sources,
+                                                   seed);
+        std::vector<double> xs, ratio, shared_links;
+        for (const auto& row : rows) {
+          xs.push_back(static_cast<double>(row.group_size));
+          ratio.push_back(row.shared_over_source);
+          shared_links.push_back(row.shared_tree_links);
+        }
+        ctx.series(entry.name + "/" + sname + "  (L_shared/L_source vs m)",
+                   xs, ratio);
+
+        // Does the shared tree itself scale like m^0.8?
+        const power_law_fit f = fit_power_law_windowed(
+            xs, shared_links, 2.0, 0.5 * static_cast<double>(g.node_count()));
+        std::ostringstream line;
+        line << "shared_tree_exponent=" << f.exponent << " R2=" << f.r_squared
+             << " ratio@max_m=" << ratio.back();
+        ctx.fit("ExtShared/" + entry.name + "/" + sname, line.str());
       }
-      print_series(std::cout,
-                   entry.name + "/" + sname + "  (L_shared/L_source vs m)", xs,
-                   ratio);
-
-      // Does the shared tree itself scale like m^0.8?
-      const power_law_fit f = fit_power_law_windowed(
-          xs, shared_links, 2.0, 0.5 * static_cast<double>(g.node_count()));
-      std::ostringstream line;
-      line << "shared_tree_exponent=" << f.exponent << " R2=" << f.r_squared
-           << " ratio@max_m=" << ratio.back();
-      print_fit_line(std::cout, "ExtShared/" + entry.name + "/" + sname,
-                     line.str());
     }
-  }
-  std::cout << "finding: core-based trees follow a near-0.8 power law as "
-               "well; a centered core keeps the overhead within a few "
-               "percent of source trees while a random core pays more at "
-               "small m.\n";
-  return 0;
+    ctx.line(
+        "finding: core-based trees follow a near-0.8 power law as "
+        "well; a centered core keeps the overhead within a few "
+        "percent of source trees while a random core pays more at "
+        "small m.");
+  };
+  reg.add(std::move(e));
 }
+
+}  // namespace mcast::lab

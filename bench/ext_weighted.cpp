@@ -4,100 +4,120 @@
 //   hops        — the paper's model (BFS trees, link count)
 //   euclidean   — Dijkstra trees over Euclidean link lengths, total length
 //   random      — Dijkstra trees over U[0.5, 1.5) weights, total weight
-// and reports the fitted exponent of tree cost vs m for each.
+// and reports the fitted exponent of tree cost vs m for each. The three
+// modes carry independent RNG streams and fan out over the scheduler.
 #include <cmath>
-#include <iostream>
 #include <sstream>
-#include <vector>
+#include <string>
+
+#include "experiments.hpp"
 
 #include "analysis/fit.hpp"
 #include "analysis/series.hpp"
-#include "bench_common.hpp"
 #include "core/runner.hpp"
 #include "graph/dijkstra.hpp"
 #include "graph/weights.hpp"
+#include "lab/registry.hpp"
 #include "multicast/delivery_tree.hpp"
 #include "multicast/receivers.hpp"
 #include "multicast/weighted.hpp"
-#include "sim/csv.hpp"
 #include "topo/waxman.hpp"
 
-int main() {
-  using namespace mcast;
-  bench::banner("Extension: weighted links",
-                "tree cost vs m under hop / euclidean / random link weights "
-                "(paper footnote 3 counts links unweighted)");
+namespace mcast::lab {
 
-  waxman_params p;
-  p.nodes = bench::by_scale<node_id>(200, 1500, 4000);
-  p.alpha = 0.08;
-  p.beta = 0.3;
-  std::vector<point2d> pos;
-  rng topo_gen(12);
-  const graph g = make_waxman(p, topo_gen, &pos);
-
-  edge_weights euclid(g);
-  euclid.assign([&pos](node_id a, node_id b) {
-    return std::hypot(pos[a].x - pos[b].x, pos[a].y - pos[b].y) + 1e-6;
-  });
-  edge_weights random_w(g);
-  rng wgen(77);
-  random_w.assign([&wgen](node_id, node_id) { return 0.5 + wgen.uniform(); });
-
-  const std::size_t sources = bench::by_scale<std::size_t>(4, 15, 40);
-  const std::size_t sets = bench::by_scale<std::size_t>(5, 20, 60);
-  const auto grid = default_group_grid(g.node_count() - 1, 14);
-
-  struct mode {
-    const char* name;
-    const edge_weights* weights;  // nullptr = hop counting
+void register_ext_weighted(registry& reg) {
+  experiment e;
+  e.id = "ext_weighted";
+  e.title = "Extension: tree cost scaling under weighted links";
+  e.claim =
+      "tree cost vs m under hop / euclidean / random link weights "
+      "(paper footnote 3 counts links unweighted)";
+  e.params = {
+      p_u64("nodes", "Waxman topology size", 200, 1500, 4000),
+      p_u64("receiver_sets", "receiver sets per source", 5, 20, 60),
+      p_u64("sources", "random sources per mode", 4, 15, 40),
+      p_u64("topo_seed", "Waxman construction seed", 12),
+      p_u64("weight_seed", "random-weight assignment seed", 77),
+      p_u64("seed", "receiver-sampling seed (per mode)", 2026),
   };
-  const mode modes[] = {{"hops", nullptr},
-                        {"euclidean", &euclid},
-                        {"random", &random_w}};
+  e.run = [](context& ctx) {
+    waxman_params p;
+    p.nodes = static_cast<node_id>(ctx.u64("nodes"));
+    p.alpha = 0.08;
+    p.beta = 0.3;
+    std::vector<point2d> pos;
+    rng topo_gen(ctx.u64("topo_seed"));
+    const graph g = make_waxman(p, topo_gen, &pos);
 
-  for (const mode& m : modes) {
-    rng gen(2026);
-    std::vector<double> xs(grid.size()), ys(grid.size(), 0.0);
-    for (std::size_t gi = 0; gi < grid.size(); ++gi) {
-      xs[gi] = static_cast<double>(grid[gi]);
-    }
-    for (std::size_t s = 0; s < sources; ++s) {
-      const node_id src = static_cast<node_id>(gen.below(g.node_count()));
-      const std::vector<node_id> universe = all_sites_except(g, src);
-      if (m.weights == nullptr) {
-        const source_tree tree(g, src);
-        delivery_tree_builder builder(tree);
-        for (std::size_t gi = 0; gi < grid.size(); ++gi) {
-          for (std::size_t rep = 0; rep < sets; ++rep) {
-            builder.reset();
-            for (node_id v : sample_distinct(universe, grid[gi], gen)) {
-              builder.add_receiver(v);
+    edge_weights euclid(g);
+    euclid.assign([&pos](node_id a, node_id b) {
+      return std::hypot(pos[a].x - pos[b].x, pos[a].y - pos[b].y) + 1e-6;
+    });
+    edge_weights random_w(g);
+    rng wgen(ctx.u64("weight_seed"));
+    random_w.assign([&wgen](node_id, node_id) { return 0.5 + wgen.uniform(); });
+
+    const std::size_t sources = ctx.u64("sources");
+    const std::size_t sets = ctx.u64("receiver_sets");
+    const std::uint64_t seed = ctx.u64("seed");
+    const auto grid = default_group_grid(g.node_count() - 1, 14);
+
+    struct mode {
+      const char* name;
+      const edge_weights* weights;  // nullptr = hop counting
+    };
+    const mode modes[] = {{"hops", nullptr},
+                          {"euclidean", &euclid},
+                          {"random", &random_w}};
+
+    ctx.sweep(3, [&](std::size_t mi, recorder& rec, worker_state&) {
+      const mode& m = modes[mi];
+      rng gen(seed);
+      std::vector<double> xs(grid.size()), ys(grid.size(), 0.0);
+      for (std::size_t gi = 0; gi < grid.size(); ++gi) {
+        xs[gi] = static_cast<double>(grid[gi]);
+      }
+      for (std::size_t s = 0; s < sources; ++s) {
+        const node_id src = static_cast<node_id>(gen.below(g.node_count()));
+        const std::vector<node_id> universe = all_sites_except(g, src);
+        if (m.weights == nullptr) {
+          const source_tree tree(g, src);
+          delivery_tree_builder builder(tree);
+          for (std::size_t gi = 0; gi < grid.size(); ++gi) {
+            for (std::size_t rep = 0; rep < sets; ++rep) {
+              builder.reset();
+              for (node_id v : sample_distinct(universe, grid[gi], gen)) {
+                builder.add_receiver(v);
+              }
+              ys[gi] += static_cast<double>(builder.link_count());
             }
-            ys[gi] += static_cast<double>(builder.link_count());
           }
-        }
-      } else {
-        const weighted_tree tree = dijkstra_from(g, *m.weights, src);
-        for (std::size_t gi = 0; gi < grid.size(); ++gi) {
-          for (std::size_t rep = 0; rep < sets; ++rep) {
-            const auto receivers = sample_distinct(universe, grid[gi], gen);
-            ys[gi] += weighted_delivery_tree_cost(g, *m.weights, tree, receivers);
+        } else {
+          const weighted_tree tree = dijkstra_from(g, *m.weights, src);
+          for (std::size_t gi = 0; gi < grid.size(); ++gi) {
+            for (std::size_t rep = 0; rep < sets; ++rep) {
+              const auto receivers = sample_distinct(universe, grid[gi], gen);
+              ys[gi] +=
+                  weighted_delivery_tree_cost(g, *m.weights, tree, receivers);
+            }
           }
         }
       }
-    }
-    const double samples = static_cast<double>(sources * sets);
-    for (double& y : ys) y /= samples;
-    print_series(std::cout, std::string(m.name) + "  (tree cost vs m)", xs, ys);
-    const power_law_fit f = fit_power_law_windowed(
-        xs, ys, 2.0, 0.5 * static_cast<double>(g.node_count()));
-    std::ostringstream line;
-    line << "exponent=" << f.exponent << " R2=" << f.r_squared;
-    print_fit_line(std::cout, std::string("ExtWeighted/") + m.name, line.str());
-  }
-  std::cout << "finding: the near-0.8 exponent is a property of the path "
-               "union, not of the link metric — weighting links moves the "
-               "amplitude, not the power.\n";
-  return 0;
+      const double samples = static_cast<double>(sources * sets);
+      for (double& y : ys) y /= samples;
+      rec.series(std::string(m.name) + "  (tree cost vs m)", xs, ys);
+      const power_law_fit f = fit_power_law_windowed(
+          xs, ys, 2.0, 0.5 * static_cast<double>(g.node_count()));
+      std::ostringstream line;
+      line << "exponent=" << f.exponent << " R2=" << f.r_squared;
+      rec.fit(std::string("ExtWeighted/") + m.name, line.str());
+    });
+    ctx.line(
+        "finding: the near-0.8 exponent is a property of the path "
+        "union, not of the link metric — weighting links moves the "
+        "amplitude, not the power.");
+  };
+  reg.add(std::move(e));
 }
+
+}  // namespace mcast::lab

@@ -4,71 +4,81 @@
 // L̂(n) ≈ n(c − ln(n/M)/ln k) survives; only the constant c changes.
 //   (a) k = 2, D = 10, 14, 17;   (b) k = 4, D = 5, 7, 9.
 #include <cmath>
-#include <iostream>
 #include <sstream>
-#include <string>
-#include <vector>
+
+#include "experiments.hpp"
 
 #include "analysis/fit.hpp"
 #include "analysis/kary_exact.hpp"
 #include "analysis/series.hpp"
-#include "bench_common.hpp"
-#include "sim/csv.hpp"
+#include "lab/registry.hpp"
 
-int main() {
-  using namespace mcast;
-  bench::banner("Fig 5",
-                "L-hat(n)/n vs ln(n/M) for k-ary trees with receivers "
-                "throughout, against 1/ln k - ln(n/M)/ln k (paper Fig 5)");
+namespace mcast::lab {
 
-  struct panel {
-    unsigned k;
-    std::vector<unsigned> depths;
+void register_fig5(registry& reg) {
+  experiment e;
+  e.id = "fig5";
+  e.title = "Fig 5: L-hat(n)/n vs ln(n/M), receivers at all sites";
+  e.claim =
+      "L-hat(n)/n vs ln(n/M) for k-ary trees with receivers "
+      "throughout, against 1/ln k - ln(n/M)/ln k (paper Fig 5)";
+  e.params = {
+      p_u64("points", "n samples per curve (log grid)", 25, 70, 140),
   };
-  const panel panels[] = {{2, {10, 14, 17}}, {4, {5, 7, 9}}};
-  const std::size_t points = bench::by_scale<std::size_t>(25, 70, 140);
+  e.run = [](context& ctx) {
+    struct panel {
+      unsigned k;
+      std::vector<unsigned> depths;
+    };
+    const panel panels[] = {{2, {10, 14, 17}}, {4, {5, 7, 9}}};
+    const std::size_t points = ctx.u64("points");
 
-  for (const panel& p : panels) {
-    const double lnk = std::log(static_cast<double>(p.k));
-    for (unsigned d : p.depths) {
-      const double m_sites = kary_site_count_all(p.k, d);
-      std::vector<double> xs, ys;
-      for (double frac : log_grid(1e-6, 1.0, points)) {
-        const double n = frac * m_sites;
-        if (n < 1.0) continue;
-        xs.push_back(std::log(frac));
-        ys.push_back(kary_tree_size_all_sites(p.k, d, n) / n);
-      }
-      std::ostringstream label;
-      label << "k=" << p.k << ",D=" << d << "  (L/n vs ln(n/M), all sites)";
-      print_series(std::cout, label.str(), xs, ys);
-
-      std::vector<double> fx, fy;
-      for (std::size_t i = 0; i < xs.size(); ++i) {
-        const double frac = std::exp(xs[i]);
-        if (frac * m_sites > d && frac < 0.3) {
-          fx.push_back(xs[i]);
-          fy.push_back(ys[i]);
+    for (const panel& p : panels) {
+      const double lnk = std::log(static_cast<double>(p.k));
+      ctx.sweep(p.depths.size(), [&](std::size_t i, recorder& rec,
+                                     worker_state&) {
+        const unsigned d = p.depths[i];
+        const double m_sites = kary_site_count_all(p.k, d);
+        std::vector<double> xs, ys;
+        for (double frac : log_grid(1e-6, 1.0, points)) {
+          const double n = frac * m_sites;
+          if (n < 1.0) continue;
+          xs.push_back(std::log(frac));
+          ys.push_back(kary_tree_size_all_sites(p.k, d, n) / n);
         }
+        std::ostringstream label;
+        label << "k=" << p.k << ",D=" << d << "  (L/n vs ln(n/M), all sites)";
+        rec.series(label.str(), xs, ys);
+
+        std::vector<double> fx, fy;
+        for (std::size_t j = 0; j < xs.size(); ++j) {
+          const double frac = std::exp(xs[j]);
+          if (frac * m_sites > d && frac < 0.3) {
+            fx.push_back(xs[j]);
+            fy.push_back(ys[j]);
+          }
+        }
+        const linear_fit lf = fit_linear(fx, fy);
+        std::ostringstream fit;
+        fit << "slope=" << lf.slope << " predicted=" << -1.0 / lnk
+            << " intercept(c)=" << lf.intercept
+            << " leaves_intercept=" << 1.0 / lnk << " R2=" << lf.r_squared;
+        rec.fit("Fig5/k=" + std::to_string(p.k) + ",D=" + std::to_string(d),
+                fit.str());
+      });
+      std::vector<double> rx, ry;
+      for (double lx : linear_grid(std::log(1e-6), 0.0, 13)) {
+        rx.push_back(lx);
+        ry.push_back((1.0 - lx) / lnk);
       }
-      const linear_fit lf = fit_linear(fx, fy);
-      std::ostringstream fit;
-      fit << "slope=" << lf.slope << " predicted=" << -1.0 / lnk
-          << " intercept(c)=" << lf.intercept
-          << " leaves_intercept=" << 1.0 / lnk << " R2=" << lf.r_squared;
-      print_fit_line(std::cout,
-                     "Fig5/k=" + std::to_string(p.k) + ",D=" + std::to_string(d),
-                     fit.str());
-    }
-    std::vector<double> rx, ry;
-    for (double lx : linear_grid(std::log(1e-6), 0.0, 13)) {
-      rx.push_back(lx);
-      ry.push_back((1.0 - lx) / lnk);
-    }
-    print_series(std::cout, "reference (1 - ln(n/M))/ln k, k=" + std::to_string(p.k),
+      ctx.series("reference (1 - ln(n/M))/ln k, k=" + std::to_string(p.k),
                  rx, ry);
-  }
-  std::cout << "paper: same slope -1/ln k as the leaf case, shifted "
-               "constant c (Section 3.4).\n";
-  return 0;
+    }
+    ctx.line(
+        "paper: same slope -1/ln k as the leaf case, shifted "
+        "constant c (Section 3.4).");
+  };
+  reg.add(std::move(e));
 }
+
+}  // namespace mcast::lab

@@ -3,51 +3,66 @@
 //   (a) generated topologies;   (b) real-style topologies.
 // Exponential growth shows as a straight pre-saturation segment; the FIT
 // lines quantify growth rate λ and linearity R², classifying each network
-// the way Section 4.2 does.
+// the way Section 4.2 does. One RNG is shared across the network loop
+// (matching the original binary), so this experiment stays serial.
 #include <cmath>
-#include <iostream>
 #include <sstream>
-#include <string>
-#include <vector>
+
+#include "experiments.hpp"
 
 #include "analysis/reachability.hpp"
-#include "bench_common.hpp"
 #include "graph/components.hpp"
-#include "sim/csv.hpp"
+#include "lab/registry.hpp"
+#include "sim/rng.hpp"
 #include "topo/catalog.hpp"
 
-int main() {
-  using namespace mcast;
-  bench::banner("Fig 7",
-                "ln T(r) vs r for the eight networks (paper Fig 7a/7b); "
-                "exponential vs sub-exponential reachability growth");
+namespace mcast::lab {
 
-  const node_id budget = bench::by_scale<node_id>(400, 30000, 60000);
-  auto suite = paper_networks();
-  if (budget < 30000) suite = scaled_networks(suite, budget);
-  const std::size_t sources = bench::by_scale<std::size_t>(8, 50, 100);
+void register_fig7(registry& reg) {
+  experiment e;
+  e.id = "fig7";
+  e.title = "Fig 7: ln T(r) vs r reachability growth per network";
+  e.claim =
+      "ln T(r) vs r for the eight networks (paper Fig 7a/7b); "
+      "exponential vs sub-exponential reachability growth";
+  e.params = {
+      p_u64("budget",
+            "node budget; suites below 30000 are scaled-down versions",
+            400, 30000, 60000),
+      p_u64("sources", "random sources averaged per network", 8, 50, 100),
+      p_u64("seed", "source-sampling RNG seed", 777),
+  };
+  e.run = [](context& ctx) {
+    const node_id budget = static_cast<node_id>(ctx.u64("budget"));
+    auto suite = paper_networks();
+    if (budget < 30000) suite = scaled_networks(suite, budget);
+    const std::size_t sources = ctx.u64("sources");
 
-  rng gen(777);
-  for (const auto& entry : suite) {
-    const graph g = largest_component(entry.build(7));
-    const reachability_profile prof = mean_reachability(g, sources, gen);
+    rng gen(ctx.u64("seed"));
+    for (const auto& entry : suite) {
+      const graph g = largest_component(entry.build(7));
+      const reachability_profile prof = mean_reachability(g, sources, gen);
 
-    std::vector<double> xs, ys;
-    for (std::size_t r = 1; r < prof.t.size(); ++r) {
-      if (prof.t[r] <= 0.0) continue;
-      xs.push_back(static_cast<double>(r));
-      ys.push_back(std::log(prof.t[r]));
+      std::vector<double> xs, ys;
+      for (std::size_t r = 1; r < prof.t.size(); ++r) {
+        if (prof.t[r] <= 0.0) continue;
+        xs.push_back(static_cast<double>(r));
+        ys.push_back(std::log(prof.t[r]));
+      }
+      ctx.series(entry.name + "  (ln T(r) vs r)", xs, ys);
+
+      const reachability_growth_fit fit = fit_reachability_growth(prof);
+      std::ostringstream line;
+      line << "lambda=" << fit.lambda << " R2=" << fit.r_squared
+           << " radii=" << fit.radii_used << " ubar=" << prof.mean_distance();
+      ctx.fit("Fig7/" + entry.name, line.str());
     }
-    print_series(std::cout, entry.name + "  (ln T(r) vs r)", xs, ys);
-
-    const reachability_growth_fit fit = fit_reachability_growth(prof);
-    std::ostringstream line;
-    line << "lambda=" << fit.lambda << " R2=" << fit.r_squared
-         << " radii=" << fit.radii_used << " ubar=" << prof.mean_distance();
-    print_fit_line(std::cout, "Fig7/" + entry.name, line.str());
-  }
-  std::cout << "paper: r100/ts*/Internet/AS exponential until saturation; "
-               "ti5000 strongly concave, ARPA concave, MBone slightly "
-               "concave (Section 4.2).\n";
-  return 0;
+    ctx.line(
+        "paper: r100/ts*/Internet/AS exponential until saturation; "
+        "ti5000 strongly concave, ARPA concave, MBone slightly "
+        "concave (Section 4.2).");
+  };
+  reg.add(std::move(e));
 }
+
+}  // namespace mcast::lab

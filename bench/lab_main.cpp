@@ -1,0 +1,19 @@
+// mcast_lab — the single driver for every figure/table/ablation/extension
+// experiment (replaces the 20 per-figure binaries; see `mcast_lab list`).
+#include <exception>
+#include <iostream>
+
+#include "experiments.hpp"
+#include "lab/cli.hpp"
+#include "lab/registry.hpp"
+
+int main(int argc, char** argv) {
+  mcast::lab::registry reg;
+  try {
+    mcast::lab::register_builtin(reg);
+  } catch (const std::exception& e) {
+    std::cerr << "mcast_lab: broken registry: " << e.what() << "\n";
+    return 1;
+  }
+  return mcast::lab::run_cli(reg, argc, argv);
+}

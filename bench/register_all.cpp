@@ -1,0 +1,29 @@
+#include "experiments.hpp"
+
+#include "lab/registry.hpp"
+
+namespace mcast::lab {
+
+void register_builtin(registry& reg) {
+  register_table1(reg);
+  register_fig1(reg);
+  register_fig2(reg);
+  register_fig3(reg);
+  register_fig4(reg);
+  register_fig5(reg);
+  register_fig6(reg);
+  register_fig7(reg);
+  register_fig8(reg);
+  register_fig9(reg);
+  register_ablation_tiebreak(reg);
+  register_ablation_mapping(reg);
+  register_ablation_mixing(reg);
+  register_ablation_ts_degree(reg);
+  register_ext_shared_tree(reg);
+  register_ext_reachability_zoo(reg);
+  register_ext_weighted(reg);
+  register_ext_sessions(reg);
+  register_ext_failures(reg);
+}
+
+}  // namespace mcast::lab

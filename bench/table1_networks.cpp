@@ -1,38 +1,53 @@
 // Table 1 — "Description of networks used in Figure 1": name, style,
 // node/link counts, average degree, plus the path statistics that
 // normalize every figure (average unicast path length, diameter).
-#include <iostream>
+#include "experiments.hpp"
 
-#include "bench_common.hpp"
 #include "graph/components.hpp"
 #include "graph/metrics.hpp"
+#include "lab/registry.hpp"
 #include "sim/csv.hpp"
 #include "topo/catalog.hpp"
 
-int main() {
-  using namespace mcast;
-  bench::banner("Table 1",
-                "the eight-network evaluation suite (paper Table 1); our "
-                "generated/substituted versions, see DESIGN.md section 3");
+namespace mcast::lab {
 
-  const node_id budget = bench::by_scale<node_id>(500, 30000, 60000);
-  const auto suite = budget >= 30000 ? paper_networks()
-                                     : scaled_networks(paper_networks(), budget);
+void register_table1(registry& reg) {
+  experiment e;
+  e.id = "table1";
+  e.title = "Table 1 network suite: sizes, degrees, path statistics";
+  e.claim =
+      "the eight-network evaluation suite (paper Table 1); our "
+      "generated/substituted versions, see DESIGN.md section 3";
+  e.params = {
+      p_u64("budget",
+            "node budget; suites below 30000 are scaled-down versions",
+            500, 30000, 60000),
+  };
+  e.run = [](context& ctx) {
+    const node_id budget = static_cast<node_id>(ctx.u64("budget"));
+    const auto suite = budget >= 30000
+                           ? paper_networks()
+                           : scaled_networks(paper_networks(), budget);
 
-  table_writer table({"network", "style", "nodes", "links", "avg degree",
-                      "avg path", "diameter*"});
-  for (const auto& entry : suite) {
-    const graph g = largest_component(entry.build(7));
-    const table1_row row = summarize_network(g);
-    table.add_row({row.name,
-                   entry.kind == network_kind::generated ? "generated" : "real-style",
-                   std::to_string(row.nodes), std::to_string(row.links),
-                   table_writer::num(row.avg_degree, 3),
-                   table_writer::num(row.avg_path_length, 4),
-                   std::to_string(row.diameter)});
-  }
-  table.print(std::cout);
-  std::cout << "\n(*) sampled lower bound for networks above 4000 nodes.\n"
-            << "paper: 8 topologies, 47..56317 nodes, avg degree 2.7..7.5.\n";
-  return 0;
+    table_writer table({"network", "style", "nodes", "links", "avg degree",
+                        "avg path", "diameter*"});
+    for (const auto& entry : suite) {
+      const graph g = largest_component(entry.build(7));
+      const table1_row row = summarize_network(g);
+      table.add_row({row.name,
+                     entry.kind == network_kind::generated ? "generated"
+                                                           : "real-style",
+                     std::to_string(row.nodes), std::to_string(row.links),
+                     table_writer::num(row.avg_degree, 3),
+                     table_writer::num(row.avg_path_length, 4),
+                     std::to_string(row.diameter)});
+    }
+    ctx.table(table);
+    ctx.line("");
+    ctx.line("(*) sampled lower bound for networks above 4000 nodes.");
+    ctx.line("paper: 8 topologies, 47..56317 nodes, avg degree 2.7..7.5.");
+  };
+  reg.add(std::move(e));
 }
+
+}  // namespace mcast::lab

@@ -177,11 +177,8 @@ std::vector<scaling_point> measure(const graph& g, const degraded_view* view,
             "measure: degraded view must leave at least two alive nodes");
   }
 
-  const std::size_t threads = std::min<std::size_t>(
-      params.sources,
-      params.threads == 0
-          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
-          : params.threads);
+  const std::size_t threads =
+      std::min<std::size_t>(params.sources, resolve_thread_count(params.threads));
 
   // Every source task writes its own accumulator block; blocks are merged
   // in source order afterwards, so the result is independent of both the
@@ -254,6 +251,11 @@ std::vector<scaling_point> measure_distinct_receivers(
     const monte_carlo_params& params) {
   return measure(view.base(), &view, group_sizes, params,
                  receiver_model::distinct);
+}
+
+std::size_t resolve_thread_count(std::size_t requested) {
+  if (requested != 0) return requested;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
 }
 
 std::vector<std::uint64_t> default_group_grid(std::uint64_t sites,

@@ -1,0 +1,273 @@
+#include "lab/cli.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lab/engine.hpp"
+#include "lab/manifest.hpp"
+#include "lab/registry.hpp"
+
+namespace mcast::lab {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+void usage(std::ostream& out) {
+  out << "usage: mcast_lab <command> [options]\n"
+         "\n"
+         "commands:\n"
+         "  list                     enumerate experiment ids\n"
+         "  describe <id>            show claim, parameters, tier defaults\n"
+         "  run <id> | run --all     run experiments\n"
+         "  validate <dir>           schema-check BENCH_*.json manifests\n"
+         "\n"
+         "run options:\n"
+         "  --param k=v              override a parameter (repeatable)\n"
+         "  --scale N                effort tier (overrides MCAST_BENCH_SCALE)\n"
+         "  --threads N              scheduler workers (0 = hardware)\n"
+         "  --no-cache               disable the per-source SPT cache\n"
+         "  --manifest-dir DIR       where BENCH_<id>.json lands (default .)\n"
+         "  --out-dir DIR            also write per-experiment <id>.dat files\n"
+         "  --no-manifest            skip writing run manifests\n";
+}
+
+[[noreturn]] void die(const std::string& message) {
+  throw std::invalid_argument(message);
+}
+
+std::string next_arg(const std::vector<std::string>& args, std::size_t& i,
+                     const std::string& flag) {
+  if (i + 1 >= args.size()) die(flag + " needs a value");
+  return args[++i];
+}
+
+struct run_flags {
+  run_options options;
+  std::vector<std::string> ids;
+  bool all = false;
+  std::string manifest_dir = ".";
+  std::string out_dir;
+  bool write_manifests = true;
+};
+
+run_flags parse_run_flags(const std::vector<std::string>& args) {
+  run_flags flags;
+  flags.options.scale = scale_from_env();
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--all") {
+      flags.all = true;
+    } else if (arg == "--param") {
+      const std::string kv = next_arg(args, i, arg);
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        die("--param expects k=v, got '" + kv + "'");
+      }
+      flags.options.overrides.emplace_back(kv.substr(0, eq),
+                                           kv.substr(eq + 1));
+    } else if (arg == "--scale") {
+      flags.options.scale = parse_scale(next_arg(args, i, arg));
+    } else if (arg == "--threads") {
+      flags.options.threads = static_cast<std::size_t>(
+          parse_u64(next_arg(args, i, arg), "--threads"));
+    } else if (arg == "--no-cache") {
+      flags.options.use_spt_cache = false;
+    } else if (arg == "--manifest-dir") {
+      flags.manifest_dir = next_arg(args, i, arg);
+    } else if (arg == "--out-dir") {
+      flags.out_dir = next_arg(args, i, arg);
+    } else if (arg == "--no-manifest") {
+      flags.write_manifests = false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      die("unknown option '" + arg + "'");
+    } else {
+      flags.ids.push_back(arg);
+    }
+  }
+  if (!flags.all && flags.ids.empty()) {
+    die("run: give an experiment id or --all (see `mcast_lab list`)");
+  }
+  if (flags.all && !flags.ids.empty()) {
+    die("run: --all cannot be combined with explicit ids");
+  }
+  if (flags.all && !flags.options.overrides.empty()) {
+    die("run: --param applies to a single experiment, not --all");
+  }
+  return flags;
+}
+
+int cmd_list(const registry& reg) {
+  std::size_t width = 0;
+  for (const experiment& e : reg.all()) width = std::max(width, e.id.size());
+  for (const experiment& e : reg.all()) {
+    std::cout << e.id << std::string(width - e.id.size() + 2, ' ') << e.title
+              << "\n";
+  }
+  return 0;
+}
+
+int cmd_describe(const registry& reg, const std::string& id) {
+  const experiment* exp = reg.find(id);
+  if (exp == nullptr) {
+    std::cerr << "mcast_lab: unknown experiment '" << id
+              << "' (see `mcast_lab list`)\n";
+    return 1;
+  }
+  std::cout << "id:     " << exp->id << "\n"
+            << "title:  " << exp->title << "\n"
+            << "claim:  " << exp->claim << "\n";
+  if (exp->params.empty()) {
+    std::cout << "parameters: (none)\n";
+    return 0;
+  }
+  std::cout << "parameters (smoke / normal / paper defaults):\n";
+  for (const param_spec& p : exp->params) {
+    std::cout << "  " << p.name << " (" << kind_name(p.kind) << ") = "
+              << render(p.smoke) << " / " << render(p.normal) << " / "
+              << render(p.paper) << "\n"
+              << "      " << p.description << "\n";
+  }
+  return 0;
+}
+
+int run_one(const experiment& exp, const run_flags& flags) {
+  std::cerr << "[mcast_lab] run " << exp.id << " scale=" << flags.options.scale
+            << " threads="
+            << (flags.options.threads == 0 ? std::string("auto")
+                                           : std::to_string(flags.options.threads))
+            << " cache=" << (flags.options.use_spt_cache ? "on" : "off")
+            << "\n";
+  const run_outcome outcome = run_experiment(exp, flags.options);
+  outcome.output.render(std::cout);
+  std::cout.flush();
+
+  if (!flags.out_dir.empty()) {
+    fs::create_directories(flags.out_dir);
+    const std::string path = flags.out_dir + "/" + exp.id + ".dat";
+    std::ofstream dat(path, std::ios::trunc);
+    if (!dat) throw std::runtime_error("cannot open '" + path + "'");
+    outcome.output.render(dat);
+  }
+
+  std::string manifest_path = "-";
+  if (flags.write_manifests) {
+    fs::create_directories(flags.manifest_dir);
+    manifest_path = flags.manifest_dir + "/BENCH_" + exp.id + ".json";
+    write_manifest(outcome.manifest, manifest_path);
+  }
+  char wall[32];
+  std::snprintf(wall, sizeof wall, "%.2f", outcome.manifest.wall_seconds);
+  char cpu[32];
+  std::snprintf(cpu, sizeof cpu, "%.2f", outcome.manifest.cpu_seconds);
+  std::cerr << "[mcast_lab] done " << exp.id << " wall=" << wall
+            << "s cpu=" << cpu << "s manifest=" << manifest_path << "\n";
+  return 0;
+}
+
+int cmd_run(const registry& reg, const std::vector<std::string>& args) {
+  const run_flags flags = parse_run_flags(args);
+  std::vector<const experiment*> selected;
+  if (flags.all) {
+    for (const experiment& e : reg.all()) selected.push_back(&e);
+  } else {
+    for (const std::string& id : flags.ids) {
+      const experiment* exp = reg.find(id);
+      if (exp == nullptr) {
+        die("unknown experiment '" + id + "' (see `mcast_lab list`)");
+      }
+      selected.push_back(exp);
+    }
+  }
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    if (i > 0) std::cout << "\n";
+    run_one(*selected[i], flags);
+  }
+  return 0;
+}
+
+int cmd_validate(const std::vector<std::string>& args) {
+  if (args.size() != 1) die("validate: give exactly one manifest directory");
+  const fs::path dir(args[0]);
+  if (!fs::is_directory(dir)) {
+    std::cerr << "mcast_lab: '" << args[0] << "' is not a directory\n";
+    return 2;
+  }
+  std::vector<fs::path> files;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (entry.is_regular_file() && name.rfind("BENCH_", 0) == 0 &&
+        name.size() > 5 && name.compare(name.size() - 5, 5, ".json") == 0) {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::cerr << "mcast_lab: no BENCH_*.json manifests in '" << args[0]
+              << "'\n";
+    return 2;
+  }
+  int bad = 0;
+  for (const fs::path& file : files) {
+    std::ifstream in(file);
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::vector<std::string> problems;
+    try {
+      problems = validate_manifest(json::parse(text.str()));
+    } catch (const std::exception& e) {
+      problems.push_back(e.what());
+    }
+    if (problems.empty()) {
+      std::cout << file.filename().string() << ": ok\n";
+    } else {
+      ++bad;
+      for (const std::string& p : problems) {
+        std::cout << file.filename().string() << ": " << p << "\n";
+      }
+    }
+  }
+  std::cout << files.size() << " manifest(s), " << bad << " invalid\n";
+  return bad == 0 ? 0 : 2;
+}
+
+}  // namespace
+
+int run_cli(const registry& reg, int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    if (args.empty() || args[0] == "help" || args[0] == "--help" ||
+        args[0] == "-h") {
+      usage(std::cout);
+      return args.empty() ? 1 : 0;
+    }
+    const std::string command = args[0];
+    const std::vector<std::string> rest(args.begin() + 1, args.end());
+    if (command == "list") {
+      if (!rest.empty()) die("list takes no arguments");
+      return cmd_list(reg);
+    }
+    if (command == "describe") {
+      if (rest.size() != 1) die("describe: give exactly one experiment id");
+      return cmd_describe(reg, rest[0]);
+    }
+    if (command == "run") return cmd_run(reg, rest);
+    if (command == "validate") return cmd_validate(rest);
+    die("unknown command '" + command + "'");
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "mcast_lab: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "mcast_lab: error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace mcast::lab

@@ -1,0 +1,367 @@
+#include "lab/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mcast::lab::json {
+
+value value::boolean(bool b) {
+  value v;
+  v.kind_ = kind::boolean;
+  v.bool_ = b;
+  return v;
+}
+
+value value::number(double n) {
+  value v;
+  v.kind_ = kind::number;
+  v.number_ = n;
+  return v;
+}
+
+value value::string(std::string s) {
+  value v;
+  v.kind_ = kind::string;
+  v.string_ = std::move(s);
+  return v;
+}
+
+value value::array() {
+  value v;
+  v.kind_ = kind::array;
+  return v;
+}
+
+value value::object() {
+  value v;
+  v.kind_ = kind::object;
+  return v;
+}
+
+namespace {
+
+[[noreturn]] void wrong_kind(const char* want) {
+  throw std::logic_error(std::string("json::value: not a ") + want);
+}
+
+}  // namespace
+
+bool value::as_bool() const {
+  if (kind_ != kind::boolean) wrong_kind("boolean");
+  return bool_;
+}
+
+double value::as_number() const {
+  if (kind_ != kind::number) wrong_kind("number");
+  return number_;
+}
+
+const std::string& value::as_string() const {
+  if (kind_ != kind::string) wrong_kind("string");
+  return string_;
+}
+
+const std::vector<value>& value::items() const {
+  if (kind_ != kind::array) wrong_kind("array");
+  return items_;
+}
+
+const std::vector<std::pair<std::string, value>>& value::members() const {
+  if (kind_ != kind::object) wrong_kind("object");
+  return members_;
+}
+
+const value* value::get(const std::string& key) const noexcept {
+  if (kind_ != kind::object) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void value::push(value v) {
+  if (kind_ != kind::array) wrong_kind("array");
+  items_.push_back(std::move(v));
+}
+
+void value::set(const std::string& key, value v) {
+  if (kind_ != kind::object) wrong_kind("object");
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  members_.emplace_back(key, std::move(v));
+}
+
+// --- parser ---
+
+namespace {
+
+class parser {
+ public:
+  explicit parser(const std::string& text) : text_(text) {}
+
+  value document() {
+    skip_ws();
+    value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::invalid_argument("json: " + why + " at offset " +
+                                std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) {
+      throw std::invalid_argument("json: unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  bool literal(const char* word) {
+    std::size_t n = 0;
+    while (word[n] != '\0') ++n;
+    if (text_.compare(pos_, n, word) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  value parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return value::string(parse_string());
+    if (literal("true")) return value::boolean(true);
+    if (literal("false")) return value::boolean(false);
+    if (literal("null")) return value();
+    return parse_number();
+  }
+
+  value parse_object() {
+    expect('{');
+    value obj = value::object();
+    skip_ws();
+    if (consume('}')) return obj;
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(key, parse_value());
+      skip_ws();
+      if (consume('}')) return obj;
+      expect(',');
+    }
+  }
+
+  value parse_array() {
+    expect('[');
+    value arr = value::array();
+    skip_ws();
+    if (consume(']')) return arr;
+    while (true) {
+      arr.push(parse_value());
+      skip_ws();
+      if (consume(']')) return arr;
+      expect(',');
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape digit");
+          }
+          // Minimal UTF-8 encoding (manifests only escape control chars,
+          // but accept the full BMP for robustness).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (errno == ERANGE || end != token.c_str() + token.size() ||
+        !std::isfinite(v)) {
+      pos_ = start;
+      fail("malformed number '" + token + "'");
+    }
+    return value::number(v);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+void dump_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_number(double n, std::string& out) {
+  char buf[40];
+  if (n == std::floor(n) && std::abs(n) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", n);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", n);
+  }
+  out += buf;
+}
+
+void dump_value(const value& v, int depth, std::string& out) {
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  const std::string pad_in(static_cast<std::size_t>(depth + 1) * 2, ' ');
+  switch (v.type()) {
+    case value::kind::null: out += "null"; return;
+    case value::kind::boolean: out += v.as_bool() ? "true" : "false"; return;
+    case value::kind::number: dump_number(v.as_number(), out); return;
+    case value::kind::string: dump_string(v.as_string(), out); return;
+    case value::kind::array: {
+      if (v.items().empty()) {
+        out += "[]";
+        return;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < v.items().size(); ++i) {
+        out += pad_in;
+        dump_value(v.items()[i], depth + 1, out);
+        if (i + 1 < v.items().size()) out += ",";
+        out += "\n";
+      }
+      out += pad + "]";
+      return;
+    }
+    case value::kind::object: {
+      if (v.members().empty()) {
+        out += "{}";
+        return;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < v.members().size(); ++i) {
+        out += pad_in;
+        dump_string(v.members()[i].first, out);
+        out += ": ";
+        dump_value(v.members()[i].second, depth + 1, out);
+        if (i + 1 < v.members().size()) out += ",";
+        out += "\n";
+      }
+      out += pad + "}";
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+value parse(const std::string& text) { return parser(text).document(); }
+
+std::string dump(const value& v) {
+  std::string out;
+  dump_value(v, 0, out);
+  out += "\n";
+  return out;
+}
+
+}  // namespace mcast::lab::json

@@ -1,0 +1,277 @@
+#include "lab/params.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mcast::lab {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what, const std::string& text,
+                      const char* expected) {
+  throw std::invalid_argument(what + ": expected " + expected + ", got '" +
+                              text + "'");
+}
+
+bool all_digits(const std::string& s, std::size_t from) {
+  if (from >= s.size()) return false;
+  for (std::size_t i = from; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::int64_t parse_i64(const std::string& text, const std::string& what) {
+  const std::size_t from = (!text.empty() && text[0] == '-') ? 1 : 0;
+  if (!all_digits(text, from)) bad(what, text, "a decimal integer");
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (errno == ERANGE || end != text.c_str() + text.size()) {
+    bad(what, text, "a decimal integer in range");
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+std::uint64_t parse_u64(const std::string& text, const std::string& what) {
+  if (!all_digits(text, 0)) bad(what, text, "an unsigned decimal integer");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno == ERANGE || end != text.c_str() + text.size()) {
+    bad(what, text, "an unsigned decimal integer in range");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+double parse_real(const std::string& text, const std::string& what) {
+  if (text.empty() || std::isspace(static_cast<unsigned char>(text[0]))) {
+    bad(what, text, "a finite number");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (errno == ERANGE || end != text.c_str() + text.size() ||
+      !std::isfinite(v)) {
+    bad(what, text, "a finite number");
+  }
+  return v;
+}
+
+bool parse_bool(const std::string& text, const std::string& what) {
+  if (text == "true" || text == "1") return true;
+  if (text == "false" || text == "0") return false;
+  bad(what, text, "true/false/1/0");
+}
+
+int parse_scale(const std::string& text) {
+  const std::int64_t v = parse_i64(text, "MCAST_BENCH_SCALE");
+  return v < 0 ? 0 : (v > 8 ? 8 : static_cast<int>(v));
+}
+
+int scale_from_env() {
+  const char* env = std::getenv("MCAST_BENCH_SCALE");
+  if (env == nullptr) return 1;
+  return parse_scale(env);
+}
+
+param_kind kind_of(const param_value& v) noexcept {
+  return static_cast<param_kind>(v.index());
+}
+
+const char* kind_name(param_kind kind) noexcept {
+  switch (kind) {
+    case param_kind::i64: return "i64";
+    case param_kind::u64: return "u64";
+    case param_kind::real: return "real";
+    case param_kind::boolean: return "bool";
+    case param_kind::text: return "text";
+  }
+  return "?";
+}
+
+std::string render(const param_value& v) {
+  switch (kind_of(v)) {
+    case param_kind::i64: return std::to_string(std::get<std::int64_t>(v));
+    case param_kind::u64: return std::to_string(std::get<std::uint64_t>(v));
+    case param_kind::real: {
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.17g", std::get<double>(v));
+      return buf;
+    }
+    case param_kind::boolean: return std::get<bool>(v) ? "true" : "false";
+    case param_kind::text: return std::get<std::string>(v);
+  }
+  return {};
+}
+
+param_value parse_value(param_kind kind, const std::string& text,
+                        const std::string& what) {
+  switch (kind) {
+    case param_kind::i64: return parse_i64(text, what);
+    case param_kind::u64: return parse_u64(text, what);
+    case param_kind::real: return parse_real(text, what);
+    case param_kind::boolean: return parse_bool(text, what);
+    case param_kind::text: return text;
+  }
+  throw std::logic_error("parse_value: unknown kind");
+}
+
+const param_value& param_spec::default_for(int scale) const noexcept {
+  if (scale <= 0) return smoke;
+  if (scale == 1) return normal;
+  return paper;
+}
+
+namespace {
+
+param_spec make_spec(std::string name, std::string description,
+                     param_value smoke, param_value normal,
+                     param_value paper) {
+  param_spec s;
+  s.name = std::move(name);
+  s.description = std::move(description);
+  s.kind = kind_of(smoke);
+  s.smoke = std::move(smoke);
+  s.normal = std::move(normal);
+  s.paper = std::move(paper);
+  return s;
+}
+
+}  // namespace
+
+param_spec p_u64(std::string name, std::string description,
+                 std::uint64_t fixed) {
+  return p_u64(std::move(name), std::move(description), fixed, fixed, fixed);
+}
+
+param_spec p_u64(std::string name, std::string description, std::uint64_t smoke,
+                 std::uint64_t normal, std::uint64_t paper) {
+  return make_spec(std::move(name), std::move(description), smoke, normal,
+                   paper);
+}
+
+param_spec p_i64(std::string name, std::string description,
+                 std::int64_t fixed) {
+  return make_spec(std::move(name), std::move(description), fixed, fixed,
+                   fixed);
+}
+
+param_spec p_real(std::string name, std::string description, double fixed) {
+  return p_real(std::move(name), std::move(description), fixed, fixed, fixed);
+}
+
+param_spec p_real(std::string name, std::string description, double smoke,
+                  double normal, double paper) {
+  return make_spec(std::move(name), std::move(description), smoke, normal,
+                   paper);
+}
+
+param_spec p_bool(std::string name, std::string description, bool fixed) {
+  return make_spec(std::move(name), std::move(description), fixed, fixed,
+                   fixed);
+}
+
+param_spec p_text(std::string name, std::string description,
+                  std::string fixed) {
+  param_value v = std::move(fixed);
+  return make_spec(std::move(name), std::move(description), v, v, v);
+}
+
+void param_set::set(const std::string& name, param_value v) {
+  for (auto& [k, existing] : values_) {
+    if (k == name) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  values_.emplace_back(name, std::move(v));
+}
+
+bool param_set::has(const std::string& name) const noexcept {
+  for (const auto& [k, v] : values_) {
+    if (k == name) return true;
+  }
+  return false;
+}
+
+const param_value& param_set::at(const std::string& name) const {
+  for (const auto& [k, v] : values_) {
+    if (k == name) return v;
+  }
+  throw std::logic_error("param_set: experiment read undeclared parameter '" +
+                         name + "'");
+}
+
+namespace {
+
+template <typename T>
+const T& typed(const param_set& set, const std::string& name) {
+  const param_value& v = set.at(name);
+  if (!std::holds_alternative<T>(v)) {
+    throw std::logic_error("param_set: parameter '" + name +
+                           "' read with the wrong type (declared " +
+                           kind_name(kind_of(v)) + ")");
+  }
+  return std::get<T>(v);
+}
+
+}  // namespace
+
+std::uint64_t param_set::u64(const std::string& name) const {
+  return typed<std::uint64_t>(*this, name);
+}
+
+std::int64_t param_set::i64(const std::string& name) const {
+  return typed<std::int64_t>(*this, name);
+}
+
+double param_set::real(const std::string& name) const {
+  return typed<double>(*this, name);
+}
+
+bool param_set::flag(const std::string& name) const {
+  return typed<bool>(*this, name);
+}
+
+const std::string& param_set::text(const std::string& name) const {
+  return typed<std::string>(*this, name);
+}
+
+param_set resolve_params(
+    const std::vector<param_spec>& specs, int scale,
+    const std::vector<std::pair<std::string, std::string>>& overrides) {
+  param_set out;
+  for (const param_spec& spec : specs) {
+    out.set(spec.name, spec.default_for(scale));
+  }
+  for (const auto& [name, text] : overrides) {
+    const param_spec* spec = nullptr;
+    for (const param_spec& s : specs) {
+      if (s.name == name) {
+        spec = &s;
+        break;
+      }
+    }
+    if (spec == nullptr) {
+      std::string known;
+      for (const param_spec& s : specs) {
+        known += known.empty() ? s.name : ", " + s.name;
+      }
+      throw std::invalid_argument(
+          "unknown parameter '" + name + "'" +
+          (known.empty() ? " (this experiment has no parameters)"
+                         : " (available: " + known + ")"));
+    }
+    out.set(name, parse_value(spec->kind, text, "parameter '" + name + "'"));
+  }
+  return out;
+}
+
+}  // namespace mcast::lab

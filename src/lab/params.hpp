@@ -1,0 +1,122 @@
+// Typed experiment parameters with scale-tier defaults and strict parsing.
+//
+// Every experiment in the registry (lab/registry.hpp) declares its knobs as
+// `param_spec`s: a name, a one-line description, a type, and a default per
+// effort tier (smoke / default / paper-scale — the MCAST_BENCH_SCALE tiers
+// the old per-figure binaries hard-coded through `by_scale`). The engine
+// resolves the specs against the active scale and any `--param k=v`
+// overrides into a `param_set` the run function reads through typed
+// getters.
+//
+// All parsing here is strict: the whole string must be a value of the
+// declared type or std::invalid_argument is thrown with a message naming
+// the offender. This replaces the old `mcast::bench::scale()` which piped
+// MCAST_BENCH_SCALE through atoi and silently treated garbage as 0.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace mcast::lab {
+
+// --- strict scalar parsers (whole-string; throw std::invalid_argument) ---
+
+/// Decimal signed integer. `what` names the value in error messages.
+std::int64_t parse_i64(const std::string& text, const std::string& what);
+
+/// Decimal unsigned integer (no sign allowed).
+std::uint64_t parse_u64(const std::string& text, const std::string& what);
+
+/// Finite floating-point number (strtod grammar, whole string).
+double parse_real(const std::string& text, const std::string& what);
+
+/// "true" / "false" / "1" / "0".
+bool parse_bool(const std::string& text, const std::string& what);
+
+/// Effort scale: a decimal integer, clamped to [0, 8]. Non-numeric input
+/// is rejected loudly (the old atoi path mapped it to 0).
+int parse_scale(const std::string& text);
+
+/// MCAST_BENCH_SCALE from the environment (1 when unset), strict-parsed.
+int scale_from_env();
+
+// --- parameter values and specs ---
+
+enum class param_kind { i64, u64, real, boolean, text };
+
+using param_value =
+    std::variant<std::int64_t, std::uint64_t, double, bool, std::string>;
+
+param_kind kind_of(const param_value& v) noexcept;
+
+/// "i64", "u64", "real", "bool", "text".
+const char* kind_name(param_kind kind) noexcept;
+
+/// Renders a value so that parse_value(kind_of(v), render(v)) == v.
+/// Reals use %.17g, so IEEE doubles round-trip exactly.
+std::string render(const param_value& v);
+
+/// Strict-parses `text` as a value of `kind`.
+param_value parse_value(param_kind kind, const std::string& text,
+                        const std::string& what);
+
+/// One declared knob of an experiment, with a default per effort tier.
+struct param_spec {
+  std::string name;
+  std::string description;
+  param_kind kind = param_kind::u64;
+  param_value smoke;   ///< scale 0 default
+  param_value normal;  ///< scale 1 default
+  param_value paper;   ///< scale >= 2 default
+
+  /// Tier selection: scale <= 0 -> smoke, == 1 -> normal, >= 2 -> paper
+  /// (the same rule the old bench::by_scale applied).
+  const param_value& default_for(int scale) const noexcept;
+};
+
+// Spec builders: fixed (same default at every tier) and tiered.
+param_spec p_u64(std::string name, std::string description, std::uint64_t fixed);
+param_spec p_u64(std::string name, std::string description, std::uint64_t smoke,
+                 std::uint64_t normal, std::uint64_t paper);
+param_spec p_i64(std::string name, std::string description, std::int64_t fixed);
+param_spec p_real(std::string name, std::string description, double fixed);
+param_spec p_real(std::string name, std::string description, double smoke,
+                  double normal, double paper);
+param_spec p_bool(std::string name, std::string description, bool fixed);
+param_spec p_text(std::string name, std::string description, std::string fixed);
+
+/// Resolved name -> value map, in declaration order. Typed getters check
+/// both presence and kind (a mismatch is a programming error in the
+/// experiment and throws std::logic_error).
+class param_set {
+ public:
+  void set(const std::string& name, param_value v);
+
+  bool has(const std::string& name) const noexcept;
+  const param_value& at(const std::string& name) const;
+
+  std::uint64_t u64(const std::string& name) const;
+  std::int64_t i64(const std::string& name) const;
+  double real(const std::string& name) const;
+  bool flag(const std::string& name) const;
+  const std::string& text(const std::string& name) const;
+
+  const std::vector<std::pair<std::string, param_value>>& entries() const {
+    return values_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, param_value>> values_;
+};
+
+/// Resolves `specs` at `scale`, then applies `overrides` ("k=v" pairs
+/// already split into name/text). Unknown names and malformed values throw
+/// std::invalid_argument.
+param_set resolve_params(
+    const std::vector<param_spec>& specs, int scale,
+    const std::vector<std::pair<std::string, std::string>>& overrides);
+
+}  // namespace mcast::lab

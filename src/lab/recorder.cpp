@@ -1,0 +1,121 @@
+#include "lab/recorder.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+#include "common/contract.hpp"
+#include "sim/csv.hpp"
+
+namespace mcast::lab {
+
+namespace {
+
+// Extracts `key=<number>` tokens from a FIT line's free text. Tokens whose
+// right-hand side is not a complete finite number (e.g. "(paper: ~0.8)")
+// are simply skipped — the text channel keeps them.
+std::vector<std::pair<std::string, double>> parse_fit_values(
+    const std::string& text) {
+  std::vector<std::pair<std::string, double>> out;
+  std::istringstream in(text);
+  std::string token;
+  while (in >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size()) continue;
+    const std::string rhs = token.substr(eq + 1);
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(rhs.c_str(), &end);
+    if (errno == ERANGE || end != rhs.c_str() + rhs.size() ||
+        !std::isfinite(v)) {
+      continue;
+    }
+    out.emplace_back(token.substr(0, eq), v);
+  }
+  return out;
+}
+
+}  // namespace
+
+void recorder::series(const std::string& label, const std::vector<double>& x,
+                      const std::vector<double>& y) {
+  expects(x.size() == y.size(), "recorder::series: x/y size mismatch");
+  xy_series s;
+  s.label = label;
+  s.x = x;
+  s.y = y;
+  items_.push_back({kind::series, series_.size()});
+  series_.push_back(std::move(s));
+}
+
+void recorder::fit(const std::string& label, const std::string& text) {
+  fit_entry f;
+  f.label = label;
+  f.text = text;
+  f.values = parse_fit_values(text);
+  items_.push_back({kind::fit, fits_.size()});
+  fits_.push_back(std::move(f));
+}
+
+void recorder::table(const table_writer& t) {
+  std::ostringstream os;
+  t.print(os);
+  items_.push_back({kind::block, blocks_.size()});
+  blocks_.push_back(os.str());
+}
+
+void recorder::text(const std::string& line) {
+  items_.push_back({kind::block, blocks_.size()});
+  blocks_.push_back(line + "\n");
+}
+
+void recorder::splice(recorder&& other) {
+  for (const item& it : other.items_) {
+    switch (it.k) {
+      case kind::series:
+        items_.push_back({kind::series, series_.size()});
+        series_.push_back(std::move(other.series_[it.index]));
+        break;
+      case kind::fit:
+        items_.push_back({kind::fit, fits_.size()});
+        fits_.push_back(std::move(other.fits_[it.index]));
+        break;
+      case kind::block:
+        items_.push_back({kind::block, blocks_.size()});
+        blocks_.push_back(std::move(other.blocks_[it.index]));
+        break;
+    }
+  }
+  other.items_.clear();
+  other.series_.clear();
+  other.fits_.clear();
+  other.blocks_.clear();
+}
+
+void recorder::render(std::ostream& out) const {
+  for (const item& it : items_) {
+    switch (it.k) {
+      case kind::series: {
+        const xy_series& s = series_[it.index];
+        print_series(out, s.label, s.x, s.y);
+        break;
+      }
+      case kind::fit:
+        print_fit_line(out, fits_[it.index].label, fits_[it.index].text);
+        break;
+      case kind::block:
+        out << blocks_[it.index];
+        break;
+    }
+  }
+}
+
+std::string recorder::str() const {
+  std::ostringstream os;
+  render(os);
+  return os.str();
+}
+
+}  // namespace mcast::lab

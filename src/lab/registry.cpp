@@ -1,0 +1,34 @@
+#include "lab/registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mcast::lab {
+
+void registry::add(experiment e) {
+  if (e.id.empty()) {
+    throw std::logic_error("registry: experiment with empty id");
+  }
+  if (!e.run) {
+    throw std::logic_error("registry: experiment '" + e.id +
+                           "' has no run function");
+  }
+  if (find(e.id) != nullptr) {
+    throw std::logic_error("registry: duplicate experiment id '" + e.id + "'");
+  }
+  experiments_.push_back(std::move(e));
+}
+
+const experiment* registry::find(const std::string& id) const noexcept {
+  for (const experiment& e : experiments_) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+void context::sweep(std::size_t count, const sweep_fn& fn) {
+  std::vector<recorder> parts = run_sweep(count, threads_, fn);
+  for (recorder& part : parts) rec_.splice(std::move(part));
+}
+
+}  // namespace mcast::lab

@@ -1,0 +1,54 @@
+#include "lab/scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace mcast::lab {
+
+std::vector<recorder> run_sweep(std::size_t count, std::size_t workers,
+                                const sweep_fn& fn) {
+  std::vector<recorder> recorders(count);
+  if (count == 0) return recorders;
+
+  std::size_t n_workers =
+      workers == 0 ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+                   : workers;
+  if (n_workers > count) n_workers = count;
+
+  if (n_workers <= 1) {
+    worker_state state;
+    for (std::size_t i = 0; i < count; ++i) fn(i, recorders[i], state);
+    return recorders;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&]() {
+    worker_state state;
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i, recorders[i], state);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(n_workers);
+  for (std::size_t w = 0; w < n_workers; ++w) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+  return recorders;
+}
+
+}  // namespace mcast::lab

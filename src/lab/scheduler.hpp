@@ -1,0 +1,41 @@
+// Deterministic parallel sweep scheduler for the experiment engine.
+//
+// Most figures sweep an outer axis (networks, depths, modes) where each
+// point is independent and carries its own seed. `run_sweep` fans those
+// points out over worker threads while keeping the *output* identical to a
+// serial run: every point writes into its own recorder, and the caller
+// splices the recorders back in index order. Each worker owns one
+// `worker_state` carrying the reusable traversal workspace and per-source
+// SPT cache from the core layer, so a sweep reuses scratch memory exactly
+// like the Monte-Carlo runner does internally.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "graph/workspace.hpp"
+#include "lab/recorder.hpp"
+#include "multicast/spt_cache.hpp"
+
+namespace mcast::lab {
+
+/// Per-worker scratch, reused across all sweep points a worker executes.
+struct worker_state {
+  traversal_workspace workspace;
+  spt_cache cache{64};
+};
+
+/// Runs `fn(index, rec, state)` for index = 0..count-1 across up to
+/// `workers` threads (0 = hardware concurrency; capped at `count`) and
+/// returns the per-index recorders in index order. Point outputs are
+/// therefore independent of the thread count and of scheduling order.
+/// The first exception thrown by any point is rethrown after all workers
+/// join. With one effective worker everything runs on the calling thread.
+using sweep_fn =
+    std::function<void(std::size_t index, recorder& rec, worker_state& state)>;
+
+std::vector<recorder> run_sweep(std::size_t count, std::size_t workers,
+                                const sweep_fn& fn);
+
+}  // namespace mcast::lab

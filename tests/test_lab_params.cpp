@@ -1,0 +1,146 @@
+// Strict parameter parsing (lab/params.hpp). The headline regression:
+// MCAST_BENCH_SCALE=abc used to flow through atoi and silently mean
+// "smoke scale"; now every scalar is whole-string parsed and garbage is a
+// loud std::invalid_argument.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "lab/params.hpp"
+
+namespace mcast::lab {
+namespace {
+
+TEST(lab_params, i64_strict) {
+  EXPECT_EQ(parse_i64("42", "x"), 42);
+  EXPECT_EQ(parse_i64("-7", "x"), -7);
+  EXPECT_THROW(parse_i64("", "x"), std::invalid_argument);
+  EXPECT_THROW(parse_i64("abc", "x"), std::invalid_argument);
+  EXPECT_THROW(parse_i64("12abc", "x"), std::invalid_argument);
+  EXPECT_THROW(parse_i64("1.5", "x"), std::invalid_argument);
+  EXPECT_THROW(parse_i64(" 12", "x"), std::invalid_argument);
+  EXPECT_THROW(parse_i64("99999999999999999999999", "x"),
+               std::invalid_argument);
+}
+
+TEST(lab_params, u64_strict) {
+  EXPECT_EQ(parse_u64("0", "x"), 0u);
+  EXPECT_EQ(parse_u64("18446744073709551615", "x"), ~std::uint64_t{0});
+  EXPECT_THROW(parse_u64("-1", "x"), std::invalid_argument);
+  EXPECT_THROW(parse_u64("+3", "x"), std::invalid_argument);
+  EXPECT_THROW(parse_u64("18446744073709551616", "x"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_u64("1e3", "x"), std::invalid_argument);
+}
+
+TEST(lab_params, real_strict) {
+  EXPECT_DOUBLE_EQ(parse_real("1.5", "x"), 1.5);
+  EXPECT_DOUBLE_EQ(parse_real("-2e3", "x"), -2000.0);
+  EXPECT_THROW(parse_real("", "x"), std::invalid_argument);
+  EXPECT_THROW(parse_real("1.5x", "x"), std::invalid_argument);
+  EXPECT_THROW(parse_real("nanana", "x"), std::invalid_argument);
+  EXPECT_THROW(parse_real("inf", "x"), std::invalid_argument);  // not finite
+}
+
+TEST(lab_params, bool_strict) {
+  EXPECT_TRUE(parse_bool("true", "x"));
+  EXPECT_TRUE(parse_bool("1", "x"));
+  EXPECT_FALSE(parse_bool("false", "x"));
+  EXPECT_FALSE(parse_bool("0", "x"));
+  EXPECT_THROW(parse_bool("yes", "x"), std::invalid_argument);
+  EXPECT_THROW(parse_bool("TRUE", "x"), std::invalid_argument);
+}
+
+TEST(lab_params, scale_strict_and_clamped) {
+  EXPECT_EQ(parse_scale("0"), 0);
+  EXPECT_EQ(parse_scale("1"), 1);
+  EXPECT_EQ(parse_scale("2"), 2);
+  EXPECT_EQ(parse_scale("99"), 8);   // clamped high
+  EXPECT_EQ(parse_scale("-3"), 0);   // clamped low
+  EXPECT_THROW(parse_scale("abc"), std::invalid_argument);  // the old atoi hole
+  EXPECT_THROW(parse_scale("1x"), std::invalid_argument);
+  EXPECT_THROW(parse_scale(""), std::invalid_argument);
+}
+
+TEST(lab_params, scale_from_env) {
+  ASSERT_EQ(unsetenv("MCAST_BENCH_SCALE"), 0);
+  EXPECT_EQ(scale_from_env(), 1);  // unset -> normal tier
+
+  ASSERT_EQ(setenv("MCAST_BENCH_SCALE", "0", 1), 0);
+  EXPECT_EQ(scale_from_env(), 0);
+  ASSERT_EQ(setenv("MCAST_BENCH_SCALE", "2", 1), 0);
+  EXPECT_EQ(scale_from_env(), 2);
+
+  // Garbage must be rejected, not silently mapped to 0 (the atoi bug).
+  ASSERT_EQ(setenv("MCAST_BENCH_SCALE", "abc", 1), 0);
+  EXPECT_THROW(scale_from_env(), std::invalid_argument);
+  ASSERT_EQ(setenv("MCAST_BENCH_SCALE", "", 1), 0);
+  EXPECT_THROW(scale_from_env(), std::invalid_argument);
+
+  ASSERT_EQ(unsetenv("MCAST_BENCH_SCALE"), 0);
+}
+
+TEST(lab_params, render_parse_round_trip) {
+  const param_value samples[] = {
+      param_value{std::int64_t{-42}},
+      param_value{std::uint64_t{1999}},
+      param_value{0.1},            // not exactly representable; %.17g must
+      param_value{1.0 / 3.0},      // round-trip the bits regardless
+      param_value{true},
+      param_value{std::string{"all"}},
+  };
+  for (const param_value& v : samples) {
+    const param_value back = parse_value(kind_of(v), render(v), "x");
+    EXPECT_EQ(back, v) << render(v);
+  }
+}
+
+TEST(lab_params, tier_defaults) {
+  const param_spec tiered = p_u64("n", "d", 10, 100, 1000);
+  EXPECT_EQ(std::get<std::uint64_t>(tiered.default_for(-1)), 10u);
+  EXPECT_EQ(std::get<std::uint64_t>(tiered.default_for(0)), 10u);
+  EXPECT_EQ(std::get<std::uint64_t>(tiered.default_for(1)), 100u);
+  EXPECT_EQ(std::get<std::uint64_t>(tiered.default_for(2)), 1000u);
+  EXPECT_EQ(std::get<std::uint64_t>(tiered.default_for(8)), 1000u);
+
+  const param_spec fixed = p_real("x", "d", 2.5);
+  for (int s : {0, 1, 2}) {
+    EXPECT_DOUBLE_EQ(std::get<double>(fixed.default_for(s)), 2.5);
+  }
+}
+
+TEST(lab_params, resolve_defaults_and_overrides) {
+  const std::vector<param_spec> specs = {
+      p_u64("seed", "rng seed", 7),
+      p_real("horizon", "time", 10.0, 20.0, 40.0),
+      p_text("mode", "style", "fast"),
+  };
+  const param_set at0 = resolve_params(specs, 0, {});
+  EXPECT_EQ(at0.u64("seed"), 7u);
+  EXPECT_DOUBLE_EQ(at0.real("horizon"), 10.0);
+  EXPECT_EQ(at0.text("mode"), "fast");
+
+  const param_set over =
+      resolve_params(specs, 1, {{"horizon", "33.5"}, {"mode", "slow"}});
+  EXPECT_DOUBLE_EQ(over.real("horizon"), 33.5);
+  EXPECT_EQ(over.text("mode"), "slow");
+  EXPECT_EQ(over.u64("seed"), 7u);  // untouched default
+
+  // Unknown override names and ill-typed values are loud.
+  EXPECT_THROW(resolve_params(specs, 0, {{"bogus", "1"}}),
+               std::invalid_argument);
+  EXPECT_THROW(resolve_params(specs, 0, {{"seed", "notanumber"}}),
+               std::invalid_argument);
+}
+
+TEST(lab_params, typed_getters_check_kind) {
+  const param_set p = resolve_params({p_u64("n", "d", 3)}, 0, {});
+  EXPECT_EQ(p.u64("n"), 3u);
+  EXPECT_THROW(p.real("n"), std::logic_error);    // kind mismatch
+  EXPECT_THROW(p.u64("absent"), std::logic_error);  // undeclared name
+}
+
+}  // namespace
+}  // namespace mcast::lab

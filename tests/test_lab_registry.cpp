@@ -1,0 +1,116 @@
+// Registry invariants over the full built-in experiment suite: ids are
+// unique and exactly the expected set, every experiment is describable
+// (non-empty title/claim, documented params), and every declared default
+// survives a round-trip through the `--param k=v` text channel.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "experiments.hpp"
+#include "lab/params.hpp"
+#include "lab/registry.hpp"
+
+namespace mcast::lab {
+namespace {
+
+registry builtin() {
+  registry reg;
+  register_builtin(reg);
+  return reg;
+}
+
+TEST(lab_registry, exact_id_set_in_order) {
+  const std::vector<std::string> expected = {
+      "table1",        "fig1",           "fig2",
+      "fig3",          "fig4",           "fig5",
+      "fig6",          "fig7",           "fig8",
+      "fig9",          "ablation_tiebreak", "ablation_mapping",
+      "ablation_mixing", "ablation_ts_degree", "ext_shared_tree",
+      "ext_reachability_zoo", "ext_weighted", "ext_sessions",
+      "ext_failures",
+  };
+  const registry reg = builtin();
+  ASSERT_EQ(reg.all().size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(reg.all()[i].id, expected[i]) << "position " << i;
+  }
+}
+
+TEST(lab_registry, ids_unique_and_findable) {
+  const registry reg = builtin();
+  std::set<std::string> seen;
+  for (const experiment& e : reg.all()) {
+    EXPECT_TRUE(seen.insert(e.id).second) << "duplicate id " << e.id;
+    const experiment* found = reg.find(e.id);
+    ASSERT_NE(found, nullptr) << e.id;
+    EXPECT_EQ(found->id, e.id);
+  }
+  EXPECT_EQ(reg.find("no_such_experiment"), nullptr);
+}
+
+TEST(lab_registry, every_experiment_describable) {
+  const registry reg = builtin();
+  for (const experiment& e : reg.all()) {
+    EXPECT_FALSE(e.title.empty()) << e.id;
+    EXPECT_FALSE(e.claim.empty()) << e.id;
+    EXPECT_TRUE(static_cast<bool>(e.run)) << e.id;
+    std::set<std::string> names;
+    for (const param_spec& spec : e.params) {
+      EXPECT_FALSE(spec.name.empty()) << e.id;
+      EXPECT_FALSE(spec.description.empty()) << e.id << "/" << spec.name;
+      EXPECT_TRUE(names.insert(spec.name).second)
+          << e.id << " duplicate param " << spec.name;
+      // Tier defaults must all carry the declared kind.
+      for (int scale : {0, 1, 2}) {
+        EXPECT_EQ(kind_of(spec.default_for(scale)), spec.kind)
+            << e.id << "/" << spec.name << " scale " << scale;
+      }
+    }
+  }
+}
+
+// Every default, at every tier, must survive render() -> `--param k=v`
+// parsing and come back equal — otherwise a user cannot reproduce a run
+// from the values `describe` prints.
+TEST(lab_registry, defaults_round_trip_through_param_overrides) {
+  const registry reg = builtin();
+  for (const experiment& e : reg.all()) {
+    for (int scale : {0, 1, 2}) {
+      std::vector<std::pair<std::string, std::string>> overrides;
+      for (const param_spec& spec : e.params) {
+        overrides.emplace_back(spec.name, render(spec.default_for(scale)));
+      }
+      const param_set plain = resolve_params(e.params, scale, {});
+      const param_set routed = resolve_params(e.params, scale, overrides);
+      ASSERT_EQ(plain.entries().size(), routed.entries().size()) << e.id;
+      for (std::size_t i = 0; i < plain.entries().size(); ++i) {
+        EXPECT_EQ(plain.entries()[i], routed.entries()[i])
+            << e.id << " scale " << scale << " param "
+            << plain.entries()[i].first;
+      }
+    }
+  }
+}
+
+TEST(lab_registry, add_rejects_bad_registrations) {
+  registry reg;
+  experiment ok;
+  ok.id = "x";
+  ok.run = [](context&) {};
+  reg.add(ok);
+  EXPECT_THROW(reg.add(ok), std::logic_error);  // duplicate id
+
+  experiment no_id;
+  no_id.run = [](context&) {};
+  EXPECT_THROW(reg.add(no_id), std::logic_error);
+
+  experiment no_run;
+  no_run.id = "y";
+  EXPECT_THROW(reg.add(no_run), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mcast::lab

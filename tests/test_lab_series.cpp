@@ -1,0 +1,162 @@
+// Engine-level series guarantees for the analytic figures (2, 3, 4):
+//   * byte-identical output across scheduler thread counts (1 vs 4) and
+//     with the SPT cache on or off — the scheduler splices sweep points
+//     back in index order, so parallelism must never show in the bytes;
+//   * byte-identical to the checked-in goldens under tests/data/ (the
+//     exact text the retired per-figure binaries printed at scale 0);
+//   * differentially identical to a direct closed-form recomputation
+//     (fig2's h(x) and fig4's L(m)/D evaluated straight from
+//     analysis/kary_exact.hpp at the recorded x grid).
+//
+// Regenerating after a *deliberate* output change:
+//   MCAST_REGEN_GOLDEN=1 ./test_lab_series
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/kary_exact.hpp"
+#include "experiments.hpp"
+#include "lab/engine.hpp"
+#include "lab/registry.hpp"
+
+namespace mcast::lab {
+namespace {
+
+#ifndef MCAST_TEST_DATA_DIR
+#error "MCAST_TEST_DATA_DIR must be defined by the build"
+#endif
+
+const registry& builtin() {
+  static const registry reg = [] {
+    registry r;
+    register_builtin(r);
+    return r;
+  }();
+  return reg;
+}
+
+run_outcome run_at_scale0(const std::string& id, std::size_t threads,
+                          bool use_spt_cache) {
+  const experiment* exp = builtin().find(id);
+  if (exp == nullptr) throw std::runtime_error("unknown experiment " + id);
+  run_options opts;
+  opts.scale = 0;
+  opts.threads = threads;
+  opts.use_spt_cache = use_spt_cache;
+  return run_experiment(*exp, opts);
+}
+
+std::string data_path(const std::string& file) {
+  return std::string(MCAST_TEST_DATA_DIR) + "/" + file;
+}
+
+bool regen() { return std::getenv("MCAST_REGEN_GOLDEN") != nullptr; }
+
+// Compares a run's rendered text against tests/data/lab_<id>_scale0.txt
+// byte for byte (or rewrites it under MCAST_REGEN_GOLDEN=1).
+void check_golden(const std::string& id, const std::string& rendered) {
+  const std::string path = data_path("lab_" + id + "_scale0.txt");
+  if (regen()) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << rendered;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden " << path
+                  << " (regenerate with MCAST_REGEN_GOLDEN=1)";
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(rendered, want.str()) << id << " drifted from " << path;
+}
+
+class lab_series : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(lab_series, thread_count_and_cache_invariant_and_golden) {
+  const std::string id = GetParam();
+  const run_outcome one = run_at_scale0(id, 1, true);
+  const std::string base = one.output.str();
+  ASSERT_FALSE(base.empty());
+
+  EXPECT_EQ(run_at_scale0(id, 4, true).output.str(), base)
+      << id << ": output depends on scheduler thread count";
+  EXPECT_EQ(run_at_scale0(id, 4, false).output.str(), base)
+      << id << ": output depends on the SPT cache toggle";
+
+  check_golden(id, base);
+}
+
+INSTANTIATE_TEST_SUITE_P(analytic_figures, lab_series,
+                         ::testing::Values("fig2", "fig3", "fig4"));
+
+// Parses "k=K,D=D  (...)" labels emitted by fig2/fig4.
+bool parse_kd(const std::string& label, unsigned& k, unsigned& d) {
+  unsigned kk = 0, dd = 0;
+  if (std::sscanf(label.c_str(), "k=%u,D=%u", &kk, &dd) != 2) return false;
+  k = kk;
+  d = dd;
+  return true;
+}
+
+// Differential check: every fig2 curve point must equal the closed form
+// evaluated at the recorded x — bit for bit, since the experiment computes
+// exactly this expression.
+TEST(lab_series_differential, fig2_matches_kary_h_exact) {
+  const run_outcome out = run_at_scale0("fig2", 4, true);
+  std::size_t curves = 0;
+  for (const auto& s : out.output.all_series()) {
+    unsigned k = 0, d = 0;
+    if (!parse_kd(s.label, k, d)) continue;  // reference lines
+    ++curves;
+    ASSERT_EQ(s.x.size(), s.y.size()) << s.label;
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      EXPECT_EQ(s.y[i], kary_h_exact(k, d, s.x[i]))
+          << s.label << " point " << i;
+    }
+  }
+  EXPECT_EQ(curves, 6u);  // two panels, three depths each
+}
+
+TEST(lab_series_differential, fig4_matches_kary_tree_size) {
+  const run_outcome out = run_at_scale0("fig4", 4, true);
+  std::size_t curves = 0;
+  for (const auto& s : out.output.all_series()) {
+    unsigned k = 0, d = 0;
+    if (!parse_kd(s.label, k, d)) continue;
+    ++curves;
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      EXPECT_EQ(s.y[i], kary_tree_size_distinct_leaves(k, d, s.x[i]) / d)
+          << s.label << " point " << i;
+    }
+  }
+  EXPECT_EQ(curves, 6u);
+}
+
+// A Monte-Carlo experiment (fig1 with a tiny override budget) must also be
+// invariant to the engine's thread grant — the runner partitions by source
+// deterministically.
+TEST(lab_series_differential, fig1_small_run_thread_invariant) {
+  const experiment* exp = builtin().find("fig1");
+  ASSERT_NE(exp, nullptr);
+  run_options opts;
+  opts.scale = 0;
+  opts.overrides = {{"suite", "generated"},
+                    {"budget", "150"},
+                    {"receiver_sets", "3"},
+                    {"sources", "3"},
+                    {"grid_points", "6"}};
+  opts.threads = 1;
+  const std::string one = run_experiment(*exp, opts).output.str();
+  opts.threads = 4;
+  const std::string four = run_experiment(*exp, opts).output.str();
+  EXPECT_EQ(one, four);
+}
+
+}  // namespace
+}  // namespace mcast::lab

@@ -1,8 +1,11 @@
-# Renders the `# series:` blocks a bench binary emits.
+# Renders the `# series:` blocks an mcast_lab experiment emits.
 #
 # Usage:
-#   build/bench/fig1_generated > fig1a.dat
-#   gnuplot -e "datafile='fig1a.dat'; logx=1; logy=1" tools/plot_series.gp
+#   build/bench/mcast_lab run fig1 --out-dir out     # writes out/fig1.dat
+#   gnuplot -e "datafile='out/fig1.dat'; logx=1; logy=1" tools/plot_series.gp
+#
+# (piping works too: `mcast_lab run fig1 > fig1.dat` — experiment output
+# goes to stdout, progress lines to stderr.)
 #
 # Each blank-line-separated block in the file is one curve; the `# series:`
 # comment above it is used as the title via `columnheader`-style indexing.
