@@ -28,6 +28,7 @@ void register_ablation_mapping(registry& reg) {
   e.params = {
       p_u64("reps", "Monte-Carlo repetitions per (depth, m)", 60, 400, 1500),
   };
+  e.metric_groups = {"traversal"};
   e.run = [](context& ctx) {
     const unsigned k = 2;
     const std::vector<unsigned> depths = {8, 11, 14};

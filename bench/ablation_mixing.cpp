@@ -27,6 +27,7 @@ void register_ablation_mixing(registry& reg) {
       p_u64("reference_burn", "burn-in sweeps of the reference chain",
             60, 150, 400),
   };
+  e.metric_groups = {"traversal"};
   e.run = [](context& ctx) {
     const kary_shape shape(2, static_cast<unsigned>(ctx.u64("depth")));
     const graph g = shape.to_graph();

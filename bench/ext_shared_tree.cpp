@@ -30,6 +30,7 @@ void register_ext_shared_tree(registry& reg) {
       p_u64("sources", "random sources per network", 4, 15, 40),
       p_u64("seed", "Monte-Carlo seed", 404),
   };
+  e.metric_groups = {"traversal"};
   e.run = [](context& ctx) {
     const node_id budget = static_cast<node_id>(ctx.u64("budget"));
     const auto suite = scaled_networks(

@@ -40,6 +40,7 @@ void register_ext_weighted(registry& reg) {
       p_u64("weight_seed", "random-weight assignment seed", 77),
       p_u64("seed", "receiver-sampling seed (per mode)", 2026),
   };
+  e.metric_groups = {"traversal", "scheduler"};
   e.run = [](context& ctx) {
     waxman_params p;
     p.nodes = static_cast<node_id>(ctx.u64("nodes"));

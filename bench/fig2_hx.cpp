@@ -28,6 +28,7 @@ void register_fig2(registry& reg) {
   e.params = {
       p_u64("points", "x samples per curve", 20, 60, 120),
   };
+  e.metric_groups = {"scheduler"};
   e.run = [](context& ctx) {
     struct panel {
       unsigned k;

@@ -26,6 +26,7 @@ void register_fig4(registry& reg) {
   e.params = {
       p_u64("points", "m samples per curve (log grid)", 20, 50, 100),
   };
+  e.metric_groups = {"scheduler"};
   e.run = [](context& ctx) {
     struct panel {
       unsigned k;

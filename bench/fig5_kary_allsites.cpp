@@ -25,6 +25,7 @@ void register_fig5(registry& reg) {
   e.params = {
       p_u64("points", "n samples per curve (log grid)", 25, 70, 140),
   };
+  e.metric_groups = {"scheduler"};
   e.run = [](context& ctx) {
     struct panel {
       unsigned k;

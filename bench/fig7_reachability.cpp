@@ -32,6 +32,7 @@ void register_fig7(registry& reg) {
       p_u64("sources", "random sources averaged per network", 8, 50, 100),
       p_u64("seed", "source-sampling RNG seed", 777),
   };
+  e.metric_groups = {"traversal"};
   e.run = [](context& ctx) {
     const node_id budget = static_cast<node_id>(ctx.u64("budget"));
     auto suite = paper_networks();

@@ -32,6 +32,7 @@ void register_fig8(registry& reg) {
       p_real("n_max", "largest n on the log grid", 1e8, 1e10, 1e12),
       p_u64("points", "n samples per curve (log grid)", 30, 60, 90),
   };
+  e.metric_groups = {"scheduler"};
   e.run = [](context& ctx) {
     const unsigned depth = static_cast<unsigned>(ctx.u64("depth"));
     const double anchor = std::pow(2.0, static_cast<double>(depth));

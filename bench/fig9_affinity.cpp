@@ -34,6 +34,7 @@ void register_fig9(registry& reg) {
       p_bool("extremes_only",
              "print only the greedy beta=+/-inf envelopes", false),
   };
+  e.metric_groups = {"scheduler", "traversal"};
   e.run = [](context& ctx) {
     const std::vector<unsigned> depths = {10, 12};
     const double betas[] = {-10.0, -1.0, -0.1, 0.0, 0.1, 1.0, 10.0};

@@ -20,6 +20,7 @@
 #include "multicast/delivery_tree.hpp"
 #include "multicast/receivers.hpp"
 #include "multicast/spt_cache.hpp"
+#include "obs/metrics.hpp"
 #include "sim/rng.hpp"
 #include "topo/catalog.hpp"
 #include "topo/kary.hpp"
@@ -184,6 +185,9 @@ void bm_mc_repeated_source_cached(benchmark::State& state) {
   std::optional<delivery_tree_builder> builder;
   const std::uint64_t allocs_before =
       g_heap_allocs.load(std::memory_order_relaxed);
+  // Hit/miss accounting comes from the obs registry (the cache reports
+  // there as it runs) rather than from bench-side bookkeeping.
+  const obs::metrics_snapshot obs_before = obs::snapshot();
   for (auto _ : state) {
     const node_id source = pool[gen.below(pool.size())];
     const auto spt = cache.get(g, source, ws);
@@ -210,8 +214,75 @@ void bm_mc_repeated_source_cached(benchmark::State& state) {
       static_cast<double>(g_heap_allocs.load(std::memory_order_relaxed) -
                           allocs_before) /
       static_cast<double>(state.iterations()));
+  if (obs::compiled_in) {
+    const obs::metrics_snapshot obs_after = obs::snapshot();
+    const double hits =
+        static_cast<double>(obs_after.at(obs::counter::spt_cache_hits) -
+                            obs_before.at(obs::counter::spt_cache_hits));
+    const double misses =
+        static_cast<double>(obs_after.at(obs::counter::spt_cache_misses) -
+                            obs_before.at(obs::counter::spt_cache_misses));
+    state.counters["cache_hit_rate"] = benchmark::Counter(
+        hits + misses == 0.0 ? 0.0 : hits / (hits + misses));
+  }
 }
 BENCHMARK(bm_mc_repeated_source_cached);
+
+// The same loop with the obs registry runtime-disabled: the in-binary
+// approximation of the MCAST_OBS_DISABLED A/B (the real compile-time
+// comparison is CI's cross-build job). items/sec here vs the instrumented
+// bench above bounds the observable hook overhead on the hot path.
+void bm_mc_repeated_source_cached_obs_off(benchmark::State& state) {
+  const graph& g = ts1000_graph();
+  const std::vector<node_id> pool = mc_source_pool(g);
+  rng gen(8);
+  traversal_workspace ws;
+  spt_cache cache(64);
+  std::vector<node_id> universe;
+  std::vector<node_id> sample;
+  std::optional<delivery_tree_builder> builder;
+  obs::set_enabled(false);
+  for (auto _ : state) {
+    const node_id source = pool[gen.below(pool.size())];
+    const auto spt = cache.get(g, source, ws);
+    universe.clear();
+    for (node_id v = 0; v < g.node_count(); ++v) {
+      if (v != source) universe.push_back(v);
+    }
+    if (builder) {
+      builder->rebind(*spt);
+    } else {
+      builder.emplace(*spt);
+    }
+    sample_with_replacement_into(universe, kMcGroupSize, gen, sample);
+    std::uint64_t path_total = 0;
+    for (node_id v : sample) {
+      builder->add_receiver(v);
+      path_total += spt->distance(v);
+    }
+    benchmark::DoNotOptimize(builder->link_count());
+    benchmark::DoNotOptimize(path_total);
+  }
+  obs::set_enabled(true);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_mc_repeated_source_cached_obs_off);
+
+// Raw hook costs, for the overhead table in docs/observability.md.
+void bm_obs_counter_add(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::add(obs::counter::edges_scanned);
+  }
+}
+BENCHMARK(bm_obs_counter_add);
+
+void bm_obs_histogram_record(benchmark::State& state) {
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    obs::record(obs::histogram::visited_per_pass, ++v);
+  }
+}
+BENCHMARK(bm_obs_histogram_record);
 
 // The workspace alone (no memoization): same BFS every iteration, scratch
 // reused across passes. Isolates the epoch-reset win from the cache win.

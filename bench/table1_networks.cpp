@@ -23,6 +23,7 @@ void register_table1(registry& reg) {
             "node budget; suites below 30000 are scaled-down versions",
             500, 30000, 60000),
   };
+  e.metric_groups = {"traversal"};
   e.run = [](context& ctx) {
     const node_id budget = static_cast<node_id>(ctx.u64("budget"));
     const auto suite = budget >= 30000

@@ -15,6 +15,8 @@
 #include "multicast/spt.hpp"
 #include "multicast/spt_cache.hpp"
 #include "multicast/unicast.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/rng.hpp"
 
 namespace mcast {
@@ -68,6 +70,7 @@ void run_one_source(const graph& g, const degraded_view* view,
                     const monte_carlo_params& params, receiver_model model,
                     std::size_t s, const std::vector<node_id>& source_pool,
                     worker_context& ctx, std::vector<cell_stats>& out) {
+  obs::add(obs::counter::mc_source_tasks);
   rng gen = task_stream(params.seed, s, /*salt=*/0);
   const node_id source = source_pool[gen.below(source_pool.size())];
   rng parent_gen = task_stream(params.seed, s, /*salt=*/0x7469656272656b00ULL);
@@ -150,6 +153,7 @@ std::vector<scaling_point> measure(const graph& g, const degraded_view* view,
                                    const std::vector<std::uint64_t>& group_sizes,
                                    const monte_carlo_params& params,
                                    receiver_model model) {
+  MCAST_OBS_SPAN("monte_carlo_measure");
   expects(g.node_count() >= 2, "measure: graph needs at least two nodes");
   expects(params.sources >= 1 && params.receiver_sets >= 1,
           "measure: sources and receiver_sets must be >= 1");

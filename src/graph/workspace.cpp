@@ -72,7 +72,12 @@ void traversal_workspace::begin_pass(std::size_t nodes, traversal_kind kind) {
     order_.reserve(nodes);
     grew = true;
   }
-  if (grew) ++grows_;
+  if (grew) {
+    ++grows_;
+    obs::add(obs::counter::workspace_grows);
+  } else {
+    obs::add(obs::counter::workspace_reuses);
+  }
   order_.clear();
   nodes_ = nodes;
   kind_ = kind;

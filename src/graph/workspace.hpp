@@ -36,6 +36,7 @@
 #include "graph/bfs.hpp"
 #include "graph/dijkstra.hpp"
 #include "graph/graph.hpp"
+#include "obs/metrics.hpp"
 
 namespace mcast {
 
@@ -166,27 +167,36 @@ template <typename usable_fn>
 void traversal_workspace::bfs_pass(const graph& g, node_id source,
                                    bool source_alive, usable_fn&& usable) {
   begin_pass(g.node_count(), traversal_kind::bfs);
-  if (!source_alive) return;  // dead routers forward nothing
-  mark_[source] = epoch_;
-  hop_dist_[source] = 0;
-  parent_[source] = invalid_node;
-  order_.push_back(source);
-  for (std::size_t head = 0; head < order_.size(); ++head) {
-    const node_id v = order_[head];
-    const hop_count dv = hop_dist_[v];
-    const auto adj = g.neighbors(v);
-    const std::size_t base = g.adjacency_base(v);
-    for (std::size_t i = 0; i < adj.size(); ++i) {
-      const node_id w = adj[i];
-      if (!usable(base + i, w)) continue;
-      if (mark_[w] != epoch_) {
-        mark_[w] = epoch_;
-        hop_dist_[w] = dv + 1;
-        parent_[w] = v;  // sorted neighbors => lowest-id parent rule
-        order_.push_back(w);
+  // Observability stays out of the inner loop: edges accumulate in a
+  // register and land in the per-thread shard once per pass.
+  [[maybe_unused]] std::uint64_t scanned = 0;
+  if (source_alive) {
+    mark_[source] = epoch_;
+    hop_dist_[source] = 0;
+    parent_[source] = invalid_node;
+    order_.push_back(source);
+    for (std::size_t head = 0; head < order_.size(); ++head) {
+      const node_id v = order_[head];
+      const hop_count dv = hop_dist_[v];
+      const auto adj = g.neighbors(v);
+      const std::size_t base = g.adjacency_base(v);
+      scanned += adj.size();
+      for (std::size_t i = 0; i < adj.size(); ++i) {
+        const node_id w = adj[i];
+        if (!usable(base + i, w)) continue;
+        if (mark_[w] != epoch_) {
+          mark_[w] = epoch_;
+          hop_dist_[w] = dv + 1;
+          parent_[w] = v;  // sorted neighbors => lowest-id parent rule
+          order_.push_back(w);
+        }
       }
     }
   }
+  obs::add(obs::counter::bfs_passes);
+  obs::add(obs::counter::nodes_visited, order_.size());
+  obs::add(obs::counter::edges_scanned, scanned);
+  obs::record(obs::histogram::visited_per_pass, order_.size());
 }
 
 template <typename usable_fn>
@@ -196,38 +206,45 @@ void traversal_workspace::dijkstra_pass(const graph& g,
                                         usable_fn&& usable) {
   begin_pass(g.node_count(), traversal_kind::dijkstra);
   heap_.clear();
-  if (!source_alive) return;
-  // push_heap/pop_heap with std::greater<> replicate exactly what
-  // std::priority_queue<entry, vector<entry>, greater<>> does, so the
-  // settle order — and therefore every tie-broken parent — matches
-  // dijkstra_from bit for bit.
-  const std::greater<> cmp{};
-  mark_[source] = epoch_;
-  weight_dist_[source] = 0.0;
-  parent_[source] = invalid_node;
-  heap_.emplace_back(0.0, source);
-  while (!heap_.empty()) {
-    std::pop_heap(heap_.begin(), heap_.end(), cmp);
-    const auto [d, v] = heap_.back();
-    heap_.pop_back();
-    if (settled_[v] == epoch_) continue;
-    settled_[v] = epoch_;
-    order_.push_back(v);
-    const auto adj = g.neighbors(v);
-    const std::size_t base = g.adjacency_base(v);
-    for (std::size_t i = 0; i < adj.size(); ++i) {
-      const node_id w = adj[i];
-      if (!usable(base + i, w)) continue;
-      const double candidate = d + weights.at_slot(base + i);
-      if (mark_[w] != epoch_ || candidate < weight_dist_[w]) {
-        mark_[w] = epoch_;
-        weight_dist_[w] = candidate;
-        parent_[w] = v;
-        heap_.emplace_back(candidate, w);
-        std::push_heap(heap_.begin(), heap_.end(), cmp);
+  [[maybe_unused]] std::uint64_t scanned = 0;
+  if (source_alive) {
+    // push_heap/pop_heap with std::greater<> replicate exactly what
+    // std::priority_queue<entry, vector<entry>, greater<>> does, so the
+    // settle order — and therefore every tie-broken parent — matches
+    // dijkstra_from bit for bit.
+    const std::greater<> cmp{};
+    mark_[source] = epoch_;
+    weight_dist_[source] = 0.0;
+    parent_[source] = invalid_node;
+    heap_.emplace_back(0.0, source);
+    while (!heap_.empty()) {
+      std::pop_heap(heap_.begin(), heap_.end(), cmp);
+      const auto [d, v] = heap_.back();
+      heap_.pop_back();
+      if (settled_[v] == epoch_) continue;
+      settled_[v] = epoch_;
+      order_.push_back(v);
+      const auto adj = g.neighbors(v);
+      const std::size_t base = g.adjacency_base(v);
+      scanned += adj.size();
+      for (std::size_t i = 0; i < adj.size(); ++i) {
+        const node_id w = adj[i];
+        if (!usable(base + i, w)) continue;
+        const double candidate = d + weights.at_slot(base + i);
+        if (mark_[w] != epoch_ || candidate < weight_dist_[w]) {
+          mark_[w] = epoch_;
+          weight_dist_[w] = candidate;
+          parent_[w] = v;
+          heap_.emplace_back(candidate, w);
+          std::push_heap(heap_.begin(), heap_.end(), cmp);
+        }
       }
     }
   }
+  obs::add(obs::counter::dijkstra_passes);
+  obs::add(obs::counter::nodes_visited, order_.size());
+  obs::add(obs::counter::edges_scanned, scanned);
+  obs::record(obs::histogram::visited_per_pass, order_.size());
 }
 
 }  // namespace mcast

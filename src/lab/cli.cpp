@@ -13,6 +13,8 @@
 #include "lab/engine.hpp"
 #include "lab/manifest.hpp"
 #include "lab/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mcast::lab {
 
@@ -24,8 +26,8 @@ void usage(std::ostream& out) {
   out << "usage: mcast_lab <command> [options]\n"
          "\n"
          "commands:\n"
-         "  list                     enumerate experiment ids\n"
-         "  describe <id>            show claim, parameters, tier defaults\n"
+         "  list [--json]            enumerate experiment ids\n"
+         "  describe <id>            show claim, parameters, metric groups\n"
          "  run <id> | run --all     run experiments\n"
          "  validate <dir>           schema-check BENCH_*.json manifests\n"
          "\n"
@@ -36,7 +38,10 @@ void usage(std::ostream& out) {
          "  --no-cache               disable the per-source SPT cache\n"
          "  --manifest-dir DIR       where BENCH_<id>.json lands (default .)\n"
          "  --out-dir DIR            also write per-experiment <id>.dat files\n"
-         "  --no-manifest            skip writing run manifests\n";
+         "  --no-manifest            skip writing run manifests\n"
+         "  --profile=FILE           write a merged Chrome trace (trace_event\n"
+         "                           JSON; load in chrome://tracing/Perfetto)\n"
+         "  --metrics-summary        print the obs registry per run on stderr\n";
 }
 
 [[noreturn]] void die(const std::string& message) {
@@ -56,6 +61,8 @@ struct run_flags {
   std::string manifest_dir = ".";
   std::string out_dir;
   bool write_manifests = true;
+  std::string profile_path;     // empty = no trace
+  bool metrics_summary = false;
 };
 
 run_flags parse_run_flags(const std::vector<std::string>& args) {
@@ -86,6 +93,13 @@ run_flags parse_run_flags(const std::vector<std::string>& args) {
       flags.out_dir = next_arg(args, i, arg);
     } else if (arg == "--no-manifest") {
       flags.write_manifests = false;
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      flags.profile_path = arg.substr(std::string("--profile=").size());
+      if (flags.profile_path.empty()) die("--profile= needs a file path");
+    } else if (arg == "--profile") {
+      flags.profile_path = next_arg(args, i, arg);
+    } else if (arg == "--metrics-summary") {
+      flags.metrics_summary = true;
     } else if (!arg.empty() && arg[0] == '-') {
       die("unknown option '" + arg + "'");
     } else {
@@ -104,7 +118,32 @@ run_flags parse_run_flags(const std::vector<std::string>& args) {
   return flags;
 }
 
-int cmd_list(const registry& reg) {
+int cmd_list(const registry& reg, const std::vector<std::string>& args) {
+  bool as_json = false;
+  for (const std::string& arg : args) {
+    if (arg == "--json") {
+      as_json = true;
+    } else {
+      die("list: unknown argument '" + arg + "'");
+    }
+  }
+  if (as_json) {
+    json::value doc = json::value::array();
+    for (const experiment& e : reg.all()) {
+      json::value entry = json::value::object();
+      entry.set("id", json::value::string(e.id));
+      entry.set("title", json::value::string(e.title));
+      entry.set("claim", json::value::string(e.claim));
+      json::value groups = json::value::array();
+      for (const std::string& g : e.metric_groups) {
+        groups.push(json::value::string(g));
+      }
+      entry.set("metric_groups", std::move(groups));
+      doc.push(std::move(entry));
+    }
+    std::cout << json::dump(doc) << "\n";
+    return 0;
+  }
   std::size_t width = 0;
   for (const experiment& e : reg.all()) width = std::max(width, e.id.size());
   for (const experiment& e : reg.all()) {
@@ -124,6 +163,13 @@ int cmd_describe(const registry& reg, const std::string& id) {
   std::cout << "id:     " << exp->id << "\n"
             << "title:  " << exp->title << "\n"
             << "claim:  " << exp->claim << "\n";
+  std::cout << "metric groups:";
+  if (exp->metric_groups.empty()) {
+    std::cout << " (none declared)";
+  } else {
+    for (const std::string& g : exp->metric_groups) std::cout << " " << g;
+  }
+  std::cout << "\n";
   if (exp->params.empty()) {
     std::cout << "parameters: (none)\n";
     return 0;
@@ -169,6 +215,10 @@ int run_one(const experiment& exp, const run_flags& flags) {
   std::snprintf(cpu, sizeof cpu, "%.2f", outcome.manifest.cpu_seconds);
   std::cerr << "[mcast_lab] done " << exp.id << " wall=" << wall
             << "s cpu=" << cpu << "s manifest=" << manifest_path << "\n";
+  if (flags.metrics_summary) {
+    std::cerr << "[mcast_lab] metrics for " << exp.id << ":\n";
+    obs::render_metrics_summary(std::cerr, outcome.manifest.metrics);
+  }
   return 0;
 }
 
@@ -186,9 +236,21 @@ int cmd_run(const registry& reg, const std::vector<std::string>& args) {
       selected.push_back(exp);
     }
   }
+  if (!flags.profile_path.empty()) {
+    obs::trace_clear();
+    obs::trace_enable();
+  }
   for (std::size_t i = 0; i < selected.size(); ++i) {
     if (i > 0) std::cout << "\n";
     run_one(*selected[i], flags);
+  }
+  if (!flags.profile_path.empty()) {
+    obs::trace_disable();
+    const obs::trace_dump dump = obs::trace_collect();
+    obs::write_chrome_trace_file(flags.profile_path, dump);
+    std::cerr << "[mcast_lab] trace " << flags.profile_path << " ("
+              << dump.events.size() << " events, " << dump.dropped
+              << " dropped)\n";
   }
   return 0;
 }
@@ -250,10 +312,7 @@ int run_cli(const registry& reg, int argc, char** argv) {
     }
     const std::string command = args[0];
     const std::vector<std::string> rest(args.begin() + 1, args.end());
-    if (command == "list") {
-      if (!rest.empty()) die("list takes no arguments");
-      return cmd_list(reg);
-    }
+    if (command == "list") return cmd_list(reg, rest);
     if (command == "describe") {
       if (rest.size() != 1) die("describe: give exactly one experiment id");
       return cmd_describe(reg, rest[0]);

@@ -4,6 +4,8 @@
 #include <ctime>
 
 #include "core/runner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mcast::lab {
 
@@ -12,6 +14,11 @@ run_outcome run_experiment(const experiment& exp, const run_options& opts) {
   const param_set params =
       resolve_params(exp.params, opts.scale, opts.overrides);
   const std::size_t threads = resolve_thread_count(opts.threads);
+
+  // Scope the metrics snapshot to this run. Trace rings are deliberately
+  // NOT cleared here: `run --all --profile` wants one merged timeline
+  // spanning every experiment.
+  obs::reset_metrics();
 
   if (opts.banner) {
     out.output.text("== " + exp.id + " ==");
@@ -25,7 +32,10 @@ run_outcome run_experiment(const experiment& exp, const run_options& opts) {
               out.output);
   const auto wall_start = std::chrono::steady_clock::now();
   const std::clock_t cpu_start = std::clock();
-  exp.run(ctx);
+  {
+    MCAST_OBS_SPAN("experiment:" + exp.id);
+    exp.run(ctx);
+  }
   const std::clock_t cpu_end = std::clock();
   const auto wall_end = std::chrono::steady_clock::now();
 
@@ -47,6 +57,8 @@ run_outcome run_experiment(const experiment& exp, const run_options& opts) {
   for (const xy_series& s : out.output.all_series()) {
     record.series_summary.emplace_back(s.label, s.x.size());
   }
+  record.metric_groups = exp.metric_groups;
+  record.metrics = obs::snapshot();
   return out;
 }
 

@@ -34,6 +34,54 @@ bool is_seed_name(const std::string& name) {
   return n > 5 && name.compare(n - 5, 5, "_seed") == 0;
 }
 
+// The manifest/2 `metrics` section: full registry snapshot (every counter,
+// gauge and histogram, zeros included, so the schema is deterministic)
+// plus the derived headline rates dashboards want without re-deriving.
+json::value metrics_to_json(const obs::metrics_snapshot& s) {
+  json::value m = json::value::object();
+  m.set("enabled", json::value::boolean(s.compiled_in && s.enabled));
+
+  json::value counters = json::value::object();
+  for (std::size_t i = 0; i < obs::counter_count; ++i) {
+    counters.set(obs::counter_name(static_cast<obs::counter>(i)),
+                 json::value::number(static_cast<double>(s.counters[i])));
+  }
+  m.set("counters", std::move(counters));
+
+  json::value gauges = json::value::object();
+  for (std::size_t i = 0; i < obs::gauge_count; ++i) {
+    gauges.set(obs::gauge_name(static_cast<obs::gauge>(i)),
+               json::value::number(static_cast<double>(s.gauges[i])));
+  }
+  m.set("gauges", std::move(gauges));
+
+  json::value histograms = json::value::object();
+  for (std::size_t i = 0; i < obs::histogram_count; ++i) {
+    const obs::histogram_summary& h = s.histograms[i];
+    json::value hist = json::value::object();
+    hist.set("count", json::value::number(static_cast<double>(h.count)));
+    hist.set("sum", json::value::number(static_cast<double>(h.sum)));
+    hist.set("mean", json::value::number(h.mean()));
+    hist.set("p50", json::value::number(h.p50));
+    hist.set("p95", json::value::number(h.p95));
+    hist.set("p99", json::value::number(h.p99));
+    histograms.set(obs::histogram_name(static_cast<obs::histogram>(i)),
+                   std::move(hist));
+  }
+  m.set("histograms", std::move(histograms));
+
+  json::value derived = json::value::object();
+  derived.set("spt_cache_hit_rate",
+              json::value::number(obs::spt_cache_hit_rate(s)));
+  derived.set("scheduler_busy_fraction",
+              json::value::number(obs::scheduler_busy_fraction(s)));
+  derived.set("traversal_passes",
+              json::value::number(
+                  static_cast<double>(obs::traversal_passes(s))));
+  m.set("derived", std::move(derived));
+  return m;
+}
+
 }  // namespace
 
 json::value to_json(const run_record& record) {
@@ -81,6 +129,13 @@ json::value to_json(const run_record& record) {
     series.push(std::move(s));
   }
   doc.set("series", std::move(series));
+
+  json::value groups = json::value::array();
+  for (const std::string& g : record.metric_groups) {
+    groups.push(json::value::string(g));
+  }
+  doc.set("metric_groups", std::move(groups));
+  doc.set("metrics", metrics_to_json(record.metrics));
   return doc;
 }
 
@@ -181,6 +236,56 @@ std::vector<std::string> validate_manifest(const json::value& doc) {
       }
       require(s, "label", json::value::kind::string, "a string", problems);
       require(s, "points", json::value::kind::number, "a number", problems);
+    }
+  }
+  require(doc, "metric_groups", json::value::kind::array, "an array",
+          problems);
+  if (const json::value* groups = doc.get("metric_groups");
+      groups != nullptr && groups->is(json::value::kind::array)) {
+    for (std::size_t i = 0; i < groups->items().size(); ++i) {
+      if (!groups->items()[i].is(json::value::kind::string)) {
+        problems.push_back("metric_groups[" + std::to_string(i) +
+                           "] is not a string");
+      }
+    }
+  }
+  require(doc, "metrics", json::value::kind::object, "an object", problems);
+  if (const json::value* metrics = doc.get("metrics");
+      metrics != nullptr && metrics->is(json::value::kind::object)) {
+    require(*metrics, "enabled", json::value::kind::boolean, "a boolean",
+            problems);
+    require(*metrics, "counters", json::value::kind::object, "an object",
+            problems);
+    require(*metrics, "gauges", json::value::kind::object, "an object",
+            problems);
+    require(*metrics, "histograms", json::value::kind::object, "an object",
+            problems);
+    require(*metrics, "derived", json::value::kind::object, "an object",
+            problems);
+    if (const json::value* derived = metrics->get("derived");
+        derived != nullptr && derived->is(json::value::kind::object)) {
+      require(*derived, "spt_cache_hit_rate", json::value::kind::number,
+              "a number", problems);
+      require(*derived, "scheduler_busy_fraction", json::value::kind::number,
+              "a number", problems);
+      require(*derived, "traversal_passes", json::value::kind::number,
+              "a number", problems);
+    }
+    if (const json::value* histograms = metrics->get("histograms");
+        histograms != nullptr &&
+        histograms->is(json::value::kind::object)) {
+      for (const auto& [name, hist] : histograms->members()) {
+        const std::string where = "metrics.histograms." + name;
+        if (!hist.is(json::value::kind::object)) {
+          problems.push_back(where + " is not an object");
+          continue;
+        }
+        for (const char* field : {"count", "sum", "mean", "p50", "p95",
+                                  "p99"}) {
+          require(hist, field, json::value::kind::number, "a number",
+                  problems);
+        }
+      }
     }
   }
   return problems;

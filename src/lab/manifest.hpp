@@ -9,6 +9,13 @@
 //
 // `validate_manifest` is the read-back half: `mcast_lab validate <dir>`
 // and the ctest smoke pair use it to schema-check what a run produced.
+//
+// Schema history:
+//   mcast-lab-manifest/1 — id/params/seeds/timing/fits/series.
+//   mcast-lab-manifest/2 — adds the `metrics` section: the obs registry
+//     snapshot scoped to the run (counters, gauges, histogram summaries)
+//     plus derived headline rates (cache hit rate, scheduler busy
+//     fraction), and the experiment's declared metric_groups.
 #pragma once
 
 #include <cstddef>
@@ -19,10 +26,11 @@
 #include "lab/json.hpp"
 #include "lab/params.hpp"
 #include "lab/recorder.hpp"
+#include "obs/metrics.hpp"
 
 namespace mcast::lab {
 
-inline constexpr const char* manifest_schema = "mcast-lab-manifest/1";
+inline constexpr const char* manifest_schema = "mcast-lab-manifest/2";
 
 /// Everything recorded about one experiment run.
 struct run_record {
@@ -40,6 +48,11 @@ struct run_record {
   std::vector<fit_entry> fits;
   /// (series label, number of points) for each emitted series.
   std::vector<std::pair<std::string, std::size_t>> series_summary;
+  /// Metric groups the experiment declares (experiment::metric_groups).
+  std::vector<std::string> metric_groups;
+  /// Obs registry snapshot scoped to this run (reset at run start, read
+  /// after the run function returns). All-zero when obs is disabled.
+  obs::metrics_snapshot metrics;
 };
 
 /// Builds the manifest document (ordered keys, deterministic layout).

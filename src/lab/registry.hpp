@@ -35,6 +35,11 @@ struct experiment {
   std::string title;               ///< one-line summary for `list`
   std::string claim;               ///< "# reproduces:" banner text
   std::vector<param_spec> params;  ///< declared, tiered parameters
+  /// Obs metric groups this experiment exercises (e.g. "traversal",
+  /// "spt_cache", "scheduler") — documentation surfaced by `describe` and
+  /// stamped into the manifest; the registry snapshot itself always
+  /// carries every metric.
+  std::vector<std::string> metric_groups;
   std::function<void(context&)> run;
 };
 

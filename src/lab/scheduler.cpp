@@ -2,11 +2,54 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace mcast::lab {
+
+namespace {
+
+using steady = std::chrono::steady_clock;
+
+std::uint64_t elapsed_ns(steady::time_point from, steady::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count());
+}
+
+// Runs one sweep point with its span + task accounting. The probe work is
+// per *point* (each point is a whole figure panel or Monte-Carlo study),
+// so the timestamps are noise relative to the work they bracket.
+void run_point(const sweep_fn& fn, std::size_t i, recorder& rec,
+               worker_state& state, std::uint64_t& busy_ns,
+               std::uint64_t& tasks) {
+#if !defined(MCAST_OBS_DISABLED)
+  MCAST_OBS_SPAN("sweep_point");
+  const steady::time_point start = steady::now();
+  fn(i, rec, state);
+  busy_ns += elapsed_ns(start, steady::now());
+  ++tasks;
+  obs::add(obs::counter::sched_tasks);
+#else
+  (void)busy_ns;
+  (void)tasks;
+  fn(i, rec, state);
+#endif
+}
+
+// Flushes one worker's accounting when it retires.
+void retire_worker(std::uint64_t busy_ns, std::uint64_t tasks,
+                   std::uint64_t worker_ns) {
+  obs::add(obs::counter::sched_busy_ns, busy_ns);
+  obs::add(obs::counter::sched_worker_ns, worker_ns);
+  obs::record(obs::histogram::sched_tasks_per_worker, tasks);
+}
+
+}  // namespace
 
 std::vector<recorder> run_sweep(std::size_t count, std::size_t workers,
                                 const sweep_fn& fn) {
@@ -18,9 +61,19 @@ std::vector<recorder> run_sweep(std::size_t count, std::size_t workers,
                    : workers;
   if (n_workers > count) n_workers = count;
 
+  obs::gauge_max(obs::gauge::sched_workers, n_workers);
+
   if (n_workers <= 1) {
     worker_state state;
-    for (std::size_t i = 0; i < count; ++i) fn(i, recorders[i], state);
+    const steady::time_point start = steady::now();
+    std::uint64_t busy_ns = 0;
+    std::uint64_t tasks = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint64_t before = busy_ns;
+      run_point(fn, i, recorders[i], state, busy_ns, tasks);
+      obs::record(obs::histogram::sched_task_ns, busy_ns - before);
+    }
+    retire_worker(busy_ns, tasks, elapsed_ns(start, steady::now()));
     return recorders;
   }
 
@@ -30,22 +83,33 @@ std::vector<recorder> run_sweep(std::size_t count, std::size_t workers,
 
   auto worker = [&]() {
     worker_state state;
+    const steady::time_point start = steady::now();
+    std::uint64_t busy_ns = 0;
+    std::uint64_t tasks = 0;
     while (true) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
+      if (i >= count) break;
+      const std::uint64_t before = busy_ns;
       try {
-        fn(i, recorders[i], state);
+        run_point(fn, i, recorders[i], state, busy_ns, tasks);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
+      obs::record(obs::histogram::sched_task_ns, busy_ns - before);
     }
+    retire_worker(busy_ns, tasks, elapsed_ns(start, steady::now()));
   };
 
   std::vector<std::thread> threads;
   threads.reserve(n_workers);
   for (std::size_t w = 0; w < n_workers; ++w) threads.emplace_back(worker);
+  // Splice wait: how long the caller sits joining workers before it can
+  // stitch the per-point recorders back together in index order.
+  const steady::time_point join_start = steady::now();
   for (std::thread& t : threads) t.join();
+  obs::add(obs::counter::sched_splice_wait_ns,
+           elapsed_ns(join_start, steady::now()));
 
   if (first_error) std::rethrow_exception(first_error);
   return recorders;

@@ -1,10 +1,33 @@
 #include "multicast/repair.hpp"
 
+#include <chrono>
+
 #include "common/contract.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mcast {
 
 namespace {
+
+// Repair is coarse enough (one SPT + one tree rebuild) to afford a span
+// and a latency histogram per call; both vanish under MCAST_OBS_DISABLED.
+struct repair_probe {
+#if !defined(MCAST_OBS_DISABLED)
+  obs::span span{"repair_delivery_tree"};
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  ~repair_probe() {
+    obs::add(obs::counter::repair_trees);
+    obs::record(
+        obs::histogram::repair_latency_ns,
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count()));
+  }
+#endif
+};
 
 // Counts the symmetric difference of two sorted link lists.
 void diff_links(const std::vector<edge>& old_links,
@@ -59,6 +82,9 @@ repaired_tree reconverge(const dynamic_delivery_tree& broken,
   }
 
   diff_links(broken.links(), out.delivery->links(), out.report);
+  obs::add(obs::counter::repair_unaffected, out.report.unaffected.size());
+  obs::add(obs::counter::repair_rerouted, out.report.rerouted.size());
+  obs::add(obs::counter::repair_partitioned, out.report.partitioned.size());
   return out;
 }
 
@@ -68,6 +94,7 @@ repaired_tree repair_delivery_tree(const dynamic_delivery_tree& broken,
                                    const degraded_view& view) {
   expects(broken.base().node_count() == view.base().node_count(),
           "repair_delivery_tree: view overlays a different topology");
+  [[maybe_unused]] const repair_probe probe;
   const node_id src = broken.base().source();
   return reconverge(broken, view,
                     std::make_shared<const source_tree>(view.base(),
@@ -79,6 +106,7 @@ repaired_tree repair_delivery_tree(const dynamic_delivery_tree& broken,
                                    traversal_workspace& ws) {
   expects(broken.base().node_count() == view.base().node_count(),
           "repair_delivery_tree: view overlays a different topology");
+  [[maybe_unused]] const repair_probe probe;
   return reconverge(broken, view,
                     cache.get(view, broken.base().source(), ws));
 }

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/contract.hpp"
+#include "obs/metrics.hpp"
 
 namespace mcast {
 
@@ -20,6 +21,7 @@ std::shared_ptr<const source_tree> spt_cache::lookup(const graph& topology,
   if (topology_ != &topology || generation_ != generation) {
     if (!entries_.empty()) {
       ++stats_.invalidations;
+      obs::add(obs::counter::spt_cache_invalidations);
       entries_.clear();
     }
     topology_ = &topology;
@@ -28,10 +30,12 @@ std::shared_ptr<const source_tree> spt_cache::lookup(const graph& topology,
   ++tick_;
   if (auto it = entries_.find(source); it != entries_.end()) {
     ++stats_.hits;
+    obs::add(obs::counter::spt_cache_hits);
     it->second.last_use = tick_;
     return it->second.tree;
   }
   ++stats_.misses;
+  obs::add(obs::counter::spt_cache_misses);
   auto tree = compute();
   if (entries_.size() >= capacity_) {
     // Evict the least-recently-used entry; capacities are small enough
@@ -42,8 +46,10 @@ std::shared_ptr<const source_tree> spt_cache::lookup(const graph& topology,
     }
     entries_.erase(victim);
     ++stats_.evictions;
+    obs::add(obs::counter::spt_cache_evictions);
   }
   entries_.emplace(source, entry{tree, tick_});
+  obs::gauge_max(obs::gauge::spt_cache_peak_entries, entries_.size());
   return tree;
 }
 

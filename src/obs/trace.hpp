@@ -1,0 +1,109 @@
+// Scoped-span tracer emitting Chrome trace_event JSON.
+//
+// A `span` is an RAII scope: construction stamps a steady-clock start,
+// destruction computes the duration and pushes one complete event ("ph":
+// "X") into the calling thread's ring buffer. Rings are fixed-capacity and
+// overwrite their oldest events (the dropped count is reported), so a
+// runaway span source can never grow memory; `trace_collect` merges every
+// ring into one list ordered by (start time, lane, name) — a deterministic
+// order for any interleaving — and `write_chrome_trace` serializes it in
+// the `{"traceEvents": [...]}` format that chrome://tracing and Perfetto
+// load directly.
+//
+// Tracing is off until `trace_enable(capacity)`; a disabled span costs one
+// relaxed load. Spans use the same per-thread lanes (shard tids) as the
+// metric counters, so a worker's spans and counters line up. With
+// MCAST_OBS_DISABLED every entry point collapses to a no-op and
+// MCAST_OBS_SPAN declares an empty object.
+//
+// Spans are for coarse units — an experiment run, a sweep point, a tree
+// repair — not the traversal inner loop; counters cover that granularity.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mcast::obs {
+
+/// One completed span. Times are steady-clock nanoseconds.
+struct trace_event {
+  std::string name;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;  ///< lane: the emitting thread's shard id
+};
+
+/// Everything the rings held at collection time, merged and ordered by
+/// (start_ns, tid, name).
+struct trace_dump {
+  std::vector<trace_event> events;
+  std::uint64_t dropped = 0;  ///< events overwritten by ring wraparound
+};
+
+#if defined(MCAST_OBS_DISABLED)
+
+class span {
+ public:
+  explicit span(const char*) noexcept {}
+  explicit span(std::string) noexcept {}
+  span(const span&) = delete;
+  span& operator=(const span&) = delete;
+};
+
+inline void trace_enable(std::size_t = 4096) noexcept {}
+inline void trace_disable() noexcept {}
+inline bool trace_enabled() noexcept { return false; }
+inline void trace_clear() noexcept {}
+inline trace_dump trace_collect() { return trace_dump{}; }
+
+#else
+
+/// Starts buffering spans; each thread's ring holds up to `ring_capacity`
+/// events (>= 1). Re-enabling with a different capacity re-sizes rings
+/// lazily on each thread's next span.
+void trace_enable(std::size_t ring_capacity = 4096) noexcept;
+
+/// Stops buffering (already-buffered events stay until trace_clear).
+void trace_disable() noexcept;
+bool trace_enabled() noexcept;
+
+/// Drops all buffered events and zeroes the dropped count.
+void trace_clear() noexcept;
+
+/// Merges every thread's ring, ordered by (start_ns, tid, name).
+trace_dump trace_collect();
+
+class span {
+ public:
+  /// The const char* overload defers the string copy until tracing is
+  /// confirmed on, so a disabled span costs one relaxed load.
+  explicit span(const char* name) noexcept;
+  explicit span(std::string name) noexcept;
+  ~span();
+  span(const span&) = delete;
+  span& operator=(const span&) = delete;
+
+ private:
+  std::string name_;
+  std::uint64_t start_ns_ = 0;  ///< 0 = tracing was off at construction
+};
+
+#endif  // MCAST_OBS_DISABLED
+
+/// Serializes a dump as Chrome trace_event JSON (load in chrome://tracing
+/// or https://ui.perfetto.dev). Timestamps are rebased to the earliest
+/// event so traces start near t=0.
+void write_chrome_trace(std::ostream& out, const trace_dump& dump);
+
+/// write_chrome_trace to `path`; throws std::runtime_error on I/O failure.
+void write_chrome_trace_file(const std::string& path, const trace_dump& dump);
+
+#define MCAST_OBS_CAT2(a, b) a##b
+#define MCAST_OBS_CAT(a, b) MCAST_OBS_CAT2(a, b)
+/// Declares a scope-lifetime span; `name` may be a const char* or string.
+#define MCAST_OBS_SPAN(name) \
+  ::mcast::obs::span MCAST_OBS_CAT(mcast_obs_span_, __LINE__)(name)
+
+}  // namespace mcast::obs

@@ -11,6 +11,8 @@
 #include "multicast/repair.hpp"
 #include "multicast/spt.hpp"
 #include "multicast/spt_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mcast {
 
@@ -64,6 +66,7 @@ session_metrics simulate_sessions(const graph& g, const session_workload& w,
             "simulate_sessions: fault event references a non-existent link");
   }
 
+  MCAST_OBS_SPAN("simulate_sessions");
   rng gen(seed);
   event_queue events;
   session_metrics metrics;
@@ -260,6 +263,7 @@ session_metrics simulate_sessions(const graph& g, const session_workload& w,
                                ? view.fail_link(fe.link.a, fe.link.b)
                                : view.restore_link(fe.link.a, fe.link.b);
       if (!changed) return;  // e.g. a recovery for a link that never failed
+      obs::add(obs::counter::sim_degraded_transitions);
       if (events.now() >= t_begin) {
         if (fe.fails) {
           ++metrics.link_failures;

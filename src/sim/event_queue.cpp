@@ -1,6 +1,7 @@
 #include "sim/event_queue.hpp"
 
 #include "common/contract.hpp"
+#include "obs/metrics.hpp"
 
 namespace mcast {
 
@@ -30,6 +31,7 @@ bool event_queue::step() {
     handler fn = std::move(handlers_[e.id]);
     handlers_[e.id] = nullptr;
     --pending_;
+    obs::add(obs::counter::sim_events);
     fn();
     return true;
   }

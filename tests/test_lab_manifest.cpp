@@ -62,6 +62,8 @@ run_record sample_record() {
   f.values = {{"slope_ratio", 1.01}, {"R2", 0.999}};
   r.fits.push_back(f);
   r.series_summary = {{"k=4 D=5  (h(x) vs x)", 20}};
+  r.metric_groups = {"scheduler"};
+  r.metrics.counters[static_cast<std::size_t>(obs::counter::sched_tasks)] = 6;
   return r;
 }
 
@@ -81,6 +83,20 @@ TEST(lab_manifest, record_round_trips_and_validates) {
   const json::value& fit = doc.get("fits")->items()[0];
   EXPECT_EQ(fit.get("label")->as_string(), "Fig2/k=4,D=5");
   EXPECT_DOUBLE_EQ(fit.get("values")->get("R2")->as_number(), 0.999);
+
+  // Schema /2: the metrics section always carries every registered metric
+  // (zeros included) so downstream tooling never key-checks.
+  ASSERT_EQ(doc.get("metric_groups")->items().size(), 1u);
+  EXPECT_EQ(doc.get("metric_groups")->items()[0].as_string(), "scheduler");
+  const json::value* metrics = doc.get("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->get("counters")->members().size(), obs::counter_count);
+  EXPECT_EQ(metrics->get("gauges")->members().size(), obs::gauge_count);
+  EXPECT_EQ(metrics->get("histograms")->members().size(),
+            obs::histogram_count);
+  EXPECT_DOUBLE_EQ(metrics->get("counters")->get("sched.tasks")->as_number(),
+                   6.0);
+  EXPECT_NE(metrics->get("derived")->get("spt_cache_hit_rate"), nullptr);
 
   EXPECT_TRUE(validate_manifest(doc).empty());
 }
@@ -114,7 +130,7 @@ TEST(lab_manifest, validate_catches_missing_and_ill_typed_fields) {
   for (const char* key :
        {"schema", "experiment", "scale", "threads", "use_spt_cache",
         "parameters", "git_revision", "timestamp_utc", "wall_seconds",
-        "cpu_seconds", "fits", "series"}) {
+        "cpu_seconds", "fits", "series", "metric_groups", "metrics"}) {
     json::value doc = json::value::object();
     for (const auto& [k, v] : good.members()) {
       if (k != key) doc.set(k, v);
@@ -133,6 +149,23 @@ TEST(lab_manifest, validate_catches_missing_and_ill_typed_fields) {
     json::value fits = json::value::array();
     fits.push(json::value::number(3));
     doc.set("fits", fits);
+    EXPECT_FALSE(validate_manifest(doc).empty());
+  }
+  // A metrics object missing its sub-objects is flagged.
+  {
+    json::value doc = good;
+    doc.set("metrics", json::value::object());
+    const std::vector<std::string> problems = validate_manifest(doc);
+    EXPECT_FALSE(problems.empty());
+  }
+  // A malformed histogram summary is flagged.
+  {
+    json::value doc = good;
+    json::value metrics = *good.get("metrics");
+    json::value histograms = *metrics.get("histograms");
+    histograms.set("sched.task_ns", json::value::number(1));
+    metrics.set("histograms", histograms);
+    doc.set("metrics", metrics);
     EXPECT_FALSE(validate_manifest(doc).empty());
   }
 }

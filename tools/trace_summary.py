@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Summarize a Chrome trace_event JSON file written by `mcast_lab run
+--profile=<out.json>`: the top spans by cumulative duration, with call
+counts and mean/max per call. Standard library only.
+
+Usage:
+    tools/trace_summary.py trace.json [--top N]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_events(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if isinstance(doc, dict):
+        events = doc.get("traceEvents", [])
+        dropped = doc.get("otherData", {}).get("dropped", 0)
+    else:  # bare-array variant of the format
+        events, dropped = doc, 0
+    return events, dropped
+
+
+def summarize(events):
+    """Aggregate complete ("ph": "X") events by span name."""
+    spans = {}
+    for e in events:
+        if e.get("ph") != "X":
+            continue
+        name = e.get("name", "?")
+        dur = float(e.get("dur", 0.0))  # microseconds
+        agg = spans.setdefault(name, {"count": 0, "total_us": 0.0, "max_us": 0.0})
+        agg["count"] += 1
+        agg["total_us"] += dur
+        agg["max_us"] = max(agg["max_us"], dur)
+    return spans
+
+
+def fmt_us(us):
+    if us >= 1e6:
+        return "%.2fs" % (us / 1e6)
+    if us >= 1e3:
+        return "%.2fms" % (us / 1e3)
+    return "%.1fus" % us
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="trace_event JSON file (--profile output)")
+    parser.add_argument("--top", type=int, default=10,
+                        help="rows to print (default 10)")
+    args = parser.parse_args(argv)
+
+    try:
+        events, dropped = load_events(args.trace)
+    except (OSError, ValueError) as err:
+        print("trace_summary: %s" % err, file=sys.stderr)
+        return 2
+
+    spans = summarize(events)
+    if not spans:
+        print("trace_summary: no complete spans in %s" % args.trace)
+        return 0
+
+    rows = sorted(spans.items(), key=lambda kv: kv[1]["total_us"], reverse=True)
+    name_w = max(len("span"), max(len(n) for n, _ in rows[: args.top]))
+    print("top %d spans by cumulative time (%d events, %d dropped):"
+          % (min(args.top, len(rows)), len(events), dropped))
+    print("%-*s  %10s  %8s  %10s  %10s" % (name_w, "span", "total", "count",
+                                           "mean", "max"))
+    for name, agg in rows[: args.top]:
+        mean = agg["total_us"] / agg["count"]
+        print("%-*s  %10s  %8d  %10s  %10s"
+              % (name_w, name, fmt_us(agg["total_us"]), agg["count"],
+                 fmt_us(mean), fmt_us(agg["max_us"])))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
