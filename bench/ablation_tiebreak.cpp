@@ -9,7 +9,6 @@
 #include "experiments.hpp"
 
 #include "core/runner.hpp"
-#include "graph/components.hpp"
 #include "lab/registry.hpp"
 #include "sim/csv.hpp"
 #include "topo/catalog.hpp"
@@ -33,7 +32,7 @@ void register_ablation_tiebreak(registry& reg) {
   e.metric_groups = {"monte_carlo", "traversal", "spt_cache"};
   e.run = [](context& ctx) {
     const node_id budget = static_cast<node_id>(ctx.u64("budget"));
-    const auto suite = scaled_networks(paper_networks(), budget);
+    const auto suite = paper_networks();
     monte_carlo_params mc = ctx.monte_carlo();
     mc.receiver_sets = ctx.u64("receiver_sets");
     mc.sources = ctx.u64("sources");
@@ -42,7 +41,8 @@ void register_ablation_tiebreak(registry& reg) {
     table_writer table(
         {"network", "max |Δratio|/ratio", "mean |Δratio|/ratio"});
     for (const auto& entry : suite) {
-      const graph g = largest_component(entry.build(7));
+      const auto shared = ctx.topology(entry.name, 7, budget);
+      const graph& g = *shared;
       const auto grid = default_group_grid(g.node_count() - 1, 12);
 
       monte_carlo_params det = mc;

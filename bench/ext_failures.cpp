@@ -24,7 +24,6 @@
 #include "core/scaling_law.hpp"
 #include "fault/degraded.hpp"
 #include "fault/failure_model.hpp"
-#include "graph/components.hpp"
 #include "lab/registry.hpp"
 #include "session/simulator.hpp"
 #include "sim/csv.hpp"
@@ -73,7 +72,7 @@ void register_ext_failures(registry& reg) {
     ctx.line("");
 
     const node_id budget = static_cast<node_id>(ctx.u64("budget"));
-    auto suite = scaled_networks(paper_networks(), budget);
+    const auto suite = paper_networks();
     monte_carlo_params mc = ctx.monte_carlo();
     mc.receiver_sets = ctx.u64("receiver_sets");
     mc.sources = ctx.u64("sources");
@@ -91,7 +90,8 @@ void register_ext_failures(registry& reg) {
     std::size_t targeted_breaks = 0;  // hub scenarios that broke the fit
 
     for (const auto& entry : suite) {
-      const graph g = largest_component(entry.build(seed));
+      const auto shared = ctx.topology(entry.name, seed, budget);
+      const graph& g = *shared;
       if (g.node_count() < 32) continue;
       const auto grid = default_group_grid(g.node_count() - 1, grid_points);
 

@@ -10,7 +10,6 @@
 
 #include "analysis/fit.hpp"
 #include "core/runner.hpp"
-#include "graph/components.hpp"
 #include "lab/registry.hpp"
 #include "multicast/shared_tree.hpp"
 #include "topo/catalog.hpp"
@@ -33,16 +32,15 @@ void register_ext_shared_tree(registry& reg) {
   e.metric_groups = {"traversal"};
   e.run = [](context& ctx) {
     const node_id budget = static_cast<node_id>(ctx.u64("budget"));
-    const auto suite = scaled_networks(
-        std::vector<network_entry>{find_network("ts1000"),
-                                   find_network("AS")},
-        budget);
+    const std::vector<network_entry> suite{find_network("ts1000"),
+                                           find_network("AS")};
     const std::size_t receiver_sets = ctx.u64("receiver_sets");
     const std::size_t sources = ctx.u64("sources");
     const std::uint64_t seed = ctx.u64("seed");
 
     for (const auto& entry : suite) {
-      const graph g = largest_component(entry.build(7));
+      const auto shared = ctx.topology(entry.name, 7, budget);
+      const graph& g = *shared;
       const auto grid = default_group_grid(g.node_count() - 1, 12);
 
       for (core_strategy strategy :

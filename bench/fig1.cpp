@@ -13,7 +13,6 @@
 
 #include "core/runner.hpp"
 #include "core/scaling_law.hpp"
-#include "graph/components.hpp"
 #include "lab/registry.hpp"
 #include "topo/catalog.hpp"
 
@@ -25,10 +24,11 @@ namespace {
 // block goes after the reference series — the historical layout the
 // goldens and plotting scripts expect.
 void run_panel(context& ctx, const std::string& panel_id,
-               std::vector<network_entry> suite,
+               const std::vector<network_entry>& suite,
                std::vector<std::pair<std::string, std::string>>& fits) {
   const node_id budget = static_cast<node_id>(ctx.u64("budget"));
-  if (budget < 30000) suite = scaled_networks(suite, budget);
+  // budget >= 30000 keeps the native entries (topology cache key 0).
+  const node_id scale_budget = budget < 30000 ? budget : 0;
   monte_carlo_params mc = ctx.monte_carlo();
   mc.receiver_sets = ctx.u64("receiver_sets");  // paper: N_rcvr = 100
   mc.sources = ctx.u64("sources");              // paper: N_source = 100
@@ -36,7 +36,8 @@ void run_panel(context& ctx, const std::string& panel_id,
   const std::size_t grid_points = ctx.u64("grid_points");
 
   for (const auto& entry : suite) {
-    const graph g = largest_component(entry.build(7));
+    const auto shared = ctx.topology(entry.name, 7, scale_budget);
+    const graph& g = *shared;
     const std::uint64_t sites = g.node_count() - 1;
     const auto grid = default_group_grid(sites, grid_points);
     const auto rows = measure_distinct_receivers(g, grid, mc);

@@ -11,7 +11,6 @@
 
 #include "analysis/fit.hpp"
 #include "core/runner.hpp"
-#include "graph/components.hpp"
 #include "lab/registry.hpp"
 #include "topo/catalog.hpp"
 
@@ -36,8 +35,8 @@ void register_fig6(registry& reg) {
   e.metric_groups = {"monte_carlo", "traversal", "spt_cache"};
   e.run = [](context& ctx) {
     const node_id budget = static_cast<node_id>(ctx.u64("budget"));
-    auto suite = paper_networks();
-    if (budget < 30000) suite = scaled_networks(suite, budget);
+    const node_id scale_budget = budget < 30000 ? budget : 0;
+    const auto suite = paper_networks();
     monte_carlo_params mc = ctx.monte_carlo();
     mc.receiver_sets = ctx.u64("receiver_sets");
     mc.sources = ctx.u64("sources");
@@ -45,7 +44,8 @@ void register_fig6(registry& reg) {
     const std::size_t grid_points = ctx.u64("grid_points");
 
     for (const auto& entry : suite) {
-      const graph g = largest_component(entry.build(7));
+      const auto shared = ctx.topology(entry.name, 7, scale_budget);
+      const graph& g = *shared;
       // n runs past the network size (with replacement), as in the paper.
       const std::uint64_t n_max = 4ULL * (g.node_count() - 1);
       const auto grid = default_group_grid(n_max, grid_points);

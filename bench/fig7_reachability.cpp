@@ -11,7 +11,6 @@
 #include "experiments.hpp"
 
 #include "analysis/reachability.hpp"
-#include "graph/components.hpp"
 #include "lab/registry.hpp"
 #include "sim/rng.hpp"
 #include "topo/catalog.hpp"
@@ -35,13 +34,14 @@ void register_fig7(registry& reg) {
   e.metric_groups = {"traversal"};
   e.run = [](context& ctx) {
     const node_id budget = static_cast<node_id>(ctx.u64("budget"));
-    auto suite = paper_networks();
-    if (budget < 30000) suite = scaled_networks(suite, budget);
+    const node_id scale_budget = budget < 30000 ? budget : 0;
+    const auto suite = paper_networks();
     const std::size_t sources = ctx.u64("sources");
 
     rng gen(ctx.u64("seed"));
     for (const auto& entry : suite) {
-      const graph g = largest_component(entry.build(7));
+      const auto shared = ctx.topology(entry.name, 7, scale_budget);
+      const graph& g = *shared;
       const reachability_profile prof = mean_reachability(g, sources, gen);
 
       std::vector<double> xs, ys;

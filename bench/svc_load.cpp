@@ -1,0 +1,421 @@
+// svc_load — open-loop load generator for the mcast_serve query service.
+//
+// Default mode spins the server *in-process* (same obs registry), so the
+// BENCH_service.json manifest captures server-side truth: accepted and
+// rejected connection counts, queue-depth/inflight peaks, request and
+// queue-wait latency histograms, topology-cache hits. `--port=N` targets
+// an external server instead (client-side numbers only).
+//
+// Three phases:
+//   1. warmup      — a short burst, excluded from every number;
+//   2. measured    — C connections, each sending R requests on an
+//                    open-loop schedule (sends fire at sleep_until
+//                    instants regardless of response progress, the
+//                    standard way to avoid coordinated omission) while a
+//                    reader thread timestamps in-order responses;
+//   3. overload    — (in-process only) a deliberately tiny server
+//                    (workers=1, queue=1) is held busy and burst-
+//                    connected, counting typed `overloaded` rejections —
+//                    the admission-control path exercised on purpose.
+//
+// Output: human summary on stdout + BENCH_service.json (schema
+// mcast-lab-manifest/2, `mcast_lab validate`-clean) with QPS and exact
+// p50/p95/p99 latencies in the fits section.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <ctime>
+#include <iostream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lab/manifest.hpp"
+#include "lab/params.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "obs/metrics.hpp"
+#include "service/protocol.hpp"
+#include "service/query_service.hpp"
+
+namespace {
+
+using mcast::net::connect_loopback;
+using mcast::net::line_reader;
+using mcast::net::line_server;
+using mcast::net::send_all;
+using mcast::net::server_config;
+using mcast::net::unique_fd;
+using mcast::service::error_code;
+using mcast::service::error_response;
+using mcast::service::query_service;
+
+using clock_type = std::chrono::steady_clock;
+
+struct options {
+  std::size_t connections = 16;
+  std::size_t requests = 200;     // per connection, measured phase
+  double rate = 100.0;            // requests/second per connection (0 = flood)
+  std::size_t workers = 4;        // in-process server threads
+  std::size_t queue = 64;         // in-process server queue capacity
+  std::uint64_t seed = 1;
+  std::uint16_t port = 0;         // 0 = in-process server
+  std::string out_dir = ".";
+  bool overload_probe = true;
+};
+
+[[noreturn]] void die(const std::string& message) {
+  std::cerr << "svc_load: " << message << "\n";
+  std::exit(1);
+}
+
+std::uint64_t parse_u64_flag(const std::string& text, const char* flag) {
+  if (text.empty()) die(std::string(flag) + " needs a value");
+  std::uint64_t v = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      die(std::string(flag) + " expects an integer, got '" + text + "'");
+    }
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+options parse_options(int argc, char** argv) {
+  options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const char* flag) -> std::string {
+      return arg.substr(std::string(flag).size() + 1);
+    };
+    if (arg.rfind("--connections=", 0) == 0) {
+      opt.connections = parse_u64_flag(value_of("--connections"), "--connections");
+      if (opt.connections == 0 || opt.connections > 512) {
+        die("--connections must be in 1..512");
+      }
+    } else if (arg.rfind("--requests=", 0) == 0) {
+      opt.requests = parse_u64_flag(value_of("--requests"), "--requests");
+      if (opt.requests == 0) die("--requests must be >= 1");
+    } else if (arg.rfind("--rate=", 0) == 0) {
+      opt.rate = static_cast<double>(
+          parse_u64_flag(value_of("--rate"), "--rate"));
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      opt.workers = parse_u64_flag(value_of("--workers"), "--workers");
+      if (opt.workers == 0) die("--workers must be >= 1");
+    } else if (arg.rfind("--queue=", 0) == 0) {
+      opt.queue = parse_u64_flag(value_of("--queue"), "--queue");
+      if (opt.queue == 0) die("--queue must be >= 1");
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      opt.seed = parse_u64_flag(value_of("--seed"), "--seed");
+    } else if (arg.rfind("--port=", 0) == 0) {
+      const std::uint64_t p = parse_u64_flag(value_of("--port"), "--port");
+      if (p == 0 || p > 65535) die("--port must be in 1..65535");
+      opt.port = static_cast<std::uint16_t>(p);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      opt.out_dir = value_of("--out");
+      if (opt.out_dir.empty()) die("--out= needs a directory");
+    } else if (arg == "--skip-overload-probe") {
+      opt.overload_probe = false;
+    } else {
+      die("unknown argument '" + arg + "'");
+    }
+  }
+  return opt;
+}
+
+/// Deterministic request mix: cheap closed-form and profile lookups with a
+/// sprinkle of small Monte-Carlo runs, all seeded from (connection, index).
+std::string make_request(std::uint64_t seed, std::size_t conn, std::size_t i) {
+  const std::uint64_t h = seed * 0x9e3779b97f4a7c15ull + conn * 131 + i;
+  switch (i % 8) {
+    case 3:
+      return "{\"op\":\"lm_estimate\",\"topology\":\"ARPA\",\"group_sizes\":"
+             "[2,4,8],\"sources\":3,\"receiver_sets\":2,\"seed\":" +
+             std::to_string(h % 1000) + "}";
+    case 6:
+      return "{\"op\":\"healthz\"}";
+    case 1:
+    case 5:
+      return "{\"op\":\"reachability\",\"topology\":\"ARPA\",\"source\":" +
+             std::to_string(h % 40) + "}";
+    default:
+      return "{\"op\":\"lmhat\",\"k\":" + std::to_string(2 + h % 6) +
+             ",\"depth\":" + std::to_string(3 + h % 4) + ",\"n\":[1,10,100]}";
+  }
+}
+
+struct phase_result {
+  std::vector<double> latencies_ms;  // one per completed request
+  std::uint64_t errors = 0;          // ok:false responses
+  std::uint64_t lost = 0;            // requests without a response
+  double wall_seconds = 0.0;
+};
+
+/// One connection's open-loop run: the writer fires requests at scheduled
+/// instants (never waiting for responses); the reader timestamps each
+/// in-order response against its send time.
+void run_connection(std::uint16_t port, const options& opt, std::size_t conn,
+                    phase_result& out) {
+  unique_fd fd = connect_loopback(port);
+  std::vector<clock_type::time_point> sent(opt.requests);
+  const auto interval =
+      opt.rate > 0.0 ? std::chrono::duration_cast<clock_type::duration>(
+                           std::chrono::duration<double>(1.0 / opt.rate))
+                     : clock_type::duration::zero();
+
+  std::thread writer([&] {
+    const auto start = clock_type::now();
+    for (std::size_t i = 0; i < opt.requests; ++i) {
+      if (interval.count() > 0) {
+        std::this_thread::sleep_until(start + interval * static_cast<long>(i));
+      }
+      const std::string line = make_request(opt.seed, conn, i) + "\n";
+      sent[i] = clock_type::now();
+      if (!send_all(fd.get(), line)) return;
+    }
+  });
+
+  line_reader reader(fd.get(), 1 << 22);
+  std::string line;
+  for (std::size_t i = 0; i < opt.requests; ++i) {
+    const line_reader::status st = reader.read_line(line, 60000);
+    if (st != line_reader::status::line) {
+      out.lost += opt.requests - i;
+      break;
+    }
+    const double ms =
+        std::chrono::duration<double, std::milli>(clock_type::now() - sent[i])
+            .count();
+    out.latencies_ms.push_back(ms);
+    if (line.find("\"ok\":true") == std::string::npos) ++out.errors;
+  }
+  writer.join();
+}
+
+phase_result run_phase(std::uint16_t port, const options& opt) {
+  phase_result total;
+  std::vector<phase_result> per_conn(opt.connections);
+  const auto begin = clock_type::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(opt.connections);
+    for (std::size_t c = 0; c < opt.connections; ++c) {
+      threads.emplace_back(
+          [&, c] { run_connection(port, opt, c, per_conn[c]); });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  total.wall_seconds =
+      std::chrono::duration<double>(clock_type::now() - begin).count();
+  for (const phase_result& r : per_conn) {
+    total.latencies_ms.insert(total.latencies_ms.end(), r.latencies_ms.begin(),
+                              r.latencies_ms.end());
+    total.errors += r.errors;
+    total.lost += r.lost;
+  }
+  return total;
+}
+
+/// Exact percentile over the sorted sample (nearest-rank).
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+server_config typed_config(std::size_t workers, std::size_t queue) {
+  server_config config;
+  config.port = 0;
+  config.workers = workers;
+  config.queue_capacity = queue;
+  config.overload_response =
+      error_response(error_code::overloaded, "connection queue full");
+  config.overlong_response =
+      error_response(error_code::bad_request, "request line too long");
+  config.internal_error_response =
+      error_response(error_code::internal_error, "handler failed");
+  return config;
+}
+
+/// Holds a workers=1/queue=1 server busy with a slow Monte-Carlo request
+/// and burst-connects it; returns how many typed `overloaded` rejections
+/// the burst collected (the admission-control rate under saturation).
+std::uint64_t overload_probe(std::uint64_t seed) {
+  auto svc = std::make_shared<query_service>();
+  line_server tiny(typed_config(1, 1), [svc](const std::string& line) {
+    return svc->handle(line);
+  });
+
+  // Occupy the single worker with a deliberately heavy request.
+  unique_fd busy = connect_loopback(tiny.port());
+  const std::string slow =
+      "{\"op\":\"lm_estimate\",\"topology\":\"ts1000\",\"budget\":300,"
+      "\"grid_points\":12,\"sources\":48,\"receiver_sets\":24,\"seed\":" +
+      std::to_string(seed) + "}";
+  if (!send_all(busy.get(), slow + "\n")) return 0;
+  // Give the worker time to pick it up, then park one more connection in
+  // the single queue slot so the burst below faces a full house.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  unique_fd parked = connect_loopback(tiny.port());
+
+  std::uint64_t rejected = 0;
+  for (int i = 0; i < 64; ++i) {
+    try {
+      unique_fd probe = connect_loopback(tiny.port());
+      line_reader reader(probe.get(), 1 << 16);
+      std::string line;
+      if (reader.read_line(line, 2000) == line_reader::status::line &&
+          line.find("overloaded") != std::string::npos) {
+        ++rejected;
+      }
+    } catch (const std::exception&) {
+      // Connect refusal also counts as load shed, just not typed.
+    }
+  }
+
+  // Drain the slow request so shutdown is clean.
+  line_reader busy_reader(busy.get(), 1 << 24);
+  std::string line;
+  (void)busy_reader.read_line(line, 120000);
+  tiny.shutdown();
+  tiny.wait();
+  return rejected;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const options opt = parse_options(argc, argv);
+
+  mcast::obs::reset_metrics();
+  const std::clock_t cpu_begin = std::clock();
+  const auto wall_begin = clock_type::now();
+
+  // In-process server unless --port points at an external one.
+  std::shared_ptr<query_service> svc;
+  std::unique_ptr<line_server> server;
+  std::uint16_t port = opt.port;
+  if (port == 0) {
+    svc = std::make_shared<query_service>();
+    server = std::make_unique<line_server>(
+        typed_config(opt.workers, opt.queue),
+        [svc](const std::string& line) { return svc->handle(line); });
+    svc->set_stats_source([&s = *server] { return s.stats(); });
+    port = server->port();
+  }
+  std::cerr << "svc_load: target 127.0.0.1:" << port
+            << (server ? " (in-process)" : " (external)") << " connections="
+            << opt.connections << " requests=" << opt.requests
+            << " rate=" << opt.rate << "/s\n";
+
+  // Warmup: populate the topology cache and spin up the worker threads.
+  {
+    options warm = opt;
+    warm.connections = std::min<std::size_t>(opt.connections, 4);
+    warm.requests = 16;
+    warm.rate = 0.0;
+    (void)run_phase(port, warm);
+  }
+
+  phase_result measured = run_phase(port, opt);
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(opt.connections) * opt.requests;
+  const double qps =
+      measured.wall_seconds > 0.0
+          ? static_cast<double>(measured.latencies_ms.size()) /
+                measured.wall_seconds
+          : 0.0;
+  std::sort(measured.latencies_ms.begin(), measured.latencies_ms.end());
+  const double p50 = percentile(measured.latencies_ms, 0.50);
+  const double p95 = percentile(measured.latencies_ms, 0.95);
+  const double p99 = percentile(measured.latencies_ms, 0.99);
+
+  std::uint64_t overload_rejections = 0;
+  if (server && opt.overload_probe) {
+    overload_rejections = overload_probe(opt.seed);
+  }
+
+  if (server) {
+    server->shutdown();
+    server->wait();
+  }
+
+  std::printf("svc_load results\n");
+  std::printf("  requests     %llu / %llu answered (%llu error, %llu lost)\n",
+              static_cast<unsigned long long>(measured.latencies_ms.size()),
+              static_cast<unsigned long long>(expected),
+              static_cast<unsigned long long>(measured.errors),
+              static_cast<unsigned long long>(measured.lost));
+  std::printf("  wall         %.3f s\n", measured.wall_seconds);
+  std::printf("  throughput   %.1f req/s\n", qps);
+  std::printf("  latency ms   p50=%.3f p95=%.3f p99=%.3f\n", p50, p95, p99);
+  if (server && opt.overload_probe) {
+    std::printf("  overload     %llu typed rejections under saturation\n",
+                static_cast<unsigned long long>(overload_rejections));
+  }
+
+  // Manifest, shaped exactly like a lab run so `mcast_lab validate` and
+  // the perf-trajectory tooling ingest it unchanged.
+  namespace lab = mcast::lab;
+  lab::run_record record;
+  record.experiment_id = "svc_load";
+  record.title = "Service load: QPS and tail latency of mcast_serve";
+  record.claim =
+      "open-loop throughput, exact p50/p95/p99 latency, and typed "
+      "admission-control rejections of the line-JSON query service";
+  record.scale = lab::scale_from_env();
+  record.threads = opt.workers;
+  record.use_spt_cache = true;
+  record.parameters.set("connections",
+                        static_cast<std::uint64_t>(opt.connections));
+  record.parameters.set("requests", static_cast<std::uint64_t>(opt.requests));
+  record.parameters.set("rate", opt.rate);
+  record.parameters.set("workers", static_cast<std::uint64_t>(opt.workers));
+  record.parameters.set("queue", static_cast<std::uint64_t>(opt.queue));
+  record.parameters.set("seed", opt.seed);
+  record.parameters.set("external_port", static_cast<std::uint64_t>(opt.port));
+  record.git_revision = lab::current_git_revision();
+  record.timestamp_utc = lab::utc_timestamp();
+  record.wall_seconds =
+      std::chrono::duration<double>(clock_type::now() - wall_begin).count();
+  record.cpu_seconds = static_cast<double>(std::clock() - cpu_begin) /
+                       static_cast<double>(CLOCKS_PER_SEC);
+  lab::fit_entry fit;
+  fit.label = "SvcLoad";
+  {
+    char text[256];
+    std::snprintf(text, sizeof text,
+                  "qps=%.1f p50_ms=%.3f p95_ms=%.3f p99_ms=%.3f "
+                  "errors=%llu lost=%llu overload_rejections=%llu",
+                  qps, p50, p95, p99,
+                  static_cast<unsigned long long>(measured.errors),
+                  static_cast<unsigned long long>(measured.lost),
+                  static_cast<unsigned long long>(overload_rejections));
+    fit.text = text;
+  }
+  fit.values = {
+      {"qps", qps},
+      {"p50_ms", p50},
+      {"p95_ms", p95},
+      {"p99_ms", p99},
+      {"answered", static_cast<double>(measured.latencies_ms.size())},
+      {"errors", static_cast<double>(measured.errors)},
+      {"lost", static_cast<double>(measured.lost)},
+      {"overload_rejections", static_cast<double>(overload_rejections)},
+  };
+  record.fits.push_back(std::move(fit));
+  record.metric_groups = {"service", "topo_cache"};
+  record.metrics = mcast::obs::snapshot();
+
+  const std::string path = opt.out_dir + "/BENCH_service.json";
+  lab::write_manifest(record, path);
+  std::cerr << "svc_load: manifest " << path << "\n";
+
+  // Lost responses mean dropped connections mid-phase — that is a failure
+  // of the zero-drop contract, not a statistic.
+  return measured.lost == 0 ? 0 : 1;
+}

@@ -3,7 +3,6 @@
 // normalize every figure (average unicast path length, diameter).
 #include "experiments.hpp"
 
-#include "graph/components.hpp"
 #include "graph/metrics.hpp"
 #include "lab/registry.hpp"
 #include "sim/csv.hpp"
@@ -26,14 +25,14 @@ void register_table1(registry& reg) {
   e.metric_groups = {"traversal"};
   e.run = [](context& ctx) {
     const node_id budget = static_cast<node_id>(ctx.u64("budget"));
-    const auto suite = budget >= 30000
-                           ? paper_networks()
-                           : scaled_networks(paper_networks(), budget);
+    const node_id scale_budget = budget < 30000 ? budget : 0;
+    const auto suite = paper_networks();
 
     table_writer table({"network", "style", "nodes", "links", "avg degree",
                         "avg path", "diameter*"});
     for (const auto& entry : suite) {
-      const graph g = largest_component(entry.build(7));
+      const auto shared = ctx.topology(entry.name, 7, scale_budget);
+      const graph& g = *shared;
       const table1_row row = summarize_network(g);
       table.add_row({row.name,
                      entry.kind == network_kind::generated ? "generated"

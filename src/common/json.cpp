@@ -1,4 +1,4 @@
-#include "lab/json.hpp"
+#include "common/json.hpp"
 
 #include <cctype>
 #include <cmath>
@@ -6,7 +6,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
-namespace mcast::lab::json {
+namespace mcast::json {
 
 value value::boolean(bool b) {
   value v;
@@ -353,6 +353,35 @@ void dump_value(const value& v, int depth, std::string& out) {
   }
 }
 
+void dump_value_compact(const value& v, std::string& out) {
+  switch (v.type()) {
+    case value::kind::null: out += "null"; return;
+    case value::kind::boolean: out += v.as_bool() ? "true" : "false"; return;
+    case value::kind::number: dump_number(v.as_number(), out); return;
+    case value::kind::string: dump_string(v.as_string(), out); return;
+    case value::kind::array: {
+      out += '[';
+      for (std::size_t i = 0; i < v.items().size(); ++i) {
+        if (i > 0) out += ',';
+        dump_value_compact(v.items()[i], out);
+      }
+      out += ']';
+      return;
+    }
+    case value::kind::object: {
+      out += '{';
+      for (std::size_t i = 0; i < v.members().size(); ++i) {
+        if (i > 0) out += ',';
+        dump_string(v.members()[i].first, out);
+        out += ':';
+        dump_value_compact(v.members()[i].second, out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
 }  // namespace
 
 value parse(const std::string& text) { return parser(text).document(); }
@@ -364,4 +393,10 @@ std::string dump(const value& v) {
   return out;
 }
 
-}  // namespace mcast::lab::json
+std::string dump_compact(const value& v) {
+  std::string out;
+  dump_value_compact(v, out);
+  return out;
+}
+
+}  // namespace mcast::json

@@ -1,0 +1,70 @@
+// Minimal JSON document model — parse, build, dump.
+//
+// Shared by the run-manifest layer (lab/manifest.hpp emits provenance JSON,
+// `mcast_lab validate` reads it back), the obs snapshot serializer
+// (obs/metrics_json.hpp) and the query service's line protocol
+// (service/protocol.hpp), with no third-party dependency. This is a
+// deliberately small implementation: UTF-8 pass-through strings, doubles
+// for all numbers, ordered object keys (so dumps are deterministic and
+// diffable — the service's byte-identical-response guarantee leans on
+// this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mcast::json {
+
+class value {
+ public:
+  enum class kind { null, boolean, number, string, array, object };
+
+  value() = default;
+  static value boolean(bool b);
+  static value number(double n);
+  static value string(std::string s);
+  static value array();
+  static value object();
+
+  kind type() const noexcept { return kind_; }
+  bool is(kind k) const noexcept { return kind_ == k; }
+
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<value>& items() const;                  // array
+  const std::vector<std::pair<std::string, value>>& members() const;  // object
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const value* get(const std::string& key) const noexcept;
+
+  /// Appends to an array (throws std::logic_error on other kinds).
+  void push(value v);
+
+  /// Sets an object member, replacing an existing key.
+  void set(const std::string& key, value v);
+
+ private:
+  kind kind_ = kind::null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<value> items_;
+  std::vector<std::pair<std::string, value>> members_;
+};
+
+/// Parses a complete JSON document (trailing garbage rejected). Throws
+/// std::invalid_argument with an offset-tagged message on malformed input.
+value parse(const std::string& text);
+
+/// Serializes with 2-space indentation and ordered keys; numbers use %.17g
+/// (integral values print without an exponent or trailing ".0").
+std::string dump(const value& v);
+
+/// Single-line serialization (no whitespace, no trailing newline) — the
+/// framing the query service's one-line-per-response protocol requires.
+std::string dump_compact(const value& v);
+
+}  // namespace mcast::json

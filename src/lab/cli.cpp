@@ -8,6 +8,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "lab/engine.hpp"
@@ -15,6 +16,7 @@
 #include "lab/registry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "service/commands.hpp"
 
 namespace mcast::lab {
 
@@ -30,6 +32,12 @@ void usage(std::ostream& out) {
          "  describe <id>            show claim, parameters, metric groups\n"
          "  run <id> | run --all     run experiments\n"
          "  validate <dir>           schema-check BENCH_*.json manifests\n"
+         "  serve [--port=N] [--threads=K] [--queue=N] [--max-line=B]\n"
+         "         [--metrics-summary] [--profile=FILE]\n"
+         "                           run the line-JSON query service until\n"
+         "                           SIGINT/SIGTERM (docs/service.md)\n"
+         "  query --port=N [line..]  send request lines (argv or stdin) to a\n"
+         "                           running server; exit 0 iff all ok\n"
          "\n"
          "run options:\n"
          "  --param k=v              override a parameter (repeatable)\n"
@@ -194,18 +202,20 @@ int run_one(const experiment& exp, const run_flags& flags) {
   const run_outcome outcome = run_experiment(exp, flags.options);
   outcome.output.render(std::cout);
   std::cout.flush();
+  if (!std::cout) {
+    throw std::runtime_error("stdout write failed (disk full or pipe closed?)");
+  }
 
   if (!flags.out_dir.empty()) {
-    fs::create_directories(flags.out_dir);
     const std::string path = flags.out_dir + "/" + exp.id + ".dat";
     std::ofstream dat(path, std::ios::trunc);
     if (!dat) throw std::runtime_error("cannot open '" + path + "'");
     outcome.output.render(dat);
+    if (!dat) throw std::runtime_error("write to '" + path + "' failed");
   }
 
   std::string manifest_path = "-";
   if (flags.write_manifests) {
-    fs::create_directories(flags.manifest_dir);
     manifest_path = flags.manifest_dir + "/BENCH_" + exp.id + ".json";
     write_manifest(outcome.manifest, manifest_path);
   }
@@ -234,6 +244,24 @@ int cmd_run(const registry& reg, const std::vector<std::string>& args) {
         die("unknown experiment '" + id + "' (see `mcast_lab list`)");
       }
       selected.push_back(exp);
+    }
+  }
+  // Create the output directories before any experiment runs: a bad
+  // --manifest-dir should fail in milliseconds, not after a long sweep.
+  if (flags.write_manifests) {
+    std::error_code ec;
+    fs::create_directories(flags.manifest_dir, ec);
+    if (ec || !fs::is_directory(flags.manifest_dir)) {
+      die("cannot create --manifest-dir '" + flags.manifest_dir + "'" +
+          (ec ? ": " + ec.message() : ""));
+    }
+  }
+  if (!flags.out_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(flags.out_dir, ec);
+    if (ec || !fs::is_directory(flags.out_dir)) {
+      die("cannot create --out-dir '" + flags.out_dir + "'" +
+          (ec ? ": " + ec.message() : ""));
     }
   }
   if (!flags.profile_path.empty()) {
@@ -319,6 +347,8 @@ int run_cli(const registry& reg, int argc, char** argv) {
     }
     if (command == "run") return cmd_run(reg, rest);
     if (command == "validate") return cmd_validate(rest);
+    if (command == "serve") return service::run_serve(rest);
+    if (command == "query") return service::run_query(rest);
     die("unknown command '" + command + "'");
   } catch (const std::invalid_argument& e) {
     std::cerr << "mcast_lab: " << e.what() << "\n";

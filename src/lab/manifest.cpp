@@ -6,6 +6,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/metrics_json.hpp"
+
 namespace mcast::lab {
 
 namespace {
@@ -32,54 +34,6 @@ bool is_seed_name(const std::string& name) {
   if (name == "seed") return true;
   const std::size_t n = name.size();
   return n > 5 && name.compare(n - 5, 5, "_seed") == 0;
-}
-
-// The manifest/2 `metrics` section: full registry snapshot (every counter,
-// gauge and histogram, zeros included, so the schema is deterministic)
-// plus the derived headline rates dashboards want without re-deriving.
-json::value metrics_to_json(const obs::metrics_snapshot& s) {
-  json::value m = json::value::object();
-  m.set("enabled", json::value::boolean(s.compiled_in && s.enabled));
-
-  json::value counters = json::value::object();
-  for (std::size_t i = 0; i < obs::counter_count; ++i) {
-    counters.set(obs::counter_name(static_cast<obs::counter>(i)),
-                 json::value::number(static_cast<double>(s.counters[i])));
-  }
-  m.set("counters", std::move(counters));
-
-  json::value gauges = json::value::object();
-  for (std::size_t i = 0; i < obs::gauge_count; ++i) {
-    gauges.set(obs::gauge_name(static_cast<obs::gauge>(i)),
-               json::value::number(static_cast<double>(s.gauges[i])));
-  }
-  m.set("gauges", std::move(gauges));
-
-  json::value histograms = json::value::object();
-  for (std::size_t i = 0; i < obs::histogram_count; ++i) {
-    const obs::histogram_summary& h = s.histograms[i];
-    json::value hist = json::value::object();
-    hist.set("count", json::value::number(static_cast<double>(h.count)));
-    hist.set("sum", json::value::number(static_cast<double>(h.sum)));
-    hist.set("mean", json::value::number(h.mean()));
-    hist.set("p50", json::value::number(h.p50));
-    hist.set("p95", json::value::number(h.p95));
-    hist.set("p99", json::value::number(h.p99));
-    histograms.set(obs::histogram_name(static_cast<obs::histogram>(i)),
-                   std::move(hist));
-  }
-  m.set("histograms", std::move(histograms));
-
-  json::value derived = json::value::object();
-  derived.set("spt_cache_hit_rate",
-              json::value::number(obs::spt_cache_hit_rate(s)));
-  derived.set("scheduler_busy_fraction",
-              json::value::number(obs::scheduler_busy_fraction(s)));
-  derived.set("traversal_passes",
-              json::value::number(
-                  static_cast<double>(obs::traversal_passes(s))));
-  m.set("derived", std::move(derived));
-  return m;
 }
 
 }  // namespace
@@ -135,7 +89,7 @@ json::value to_json(const run_record& record) {
     groups.push(json::value::string(g));
   }
   doc.set("metric_groups", std::move(groups));
-  doc.set("metrics", metrics_to_json(record.metrics));
+  doc.set("metrics", obs::metrics_to_json(record.metrics));
   return doc;
 }
 

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "topo/cache.hpp"
+
 namespace mcast::lab {
 
 void registry::add(experiment e) {
@@ -29,6 +31,12 @@ const experiment* registry::find(const std::string& id) const noexcept {
 void context::sweep(std::size_t count, const sweep_fn& fn) {
   std::vector<recorder> parts = run_sweep(count, threads_, fn);
   for (recorder& part : parts) rec_.splice(std::move(part));
+}
+
+std::shared_ptr<const graph> context::topology(const std::string& name,
+                                               std::uint64_t seed,
+                                               node_id budget) const {
+  return shared_topology_cache().get(name, seed, budget);
 }
 
 }  // namespace mcast::lab

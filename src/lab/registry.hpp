@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -117,6 +118,16 @@ class context {
   /// thread budget, then splices their outputs back in index order — the
   /// result is byte-identical to running the points serially.
   void sweep(std::size_t count, const sweep_fn& fn);
+
+  /// Catalog topology through the process-wide content-keyed cache
+  /// (topo/cache.hpp): the largest component of `name` built at `seed`,
+  /// scaled to `budget` nodes when budget > 0. Byte-identical to
+  /// largest_component(find_network(name).build(seed)) — repeated runs
+  /// (and the query service) share the built graph instead of
+  /// regenerating it. Safe to call from sweep() workers.
+  std::shared_ptr<const graph> topology(const std::string& name,
+                                        std::uint64_t seed,
+                                        node_id budget = 0) const;
 
  private:
   const experiment& exp_;

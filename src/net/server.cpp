@@ -1,0 +1,202 @@
+#include "net/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace mcast::net {
+namespace {
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+}  // namespace
+
+line_server::line_server(server_config config, handler_fn handler)
+    : config_(std::move(config)), handler_(std::move(handler)) {
+  if (config_.workers == 0) {
+    throw std::invalid_argument("line_server: workers must be >= 1");
+  }
+  if (config_.queue_capacity == 0) {
+    throw std::invalid_argument("line_server: queue_capacity must be >= 1");
+  }
+  auto listener = listen_loopback(config_.port);
+  listen_fd_ = std::move(listener.fd);
+  port_ = listener.port;
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    throw std::runtime_error("line_server: pipe failed");
+  }
+  wake_read_ = unique_fd(pipe_fds[0]);
+  wake_write_ = unique_fd(pipe_fds[1]);
+
+  started_ = std::chrono::steady_clock::now();
+  acceptor_ = std::thread([this] { accept_loop(); });
+  workers_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+line_server::~line_server() {
+  shutdown();
+  wait();
+}
+
+server_stats line_server::stats() const {
+  server_stats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.inflight = inflight_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.queue_depth = queue_.size();
+  }
+  s.uptime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_)
+          .count();
+  return s;
+}
+
+void line_server::shutdown() {
+  if (draining_.exchange(true)) return;
+  // One byte down the self-pipe pops the acceptor out of poll().
+  if (wake_write_.valid()) {
+    const char b = 'x';
+    [[maybe_unused]] ssize_t n = ::write(wake_write_.get(), &b, 1);
+  }
+  queue_cv_.notify_all();
+}
+
+void line_server::wait() {
+  std::lock_guard<std::mutex> lock(join_mu_);
+  if (joined_) return;
+  shutdown();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  joined_ = true;
+}
+
+void line_server::accept_loop() {
+  for (;;) {
+    pollfd pfds[2] = {};
+    pfds[0].fd = listen_fd_.get();
+    pfds[0].events = POLLIN;
+    pfds[1].fd = wake_read_.get();
+    pfds[1].events = POLLIN;
+    const int rc = ::poll(pfds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (draining_.load(std::memory_order_acquire)) break;
+    if ((pfds[0].revents & POLLIN) == 0) continue;
+
+    unique_fd conn(::accept(listen_fd_.get(), nullptr, nullptr));
+    if (!conn.valid()) continue;
+
+    bool enqueued = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.size() < config_.queue_capacity) {
+        pending_conn pc;
+        pc.fd = std::move(conn);
+        pc.enqueued = std::chrono::steady_clock::now();
+        queue_.push_back(std::move(pc));
+        obs::gauge_max(obs::gauge::svc_queue_depth_peak, queue_.size());
+        enqueued = true;
+      }
+    }
+    if (enqueued) {
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      obs::add(obs::counter::svc_connections_accepted);
+      queue_cv_.notify_one();
+    } else {
+      // Admission control: the backlog is at capacity, so this connection
+      // is answered with a typed overload line and closed, not queued.
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      obs::add(obs::counter::svc_connections_rejected);
+      send_all(conn.get(), config_.overload_response + "\n");
+    }
+  }
+  // Refuse further connects at the kernel level while workers drain.
+  listen_fd_.reset();
+}
+
+void line_server::worker_loop() {
+  for (;;) {
+    pending_conn pc;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] {
+        return !queue_.empty() || draining_.load(std::memory_order_acquire);
+      });
+      if (queue_.empty()) {
+        if (draining_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      pc = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    obs::record(obs::histogram::svc_queue_wait_ns, elapsed_ns(pc.enqueued));
+    const std::size_t now_inflight =
+        inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+    obs::gauge_max(obs::gauge::svc_inflight_peak, now_inflight);
+    serve_connection(std::move(pc.fd));
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void line_server::serve_connection(unique_fd conn) {
+  line_reader reader(conn.get(), config_.max_line_bytes);
+  std::string line;
+  for (;;) {
+    const line_reader::status st = reader.read_line(line, config_.idle_poll_ms);
+    switch (st) {
+      case line_reader::status::timeout:
+        // Idle tick: a draining server says goodbye to idle connections;
+        // otherwise keep waiting for the next request.
+        if (draining_.load(std::memory_order_acquire)) return;
+        continue;
+      case line_reader::status::closed:
+      case line_reader::status::error:
+        return;
+      case line_reader::status::overlong:
+        obs::add(obs::counter::svc_lines_oversized);
+        send_all(conn.get(), config_.overlong_response + "\n");
+        return;
+      case line_reader::status::line:
+        break;
+    }
+
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    obs::add(obs::counter::svc_requests);
+    const auto begun = std::chrono::steady_clock::now();
+    std::string response;
+    try {
+      response = handler_(line);
+    } catch (...) {
+      obs::add(obs::counter::svc_responses_error);
+      response = config_.internal_error_response;
+    }
+    obs::record(obs::histogram::svc_request_ns, elapsed_ns(begun));
+    if (!send_all(conn.get(), response + "\n")) return;
+  }
+}
+
+}  // namespace mcast::net

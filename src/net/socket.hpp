@@ -1,0 +1,98 @@
+// Minimal POSIX TCP plumbing for the loopback query service.
+//
+// Everything the server and its clients need and nothing more: an RAII fd,
+// loopback listen/accept/connect, a write-everything helper, and a
+// buffered line reader with a hard cap on line length (the first line of
+// defense against oversized frames — see service/protocol.hpp for the
+// typed error the server answers with).
+//
+// IPv4 loopback only, by design: mcast_serve is an in-host query daemon,
+// not an internet-facing endpoint; binding 127.0.0.1 keeps the attack
+// surface at "processes on this machine".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace mcast::net {
+
+/// Move-only owning file descriptor; closes on destruction.
+class unique_fd {
+ public:
+  unique_fd() = default;
+  explicit unique_fd(int fd) noexcept : fd_(fd) {}
+  ~unique_fd() { reset(); }
+  unique_fd(unique_fd&& other) noexcept : fd_(other.release()) {}
+  unique_fd& operator=(unique_fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  unique_fd(const unique_fd&) = delete;
+  unique_fd& operator=(const unique_fd&) = delete;
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+struct listen_socket {
+  unique_fd fd;
+  std::uint16_t port = 0;  ///< actual bound port (resolves a requested 0)
+};
+
+/// Binds and listens on 127.0.0.1:`port` (0 = ephemeral; the chosen port
+/// is reported back). Throws std::runtime_error on failure.
+listen_socket listen_loopback(std::uint16_t port, int backlog = 128);
+
+/// Blocking connect to 127.0.0.1:`port`. Throws std::runtime_error.
+unique_fd connect_loopback(std::uint16_t port);
+
+/// Writes all of `data`, retrying on partial writes and EINTR. SIGPIPE is
+/// suppressed (MSG_NOSIGNAL); a peer hang-up surfaces as the return value
+/// false, never a signal or an exception — response writes race client
+/// disconnects by design.
+bool send_all(int fd, std::string_view data) noexcept;
+
+/// Waits up to `timeout_ms` for `fd` to become readable. Returns false on
+/// timeout; EINTR counts as a timeout (callers re-poll on their next tick).
+bool wait_readable(int fd, int timeout_ms) noexcept;
+
+/// Buffered newline-delimited frame reader with a byte cap per line.
+class line_reader {
+ public:
+  enum class status {
+    line,      ///< `out` holds one complete line (terminator stripped)
+    closed,    ///< orderly EOF (any unterminated trailing bytes dropped)
+    timeout,   ///< nothing readable within the poll interval
+    overlong,  ///< frame exceeded max_line bytes before its newline
+    error,     ///< read error; the connection is unusable
+  };
+
+  line_reader(int fd, std::size_t max_line) : fd_(fd), max_line_(max_line) {}
+
+  /// Returns the next frame, waiting at most `timeout_ms` for more bytes
+  /// when the buffer holds no complete line. A '\r' before the '\n' is
+  /// stripped, so both LF and CRLF framing work.
+  status read_line(std::string& out, int timeout_ms);
+
+ private:
+  int fd_;
+  std::size_t max_line_;
+  std::string buffer_;
+};
+
+}  // namespace mcast::net

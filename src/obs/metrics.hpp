@@ -64,17 +64,31 @@ namespace mcast::obs {
   X(sched_tasks, "sched.tasks")                                  \
   X(sched_busy_ns, "sched.busy_ns")                              \
   X(sched_worker_ns, "sched.worker_ns")                          \
-  X(sched_splice_wait_ns, "sched.splice_wait_ns")
+  X(sched_splice_wait_ns, "sched.splice_wait_ns")                \
+  X(topo_cache_hits, "topo_cache.hits")                          \
+  X(topo_cache_misses, "topo_cache.misses")                      \
+  X(topo_cache_evictions, "topo_cache.evictions")                \
+  X(svc_connections_accepted, "svc.connections_accepted")        \
+  X(svc_connections_rejected, "svc.connections_rejected")        \
+  X(svc_requests, "svc.requests")                                \
+  X(svc_responses_error, "svc.responses_error")                  \
+  X(svc_lines_oversized, "svc.lines_oversized")
 
 #define MCAST_OBS_GAUGES(X)                  \
   X(sched_workers, "sched.workers")          \
-  X(spt_cache_peak_entries, "spt_cache.peak_entries")
+  X(spt_cache_peak_entries, "spt_cache.peak_entries")  \
+  X(topo_cache_peak_entries, "topo_cache.peak_entries")  \
+  X(svc_queue_depth_peak, "svc.queue_depth_peak")         \
+  X(svc_inflight_peak, "svc.inflight_peak")
 
 #define MCAST_OBS_HISTOGRAMS(X)                          \
   X(visited_per_pass, "traversal.visited_per_pass")      \
   X(repair_latency_ns, "repair.latency_ns")              \
   X(sched_task_ns, "sched.task_ns")                      \
-  X(sched_tasks_per_worker, "sched.tasks_per_worker")
+  X(sched_tasks_per_worker, "sched.tasks_per_worker")    \
+  X(topo_cache_build_ns, "topo_cache.build_ns")          \
+  X(svc_request_ns, "svc.request_ns")                    \
+  X(svc_queue_wait_ns, "svc.queue_wait_ns")
 
 #define MCAST_OBS_ENUM(id, name) id,
 enum class counter : std::uint16_t { MCAST_OBS_COUNTERS(MCAST_OBS_ENUM) };

@@ -1,0 +1,19 @@
+// JSON serialization of an obs metrics snapshot.
+//
+// One schema, two consumers: the run-manifest layer embeds it as the
+// `metrics` section of every BENCH_<id>.json (mcast-lab-manifest/2), and
+// the query service returns it verbatim from the `metrics` endpoint. The
+// document is fully populated (every counter, gauge and histogram, zeros
+// included) so its shape is deterministic and schema-checkable.
+#pragma once
+
+#include "common/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace mcast::obs {
+
+/// Object with `enabled`, `counters`, `gauges`, `histograms`
+/// (count/sum/mean/p50/p95/p99 each) and `derived` headline rates.
+json::value metrics_to_json(const metrics_snapshot& s);
+
+}  // namespace mcast::obs

@@ -1,0 +1,224 @@
+#include "service/commands.hpp"
+
+#include <csignal>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "common/json.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "service/protocol.hpp"
+#include "service/query_service.hpp"
+
+namespace mcast::service {
+namespace {
+
+[[noreturn]] void die(const std::string& message) {
+  throw std::invalid_argument(message);
+}
+
+/// Strict whole-string u64 parse for flag values (mirrors lab/params.hpp,
+/// which this library deliberately does not link).
+std::uint64_t parse_flag_u64(const std::string& text, const std::string& flag) {
+  if (text.empty()) die(flag + " needs a value");
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') die(flag + " expects an integer, got '" + text + "'");
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) die(flag + " value overflows");
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+/// Accepts "--flag=value" and returns the value, or nullopt-style failure
+/// via the bool. (No std::optional to keep the call sites terse.)
+bool flag_value(const std::string& arg, const std::string& flag,
+                std::string& out) {
+  const std::string prefix = flag + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  out = arg.substr(prefix.size());
+  return true;
+}
+
+struct serve_flags {
+  std::uint16_t port = 0;
+  std::size_t threads = 4;
+  std::size_t queue = 64;
+  std::size_t max_line = 1 << 20;
+  bool metrics_summary = false;
+  std::string profile_path;
+};
+
+serve_flags parse_serve_flags(const std::vector<std::string>& args) {
+  serve_flags flags;
+  for (const std::string& arg : args) {
+    std::string value;
+    if (flag_value(arg, "--port", value)) {
+      const std::uint64_t port = parse_flag_u64(value, "--port");
+      if (port > 65535) die("--port must be <= 65535");
+      flags.port = static_cast<std::uint16_t>(port);
+    } else if (flag_value(arg, "--threads", value)) {
+      const std::uint64_t threads = parse_flag_u64(value, "--threads");
+      if (threads == 0 || threads > 256) die("--threads must be in 1..256");
+      flags.threads = static_cast<std::size_t>(threads);
+    } else if (flag_value(arg, "--queue", value)) {
+      const std::uint64_t queue = parse_flag_u64(value, "--queue");
+      if (queue == 0 || queue > 65536) die("--queue must be in 1..65536");
+      flags.queue = static_cast<std::size_t>(queue);
+    } else if (flag_value(arg, "--max-line", value)) {
+      const std::uint64_t bytes = parse_flag_u64(value, "--max-line");
+      if (bytes < 256 || bytes > (1u << 26)) {
+        die("--max-line must be in 256..67108864");
+      }
+      flags.max_line = static_cast<std::size_t>(bytes);
+    } else if (arg == "--metrics-summary") {
+      flags.metrics_summary = true;
+    } else if (flag_value(arg, "--profile", value)) {
+      if (value.empty()) die("--profile= needs a file path");
+      flags.profile_path = value;
+    } else {
+      die("serve: unknown argument '" + arg + "'");
+    }
+  }
+  return flags;
+}
+
+}  // namespace
+
+int run_serve(const std::vector<std::string>& args) {
+  const serve_flags flags = parse_serve_flags(args);
+
+  // Block the shutdown signals before any thread exists so the acceptor
+  // and workers inherit the mask; only this thread's sigwait sees them.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  if (pthread_sigmask(SIG_BLOCK, &signals, nullptr) != 0) {
+    throw std::runtime_error("serve: pthread_sigmask failed");
+  }
+
+  if (!flags.profile_path.empty()) {
+    obs::trace_clear();
+    obs::trace_enable();
+  }
+
+  auto svc = std::make_shared<query_service>();
+  net::server_config config;
+  config.port = flags.port;
+  config.workers = flags.threads;
+  config.queue_capacity = flags.queue;
+  config.max_line_bytes = flags.max_line;
+  config.overload_response = error_response(
+      error_code::overloaded, "connection queue full; retry later");
+  config.overlong_response = error_response(
+      error_code::bad_request,
+      "request line exceeds " + std::to_string(flags.max_line) + " bytes");
+  config.internal_error_response =
+      error_response(error_code::internal_error, "request handler failed");
+
+  net::line_server server(
+      config, [svc](const std::string& line) { return svc->handle(line); });
+  svc->set_stats_source([&server] { return server.stats(); });
+
+  std::cerr << "[mcast_lab] serve: listening on 127.0.0.1:" << server.port()
+            << " workers=" << flags.threads << " queue=" << flags.queue
+            << "\n";
+  std::cerr.flush();
+
+  int caught = 0;
+  while (sigwait(&signals, &caught) != 0) {
+  }
+  std::cerr << "[mcast_lab] serve: received "
+            << (caught == SIGTERM ? "SIGTERM" : "SIGINT")
+            << ", draining\n";
+  server.shutdown();
+  server.wait();
+
+  const net::server_stats stats = server.stats();
+  std::cerr << "[mcast_lab] serve: drained; " << stats.requests
+            << " request(s), " << stats.accepted << " accepted, "
+            << stats.rejected << " rejected\n";
+  if (flags.metrics_summary) {
+    obs::render_metrics_summary(std::cerr, obs::snapshot());
+  }
+  if (!flags.profile_path.empty()) {
+    obs::trace_disable();
+    const obs::trace_dump dump = obs::trace_collect();
+    obs::write_chrome_trace_file(flags.profile_path, dump);
+    std::cerr << "[mcast_lab] serve: trace " << flags.profile_path << " ("
+              << dump.events.size() << " events, " << dump.dropped
+              << " dropped)\n";
+  }
+  return 0;
+}
+
+int run_query(const std::vector<std::string>& args) {
+  std::uint16_t port = 0;
+  int timeout_ms = 120000;
+  std::vector<std::string> requests;
+  for (const std::string& arg : args) {
+    std::string value;
+    if (flag_value(arg, "--port", value)) {
+      const std::uint64_t p = parse_flag_u64(value, "--port");
+      if (p == 0 || p > 65535) die("--port must be in 1..65535");
+      port = static_cast<std::uint16_t>(p);
+    } else if (flag_value(arg, "--timeout-ms", value)) {
+      const std::uint64_t t = parse_flag_u64(value, "--timeout-ms");
+      if (t == 0 || t > 3600000) die("--timeout-ms must be in 1..3600000");
+      timeout_ms = static_cast<int>(t);
+    } else if (!arg.empty() && arg[0] == '-') {
+      die("query: unknown option '" + arg + "'");
+    } else {
+      requests.push_back(arg);
+    }
+  }
+  if (port == 0) die("query: --port=N is required");
+  if (requests.empty()) {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!line.empty()) requests.push_back(line);
+    }
+  }
+  if (requests.empty()) die("query: no request lines (argv or stdin)");
+
+  net::unique_fd conn = net::connect_loopback(port);
+  bool all_ok = true;
+  net::line_reader reader(conn.get(), 1 << 26);
+  std::string response;
+  for (const std::string& request : requests) {
+    if (!net::send_all(conn.get(), request + "\n")) {
+      std::cerr << "mcast_lab: query: server closed the connection\n";
+      return 1;
+    }
+    const net::line_reader::status st = reader.read_line(response, timeout_ms);
+    if (st != net::line_reader::status::line) {
+      std::cerr << "mcast_lab: query: no response ("
+                << (st == net::line_reader::status::timeout ? "timeout"
+                                                            : "connection lost")
+                << ")\n";
+      return 1;
+    }
+    std::cout << response << "\n";
+    try {
+      const json::value doc = json::parse(response);
+      const json::value* ok = doc.get("ok");
+      if (ok == nullptr || !ok->is(json::value::kind::boolean) ||
+          !ok->as_bool()) {
+        all_ok = false;
+      }
+    } catch (const std::exception&) {
+      all_ok = false;
+    }
+  }
+  std::cout.flush();
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace mcast::service

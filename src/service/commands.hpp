@@ -1,0 +1,28 @@
+// CLI entry points for the query service: `mcast_lab serve` and
+// `mcast_lab query`. Kept out of src/lab so the service stack does not
+// depend on the experiment engine (the lab CLI links *us*).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mcast::service {
+
+/// `mcast_lab serve [--port=N] [--threads=K] [--queue=N] [--max-line=B]
+///                  [--metrics-summary] [--profile=FILE]`
+///
+/// Runs the line server until SIGINT or SIGTERM, then drains gracefully
+/// and returns 0. Prints "listening on 127.0.0.1:<port>" to stderr once
+/// the socket is bound (the line scripts and tests key on).
+/// Throws std::invalid_argument on bad flags (the caller maps it to
+/// exit code 1, like every other lab command).
+int run_serve(const std::vector<std::string>& args);
+
+/// `mcast_lab query --port=N [request-line ...]`
+///
+/// Sends each request line (or stdin lines when none are given) to a
+/// running server, printing one response line per request on stdout.
+/// Returns 0 iff every response had "ok": true.
+int run_query(const std::vector<std::string>& args);
+
+}  // namespace mcast::service

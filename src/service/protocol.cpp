@@ -1,0 +1,152 @@
+#include "service/protocol.hpp"
+
+#include <cmath>
+
+namespace mcast::service {
+namespace {
+
+json::value error_doc(error_code code, const std::string& message) {
+  json::value err = json::value::object();
+  err.set("code", json::value::string(error_code_name(code)));
+  err.set("message", json::value::string(message));
+  return err;
+}
+
+}  // namespace
+
+const char* error_code_name(error_code code) noexcept {
+  switch (code) {
+    case error_code::parse_error: return "parse_error";
+    case error_code::bad_request: return "bad_request";
+    case error_code::unknown_op: return "unknown_op";
+    case error_code::limit_exceeded: return "limit_exceeded";
+    case error_code::overloaded: return "overloaded";
+    case error_code::internal_error: return "internal_error";
+  }
+  return "internal_error";
+}
+
+std::string error_response(error_code code, const std::string& message) {
+  return error_response(code, message, json::value());
+}
+
+std::string error_response(error_code code, const std::string& message,
+                           const json::value& id) {
+  json::value doc = json::value::object();
+  doc.set("id", id);
+  doc.set("ok", json::value::boolean(false));
+  doc.set("error", error_doc(code, message));
+  return json::dump_compact(doc);
+}
+
+std::string ok_response(const std::string& op, json::value result,
+                        const json::value& id) {
+  json::value doc = json::value::object();
+  doc.set("id", id);
+  doc.set("ok", json::value::boolean(true));
+  doc.set("op", json::value::string(op));
+  doc.set("result", std::move(result));
+  return json::dump_compact(doc);
+}
+
+json::value parse_request(const std::string& line) {
+  json::value doc;
+  try {
+    doc = json::parse(line);
+  } catch (const std::exception& e) {
+    throw request_error(error_code::parse_error, e.what());
+  }
+  if (!doc.is(json::value::kind::object)) {
+    throw request_error(error_code::parse_error,
+                        "request must be a JSON object");
+  }
+  return doc;
+}
+
+const json::value& require_member(const json::value& obj,
+                                  const std::string& key) {
+  const json::value* v = obj.get(key);
+  if (v == nullptr) {
+    throw request_error(error_code::bad_request,
+                        "missing required field '" + key + "'");
+  }
+  return *v;
+}
+
+void reject_unknown_keys(const json::value& obj, const char* const* allowed) {
+  for (const auto& [key, unused] : obj.members()) {
+    bool known = false;
+    for (const char* const* a = allowed; *a != nullptr; ++a) {
+      if (key == *a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      throw request_error(error_code::bad_request,
+                          "unknown field '" + key + "'");
+    }
+  }
+}
+
+std::string require_string(const json::value& obj, const std::string& key) {
+  const json::value& v = require_member(obj, key);
+  if (!v.is(json::value::kind::string)) {
+    throw request_error(error_code::bad_request,
+                        "field '" + key + "' must be a string");
+  }
+  return v.as_string();
+}
+
+double require_number(const json::value& obj, const std::string& key) {
+  const json::value& v = require_member(obj, key);
+  if (!v.is(json::value::kind::number)) {
+    throw request_error(error_code::bad_request,
+                        "field '" + key + "' must be a number");
+  }
+  const double n = v.as_number();
+  if (!std::isfinite(n)) {
+    throw request_error(error_code::bad_request,
+                        "field '" + key + "' must be finite");
+  }
+  return n;
+}
+
+std::uint64_t require_u64(const json::value& obj, const std::string& key) {
+  const double n = require_number(obj, key);
+  if (n < 0.0 || n != std::floor(n) || n > 9.007199254740992e15) {
+    throw request_error(error_code::bad_request,
+                        "field '" + key +
+                            "' must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(n);
+}
+
+std::uint64_t u64_or(const json::value& obj, const std::string& key,
+                     std::uint64_t fallback) {
+  return obj.get(key) == nullptr ? fallback : require_u64(obj, key);
+}
+
+std::string string_or(const json::value& obj, const std::string& key,
+                      const std::string& fallback) {
+  return obj.get(key) == nullptr ? fallback : require_string(obj, key);
+}
+
+std::uint64_t bounded_u64(const json::value& obj, const std::string& key,
+                          std::uint64_t fallback, std::uint64_t lo,
+                          std::uint64_t hi) {
+  const std::uint64_t v = u64_or(obj, key, fallback);
+  if (v < lo) {
+    throw request_error(error_code::bad_request,
+                        "field '" + key + "' must be >= " +
+                            std::to_string(lo));
+  }
+  if (v > hi) {
+    throw request_error(error_code::limit_exceeded,
+                        "field '" + key + "' exceeds the service cap of " +
+                            std::to_string(hi));
+  }
+  return v;
+}
+
+}  // namespace mcast::service

@@ -1,0 +1,105 @@
+// Line protocol for the mcast query service — strict parsing, typed errors.
+//
+// One request per line, one response per line, both JSON objects. A
+// request names its operation in "op" and may carry an "id" (string or
+// number) that the response echoes, so pipelined clients can match
+// responses to requests without counting lines.
+//
+//   {"op":"lmhat","k":4,"depth":5,"n":[10,100]}
+//   → {"id":null,"ok":true,"op":"lmhat","result":{...}}
+//
+// Failures never close the connection (except oversized frames, where the
+// reader cannot resynchronize) and always carry a machine-readable code:
+//
+//   {"ok":false,"error":{"code":"bad_request","message":"..."}}
+//
+// Parsing is strict by design: unknown top-level keys, wrong JSON types,
+// out-of-range values, and non-object payloads are each a typed error,
+// not a guess. The limits below bound per-request work so one client
+// cannot wedge a worker for minutes; anything above them is
+// `limit_exceeded`, telling the caller to use the offline `mcast_lab run`
+// path instead. See docs/service.md for the full request catalog.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/json.hpp"
+
+namespace mcast::service {
+
+enum class error_code {
+  parse_error,     ///< the line is not a JSON object
+  bad_request,     ///< wrong/missing/unknown fields or invalid values
+  unknown_op,      ///< "op" names no operation
+  limit_exceeded,  ///< structurally valid but over the per-request caps
+  overloaded,      ///< admission control refused the connection
+  internal_error,  ///< handler bug; the request itself may be fine
+};
+
+const char* error_code_name(error_code code) noexcept;
+
+/// Thrown by parsers/handlers; the service turns it into an error line.
+class request_error : public std::runtime_error {
+ public:
+  request_error(error_code code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+  error_code code() const noexcept { return code_; }
+
+ private:
+  error_code code_;
+};
+
+/// Per-request work caps (see docs/service.md for the rationale of each).
+struct service_limits {
+  std::size_t max_group_sizes = 128;    ///< lm_estimate grid rows
+  std::size_t max_sources = 4096;       ///< Monte-Carlo sources / profile sources
+  std::size_t max_receiver_sets = 4096;
+  std::size_t max_threads = 8;          ///< per-request Monte-Carlo threads
+  std::size_t max_points = 512;         ///< lmhat n-grid length
+  unsigned max_kary_k = 64;
+  unsigned max_kary_depth = 40;
+  std::uint64_t max_budget = 200000;    ///< topology scaling budget cap
+};
+
+/// One serialized error line (no trailing newline).
+std::string error_response(error_code code, const std::string& message);
+
+/// Same, echoing a request id (pass json null when the request had none).
+std::string error_response(error_code code, const std::string& message,
+                           const json::value& id);
+
+/// One serialized success line wrapping `result` (no trailing newline).
+std::string ok_response(const std::string& op, json::value result,
+                        const json::value& id);
+
+// --- strict field extraction -------------------------------------------
+// All throw request_error(bad_request, ...) naming the offending field.
+
+/// Parses the line into a JSON object or throws request_error(parse_error).
+json::value parse_request(const std::string& line);
+
+/// Member lookup; throws when `key` is absent.
+const json::value& require_member(const json::value& obj,
+                                  const std::string& key);
+
+/// Throws when `obj` has a key outside `allowed` (nullptr-terminated).
+void reject_unknown_keys(const json::value& obj, const char* const* allowed);
+
+std::string require_string(const json::value& obj, const std::string& key);
+double require_number(const json::value& obj, const std::string& key);
+std::uint64_t require_u64(const json::value& obj, const std::string& key);
+std::uint64_t u64_or(const json::value& obj, const std::string& key,
+                     std::uint64_t fallback);
+std::string string_or(const json::value& obj, const std::string& key,
+                      const std::string& fallback);
+
+/// `require_u64` + inclusive range check (`limit_exceeded` above `hi`,
+/// `bad_request` below `lo`).
+std::uint64_t bounded_u64(const json::value& obj, const std::string& key,
+                          std::uint64_t fallback, std::uint64_t lo,
+                          std::uint64_t hi);
+
+}  // namespace mcast::service

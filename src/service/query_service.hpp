@@ -1,0 +1,56 @@
+// query_service — the request dispatcher behind `mcast_lab serve`.
+//
+// handle() maps one request line to one response line and never throws:
+// every failure mode is a typed error line (service/protocol.hpp). The
+// deterministic operations (lmhat, lm_estimate, reachability) are pure
+// functions of the request — explicit seeds, the thread-count-invariant
+// Monte-Carlo engine, and ordered-key JSON dumping make responses
+// byte-identical across worker threads, connection interleavings and
+// server restarts. metrics/healthz are the exception: they report live
+// registry and uptime state and are exempt from the byte-identity
+// guarantee (tests compare only their ok status).
+//
+// Topologies are built through the shared content-keyed topology cache
+// (topo/cache.hpp), so concurrent requests for the same
+// (topology, seed, budget) share one immutable graph instead of
+// rebuilding it per request.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <string>
+
+#include "common/json.hpp"
+#include "net/server.hpp"
+#include "service/protocol.hpp"
+
+namespace mcast::service {
+
+class query_service {
+ public:
+  explicit query_service(service_limits limits = {});
+
+  /// Lets metrics/healthz report live server state (queue depth, accept
+  /// and reject counts). Without one they report zeros and the service's
+  /// own uptime — the unit-test configuration.
+  void set_stats_source(std::function<net::server_stats()> fn);
+
+  /// One request line in, one response line out (no trailing newline).
+  std::string handle(const std::string& line) noexcept;
+
+  const service_limits& limits() const noexcept { return limits_; }
+
+ private:
+  json::value dispatch(const std::string& op, const json::value& req);
+  json::value op_lmhat(const json::value& req) const;
+  json::value op_lm_estimate(const json::value& req) const;
+  json::value op_reachability(const json::value& req) const;
+  json::value op_metrics() const;
+  json::value op_healthz() const;
+
+  service_limits limits_;
+  std::function<net::server_stats()> stats_fn_;
+  std::chrono::steady_clock::time_point started_;
+};
+
+}  // namespace mcast::service

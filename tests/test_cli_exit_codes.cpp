@@ -1,0 +1,128 @@
+// Exit-code audit for the mcast_lab CLI, against the real binary: every
+// error path must return non-zero AND say why on stderr; the happy paths
+// stay 0. The scripts and CI jobs that chain `mcast_lab run && mcast_lab
+// validate` depend on these codes. MCAST_LAB_BIN comes from CMake.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "proc_util.hpp"
+
+namespace mcast::lab {
+namespace {
+
+using testproc::run;
+using testproc::run_result;
+
+void expect_failure(const std::vector<std::string>& argv, int expected_code) {
+  const run_result r = run(MCAST_LAB_BIN, argv);
+  std::string joined;
+  for (const std::string& a : argv) joined += a + " ";
+  EXPECT_EQ(r.exit_code, expected_code) << "argv: " << joined
+                                        << "\nstderr: " << r.err;
+  EXPECT_FALSE(r.err.empty())
+      << "error exits must explain themselves on stderr; argv: " << joined;
+}
+
+TEST(cli_exit_codes, no_arguments_is_an_error) {
+  const run_result r = run(MCAST_LAB_BIN, {});
+  EXPECT_EQ(r.exit_code, 1);
+  // Usage goes to stdout for no-args (it doubles as the help text).
+  EXPECT_FALSE(r.out.empty());
+}
+
+TEST(cli_exit_codes, help_is_success) {
+  EXPECT_EQ(run(MCAST_LAB_BIN, {"--help"}).exit_code, 0);
+  EXPECT_EQ(run(MCAST_LAB_BIN, {"help"}).exit_code, 0);
+}
+
+TEST(cli_exit_codes, unknown_command) {
+  expect_failure({"frobnicate"}, 1);
+}
+
+TEST(cli_exit_codes, run_unknown_experiment) {
+  expect_failure({"run", "no_such_experiment"}, 1);
+}
+
+TEST(cli_exit_codes, run_without_ids) {
+  expect_failure({"run"}, 1);
+}
+
+TEST(cli_exit_codes, run_bad_param_syntax) {
+  expect_failure({"run", "fig1", "--param", "no-equals-sign"}, 1);
+}
+
+TEST(cli_exit_codes, run_bad_scale) {
+  expect_failure({"run", "fig1", "--scale", "banana"}, 1);
+}
+
+TEST(cli_exit_codes, run_unknown_option) {
+  expect_failure({"run", "fig1", "--frobnicate"}, 1);
+}
+
+TEST(cli_exit_codes, run_unwritable_manifest_dir_fails_fast) {
+  // /dev/null is a file, so nothing can be created beneath it. This must
+  // fail before any experiment runs (hence the short test timeout).
+  expect_failure({"run", "fig1", "--manifest-dir", "/dev/null/x"}, 1);
+}
+
+TEST(cli_exit_codes, run_unwritable_out_dir_fails_fast) {
+  expect_failure({"run", "fig1", "--out-dir", "/dev/null/x"}, 1);
+}
+
+TEST(cli_exit_codes, describe_unknown_experiment) {
+  expect_failure({"describe", "no_such_experiment"}, 1);
+}
+
+TEST(cli_exit_codes, describe_without_id) {
+  expect_failure({"describe"}, 1);
+}
+
+TEST(cli_exit_codes, list_unknown_flag) {
+  expect_failure({"list", "--frobnicate"}, 1);
+}
+
+TEST(cli_exit_codes, validate_missing_directory) {
+  expect_failure({"validate", "/no/such/directory"}, 2);
+}
+
+TEST(cli_exit_codes, validate_empty_directory) {
+  char tmpl[] = "/tmp/mcast_validate_emptyXXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  expect_failure({"validate", tmpl}, 2);
+  ::rmdir(tmpl);
+}
+
+TEST(cli_exit_codes, validate_without_directory) {
+  expect_failure({"validate"}, 1);
+}
+
+TEST(cli_exit_codes, serve_bad_flags) {
+  expect_failure({"serve", "--port=notaport"}, 1);
+  expect_failure({"serve", "--port=99999"}, 1);
+  expect_failure({"serve", "--threads=0"}, 1);
+  expect_failure({"serve", "--queue=0"}, 1);
+  expect_failure({"serve", "--frobnicate"}, 1);
+}
+
+TEST(cli_exit_codes, query_bad_flags) {
+  expect_failure({"query"}, 1);                       // --port required
+  expect_failure({"query", "--port=0"}, 1);
+  expect_failure({"query", "--frobnicate"}, 1);
+}
+
+TEST(cli_exit_codes, query_connection_refused) {
+  // Port 1 on loopback is essentially never listening in CI; a failed
+  // connect must be exit 1 with an explanation, not a hang or a crash.
+  expect_failure({"query", "--port=1", "{\"op\":\"healthz\"}"}, 1);
+}
+
+TEST(cli_exit_codes, list_succeeds) {
+  const run_result r = run(MCAST_LAB_BIN, {"list"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("fig1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcast::lab

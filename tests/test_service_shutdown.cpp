@@ -1,0 +1,93 @@
+// Graceful-shutdown contract for `mcast_lab serve`, tested against the
+// real binary: SIGTERM (and SIGINT) make a serving process drain and exit
+// 0 — not die on the signal — and a request answered moments before the
+// signal is never lost. MCAST_LAB_BIN is injected by tests/CMakeLists.txt.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <string>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "proc_util.hpp"
+
+namespace mcast::service {
+namespace {
+
+using testproc::finish;
+using testproc::read_until;
+using testproc::run_result;
+using testproc::spawn;
+using testproc::spawned;
+
+std::uint16_t parse_port(const std::string& banner) {
+  const std::string key = "listening on 127.0.0.1:";
+  const std::size_t at = banner.find(key);
+  if (at == std::string::npos) return 0;
+  return static_cast<std::uint16_t>(
+      std::strtoul(banner.c_str() + at + key.size(), nullptr, 10));
+}
+
+/// Starts `mcast_lab serve --port=0`, waits for the listening banner, and
+/// returns the process plus its bound port.
+spawned start_server(std::uint16_t& port) {
+  const spawned s =
+      spawn(MCAST_LAB_BIN, {"serve", "--port=0", "--threads=2", "--queue=8"});
+  EXPECT_GT(s.pid, 0);
+  const std::string banner = read_until(s.stderr_fd, "listening on",
+                                        std::chrono::milliseconds(15000));
+  port = parse_port(banner);
+  EXPECT_NE(port, 0) << "no listening banner; stderr so far: " << banner;
+  return s;
+}
+
+std::string query_once(std::uint16_t port, const std::string& request) {
+  net::unique_fd conn = net::connect_loopback(port);
+  if (!net::send_all(conn.get(), request + "\n")) return "";
+  net::line_reader reader(conn.get(), 1 << 20);
+  std::string line;
+  if (reader.read_line(line, 30000) != net::line_reader::status::line) {
+    return "";
+  }
+  return line;
+}
+
+void shutdown_contract(int sig) {
+  std::uint16_t port = 0;
+  const spawned server = start_server(port);
+  ASSERT_NE(port, 0);
+
+  const std::string response =
+      query_once(port, "{\"op\":\"lmhat\",\"k\":3,\"depth\":4,\"n\":7}");
+  EXPECT_NE(response.find("\"ok\":true"), std::string::npos) << response;
+
+  ASSERT_EQ(::kill(server.pid, sig), 0);
+  const run_result r = finish(server);
+  EXPECT_EQ(r.term_signal, 0)
+      << "server was killed by the signal instead of draining";
+  EXPECT_EQ(r.exit_code, 0) << "stderr:\n" << r.err;
+  EXPECT_NE(r.err.find("draining"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("drained"), std::string::npos) << r.err;
+}
+
+TEST(service_shutdown, sigterm_drains_and_exits_zero) {
+  shutdown_contract(SIGTERM);
+}
+
+TEST(service_shutdown, sigint_drains_and_exits_zero) {
+  shutdown_contract(SIGINT);
+}
+
+TEST(service_shutdown, refuses_new_connections_after_drain) {
+  std::uint16_t port = 0;
+  const spawned server = start_server(port);
+  ASSERT_NE(port, 0);
+  ASSERT_EQ(::kill(server.pid, SIGTERM), 0);
+  const run_result r = finish(server);
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  // The port is released: a fresh connect must fail.
+  EXPECT_THROW((void)net::connect_loopback(port), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mcast::service
