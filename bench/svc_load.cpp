@@ -33,25 +33,35 @@
 #include <thread>
 #include <vector>
 
+#include "common/json.hpp"
 #include "lab/manifest.hpp"
 #include "lab/params.hpp"
+#include "net/chaos.hpp"
 #include "net/server.hpp"
 #include "net/socket.hpp"
 #include "obs/metrics.hpp"
+#include "service/client.hpp"
 #include "service/protocol.hpp"
 #include "service/query_service.hpp"
 
 namespace {
 
+using mcast::net::chaos_engine;
+using mcast::net::chaos_spec;
 using mcast::net::connect_loopback;
 using mcast::net::line_reader;
 using mcast::net::line_server;
 using mcast::net::send_all;
 using mcast::net::server_config;
 using mcast::net::unique_fd;
+using mcast::service::call_result;
+using mcast::service::call_status;
 using mcast::service::error_code;
 using mcast::service::error_response;
 using mcast::service::query_service;
+using mcast::service::retry_client;
+using mcast::service::retry_policy;
+using mcast::service::shed_policy;
 
 using clock_type = std::chrono::steady_clock;
 
@@ -65,6 +75,8 @@ struct options {
   std::uint16_t port = 0;         // 0 = in-process server
   std::string out_dir = ".";
   bool overload_probe = true;
+  std::string chaos;              // chaos spec; non-empty switches modes
+  double min_goodput_ratio = 0.7; // chaos mode failure threshold
 };
 
 [[noreturn]] void die(const std::string& message) {
@@ -119,6 +131,22 @@ options parse_options(int argc, char** argv) {
       if (opt.out_dir.empty()) die("--out= needs a directory");
     } else if (arg == "--skip-overload-probe") {
       opt.overload_probe = false;
+    } else if (arg.rfind("--chaos=", 0) == 0) {
+      opt.chaos = value_of("--chaos");
+      if (opt.chaos.empty()) die("--chaos= needs a spec (try --chaos=default)");
+    } else if (arg.rfind("--min-goodput-ratio=", 0) == 0) {
+      const std::string text = value_of("--min-goodput-ratio");
+      std::size_t used = 0;
+      double v = 0.0;
+      try {
+        v = std::stod(text, &used);
+      } catch (const std::exception&) {
+        used = 0;
+      }
+      if (used != text.size() || !(v >= 0.0 && v <= 1.0)) {
+        die("--min-goodput-ratio expects a fraction in [0,1]");
+      }
+      opt.min_goodput_ratio = v;
     } else {
       die("unknown argument '" + arg + "'");
     }
@@ -286,10 +314,335 @@ std::uint64_t overload_probe(std::uint64_t seed) {
   return rejected;
 }
 
+// --- chaos mode --------------------------------------------------------
+//
+// `--chaos=SPEC` switches svc_load from the open-loop latency harness to
+// a closed-loop resilience harness: the same request mix is driven
+// through retry clients (service/client.hpp) against an in-process
+// server twice — once fault-free (the goodput baseline) and once with
+// the chaos shim armed — and the manifest reports goodput under faults
+// as a fraction of the fault-free rate, plus tail latency measured
+// *through* the retries. A response surviving on any connection must
+// parse as JSON: a malformed line is a failure of the chaos contract
+// (truncation must kill its connection), not a statistic.
+
+struct closed_loop_result {
+  std::vector<double> latencies_ms;  // per successful call, retries included
+  std::uint64_t successes = 0;
+  std::uint64_t server_errors = 0;     // typed non-retryable error lines
+  std::uint64_t transport_failures = 0;  // retries exhausted
+  std::uint64_t attempts = 0;
+  std::uint64_t malformed = 0;  // surviving lines that do not parse
+  double wall_seconds = 0.0;
+};
+
+closed_loop_result run_closed_loop(std::uint16_t port, const options& opt) {
+  closed_loop_result total;
+  std::vector<closed_loop_result> per_conn(opt.connections);
+  const auto begin = clock_type::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(opt.connections);
+    for (std::size_t c = 0; c < opt.connections; ++c) {
+      threads.emplace_back([&, c] {
+        closed_loop_result& out = per_conn[c];
+        retry_policy policy;
+        policy.max_attempts = 6;
+        policy.attempt_timeout_ms = 30000;
+        policy.backoff_base_ms = 1;
+        policy.backoff_max_ms = 20;
+        policy.seed = opt.seed * 1000003 + c;  // per-client jitter stream
+        retry_client client(port, policy);
+        // Paced closed loop: requests are *offered* at --rate per second
+        // (never early; late calls run back-to-back), so goodput compares
+        // what fraction of the same offered load survives each phase
+        // rather than penalizing injected latency twice. --rate=0 floods.
+        const auto interval =
+            opt.rate > 0.0 ? std::chrono::duration_cast<clock_type::duration>(
+                                 std::chrono::duration<double>(1.0 / opt.rate))
+                           : clock_type::duration::zero();
+        const auto start = clock_type::now();
+        for (std::size_t i = 0; i < opt.requests; ++i) {
+          if (interval.count() > 0) {
+            std::this_thread::sleep_until(start +
+                                          interval * static_cast<long>(i));
+          }
+          const auto sent = clock_type::now();
+          const call_result result = client.call(make_request(opt.seed, c, i));
+          out.attempts += static_cast<std::uint64_t>(result.attempts);
+          if (!result.response.empty()) {
+            try {
+              (void)mcast::json::parse(result.response);
+            } catch (const std::exception&) {
+              ++out.malformed;
+            }
+          }
+          switch (result.status) {
+            case call_status::ok:
+              ++out.successes;
+              out.latencies_ms.push_back(
+                  std::chrono::duration<double, std::milli>(clock_type::now() -
+                                                            sent)
+                      .count());
+              break;
+            case call_status::server_error:
+              ++out.server_errors;
+              break;
+            default:
+              ++out.transport_failures;
+              break;
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  total.wall_seconds =
+      std::chrono::duration<double>(clock_type::now() - begin).count();
+  for (const closed_loop_result& r : per_conn) {
+    total.latencies_ms.insert(total.latencies_ms.end(), r.latencies_ms.begin(),
+                              r.latencies_ms.end());
+    total.successes += r.successes;
+    total.server_errors += r.server_errors;
+    total.transport_failures += r.transport_failures;
+    total.attempts += r.attempts;
+    total.malformed += r.malformed;
+  }
+  return total;
+}
+
+struct shed_probe_result {
+  std::uint64_t degraded = 0;  ///< degraded answers observed (marked)
+  std::uint64_t refused = 0;   ///< typed `shed` refusals observed
+  bool contract_ok = true;     ///< markers present exactly when expected
+};
+
+/// Drives the shed policy deterministically through a direct
+/// query_service with an injected pressure value: full answers below the
+/// degrade threshold, marked Eq-4 answers between the tiers, typed `shed`
+/// refusals above the refuse threshold.
+shed_probe_result run_shed_probe() {
+  query_service svc;
+  double pressure = 0.0;
+  svc.set_pressure_source([&pressure] { return pressure; });
+  shed_policy policy;
+  policy.degrade_at = 0.5;
+  policy.refuse_at = 0.9;
+  svc.set_shed_policy(policy);
+
+  const std::string estimate =
+      "{\"op\":\"lm_estimate\",\"topology\":\"ARPA\",\"group_sizes\":[2,4,8],"
+      "\"sources\":2,\"receiver_sets\":2,\"seed\":11}";
+  shed_probe_result out;
+
+  pressure = 0.0;
+  if (svc.handle(estimate).find("\"degraded\"") != std::string::npos) {
+    out.contract_ok = false;  // fault-free responses must stay unmarked
+  }
+  pressure = 0.7;
+  for (int i = 0; i < 8; ++i) {
+    const std::string response = svc.handle(estimate);
+    if (response.find("\"ok\":true") != std::string::npos &&
+        response.find("\"degraded\":true") != std::string::npos) {
+      ++out.degraded;
+    } else {
+      out.contract_ok = false;
+    }
+  }
+  pressure = 0.95;
+  for (int i = 0; i < 4; ++i) {
+    if (svc.handle(estimate).find("\"code\":\"shed\"") != std::string::npos) {
+      ++out.refused;
+    } else {
+      out.contract_ok = false;
+    }
+  }
+  // Cheap ops must stay live at any pressure.
+  if (svc.handle("{\"op\":\"healthz\"}").find("\"ok\":true") ==
+      std::string::npos) {
+    out.contract_ok = false;
+  }
+  return out;
+}
+
+int chaos_main(const options& opt) {
+  if (opt.port != 0) die("--chaos needs the in-process server (drop --port)");
+  chaos_spec spec;
+  try {
+    spec = chaos_spec::parse(opt.chaos);
+  } catch (const std::exception& e) {
+    die(e.what());
+  }
+
+  mcast::obs::reset_metrics();
+  const std::clock_t cpu_begin = std::clock();
+  const auto wall_begin = clock_type::now();
+
+  std::cerr << "svc_load: chaos mode (" << spec.describe()
+            << ") connections=" << opt.connections
+            << " requests=" << opt.requests << "\n";
+
+  // Phase 1: fault-free baseline, same closed-loop retry-client workload.
+  double baseline_qps = 0.0;
+  {
+    auto svc = std::make_shared<query_service>();
+    line_server server(typed_config(opt.workers, opt.queue),
+                       [svc](const std::string& line) {
+                         return svc->handle(line);
+                       });
+    svc->set_stats_source([&server] { return server.stats(); });
+    const closed_loop_result baseline = run_closed_loop(server.port(), opt);
+    server.shutdown();
+    server.wait();
+    baseline_qps = baseline.wall_seconds > 0.0
+                       ? static_cast<double>(baseline.successes) /
+                             baseline.wall_seconds
+                       : 0.0;
+    std::printf("svc_load chaos baseline\n");
+    std::printf("  successes    %llu (%llu attempts)\n",
+                static_cast<unsigned long long>(baseline.successes),
+                static_cast<unsigned long long>(baseline.attempts));
+    std::printf("  goodput      %.1f req/s fault-free\n", baseline_qps);
+  }
+
+  // Phase 2: the same workload with the chaos shim armed.
+  mcast::net::server_stats chaos_stats;
+  closed_loop_result faulted;
+  {
+    auto svc = std::make_shared<query_service>();
+    server_config config = typed_config(opt.workers, opt.queue);
+    config.chaos = std::make_shared<const chaos_engine>(spec);
+    line_server server(config, [svc](const std::string& line) {
+      return svc->handle(line);
+    });
+    svc->set_stats_source([&server] { return server.stats(); });
+    faulted = run_closed_loop(server.port(), opt);
+    chaos_stats = server.stats();
+    server.shutdown();
+    server.wait();
+  }
+
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(opt.connections) * opt.requests;
+  const double goodput = faulted.wall_seconds > 0.0
+                             ? static_cast<double>(faulted.successes) /
+                                   faulted.wall_seconds
+                             : 0.0;
+  const double ratio = baseline_qps > 0.0 ? goodput / baseline_qps : 0.0;
+  std::sort(faulted.latencies_ms.begin(), faulted.latencies_ms.end());
+  const double p50 = percentile(faulted.latencies_ms, 0.50);
+  const double p99 = percentile(faulted.latencies_ms, 0.99);
+
+  // Phase 3: deterministic shed-tier probe (no sockets involved).
+  const shed_probe_result shed = run_shed_probe();
+
+  std::printf("svc_load chaos results\n");
+  std::printf("  successes    %llu / %llu (%llu typed errors, %llu failed)\n",
+              static_cast<unsigned long long>(faulted.successes),
+              static_cast<unsigned long long>(expected),
+              static_cast<unsigned long long>(faulted.server_errors),
+              static_cast<unsigned long long>(faulted.transport_failures));
+  std::printf("  attempts     %llu (faults injected: %llu)\n",
+              static_cast<unsigned long long>(faulted.attempts),
+              static_cast<unsigned long long>(chaos_stats.chaos_injected));
+  std::printf("  goodput      %.1f req/s (%.1f%% of fault-free)\n", goodput,
+              100.0 * ratio);
+  std::printf("  latency ms   p50=%.3f p99=%.3f (through retries)\n", p50,
+              p99);
+  std::printf("  shed probe   %llu degraded, %llu refused, contract %s\n",
+              static_cast<unsigned long long>(shed.degraded),
+              static_cast<unsigned long long>(shed.refused),
+              shed.contract_ok ? "ok" : "VIOLATED");
+  if (faulted.malformed > 0) {
+    std::printf("  MALFORMED    %llu surviving non-JSON lines\n",
+                static_cast<unsigned long long>(faulted.malformed));
+  }
+
+  namespace lab = mcast::lab;
+  lab::run_record record;
+  record.experiment_id = "svc_chaos";
+  record.title = "Service chaos: goodput and tails under fault injection";
+  record.claim =
+      "closed-loop goodput, retry pressure and p99-through-retries of "
+      "mcast_serve under deterministic seeded fault injection, plus the "
+      "cost-aware shedding tiers exercised deterministically";
+  record.scale = lab::scale_from_env();
+  record.threads = opt.workers;
+  record.use_spt_cache = true;
+  record.parameters.set("connections",
+                        static_cast<std::uint64_t>(opt.connections));
+  record.parameters.set("requests", static_cast<std::uint64_t>(opt.requests));
+  record.parameters.set("workers", static_cast<std::uint64_t>(opt.workers));
+  record.parameters.set("queue", static_cast<std::uint64_t>(opt.queue));
+  record.parameters.set("seed", opt.seed);
+  record.parameters.set("chaos", spec.describe());
+  record.parameters.set("min_goodput_ratio", opt.min_goodput_ratio);
+  record.git_revision = lab::current_git_revision();
+  record.timestamp_utc = lab::utc_timestamp();
+  record.wall_seconds =
+      std::chrono::duration<double>(clock_type::now() - wall_begin).count();
+  record.cpu_seconds = static_cast<double>(std::clock() - cpu_begin) /
+                       static_cast<double>(CLOCKS_PER_SEC);
+  lab::fit_entry fit;
+  fit.label = "SvcChaos";
+  {
+    char text[320];
+    std::snprintf(text, sizeof text,
+                  "goodput_qps=%.1f baseline_qps=%.1f goodput_ratio=%.3f "
+                  "p50_ms=%.3f p99_ms=%.3f attempts=%llu faults=%llu "
+                  "shed_degraded=%llu shed_refused=%llu",
+                  goodput, baseline_qps, ratio, p50, p99,
+                  static_cast<unsigned long long>(faulted.attempts),
+                  static_cast<unsigned long long>(chaos_stats.chaos_injected),
+                  static_cast<unsigned long long>(shed.degraded),
+                  static_cast<unsigned long long>(shed.refused));
+    fit.text = text;
+  }
+  fit.values = {
+      {"goodput_qps", goodput},
+      {"baseline_qps", baseline_qps},
+      {"goodput_ratio", ratio},
+      {"p50_ms", p50},
+      {"p99_ms", p99},
+      {"successes", static_cast<double>(faulted.successes)},
+      {"server_errors", static_cast<double>(faulted.server_errors)},
+      {"transport_failures", static_cast<double>(faulted.transport_failures)},
+      {"attempts", static_cast<double>(faulted.attempts)},
+      {"faults_injected", static_cast<double>(chaos_stats.chaos_injected)},
+      {"deadline_closes", static_cast<double>(chaos_stats.deadline_closes)},
+      {"shed_degraded", static_cast<double>(shed.degraded)},
+      {"shed_refused", static_cast<double>(shed.refused)},
+      {"malformed", static_cast<double>(faulted.malformed)},
+  };
+  record.fits.push_back(std::move(fit));
+  record.metric_groups = {"service", "retry", "topo_cache"};
+  record.metrics = mcast::obs::snapshot();
+
+  const std::string path = opt.out_dir + "/BENCH_service_chaos.json";
+  lab::write_manifest(record, path);
+  std::cerr << "svc_load: manifest " << path << "\n";
+
+  if (faulted.malformed > 0) {
+    std::cerr << "svc_load: FAIL: malformed line on a surviving connection\n";
+    return 1;
+  }
+  if (!shed.contract_ok) {
+    std::cerr << "svc_load: FAIL: shed probe contract violated\n";
+    return 1;
+  }
+  if (ratio < opt.min_goodput_ratio) {
+    std::cerr << "svc_load: FAIL: goodput ratio " << ratio << " below "
+              << opt.min_goodput_ratio << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const options opt = parse_options(argc, argv);
+  if (!opt.chaos.empty()) return chaos_main(opt);
 
   mcast::obs::reset_metrics();
   const std::clock_t cpu_begin = std::clock();

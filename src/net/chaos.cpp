@@ -1,0 +1,263 @@
+#include "net/chaos.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace mcast::net {
+namespace {
+
+// Decision-site salts keep the accept/read/write streams decorrelated
+// even at the same (conn, op) coordinates.
+constexpr std::uint64_t k_salt_accept = 0xacce97u;
+constexpr std::uint64_t k_salt_read = 0x5ead00u;
+constexpr std::uint64_t k_salt_write = 0x3417e0u;
+
+/// Uniform in [0,1) as a pure function of the keyed coordinates.
+double keyed_uniform(std::uint64_t seed, std::uint64_t salt, std::uint64_t conn,
+                     std::uint64_t op, std::uint64_t draw) {
+  std::uint64_t state = seed;
+  (void)splitmix64(state);  // decouple from the raw seed value
+  state ^= splitmix64(state) + salt;
+  state ^= conn * 0x9e3779b97f4a7c15ULL;
+  (void)splitmix64(state);
+  state ^= op * 0xbf58476d1ce4e5b9ULL + draw;
+  const std::uint64_t bits = splitmix64(state);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+/// Truncate/stall split point: a reproducible fraction in [0.25, 0.75] so
+/// the cut always lands strictly inside a (non-trivial) response line.
+double keyed_fraction(std::uint64_t seed, std::uint64_t conn,
+                      std::uint64_t op) {
+  return 0.25 + 0.5 * keyed_uniform(seed, k_salt_write, conn, op, 1);
+}
+
+double parse_probability(const std::string& text, const std::string& key) {
+  std::size_t used = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(text, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != text.size() || !(v >= 0.0 && v <= 1.0)) {
+    throw std::invalid_argument("chaos spec: '" + key +
+                                "' needs a probability in [0,1], got '" +
+                                text + "'");
+  }
+  return v;
+}
+
+int parse_ms(const std::string& text, const std::string& key) {
+  if (text.empty()) {
+    throw std::invalid_argument("chaos spec: '" + key + "' has an empty :ms");
+  }
+  std::uint64_t v = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument("chaos spec: '" + key +
+                                  "' :ms must be an integer, got '" + text +
+                                  "'");
+    }
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    if (v > 60000) {
+      throw std::invalid_argument("chaos spec: '" + key +
+                                  "' :ms must be <= 60000");
+    }
+  }
+  return static_cast<int>(v);
+}
+
+std::uint64_t parse_seed(const std::string& text) {
+  if (text.empty()) throw std::invalid_argument("chaos spec: empty seed");
+  std::uint64_t v = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument("chaos spec: seed must be an integer, got '" +
+                                  text + "'");
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) {
+      throw std::invalid_argument("chaos spec: seed overflows");
+    }
+    v = v * 10 + digit;
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* fault_kind_name(fault_kind kind) noexcept {
+  switch (kind) {
+    case fault_kind::none: return "none";
+    case fault_kind::drop: return "drop";
+    case fault_kind::reset: return "reset";
+    case fault_kind::delay: return "delay";
+    case fault_kind::truncate: return "truncate";
+    case fault_kind::stall: return "stall";
+  }
+  return "none";
+}
+
+chaos_spec chaos_spec::default_spec() {
+  chaos_spec spec;
+  spec.seed = 7;
+  spec.drop = 0.02;
+  spec.reset = 0.01;
+  spec.delay = 0.04;
+  spec.delay_ms = 2;
+  spec.truncate = 0.02;
+  spec.stall = 0.02;
+  spec.stall_ms = 5;
+  return spec;
+}
+
+chaos_spec chaos_spec::parse(const std::string& text) {
+  if (text == "default") return default_spec();
+  chaos_spec spec;  // all probabilities 0: faults must be asked for
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string token = text.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? text.size() + 1 : comma + 1;
+    if (token.empty()) {
+      if (comma == std::string::npos && text.empty()) break;
+      throw std::invalid_argument("chaos spec: empty token");
+    }
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("chaos spec: expected key=value, got '" +
+                                  token + "'");
+    }
+    const std::string key = token.substr(0, eq);
+    std::string value = token.substr(eq + 1);
+    std::string ms;
+    bool has_ms = false;
+    const std::size_t colon = value.find(':');
+    if (colon != std::string::npos) {
+      has_ms = true;
+      ms = value.substr(colon + 1);
+      value = value.substr(0, colon);
+    }
+    if (key == "seed") {
+      spec.seed = parse_seed(value);
+    } else if (key == "drop") {
+      spec.drop = parse_probability(value, key);
+    } else if (key == "reset") {
+      spec.reset = parse_probability(value, key);
+    } else if (key == "delay") {
+      spec.delay = parse_probability(value, key);
+      if (has_ms) spec.delay_ms = parse_ms(ms, key);
+    } else if (key == "truncate") {
+      spec.truncate = parse_probability(value, key);
+    } else if (key == "stall") {
+      spec.stall = parse_probability(value, key);
+      if (has_ms) spec.stall_ms = parse_ms(ms, key);
+    } else {
+      throw std::invalid_argument("chaos spec: unknown key '" + key + "'");
+    }
+    if (has_ms && key != "delay" && key != "stall") {
+      throw std::invalid_argument("chaos spec: '" + key +
+                                  "' does not take a :ms suffix");
+    }
+  }
+  if (spec.drop + spec.reset > 1.0) {
+    throw std::invalid_argument("chaos spec: drop + reset must be <= 1");
+  }
+  if (spec.delay + spec.truncate + spec.stall > 1.0) {
+    throw std::invalid_argument(
+        "chaos spec: delay + truncate + stall must be <= 1");
+  }
+  return spec;
+}
+
+std::string chaos_spec::describe() const {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "seed=%llu,drop=%g,reset=%g,delay=%g:%d,truncate=%g,"
+                "stall=%g:%d",
+                static_cast<unsigned long long>(seed), drop, reset, delay,
+                delay_ms, truncate, stall, stall_ms);
+  return buf;
+}
+
+fault_decision chaos_engine::accept_fault(std::uint64_t conn) const noexcept {
+  const double u = keyed_uniform(spec_.seed, k_salt_accept, conn, 0, 0);
+  fault_decision d;
+  if (u < spec_.drop) {
+    d.kind = fault_kind::drop;
+  } else if (u < spec_.drop + spec_.reset) {
+    d.kind = fault_kind::reset;
+  }
+  return d;
+}
+
+fault_decision chaos_engine::read_fault(std::uint64_t conn,
+                                        std::uint64_t op) const noexcept {
+  const double u = keyed_uniform(spec_.seed, k_salt_read, conn, op, 0);
+  fault_decision d;
+  if (u < spec_.delay) {
+    d.kind = fault_kind::delay;
+    d.sleep_ms = spec_.delay_ms;
+  }
+  return d;
+}
+
+fault_decision chaos_engine::write_fault(std::uint64_t conn,
+                                         std::uint64_t op) const noexcept {
+  const double u = keyed_uniform(spec_.seed, k_salt_write, conn, op, 0);
+  fault_decision d;
+  if (u < spec_.truncate) {
+    d.kind = fault_kind::truncate;
+    d.cut_fraction = keyed_fraction(spec_.seed, conn, op);
+  } else if (u < spec_.truncate + spec_.stall) {
+    d.kind = fault_kind::stall;
+    d.sleep_ms = spec_.stall_ms;
+    d.cut_fraction = keyed_fraction(spec_.seed, conn, op);
+  } else if (u < spec_.truncate + spec_.stall + spec_.delay) {
+    d.kind = fault_kind::delay;
+    d.sleep_ms = spec_.delay_ms;
+  }
+  return d;
+}
+
+std::vector<std::string> chaos_engine::schedule(std::uint64_t conns,
+                                                std::uint64_t ops) const {
+  std::vector<std::string> trace;
+  char buf[96];
+  for (std::uint64_t c = 0; c < conns; ++c) {
+    const fault_decision accept = accept_fault(c);
+    if (accept.kind != fault_kind::none) {
+      std::snprintf(buf, sizeof buf, "conn=%llu accept %s",
+                    static_cast<unsigned long long>(c),
+                    fault_kind_name(accept.kind));
+      trace.push_back(buf);
+      continue;  // the connection never serves an op
+    }
+    for (std::uint64_t o = 0; o < ops; ++o) {
+      const fault_decision rd = read_fault(c, o);
+      if (rd.kind != fault_kind::none) {
+        std::snprintf(buf, sizeof buf, "conn=%llu op=%llu read %s %dms",
+                      static_cast<unsigned long long>(c),
+                      static_cast<unsigned long long>(o),
+                      fault_kind_name(rd.kind), rd.sleep_ms);
+        trace.push_back(buf);
+      }
+      const fault_decision wr = write_fault(c, o);
+      if (wr.kind != fault_kind::none) {
+        std::snprintf(buf, sizeof buf, "conn=%llu op=%llu write %s cut=%.6f",
+                      static_cast<unsigned long long>(c),
+                      static_cast<unsigned long long>(o),
+                      fault_kind_name(wr.kind), wr.cut_fraction);
+        trace.push_back(buf);
+        if (wr.kind == fault_kind::truncate) break;  // connection dies here
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace mcast::net

@@ -1,0 +1,111 @@
+// Deterministic fault injection for the loopback query service.
+//
+// A chaos_engine decides, for every (connection index, operation index)
+// pair a server touches, whether to inject a fault — and the decision is
+// a *pure function* of (spec.seed, connection, operation). No clocks, no
+// global RNG state, no thread identity: two runs with the same spec see
+// the same faults at the same points, so chaos tests are golden-testable
+// and a failure found under chaos replays byte-identically.
+//
+// Fault taxonomy (who sees what):
+//
+//   accept-scoped   drop      close before the first byte is written
+//                   reset     SO_LINGER(0) close — the peer sees RST
+//   op-scoped       delay     sleep `delay_ms` before serving the op
+//   write-scoped    stall     write a response prefix, sleep `stall_ms`,
+//                             write the rest (slow but byte-correct)
+//                   truncate  write a response prefix, then close the
+//                             connection mid-line
+//
+// Every injected fault preserves the service failure contract
+// (docs/resilience.md): a surviving connection never carries a malformed
+// line — truncation and reset kill the connection, stall and delay only
+// add latency. The shim lives at the socket layer (net/server.cpp calls
+// the hooks), so the protocol and handler code above it is exercised
+// unmodified.
+//
+// The spec grammar (parse/describe round-trip):
+//
+//   seed=7,drop=0.02,reset=0.01,delay=0.05:2,truncate=0.02,stall=0.02:5
+//
+// where each value is a per-decision probability in [0,1] and the `:ms`
+// suffix on delay/stall sets the injected latency in milliseconds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcast::net {
+
+enum class fault_kind : std::uint8_t {
+  none,      ///< serve normally
+  drop,      ///< accept: close before the first byte
+  reset,     ///< accept: RST close (SO_LINGER 0)
+  delay,     ///< op: sleep delay_ms before serving
+  truncate,  ///< write: emit a prefix of the response, then close
+  stall,     ///< write: prefix, sleep stall_ms, remainder
+};
+
+const char* fault_kind_name(fault_kind kind) noexcept;
+
+/// Parsed `--chaos=` specification. Probabilities are per decision point:
+/// drop/reset are evaluated once per connection at accept; delay once per
+/// request; truncate/stall once per response write.
+struct chaos_spec {
+  std::uint64_t seed = 7;
+  double drop = 0.0;
+  double reset = 0.0;
+  double delay = 0.0;
+  int delay_ms = 2;
+  double truncate = 0.0;
+  double stall = 0.0;
+  int stall_ms = 5;
+
+  /// Parses the grammar above; "default" yields default_spec(). Throws
+  /// std::invalid_argument naming the offending token.
+  static chaos_spec parse(const std::string& text);
+
+  /// The standard mild mix used by `svc_load --chaos=default` and CI.
+  static chaos_spec default_spec();
+
+  /// Canonical one-line rendering (re-parses to an identical spec).
+  std::string describe() const;
+};
+
+/// One resolved decision: what to inject and with what parameters.
+struct fault_decision {
+  fault_kind kind = fault_kind::none;
+  int sleep_ms = 0;       ///< for delay/stall
+  double cut_fraction = 0.0;  ///< for truncate/stall: prefix split point
+};
+
+/// The deterministic schedule. Const and shareable across threads: every
+/// method is a pure function of (spec.seed, conn, op).
+class chaos_engine {
+ public:
+  explicit chaos_engine(chaos_spec spec) : spec_(spec) {}
+
+  const chaos_spec& spec() const noexcept { return spec_; }
+
+  /// Connection-scoped fault, evaluated once at accept.
+  fault_decision accept_fault(std::uint64_t conn) const noexcept;
+
+  /// Request-scoped fault (read side): none or delay.
+  fault_decision read_fault(std::uint64_t conn, std::uint64_t op) const noexcept;
+
+  /// Response-scoped fault (write side): none, delay, stall, or truncate.
+  fault_decision write_fault(std::uint64_t conn, std::uint64_t op) const noexcept;
+
+  /// The full injected-fault trace over `conns` x `ops` decision points,
+  /// one line per non-none decision, ordered by (conn, op, site). Two
+  /// engines with equal specs produce byte-identical traces — the
+  /// property tests/test_chaos.cpp pins across 8 threads.
+  std::vector<std::string> schedule(std::uint64_t conns,
+                                    std::uint64_t ops) const;
+
+ private:
+  chaos_spec spec_;
+};
+
+}  // namespace mcast::net

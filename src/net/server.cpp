@@ -4,8 +4,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "obs/metrics.hpp"
@@ -18,6 +20,16 @@ std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - since)
           .count());
+}
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void chaos_sleep(int ms) {
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
 }
 
 }  // namespace
@@ -59,6 +71,9 @@ server_stats line_server::stats() const {
   s.accepted = accepted_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.requests = requests_.load(std::memory_order_relaxed);
+  s.deadline_closes = deadline_closes_.load(std::memory_order_relaxed);
+  s.drain_forced = drain_forced_.load(std::memory_order_relaxed);
+  s.chaos_injected = chaos_injected_.load(std::memory_order_relaxed);
   s.inflight = inflight_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -73,12 +88,24 @@ server_stats line_server::stats() const {
 
 void line_server::shutdown() {
   if (draining_.exchange(true)) return;
+  if (config_.drain_deadline_ms >= 0) {
+    drain_deadline_ns_.store(
+        now_ns() + static_cast<std::int64_t>(config_.drain_deadline_ms) *
+                       1000000,
+        std::memory_order_release);
+  }
   // One byte down the self-pipe pops the acceptor out of poll().
   if (wake_write_.valid()) {
     const char b = 'x';
     [[maybe_unused]] ssize_t n = ::write(wake_write_.get(), &b, 1);
   }
   queue_cv_.notify_all();
+}
+
+bool line_server::drain_expired() const {
+  const std::int64_t deadline =
+      drain_deadline_ns_.load(std::memory_order_acquire);
+  return deadline != 0 && now_ns() >= deadline;
 }
 
 void line_server::wait() {
@@ -116,6 +143,9 @@ void line_server::accept_loop() {
       if (queue_.size() < config_.queue_capacity) {
         pending_conn pc;
         pc.fd = std::move(conn);
+        // Accept order indexes the chaos schedule; assigned only to
+        // admitted connections so rejections do not shift the schedule.
+        pc.index = accepted_.load(std::memory_order_relaxed);
         pc.enqueued = std::chrono::steady_clock::now();
         queue_.push_back(std::move(pc));
         obs::gauge_max(obs::gauge::svc_queue_depth_peak, queue_.size());
@@ -153,35 +183,144 @@ void line_server::worker_loop() {
       pc = std::move(queue_.front());
       queue_.pop_front();
     }
+    if (drain_expired()) {
+      // Past the drain bound: queued connections are cut, not served.
+      drain_forced_.fetch_add(1, std::memory_order_relaxed);
+      obs::add(obs::counter::svc_drain_forced);
+      continue;  // pc.fd closes here
+    }
     obs::record(obs::histogram::svc_queue_wait_ns, elapsed_ns(pc.enqueued));
     const std::size_t now_inflight =
         inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
     obs::gauge_max(obs::gauge::svc_inflight_peak, now_inflight);
-    serve_connection(std::move(pc.fd));
+    serve_connection(std::move(pc.fd), pc.index);
     inflight_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
-void line_server::serve_connection(unique_fd conn) {
+bool line_server::write_response(int fd, const std::string& line,
+                                 std::uint64_t conn_index,
+                                 std::uint64_t op_index) {
+  const chaos_engine* chaos = config_.chaos.get();
+  if (chaos != nullptr) {
+    const fault_decision fault = chaos->write_fault(conn_index, op_index);
+    if (fault.kind != fault_kind::none) {
+      chaos_injected_.fetch_add(1, std::memory_order_relaxed);
+    }
+    switch (fault.kind) {
+      case fault_kind::truncate: {
+        // A prefix of the line, then close: the client must never parse
+        // the partial frame as a response (its connection dies with it).
+        obs::add(obs::counter::svc_chaos_truncates);
+        const std::size_t cut = std::max<std::size_t>(
+            1, static_cast<std::size_t>(fault.cut_fraction *
+                                        static_cast<double>(line.size())));
+        send_all_within(fd, std::string_view(line).substr(0, cut),
+                        config_.write_deadline_ms);
+        return false;
+      }
+      case fault_kind::stall: {
+        // Slow but byte-correct: prefix, pause, remainder.
+        obs::add(obs::counter::svc_chaos_stalls);
+        const std::size_t cut = std::max<std::size_t>(
+            1, static_cast<std::size_t>(fault.cut_fraction *
+                                        static_cast<double>(line.size())));
+        if (!send_all_within(fd, std::string_view(line).substr(0, cut),
+                             config_.write_deadline_ms)) {
+          return false;
+        }
+        chaos_sleep(fault.sleep_ms);
+        return send_all_within(fd, std::string_view(line).substr(cut),
+                               config_.write_deadline_ms);
+      }
+      case fault_kind::delay:
+        obs::add(obs::counter::svc_chaos_delays);
+        chaos_sleep(fault.sleep_ms);
+        break;
+      default:
+        break;
+    }
+  }
+  if (!send_all_within(fd, line, config_.write_deadline_ms)) {
+    // Either the peer vanished or it stopped reading past the deadline;
+    // both end the connection. Only the deadline case is a server-side
+    // robustness event worth counting.
+    deadline_closes_.fetch_add(1, std::memory_order_relaxed);
+    obs::add(obs::counter::svc_deadline_exceeded);
+    return false;
+  }
+  return true;
+}
+
+void line_server::serve_connection(unique_fd conn, std::uint64_t conn_index) {
+  const chaos_engine* chaos = config_.chaos.get();
+  if (chaos != nullptr) {
+    const fault_decision fault = chaos->accept_fault(conn_index);
+    if (fault.kind == fault_kind::drop) {
+      chaos_injected_.fetch_add(1, std::memory_order_relaxed);
+      obs::add(obs::counter::svc_chaos_drops);
+      return;  // close before the first byte: the typed "silent drop"
+    }
+    if (fault.kind == fault_kind::reset) {
+      chaos_injected_.fetch_add(1, std::memory_order_relaxed);
+      obs::add(obs::counter::svc_chaos_resets);
+      arm_reset_on_close(conn.get());
+      return;  // close() now sends RST
+    }
+  }
+
   line_reader reader(conn.get(), config_.max_line_bytes);
   std::string line;
+  std::uint64_t op_index = 0;
   for (;;) {
-    const line_reader::status st = reader.read_line(line, config_.idle_poll_ms);
+    if (draining_.load(std::memory_order_acquire) && drain_expired()) {
+      drain_forced_.fetch_add(1, std::memory_order_relaxed);
+      obs::add(obs::counter::svc_drain_forced);
+      return;
+    }
+    const line_reader::status st =
+        reader.read_line(line, config_.idle_poll_ms, config_.line_deadline_ms);
     switch (st) {
       case line_reader::status::timeout:
-        // Idle tick: a draining server says goodbye to idle connections;
-        // otherwise keep waiting for the next request.
-        if (draining_.load(std::memory_order_acquire)) return;
+        // Idle tick. A draining server says goodbye to idle connections
+        // at once; one mid-line keeps its grace until the drain deadline,
+        // then is cut and counted (a trickler cannot outlive the bound —
+        // read_line's budget guarantees we get back here each tick).
+        if (draining_.load(std::memory_order_acquire)) {
+          if (!reader.has_partial()) return;
+          if (drain_expired()) {
+            drain_forced_.fetch_add(1, std::memory_order_relaxed);
+            obs::add(obs::counter::svc_drain_forced);
+            return;
+          }
+        }
         continue;
       case line_reader::status::closed:
       case line_reader::status::error:
         return;
       case line_reader::status::overlong:
         obs::add(obs::counter::svc_lines_oversized);
-        send_all(conn.get(), config_.overlong_response + "\n");
+        send_all_within(conn.get(), config_.overlong_response + "\n",
+                        config_.write_deadline_ms);
+        return;
+      case line_reader::status::deadline:
+        // Slow loris: the line started but never finished. Typed goodbye.
+        deadline_closes_.fetch_add(1, std::memory_order_relaxed);
+        obs::add(obs::counter::svc_deadline_exceeded);
+        send_all_within(conn.get(), config_.deadline_response + "\n",
+                        config_.write_deadline_ms);
         return;
       case line_reader::status::line:
         break;
+    }
+
+    if (chaos != nullptr) {
+      const fault_decision fault = chaos->read_fault(conn_index, op_index);
+      if (fault.kind == fault_kind::delay) {
+        chaos_injected_.fetch_add(1, std::memory_order_relaxed);
+        obs::add(obs::counter::svc_chaos_delays);
+        chaos_sleep(fault.sleep_ms);
+      }
     }
 
     requests_.fetch_add(1, std::memory_order_relaxed);
@@ -195,7 +334,10 @@ void line_server::serve_connection(unique_fd conn) {
       response = config_.internal_error_response;
     }
     obs::record(obs::histogram::svc_request_ns, elapsed_ns(begun));
-    if (!send_all(conn.get(), response + "\n")) return;
+    if (!write_response(conn.get(), response + "\n", conn_index, op_index)) {
+      return;
+    }
+    ++op_index;
   }
 }
 

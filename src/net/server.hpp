@@ -20,11 +20,20 @@
 // than `max_line_bytes` get `overlong_response` and the connection is
 // closed — the reader cannot resynchronize mid-frame.
 //
-// shutdown() is graceful by construction: the acceptor closes the listen
+// shutdown() is graceful but bounded: the acceptor closes the listen
 // socket (new connects are refused by the kernel), workers finish the
 // request in hand, drain the queue, and exit; wait() joins everyone.
 // Workers poll reads with `idle_poll_ms` so a draining server parts with
-// idle keep-alive connections within one poll tick.
+// idle keep-alive connections within one poll tick, and any connection
+// still alive `drain_deadline_ms` after shutdown() is force-closed and
+// counted — one stalled client cannot hold the process hostage.
+//
+// Robustness guards (docs/resilience.md): a partial request line must
+// complete within `line_deadline_ms` (slow-loris), a response write must
+// complete within `write_deadline_ms` (stalled reader), and both closes
+// are typed (`deadline_response`) and counted in svc.deadline_exceeded.
+// An optional chaos_engine (net/chaos.hpp) injects deterministic
+// drops/resets/delays/stalls/truncations for resilience testing.
 //
 // All activity is mirrored into the obs registry under svc.* so the
 // `metrics` endpoint and BENCH_service.json see accepted/rejected counts,
@@ -38,11 +47,13 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "net/chaos.hpp"
 #include "net/socket.hpp"
 
 namespace mcast::net {
@@ -53,17 +64,35 @@ struct server_config {
   std::size_t queue_capacity = 64;     ///< pending-connection bound
   std::size_t max_line_bytes = 1 << 20;
   int idle_poll_ms = 100;              ///< worker read-poll tick
-  /// Lines written verbatim (newline appended) for the three server-side
+  /// Slow-loris guard: once a request line has started arriving, its
+  /// newline must follow within this bound or the connection is answered
+  /// with `deadline_response` and closed. < 0 disables.
+  int line_deadline_ms = 30000;
+  /// Slow-reader guard: a response write that cannot complete within this
+  /// bound (peer not reading) abandons the connection. < 0 disables.
+  int write_deadline_ms = 30000;
+  /// Drain bound: connections that have not finished this many ms after
+  /// shutdown() are force-closed (counted in stats().drain_forced).
+  /// < 0 waits for clients indefinitely (the pre-deadline behavior).
+  int drain_deadline_ms = 5000;
+  /// Lines written verbatim (newline appended) for the server-side
   /// failure modes. The service layer sets these to typed JSON errors.
   std::string overload_response = "overloaded";
   std::string overlong_response = "overlong";
   std::string internal_error_response = "internal_error";
+  std::string deadline_response = "deadline_exceeded";
+  /// Deterministic fault injection (net/chaos.hpp); null = faults off.
+  /// Shared and const: one schedule serves every worker thread.
+  std::shared_ptr<const chaos_engine> chaos;
 };
 
 struct server_stats {
   std::uint64_t accepted = 0;
   std::uint64_t rejected = 0;
   std::uint64_t requests = 0;
+  std::uint64_t deadline_closes = 0;  ///< slow-loris / stalled-reader closes
+  std::uint64_t drain_forced = 0;     ///< connections cut at the drain bound
+  std::uint64_t chaos_injected = 0;   ///< faults the chaos shim injected
   std::size_t queue_depth = 0;   ///< connections waiting right now
   std::size_t inflight = 0;      ///< connections being served right now
   double uptime_seconds = 0.0;
@@ -94,12 +123,20 @@ class line_server {
  private:
   struct pending_conn {
     unique_fd fd;
+    std::uint64_t index = 0;  ///< accept order; keys the chaos schedule
     std::chrono::steady_clock::time_point enqueued;
   };
 
   void accept_loop();
   void worker_loop();
-  void serve_connection(unique_fd conn);
+  void serve_connection(unique_fd conn, std::uint64_t conn_index);
+  /// Writes one response line, applying write-side chaos and the write
+  /// deadline. Returns false when the connection must close.
+  bool write_response(int fd, const std::string& line, std::uint64_t conn_index,
+                      std::uint64_t op_index);
+  /// True once the drain deadline has passed (always false before
+  /// shutdown() or with drain_deadline_ms < 0).
+  bool drain_expired() const;
 
   server_config config_;
   handler_fn handler_;
@@ -114,8 +151,12 @@ class line_server {
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> deadline_closes_{0};
+  std::atomic<std::uint64_t> drain_forced_{0};
+  std::atomic<std::uint64_t> chaos_injected_{0};
   std::atomic<std::size_t> inflight_{0};
   std::chrono::steady_clock::time_point started_;
+  std::atomic<std::int64_t> drain_deadline_ns_{0};  ///< 0 = not draining
 
   std::thread acceptor_;
   std::vector<std::thread> workers_;

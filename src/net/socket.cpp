@@ -7,7 +7,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 
@@ -87,6 +89,47 @@ bool send_all(int fd, std::string_view data) noexcept {
   return true;
 }
 
+bool send_all_within(int fd, std::string_view data, int deadline_ms) noexcept {
+  if (deadline_ms < 0) return send_all(fd, data);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(deadline_ms);
+  const char* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      p += n;
+      left -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) {
+      return false;
+    }
+    // The send buffer is full (or we were interrupted): wait for the peer
+    // to make room, but never past the deadline.
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    const int wait_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count() +
+        1);
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    const int rc = ::poll(&pfd, 1, wait_ms);
+    if (rc < 0 && errno != EINTR) return false;
+    if (rc > 0 && (pfd.revents & (POLLERR | POLLNVAL)) != 0) return false;
+  }
+  return true;
+}
+
+void arm_reset_on_close(int fd) noexcept {
+  linger lin{};
+  lin.l_onoff = 1;
+  lin.l_linger = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lin, sizeof(lin));
+}
+
 bool wait_readable(int fd, int timeout_ms) noexcept {
   pollfd pfd{};
   pfd.fd = fd;
@@ -95,7 +138,9 @@ bool wait_readable(int fd, int timeout_ms) noexcept {
   return rc > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
 }
 
-line_reader::status line_reader::read_line(std::string& out, int timeout_ms) {
+line_reader::status line_reader::read_line(std::string& out, int timeout_ms,
+                                           int line_deadline_ms) {
+  const auto begun = std::chrono::steady_clock::now();
   for (;;) {
     const std::size_t nl = buffer_.find('\n');
     if (nl != std::string::npos) {
@@ -103,10 +148,41 @@ line_reader::status line_reader::read_line(std::string& out, int timeout_ms) {
       if (end > 0 && buffer_[end - 1] == '\r') --end;
       out.assign(buffer_, 0, end);
       buffer_.erase(0, nl + 1);
+      // Pipelined leftover bytes start the next line's age clock now.
+      if (!buffer_.empty()) partial_since_ = std::chrono::steady_clock::now();
       return status::line;
     }
     if (buffer_.size() > max_line_) return status::overlong;
-    if (!wait_readable(fd_, timeout_ms)) return status::timeout;
+    // `timeout_ms` is a TOTAL budget for this call, not an idle gap: a
+    // peer trickling bytes cannot keep us in here past it, so the caller
+    // regains control (and can notice draining / retry deadlines) on time.
+    long long wait_ms = -1;
+    if (timeout_ms >= 0) {
+      const auto spent = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - begun)
+                             .count();
+      wait_ms = std::max<long long>(timeout_ms - spent, 0);
+    }
+    if (line_deadline_ms >= 0 && !buffer_.empty()) {
+      // A line is in flight: its newline must arrive before the deadline,
+      // and no single poll may sleep past it (a byte-per-tick trickle
+      // would otherwise reset the wait forever).
+      const auto age = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - partial_since_)
+                           .count();
+      const long long remaining = line_deadline_ms - age;
+      if (remaining <= 0) return status::deadline;
+      wait_ms = wait_ms < 0 ? remaining : std::min(wait_ms, remaining);
+    }
+    if (!wait_readable(fd_, static_cast<int>(wait_ms))) {
+      if (line_deadline_ms >= 0 && !buffer_.empty()) {
+        const auto age = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - partial_since_)
+                             .count();
+        if (age >= line_deadline_ms) return status::deadline;
+      }
+      return status::timeout;
+    }
     char chunk[4096];
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n == 0) return status::closed;
@@ -114,6 +190,7 @@ line_reader::status line_reader::read_line(std::string& out, int timeout_ms) {
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       return status::error;
     }
+    if (buffer_.empty()) partial_since_ = std::chrono::steady_clock::now();
     buffer_.append(chunk, static_cast<std::size_t>(n));
   }
 }

@@ -11,6 +11,7 @@
 // surface at "processes on this machine".
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -67,6 +68,16 @@ unique_fd connect_loopback(std::uint16_t port);
 /// disconnects by design.
 bool send_all(int fd, std::string_view data) noexcept;
 
+/// send_all with a wall-clock bound: gives up (returns false) when the
+/// peer's receive window stays closed for `deadline_ms` — the guard
+/// against a connected-but-not-reading client pinning a worker forever.
+/// deadline_ms < 0 behaves exactly like send_all.
+bool send_all_within(int fd, std::string_view data, int deadline_ms) noexcept;
+
+/// Arms SO_LINGER(0) so the next close() sends RST instead of FIN —
+/// the chaos shim's "connection reset" fault.
+void arm_reset_on_close(int fd) noexcept;
+
 /// Waits up to `timeout_ms` for `fd` to become readable. Returns false on
 /// timeout; EINTR counts as a timeout (callers re-poll on their next tick).
 bool wait_readable(int fd, int timeout_ms) noexcept;
@@ -77,22 +88,38 @@ class line_reader {
   enum class status {
     line,      ///< `out` holds one complete line (terminator stripped)
     closed,    ///< orderly EOF (any unterminated trailing bytes dropped)
-    timeout,   ///< nothing readable within the poll interval
+    timeout,   ///< no complete line within the call's time budget
     overlong,  ///< frame exceeded max_line bytes before its newline
     error,     ///< read error; the connection is unusable
+    deadline,  ///< a partial line outlived line_deadline_ms (slow loris)
   };
 
   line_reader(int fd, std::size_t max_line) : fd_(fd), max_line_(max_line) {}
 
-  /// Returns the next frame, waiting at most `timeout_ms` for more bytes
-  /// when the buffer holds no complete line. A '\r' before the '\n' is
-  /// stripped, so both LF and CRLF framing work.
-  status read_line(std::string& out, int timeout_ms);
+  /// Returns the next frame. `timeout_ms` bounds the TOTAL time spent in
+  /// the call when no complete line is buffered — bytes arriving do not
+  /// extend it, so a trickling peer cannot pin the caller (-1 waits
+  /// forever). A '\r' before the '\n' is stripped, so both LF and CRLF
+  /// framing work.
+  ///
+  /// `line_deadline_ms` >= 0 bounds the *age of the current partial
+  /// line*: once the first byte of a line has arrived, its terminating
+  /// newline must follow within that many milliseconds or read_line
+  /// returns status::deadline — trickling one byte per poll tick cannot
+  /// hold the reader open (the slow-loris guard). The clock starts when
+  /// a line's first byte lands and resets on every completed line;
+  /// -1 (the default) disables the bound.
+  status read_line(std::string& out, int timeout_ms,
+                   int line_deadline_ms = -1);
+
+  /// True when bytes of an incomplete line are buffered.
+  bool has_partial() const noexcept { return !buffer_.empty(); }
 
  private:
   int fd_;
   std::size_t max_line_;
   std::string buffer_;
+  std::chrono::steady_clock::time_point partial_since_{};
 };
 
 }  // namespace mcast::net

@@ -72,7 +72,20 @@ namespace mcast::obs {
   X(svc_connections_rejected, "svc.connections_rejected")        \
   X(svc_requests, "svc.requests")                                \
   X(svc_responses_error, "svc.responses_error")                  \
-  X(svc_lines_oversized, "svc.lines_oversized")
+  X(svc_lines_oversized, "svc.lines_oversized")                  \
+  X(svc_deadline_exceeded, "svc.deadline_exceeded")              \
+  X(svc_drain_forced, "svc.drain_forced_closes")                 \
+  X(svc_shed_degraded, "svc.shed.degraded")                      \
+  X(svc_shed_refused, "svc.shed.refused")                        \
+  X(svc_chaos_drops, "svc.chaos.drops")                          \
+  X(svc_chaos_resets, "svc.chaos.resets")                        \
+  X(svc_chaos_delays, "svc.chaos.delays")                        \
+  X(svc_chaos_truncates, "svc.chaos.truncates")                  \
+  X(svc_chaos_stalls, "svc.chaos.stalls")                        \
+  X(retry_attempts, "retry.attempts")                            \
+  X(retry_retries, "retry.retries")                              \
+  X(retry_successes, "retry.successes")                          \
+  X(retry_exhausted, "retry.exhausted")
 
 #define MCAST_OBS_GAUGES(X)                  \
   X(sched_workers, "sched.workers")          \
@@ -88,7 +101,8 @@ namespace mcast::obs {
   X(sched_tasks_per_worker, "sched.tasks_per_worker")    \
   X(topo_cache_build_ns, "topo_cache.build_ns")          \
   X(svc_request_ns, "svc.request_ns")                    \
-  X(svc_queue_wait_ns, "svc.queue_wait_ns")
+  X(svc_queue_wait_ns, "svc.queue_wait_ns")              \
+  X(retry_backoff_ms, "retry.backoff_ms")
 
 #define MCAST_OBS_ENUM(id, name) id,
 enum class counter : std::uint16_t { MCAST_OBS_COUNTERS(MCAST_OBS_ENUM) };

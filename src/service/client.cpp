@@ -1,0 +1,196 @@
+#include "service/client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace mcast::service {
+namespace {
+
+/// What one attempt produced. `retry_ambiguous` marks failures where the
+/// server may have executed the request (only idempotent requests may
+/// re-send); `retry_safe` marks failures where it provably did not.
+enum class attempt_kind {
+  ok,
+  final_error,      // typed non-retryable error line
+  retry_safe,       // connect refused / typed retryable error
+  retry_ambiguous,  // timeout or connection lost mid-call
+};
+
+struct attempt_outcome {
+  attempt_kind kind = attempt_kind::retry_ambiguous;
+  call_status status = call_status::connection_lost;
+  std::string response;
+  std::string error_code;
+};
+
+/// The typed code out of an error line, or "" when the line is not a
+/// well-formed error response.
+std::string extract_error_code(const json::value& doc) {
+  const json::value* err = doc.get("error");
+  if (err == nullptr || !err->is(json::value::kind::object)) return "";
+  const json::value* code = err->get("code");
+  if (code == nullptr || !code->is(json::value::kind::string)) return "";
+  return code->as_string();
+}
+
+long long elapsed_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+const char* call_status_name(call_status status) noexcept {
+  switch (status) {
+    case call_status::ok: return "ok";
+    case call_status::server_error: return "server_error";
+    case call_status::timeout: return "timeout";
+    case call_status::connect_refused: return "connect_refused";
+    case call_status::connection_lost: return "connection_lost";
+  }
+  return "connection_lost";
+}
+
+bool idempotent_request(const std::string& line) noexcept {
+  json::value doc;
+  try {
+    doc = json::parse(line);
+  } catch (...) {
+    return true;  // deterministic parse_error on the server; re-send is safe
+  }
+  if (!doc.is(json::value::kind::object)) return true;  // ditto
+  const json::value* op = doc.get("op");
+  if (op == nullptr || !op->is(json::value::kind::string)) return true;
+  const std::string& name = op->as_string();
+  // The query catalog (docs/service.md): every op is a pure function of
+  // the request line. New ops must be added here only if they stay pure.
+  return name == "lmhat" || name == "lm_estimate" || name == "reachability" ||
+         name == "metrics" || name == "healthz";
+}
+
+bool retryable_error_code(const std::string& code) noexcept {
+  return code == "overloaded" || code == "shed";
+}
+
+retry_client::retry_client(std::uint16_t port, retry_policy policy)
+    : port_(port), policy_(policy), jitter_(policy.seed) {}
+
+void retry_client::disconnect() noexcept {
+  reader_.reset();
+  conn_.reset();
+}
+
+bool retry_client::ensure_connected() noexcept {
+  if (conn_.valid()) return true;
+  try {
+    conn_ = net::connect_loopback(port_);
+  } catch (...) {
+    return false;
+  }
+  reader_ = std::make_unique<net::line_reader>(conn_.get(), 1 << 26);
+  return true;
+}
+
+long long retry_client::next_backoff_ms(int retry_index) {
+  long long ms = policy_.backoff_base_ms;
+  for (int i = 0; i < retry_index && ms < policy_.backoff_max_ms; ++i) ms *= 2;
+  ms = std::min<long long>(ms, policy_.backoff_max_ms);
+  const double scale = 1.0 - policy_.jitter * jitter_.uniform();
+  ms = static_cast<long long>(static_cast<double>(ms) * scale);
+  return std::max<long long>(ms, 0);
+}
+
+call_result retry_client::call(const std::string& request) {
+  const auto started = std::chrono::steady_clock::now();
+  const bool may_retry_ambiguous =
+      policy_.retry_nonidempotent || idempotent_request(request);
+
+  call_result result;
+  for (int attempt = 0; attempt < std::max(1, policy_.max_attempts);
+       ++attempt) {
+    ++result.attempts;
+    obs::add(obs::counter::retry_attempts);
+
+    attempt_outcome out;
+    if (!ensure_connected()) {
+      out.kind = attempt_kind::retry_safe;  // nothing was sent
+      out.status = call_status::connect_refused;
+    } else if (!net::send_all(conn_.get(), request + "\n")) {
+      disconnect();
+      out.kind = attempt_kind::retry_ambiguous;
+      out.status = call_status::connection_lost;
+    } else {
+      std::string line;
+      const net::line_reader::status st =
+          reader_->read_line(line, policy_.attempt_timeout_ms);
+      if (st == net::line_reader::status::line) {
+        out.response = std::move(line);
+        json::value doc;
+        bool parsed = true;
+        try {
+          doc = json::parse(out.response);
+        } catch (...) {
+          parsed = false;
+        }
+        const json::value* ok = parsed ? doc.get("ok") : nullptr;
+        if (parsed && ok != nullptr && ok->is(json::value::kind::boolean) &&
+            ok->as_bool()) {
+          out.kind = attempt_kind::ok;
+          out.status = call_status::ok;
+        } else {
+          out.error_code = parsed ? extract_error_code(doc) : "";
+          out.status = call_status::server_error;
+          // overloaded/shed mean "not executed, come back later" — the
+          // retry case backoff exists for. Anything else is final.
+          out.kind = retryable_error_code(out.error_code)
+                         ? attempt_kind::retry_safe
+                         : attempt_kind::final_error;
+        }
+      } else if (st == net::line_reader::status::timeout) {
+        // The response may still arrive after we gave up; this connection
+        // can never be reused (a late line would answer the wrong call).
+        disconnect();
+        out.kind = attempt_kind::retry_ambiguous;
+        out.status = call_status::timeout;
+      } else {
+        disconnect();
+        out.kind = attempt_kind::retry_ambiguous;
+        out.status = call_status::connection_lost;
+      }
+    }
+
+    result.status = out.status;
+    if (!out.response.empty()) result.response = out.response;
+    result.error_code = out.error_code;
+
+    if (out.kind == attempt_kind::ok) {
+      obs::add(obs::counter::retry_successes);
+      return result;
+    }
+    if (out.kind == attempt_kind::final_error) return result;
+    if (out.kind == attempt_kind::retry_ambiguous && !may_retry_ambiguous) {
+      return result;
+    }
+    if (result.attempts >= policy_.max_attempts) break;
+
+    const long long backoff = next_backoff_ms(result.attempts - 1);
+    if (elapsed_ms(started) + backoff > policy_.budget_ms) break;
+    obs::add(obs::counter::retry_retries);
+    obs::record(obs::histogram::retry_backoff_ms,
+                static_cast<std::uint64_t>(backoff));
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    }
+    result.backoff_total_ms += backoff;
+  }
+  obs::add(obs::counter::retry_exhausted);
+  return result;
+}
+
+}  // namespace mcast::service

@@ -1,0 +1,102 @@
+// retry_client — the recommended way to talk to mcast_serve.
+//
+// One call() maps a request line to the server's response line, absorbing
+// the transient failures the resilience layer documents
+// (docs/resilience.md): refused connects while the daemon restarts,
+// `overloaded` admission rejections, `shed` load-shedding refusals, RSTs
+// and truncated frames from an unlucky connection. Between attempts it
+// sleeps a jittered exponential backoff whose jitter stream is seeded
+// (sim/rng.hpp), so a test or bench re-run retries at the exact same
+// moments — determinism extends through the failure path.
+//
+// Retry safety is idempotency-aware. Every op in the query catalog is a
+// pure function of its request line (explicit seeds; see
+// service/query_service.hpp), so `idempotent_request` whitelists them for
+// retry after *ambiguous* failures (timeout, connection lost mid-read,
+// where the server may or may not have executed the request). Requests
+// naming an unknown op are retried only where no execution can have
+// happened (connect failure) or the server said so with a typed
+// retryable error (`overloaded`, `shed`) — unless the policy opts in
+// with `retry_nonidempotent`.
+//
+// All attempts/retries/outcomes are mirrored into the obs registry under
+// retry.* so bench/svc_load can report client-side retry pressure next to
+// server-side chaos counts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/socket.hpp"
+#include "sim/rng.hpp"
+
+namespace mcast::service {
+
+struct retry_policy {
+  int max_attempts = 4;          ///< total tries (first attempt included)
+  int attempt_timeout_ms = 5000; ///< per-attempt response deadline
+  int backoff_base_ms = 10;      ///< first backoff; doubles per retry
+  int backoff_max_ms = 500;      ///< exponential growth cap
+  double jitter = 0.5;           ///< backoff *= (1 - jitter * u), u in [0,1)
+  std::uint64_t seed = 42;       ///< jitter stream seed (deterministic)
+  long long budget_ms = 60000;   ///< wall-clock cap across all attempts
+  /// Retry ambiguous failures even for requests `idempotent_request`
+  /// does not recognize. Off by default: an unknown op might not be pure.
+  bool retry_nonidempotent = false;
+};
+
+enum class call_status {
+  ok,               ///< a response line with "ok": true
+  server_error,     ///< a typed, non-retryable error line (final)
+  timeout,          ///< no response within the deadline, retries exhausted
+  connect_refused,  ///< could not connect, retries exhausted
+  connection_lost,  ///< peer closed/reset mid-call, retries exhausted
+};
+
+const char* call_status_name(call_status status) noexcept;
+
+struct call_result {
+  call_status status = call_status::connection_lost;
+  std::string response;    ///< last response line ("" if none arrived)
+  std::string error_code;  ///< typed code when the server answered an error
+  int attempts = 0;        ///< attempts actually made (>= 1)
+  long long backoff_total_ms = 0;  ///< total time slept between attempts
+  bool ok() const noexcept { return status == call_status::ok; }
+};
+
+/// True when `line` names an op from the query catalog — all of which are
+/// pure functions of the request (safe to re-send after an ambiguous
+/// failure). Unparseable lines are also safe: the server answers them
+/// with a deterministic parse_error and executes nothing.
+bool idempotent_request(const std::string& line) noexcept;
+
+/// True for the typed error codes that invite a retry: the server refused
+/// before executing (`overloaded` admission, `shed` load shedding).
+bool retryable_error_code(const std::string& code) noexcept;
+
+class retry_client {
+ public:
+  explicit retry_client(std::uint16_t port, retry_policy policy = {});
+
+  /// Sends `request` (no trailing newline) and returns the final outcome
+  /// after at most policy.max_attempts tries. Never throws.
+  call_result call(const std::string& request);
+
+  /// Drops the cached connection; the next call() reconnects.
+  void disconnect() noexcept;
+
+  const retry_policy& policy() const noexcept { return policy_; }
+
+ private:
+  bool ensure_connected() noexcept;
+  long long next_backoff_ms(int retry_index);
+
+  std::uint16_t port_;
+  retry_policy policy_;
+  rng jitter_;
+  net::unique_fd conn_;
+  std::unique_ptr<net::line_reader> reader_;
+};
+
+}  // namespace mcast::service

@@ -8,10 +8,12 @@
 #include <string>
 
 #include "common/json.hpp"
+#include "net/chaos.hpp"
 #include "net/server.hpp"
 #include "net/socket.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "service/client.hpp"
 #include "service/protocol.hpp"
 #include "service/query_service.hpp"
 
@@ -36,6 +38,21 @@ std::uint64_t parse_flag_u64(const std::string& text, const std::string& flag) {
   return value;
 }
 
+/// Strict probability parse for the shed thresholds.
+double parse_flag_fraction(const std::string& text, const std::string& flag) {
+  std::size_t used = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(text, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != text.size() || !(v >= 0.0 && v <= 1.0)) {
+    die(flag + " expects a fraction in [0,1], got '" + text + "'");
+  }
+  return v;
+}
+
 /// Accepts "--flag=value" and returns the value, or nullopt-style failure
 /// via the bool. (No std::optional to keep the call sites terse.)
 bool flag_value(const std::string& arg, const std::string& flag,
@@ -51,9 +68,23 @@ struct serve_flags {
   std::size_t threads = 4;
   std::size_t queue = 64;
   std::size_t max_line = 1 << 20;
+  int drain_ms = 5000;
+  int line_deadline_ms = 30000;
+  int write_deadline_ms = 30000;
+  double shed_degrade = 2.0;  // > 1 = disabled
+  double shed_refuse = 2.0;   // > 1 = disabled
+  std::string chaos_spec;
   bool metrics_summary = false;
   std::string profile_path;
 };
+
+/// A deadline flag: integer ms, or "off" to disable (maps to -1).
+int parse_deadline_ms(const std::string& text, const std::string& flag) {
+  if (text == "off") return -1;
+  const std::uint64_t ms = parse_flag_u64(text, flag);
+  if (ms > 3600000) die(flag + " must be <= 3600000 (or 'off')");
+  return static_cast<int>(ms);
+}
 
 serve_flags parse_serve_flags(const std::vector<std::string>& args) {
   serve_flags flags;
@@ -77,6 +108,19 @@ serve_flags parse_serve_flags(const std::vector<std::string>& args) {
         die("--max-line must be in 256..67108864");
       }
       flags.max_line = static_cast<std::size_t>(bytes);
+    } else if (flag_value(arg, "--drain-ms", value)) {
+      flags.drain_ms = parse_deadline_ms(value, "--drain-ms");
+    } else if (flag_value(arg, "--line-deadline-ms", value)) {
+      flags.line_deadline_ms = parse_deadline_ms(value, "--line-deadline-ms");
+    } else if (flag_value(arg, "--write-deadline-ms", value)) {
+      flags.write_deadline_ms = parse_deadline_ms(value, "--write-deadline-ms");
+    } else if (flag_value(arg, "--shed-degrade", value)) {
+      flags.shed_degrade = parse_flag_fraction(value, "--shed-degrade");
+    } else if (flag_value(arg, "--shed-refuse", value)) {
+      flags.shed_refuse = parse_flag_fraction(value, "--shed-refuse");
+    } else if (flag_value(arg, "--chaos", value)) {
+      if (value.empty()) die("--chaos= needs a spec (try --chaos=default)");
+      flags.chaos_spec = value;
     } else if (arg == "--metrics-summary") {
       flags.metrics_summary = true;
     } else if (flag_value(arg, "--profile", value)) {
@@ -115,21 +159,45 @@ int run_serve(const std::vector<std::string>& args) {
   config.workers = flags.threads;
   config.queue_capacity = flags.queue;
   config.max_line_bytes = flags.max_line;
+  config.line_deadline_ms = flags.line_deadline_ms;
+  config.write_deadline_ms = flags.write_deadline_ms;
+  config.drain_deadline_ms = flags.drain_ms;
   config.overload_response = error_response(
       error_code::overloaded, "connection queue full; retry later");
   config.overlong_response = error_response(
-      error_code::bad_request,
+      error_code::limit_exceeded,
       "request line exceeds " + std::to_string(flags.max_line) + " bytes");
   config.internal_error_response =
       error_response(error_code::internal_error, "request handler failed");
+  config.deadline_response = error_response(
+      error_code::deadline_exceeded,
+      "request or response outlived the server's deadline");
+  if (!flags.chaos_spec.empty()) {
+    config.chaos = std::make_shared<const net::chaos_engine>(
+        net::chaos_spec::parse(flags.chaos_spec));
+  }
 
   net::line_server server(
       config, [svc](const std::string& line) { return svc->handle(line); });
   svc->set_stats_source([&server] { return server.stats(); });
+  if (flags.shed_degrade <= 1.0 || flags.shed_refuse <= 1.0) {
+    shed_policy policy;
+    policy.degrade_at = flags.shed_degrade;
+    policy.refuse_at = flags.shed_refuse;
+    svc->set_shed_policy(policy);
+    const double capacity = static_cast<double>(flags.queue);
+    svc->set_pressure_source([&server, capacity] {
+      return static_cast<double>(server.stats().queue_depth) / capacity;
+    });
+  }
 
   std::cerr << "[mcast_lab] serve: listening on 127.0.0.1:" << server.port()
             << " workers=" << flags.threads << " queue=" << flags.queue
             << "\n";
+  if (config.chaos) {
+    std::cerr << "[mcast_lab] serve: chaos enabled ("
+              << config.chaos->spec().describe() << ")\n";
+  }
   std::cerr.flush();
 
   int caught = 0;
@@ -144,7 +212,8 @@ int run_serve(const std::vector<std::string>& args) {
   const net::server_stats stats = server.stats();
   std::cerr << "[mcast_lab] serve: drained; " << stats.requests
             << " request(s), " << stats.accepted << " accepted, "
-            << stats.rejected << " rejected\n";
+            << stats.rejected << " rejected, " << stats.drain_forced
+            << " force-closed\n";
   if (flags.metrics_summary) {
     obs::render_metrics_summary(std::cerr, obs::snapshot());
   }
@@ -161,7 +230,8 @@ int run_serve(const std::vector<std::string>& args) {
 
 int run_query(const std::vector<std::string>& args) {
   std::uint16_t port = 0;
-  int timeout_ms = 120000;
+  retry_policy policy;
+  policy.attempt_timeout_ms = 120000;
   std::vector<std::string> requests;
   for (const std::string& arg : args) {
     std::string value;
@@ -172,7 +242,17 @@ int run_query(const std::vector<std::string>& args) {
     } else if (flag_value(arg, "--timeout-ms", value)) {
       const std::uint64_t t = parse_flag_u64(value, "--timeout-ms");
       if (t == 0 || t > 3600000) die("--timeout-ms must be in 1..3600000");
-      timeout_ms = static_cast<int>(t);
+      policy.attempt_timeout_ms = static_cast<int>(t);
+    } else if (flag_value(arg, "--retries", value)) {
+      const std::uint64_t n = parse_flag_u64(value, "--retries");
+      if (n == 0 || n > 100) die("--retries must be in 1..100");
+      policy.max_attempts = static_cast<int>(n);
+    } else if (flag_value(arg, "--backoff-ms", value)) {
+      const std::uint64_t b = parse_flag_u64(value, "--backoff-ms");
+      if (b > 60000) die("--backoff-ms must be <= 60000");
+      policy.backoff_base_ms = static_cast<int>(b);
+    } else if (flag_value(arg, "--seed", value)) {
+      policy.seed = parse_flag_u64(value, "--seed");
     } else if (!arg.empty() && arg[0] == '-') {
       die("query: unknown option '" + arg + "'");
     } else {
@@ -188,37 +268,42 @@ int run_query(const std::vector<std::string>& args) {
   }
   if (requests.empty()) die("query: no request lines (argv or stdin)");
 
-  net::unique_fd conn = net::connect_loopback(port);
-  bool all_ok = true;
-  net::line_reader reader(conn.get(), 1 << 26);
-  std::string response;
+  // Exit codes (docs/resilience.md): 0 all ok, 1 usage, 2 typed server
+  // error, 3 connect refused after retries, 4 timeout / connection lost
+  // after retries. Transport failures abort the batch (later requests
+  // would hit the same wall); typed errors keep going so a mixed batch
+  // still prints every response it can get.
+  retry_client client(port, policy);
+  int exit_code = 0;
   for (const std::string& request : requests) {
-    if (!net::send_all(conn.get(), request + "\n")) {
-      std::cerr << "mcast_lab: query: server closed the connection\n";
-      return 1;
-    }
-    const net::line_reader::status st = reader.read_line(response, timeout_ms);
-    if (st != net::line_reader::status::line) {
-      std::cerr << "mcast_lab: query: no response ("
-                << (st == net::line_reader::status::timeout ? "timeout"
-                                                            : "connection lost")
-                << ")\n";
-      return 1;
-    }
-    std::cout << response << "\n";
-    try {
-      const json::value doc = json::parse(response);
-      const json::value* ok = doc.get("ok");
-      if (ok == nullptr || !ok->is(json::value::kind::boolean) ||
-          !ok->as_bool()) {
-        all_ok = false;
-      }
-    } catch (const std::exception&) {
-      all_ok = false;
+    const call_result result = client.call(request);
+    if (!result.response.empty()) std::cout << result.response << "\n";
+    switch (result.status) {
+      case call_status::ok:
+        break;
+      case call_status::server_error:
+        std::cerr << "mcast_lab: query: server error"
+                  << (result.error_code.empty() ? ""
+                                                : " (" + result.error_code + ")")
+                  << " after " << result.attempts << " attempt(s)\n";
+        exit_code = 2;
+        break;
+      case call_status::connect_refused:
+        std::cerr << "mcast_lab: query: connection refused after "
+                  << result.attempts << " attempt(s)\n";
+        std::cout.flush();
+        return 3;
+      case call_status::timeout:
+      case call_status::connection_lost:
+        std::cerr << "mcast_lab: query: no response ("
+                  << call_status_name(result.status) << ") after "
+                  << result.attempts << " attempt(s)\n";
+        std::cout.flush();
+        return 4;
     }
   }
   std::cout.flush();
-  return all_ok ? 0 : 1;
+  return exit_code;
 }
 
 }  // namespace mcast::service

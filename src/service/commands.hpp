@@ -9,20 +9,29 @@
 namespace mcast::service {
 
 /// `mcast_lab serve [--port=N] [--threads=K] [--queue=N] [--max-line=B]
+///                  [--drain-ms=MS|off] [--line-deadline-ms=MS|off]
+///                  [--write-deadline-ms=MS|off]
+///                  [--shed-degrade=F] [--shed-refuse=F] [--chaos=SPEC]
 ///                  [--metrics-summary] [--profile=FILE]`
 ///
 /// Runs the line server until SIGINT or SIGTERM, then drains gracefully
-/// and returns 0. Prints "listening on 127.0.0.1:<port>" to stderr once
-/// the socket is bound (the line scripts and tests key on).
+/// (bounded by --drain-ms) and returns 0. Prints "listening on
+/// 127.0.0.1:<port>" to stderr once the socket is bound (the line scripts
+/// and tests key on). --shed-degrade/--shed-refuse are queue-pressure
+/// fractions enabling cost-aware shedding; --chaos enables deterministic
+/// fault injection (net/chaos.hpp grammar; see docs/resilience.md).
 /// Throws std::invalid_argument on bad flags (the caller maps it to
 /// exit code 1, like every other lab command).
 int run_serve(const std::vector<std::string>& args);
 
-/// `mcast_lab query --port=N [request-line ...]`
+/// `mcast_lab query --port=N [--timeout-ms=MS] [--retries=N]
+///                  [--backoff-ms=MS] [--seed=S] [request-line ...]`
 ///
-/// Sends each request line (or stdin lines when none are given) to a
-/// running server, printing one response line per request on stdout.
-/// Returns 0 iff every response had "ok": true.
+/// Sends each request line (or stdin lines when none are given) through
+/// the retry client (service/client.hpp), printing one response line per
+/// request on stdout. Exit codes: 0 every response ok, 1 usage error,
+/// 2 typed server error, 3 connection refused after retries, 4 timeout or
+/// connection lost after retries.
 int run_query(const std::vector<std::string>& args);
 
 }  // namespace mcast::service

@@ -22,6 +22,8 @@ const char* error_code_name(error_code code) noexcept {
     case error_code::limit_exceeded: return "limit_exceeded";
     case error_code::overloaded: return "overloaded";
     case error_code::internal_error: return "internal_error";
+    case error_code::shed: return "shed";
+    case error_code::deadline_exceeded: return "deadline_exceeded";
   }
   return "internal_error";
 }

@@ -37,6 +37,8 @@ enum class error_code {
   limit_exceeded,  ///< structurally valid but over the per-request caps
   overloaded,      ///< admission control refused the connection
   internal_error,  ///< handler bug; the request itself may be fine
+  shed,            ///< load shedding refused an expensive op (retryable)
+  deadline_exceeded,  ///< the request or its response outlived a deadline
 };
 
 const char* error_code_name(error_code code) noexcept;

@@ -111,6 +111,14 @@ void query_service::set_stats_source(std::function<net::server_stats()> fn) {
   stats_fn_ = std::move(fn);
 }
 
+void query_service::set_pressure_source(std::function<double()> fn) {
+  pressure_fn_ = std::move(fn);
+}
+
+double query_service::pressure() const {
+  return pressure_fn_ ? pressure_fn_() : 0.0;
+}
+
 std::string query_service::handle(const std::string& line) noexcept {
   json::value id;  // null until the request parses far enough to have one
   try {
@@ -135,8 +143,25 @@ json::value query_service::dispatch(const std::string& op,
                                     const json::value& req) {
   static const char* const bare[] = {"op", "id", nullptr};
   if (op == "lmhat") return op_lmhat(req);
-  if (op == "lm_estimate") return op_lm_estimate(req);
-  if (op == "reachability") return op_reachability(req);
+  if (op == "lm_estimate" || op == "reachability") {
+    // Cost-aware shedding: only the Monte-Carlo ops pay the overload
+    // bill. Cheap ops (lmhat, metrics, healthz) stay live at any pressure
+    // so health checks and closed-form queries keep working.
+    const double p = pressure();
+    bool degraded = false;
+    if (p >= shed_.refuse_at) {
+      obs::add(obs::counter::svc_shed_refused);
+      throw request_error(error_code::shed,
+                          "op '" + op + "' shed under load (pressure " +
+                              std::to_string(p) + "); retry with backoff");
+    }
+    if (p >= shed_.degrade_at) {
+      obs::add(obs::counter::svc_shed_degraded);
+      degraded = true;
+    }
+    return op == "lm_estimate" ? op_lm_estimate(req, degraded)
+                               : op_reachability(req, degraded);
+  }
   if (op == "metrics") {
     reject_unknown_keys(req, bare);
     return op_metrics();
@@ -192,7 +217,8 @@ json::value query_service::op_lmhat(const json::value& req) const {
   return result;
 }
 
-json::value query_service::op_lm_estimate(const json::value& req) const {
+json::value query_service::op_lm_estimate(const json::value& req,
+                                          bool degraded) const {
   static const char* const allowed[] = {
       "op",          "id",    "topology",      "topology_seed",
       "budget",      "seed",  "group_sizes",   "grid_points",
@@ -260,9 +286,28 @@ json::value query_service::op_lm_estimate(const json::value& req) const {
   mc.threads = static_cast<std::size_t>(
       bounded_u64(req, "threads", 1, 1, limits_.max_threads));
 
-  const std::vector<scaling_point> points =
-      distinct ? measure_distinct_receivers(g, grid, mc)
-               : measure_with_replacement(g, grid, mc);
+  std::vector<scaling_point> points;
+  if (degraded) {
+    // Under pressure: answer from the Chuang-Sirbu closed form (Eq 4),
+    // L(m) ≈ ū·m^0.8, with ū from a single BFS instead of the full
+    // Monte-Carlo sweep. samples = 0 marks every row as model-derived.
+    const double ubar = reachability_from(g, 0).mean_distance();
+    points.reserve(grid.size());
+    for (const std::uint64_t m : grid) {
+      scaling_point p;
+      p.group_size = m;
+      p.ratio_mean = std::pow(static_cast<double>(m), 0.8);
+      p.tree_links_mean = ubar * p.ratio_mean;
+      p.tree_links_stderr = 0.0;
+      p.unicast_mean = ubar;
+      p.ratio_stderr = 0.0;
+      p.samples = 0;
+      points.push_back(p);
+    }
+  } else {
+    points = distinct ? measure_distinct_receivers(g, grid, mc)
+                      : measure_with_replacement(g, grid, mc);
+  }
 
   json::value rows = json::value::array();
   for (const scaling_point& p : points) rows.push(point_row(p));
@@ -273,6 +318,9 @@ json::value query_service::op_lm_estimate(const json::value& req) const {
   result.set("edges", num_u(g.edge_count()));
   result.set("model", json::value::string(model));
   result.set("seed", num_u(mc.seed));
+  // Present only when shed to the closed form, so the fault-free response
+  // stays byte-identical to what it was before shedding existed.
+  if (degraded) result.set("degraded", json::value::boolean(true));
   result.set("rows", std::move(rows));
 
   // The Chuang-Sirbu fit over the paper's window, when enough of the
@@ -292,7 +340,8 @@ json::value query_service::op_lm_estimate(const json::value& req) const {
   return result;
 }
 
-json::value query_service::op_reachability(const json::value& req) const {
+json::value query_service::op_reachability(const json::value& req,
+                                           bool degraded) const {
   static const char* const allowed[] = {
       "op",     "id",      "topology", "topology_seed",
       "budget", "source",  "sources",  "seed",
@@ -318,7 +367,10 @@ json::value query_service::op_reachability(const json::value& req) const {
     const std::uint64_t sources =
         bounded_u64(req, "sources", 32, 1, limits_.max_sources);
     rng gen(u64_or(req, "seed", 777));
-    prof = mean_reachability(g, static_cast<std::size_t>(sources), gen);
+    // Under pressure the multi-source mean collapses to one sampled
+    // source — a single BFS instead of `sources` of them.
+    prof = mean_reachability(
+        g, degraded ? 1 : static_cast<std::size_t>(sources), gen);
   }
 
   json::value s = json::value::array();
@@ -335,6 +387,7 @@ json::value query_service::op_reachability(const json::value& req) const {
   json::value result = json::value::object();
   result.set("topology", json::value::string(g.name()));
   result.set("nodes", num_u(g.node_count()));
+  if (degraded) result.set("degraded", json::value::boolean(true));
   result.set("s", std::move(s));
   result.set("t", std::move(t));
   result.set("max_radius", num_u(prof.max_radius()));

@@ -26,6 +26,21 @@
 
 namespace mcast::service {
 
+/// Cost-aware load shedding (docs/resilience.md). Pressure is a number in
+/// [0, 1] (typically queue_depth / queue_capacity). The expensive
+/// Monte-Carlo ops degrade first and refuse last; lmhat/metrics/healthz
+/// are never shed. Thresholds above 1 disable the corresponding tier,
+/// which is the default: shedding must be asked for.
+struct shed_policy {
+  /// At or above this pressure, lm_estimate answers with the Eq 4 closed
+  /// form (marked `"degraded": true`) and reachability with a single-BFS
+  /// profile instead of the Monte-Carlo mean.
+  double degrade_at = 2.0;
+  /// At or above this pressure, lm_estimate/reachability are refused with
+  /// the retryable typed error `shed`.
+  double refuse_at = 2.0;
+};
+
 class query_service {
  public:
   explicit query_service(service_limits limits = {});
@@ -35,6 +50,15 @@ class query_service {
   /// own uptime — the unit-test configuration.
   void set_stats_source(std::function<net::server_stats()> fn);
 
+  /// Enables cost-aware shedding of the expensive ops.
+  void set_shed_policy(shed_policy policy) noexcept { shed_ = policy; }
+
+  /// Source of the live pressure number the shed policy compares against.
+  /// `mcast_lab serve` wires queue_depth/queue_capacity; tests inject a
+  /// constant to exercise both tiers deterministically. Without one the
+  /// pressure is 0 and shedding never triggers.
+  void set_pressure_source(std::function<double()> fn);
+
   /// One request line in, one response line out (no trailing newline).
   std::string handle(const std::string& line) noexcept;
 
@@ -43,13 +67,16 @@ class query_service {
  private:
   json::value dispatch(const std::string& op, const json::value& req);
   json::value op_lmhat(const json::value& req) const;
-  json::value op_lm_estimate(const json::value& req) const;
-  json::value op_reachability(const json::value& req) const;
+  json::value op_lm_estimate(const json::value& req, bool degraded) const;
+  json::value op_reachability(const json::value& req, bool degraded) const;
   json::value op_metrics() const;
   json::value op_healthz() const;
+  double pressure() const;
 
   service_limits limits_;
   std::function<net::server_stats()> stats_fn_;
+  std::function<double()> pressure_fn_;
+  shed_policy shed_;
   std::chrono::steady_clock::time_point started_;
 };
 

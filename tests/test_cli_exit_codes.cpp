@@ -4,16 +4,22 @@
 // validate` depend on these codes. MCAST_LAB_BIN comes from CMake.
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <string>
 #include <vector>
 
+#include "net/socket.hpp"
 #include "proc_util.hpp"
 
 namespace mcast::lab {
 namespace {
 
+using testproc::finish;
+using testproc::read_until;
 using testproc::run;
 using testproc::run_result;
+using testproc::spawn;
+using testproc::spawned;
 
 void expect_failure(const std::vector<std::string>& argv, int expected_code) {
   const run_result r = run(MCAST_LAB_BIN, argv);
@@ -112,10 +118,53 @@ TEST(cli_exit_codes, query_bad_flags) {
   expect_failure({"query", "--frobnicate"}, 1);
 }
 
-TEST(cli_exit_codes, query_connection_refused) {
-  // Port 1 on loopback is essentially never listening in CI; a failed
-  // connect must be exit 1 with an explanation, not a hang or a crash.
-  expect_failure({"query", "--port=1", "{\"op\":\"healthz\"}"}, 1);
+TEST(cli_exit_codes, query_connection_refused_is_3) {
+  // Port 1 on loopback is essentially never listening in CI; a refused
+  // connect after retries is its own exit code (docs/resilience.md) so
+  // scripts can tell "daemon not up" from "daemon said no".
+  expect_failure({"query", "--port=1", "--retries=2", "--backoff-ms=0",
+                  "{\"op\":\"healthz\"}"},
+                 3);
+}
+
+TEST(cli_exit_codes, query_timeout_is_4) {
+  // A listener that accepts (from the kernel backlog) but never answers:
+  // the query must give up at --timeout-ms per attempt and exit 4.
+  const net::listen_socket mute = net::listen_loopback(0);
+  expect_failure({"query", "--port=" + std::to_string(mute.port),
+                  "--timeout-ms=200", "--retries=1", "--backoff-ms=0",
+                  "{\"op\":\"healthz\"}"},
+                 4);
+}
+
+TEST(cli_exit_codes, query_typed_server_error_is_2) {
+  // A real server answering a typed error line: the response is printed
+  // (stdout is still useful) but the exit code says a request failed.
+  const spawned server =
+      spawn(MCAST_LAB_BIN, {"serve", "--port=0", "--threads=1", "--queue=4"});
+  ASSERT_GT(server.pid, 0);
+  const std::string banner = read_until(server.stderr_fd, "listening on",
+                                        std::chrono::milliseconds(15000));
+  const std::string key = "listening on 127.0.0.1:";
+  const std::size_t at = banner.find(key);
+  ASSERT_NE(at, std::string::npos) << banner;
+  const std::string port = std::to_string(
+      std::strtoul(banner.c_str() + at + key.size(), nullptr, 10));
+
+  const run_result bad = run(
+      MCAST_LAB_BIN, {"query", "--port=" + port, "{\"op\":\"frobnicate\"}"});
+  EXPECT_EQ(bad.exit_code, 2) << bad.err;
+  EXPECT_NE(bad.out.find("\"ok\":false"), std::string::npos) << bad.out;
+  EXPECT_FALSE(bad.err.empty());
+
+  // Sanity: the same server answers a good request with exit 0.
+  const run_result good =
+      run(MCAST_LAB_BIN, {"query", "--port=" + port, "{\"op\":\"healthz\"}"});
+  EXPECT_EQ(good.exit_code, 0) << good.err;
+
+  ASSERT_EQ(::kill(server.pid, SIGTERM), 0);
+  const run_result r = finish(server);
+  EXPECT_EQ(r.exit_code, 0) << r.err;
 }
 
 TEST(cli_exit_codes, list_succeeds) {

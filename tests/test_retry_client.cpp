@@ -1,0 +1,192 @@
+// Contract of the retry client (service/client.hpp):
+//   * the idempotency whitelist matches the query catalog, treats
+//     unparseable lines as safe, and excludes unknown ops;
+//   * connect-refused attempts retry up to max_attempts;
+//   * typed retryable errors (overloaded/shed) retry and can recover;
+//   * typed final errors and non-idempotent ambiguous failures do not;
+//   * the jittered backoff schedule is a pure function of the seed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/query_service.hpp"
+
+namespace mcast::service {
+namespace {
+
+/// A port that was just bound and released: connecting to it is refused.
+std::uint16_t dead_port() {
+  const net::listen_socket listener = net::listen_loopback(0);
+  return listener.port;
+}
+
+net::server_config tiny_config() {
+  net::server_config config;
+  config.port = 0;
+  config.workers = 1;
+  config.queue_capacity = 8;
+  return config;
+}
+
+TEST(idempotency, catalog_ops_are_whitelisted) {
+  EXPECT_TRUE(idempotent_request("{\"op\":\"lmhat\",\"k\":2}"));
+  EXPECT_TRUE(idempotent_request("{\"op\":\"lm_estimate\"}"));
+  EXPECT_TRUE(idempotent_request("{\"op\":\"reachability\"}"));
+  EXPECT_TRUE(idempotent_request("{\"op\":\"metrics\"}"));
+  EXPECT_TRUE(idempotent_request("{\"op\":\"healthz\"}"));
+}
+
+TEST(idempotency, unknown_ops_are_not) {
+  EXPECT_FALSE(idempotent_request("{\"op\":\"mutate\"}"));
+  EXPECT_FALSE(idempotent_request("{\"op\":\"\"}"));
+}
+
+TEST(idempotency, unparseable_lines_are_safe) {
+  // The server answers these with a deterministic parse_error without
+  // executing anything, so re-sending cannot double-execute.
+  EXPECT_TRUE(idempotent_request("not json"));
+  EXPECT_TRUE(idempotent_request(""));
+  EXPECT_TRUE(idempotent_request("[1,2,3]"));
+  EXPECT_TRUE(idempotent_request("{\"op\":42}"));
+}
+
+TEST(idempotency, retryable_codes_are_exactly_the_refusals) {
+  EXPECT_TRUE(retryable_error_code("overloaded"));
+  EXPECT_TRUE(retryable_error_code("shed"));
+  EXPECT_FALSE(retryable_error_code("parse_error"));
+  EXPECT_FALSE(retryable_error_code("internal_error"));
+  EXPECT_FALSE(retryable_error_code("deadline_exceeded"));
+  EXPECT_FALSE(retryable_error_code(""));
+}
+
+TEST(retry_client_test, connect_refused_retries_then_reports) {
+  retry_policy policy;
+  policy.max_attempts = 3;
+  policy.backoff_base_ms = 0;
+  policy.backoff_max_ms = 0;
+  retry_client client(dead_port(), policy);
+  const call_result result = client.call("{\"op\":\"healthz\"}");
+  EXPECT_EQ(result.status, call_status::connect_refused);
+  EXPECT_EQ(result.attempts, 3);
+  EXPECT_TRUE(result.response.empty());
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(retry_client_test, healthy_server_answers_on_the_first_attempt) {
+  auto svc = std::make_shared<query_service>();
+  net::line_server server(tiny_config(), [svc](const std::string& line) {
+    return svc->handle(line);
+  });
+  retry_client client(server.port());
+  const call_result result = client.call("{\"op\":\"healthz\"}");
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.attempts, 1);
+  EXPECT_NE(result.response.find("\"ok\":true"), std::string::npos)
+      << result.response;
+
+  // The connection is cached: a second call reuses it.
+  const call_result again = client.call("{\"op\":\"healthz\"}");
+  EXPECT_TRUE(again.ok());
+  EXPECT_EQ(server.stats().accepted, 1u);
+}
+
+TEST(retry_client_test, typed_retryable_error_recovers_after_backoff) {
+  // The first two responses are `overloaded` refusals; the third is ok.
+  std::atomic<int> calls{0};
+  net::line_server server(tiny_config(), [&calls](const std::string&) {
+    return ++calls <= 2
+               ? error_response(error_code::overloaded, "come back later")
+               : std::string("{\"ok\":true,\"value\":1}");
+  });
+  retry_policy policy;
+  policy.max_attempts = 4;
+  policy.backoff_base_ms = 1;
+  policy.backoff_max_ms = 2;
+  retry_client client(server.port(), policy);
+  const call_result result = client.call("{\"op\":\"healthz\"}");
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.attempts, 3);
+}
+
+TEST(retry_client_test, typed_retryable_error_exhausts_attempts) {
+  net::line_server server(tiny_config(), [](const std::string&) {
+    return error_response(error_code::shed, "always shedding");
+  });
+  retry_policy policy;
+  policy.max_attempts = 3;
+  policy.backoff_base_ms = 0;
+  policy.backoff_max_ms = 0;
+  retry_client client(server.port(), policy);
+  const call_result result = client.call("{\"op\":\"lm_estimate\"}");
+  EXPECT_EQ(result.status, call_status::server_error);
+  EXPECT_EQ(result.error_code, "shed");
+  EXPECT_EQ(result.attempts, 3);
+}
+
+TEST(retry_client_test, typed_final_error_does_not_retry) {
+  net::line_server server(tiny_config(), [](const std::string&) {
+    return error_response(error_code::internal_error, "boom");
+  });
+  retry_policy policy;
+  policy.max_attempts = 4;
+  retry_client client(server.port(), policy);
+  const call_result result = client.call("{\"op\":\"healthz\"}");
+  EXPECT_EQ(result.status, call_status::server_error);
+  EXPECT_EQ(result.error_code, "internal_error");
+  EXPECT_EQ(result.attempts, 1);
+}
+
+TEST(retry_client_test, timeout_retries_only_idempotent_requests) {
+  // A bare listener: the kernel completes the TCP handshake from the
+  // backlog and buffers our bytes, but no response ever comes.
+  const net::listen_socket listener = net::listen_loopback(0);
+  retry_policy policy;
+  policy.max_attempts = 2;
+  policy.attempt_timeout_ms = 80;
+  policy.backoff_base_ms = 0;
+  policy.backoff_max_ms = 0;
+
+  retry_client idempotent(listener.port, policy);
+  const call_result safe = idempotent.call("{\"op\":\"healthz\"}");
+  EXPECT_EQ(safe.status, call_status::timeout);
+  EXPECT_EQ(safe.attempts, 2);
+
+  retry_client cautious(listener.port, policy);
+  const call_result unsafe = cautious.call("{\"op\":\"mutate\"}");
+  EXPECT_EQ(unsafe.status, call_status::timeout);
+  EXPECT_EQ(unsafe.attempts, 1) << "ambiguous failure must not re-send";
+
+  // retry_nonidempotent opts back in.
+  retry_policy reckless = policy;
+  reckless.retry_nonidempotent = true;
+  retry_client opted_in(listener.port, reckless);
+  const call_result resent = opted_in.call("{\"op\":\"mutate\"}");
+  EXPECT_EQ(resent.status, call_status::timeout);
+  EXPECT_EQ(resent.attempts, 2);
+}
+
+TEST(retry_client_test, backoff_schedule_is_seeded_and_deterministic) {
+  retry_policy policy;
+  policy.max_attempts = 4;
+  policy.backoff_base_ms = 4;
+  policy.backoff_max_ms = 16;
+  policy.seed = 1234;
+  const std::uint16_t port = dead_port();
+
+  retry_client a(port, policy);
+  retry_client b(port, policy);
+  const call_result ra = a.call("{\"op\":\"healthz\"}");
+  const call_result rb = b.call("{\"op\":\"healthz\"}");
+  EXPECT_EQ(ra.status, call_status::connect_refused);
+  EXPECT_EQ(ra.attempts, 4);
+  EXPECT_EQ(ra.backoff_total_ms, rb.backoff_total_ms);
+}
+
+}  // namespace
+}  // namespace mcast::service

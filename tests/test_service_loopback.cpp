@@ -43,7 +43,7 @@ server_config service_config(std::size_t workers, std::size_t queue) {
   config.overload_response =
       error_response(error_code::overloaded, "connection queue full");
   config.overlong_response =
-      error_response(error_code::bad_request, "request line too long");
+      error_response(error_code::limit_exceeded, "request line too long");
   config.internal_error_response =
       error_response(error_code::internal_error, "handler failed");
   return config;
@@ -196,7 +196,7 @@ TEST(service_loopback, oversized_frame_gets_typed_error_then_close) {
   line_reader reader(conn.get(), 1 << 16);
   std::string line;
   ASSERT_EQ(reader.read_line(line, kReadTimeoutMs), line_reader::status::line);
-  EXPECT_NE(line.find("bad_request"), std::string::npos) << line;
+  EXPECT_NE(line.find("limit_exceeded"), std::string::npos) << line;
   // The server terminates the connection after an unreadable frame. A
   // close with unread bytes still in the socket buffer surfaces as RST on
   // loopback, so either a clean EOF or a reset counts.

@@ -4,8 +4,11 @@
 // signal is never lost. MCAST_LAB_BIN is injected by tests/CMakeLists.txt.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "net/socket.hpp"
@@ -30,9 +33,12 @@ std::uint16_t parse_port(const std::string& banner) {
 
 /// Starts `mcast_lab serve --port=0`, waits for the listening banner, and
 /// returns the process plus its bound port.
-spawned start_server(std::uint16_t& port) {
-  const spawned s =
-      spawn(MCAST_LAB_BIN, {"serve", "--port=0", "--threads=2", "--queue=8"});
+spawned start_server(std::uint16_t& port,
+                     const std::vector<std::string>& extra = {}) {
+  std::vector<std::string> argv = {"serve", "--port=0", "--threads=2",
+                                   "--queue=8"};
+  argv.insert(argv.end(), extra.begin(), extra.end());
+  const spawned s = spawn(MCAST_LAB_BIN, argv);
   EXPECT_GT(s.pid, 0);
   const std::string banner = read_until(s.stderr_fd, "listening on",
                                         std::chrono::milliseconds(15000));
@@ -76,6 +82,43 @@ TEST(service_shutdown, sigterm_drains_and_exits_zero) {
 
 TEST(service_shutdown, sigint_drains_and_exits_zero) {
   shutdown_contract(SIGINT);
+}
+
+TEST(service_shutdown, drain_deadline_force_closes_stragglers) {
+  std::uint16_t port = 0;
+  const spawned server = start_server(port, {"--drain-ms=300"});
+  ASSERT_NE(port, 0);
+
+  // Park a connection mid-request: a partial line whose bytes keep
+  // trickling, so neither idleness nor the line deadline ends it — only
+  // the drain deadline can.
+  net::unique_fd conn = net::connect_loopback(port);
+  ASSERT_TRUE(net::send_all(conn.get(), "{\"op\":\"healthz\""));
+  std::atomic<bool> stop{false};
+  std::thread trickler([&] {
+    while (!stop.load()) {
+      if (!net::send_all(conn.get(), "x")) return;  // server cut us off
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+  // Let a worker pick the connection up before the signal lands.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  const auto begun = std::chrono::steady_clock::now();
+  ASSERT_EQ(::kill(server.pid, SIGTERM), 0);
+  const run_result r = finish(server);
+  const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - begun)
+                           .count();
+  stop.store(true);
+  trickler.join();
+
+  EXPECT_EQ(r.term_signal, 0) << "killed by the signal instead of draining";
+  EXPECT_EQ(r.exit_code, 0) << "stderr:\n" << r.err;
+  EXPECT_LT(wall_ms, 10000) << "the drain deadline did not bound shutdown";
+  EXPECT_NE(r.err.find("force-closed"), std::string::npos) << r.err;
+  EXPECT_EQ(r.err.find(" 0 force-closed"), std::string::npos)
+      << "expected at least one forced close:\n" << r.err;
 }
 
 TEST(service_shutdown, refuses_new_connections_after_drain) {
