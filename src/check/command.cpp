@@ -1,0 +1,195 @@
+#include "check/command.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "check/eval.hpp"
+#include "check/perf_gate.hpp"
+#include "check/spec.hpp"
+#include "check/trace_check.hpp"
+#include "common/json.hpp"
+
+namespace mcast::check {
+
+namespace {
+
+struct check_args {
+  std::string manifest_path;
+  std::string expect_path;
+  std::string trace_path;     // optional
+  std::string baseline_path;  // optional
+  std::string report_path;    // optional
+};
+
+[[noreturn]] void usage_error(const std::string& message) {
+  throw std::invalid_argument(message);
+}
+
+check_args parse_args(const std::vector<std::string>& args) {
+  check_args out;
+  const auto value_of = [&args](std::size_t& i,
+                                const std::string& flag) -> std::string {
+    const std::string& arg = args[i];
+    if (arg.size() > flag.size() && arg.compare(0, flag.size(), flag) == 0 &&
+        arg[flag.size()] == '=') {
+      return arg.substr(flag.size() + 1);
+    }
+    if (i + 1 >= args.size()) usage_error("check: " + flag + " needs a value");
+    return args[++i];
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto is_flag = [&arg](const char* flag) {
+      return arg == flag || arg.rfind(std::string(flag) + "=", 0) == 0;
+    };
+    if (is_flag("--manifest")) {
+      out.manifest_path = value_of(i, "--manifest");
+    } else if (is_flag("--expect")) {
+      out.expect_path = value_of(i, "--expect");
+    } else if (is_flag("--trace")) {
+      out.trace_path = value_of(i, "--trace");
+    } else if (is_flag("--baseline")) {
+      out.baseline_path = value_of(i, "--baseline");
+    } else if (is_flag("--report")) {
+      out.report_path = value_of(i, "--report");
+    } else {
+      usage_error("check: unknown argument '" + arg + "'");
+    }
+  }
+  if (out.manifest_path.empty()) usage_error("check: --manifest is required");
+  if (out.expect_path.empty()) usage_error("check: --expect is required");
+  return out;
+}
+
+// Loads and parses a JSON artifact; failures become spec-error exits.
+json::value load_json(const std::string& path, const char* what) {
+  std::ifstream in(path);
+  if (!in) {
+    throw spec_error(std::string(what) + " '" + path + "': cannot open");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    return json::parse(text.str());
+  } catch (const std::exception& e) {
+    throw spec_error(std::string(what) + " '" + path + "': " + e.what());
+  }
+}
+
+json::value report_to_json(std::size_t rules,
+                           const std::vector<violation>& violations,
+                           const std::vector<gate_result>& gates) {
+  json::value doc = json::value::object();
+  doc.set("schema", json::value::string(report_schema));
+  doc.set("pass", json::value::boolean(violations.empty()));
+  doc.set("rules", json::value::number(static_cast<double>(rules)));
+  json::value vio = json::value::array();
+  for (const violation& v : violations) {
+    json::value entry = json::value::object();
+    entry.set("line", json::value::number(v.line));
+    entry.set("rule", json::value::string(v.rule));
+    entry.set("message", json::value::string(v.message));
+    vio.push(std::move(entry));
+  }
+  doc.set("violations", std::move(vio));
+  json::value gs = json::value::array();
+  for (const gate_result& g : gates) {
+    json::value entry = json::value::object();
+    entry.set("metric", json::value::string(g.metric));
+    entry.set("status", json::value::string(g.status));
+    entry.set("direction", json::value::string(
+                               g.higher_better ? "higher_better"
+                                               : "lower_better"));
+    entry.set("tolerance", json::value::number(g.tolerance));
+    entry.set("baseline", json::value::number(g.baseline));
+    entry.set("current", json::value::number(g.current));
+    gs.push(std::move(entry));
+  }
+  doc.set("gates", std::move(gs));
+  return doc;
+}
+
+}  // namespace
+
+int run_check(const std::vector<std::string>& args) {
+  const check_args a = parse_args(args);
+  spec s;
+  json::value manifest;
+  parsed_trace trace;
+  json::value baseline;
+  try {
+    s = parse_spec_file(a.expect_path);
+    if (s.needs_trace() && a.trace_path.empty()) {
+      throw spec_error(a.expect_path +
+                       ": spec has span/trace rules but no --trace was "
+                       "given");
+    }
+    if (s.needs_baseline() && a.baseline_path.empty()) {
+      throw spec_error(a.expect_path +
+                       ": spec has gate rules but no --baseline was given");
+    }
+    manifest = load_json(a.manifest_path, "manifest");
+    if (!a.trace_path.empty()) {
+      try {
+        trace = parse_trace(load_json(a.trace_path, "trace"));
+      } catch (const std::invalid_argument& e) {
+        throw spec_error("trace '" + a.trace_path + "': " + e.what());
+      }
+    }
+    if (!a.baseline_path.empty()) {
+      baseline = load_json(a.baseline_path, "baseline");
+    }
+  } catch (const spec_error& e) {
+    std::cerr << "mcast_lab check: " << e.what() << "\n";
+    return exit_spec_error;
+  }
+
+  std::vector<violation> violations = eval_manifest_rules(s, manifest);
+  if (!a.trace_path.empty()) {
+    std::vector<violation> tv = eval_trace_rules(s, trace);
+    violations.insert(violations.end(), tv.begin(), tv.end());
+  }
+  std::vector<gate_result> gates;
+  if (!a.baseline_path.empty()) {
+    gates = eval_gates(s, baseline, manifest);
+    std::vector<violation> gv = gate_violations(gates);
+    violations.insert(violations.end(), gv.begin(), gv.end());
+  }
+
+  for (const violation& v : violations) {
+    std::cout << a.expect_path << ":" << v.line << ": FAIL " << v.rule
+              << "\n    " << v.message << "\n";
+  }
+  for (const gate_result& g : gates) {
+    if (g.status == "new") {
+      std::cout << a.expect_path << ":" << g.line << ": note: " << g.metric
+                << " has no baseline yet (passes until the baseline is "
+                   "refreshed)\n";
+    }
+  }
+  std::cout << "check: " << s.rules.size() << " rule(s), "
+            << violations.size() << " violation(s): "
+            << (violations.empty() ? "pass" : "FAIL") << "\n";
+
+  if (!a.report_path.empty()) {
+    const json::value report =
+        report_to_json(s.rules.size(), violations, gates);
+    std::ofstream out(a.report_path, std::ios::trunc);
+    if (!out) {
+      std::cerr << "mcast_lab check: cannot open report '" << a.report_path
+                << "' for writing\n";
+      return exit_spec_error;
+    }
+    out << json::dump(report) << "\n";
+    if (!out) {
+      std::cerr << "mcast_lab check: write to '" << a.report_path
+                << "' failed\n";
+      return exit_spec_error;
+    }
+  }
+  return violations.empty() ? exit_ok : exit_violations;
+}
+
+}  // namespace mcast::check

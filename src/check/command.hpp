@@ -1,0 +1,30 @@
+// The `mcast_lab check` verb: load an expectation spec, evaluate it
+// against a run manifest (and optionally a Chrome trace and a perf
+// baseline), print the violations, and write a machine-readable report.
+//
+// Exit codes (distinct per failure class, so CI can tell a broken spec
+// from a broken system under test):
+//   0 — every expectation holds
+//   1 — usage error (thrown as std::invalid_argument; the lab CLI maps
+//       those to exit 1 like every other verb)
+//   2 — spec/input error: unparseable expectation file, unreadable or
+//       malformed manifest/trace/baseline, or a spec that needs an
+//       artifact (--trace / --baseline) that was not supplied
+//   3 — one or more expectations violated
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mcast::check {
+
+inline constexpr int exit_ok = 0;
+inline constexpr int exit_spec_error = 2;
+inline constexpr int exit_violations = 3;
+
+inline constexpr const char* report_schema = "mcast-check-report/1";
+
+/// Runs `check` with the verb's arguments (everything after "check").
+int run_check(const std::vector<std::string>& args);
+
+}  // namespace mcast::check

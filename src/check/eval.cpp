@@ -1,0 +1,198 @@
+#include "check/eval.hpp"
+
+#include <cstdio>
+
+namespace mcast::check {
+
+namespace {
+
+// %.17g matches the manifest serializer, so quoted values round-trip.
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+const json::value* object_member(const json::value& doc, const char* a,
+                                 const char* b, const std::string& name) {
+  const json::value* section = doc.get(a);
+  if (section == nullptr) return nullptr;
+  if (b != nullptr) {
+    section = section->get(b);
+    if (section == nullptr) return nullptr;
+  }
+  return section->get(name);
+}
+
+}  // namespace
+
+bool resolve_metric(const json::value& manifest, const std::string& path,
+                    double& out, std::string& why) {
+  const auto starts = [&path](const char* prefix) {
+    return path.rfind(prefix, 0) == 0;
+  };
+  const json::value* v = nullptr;
+  if (starts("counter.")) {
+    v = object_member(manifest, "metrics", "counters", path.substr(8));
+  } else if (starts("gauge.")) {
+    v = object_member(manifest, "metrics", "gauges", path.substr(6));
+  } else if (starts("hist.")) {
+    const std::string rest = path.substr(5);
+    const std::size_t dot = rest.rfind('.');
+    const json::value* hist =
+        object_member(manifest, "metrics", "histograms", rest.substr(0, dot));
+    if (hist != nullptr) v = hist->get(rest.substr(dot + 1));
+  } else if (starts("derived.")) {
+    v = object_member(manifest, "metrics", "derived", path.substr(8));
+  } else if (starts("fit.")) {
+    const std::string rest = path.substr(4);
+    const std::size_t dot = rest.rfind('.');
+    const std::string label = rest.substr(0, dot);
+    const std::string key = rest.substr(dot + 1);
+    const json::value* fits = manifest.get("fits");
+    if (fits == nullptr || !fits->is(json::value::kind::array)) {
+      why = "manifest has no 'fits' array";
+      return false;
+    }
+    const json::value* match = nullptr;
+    for (const json::value& fit : fits->items()) {
+      const json::value* l = fit.get("label");
+      if (l != nullptr && l->is(json::value::kind::string) &&
+          l->as_string() == label) {
+        match = &fit;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      why = "no fit labeled '" + label + "' in manifest";
+      return false;
+    }
+    const json::value* values = match->get("values");
+    if (values != nullptr) v = values->get(key);
+    if (v == nullptr) {
+      why = "fit '" + label + "' has no value '" + key + "'";
+      return false;
+    }
+  } else {
+    v = manifest.get(path);  // wall_seconds / cpu_seconds / scale / threads
+  }
+  if (v == nullptr) {
+    why = "metric '" + path + "' not present in manifest";
+    return false;
+  }
+  if (!v->is(json::value::kind::number)) {
+    why = "metric '" + path + "' is not a number in the manifest";
+    return false;
+  }
+  out = v->as_number();
+  return true;
+}
+
+namespace {
+
+// Sums an expression; appends "name=value" renderings so violation
+// messages show every input. Returns false (with `why`) on a missing
+// metric.
+bool eval_expr(const json::value& manifest, const expr& e, double& out,
+               std::string& detail, std::string& why) {
+  double sum = 0.0;
+  for (const term& t : e.terms) {
+    double v = t.literal;
+    if (!t.is_literal && !resolve_metric(manifest, t.metric, v, why)) {
+      return false;
+    }
+    if (!t.is_literal) {
+      if (!detail.empty()) detail += ", ";
+      detail += t.metric + "=" + fmt(v);
+    }
+    sum += t.sign * v;
+  }
+  out = sum;
+  return true;
+}
+
+bool has_group(const json::value& manifest, const std::string& name) {
+  const json::value* groups = manifest.get("metric_groups");
+  if (groups == nullptr || !groups->is(json::value::kind::array)) {
+    return false;
+  }
+  for (const json::value& g : groups->items()) {
+    if (g.is(json::value::kind::string) && g.as_string() == name) return true;
+  }
+  return false;
+}
+
+bool has_fit(const json::value& manifest, const std::string& label) {
+  const json::value* fits = manifest.get("fits");
+  if (fits == nullptr || !fits->is(json::value::kind::array)) return false;
+  for (const json::value& fit : fits->items()) {
+    const json::value* l = fit.get("label");
+    if (l != nullptr && l->is(json::value::kind::string) &&
+        l->as_string() == label) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<violation> eval_manifest_rules(const spec& s,
+                                           const json::value& manifest) {
+  std::vector<violation> out;
+  const auto violate = [&out](const rule& r, std::string message) {
+    out.push_back({r.line, r.source, std::move(message)});
+  };
+  for (const rule& r : s.rules) {
+    switch (r.kind) {
+      case rule_kind::assert_cmp: {
+        double lhs = 0.0, rhs = 0.0;
+        std::string detail, why;
+        if (!eval_expr(manifest, r.lhs, lhs, detail, why) ||
+            !eval_expr(manifest, r.rhs, rhs, detail, why)) {
+          violate(r, why);
+          break;
+        }
+        if (!cmp_eval(lhs, r.op, rhs)) {
+          violate(r, "assert failed: " + fmt(lhs) + " " + cmp_name(r.op) +
+                         " " + fmt(rhs) + " is false (" + detail + ")");
+        }
+        break;
+      }
+      case rule_kind::range: {
+        double v = 0.0;
+        std::string why;
+        if (!resolve_metric(manifest, r.metric, v, why)) {
+          violate(r, why);
+          break;
+        }
+        if (v < r.lo || v > r.hi) {
+          violate(r, r.metric + " = " + fmt(v) + " outside [" + fmt(r.lo) +
+                         ", " + fmt(r.hi) + "]");
+        }
+        break;
+      }
+      case rule_kind::present_group:
+        if (!has_group(manifest, r.name)) {
+          violate(r, "metric group '" + r.name + "' not declared");
+        }
+        break;
+      case rule_kind::absent_group:
+        if (has_group(manifest, r.name)) {
+          violate(r, "metric group '" + r.name +
+                         "' declared but expected absent");
+        }
+        break;
+      case rule_kind::present_fit:
+        if (!has_fit(manifest, r.name)) {
+          violate(r, "no fit labeled '" + r.name + "'");
+        }
+        break;
+      default:
+        break;  // trace / gate rules evaluate elsewhere
+    }
+  }
+  return out;
+}
+
+}  // namespace mcast::check

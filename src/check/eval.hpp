@@ -1,0 +1,43 @@
+// Evaluation of manifest-scoped expectation rules (assert / range /
+// present / absent) against a parsed BENCH_<id>.json document.
+//
+// Metric paths resolve into the manifest/2 layout:
+//   counter.<name>   -> metrics.counters.<name>
+//   gauge.<name>     -> metrics.gauges.<name>
+//   hist.<name>.<f>  -> metrics.histograms.<name>.<f>
+//   derived.<name>   -> metrics.derived.<name>
+//   fit.<label>.<k>  -> fits[label == <label>].values.<k>
+//   wall_seconds, cpu_seconds, scale, threads -> top level
+//
+// A metric a rule names but the manifest lacks is a *violation*, not a
+// spec error: the spec already passed the closed-universe name check at
+// parse time, so absence here means the artifact is broken (e.g. an
+// experiment stopped emitting a fit).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/spec.hpp"
+#include "common/json.hpp"
+
+namespace mcast::check {
+
+/// One violated expectation, with enough context to act on.
+struct violation {
+  int line = 0;         ///< spec line the rule came from
+  std::string rule;     ///< directive text, verbatim
+  std::string message;  ///< what failed, with the observed values
+};
+
+/// Resolves a metric path. Returns true and sets `out`; on failure sets
+/// `why` (e.g. "no fit labeled 'SvcLoad'").
+bool resolve_metric(const json::value& manifest, const std::string& path,
+                    double& out, std::string& why);
+
+/// Evaluates every manifest-scoped rule in `s` (trace and gate rules are
+/// skipped here; see trace_check.hpp / perf_gate.hpp).
+std::vector<violation> eval_manifest_rules(const spec& s,
+                                           const json::value& manifest);
+
+}  // namespace mcast::check

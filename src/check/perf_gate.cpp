@@ -1,0 +1,71 @@
+#include "check/perf_gate.hpp"
+
+#include <cstdio>
+
+namespace mcast::check {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<gate_result> eval_gates(const spec& s,
+                                    const json::value& baseline,
+                                    const json::value& current) {
+  std::vector<gate_result> out;
+  for (const rule& r : s.rules) {
+    if (r.kind != rule_kind::gate) continue;
+    gate_result g;
+    g.line = r.line;
+    g.rule = r.source;
+    g.metric = r.metric;
+    g.higher_better = r.higher_better;
+    g.tolerance = r.number;
+    std::string why;
+    if (!resolve_metric(current, r.metric, g.current, why)) {
+      g.status = "missing";
+      out.push_back(std::move(g));
+      continue;
+    }
+    if (!resolve_metric(baseline, r.metric, g.baseline, why)) {
+      g.status = "new";
+      out.push_back(std::move(g));
+      continue;
+    }
+    const bool regressed =
+        g.higher_better ? g.current < g.baseline * (1.0 - g.tolerance)
+                        : g.current > g.baseline * (1.0 + g.tolerance);
+    g.status = regressed ? "regression" : "ok";
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+std::vector<violation> gate_violations(const std::vector<gate_result>& gates) {
+  std::vector<violation> out;
+  for (const gate_result& g : gates) {
+    if (g.status == "regression") {
+      const double bound = g.higher_better
+                               ? g.baseline * (1.0 - g.tolerance)
+                               : g.baseline * (1.0 + g.tolerance);
+      out.push_back(
+          {g.line, g.rule,
+           g.metric + " regressed: current " + fmt(g.current) + " vs " +
+               "baseline " + fmt(g.baseline) + " (" +
+               (g.higher_better ? "must stay >= " : "must stay <= ") +
+               fmt(bound) + " at tolerance " + fmt(g.tolerance) + ")"});
+    } else if (g.status == "missing") {
+      out.push_back({g.line, g.rule,
+                     g.metric +
+                         " is gated but missing from the current manifest"});
+    }
+  }
+  return out;
+}
+
+}  // namespace mcast::check

@@ -1,0 +1,45 @@
+// Perf-trajectory gate: diffs the current BENCH_<id>.json against a
+// committed baseline manifest, metric by metric, with per-metric relative
+// tolerances declared by `gate` rules.
+//
+// Semantics per gate rule `gate <metric> <direction> <tol>`:
+//   higher_better — fail when current < baseline * (1 - tol)
+//   lower_better  — fail when current > baseline * (1 + tol)
+//
+// Absence handling is asymmetric by design:
+//   * metric missing from the *current* manifest -> "missing" (fail): a
+//     benchmark silently dropping a metric is exactly the regression
+//     class this gate exists to catch;
+//   * metric missing from the *baseline* -> "new" (pass): adding a metric
+//     must not break CI until the baseline is refreshed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/eval.hpp"
+#include "check/spec.hpp"
+#include "common/json.hpp"
+
+namespace mcast::check {
+
+struct gate_result {
+  int line = 0;
+  std::string rule;         ///< directive text, verbatim
+  std::string metric;
+  std::string status;       ///< "ok" | "regression" | "missing" | "new"
+  bool higher_better = true;
+  double tolerance = 0.0;
+  double baseline = 0.0;    ///< 0 when status == "new"
+  double current = 0.0;     ///< 0 when status == "missing"
+};
+
+/// Evaluates every gate rule; one result per rule, in spec order.
+std::vector<gate_result> eval_gates(const spec& s,
+                                    const json::value& baseline,
+                                    const json::value& current);
+
+/// Gate failures rendered as violations (status "regression"/"missing").
+std::vector<violation> gate_violations(const std::vector<gate_result>& gates);
+
+}  // namespace mcast::check

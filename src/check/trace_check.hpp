@@ -1,0 +1,54 @@
+// Chrome-trace validation: parses the `mcast_lab run --profile` output
+// (trace_event JSON) and evaluates the span rules of an expectation spec.
+//
+// Checks available through the spec grammar:
+//   span <child> within <parent>  — every child span is enclosed in time
+//       by some parent span (cross-lane: the scheduler's sweep_point
+//       spans live on worker lanes while experiment:* lives on the main
+//       lane, so enclosure is a wall-clock property, not a stack one);
+//   span <glob> budget_ms <B>     — per-span duration budget;
+//   span <glob> count <cmp> <N>   — population assertions;
+//   trace dropped <cmp> <N>       — ring-buffer overwrite limit;
+//   trace nested                  — per-lane structural check: two spans
+//       on one lane must nest or be disjoint. RAII spans can never
+//       partially overlap on their own thread, so a partial overlap is
+//       evidence of clock trouble or ring truncation splitting a scope.
+//
+// parse_trace is strict: a malformed event (wrong type, missing field)
+// throws std::invalid_argument naming the index — the spec-error exit
+// path of `mcast_lab check`, mirroring tools/trace_summary.py.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/eval.hpp"
+#include "check/spec.hpp"
+#include "common/json.hpp"
+
+namespace mcast::check {
+
+/// One complete ("ph": "X") event. Times are microseconds, as serialized.
+struct span_event {
+  std::string name;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  std::uint32_t tid = 0;
+};
+
+struct parsed_trace {
+  std::vector<span_event> spans;  ///< "X" events, file order
+  std::size_t events = 0;         ///< all events, any phase
+  std::uint64_t dropped = 0;      ///< otherData.dropped
+};
+
+/// Parses a trace_event document ({"traceEvents": [...]} or a bare
+/// array). Throws std::invalid_argument on a malformed event.
+parsed_trace parse_trace(const json::value& doc);
+
+/// Evaluates every trace-scoped rule in `s`.
+std::vector<violation> eval_trace_rules(const spec& s,
+                                        const parsed_trace& trace);
+
+}  // namespace mcast::check

@@ -11,6 +11,7 @@
 #include <system_error>
 #include <vector>
 
+#include "check/command.hpp"
 #include "lab/engine.hpp"
 #include "lab/manifest.hpp"
 #include "lab/registry.hpp"
@@ -32,6 +33,12 @@ void usage(std::ostream& out) {
          "  describe <id>            show claim, parameters, metric groups\n"
          "  run <id> | run --all     run experiments\n"
          "  validate <dir>           schema-check BENCH_*.json manifests\n"
+         "  check --manifest F --expect F [--trace F] [--baseline F]\n"
+         "         [--report F]      evaluate a declarative expectation\n"
+         "                           spec (docs/expectations.md) against a\n"
+         "                           run manifest, Chrome trace and perf\n"
+         "                           baseline; exit 0 pass, 2 spec error,\n"
+         "                           3 expectations violated\n"
          "  serve [--port=N] [--threads=K] [--queue=N] [--max-line=B]\n"
          "         [--metrics-summary] [--profile=FILE]\n"
          "                           run the line-JSON query service until\n"
@@ -347,6 +354,7 @@ int run_cli(const registry& reg, int argc, char** argv) {
     }
     if (command == "run") return cmd_run(reg, rest);
     if (command == "validate") return cmd_validate(rest);
+    if (command == "check") return check::run_check(rest);
     if (command == "serve") return service::run_serve(rest);
     if (command == "query") return service::run_query(rest);
     die("unknown command '" + command + "'");

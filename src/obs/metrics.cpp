@@ -35,6 +35,34 @@ const char* histogram_name(histogram h) noexcept {
   return k_histogram_names[static_cast<std::size_t>(h)];
 }
 
+namespace {
+
+// Linear scan: the tables are small and lookups happen at spec-parse
+// time, never on a hot path.
+template <typename Enum, std::size_t N>
+bool enum_from_name(const char* const (&names)[N], const std::string& name,
+                    Enum& out) noexcept {
+  for (std::size_t i = 0; i < N; ++i) {
+    if (name == names[i]) {
+      out = static_cast<Enum>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool counter_from_name(const std::string& name, counter& out) noexcept {
+  return enum_from_name(k_counter_names, name, out);
+}
+bool gauge_from_name(const std::string& name, gauge& out) noexcept {
+  return enum_from_name(k_gauge_names, name, out);
+}
+bool histogram_from_name(const std::string& name, histogram& out) noexcept {
+  return enum_from_name(k_histogram_names, name, out);
+}
+
 double spt_cache_hit_rate(const metrics_snapshot& s) noexcept {
   const double hits = static_cast<double>(s.at(counter::spt_cache_hits));
   const double total = hits + static_cast<double>(s.at(counter::spt_cache_misses));

@@ -122,6 +122,14 @@ const char* counter_name(counter c) noexcept;
 const char* gauge_name(gauge g) noexcept;
 const char* histogram_name(histogram h) noexcept;
 
+/// Reverse lookups by dotted name; return false when the name is not a
+/// registered metric. The name tables compile even under
+/// MCAST_OBS_DISABLED, so spec validation (src/check) works identically
+/// in a no-obs build.
+bool counter_from_name(const std::string& name, counter& out) noexcept;
+bool gauge_from_name(const std::string& name, gauge& out) noexcept;
+bool histogram_from_name(const std::string& name, histogram& out) noexcept;
+
 /// Histogram values are bucketed by bit width: bucket 0 holds the value 0,
 /// bucket b >= 1 holds [2^(b-1), 2^b - 1] (the last bucket tops out at
 /// uint64 max). 65 buckets cover all of uint64.

@@ -3,8 +3,15 @@
 --profile=<out.json>`: the top spans by cumulative duration, with call
 counts and mean/max per call. Standard library only.
 
+Malformed events (not an object, missing "ph", or a complete event with a
+bad name/dur) are counted and reported, and their presence makes the exit
+code non-zero: a half-written trace must fail CI, not quietly summarize
+whatever survived. `mcast_lab check` applies the same rule in-process.
+
 Usage:
     tools/trace_summary.py trace.json [--top N]
+
+Exit codes: 0 clean, 1 malformed events skipped, 2 unreadable input.
 """
 
 import argparse
@@ -20,22 +27,39 @@ def load_events(path):
         dropped = doc.get("otherData", {}).get("dropped", 0)
     else:  # bare-array variant of the format
         events, dropped = doc, 0
+    if not isinstance(events, list):
+        raise ValueError("traceEvents is not an array")
     return events, dropped
 
 
 def summarize(events):
-    """Aggregate complete ("ph": "X") events by span name."""
+    """Aggregate complete ("ph": "X") events by span name.
+
+    Returns (spans, skipped): `skipped` counts malformed records —
+    non-object events, events with no "ph", and complete events whose
+    name/dur fields are missing or mistyped. Events of other phases are
+    valid trace_event records and are not counted as malformed.
+    """
     spans = {}
+    skipped = 0
     for e in events:
-        if e.get("ph") != "X":
+        if not isinstance(e, dict) or not isinstance(e.get("ph"), str):
+            skipped += 1
             continue
-        name = e.get("name", "?")
-        dur = float(e.get("dur", 0.0))  # microseconds
+        if e["ph"] != "X":
+            continue
+        name = e.get("name")
+        dur = e.get("dur")
+        if not isinstance(name, str) or isinstance(dur, bool) or \
+                not isinstance(dur, (int, float)):
+            skipped += 1
+            continue
+        dur = float(dur)  # microseconds
         agg = spans.setdefault(name, {"count": 0, "total_us": 0.0, "max_us": 0.0})
         agg["count"] += 1
         agg["total_us"] += dur
         agg["max_us"] = max(agg["max_us"], dur)
-    return spans
+    return spans, skipped
 
 
 def fmt_us(us):
@@ -59,22 +83,27 @@ def main(argv=None):
         print("trace_summary: %s" % err, file=sys.stderr)
         return 2
 
-    spans = summarize(events)
-    if not spans:
+    spans, skipped = summarize(events)
+    if spans:
+        rows = sorted(spans.items(), key=lambda kv: kv[1]["total_us"],
+                      reverse=True)
+        name_w = max(len("span"), max(len(n) for n, _ in rows[: args.top]))
+        print("top %d spans by cumulative time (%d events, %d dropped):"
+              % (min(args.top, len(rows)), len(events), dropped))
+        print("%-*s  %10s  %8s  %10s  %10s" % (name_w, "span", "total", "count",
+                                               "mean", "max"))
+        for name, agg in rows[: args.top]:
+            mean = agg["total_us"] / agg["count"]
+            print("%-*s  %10s  %8d  %10s  %10s"
+                  % (name_w, name, fmt_us(agg["total_us"]), agg["count"],
+                     fmt_us(mean), fmt_us(agg["max_us"])))
+    else:
         print("trace_summary: no complete spans in %s" % args.trace)
-        return 0
 
-    rows = sorted(spans.items(), key=lambda kv: kv[1]["total_us"], reverse=True)
-    name_w = max(len("span"), max(len(n) for n, _ in rows[: args.top]))
-    print("top %d spans by cumulative time (%d events, %d dropped):"
-          % (min(args.top, len(rows)), len(events), dropped))
-    print("%-*s  %10s  %8s  %10s  %10s" % (name_w, "span", "total", "count",
-                                           "mean", "max"))
-    for name, agg in rows[: args.top]:
-        mean = agg["total_us"] / agg["count"]
-        print("%-*s  %10s  %8d  %10s  %10s"
-              % (name_w, name, fmt_us(agg["total_us"]), agg["count"],
-                 fmt_us(mean), fmt_us(agg["max_us"])))
+    if skipped:
+        print("trace_summary: %d malformed event record(s) skipped"
+              % skipped, file=sys.stderr)
+        return 1
     return 0
 
 
