@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <ctime>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <stdexcept>
@@ -43,6 +44,8 @@
 #include "service/client.hpp"
 #include "service/protocol.hpp"
 #include "service/query_service.hpp"
+#include "service/shard_router.hpp"
+#include "topo/cache.hpp"
 
 namespace {
 
@@ -62,6 +65,9 @@ using mcast::service::query_service;
 using mcast::service::retry_client;
 using mcast::service::retry_policy;
 using mcast::service::shed_policy;
+using mcast::service::sharded_config;
+using mcast::service::sharded_service;
+using mcast::topology_key;
 
 using clock_type = std::chrono::steady_clock;
 
@@ -77,6 +83,7 @@ struct options {
   bool overload_probe = true;
   std::string chaos;              // chaos spec; non-empty switches modes
   double min_goodput_ratio = 0.7; // chaos mode failure threshold
+  std::size_t shards = 0;         // >0 switches to the sharded-core harness
 };
 
 [[noreturn]] void die(const std::string& message) {
@@ -134,6 +141,9 @@ options parse_options(int argc, char** argv) {
     } else if (arg.rfind("--chaos=", 0) == 0) {
       opt.chaos = value_of("--chaos");
       if (opt.chaos.empty()) die("--chaos= needs a spec (try --chaos=default)");
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      opt.shards = parse_u64_flag(value_of("--shards"), "--shards");
+      if (opt.shards == 0 || opt.shards > 64) die("--shards must be in 1..64");
     } else if (arg.rfind("--min-goodput-ratio=", 0) == 0) {
       const std::string text = value_of("--min-goodput-ratio");
       std::size_t used = 0;
@@ -175,11 +185,33 @@ std::string make_request(std::uint64_t seed, std::size_t conn, std::size_t i) {
   }
 }
 
+/// Which latency bucket request i of the deterministic mix lands in
+/// (mirrors make_request's switch). healthz pings are pooled-only.
+enum class op_bucket { lmhat = 0, estimate = 1, reachability = 2, other = 3 };
+
+op_bucket bucket_of(std::size_t i) {
+  switch (i % 8) {
+    case 3: return op_bucket::estimate;
+    case 6: return op_bucket::other;
+    case 1:
+    case 5: return op_bucket::reachability;
+    default: return op_bucket::lmhat;
+  }
+}
+
 struct phase_result {
   std::vector<double> latencies_ms;  // one per completed request
+  std::vector<double> by_op_ms[3];   // lmhat / estimate / reachability splits
   std::uint64_t errors = 0;          // ok:false responses
   std::uint64_t lost = 0;            // requests without a response
   double wall_seconds = 0.0;
+};
+
+struct op_percentiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  std::size_t count = 0;
 };
 
 /// One connection's open-loop run: the writer fires requests at scheduled
@@ -218,6 +250,10 @@ void run_connection(std::uint16_t port, const options& opt, std::size_t conn,
         std::chrono::duration<double, std::milli>(clock_type::now() - sent[i])
             .count();
     out.latencies_ms.push_back(ms);
+    const op_bucket bucket = bucket_of(i);
+    if (bucket != op_bucket::other) {
+      out.by_op_ms[static_cast<std::size_t>(bucket)].push_back(ms);
+    }
     if (line.find("\"ok\":true") == std::string::npos) ++out.errors;
   }
   writer.join();
@@ -241,6 +277,10 @@ phase_result run_phase(std::uint16_t port, const options& opt) {
   for (const phase_result& r : per_conn) {
     total.latencies_ms.insert(total.latencies_ms.end(), r.latencies_ms.begin(),
                               r.latencies_ms.end());
+    for (std::size_t b = 0; b < 3; ++b) {
+      total.by_op_ms[b].insert(total.by_op_ms[b].end(), r.by_op_ms[b].begin(),
+                               r.by_op_ms[b].end());
+    }
     total.errors += r.errors;
     total.lost += r.lost;
   }
@@ -253,6 +293,31 @@ double percentile(std::vector<double>& sorted, double q) {
   const std::size_t rank = static_cast<std::size_t>(
       q * static_cast<double>(sorted.size() - 1) + 0.5);
   return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+op_percentiles summarize(std::vector<double>& sample) {
+  std::sort(sample.begin(), sample.end());
+  op_percentiles out;
+  out.p50 = percentile(sample, 0.50);
+  out.p95 = percentile(sample, 0.95);
+  out.p99 = percentile(sample, 0.99);
+  out.count = sample.size();
+  return out;
+}
+
+/// Adds the lmhat/estimate/reachability splits to a fit's value list and
+/// prints the one-line breakdown (shared by the flat and sharded modes).
+void report_op_breakdown(phase_result& measured, mcast::lab::fit_entry& fit) {
+  static const char* const names[3] = {"lmhat", "estimate", "reachability"};
+  for (std::size_t b = 0; b < 3; ++b) {
+    const op_percentiles ps = summarize(measured.by_op_ms[b]);
+    std::printf("  %-12s p50=%.3f p95=%.3f p99=%.3f ms (%zu samples)\n",
+                names[b], ps.p50, ps.p95, ps.p99, ps.count);
+    const std::string prefix = names[b];
+    fit.values.push_back({prefix + "_p50_ms", ps.p50});
+    fit.values.push_back({prefix + "_p95_ms", ps.p95});
+    fit.values.push_back({prefix + "_p99_ms", ps.p99});
+  }
 }
 
 server_config typed_config(std::size_t workers, std::size_t queue) {
@@ -271,12 +336,13 @@ server_config typed_config(std::size_t workers, std::size_t queue) {
 
 /// Holds a workers=1/queue=1 server busy with a slow Monte-Carlo request
 /// and burst-connects it; returns how many typed `overloaded` rejections
-/// the burst collected (the admission-control rate under saturation).
-std::uint64_t overload_probe(std::uint64_t seed) {
-  auto svc = std::make_shared<query_service>();
-  line_server tiny(typed_config(1, 1), [svc](const std::string& line) {
-    return svc->handle(line);
-  });
+/// the burst collected (the admission-control rate under saturation). The
+/// handler is whichever service core (flat or sharded) is under test.
+std::uint64_t overload_probe(
+    std::uint64_t seed,
+    const std::function<std::string(const std::string&)>& handle) {
+  line_server tiny(typed_config(1, 1),
+                   [&handle](const std::string& line) { return handle(line); });
 
   // Occupy the single worker with a deliberately heavy request.
   unique_fd busy = connect_loopback(tiny.port());
@@ -312,6 +378,224 @@ std::uint64_t overload_probe(std::uint64_t seed) {
   tiny.shutdown();
   tiny.wait();
   return rejected;
+}
+
+// --- sharded mode ------------------------------------------------------
+//
+// `--shards=N` swaps the flat query_service for the consistent-hash
+// sharded core (service/shard_router.hpp) and adds two probes on top of
+// the usual open-loop phases: a byte-identity check (the same request
+// lines through an N-shard core, a 1-shard core and the flat service must
+// produce identical bytes — the scatter/gather splice contract), and a
+// 1-shard reference run so the manifest reports the measured scaling
+// factor honestly for whatever core count the host actually has.
+
+std::shared_ptr<sharded_service> make_sharded(std::size_t shards) {
+  sharded_config config;
+  config.shards = shards;
+  auto svc = std::make_shared<sharded_service>(config);
+  topology_key arpa;
+  arpa.name = "ARPA";
+  arpa.seed = 7;  // the protocol's topology_seed default, as the mix uses
+  svc->warm({arpa});
+  return svc;
+}
+
+/// Replays a fixed request set — single ops, a scattered multi-source
+/// lm_estimate and a batch envelope with a failing slot — through an
+/// N-shard core, a 1-shard core and the flat query_service; any byte
+/// difference is a splice-contract violation.
+bool identity_probe(std::size_t shards, std::uint64_t seed) {
+  const std::vector<std::string> lines = {
+      "{\"op\":\"lmhat\",\"k\":3,\"depth\":4,\"n\":[1,10,100],\"id\":\"p0\"}",
+      "{\"op\":\"reachability\",\"topology\":\"ARPA\",\"source\":5,"
+      "\"id\":\"p1\"}",
+      "{\"op\":\"lm_estimate\",\"topology\":\"ARPA\",\"group_sizes\":"
+      "[2,4,8,16],\"sources\":8,\"receiver_sets\":4,\"seed\":" +
+          std::to_string(1 + seed % 997) + ",\"id\":\"p2\"}",
+      "{\"op\":\"batch\",\"id\":\"p3\",\"ops\":["
+      "{\"op\":\"lmhat\",\"k\":2,\"depth\":3,\"n\":[1,10],\"id\":\"s0\"},"
+      "{\"op\":\"lm_estimate\",\"topology\":\"ARPA\",\"group_sizes\":[2,4],"
+      "\"sources\":5,\"receiver_sets\":2,\"seed\":42,\"id\":\"s1\"},"
+      "{\"op\":\"reachability\",\"topology\":\"ARPA\",\"source\":1,"
+      "\"id\":\"s2\"},"
+      "{\"op\":\"nosuch\",\"id\":\"s3\"}]}",
+  };
+
+  auto many = make_sharded(shards);   // warmed: warm tier must not change bytes
+  sharded_config one_config;
+  one_config.shards = 1;
+  sharded_service one(one_config);    // cold: builds through the shard LRU
+  query_service flat;
+
+  bool identical = true;
+  for (const std::string& line : lines) {
+    const std::string a = many->handle(line);
+    const std::string b = one.handle(line);
+    const std::string c = flat.handle(line);
+    if (a != b || a != c) {
+      identical = false;
+      std::cerr << "svc_load: IDENTITY MISMATCH on " << line << "\n"
+                << "  " << shards << "-shard: " << a << "\n"
+                << "  1-shard:  " << b << "\n"
+                << "  flat:     " << c << "\n";
+    }
+  }
+  many->shutdown();
+  one.shutdown();
+  return identical;
+}
+
+int sharded_main(const options& opt) {
+  if (opt.port != 0) die("--shards needs the in-process server (drop --port)");
+
+  mcast::obs::reset_metrics();
+  const std::clock_t cpu_begin = std::clock();
+  const auto wall_begin = clock_type::now();
+
+  std::cerr << "svc_load: sharded mode shards=" << opt.shards
+            << " connections=" << opt.connections
+            << " requests=" << opt.requests << " rate=" << opt.rate << "/s\n";
+
+  // One open-loop measured phase against a fresh sharded core; the same
+  // harness runs once at --shards and once at 1 shard for the reference.
+  const auto run_sharded_phase = [&opt](std::size_t shards) {
+    auto svc = make_sharded(shards);
+    line_server server(typed_config(opt.workers, opt.queue),
+                       [svc](const std::string& line) {
+                         return svc->handle(line);
+                       });
+    svc->set_stats_source([&server] { return server.stats(); });
+    {
+      options warm = opt;
+      warm.connections = std::min<std::size_t>(opt.connections, 4);
+      warm.requests = 16;
+      warm.rate = 0.0;
+      (void)run_phase(server.port(), warm);
+    }
+    phase_result measured = run_phase(server.port(), opt);
+    server.shutdown();
+    server.wait();
+    svc->shutdown();
+    return measured;
+  };
+
+  phase_result measured_n = run_sharded_phase(opt.shards);
+  const double qps_n = measured_n.wall_seconds > 0.0
+                           ? static_cast<double>(measured_n.latencies_ms.size()) /
+                                 measured_n.wall_seconds
+                           : 0.0;
+  phase_result measured_1 = run_sharded_phase(1);
+  const double qps_1 = measured_1.wall_seconds > 0.0
+                           ? static_cast<double>(measured_1.latencies_ms.size()) /
+                                 measured_1.wall_seconds
+                           : 0.0;
+  const double scaling_x = qps_1 > 0.0 ? qps_n / qps_1 : 0.0;
+
+  const bool identical = identity_probe(opt.shards, opt.seed);
+
+  std::uint64_t overload_rejections = 0;
+  if (opt.overload_probe) {
+    auto tiny = make_sharded(opt.shards);
+    overload_rejections =
+        overload_probe(opt.seed, [tiny](const std::string& line) {
+          return tiny->handle(line);
+        });
+    tiny->shutdown();
+  }
+
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(opt.connections) * opt.requests;
+  std::sort(measured_n.latencies_ms.begin(), measured_n.latencies_ms.end());
+  const double p50 = percentile(measured_n.latencies_ms, 0.50);
+  const double p95 = percentile(measured_n.latencies_ms, 0.95);
+  const double p99 = percentile(measured_n.latencies_ms, 0.99);
+
+  std::printf("svc_load sharded results (shards=%zu)\n", opt.shards);
+  std::printf("  requests     %llu / %llu answered (%llu error, %llu lost)\n",
+              static_cast<unsigned long long>(measured_n.latencies_ms.size()),
+              static_cast<unsigned long long>(expected),
+              static_cast<unsigned long long>(measured_n.errors),
+              static_cast<unsigned long long>(measured_n.lost));
+  std::printf("  throughput   %.1f req/s sharded, %.1f req/s 1-shard "
+              "(scaling %.2fx)\n",
+              qps_n, qps_1, scaling_x);
+  std::printf("  latency ms   p50=%.3f p95=%.3f p99=%.3f\n", p50, p95, p99);
+  std::printf("  identity     %s\n", identical ? "byte-identical" : "MISMATCH");
+  if (opt.overload_probe) {
+    std::printf("  overload     %llu typed rejections under saturation\n",
+                static_cast<unsigned long long>(overload_rejections));
+  }
+
+  namespace lab = mcast::lab;
+  lab::run_record record;
+  record.experiment_id = "svc_sharded";
+  record.title = "Sharded service: scaling, identity and per-op tails";
+  record.claim =
+      "open-loop throughput of the consistent-hash sharded core against a "
+      "1-shard reference, byte-identity of scattered lm_estimate and batch "
+      "responses across shard counts, per-op tail latencies, and typed "
+      "admission rejections under saturation";
+  record.scale = lab::scale_from_env();
+  record.threads = opt.workers;
+  record.use_spt_cache = true;
+  record.parameters.set("connections",
+                        static_cast<std::uint64_t>(opt.connections));
+  record.parameters.set("requests", static_cast<std::uint64_t>(opt.requests));
+  record.parameters.set("rate", opt.rate);
+  record.parameters.set("workers", static_cast<std::uint64_t>(opt.workers));
+  record.parameters.set("queue", static_cast<std::uint64_t>(opt.queue));
+  record.parameters.set("seed", opt.seed);
+  record.parameters.set("shards", static_cast<std::uint64_t>(opt.shards));
+  record.git_revision = lab::current_git_revision();
+  record.timestamp_utc = lab::utc_timestamp();
+  record.wall_seconds =
+      std::chrono::duration<double>(clock_type::now() - wall_begin).count();
+  record.cpu_seconds = static_cast<double>(std::clock() - cpu_begin) /
+                       static_cast<double>(CLOCKS_PER_SEC);
+  lab::fit_entry fit;
+  fit.label = "SvcShard";
+  {
+    char text[320];
+    std::snprintf(text, sizeof text,
+                  "qps_n=%.1f qps_1=%.1f scaling_x=%.3f identical=%d "
+                  "p50_ms=%.3f p95_ms=%.3f p99_ms=%.3f errors=%llu "
+                  "lost=%llu overload_rejections=%llu",
+                  qps_n, qps_1, scaling_x, identical ? 1 : 0, p50, p95, p99,
+                  static_cast<unsigned long long>(measured_n.errors),
+                  static_cast<unsigned long long>(measured_n.lost +
+                                                  measured_1.lost),
+                  static_cast<unsigned long long>(overload_rejections));
+    fit.text = text;
+  }
+  fit.values = {
+      {"qps_n", qps_n},
+      {"qps_1", qps_1},
+      {"scaling_x", scaling_x},
+      {"identical", identical ? 1.0 : 0.0},
+      {"shards", static_cast<double>(opt.shards)},
+      {"p50_ms", p50},
+      {"p95_ms", p95},
+      {"p99_ms", p99},
+      {"answered", static_cast<double>(measured_n.latencies_ms.size())},
+      {"errors", static_cast<double>(measured_n.errors)},
+      {"lost", static_cast<double>(measured_n.lost + measured_1.lost)},
+      {"overload_rejections", static_cast<double>(overload_rejections)},
+  };
+  report_op_breakdown(measured_n, fit);
+  record.fits.push_back(std::move(fit));
+  record.metric_groups = {"service", "topo_cache"};
+  record.metrics = mcast::obs::snapshot();
+
+  const std::string path = opt.out_dir + "/BENCH_service_sharded.json";
+  lab::write_manifest(record, path);
+  std::cerr << "svc_load: manifest " << path << "\n";
+
+  if (!identical) {
+    std::cerr << "svc_load: FAIL: sharded responses not byte-identical\n";
+    return 1;
+  }
+  return measured_n.lost + measured_1.lost == 0 ? 0 : 1;
 }
 
 // --- chaos mode --------------------------------------------------------
@@ -480,17 +764,39 @@ int chaos_main(const options& opt) {
 
   std::cerr << "svc_load: chaos mode (" << spec.describe()
             << ") connections=" << opt.connections
-            << " requests=" << opt.requests << "\n";
+            << " requests=" << opt.requests
+            << (opt.shards > 0 ? " shards=" + std::to_string(opt.shards) : "")
+            << "\n";
+
+  // --shards applies in chaos mode too: both phases drive whichever
+  // service core is under test behind the same chaos shim.
+  const auto make_core = [&opt] {
+    std::pair<std::shared_ptr<query_service>, std::shared_ptr<sharded_service>>
+        core;
+    if (opt.shards > 0) {
+      core.second = make_sharded(opt.shards);
+    } else {
+      core.first = std::make_shared<query_service>();
+    }
+    return core;
+  };
 
   // Phase 1: fault-free baseline, same closed-loop retry-client workload.
   double baseline_qps = 0.0;
   {
-    auto svc = std::make_shared<query_service>();
+    auto [mono, sharded] = make_core();
     line_server server(typed_config(opt.workers, opt.queue),
-                       [svc](const std::string& line) {
-                         return svc->handle(line);
+                       [mono = mono, sharded = sharded](
+                           const std::string& line) {
+                         return sharded ? sharded->handle(line)
+                                        : mono->handle(line);
                        });
-    svc->set_stats_source([&server] { return server.stats(); });
+    auto stats = [&server] { return server.stats(); };
+    if (sharded) {
+      sharded->set_stats_source(stats);
+    } else {
+      mono->set_stats_source(stats);
+    }
     const closed_loop_result baseline = run_closed_loop(server.port(), opt);
     server.shutdown();
     server.wait();
@@ -509,13 +815,19 @@ int chaos_main(const options& opt) {
   mcast::net::server_stats chaos_stats;
   closed_loop_result faulted;
   {
-    auto svc = std::make_shared<query_service>();
+    auto [mono, sharded] = make_core();
     server_config config = typed_config(opt.workers, opt.queue);
     config.chaos = std::make_shared<const chaos_engine>(spec);
-    line_server server(config, [svc](const std::string& line) {
-      return svc->handle(line);
+    line_server server(config, [mono = mono, sharded = sharded](
+                                   const std::string& line) {
+      return sharded ? sharded->handle(line) : mono->handle(line);
     });
-    svc->set_stats_source([&server] { return server.stats(); });
+    auto stats = [&server] { return server.stats(); };
+    if (sharded) {
+      sharded->set_stats_source(stats);
+    } else {
+      mono->set_stats_source(stats);
+    }
     faulted = run_closed_loop(server.port(), opt);
     chaos_stats = server.stats();
     server.shutdown();
@@ -577,6 +889,7 @@ int chaos_main(const options& opt) {
   record.parameters.set("seed", opt.seed);
   record.parameters.set("chaos", spec.describe());
   record.parameters.set("min_goodput_ratio", opt.min_goodput_ratio);
+  record.parameters.set("shards", static_cast<std::uint64_t>(opt.shards));
   record.git_revision = lab::current_git_revision();
   record.timestamp_utc = lab::utc_timestamp();
   record.wall_seconds =
@@ -643,6 +956,7 @@ int chaos_main(const options& opt) {
 int main(int argc, char** argv) {
   const options opt = parse_options(argc, argv);
   if (!opt.chaos.empty()) return chaos_main(opt);
+  if (opt.shards > 0) return sharded_main(opt);
 
   mcast::obs::reset_metrics();
   const std::clock_t cpu_begin = std::clock();
@@ -689,7 +1003,11 @@ int main(int argc, char** argv) {
 
   std::uint64_t overload_rejections = 0;
   if (server && opt.overload_probe) {
-    overload_rejections = overload_probe(opt.seed);
+    auto tiny_svc = std::make_shared<query_service>();
+    overload_rejections =
+        overload_probe(opt.seed, [tiny_svc](const std::string& line) {
+          return tiny_svc->handle(line);
+        });
   }
 
   if (server) {
@@ -760,6 +1078,7 @@ int main(int argc, char** argv) {
       {"lost", static_cast<double>(measured.lost)},
       {"overload_rejections", static_cast<double>(overload_rejections)},
   };
+  report_op_breakdown(measured, fit);
   record.fits.push_back(std::move(fit));
   record.metric_groups = {"service", "topo_cache"};
   record.metrics = mcast::obs::snapshot();

@@ -40,11 +40,17 @@ void usage(std::ostream& out) {
          "                           baseline; exit 0 pass, 2 spec error,\n"
          "                           3 expectations violated\n"
          "  serve [--port=N] [--threads=K] [--queue=N] [--max-line=B]\n"
-         "         [--metrics-summary] [--profile=FILE]\n"
+         "         [--shards=N] [--shard-workers=K] [--shard-queue=N]\n"
+         "         [--warm=SPEC] [--metrics-summary] [--profile=FILE]\n"
          "                           run the line-JSON query service until\n"
-         "                           SIGINT/SIGTERM (docs/service.md)\n"
+         "                           SIGINT/SIGTERM; --shards=N enables the\n"
+         "                           consistent-hash sharded core\n"
+         "                           (docs/service.md, docs/sharding.md)\n"
          "  query --port=N [line..]  send request lines (argv or stdin) to a\n"
          "                           running server; exit 0 iff all ok\n"
+         "  query --port=N --batch=F fold file F (one sub-op per line) into a\n"
+         "                           single batch envelope; prints one result\n"
+         "                           doc per line, exit 2 if any sub-op fails\n"
          "\n"
          "run options:\n"
          "  --param k=v              override a parameter (repeatable)\n"

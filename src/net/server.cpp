@@ -79,6 +79,7 @@ server_stats line_server::stats() const {
     std::lock_guard<std::mutex> lock(mu_);
     s.queue_depth = queue_.size();
   }
+  s.queue_capacity = config_.queue_capacity;
   s.uptime_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     started_)

@@ -94,6 +94,7 @@ struct server_stats {
   std::uint64_t drain_forced = 0;     ///< connections cut at the drain bound
   std::uint64_t chaos_injected = 0;   ///< faults the chaos shim injected
   std::size_t queue_depth = 0;   ///< connections waiting right now
+  std::size_t queue_capacity = 0;  ///< the configured pending-connection bound
   std::size_t inflight = 0;      ///< connections being served right now
   double uptime_seconds = 0.0;
 };

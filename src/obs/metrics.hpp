@@ -68,6 +68,7 @@ namespace mcast::obs {
   X(topo_cache_hits, "topo_cache.hits")                          \
   X(topo_cache_misses, "topo_cache.misses")                      \
   X(topo_cache_evictions, "topo_cache.evictions")                \
+  X(topo_cache_warm_hits, "topo_cache.warm_hits")                \
   X(svc_connections_accepted, "svc.connections_accepted")        \
   X(svc_connections_rejected, "svc.connections_rejected")        \
   X(svc_requests, "svc.requests")                                \
@@ -82,6 +83,14 @@ namespace mcast::obs {
   X(svc_chaos_delays, "svc.chaos.delays")                        \
   X(svc_chaos_truncates, "svc.chaos.truncates")                  \
   X(svc_chaos_stalls, "svc.chaos.stalls")                        \
+  X(svc_shard_tasks, "svc.shard.tasks_executed")                 \
+  X(svc_shard_rejected, "svc.shard.rejected")                    \
+  X(svc_batch_requests, "svc.batch.requests")                    \
+  X(svc_batch_subops, "svc.batch.subops_dispatched")             \
+  X(svc_batch_spliced, "svc.batch.subops_spliced")               \
+  X(svc_scatter_requests, "svc.scatter.requests")                \
+  X(svc_scatter_chunks, "svc.scatter.chunks_dispatched")         \
+  X(svc_scatter_spliced, "svc.scatter.chunks_spliced")           \
   X(retry_attempts, "retry.attempts")                            \
   X(retry_retries, "retry.retries")                              \
   X(retry_successes, "retry.successes")                          \
@@ -92,7 +101,10 @@ namespace mcast::obs {
   X(spt_cache_peak_entries, "spt_cache.peak_entries")  \
   X(topo_cache_peak_entries, "topo_cache.peak_entries")  \
   X(svc_queue_depth_peak, "svc.queue_depth_peak")         \
-  X(svc_inflight_peak, "svc.inflight_peak")
+  X(svc_inflight_peak, "svc.inflight_peak")               \
+  X(svc_shard_queue_depth_peak, "svc.shard.queue_depth_peak")  \
+  X(svc_shard_inflight_peak, "svc.shard.inflight_peak")   \
+  X(topo_cache_warm_entries, "topo_cache.warm_entries")
 
 #define MCAST_OBS_HISTOGRAMS(X)                          \
   X(visited_per_pass, "traversal.visited_per_pass")      \

@@ -71,7 +71,7 @@ bool idempotent_request(const std::string& line) noexcept {
   // The query catalog (docs/service.md): every op is a pure function of
   // the request line. New ops must be added here only if they stay pure.
   return name == "lmhat" || name == "lm_estimate" || name == "reachability" ||
-         name == "metrics" || name == "healthz";
+         name == "metrics" || name == "healthz" || name == "batch";
 }
 
 bool retryable_error_code(const std::string& code) noexcept {

@@ -2,6 +2,7 @@
 
 #include <csignal>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <stdexcept>
@@ -16,6 +17,8 @@
 #include "service/client.hpp"
 #include "service/protocol.hpp"
 #include "service/query_service.hpp"
+#include "service/shard_router.hpp"
+#include "topo/cache.hpp"
 
 namespace mcast::service {
 namespace {
@@ -76,7 +79,45 @@ struct serve_flags {
   std::string chaos_spec;
   bool metrics_summary = false;
   std::string profile_path;
+  std::size_t shards = 0;        // 0 = monolithic query_service (legacy path)
+  std::size_t shard_workers = 2;
+  std::size_t shard_queue = 256;
+  std::string warm_spec = "ARPA";  // "none" disables the warm tier
 };
+
+/// Warm-tier spec: "none", or comma-separated `name[:budget]` entries
+/// warmed at the service's default topology_seed (7), e.g.
+/// "ARPA,MBone,ts1000:300".
+std::vector<topology_key> parse_warm_spec(const std::string& spec) {
+  std::vector<topology_key> keys;
+  if (spec == "none" || spec.empty()) return keys;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(begin, end - begin);
+    if (entry.empty()) die("--warm entries must not be empty");
+    topology_key key;
+    key.seed = 7;  // the protocol's topology_seed default
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos) {
+      key.name = entry;
+    } else {
+      key.name = entry.substr(0, colon);
+      const std::uint64_t budget =
+          parse_flag_u64(entry.substr(colon + 1), "--warm budget");
+      if (budget < 64 || budget > 200000) {
+        die("--warm budgets must be in 64..200000");
+      }
+      key.budget = static_cast<node_id>(budget);
+    }
+    if (key.name.empty()) die("--warm entries need a topology name");
+    keys.push_back(std::move(key));
+    begin = end + 1;
+    if (end == spec.size()) break;
+  }
+  return keys;
+}
 
 /// A deadline flag: integer ms, or "off" to disable (maps to -1).
 int parse_deadline_ms(const std::string& text, const std::string& flag) {
@@ -126,6 +167,21 @@ serve_flags parse_serve_flags(const std::vector<std::string>& args) {
     } else if (flag_value(arg, "--profile", value)) {
       if (value.empty()) die("--profile= needs a file path");
       flags.profile_path = value;
+    } else if (flag_value(arg, "--shards", value)) {
+      const std::uint64_t shards = parse_flag_u64(value, "--shards");
+      if (shards == 0 || shards > 64) die("--shards must be in 1..64");
+      flags.shards = static_cast<std::size_t>(shards);
+    } else if (flag_value(arg, "--shard-workers", value)) {
+      const std::uint64_t workers = parse_flag_u64(value, "--shard-workers");
+      if (workers == 0 || workers > 64) die("--shard-workers must be in 1..64");
+      flags.shard_workers = static_cast<std::size_t>(workers);
+    } else if (flag_value(arg, "--shard-queue", value)) {
+      const std::uint64_t queue = parse_flag_u64(value, "--shard-queue");
+      if (queue == 0 || queue > 65536) die("--shard-queue must be in 1..65536");
+      flags.shard_queue = static_cast<std::size_t>(queue);
+    } else if (flag_value(arg, "--warm", value)) {
+      flags.warm_spec = value;
+      parse_warm_spec(value);  // validate eagerly so bad specs die at parse
     } else {
       die("serve: unknown argument '" + arg + "'");
     }
@@ -153,7 +209,22 @@ int run_serve(const std::vector<std::string>& args) {
     obs::trace_enable();
   }
 
-  auto svc = std::make_shared<query_service>();
+  // --shards=N swaps the monolithic query_service for the sharded core
+  // (service/shard_router.hpp); both expose the same handle()/set_*
+  // surface, so the line_server wiring below is host-agnostic.
+  std::shared_ptr<query_service> mono;
+  std::shared_ptr<sharded_service> sharded;
+  if (flags.shards > 0) {
+    sharded_config shard_config;
+    shard_config.shards = flags.shards;
+    shard_config.shard_workers = flags.shard_workers;
+    shard_config.shard_queue = flags.shard_queue;
+    sharded = std::make_shared<sharded_service>(shard_config);
+    sharded->warm(parse_warm_spec(flags.warm_spec));
+  } else {
+    mono = std::make_shared<query_service>();
+  }
+
   net::server_config config;
   config.port = flags.port;
   config.workers = flags.threads;
@@ -177,23 +248,41 @@ int run_serve(const std::vector<std::string>& args) {
         net::chaos_spec::parse(flags.chaos_spec));
   }
 
-  net::line_server server(
-      config, [svc](const std::string& line) { return svc->handle(line); });
-  svc->set_stats_source([&server] { return server.stats(); });
+  net::line_server server(config, [mono, sharded](const std::string& line) {
+    return sharded ? sharded->handle(line) : mono->handle(line);
+  });
+  auto stats_source = [&server] { return server.stats(); };
+  if (sharded) {
+    sharded->set_stats_source(stats_source);
+  } else {
+    mono->set_stats_source(stats_source);
+  }
   if (flags.shed_degrade <= 1.0 || flags.shed_refuse <= 1.0) {
     shed_policy policy;
     policy.degrade_at = flags.shed_degrade;
     policy.refuse_at = flags.shed_refuse;
-    svc->set_shed_policy(policy);
     const double capacity = static_cast<double>(flags.queue);
-    svc->set_pressure_source([&server, capacity] {
+    auto pressure_source = [&server, capacity] {
       return static_cast<double>(server.stats().queue_depth) / capacity;
-    });
+    };
+    if (sharded) {
+      sharded->set_shed_policy(policy);
+      sharded->set_pressure_source(pressure_source);
+    } else {
+      mono->set_shed_policy(policy);
+      mono->set_pressure_source(pressure_source);
+    }
   }
 
   std::cerr << "[mcast_lab] serve: listening on 127.0.0.1:" << server.port()
-            << " workers=" << flags.threads << " queue=" << flags.queue
-            << "\n";
+            << " workers=" << flags.threads << " queue=" << flags.queue;
+  if (sharded) {
+    std::cerr << " shards=" << sharded->shard_count()
+              << " shard-workers=" << flags.shard_workers
+              << " shard-queue=" << flags.shard_queue
+              << " warm=" << sharded->warm_tier().size();
+  }
+  std::cerr << "\n";
   if (config.chaos) {
     std::cerr << "[mcast_lab] serve: chaos enabled ("
               << config.chaos->spec().describe() << ")\n";
@@ -232,10 +321,14 @@ int run_query(const std::vector<std::string>& args) {
   std::uint16_t port = 0;
   retry_policy policy;
   policy.attempt_timeout_ms = 120000;
+  std::string batch_path;
   std::vector<std::string> requests;
   for (const std::string& arg : args) {
     std::string value;
-    if (flag_value(arg, "--port", value)) {
+    if (flag_value(arg, "--batch", value)) {
+      if (value.empty()) die("--batch= needs a file path");
+      batch_path = value;
+    } else if (flag_value(arg, "--port", value)) {
       const std::uint64_t p = parse_flag_u64(value, "--port");
       if (p == 0 || p > 65535) die("--port must be in 1..65535");
       port = static_cast<std::uint16_t>(p);
@@ -260,7 +353,33 @@ int run_query(const std::vector<std::string>& args) {
     }
   }
   if (port == 0) die("query: --port=N is required");
-  if (requests.empty()) {
+  if (!batch_path.empty()) {
+    // --batch FILE: one sub-op per line, folded into a single batch
+    // envelope so the whole file is one request/response round trip.
+    if (!requests.empty()) {
+      die("query: --batch cannot be mixed with positional request lines");
+    }
+    std::ifstream in(batch_path);
+    if (!in) die("query: cannot open batch file '" + batch_path + "'");
+    json::value ops = json::value::array();
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (line.empty()) continue;
+      try {
+        ops.push(json::parse(line));
+      } catch (const std::exception& e) {
+        die("query: " + batch_path + ":" + std::to_string(line_no) +
+            ": invalid JSON (" + e.what() + ")");
+      }
+    }
+    if (ops.items().empty()) die("query: batch file has no request lines");
+    json::value envelope = json::value::object();
+    envelope.set("op", json::value::string("batch"));
+    envelope.set("ops", std::move(ops));
+    requests.push_back(json::dump_compact(envelope));
+  } else if (requests.empty()) {
     std::string line;
     while (std::getline(std::cin, line)) {
       if (!line.empty()) requests.push_back(line);
@@ -277,6 +396,31 @@ int run_query(const std::vector<std::string>& args) {
   int exit_code = 0;
   for (const std::string& request : requests) {
     const call_result result = client.call(request);
+    if (!batch_path.empty() && result.status == call_status::ok) {
+      // Unpack the envelope: one result document per input line, in input
+      // order; any failed sub-op turns the exit code into 2 (the same
+      // aggregation positional request lines get from typed errors).
+      const json::value doc = json::parse(result.response);
+      const json::value* res = doc.get("result");
+      const json::value* results =
+          res == nullptr ? nullptr : res->get("results");
+      if (results == nullptr || !results->is(json::value::kind::array)) {
+        std::cout << result.response << "\n";
+        std::cerr << "mcast_lab: query: batch response missing results\n";
+        exit_code = 2;
+        continue;
+      }
+      for (const json::value& sub : results->items()) {
+        std::cout << json::dump_compact(sub) << "\n";
+      }
+      const json::value* errors = res->get("error_count");
+      if (errors != nullptr && errors->as_number() > 0) {
+        std::cerr << "mcast_lab: query: " << errors->as_number() << " of "
+                  << results->items().size() << " batch sub-op(s) failed\n";
+        exit_code = 2;
+      }
+      continue;
+    }
     if (!result.response.empty()) std::cout << result.response << "\n";
     switch (result.status) {
       case call_status::ok:

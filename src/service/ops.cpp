@@ -1,0 +1,150 @@
+#include "service/ops.hpp"
+
+#include <utility>
+
+namespace mcast::service {
+
+namespace {
+
+const op_entry op_table[] = {
+    {"lmhat", op_kind::lmhat, /*sheddable=*/false, /*needs_topology=*/false},
+    {"lm_estimate", op_kind::lm_estimate, true, true},
+    {"reachability", op_kind::reachability, true, true},
+    {"metrics", op_kind::metrics, false, false},
+    {"healthz", op_kind::healthz, false, false},
+};
+
+}  // namespace
+
+const op_entry* find_op(const std::string& op) noexcept {
+  for (const op_entry& e : op_table) {
+    if (op == e.name) return &e;
+  }
+  return nullptr;
+}
+
+json::value run_op(const op_entry& entry, const json::value& req,
+                   const op_context& ctx, bool degraded) {
+  switch (entry.kind) {
+    case op_kind::lmhat:
+      return op_lmhat(req, ctx);
+    case op_kind::lm_estimate:
+      return op_lm_estimate(req, ctx, degraded);
+    case op_kind::reachability:
+      return op_reachability(req, ctx, degraded);
+    case op_kind::metrics:
+      return op_metrics(req, ctx);
+    case op_kind::healthz:
+      return op_healthz(req, ctx);
+  }
+  throw request_error(error_code::internal_error, "unreachable op kind");
+}
+
+json::value num(double v) { return json::value::number(v); }
+json::value num_u(std::uint64_t v) {
+  return json::value::number(static_cast<double>(v));
+}
+
+json::value request_id(const json::value& req) {
+  const json::value* id = req.get("id");
+  if (id == nullptr) return json::value();
+  switch (id->type()) {
+    case json::value::kind::null:
+    case json::value::kind::number:
+    case json::value::kind::string:
+      return *id;
+    default:
+      throw request_error(error_code::bad_request,
+                          "field 'id' must be a string, number or null");
+  }
+}
+
+std::shared_ptr<const graph> resolve_topology(const json::value& req,
+                                              const op_context& ctx) {
+  const std::string name = require_string(req, "topology");
+  const std::uint64_t seed = u64_or(req, "topology_seed", 7);
+  const std::uint64_t budget =
+      bounded_u64(req, "budget", 0, 0, ctx.limits.max_budget);
+  if (budget != 0 && budget < 64) {
+    throw request_error(error_code::bad_request,
+                        "field 'budget' must be 0 (native size) or >= 64");
+  }
+  return ctx.resolve(name, seed, static_cast<node_id>(budget));
+}
+
+json::value response_document(const json::value& req,
+                              const run_fn& run) noexcept {
+  json::value id;  // null until the request parses far enough to have one
+  try {
+    id = request_id(req);
+    const std::string op = require_string(req, "op");
+    return ok_document(op, run(op, req), id);
+  } catch (const request_error& e) {
+    return error_document(e.code(), e.what(), id);
+  } catch (const std::invalid_argument& e) {
+    // Domain preconditions (unknown catalog name, bad grid, ...) surface
+    // as std::invalid_argument from the measurement stack.
+    return error_document(error_code::bad_request, e.what(), id);
+  } catch (const std::exception& e) {
+    return error_document(error_code::internal_error, e.what(), id);
+  } catch (...) {
+    return error_document(error_code::internal_error, "unknown error", id);
+  }
+}
+
+const json::value& batch_subops(const json::value& req,
+                                const service_limits& limits) {
+  const json::value& ops = require_member(req, "ops");
+  if (!ops.is(json::value::kind::array)) {
+    throw request_error(error_code::bad_request,
+                        "field 'ops' must be an array of requests");
+  }
+  if (ops.items().empty()) {
+    throw request_error(error_code::bad_request,
+                        "field 'ops' must not be empty");
+  }
+  if (ops.items().size() > limits.max_batch_ops) {
+    throw request_error(error_code::limit_exceeded,
+                        "field 'ops' exceeds the service cap of " +
+                            std::to_string(limits.max_batch_ops) +
+                            " sub-ops");
+  }
+  return ops;
+}
+
+json::value subop_document(const json::value& sub,
+                           const run_fn& run) noexcept {
+  if (!sub.is(json::value::kind::object)) {
+    return error_document(error_code::bad_request,
+                          "batch sub-op must be a JSON object",
+                          json::value());
+  }
+  return response_document(sub, run);
+}
+
+void reject_nested_batch(const std::string& op) {
+  if (op == "batch") {
+    throw request_error(error_code::bad_request,
+                        "batch must not contain a nested batch");
+  }
+}
+
+json::value make_batch_result(std::vector<json::value>&& docs) {
+  std::size_t ok_count = 0;
+  json::value results = json::value::array();
+  for (json::value& doc : docs) {
+    const json::value* ok = doc.get("ok");
+    if (ok != nullptr && ok->is(json::value::kind::boolean) && ok->as_bool()) {
+      ++ok_count;
+    }
+    results.push(std::move(doc));
+  }
+  json::value result = json::value::object();
+  result.set("count", num_u(docs.size()));
+  result.set("ok_count", num_u(ok_count));
+  result.set("error_count", num_u(docs.size() - ok_count));
+  result.set("results", std::move(results));
+  return result;
+}
+
+}  // namespace mcast::service

@@ -1,0 +1,186 @@
+// Shard-agnostic op handlers behind the query service dispatch table.
+//
+// Every operation of the line protocol lives here as a pure function of
+// (request, op_context): the monolithic query_service and the sharded
+// service (service/shard_router.hpp) both dispatch through the same table
+// and the same handler bodies, which is what makes their responses
+// byte-identical — the only thing a host service chooses is *where* a
+// handler runs (inline, on a shard worker, or scattered across shards)
+// and how topologies resolve (process-wide cache vs per-shard tiers).
+//
+// Handler units:
+//   ops_lmhat.cpp        — closed-form k-ary L̂(n) (Eq 2/3)
+//   ops_estimate.cpp     — Monte-Carlo L(m), split into plan / run /
+//                          render so the source range can scatter across
+//                          shards and splice back in index order
+//   ops_reachability.cpp — reachability profiles + growth fit
+//   ops_admin.cpp        — metrics / healthz (live state; exempt from the
+//                          byte-identity guarantee)
+//   ops.cpp              — the table, response documents, batch envelope
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "core/runner.hpp"
+#include "graph/graph.hpp"
+#include "net/server.hpp"
+#include "service/protocol.hpp"
+
+namespace mcast::service {
+
+/// Cost-aware load shedding (docs/resilience.md). Pressure is a number in
+/// [0, 1] (typically queue_depth / queue_capacity). The expensive
+/// Monte-Carlo ops degrade first and refuse last; lmhat/metrics/healthz
+/// are never shed. Thresholds above 1 disable the corresponding tier,
+/// which is the default: shedding must be asked for.
+struct shed_policy {
+  /// At or above this pressure, lm_estimate answers with the Eq 4 closed
+  /// form (marked `"degraded": true`) and reachability with a single-BFS
+  /// profile instead of the Monte-Carlo mean.
+  double degrade_at = 2.0;
+  /// At or above this pressure, lm_estimate/reachability are refused with
+  /// the retryable typed error `shed`.
+  double refuse_at = 2.0;
+};
+
+/// Resolves (catalog name, seed, budget) to a shared immutable graph. The
+/// monolith binds the process-wide topology cache; each shard binds its
+/// own two-tier cache (warm tier + shard LRU).
+using topology_resolver = std::function<std::shared_ptr<const graph>(
+    const std::string& name, std::uint64_t seed, node_id budget)>;
+
+/// Everything a handler needs from its host service. Cheap to copy into
+/// shard workers; the callbacks must be thread-safe (they are: the
+/// resolvers are caches, the stats sources read atomics).
+struct op_context {
+  service_limits limits;
+  topology_resolver resolve;                    ///< required
+  std::function<net::server_stats()> stats;     ///< null => zeros + own uptime
+  std::function<json::value()> shard_metrics;   ///< null => no "shards" array
+  std::chrono::steady_clock::time_point started =
+      std::chrono::steady_clock::now();
+};
+
+// --- dispatch table ----------------------------------------------------
+
+enum class op_kind { lmhat, lm_estimate, reachability, metrics, healthz };
+
+struct op_entry {
+  const char* name;
+  op_kind kind;
+  /// Participates in cost-aware shedding (the Monte-Carlo ops).
+  bool sheddable;
+  /// Resolves a topology, hence routes by topology key when sharded.
+  bool needs_topology;
+};
+
+/// Table lookup; nullptr for unknown ops. "batch" is deliberately not in
+/// the table — it is an envelope the host service unpacks, not a handler.
+const op_entry* find_op(const std::string& op) noexcept;
+
+/// Runs the table entry's handler. `degraded` only matters for sheddable
+/// ops; the host computed it from its shed policy before dispatching.
+json::value run_op(const op_entry& entry, const json::value& req,
+                   const op_context& ctx, bool degraded);
+
+// --- handlers (result payloads; throw request_error on bad input) ------
+
+json::value op_lmhat(const json::value& req, const op_context& ctx);
+json::value op_lm_estimate(const json::value& req, const op_context& ctx,
+                           bool degraded);
+json::value op_reachability(const json::value& req, const op_context& ctx,
+                            bool degraded);
+json::value op_metrics(const json::value& req, const op_context& ctx);
+json::value op_healthz(const json::value& req, const op_context& ctx);
+
+// --- shared request plumbing -------------------------------------------
+
+/// The request "id" echoed in responses: absent → null; anything but a
+/// string/number/null is a client bug worth naming.
+json::value request_id(const json::value& req);
+
+/// Shared topology resolution: catalog name + optional seed/budget.
+/// budget 0 means the entry's native size; otherwise the same scaled
+/// build `mcast_lab run` uses (which requires budget >= 64).
+std::shared_ptr<const graph> resolve_topology(const json::value& req,
+                                              const op_context& ctx);
+
+/// JSON number shorthands shared by the handler units.
+json::value num(double v);
+json::value num_u(std::uint64_t v);
+
+/// Builds the full response document for one parsed request: extracts the
+/// id and op, calls `run(op, req)` for the result payload, and maps every
+/// failure to the typed error document of the wire protocol. Never throws.
+using run_fn =
+    std::function<json::value(const std::string& op, const json::value& req)>;
+json::value response_document(const json::value& req,
+                              const run_fn& run) noexcept;
+
+// --- batch envelope ----------------------------------------------------
+//
+//   {"op":"batch","id":7,"ops":[{"op":"lmhat",...},{"op":"healthz"}]}
+//   → {"id":7,"ok":true,"op":"batch","result":{"count":2,"ok_count":2,
+//      "error_count":0,"results":[<full response doc>, ...]}}
+//
+// Sub-op documents are exactly the lines the same requests would get
+// standalone, in request order; one bad sub-op never fails the envelope
+// (its slot carries the typed error instead). Envelopes must not nest.
+
+/// Validates the envelope's "ops" member: present, an array, non-empty,
+/// at most limits.max_batch_ops entries. Returns the array.
+const json::value& batch_subops(const json::value& req,
+                                const service_limits& limits);
+
+/// The response document for one batch slot: non-objects get a typed
+/// bad_request doc, objects run through response_document(sub, run).
+json::value subop_document(const json::value& sub, const run_fn& run) noexcept;
+
+/// Throws the canonical bad_request for a nested "batch" sub-op. Both
+/// services call this from their sub-op runner so the message matches.
+void reject_nested_batch(const std::string& op);
+
+/// Assembles the envelope's result payload from per-slot response docs
+/// (already in request order).
+json::value make_batch_result(std::vector<json::value>&& docs);
+
+// --- lm_estimate scatter/gather ----------------------------------------
+//
+// The Monte-Carlo measurement is a fold over independent source tasks, so
+// a sharded host can run disjoint source ranges on different shards and
+// splice the un-merged per-source blocks back in index order — the exact
+// accumulation sequence of the serial path, hence byte-identical rows
+// (core/runner.hpp, mc_cell). plan → run (per range) → splice → render.
+
+struct lm_plan {
+  std::shared_ptr<const graph> g;
+  std::string model;  ///< "distinct" | "replacement"
+  bool distinct = true;
+  std::vector<std::uint64_t> grid;
+  monte_carlo_params mc;
+};
+
+/// Full request validation + topology resolution, on the calling thread.
+/// Everything op_lm_estimate checks, checked once before any scatter.
+lm_plan plan_lm_estimate(const json::value& req, const op_context& ctx);
+
+/// Accumulator blocks for source tasks [begin, end) of the plan.
+std::vector<std::vector<mc_cell>> run_lm_sources(const lm_plan& plan,
+                                                 std::size_t begin,
+                                                 std::size_t end);
+
+/// The Eq 4 closed-form rows used when the op is degraded under load
+/// (samples = 0 marks every row as model-derived).
+std::vector<scaling_point> lm_closed_form(const lm_plan& plan);
+
+/// The op's result payload from spliced rows.
+json::value render_lm_estimate(const lm_plan& plan,
+                               const std::vector<scaling_point>& points,
+                               bool degraded);
+
+}  // namespace mcast::service

@@ -1,0 +1,94 @@
+// lmhat — closed-form k-ary tree sizes (Eq 2/3), no topology, never shed.
+#include <cmath>
+#include <vector>
+
+#include "analysis/kary_exact.hpp"
+#include "service/ops.hpp"
+
+namespace mcast::service {
+
+namespace {
+
+/// `n` as a grid: a single number or an array of numbers, each >= 0.
+std::vector<double> n_grid(const json::value& req, std::size_t max_points) {
+  const json::value& n = require_member(req, "n");
+  std::vector<double> grid;
+  if (n.is(json::value::kind::number)) {
+    grid.push_back(n.as_number());
+  } else if (n.is(json::value::kind::array)) {
+    if (n.items().empty()) {
+      throw request_error(error_code::bad_request,
+                          "field 'n' must not be an empty array");
+    }
+    if (n.items().size() > max_points) {
+      throw request_error(error_code::limit_exceeded,
+                          "field 'n' exceeds the service cap of " +
+                              std::to_string(max_points) + " points");
+    }
+    for (const json::value& item : n.items()) {
+      if (!item.is(json::value::kind::number)) {
+        throw request_error(error_code::bad_request,
+                            "field 'n' must contain only numbers");
+      }
+      grid.push_back(item.as_number());
+    }
+  } else {
+    throw request_error(error_code::bad_request,
+                        "field 'n' must be a number or an array of numbers");
+  }
+  for (const double v : grid) {
+    if (!std::isfinite(v) || v < 0.0) {
+      throw request_error(error_code::bad_request,
+                          "field 'n' values must be finite and >= 0");
+    }
+  }
+  return grid;
+}
+
+}  // namespace
+
+json::value op_lmhat(const json::value& req, const op_context& ctx) {
+  static const char* const allowed[] = {"op", "id", "k",     "depth",
+                                        "n",  "model", nullptr};
+  reject_unknown_keys(req, allowed);
+  require_member(req, "k");
+  require_member(req, "depth");
+  const unsigned k = static_cast<unsigned>(
+      bounded_u64(req, "k", 0, 2, ctx.limits.max_kary_k));
+  const unsigned depth = static_cast<unsigned>(
+      bounded_u64(req, "depth", 0, 1, ctx.limits.max_kary_depth));
+  const std::string model = string_or(req, "model", "leaves");
+  if (model != "leaves" && model != "all_sites") {
+    throw request_error(error_code::bad_request,
+                        "field 'model' must be 'leaves' or 'all_sites'");
+  }
+  const bool leaves = model == "leaves";
+  const std::vector<double> grid = n_grid(req, ctx.limits.max_points);
+
+  const double sites =
+      leaves ? kary_leaf_count(k, depth) : kary_site_count_all(k, depth);
+  const double ubar = leaves ? kary_unicast_mean_leaves(depth)
+                             : kary_unicast_mean_all_sites(k, depth);
+
+  json::value rows = json::value::array();
+  for (const double n : grid) {
+    const double lhat = leaves ? kary_tree_size_leaves(k, depth, n)
+                               : kary_tree_size_all_sites(k, depth, n);
+    json::value row = json::value::object();
+    row.set("n", num(n));
+    row.set("lhat", num(lhat));
+    row.set("lhat_over_ubar", num(lhat / ubar));
+    rows.push(std::move(row));
+  }
+
+  json::value result = json::value::object();
+  result.set("k", num_u(k));
+  result.set("depth", num_u(depth));
+  result.set("model", json::value::string(model));
+  result.set("sites", num(sites));
+  result.set("unicast_mean", num(ubar));
+  result.set("rows", std::move(rows));
+  return result;
+}
+
+}  // namespace mcast::service

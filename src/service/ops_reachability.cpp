@@ -1,0 +1,68 @@
+// reachability — S(r)/T(r) profiles and the exponential growth fit that
+// the Phillips-Shenker-Tangmunarunkit reachability argument rests on.
+#include <utility>
+
+#include "analysis/reachability.hpp"
+#include "service/ops.hpp"
+#include "sim/rng.hpp"
+
+namespace mcast::service {
+
+json::value op_reachability(const json::value& req, const op_context& ctx,
+                            bool degraded) {
+  static const char* const allowed[] = {
+      "op",     "id",      "topology", "topology_seed",
+      "budget", "source",  "sources",  "seed",
+      nullptr};
+  reject_unknown_keys(req, allowed);
+  const auto shared = resolve_topology(req, ctx);
+  const graph& g = *shared;
+
+  reachability_profile prof;
+  if (req.get("source") != nullptr) {
+    if (req.get("sources") != nullptr) {
+      throw request_error(error_code::bad_request,
+                          "give either 'source' or 'sources', not both");
+    }
+    const std::uint64_t source = require_u64(req, "source");
+    if (source >= g.node_count()) {
+      throw request_error(error_code::bad_request,
+                          "field 'source' must be < " +
+                              std::to_string(g.node_count()));
+    }
+    prof = reachability_from(g, static_cast<node_id>(source));
+  } else {
+    const std::uint64_t sources =
+        bounded_u64(req, "sources", 32, 1, ctx.limits.max_sources);
+    rng gen(u64_or(req, "seed", 777));
+    // Under pressure the multi-source mean collapses to one sampled
+    // source — a single BFS instead of `sources` of them.
+    prof = mean_reachability(
+        g, degraded ? 1 : static_cast<std::size_t>(sources), gen);
+  }
+
+  json::value s = json::value::array();
+  json::value t = json::value::array();
+  for (const double v : prof.s) s.push(num(v));
+  for (const double v : prof.t) t.push(num(v));
+
+  const reachability_growth_fit fit = fit_reachability_growth(prof);
+  json::value growth = json::value::object();
+  growth.set("lambda", num(fit.lambda));
+  growth.set("r_squared", num(fit.r_squared));
+  growth.set("radii_used", num_u(fit.radii_used));
+
+  json::value result = json::value::object();
+  result.set("topology", json::value::string(g.name()));
+  result.set("nodes", num_u(g.node_count()));
+  if (degraded) result.set("degraded", json::value::boolean(true));
+  result.set("s", std::move(s));
+  result.set("t", std::move(t));
+  result.set("max_radius", num_u(prof.max_radius()));
+  result.set("total_sites", num(prof.total_sites()));
+  result.set("mean_distance", num(prof.mean_distance()));
+  result.set("growth_fit", std::move(growth));
+  return result;
+}
+
+}  // namespace mcast::service

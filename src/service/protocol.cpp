@@ -34,21 +34,31 @@ std::string error_response(error_code code, const std::string& message) {
 
 std::string error_response(error_code code, const std::string& message,
                            const json::value& id) {
+  return json::dump_compact(error_document(code, message, id));
+}
+
+std::string ok_response(const std::string& op, json::value result,
+                        const json::value& id) {
+  return json::dump_compact(ok_document(op, std::move(result), id));
+}
+
+json::value error_document(error_code code, const std::string& message,
+                           const json::value& id) {
   json::value doc = json::value::object();
   doc.set("id", id);
   doc.set("ok", json::value::boolean(false));
   doc.set("error", error_doc(code, message));
-  return json::dump_compact(doc);
+  return doc;
 }
 
-std::string ok_response(const std::string& op, json::value result,
+json::value ok_document(const std::string& op, json::value result,
                         const json::value& id) {
   json::value doc = json::value::object();
   doc.set("id", id);
   doc.set("ok", json::value::boolean(true));
   doc.set("op", json::value::string(op));
   doc.set("result", std::move(result));
-  return json::dump_compact(doc);
+  return doc;
 }
 
 json::value parse_request(const std::string& line) {

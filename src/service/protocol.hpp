@@ -64,6 +64,7 @@ struct service_limits {
   unsigned max_kary_k = 64;
   unsigned max_kary_depth = 40;
   std::uint64_t max_budget = 200000;    ///< topology scaling budget cap
+  std::size_t max_batch_ops = 64;       ///< sub-ops per batch envelope
 };
 
 /// One serialized error line (no trailing newline).
@@ -75,6 +76,15 @@ std::string error_response(error_code code, const std::string& message,
 
 /// One serialized success line wrapping `result` (no trailing newline).
 std::string ok_response(const std::string& op, json::value result,
+                        const json::value& id);
+
+/// The response documents in object form — exactly what error_response /
+/// ok_response serialize (same keys, same order). The batch envelope
+/// embeds one per sub-op, so sub-op responses are byte-for-byte the lines
+/// the same requests would get standalone.
+json::value error_document(error_code code, const std::string& message,
+                           const json::value& id);
+json::value ok_document(const std::string& op, json::value result,
                         const json::value& id);
 
 // --- strict field extraction -------------------------------------------

@@ -1,114 +1,23 @@
 #include "service/query_service.hpp"
 
-#include <cmath>
-#include <memory>
 #include <utility>
 #include <vector>
 
-#include "analysis/kary_exact.hpp"
-#include "analysis/reachability.hpp"
-#include "core/runner.hpp"
-#include "core/scaling_law.hpp"
 #include "obs/metrics.hpp"
-#include "obs/metrics_json.hpp"
-#include "sim/rng.hpp"
 #include "topo/cache.hpp"
 
 namespace mcast::service {
-namespace {
 
-json::value num(double v) { return json::value::number(v); }
-json::value num_u(std::uint64_t v) {
-  return json::value::number(static_cast<double>(v));
+query_service::query_service(service_limits limits) {
+  ctx_.limits = limits;
+  ctx_.resolve = [](const std::string& name, std::uint64_t seed,
+                    node_id budget) {
+    return shared_topology_cache().get(name, seed, budget);
+  };
 }
-
-/// The request "id" echoed in responses: absent → null; anything but a
-/// string/number/null is a client bug worth naming.
-json::value request_id(const json::value& req) {
-  const json::value* id = req.get("id");
-  if (id == nullptr) return json::value();
-  switch (id->type()) {
-    case json::value::kind::null:
-    case json::value::kind::number:
-    case json::value::kind::string:
-      return *id;
-    default:
-      throw request_error(error_code::bad_request,
-                          "field 'id' must be a string, number or null");
-  }
-}
-
-/// `n` as a grid: a single number or an array of numbers, each >= 0.
-std::vector<double> n_grid(const json::value& req, std::size_t max_points) {
-  const json::value& n = require_member(req, "n");
-  std::vector<double> grid;
-  if (n.is(json::value::kind::number)) {
-    grid.push_back(n.as_number());
-  } else if (n.is(json::value::kind::array)) {
-    if (n.items().empty()) {
-      throw request_error(error_code::bad_request,
-                          "field 'n' must not be an empty array");
-    }
-    if (n.items().size() > max_points) {
-      throw request_error(error_code::limit_exceeded,
-                          "field 'n' exceeds the service cap of " +
-                              std::to_string(max_points) + " points");
-    }
-    for (const json::value& item : n.items()) {
-      if (!item.is(json::value::kind::number)) {
-        throw request_error(error_code::bad_request,
-                            "field 'n' must contain only numbers");
-      }
-      grid.push_back(item.as_number());
-    }
-  } else {
-    throw request_error(error_code::bad_request,
-                        "field 'n' must be a number or an array of numbers");
-  }
-  for (const double v : grid) {
-    if (!std::isfinite(v) || v < 0.0) {
-      throw request_error(error_code::bad_request,
-                          "field 'n' values must be finite and >= 0");
-    }
-  }
-  return grid;
-}
-
-/// Shared topology resolution: catalog name + optional seed/budget.
-/// budget 0 means the entry's native size; otherwise the same scaled
-/// build `mcast_lab run` uses (which requires budget >= 64).
-std::shared_ptr<const graph> resolve_topology(const json::value& req,
-                                              const service_limits& limits) {
-  const std::string name = require_string(req, "topology");
-  const std::uint64_t seed = u64_or(req, "topology_seed", 7);
-  const std::uint64_t budget =
-      bounded_u64(req, "budget", 0, 0, limits.max_budget);
-  if (budget != 0 && budget < 64) {
-    throw request_error(error_code::bad_request,
-                        "field 'budget' must be 0 (native size) or >= 64");
-  }
-  return shared_topology_cache().get(name, seed, static_cast<node_id>(budget));
-}
-
-json::value point_row(const scaling_point& p) {
-  json::value row = json::value::object();
-  row.set("group_size", num_u(p.group_size));
-  row.set("tree_links_mean", num(p.tree_links_mean));
-  row.set("tree_links_stderr", num(p.tree_links_stderr));
-  row.set("unicast_mean", num(p.unicast_mean));
-  row.set("ratio_mean", num(p.ratio_mean));
-  row.set("ratio_stderr", num(p.ratio_stderr));
-  row.set("samples", num_u(p.samples));
-  return row;
-}
-
-}  // namespace
-
-query_service::query_service(service_limits limits)
-    : limits_(limits), started_(std::chrono::steady_clock::now()) {}
 
 void query_service::set_stats_source(std::function<net::server_stats()> fn) {
-  stats_fn_ = std::move(fn);
+  ctx_.stats = std::move(fn);
 }
 
 void query_service::set_pressure_source(std::function<double()> fn) {
@@ -120,320 +29,68 @@ double query_service::pressure() const {
 }
 
 std::string query_service::handle(const std::string& line) noexcept {
-  json::value id;  // null until the request parses far enough to have one
+  json::value req;
   try {
-    const json::value req = parse_request(line);
-    id = request_id(req);
-    const std::string op = require_string(req, "op");
-    return ok_response(op, dispatch(op, req), id);
+    req = parse_request(line);
   } catch (const request_error& e) {
-    return error_response(e.code(), e.what(), id);
-  } catch (const std::invalid_argument& e) {
-    // Domain preconditions (unknown catalog name, bad grid, ...) surface
-    // as std::invalid_argument from the measurement stack.
-    return error_response(error_code::bad_request, e.what(), id);
-  } catch (const std::exception& e) {
-    return error_response(error_code::internal_error, e.what(), id);
-  } catch (...) {
-    return error_response(error_code::internal_error, "unknown error", id);
+    return error_response(e.code(), e.what(), json::value());
   }
+  return json::dump_compact(response_document(
+      req, [this](const std::string& op, const json::value& r) {
+        return dispatch(op, r);
+      }));
+}
+
+bool query_service::shed_gate(const std::string& op) const {
+  // Cost-aware shedding: only the Monte-Carlo ops pay the overload
+  // bill. Cheap ops (lmhat, metrics, healthz) stay live at any pressure
+  // so health checks and closed-form queries keep working.
+  const double p = pressure();
+  if (p >= shed_.refuse_at) {
+    obs::add(obs::counter::svc_shed_refused);
+    throw request_error(error_code::shed,
+                        "op '" + op + "' shed under load (pressure " +
+                            std::to_string(p) + "); retry with backoff");
+  }
+  if (p >= shed_.degrade_at) {
+    obs::add(obs::counter::svc_shed_degraded);
+    return true;
+  }
+  return false;
 }
 
 json::value query_service::dispatch(const std::string& op,
                                     const json::value& req) {
-  static const char* const bare[] = {"op", "id", nullptr};
-  if (op == "lmhat") return op_lmhat(req);
-  if (op == "lm_estimate" || op == "reachability") {
-    // Cost-aware shedding: only the Monte-Carlo ops pay the overload
-    // bill. Cheap ops (lmhat, metrics, healthz) stay live at any pressure
-    // so health checks and closed-form queries keep working.
-    const double p = pressure();
-    bool degraded = false;
-    if (p >= shed_.refuse_at) {
-      obs::add(obs::counter::svc_shed_refused);
-      throw request_error(error_code::shed,
-                          "op '" + op + "' shed under load (pressure " +
-                              std::to_string(p) + "); retry with backoff");
-    }
-    if (p >= shed_.degrade_at) {
-      obs::add(obs::counter::svc_shed_degraded);
-      degraded = true;
-    }
-    return op == "lm_estimate" ? op_lm_estimate(req, degraded)
-                               : op_reachability(req, degraded);
+  if (op == "batch") return run_batch(req);
+  const op_entry* entry = find_op(op);
+  if (entry == nullptr) {
+    throw request_error(error_code::unknown_op, "unknown op '" + op + "'");
   }
-  if (op == "metrics") {
-    reject_unknown_keys(req, bare);
-    return op_metrics();
-  }
-  if (op == "healthz") {
-    reject_unknown_keys(req, bare);
-    return op_healthz();
-  }
-  throw request_error(error_code::unknown_op, "unknown op '" + op + "'");
+  const bool degraded = entry->sheddable ? shed_gate(op) : false;
+  return run_op(*entry, req, ctx_, degraded);
 }
 
-json::value query_service::op_lmhat(const json::value& req) const {
-  static const char* const allowed[] = {"op", "id", "k",     "depth",
-                                        "n",  "model", nullptr};
+json::value query_service::run_batch(const json::value& req) {
+  static const char* const allowed[] = {"op", "id", "ops", nullptr};
   reject_unknown_keys(req, allowed);
-  require_member(req, "k");
-  require_member(req, "depth");
-  const unsigned k =
-      static_cast<unsigned>(bounded_u64(req, "k", 0, 2, limits_.max_kary_k));
-  const unsigned depth = static_cast<unsigned>(
-      bounded_u64(req, "depth", 0, 1, limits_.max_kary_depth));
-  const std::string model = string_or(req, "model", "leaves");
-  if (model != "leaves" && model != "all_sites") {
-    throw request_error(error_code::bad_request,
-                        "field 'model' must be 'leaves' or 'all_sites'");
+  const json::value& ops = batch_subops(req, ctx_.limits);
+  obs::add(obs::counter::svc_batch_requests);
+
+  // Serial reference semantics: sub-ops run in request order on this
+  // thread. The sharded host scatters the same slots and splices the same
+  // documents back in slot order (shard_router.cpp).
+  std::vector<json::value> docs;
+  docs.reserve(ops.items().size());
+  for (const json::value& sub : ops.items()) {
+    obs::add(obs::counter::svc_batch_subops);
+    docs.push_back(subop_document(
+        sub, [this](const std::string& op, const json::value& r) {
+          reject_nested_batch(op);
+          return dispatch(op, r);
+        }));
+    obs::add(obs::counter::svc_batch_spliced);
   }
-  const bool leaves = model == "leaves";
-  const std::vector<double> grid = n_grid(req, limits_.max_points);
-
-  const double sites =
-      leaves ? kary_leaf_count(k, depth) : kary_site_count_all(k, depth);
-  const double ubar = leaves ? kary_unicast_mean_leaves(depth)
-                             : kary_unicast_mean_all_sites(k, depth);
-
-  json::value rows = json::value::array();
-  for (const double n : grid) {
-    const double lhat = leaves ? kary_tree_size_leaves(k, depth, n)
-                               : kary_tree_size_all_sites(k, depth, n);
-    json::value row = json::value::object();
-    row.set("n", num(n));
-    row.set("lhat", num(lhat));
-    row.set("lhat_over_ubar", num(lhat / ubar));
-    rows.push(std::move(row));
-  }
-
-  json::value result = json::value::object();
-  result.set("k", num_u(k));
-  result.set("depth", num_u(depth));
-  result.set("model", json::value::string(model));
-  result.set("sites", num(sites));
-  result.set("unicast_mean", num(ubar));
-  result.set("rows", std::move(rows));
-  return result;
-}
-
-json::value query_service::op_lm_estimate(const json::value& req,
-                                          bool degraded) const {
-  static const char* const allowed[] = {
-      "op",          "id",    "topology",      "topology_seed",
-      "budget",      "seed",  "group_sizes",   "grid_points",
-      "sources",     "model", "receiver_sets", "threads",
-      nullptr};
-  reject_unknown_keys(req, allowed);
-  const auto shared = resolve_topology(req, limits_);
-  const graph& g = *shared;
-  const std::uint64_t sites = g.node_count() - 1;
-
-  const std::string model = string_or(req, "model", "distinct");
-  if (model != "distinct" && model != "replacement") {
-    throw request_error(error_code::bad_request,
-                        "field 'model' must be 'distinct' or 'replacement'");
-  }
-  const bool distinct = model == "distinct";
-
-  std::vector<std::uint64_t> grid;
-  if (req.get("group_sizes") != nullptr) {
-    if (req.get("grid_points") != nullptr) {
-      throw request_error(
-          error_code::bad_request,
-          "give either 'group_sizes' or 'grid_points', not both");
-    }
-    const json::value& gs = require_member(req, "group_sizes");
-    if (!gs.is(json::value::kind::array) || gs.items().empty()) {
-      throw request_error(error_code::bad_request,
-                          "field 'group_sizes' must be a non-empty array");
-    }
-    if (gs.items().size() > limits_.max_group_sizes) {
-      throw request_error(error_code::limit_exceeded,
-                          "field 'group_sizes' exceeds the service cap of " +
-                              std::to_string(limits_.max_group_sizes));
-    }
-    for (const json::value& item : gs.items()) {
-      if (!item.is(json::value::kind::number) || item.as_number() < 1.0 ||
-          item.as_number() != std::floor(item.as_number())) {
-        throw request_error(error_code::bad_request,
-                            "field 'group_sizes' must hold integers >= 1");
-      }
-      grid.push_back(static_cast<std::uint64_t>(item.as_number()));
-    }
-  } else {
-    const std::uint64_t points = bounded_u64(req, "grid_points", 12, 2,
-                                             limits_.max_group_sizes);
-    grid = default_group_grid(sites, static_cast<std::size_t>(points));
-  }
-  if (distinct) {
-    for (const std::uint64_t m : grid) {
-      if (m > sites) {
-        throw request_error(error_code::bad_request,
-                            "group size " + std::to_string(m) +
-                                " exceeds the topology's " +
-                                std::to_string(sites) + " candidate sites");
-      }
-    }
-  }
-
-  monte_carlo_params mc;
-  mc.seed = u64_or(req, "seed", 1999);
-  mc.sources = static_cast<std::size_t>(
-      bounded_u64(req, "sources", 20, 1, limits_.max_sources));
-  mc.receiver_sets = static_cast<std::size_t>(
-      bounded_u64(req, "receiver_sets", 20, 1, limits_.max_receiver_sets));
-  mc.threads = static_cast<std::size_t>(
-      bounded_u64(req, "threads", 1, 1, limits_.max_threads));
-
-  std::vector<scaling_point> points;
-  if (degraded) {
-    // Under pressure: answer from the Chuang-Sirbu closed form (Eq 4),
-    // L(m) ≈ ū·m^0.8, with ū from a single BFS instead of the full
-    // Monte-Carlo sweep. samples = 0 marks every row as model-derived.
-    const double ubar = reachability_from(g, 0).mean_distance();
-    points.reserve(grid.size());
-    for (const std::uint64_t m : grid) {
-      scaling_point p;
-      p.group_size = m;
-      p.ratio_mean = std::pow(static_cast<double>(m), 0.8);
-      p.tree_links_mean = ubar * p.ratio_mean;
-      p.tree_links_stderr = 0.0;
-      p.unicast_mean = ubar;
-      p.ratio_stderr = 0.0;
-      p.samples = 0;
-      points.push_back(p);
-    }
-  } else {
-    points = distinct ? measure_distinct_receivers(g, grid, mc)
-                      : measure_with_replacement(g, grid, mc);
-  }
-
-  json::value rows = json::value::array();
-  for (const scaling_point& p : points) rows.push(point_row(p));
-
-  json::value result = json::value::object();
-  result.set("topology", json::value::string(g.name()));
-  result.set("nodes", num_u(g.node_count()));
-  result.set("edges", num_u(g.edge_count()));
-  result.set("model", json::value::string(model));
-  result.set("seed", num_u(mc.seed));
-  // Present only when shed to the closed form, so the fault-free response
-  // stays byte-identical to what it was before shedding existed.
-  if (degraded) result.set("degraded", json::value::boolean(true));
-  result.set("rows", std::move(rows));
-
-  // The Chuang-Sirbu fit over the paper's window, when enough of the
-  // grid falls inside it to be meaningful.
-  std::size_t usable = 0;
-  for (const scaling_point& p : points) {
-    if (p.samples > 0 && p.group_size >= 2 && p.group_size <= 500) ++usable;
-  }
-  if (usable >= 3) {
-    const scaling_law law = scaling_law::fit_to(points, 2.0, 500.0);
-    json::value fit = json::value::object();
-    fit.set("amplitude", num(law.amplitude()));
-    fit.set("exponent", num(law.exponent()));
-    fit.set("r_squared", num(law.r_squared()));
-    result.set("fit", std::move(fit));
-  }
-  return result;
-}
-
-json::value query_service::op_reachability(const json::value& req,
-                                           bool degraded) const {
-  static const char* const allowed[] = {
-      "op",     "id",      "topology", "topology_seed",
-      "budget", "source",  "sources",  "seed",
-      nullptr};
-  reject_unknown_keys(req, allowed);
-  const auto shared = resolve_topology(req, limits_);
-  const graph& g = *shared;
-
-  reachability_profile prof;
-  if (req.get("source") != nullptr) {
-    if (req.get("sources") != nullptr) {
-      throw request_error(error_code::bad_request,
-                          "give either 'source' or 'sources', not both");
-    }
-    const std::uint64_t source = require_u64(req, "source");
-    if (source >= g.node_count()) {
-      throw request_error(error_code::bad_request,
-                          "field 'source' must be < " +
-                              std::to_string(g.node_count()));
-    }
-    prof = reachability_from(g, static_cast<node_id>(source));
-  } else {
-    const std::uint64_t sources =
-        bounded_u64(req, "sources", 32, 1, limits_.max_sources);
-    rng gen(u64_or(req, "seed", 777));
-    // Under pressure the multi-source mean collapses to one sampled
-    // source — a single BFS instead of `sources` of them.
-    prof = mean_reachability(
-        g, degraded ? 1 : static_cast<std::size_t>(sources), gen);
-  }
-
-  json::value s = json::value::array();
-  json::value t = json::value::array();
-  for (const double v : prof.s) s.push(num(v));
-  for (const double v : prof.t) t.push(num(v));
-
-  const reachability_growth_fit fit = fit_reachability_growth(prof);
-  json::value growth = json::value::object();
-  growth.set("lambda", num(fit.lambda));
-  growth.set("r_squared", num(fit.r_squared));
-  growth.set("radii_used", num_u(fit.radii_used));
-
-  json::value result = json::value::object();
-  result.set("topology", json::value::string(g.name()));
-  result.set("nodes", num_u(g.node_count()));
-  if (degraded) result.set("degraded", json::value::boolean(true));
-  result.set("s", std::move(s));
-  result.set("t", std::move(t));
-  result.set("max_radius", num_u(prof.max_radius()));
-  result.set("total_sites", num(prof.total_sites()));
-  result.set("mean_distance", num(prof.mean_distance()));
-  result.set("growth_fit", std::move(growth));
-  return result;
-}
-
-json::value query_service::op_metrics() const {
-  const net::server_stats stats =
-      stats_fn_ ? stats_fn_() : net::server_stats{};
-  json::value server = json::value::object();
-  server.set("accepted", num_u(stats.accepted));
-  server.set("rejected", num_u(stats.rejected));
-  server.set("requests", num_u(stats.requests));
-  server.set("queue_depth", num_u(stats.queue_depth));
-  server.set("inflight", num_u(stats.inflight));
-
-  json::value result = json::value::object();
-  result.set("uptime_seconds",
-             num(stats_fn_ ? stats.uptime_seconds
-                           : std::chrono::duration<double>(
-                                 std::chrono::steady_clock::now() - started_)
-                                 .count()));
-  result.set("server", std::move(server));
-  result.set("metrics", obs::metrics_to_json(obs::snapshot()));
-  return result;
-}
-
-json::value query_service::op_healthz() const {
-  const net::server_stats stats =
-      stats_fn_ ? stats_fn_() : net::server_stats{};
-  json::value result = json::value::object();
-  result.set("status", json::value::string("ok"));
-  result.set("uptime_seconds",
-             num(stats_fn_ ? stats.uptime_seconds
-                           : std::chrono::duration<double>(
-                                 std::chrono::steady_clock::now() - started_)
-                                 .count()));
-  result.set("accepted", num_u(stats.accepted));
-  result.set("rejected", num_u(stats.rejected));
-  result.set("requests", num_u(stats.requests));
-  result.set("queue_depth", num_u(stats.queue_depth));
-  result.set("inflight", num_u(stats.inflight));
-  return result;
+  return make_batch_result(std::move(docs));
 }
 
 }  // namespace mcast::service

@@ -1,45 +1,33 @@
-// query_service — the request dispatcher behind `mcast_lab serve`.
+// query_service — the single-shard request dispatcher behind
+// `mcast_lab serve`.
 //
 // handle() maps one request line to one response line and never throws:
 // every failure mode is a typed error line (service/protocol.hpp). The
-// deterministic operations (lmhat, lm_estimate, reachability) are pure
-// functions of the request — explicit seeds, the thread-count-invariant
-// Monte-Carlo engine, and ordered-key JSON dumping make responses
-// byte-identical across worker threads, connection interleavings and
-// server restarts. metrics/healthz are the exception: they report live
-// registry and uptime state and are exempt from the byte-identity
-// guarantee (tests compare only their ok status).
+// deterministic operations (lmhat, lm_estimate, reachability, batch) are
+// pure functions of the request — explicit seeds, the
+// thread-count-invariant Monte-Carlo engine, and ordered-key JSON dumping
+// make responses byte-identical across worker threads, connection
+// interleavings and server restarts. metrics/healthz are the exception:
+// they report live registry and uptime state and are exempt from the
+// byte-identity guarantee (tests compare only their ok status).
 //
-// Topologies are built through the shared content-keyed topology cache
-// (topo/cache.hpp), so concurrent requests for the same
-// (topology, seed, budget) share one immutable graph instead of
-// rebuilding it per request.
+// The handler bodies live in service/ops.hpp behind a dispatch table; this
+// class runs every op inline on the calling thread (including batch
+// sub-ops, serially in request order) and resolves topologies through the
+// process-wide content-keyed cache. The sharded host
+// (service/shard_router.hpp) dispatches through the same table, which is
+// what the byte-identity tests between the two paths lean on.
 #pragma once
 
-#include <chrono>
 #include <functional>
 #include <string>
 
 #include "common/json.hpp"
 #include "net/server.hpp"
+#include "service/ops.hpp"
 #include "service/protocol.hpp"
 
 namespace mcast::service {
-
-/// Cost-aware load shedding (docs/resilience.md). Pressure is a number in
-/// [0, 1] (typically queue_depth / queue_capacity). The expensive
-/// Monte-Carlo ops degrade first and refuse last; lmhat/metrics/healthz
-/// are never shed. Thresholds above 1 disable the corresponding tier,
-/// which is the default: shedding must be asked for.
-struct shed_policy {
-  /// At or above this pressure, lm_estimate answers with the Eq 4 closed
-  /// form (marked `"degraded": true`) and reachability with a single-BFS
-  /// profile instead of the Monte-Carlo mean.
-  double degrade_at = 2.0;
-  /// At or above this pressure, lm_estimate/reachability are refused with
-  /// the retryable typed error `shed`.
-  double refuse_at = 2.0;
-};
 
 class query_service {
  public:
@@ -62,22 +50,19 @@ class query_service {
   /// One request line in, one response line out (no trailing newline).
   std::string handle(const std::string& line) noexcept;
 
-  const service_limits& limits() const noexcept { return limits_; }
+  const service_limits& limits() const noexcept { return ctx_.limits; }
 
  private:
   json::value dispatch(const std::string& op, const json::value& req);
-  json::value op_lmhat(const json::value& req) const;
-  json::value op_lm_estimate(const json::value& req, bool degraded) const;
-  json::value op_reachability(const json::value& req, bool degraded) const;
-  json::value op_metrics() const;
-  json::value op_healthz() const;
+  json::value run_batch(const json::value& req);
+  /// Applies the shed policy to a sheddable op: throws request_error(shed)
+  /// to refuse, returns true to degrade, false to run at full fidelity.
+  bool shed_gate(const std::string& op) const;
   double pressure() const;
 
-  service_limits limits_;
-  std::function<net::server_stats()> stats_fn_;
+  op_context ctx_;
   std::function<double()> pressure_fn_;
   shed_policy shed_;
-  std::chrono::steady_clock::time_point started_;
 };
 
 }  // namespace mcast::service

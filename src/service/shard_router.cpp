@@ -1,0 +1,419 @@
+#include "service/shard_router.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "common/contract.hpp"
+#include "obs/metrics.hpp"
+#include "sim/rng.hpp"
+
+namespace mcast::service {
+
+// --- consistent_hash_ring ----------------------------------------------
+
+consistent_hash_ring::consistent_hash_ring(std::size_t shards,
+                                           std::size_t replicas)
+    : shards_(shards), replicas_(replicas) {
+  expects(shards >= 1, "consistent_hash_ring: need at least one shard");
+  expects(replicas >= 1, "consistent_hash_ring: need at least one replica");
+  points_.reserve(shards * replicas);
+  for (std::size_t s = 0; s < shards; ++s) {
+    // Each shard's virtual nodes are a splitmix64 stream seeded by the
+    // shard index alone, so shard s contributes the SAME points to every
+    // ring that contains it — the property that bounds key movement when
+    // the shard count changes to exactly the new shard's arcs. The index
+    // is mixed once before the stream starts: splitmix64 walks its state
+    // by a fixed gamma, so raw gamma-multiple seeds would make adjacent
+    // shards emit the same sequence shifted by one point.
+    std::uint64_t seed = static_cast<std::uint64_t>(s) + 1;
+    std::uint64_t state = splitmix64(seed);
+    for (std::size_t r = 0; r < replicas; ++r) {
+      points_.push_back(
+          ring_point{splitmix64(state), static_cast<std::uint32_t>(s)});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const ring_point& a, const ring_point& b) {
+              return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+            });
+}
+
+std::size_t consistent_hash_ring::owner_of_hash(
+    std::uint64_t hash) const noexcept {
+  // First point at or after the key, wrapping to the smallest point.
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), hash,
+      [](const ring_point& p, std::uint64_t h) { return p.hash < h; });
+  if (it == points_.end()) it = points_.begin();
+  return it->shard;
+}
+
+std::size_t consistent_hash_ring::owner(
+    const topology_key& key) const noexcept {
+  return owner_of_hash(topology_routing_hash(key));
+}
+
+// --- service_shard -----------------------------------------------------
+
+service_shard::service_shard(std::size_t index, std::size_t workers,
+                             std::size_t queue_capacity,
+                             const warm_topology_tier* warm,
+                             std::size_t lru_capacity)
+    : index_(index), capacity_(queue_capacity), cache_(warm, lru_capacity) {
+  expects(workers >= 1, "service_shard: need at least one worker");
+  expects(queue_capacity >= 1, "service_shard: queue capacity must be >= 1");
+  workers_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+service_shard::~service_shard() { shutdown(); }
+
+bool service_shard::submit(task_fn task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || queue_.size() >= capacity_) {
+      ++rejected_;
+      obs::add(obs::counter::svc_shard_rejected);
+      return false;
+    }
+    queue_.push_back(std::move(task));
+    queue_depth_peak_ = std::max<std::uint64_t>(queue_depth_peak_,
+                                                queue_.size());
+    obs::gauge_max(obs::gauge::svc_shard_queue_depth_peak, queue_.size());
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void service_shard::worker_loop() {
+  for (;;) {
+    task_fn task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++inflight_;
+      inflight_peak_ = std::max<std::uint64_t>(inflight_peak_, inflight_);
+      obs::gauge_max(obs::gauge::svc_shard_inflight_peak, inflight_);
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --inflight_;
+      ++executed_;
+    }
+    obs::add(obs::counter::svc_shard_tasks);
+  }
+}
+
+service_shard::shard_stats service_shard::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  shard_stats s;
+  s.tasks_executed = executed_;
+  s.rejected = rejected_;
+  s.queue_depth = queue_.size();
+  s.queue_capacity = capacity_;
+  s.inflight = inflight_;
+  s.queue_depth_peak = queue_depth_peak_;
+  s.inflight_peak = inflight_peak_;
+  return s;
+}
+
+void service_shard::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+// --- sharded_service ---------------------------------------------------
+
+sharded_service::sharded_service(sharded_config config)
+    : config_(config), ring_(std::max<std::size_t>(1, config.shards),
+                             std::max<std::size_t>(1, config.ring_replicas)) {
+  expects(config_.shards >= 1, "sharded_service: need at least one shard");
+  expects(config_.shard_workers >= 1,
+          "sharded_service: need at least one worker per shard");
+  expects(config_.shard_queue >= 1,
+          "sharded_service: shard queue capacity must be >= 1");
+  const auto started = std::chrono::steady_clock::now();
+  shards_.reserve(config_.shards);
+  shard_ctx_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<service_shard>(
+        i, config_.shard_workers, config_.shard_queue, &warm_,
+        config_.shard_lru));
+  }
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    op_context ctx;
+    ctx.limits = config_.limits;
+    ctx.started = started;
+    ctx.resolve = [shard = shards_[i].get()](const std::string& name,
+                                             std::uint64_t seed,
+                                             node_id budget) {
+      return shard->topology().get(name, seed, budget);
+    };
+    shard_ctx_.push_back(std::move(ctx));
+  }
+  frontend_ctx_.limits = config_.limits;
+  frontend_ctx_.started = started;
+  frontend_ctx_.resolve = shard_ctx_.front().resolve;
+  frontend_ctx_.shard_metrics = [this] { return shard_metrics_json(); };
+}
+
+sharded_service::~sharded_service() { shutdown(); }
+
+void sharded_service::shutdown() {
+  for (auto& shard : shards_) shard->shutdown();
+}
+
+void sharded_service::warm(const std::vector<topology_key>& keys) {
+  warm_.populate(keys);
+}
+
+void sharded_service::set_stats_source(std::function<net::server_stats()> fn) {
+  frontend_ctx_.stats = std::move(fn);
+}
+
+void sharded_service::set_pressure_source(std::function<double()> fn) {
+  pressure_fn_ = std::move(fn);
+}
+
+double sharded_service::pressure() const {
+  return pressure_fn_ ? pressure_fn_() : 0.0;
+}
+
+std::string sharded_service::handle(const std::string& line) noexcept {
+  json::value req;
+  try {
+    req = parse_request(line);
+  } catch (const request_error& e) {
+    return error_response(e.code(), e.what(), json::value());
+  }
+  return json::dump_compact(response_document(
+      req, [this](const std::string& op, const json::value& r) {
+        return dispatch(op, r);
+      }));
+}
+
+bool sharded_service::shed_gate(const std::string& op) const {
+  // Identical to query_service::shed_gate — the shed decision (and its
+  // error bytes) must not depend on which host serves the request.
+  const double p = pressure();
+  if (p >= shed_.refuse_at) {
+    obs::add(obs::counter::svc_shed_refused);
+    throw request_error(error_code::shed,
+                        "op '" + op + "' shed under load (pressure " +
+                            std::to_string(p) + "); retry with backoff");
+  }
+  if (p >= shed_.degrade_at) {
+    obs::add(obs::counter::svc_shed_degraded);
+    return true;
+  }
+  return false;
+}
+
+std::size_t sharded_service::route_shard(
+    const json::value& req) const noexcept {
+  try {
+    topology_key key;
+    key.name = require_string(req, "topology");
+    key.seed = u64_or(req, "topology_seed", 7);
+    key.budget = static_cast<node_id>(u64_or(req, "budget", 0));
+    return ring_.owner(key);
+  } catch (...) {
+    // Malformed routing fields: any shard renders the same typed error,
+    // so send it to shard 0 rather than failing here.
+    return 0;
+  }
+}
+
+json::value sharded_service::dispatch(const std::string& op,
+                                      const json::value& req) {
+  if (op == "batch") return run_batch(req);
+  return dispatch_single(op, req);
+}
+
+json::value sharded_service::dispatch_single(const std::string& op,
+                                             const json::value& req) {
+  const op_entry* entry = find_op(op);
+  if (entry == nullptr) {
+    throw request_error(error_code::unknown_op, "unknown op '" + op + "'");
+  }
+  const bool degraded = entry->sheddable ? shed_gate(op) : false;
+  if (!entry->needs_topology) {
+    return run_op(*entry, req, frontend_ctx_, degraded);
+  }
+  if (entry->kind == op_kind::lm_estimate) {
+    return scatter_lm_estimate(req, degraded);
+  }
+  return run_routed(*entry, req, route_shard(req), degraded);
+}
+
+json::value sharded_service::run_batch(const json::value& req) {
+  static const char* const allowed[] = {"op", "id", "ops", nullptr};
+  reject_unknown_keys(req, allowed);
+  const json::value& ops = batch_subops(req, config_.limits);
+  obs::add(obs::counter::svc_batch_requests);
+
+  // Slots run in request order through the same routing as standalone
+  // requests, so sub-op documents (and their order) match the monolith's
+  // serial reference byte for byte. Parallelism comes from within the
+  // slots: every lm_estimate sub-op still scatters across all shards.
+  std::vector<json::value> docs;
+  docs.reserve(ops.items().size());
+  for (const json::value& sub : ops.items()) {
+    obs::add(obs::counter::svc_batch_subops);
+    docs.push_back(subop_document(
+        sub, [this](const std::string& op, const json::value& r) {
+          reject_nested_batch(op);
+          return dispatch_single(op, r);
+        }));
+    obs::add(obs::counter::svc_batch_spliced);
+  }
+  return make_batch_result(std::move(docs));
+}
+
+json::value sharded_service::run_routed(const op_entry& entry,
+                                        const json::value& req,
+                                        std::size_t shard, bool degraded) {
+  json::value out;
+  std::exception_ptr err;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+
+  const op_context& ctx = shard_ctx_[shard];
+  const bool accepted = shards_[shard]->submit([&] {
+    try {
+      out = run_op(entry, req, ctx, degraded);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      done = true;
+    }
+    cv.notify_one();
+  });
+  if (!accepted) {
+    throw request_error(error_code::overloaded,
+                        "shard " + std::to_string(shard) +
+                            " admission queue full; retry with backoff");
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done; });
+  if (err) std::rethrow_exception(err);
+  return out;
+}
+
+json::value sharded_service::scatter_lm_estimate(const json::value& req,
+                                                 bool degraded) {
+  // Plan on the frontend: full validation plus topology resolution through
+  // the home shard's tiered cache, so the graph is shared (and its build
+  // coalesced) before any chunk is dispatched.
+  const std::size_t home = route_shard(req);
+  const lm_plan plan = plan_lm_estimate(req, shard_ctx_[home]);
+  if (degraded) return render_lm_estimate(plan, lm_closed_form(plan), true);
+
+  const std::size_t sources = plan.mc.sources;
+  const std::size_t chunks = std::min(shards_.size(), sources);
+  obs::add(obs::counter::svc_scatter_requests);
+
+  struct chunk_slot {
+    std::vector<std::vector<mc_cell>> cells;
+    std::exception_ptr err;
+  };
+  std::vector<chunk_slot> slots(chunks);
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t finished = 0;
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    // Contiguous source ranges in chunk order: concatenating the chunk
+    // results in index order reproduces the serial per-source sequence.
+    const std::size_t begin = c * sources / chunks;
+    const std::size_t end = (c + 1) * sources / chunks;
+    const std::size_t shard = (home + c) % shards_.size();
+    obs::add(obs::counter::svc_scatter_chunks);
+    auto work = [&, c, begin, end] {
+      try {
+        slots[c].cells = run_lm_sources(plan, begin, end);
+      } catch (...) {
+        slots[c].err = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        ++finished;
+      }
+      cv.notify_one();
+    };
+    if (!shards_[shard]->submit(work)) {
+      // Bounded-queue fallback: the frontend folds this chunk itself
+      // rather than failing a scatter other shards already accepted.
+      work();
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return finished == chunks; });
+  }
+
+  // Gather: count every chunk spliced (the dispatched == spliced
+  // invariant holds even on a failed chunk), then surface any failure.
+  for (std::size_t c = 0; c < chunks; ++c) {
+    obs::add(obs::counter::svc_scatter_spliced);
+  }
+  for (const chunk_slot& slot : slots) {
+    if (slot.err) std::rethrow_exception(slot.err);
+  }
+  std::vector<std::vector<mc_cell>> per_source;
+  per_source.reserve(sources);
+  for (chunk_slot& slot : slots) {
+    for (auto& block : slot.cells) per_source.push_back(std::move(block));
+  }
+  return render_lm_estimate(
+      plan, splice_source_cells(plan.grid, per_source), false);
+}
+
+json::value sharded_service::shard_metrics_json() const {
+  json::value arr = json::value::array();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const service_shard::shard_stats st = shards_[i]->stats();
+    const topology_cache& lru = shards_[i]->topology().lru();
+    const topology_cache::cache_stats cs = lru.stats();
+    json::value row = json::value::object();
+    row.set("shard", num_u(i));
+    row.set("queue_depth", num_u(st.queue_depth));
+    row.set("queue_capacity", num_u(st.queue_capacity));
+    row.set("inflight", num_u(st.inflight));
+    row.set("queue_depth_peak", num_u(st.queue_depth_peak));
+    row.set("inflight_peak", num_u(st.inflight_peak));
+    row.set("tasks_executed", num_u(st.tasks_executed));
+    row.set("rejected", num_u(st.rejected));
+    row.set("lru_entries", num_u(lru.size()));
+    row.set("lru_hits", num_u(cs.hits));
+    row.set("lru_misses", num_u(cs.misses));
+    row.set("lru_evictions", num_u(cs.evictions));
+    arr.push(std::move(row));
+  }
+  return arr;
+}
+
+std::vector<service_shard::shard_stats> sharded_service::shard_stats() const {
+  std::vector<service_shard::shard_stats> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) out.push_back(shard->stats());
+  return out;
+}
+
+}  // namespace mcast::service

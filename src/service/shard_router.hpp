@@ -1,0 +1,207 @@
+// shard_router — the sharded serving core behind `mcast_lab serve --shards`.
+//
+//                        ┌─ shard 0: workers + bounded queue + tiered cache
+//   line_server worker ──┤  shard 1:   "        "        "        "
+//     (routing frontend) └─ shard N-1: "        "        "        "
+//
+// A sharded_service is N in-process shards behind a consistent-hash ring
+// keyed on topology cache keys (topo/cache.hpp::topology_key). Each shard
+// owns a worker pool, a bounded admission queue, and a two-tier topology
+// cache (shared warm tier + shard-local LRU); SPT caches live on the shard
+// workers that execute the measurement tasks. The frontend — whatever
+// thread calls handle(), typically a line_server worker — routes each
+// request:
+//
+//   * lmhat / metrics / healthz  — run inline (cheap, no topology);
+//   * reachability               — submitted to the topology's home shard;
+//   * lm_estimate                — SCATTERED: the source range is split
+//     into one contiguous chunk per shard (starting at the home shard),
+//     each chunk folds its sources into un-merged per-source accumulator
+//     blocks (core/runner.hpp), and the frontend splices the blocks back
+//     in source index order — the exact accumulation sequence of the
+//     serial path, like lab/scheduler's index-ordered splice. Responses
+//     are therefore byte-identical to the single-shard and monolithic
+//     paths for any shard count.
+//   * batch                      — the envelope is unpacked on the
+//     frontend and sub-ops run through the same routing in slot order,
+//     so sub-op documents match standalone responses byte for byte.
+//
+// A full shard queue refuses routed ops with the retryable typed error
+// `overloaded`; scatter chunks that cannot be enqueued fall back to the
+// frontend thread instead (one slow chunk must not fail a half-done
+// scatter). Counters: svc.shard.*, svc.batch.*, svc.scatter.* — the
+// service_sharded expectation spec asserts dispatched == spliced.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "net/server.hpp"
+#include "service/ops.hpp"
+#include "service/protocol.hpp"
+#include "topo/cache.hpp"
+
+namespace mcast::service {
+
+/// Consistent-hash ring over shard indices with virtual nodes. Placement
+/// is a pure function of (shard count, replicas, key) — identical across
+/// processes, runs and thread counts — and growing the ring from N to N+1
+/// shards only moves keys that land on the new shard's points (expected
+/// K/(N+1) of K keys; tests/test_shard_router.cpp pins both properties).
+class consistent_hash_ring {
+ public:
+  explicit consistent_hash_ring(std::size_t shards,
+                                std::size_t replicas = 64);
+
+  std::size_t shard_count() const noexcept { return shards_; }
+  std::size_t replicas() const noexcept { return replicas_; }
+
+  /// The shard owning an already-hashed key.
+  std::size_t owner_of_hash(std::uint64_t hash) const noexcept;
+
+  /// The shard owning a topology key (topo/cache.hpp routing hash).
+  std::size_t owner(const topology_key& key) const noexcept;
+
+ private:
+  struct ring_point {
+    std::uint64_t hash;
+    std::uint32_t shard;
+  };
+
+  std::size_t shards_;
+  std::size_t replicas_;
+  std::vector<ring_point> points_;  // sorted by (hash, shard)
+};
+
+/// One in-process shard: a bounded task queue drained by a private worker
+/// pool, plus the shard's two-tier topology cache. submit() never blocks —
+/// a full queue is an admission refusal the caller turns into a typed
+/// error (routed ops) or an inline fallback (scatter chunks).
+class service_shard {
+ public:
+  using task_fn = std::function<void()>;
+
+  struct shard_stats {
+    std::uint64_t tasks_executed = 0;
+    std::uint64_t rejected = 0;
+    std::size_t queue_depth = 0;
+    std::size_t queue_capacity = 0;
+    std::size_t inflight = 0;
+    std::uint64_t queue_depth_peak = 0;
+    std::uint64_t inflight_peak = 0;
+  };
+
+  service_shard(std::size_t index, std::size_t workers,
+                std::size_t queue_capacity, const warm_topology_tier* warm,
+                std::size_t lru_capacity);
+  ~service_shard();
+
+  service_shard(const service_shard&) = delete;
+  service_shard& operator=(const service_shard&) = delete;
+
+  /// Enqueues a task; false (and svc.shard.rejected) when the queue is
+  /// at capacity. Tasks already queued always run, even during shutdown.
+  bool submit(task_fn task);
+
+  std::size_t index() const noexcept { return index_; }
+  tiered_topology_cache& topology() noexcept { return cache_; }
+  const tiered_topology_cache& topology() const noexcept { return cache_; }
+  shard_stats stats() const;
+
+  /// Stops accepting, drains the queue, joins the workers. Idempotent.
+  void shutdown();
+
+ private:
+  void worker_loop();
+
+  std::size_t index_;
+  std::size_t capacity_;
+  tiered_topology_cache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<task_fn> queue_;
+  bool stopping_ = false;
+  std::size_t inflight_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t queue_depth_peak_ = 0;
+  std::uint64_t inflight_peak_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+struct sharded_config {
+  std::size_t shards = 4;          ///< ring size (>= 1)
+  std::size_t shard_workers = 2;   ///< worker threads per shard (>= 1)
+  std::size_t shard_queue = 256;   ///< per-shard admission queue bound
+  std::size_t shard_lru = 16;      ///< per-shard topology LRU capacity
+  std::size_t ring_replicas = 64;  ///< virtual nodes per shard
+  service_limits limits;
+};
+
+/// The sharded drop-in for query_service: same handle()/set_* surface, so
+/// `mcast_lab serve` plugs either into the same line_server.
+class sharded_service {
+ public:
+  explicit sharded_service(sharded_config config = {});
+  ~sharded_service();
+
+  sharded_service(const sharded_service&) = delete;
+  sharded_service& operator=(const sharded_service&) = delete;
+
+  /// Pre-populates the shared warm tier (blocking; call before serving).
+  void warm(const std::vector<topology_key>& keys);
+
+  /// One request line in, one response line out (no trailing newline).
+  /// Blocks the calling thread until routed/scattered work completes.
+  std::string handle(const std::string& line) noexcept;
+
+  void set_stats_source(std::function<net::server_stats()> fn);
+  void set_shed_policy(shed_policy policy) noexcept { shed_ = policy; }
+  void set_pressure_source(std::function<double()> fn);
+
+  const service_limits& limits() const noexcept { return config_.limits; }
+  const consistent_hash_ring& ring() const noexcept { return ring_; }
+  const warm_topology_tier& warm_tier() const noexcept { return warm_; }
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  std::vector<service_shard::shard_stats> shard_stats() const;
+
+  /// Drains every shard queue and joins the shard workers. Idempotent;
+  /// the destructor calls it.
+  void shutdown();
+
+ private:
+  json::value dispatch(const std::string& op, const json::value& req);
+  json::value run_batch(const json::value& req);
+  json::value dispatch_single(const std::string& op, const json::value& req);
+  /// Submits the op to `shard` and blocks for its result; throws the
+  /// typed `overloaded` error when the shard queue refuses it.
+  json::value run_routed(const op_entry& entry, const json::value& req,
+                         std::size_t shard, bool degraded);
+  json::value scatter_lm_estimate(const json::value& req, bool degraded);
+  std::size_t route_shard(const json::value& req) const noexcept;
+  bool shed_gate(const std::string& op) const;
+  double pressure() const;
+  json::value shard_metrics_json() const;
+
+  sharded_config config_;
+  warm_topology_tier warm_;
+  consistent_hash_ring ring_;
+  std::vector<std::unique_ptr<service_shard>> shards_;
+  /// Per-shard handler contexts (resolve bound to that shard's tiered
+  /// cache) plus the frontend context for inline ops.
+  std::vector<op_context> shard_ctx_;
+  op_context frontend_ctx_;
+  std::function<double()> pressure_fn_;
+  shed_policy shed_;
+};
+
+}  // namespace mcast::service
