@@ -40,7 +40,9 @@
 #include "net/chaos.hpp"
 #include "net/server.hpp"
 #include "net/socket.hpp"
+#include "obs/access_log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/client.hpp"
 #include "service/protocol.hpp"
 #include "service/query_service.hpp"
@@ -84,6 +86,8 @@ struct options {
   std::string chaos;              // chaos spec; non-empty switches modes
   double min_goodput_ratio = 0.7; // chaos mode failure threshold
   std::size_t shards = 0;         // >0 switches to the sharded-core harness
+  std::string access_log;         // sharded mode: JSONL access-log artifact
+  std::string profile;            // sharded mode: Chrome-trace artifact
 };
 
 [[noreturn]] void die(const std::string& message) {
@@ -144,6 +148,12 @@ options parse_options(int argc, char** argv) {
     } else if (arg.rfind("--shards=", 0) == 0) {
       opt.shards = parse_u64_flag(value_of("--shards"), "--shards");
       if (opt.shards == 0 || opt.shards > 64) die("--shards must be in 1..64");
+    } else if (arg.rfind("--access-log=", 0) == 0) {
+      opt.access_log = value_of("--access-log");
+      if (opt.access_log.empty()) die("--access-log= needs a file path");
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      opt.profile = value_of("--profile");
+      if (opt.profile.empty()) die("--profile= needs a file path");
     } else if (arg.rfind("--min-goodput-ratio=", 0) == 0) {
       const std::string text = value_of("--min-goodput-ratio");
       std::size_t used = 0;
@@ -420,6 +430,15 @@ bool identity_probe(std::size_t shards, std::uint64_t seed) {
       "{\"op\":\"reachability\",\"topology\":\"ARPA\",\"source\":1,"
       "\"id\":\"s2\"},"
       "{\"op\":\"nosuch\",\"id\":\"s3\"}]}",
+      // Trace-token echo is part of the byte contract: the echoed token
+      // must be identical across shard counts and hosts, including on
+      // scattered ops and inherited batch slots.
+      "{\"op\":\"lm_estimate\",\"topology\":\"ARPA\",\"group_sizes\":[2,4],"
+      "\"sources\":6,\"receiver_sets\":2,\"seed\":9,\"id\":\"p4\","
+      "\"trace\":\"probe-a1\"}",
+      "{\"op\":\"batch\",\"id\":\"p5\",\"trace\":\"probe-a2\",\"ops\":["
+      "{\"op\":\"lmhat\",\"k\":2,\"depth\":3,\"n\":[1,10],\"id\":\"s0\"},"
+      "{\"op\":\"nosuch\",\"id\":\"s1\"}]}",
   };
 
   auto many = make_sharded(shards);   // warmed: warm tier must not change bytes
@@ -480,7 +499,20 @@ int sharded_main(const options& opt) {
     return measured;
   };
 
+  // The observability artifacts (trace-smoke): arm the Chrome-trace ring
+  // and the access-log sink around the N-shard measured phase only —
+  // the reference phase and the direct-handle probes below would add
+  // untagged or duplicate records to the artifacts.
+  if (!opt.profile.empty()) {
+    mcast::obs::trace_clear();
+    mcast::obs::trace_enable();
+  }
+  if (!opt.access_log.empty()) {
+    mcast::obs::access_log_enable(opt.access_log);
+  }
   phase_result measured_n = run_sharded_phase(opt.shards);
+  if (!opt.access_log.empty()) mcast::obs::access_log_disable();
+  if (!opt.profile.empty()) mcast::obs::trace_disable();
   const double qps_n = measured_n.wall_seconds > 0.0
                            ? static_cast<double>(measured_n.latencies_ms.size()) /
                                  measured_n.wall_seconds
@@ -590,6 +622,16 @@ int sharded_main(const options& opt) {
   const std::string path = opt.out_dir + "/BENCH_service_sharded.json";
   lab::write_manifest(record, path);
   std::cerr << "svc_load: manifest " << path << "\n";
+  if (!opt.profile.empty()) {
+    const mcast::obs::trace_dump dump = mcast::obs::trace_collect();
+    mcast::obs::write_chrome_trace_file(opt.profile, dump);
+    std::cerr << "svc_load: trace " << opt.profile << " ("
+              << dump.events.size() << " events, " << dump.dropped
+              << " dropped)\n";
+  }
+  if (!opt.access_log.empty()) {
+    std::cerr << "svc_load: access log " << opt.access_log << "\n";
+  }
 
   if (!identical) {
     std::cerr << "svc_load: FAIL: sharded responses not byte-identical\n";
@@ -1001,6 +1043,38 @@ int main(int argc, char** argv) {
   const double p95 = percentile(measured.latencies_ms, 0.95);
   const double p99 = percentile(measured.latencies_ms, 0.99);
 
+  // Latency attribution: the registry's svc.request_ns histogram times
+  // the handler alone, the client-observed p99 adds queue wait and the
+  // wire. The delta localizes a tail regression to one side. The bucket
+  // quantile over-estimates by up to 2x, so a small negative delta just
+  // means the two sides agree to within bucket granularity.
+  double server_p99_ms = 0.0;
+  double p99_delta_ms = 0.0;
+  if (server) {
+    server_p99_ms =
+        mcast::obs::snapshot().at(mcast::obs::histogram::svc_request_ns).p99 /
+        1e6;
+    p99_delta_ms = p99 - server_p99_ms;
+  }
+
+  // Access-log overhead pair: the identical measured phase re-run with
+  // the JSONL sink armed. The open loop is rate-paced, so a healthy run
+  // lands well inside the <2% QPS budget docs/observability.md promises.
+  double qps_logged = 0.0;
+  double accesslog_overhead = 0.0;
+  if (server) {
+    const std::string log_path = opt.out_dir + "/access_svc_load.jsonl";
+    mcast::obs::access_log_enable(log_path);
+    phase_result logged = run_phase(port, opt);
+    mcast::obs::access_log_disable();
+    qps_logged = logged.wall_seconds > 0.0
+                     ? static_cast<double>(logged.latencies_ms.size()) /
+                           logged.wall_seconds
+                     : 0.0;
+    accesslog_overhead =
+        qps > 0.0 ? std::max(0.0, (qps - qps_logged) / qps) : 0.0;
+  }
+
   std::uint64_t overload_rejections = 0;
   if (server && opt.overload_probe) {
     auto tiny_svc = std::make_shared<query_service>();
@@ -1024,6 +1098,12 @@ int main(int argc, char** argv) {
   std::printf("  wall         %.3f s\n", measured.wall_seconds);
   std::printf("  throughput   %.1f req/s\n", qps);
   std::printf("  latency ms   p50=%.3f p95=%.3f p99=%.3f\n", p50, p95, p99);
+  if (server) {
+    std::printf("  server p99   %.3f ms (client-server delta %+.3f ms)\n",
+                server_p99_ms, p99_delta_ms);
+    std::printf("  access log   %.1f req/s logged (overhead %.2f%%)\n",
+                qps_logged, 100.0 * accesslog_overhead);
+  }
   if (server && opt.overload_probe) {
     std::printf("  overload     %llu typed rejections under saturation\n",
                 static_cast<unsigned long long>(overload_rejections));
@@ -1073,6 +1153,10 @@ int main(int argc, char** argv) {
       {"p50_ms", p50},
       {"p95_ms", p95},
       {"p99_ms", p99},
+      {"server_p99_ms", server_p99_ms},
+      {"p99_delta_ms", p99_delta_ms},
+      {"qps_accesslog", qps_logged},
+      {"accesslog_overhead_frac", accesslog_overhead},
       {"answered", static_cast<double>(measured.latencies_ms.size())},
       {"errors", static_cast<double>(measured.errors)},
       {"lost", static_cast<double>(measured.lost)},

@@ -360,6 +360,15 @@ rule parse_directive(const std::string& line, int line_no,
     if (verb.text == "within") {
       r.kind = rule_kind::span_within;
       r.parent = c.take("a parent span glob").text;
+      if (c.next < tokens.size()) {
+        const token& mod = c.take("'same_trace'");
+        if (mod.text != "same_trace") {
+          c.fail_at(mod.col,
+                    "expected 'same_trace' or end of line, got '" + mod.text +
+                        "'");
+        }
+        r.same_trace = true;
+      }
     } else if (verb.text == "budget_ms") {
       r.kind = rule_kind::span_budget_ms;
       const std::size_t col =

@@ -32,6 +32,38 @@ double number_field(const json::value& event, std::size_t index,
   return v->as_number();
 }
 
+// args.trace_id as written by obs::write_chrome_trace: a %016llx hex
+// string. Absent args (untraced spans) yield 0; a present-but-malformed
+// id is a spec error like any other malformed field.
+std::uint64_t trace_id_field(const json::value& event, std::size_t index) {
+  const json::value* args = event.get("args");
+  if (args == nullptr) return 0;
+  if (!args->is(json::value::kind::object)) {
+    bad_event(index, "'args' is not an object");
+  }
+  const json::value* id = args->get("trace_id");
+  if (id == nullptr) return 0;
+  if (!id->is(json::value::kind::string)) {
+    bad_event(index, "'args.trace_id' is not a string");
+  }
+  const std::string& text = id->as_string();
+  if (text.empty() || text.size() > 16) {
+    bad_event(index, "'args.trace_id' is not a hex id: '" + text + "'");
+  }
+  std::uint64_t out = 0;
+  for (const char ch : text) {
+    int digit;
+    if (ch >= '0' && ch <= '9') digit = ch - '0';
+    else if (ch >= 'a' && ch <= 'f') digit = ch - 'a' + 10;
+    else if (ch >= 'A' && ch <= 'F') digit = ch - 'A' + 10;
+    else {
+      bad_event(index, "'args.trace_id' is not a hex id: '" + text + "'");
+    }
+    out = (out << 4) | static_cast<std::uint64_t>(digit);
+  }
+  return out;
+}
+
 }  // namespace
 
 parsed_trace parse_trace(const json::value& doc) {
@@ -74,6 +106,7 @@ parsed_trace parse_trace(const json::value& doc) {
     span.dur_us = number_field(e, i, "dur");
     if (span.dur_us < 0.0) bad_event(i, "'dur' is negative");
     span.tid = static_cast<std::uint32_t>(number_field(e, i, "tid"));
+    span.trace_id = trace_id_field(e, i);
     out.spans.push_back(std::move(span));
   }
   return out;
@@ -127,11 +160,19 @@ std::vector<violation> eval_trace_rules(const spec& s,
       case rule_kind::span_within: {
         for (const span_event& child : trace.spans) {
           if (!glob_match(r.name, child.name)) continue;
+          if (r.same_trace && child.trace_id == 0) {
+            out.push_back({r.line, r.source,
+                           "span " + describe(child) +
+                               " carries no trace id, required by "
+                               "'same_trace'"});
+            continue;
+          }
           bool enclosed = false;
           for (const span_event& parent : trace.spans) {
             if (&parent == &child || !glob_match(r.parent, parent.name)) {
               continue;
             }
+            if (r.same_trace && parent.trace_id != child.trace_id) continue;
             if (parent.ts_us <= child.ts_us + k_eps_us &&
                 parent.ts_us + parent.dur_us + k_eps_us >=
                     child.ts_us + child.dur_us) {
@@ -140,10 +181,11 @@ std::vector<violation> eval_trace_rules(const spec& s,
             }
           }
           if (!enclosed) {
-            out.push_back({r.line, r.source,
-                           "span " + describe(child) +
-                               " not enclosed by any span matching '" +
-                               r.parent + "'"});
+            out.push_back(
+                {r.line, r.source,
+                 "span " + describe(child) +
+                     " not enclosed by any span matching '" + r.parent +
+                     (r.same_trace ? "' with the same trace id" : "'")});
           }
         }
         break;

@@ -6,6 +6,10 @@
 //       by some parent span (cross-lane: the scheduler's sweep_point
 //       spans live on worker lanes while experiment:* lives on the main
 //       lane, so enclosure is a wall-clock property, not a stack one);
+//       with the `same_trace` modifier, enclosure additionally requires
+//       the parent to carry the child's (nonzero) trace id — the
+//       per-request form used by the service specs, where concurrent
+//       requests interleave and timing containment alone is ambiguous;
 //   span <glob> budget_ms <B>     — per-span duration budget;
 //   span <glob> count <cmp> <N>   — population assertions;
 //   trace dropped <cmp> <N>       — ring-buffer overwrite limit;
@@ -35,6 +39,7 @@ struct span_event {
   double ts_us = 0.0;
   double dur_us = 0.0;
   std::uint32_t tid = 0;
+  std::uint64_t trace_id = 0;  ///< args.trace_id (hex), 0 when untagged
 };
 
 struct parsed_trace {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "check/command.hpp"
+#include "check/trace_cmd.hpp"
 #include "lab/engine.hpp"
 #include "lab/manifest.hpp"
 #include "lab/registry.hpp"
@@ -39,15 +40,24 @@ void usage(std::ostream& out) {
          "                           run manifest, Chrome trace and perf\n"
          "                           baseline; exit 0 pass, 2 spec error,\n"
          "                           3 expectations violated\n"
+         "  trace --profile=F [--access-log=F] [--trace-id=HEX] [--top=K]\n"
+         "                           request-centric view over a Chrome\n"
+         "                           trace and the service access log,\n"
+         "                           joined on trace id: per-request span\n"
+         "                           groups, top-K slow requests, retry\n"
+         "                           attempt chains (docs/observability.md)\n"
          "  serve [--port=N] [--threads=K] [--queue=N] [--max-line=B]\n"
          "         [--shards=N] [--shard-workers=K] [--shard-queue=N]\n"
          "         [--warm=SPEC] [--metrics-summary] [--profile=FILE]\n"
+         "         [--access-log=FILE] [--slow-us=N] [--trace-seed=N]\n"
          "                           run the line-JSON query service until\n"
          "                           SIGINT/SIGTERM; --shards=N enables the\n"
          "                           consistent-hash sharded core\n"
          "                           (docs/service.md, docs/sharding.md)\n"
          "  query --port=N [line..]  send request lines (argv or stdin) to a\n"
-         "                           running server; exit 0 iff all ok\n"
+         "                           running server; exit 0 iff all ok;\n"
+         "                           --trace=BASE tags every attempt with\n"
+         "                           \"BASE-a<N>\" for attempt-chain joins\n"
          "  query --port=N --batch=F fold file F (one sub-op per line) into a\n"
          "                           single batch envelope; prints one result\n"
          "                           doc per line, exit 2 if any sub-op fails\n"
@@ -361,6 +371,7 @@ int run_cli(const registry& reg, int argc, char** argv) {
     if (command == "run") return cmd_run(reg, rest);
     if (command == "validate") return cmd_validate(rest);
     if (command == "check") return check::run_check(rest);
+    if (command == "trace") return check::run_trace(rest);
     if (command == "serve") return service::run_serve(rest);
     if (command == "query") return service::run_query(rest);
     die("unknown command '" + command + "'");

@@ -10,7 +10,9 @@
 #include <thread>
 #include <utility>
 
+#include "obs/access_log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mcast::net {
 namespace {
@@ -207,6 +209,9 @@ bool line_server::write_response(int fd, const std::string& line,
     const fault_decision fault = chaos->write_fault(conn_index, op_index);
     if (fault.kind != fault_kind::none) {
       chaos_injected_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::access_entry* entry = obs::access_current()) {
+        entry->chaos = true;
+      }
     }
     switch (fault.kind) {
       case fault_kind::truncate: {
@@ -315,9 +320,11 @@ void line_server::serve_connection(unique_fd conn, std::uint64_t conn_index) {
         break;
     }
 
+    bool read_chaos = false;
     if (chaos != nullptr) {
       const fault_decision fault = chaos->read_fault(conn_index, op_index);
       if (fault.kind == fault_kind::delay) {
+        read_chaos = true;
         chaos_injected_.fetch_add(1, std::memory_order_relaxed);
         obs::add(obs::counter::svc_chaos_delays);
         chaos_sleep(fault.sleep_ms);
@@ -326,18 +333,47 @@ void line_server::serve_connection(unique_fd conn, std::uint64_t conn_index) {
 
     requests_.fetch_add(1, std::memory_order_relaxed);
     obs::add(obs::counter::svc_requests);
+
+    // Request identity: a deterministic id minted from (seed, accept
+    // index, op index) keys this request's spans and access-log record.
+    // The scope lives for handler + write so every span lands on it; the
+    // service layers annotate the entry through obs::access_current().
+    const std::uint64_t trace_id =
+        obs::trace_request_id(config_.trace_seed, conn_index, op_index);
+    obs::trace_scope trace_guard(obs::trace_context{trace_id, 0});
+    obs::access_begin(trace_id);
+    if (obs::access_entry* entry = obs::access_current()) {
+      entry->bytes_in = line.size();
+      entry->chaos = read_chaos;
+    }
+
     const auto begun = std::chrono::steady_clock::now();
     std::string response;
-    try {
-      response = handler_(line);
-    } catch (...) {
-      obs::add(obs::counter::svc_responses_error);
-      response = config_.internal_error_response;
+    {
+      obs::span request_span("request");
+      try {
+        response = handler_(line);
+      } catch (...) {
+        obs::add(obs::counter::svc_responses_error);
+        response = config_.internal_error_response;
+      }
     }
-    obs::record(obs::histogram::svc_request_ns, elapsed_ns(begun));
-    if (!write_response(conn.get(), response + "\n", conn_index, op_index)) {
-      return;
+    const std::uint64_t handler_ns = elapsed_ns(begun);
+    obs::record(obs::histogram::svc_request_ns, handler_ns);
+
+    const auto write_begun = std::chrono::steady_clock::now();
+    const bool written =
+        write_response(conn.get(), response + "\n", conn_index, op_index);
+    const std::uint64_t write_ns = elapsed_ns(write_begun);
+    obs::record(obs::histogram::svc_write_ns, write_ns);
+    if (obs::access_entry* entry = obs::access_current()) {
+      if (entry->compute_ns == 0) entry->compute_ns = handler_ns;
+      entry->write_ns = write_ns;
+      entry->bytes_out = response.size() + 1;
+      entry->total_ns = elapsed_ns(begun);
     }
+    obs::access_finish();
+    if (!written) return;
     ++op_index;
   }
 }

@@ -84,6 +84,10 @@ struct server_config {
   /// Deterministic fault injection (net/chaos.hpp); null = faults off.
   /// Shared and const: one schedule serves every worker thread.
   std::shared_ptr<const chaos_engine> chaos;
+  /// Seed for the per-request trace ids the server mints (see
+  /// obs::trace_request_id): a fixed seed reproduces every request's id
+  /// because ids derive only from (seed, accept index, op index).
+  std::uint64_t trace_seed = 0;
 };
 
 struct server_stats {

@@ -94,7 +94,9 @@ namespace mcast::obs {
   X(retry_attempts, "retry.attempts")                            \
   X(retry_retries, "retry.retries")                              \
   X(retry_successes, "retry.successes")                          \
-  X(retry_exhausted, "retry.exhausted")
+  X(retry_exhausted, "retry.exhausted")                          \
+  X(svc_access_records, "svc.access.records")                    \
+  X(svc_access_slow, "svc.access.slow")
 
 #define MCAST_OBS_GAUGES(X)                  \
   X(sched_workers, "sched.workers")          \
@@ -114,7 +116,16 @@ namespace mcast::obs {
   X(topo_cache_build_ns, "topo_cache.build_ns")          \
   X(svc_request_ns, "svc.request_ns")                    \
   X(svc_queue_wait_ns, "svc.queue_wait_ns")              \
-  X(retry_backoff_ms, "retry.backoff_ms")
+  X(retry_backoff_ms, "retry.backoff_ms")                \
+  X(svc_op_lmhat_ns, "svc.op.lmhat_ns")                  \
+  X(svc_op_lm_estimate_ns, "svc.op.lm_estimate_ns")      \
+  X(svc_op_reachability_ns, "svc.op.reachability_ns")    \
+  X(svc_op_batch_ns, "svc.op.batch_ns")                  \
+  X(svc_op_admin_ns, "svc.op.admin_ns")                  \
+  X(svc_shard_queue_wait_ns, "svc.shard.queue_wait_ns")  \
+  X(svc_shard_task_ns, "svc.shard.task_ns")              \
+  X(svc_serialize_ns, "svc.serialize_ns")                \
+  X(svc_write_ns, "svc.write_ns")
 
 #define MCAST_OBS_ENUM(id, name) id,
 enum class counter : std::uint16_t { MCAST_OBS_COUNTERS(MCAST_OBS_ENUM) };

@@ -46,18 +46,79 @@ void write_chrome_trace(std::ostream& out, const trace_dump& dump) {
     for (const trace_event& e : dump.events) base = std::min(base, e.start_ns);
   }
   std::string text = "{\"traceEvents\": [";
-  char buf[96];
-  for (std::size_t i = 0; i < dump.events.size(); ++i) {
-    const trace_event& e = dump.events[i];
-    text += i == 0 ? "\n" : ",\n";
+  char buf[160];
+  bool first = true;
+  auto comma = [&] {
+    text += first ? "\n" : ",\n";
+    first = false;
+  };
+  for (const trace_event& e : dump.events) {
+    comma();
     text += "  {\"name\": \"";
     escape_json(text, e.name);
     std::snprintf(buf, sizeof buf,
                   "\", \"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, "
-                  "\"pid\": 1, \"tid\": %u}",
+                  "\"pid\": 1, \"tid\": %u",
                   static_cast<double>(e.start_ns - base) / 1000.0,
                   static_cast<double>(e.dur_ns) / 1000.0, e.tid);
     text += buf;
+    if (e.trace_id != 0) {
+      std::snprintf(buf, sizeof buf,
+                    ", \"args\": {\"trace_id\": \"%016llx\", \"span\": "
+                    "\"%016llx\", \"parent\": \"%016llx\"}",
+                    static_cast<unsigned long long>(e.trace_id),
+                    static_cast<unsigned long long>(e.span_id),
+                    static_cast<unsigned long long>(e.parent_id));
+      text += buf;
+    }
+    text += "}";
+  }
+  // Flow events: one "s" at a trace's root plus a "t" step at each span
+  // on another lane, so the viewer draws the request's cross-lane arc.
+  // Synthesized here — zero hot-path cost — and bound by id, which is the
+  // trace_id in hex. Phases other than "X" are skipped by our own trace
+  // consumers (trace_check, trace_summary).
+  std::vector<const trace_event*> roots;
+  for (const trace_event& e : dump.events) {
+    if (e.trace_id == 0) continue;
+    bool seen = false;
+    for (const trace_event* r : roots) {
+      if (r->trace_id == e.trace_id) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) roots.push_back(&e);  // events are start-ordered: first wins
+  }
+  for (const trace_event* root : roots) {
+    bool crosses = false;
+    for (const trace_event& e : dump.events) {
+      if (e.trace_id == root->trace_id && e.tid != root->tid) {
+        crosses = true;
+        break;
+      }
+    }
+    if (!crosses) continue;
+    comma();
+    std::snprintf(buf, sizeof buf,
+                  "  {\"name\": \"request\", \"cat\": \"trace\", \"ph\": "
+                  "\"s\", \"id\": \"%016llx\", \"ts\": %.3f, \"pid\": 1, "
+                  "\"tid\": %u}",
+                  static_cast<unsigned long long>(root->trace_id),
+                  static_cast<double>(root->start_ns - base) / 1000.0,
+                  root->tid);
+    text += buf;
+    for (const trace_event& e : dump.events) {
+      if (e.trace_id != root->trace_id || e.tid == root->tid) continue;
+      comma();
+      std::snprintf(buf, sizeof buf,
+                    "  {\"name\": \"request\", \"cat\": \"trace\", \"ph\": "
+                    "\"t\", \"id\": \"%016llx\", \"ts\": %.3f, \"pid\": 1, "
+                    "\"tid\": %u}",
+                    static_cast<unsigned long long>(e.trace_id),
+                    static_cast<double>(e.start_ns - base) / 1000.0, e.tid);
+      text += buf;
+    }
   }
   text += "\n], \"displayTimeUnit\": \"ms\", \"otherData\": {\"dropped\": ";
   std::snprintf(buf, sizeof buf, "%llu",
@@ -215,24 +276,57 @@ void trace_clear() noexcept { ring_registry::instance().clear(); }
 
 trace_dump trace_collect() { return ring_registry::instance().collect(); }
 
+namespace {
+
+// The thread's active request context plus a process-wide span-id mint.
+// Span ids only disambiguate parent/child linkage inside one collected
+// trace; they are not part of any response, so a plain counter is fine.
+thread_local trace_context g_trace_ctx;
+std::atomic<std::uint64_t> g_next_span_id{1};
+
+}  // namespace
+
+trace_context current_trace() noexcept { return g_trace_ctx; }
+
+trace_scope::trace_scope(trace_context ctx) noexcept : prev_(g_trace_ctx) {
+  g_trace_ctx = ctx;
+}
+
+trace_scope::~trace_scope() { g_trace_ctx = prev_; }
+
+void span::begin() noexcept {
+  start_ns_ = now_ns();
+  const trace_context ctx = g_trace_ctx;
+  if (ctx.trace_id == 0) return;
+  trace_id_ = ctx.trace_id;
+  parent_id_ = ctx.parent_span;
+  span_id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  prev_parent_ = ctx.parent_span;
+  g_trace_ctx.parent_span = span_id_;
+}
+
 span::span(const char* name) noexcept {
   if (!trace_enabled()) return;
   name_ = name;
-  start_ns_ = now_ns();
+  begin();
 }
 
 span::span(std::string name) noexcept {
   if (!trace_enabled()) return;
   name_ = std::move(name);
-  start_ns_ = now_ns();
+  begin();
 }
 
 span::~span() {
   if (start_ns_ == 0) return;
+  if (span_id_ != 0) g_trace_ctx.parent_span = prev_parent_;
   trace_event e;
   e.name = std::move(name_);
   e.start_ns = start_ns_;
   e.dur_ns = now_ns() - start_ns_;
+  e.trace_id = trace_id_;
+  e.span_id = span_id_;
+  e.parent_id = parent_id_;
   local_ring().push(std::move(e));
 }
 

@@ -10,6 +10,15 @@
 // the `{"traceEvents": [...]}` format that chrome://tracing and Perfetto
 // load directly.
 //
+// Request identity: a thread can carry a `trace_context` (installed by the
+// RAII `trace_scope`); spans opened while a context is active record its
+// trace_id plus parent/child span linkage, and `write_chrome_trace` adds
+// the ids as event args and synthesizes flow events ("ph": "s"/"f") so a
+// request's cross-lane spans draw as one connected arc in the viewer.
+// Contexts are thread-local and maintained even while tracing is off —
+// installing one is two plain stores — so the access log can attribute
+// records without the tracer running.
+//
 // Tracing is off until `trace_enable(capacity)`; a disabled span costs one
 // relaxed load. Spans use the same per-thread lanes (shard tids) as the
 // metric counters, so a worker's spans and counters line up. With
@@ -27,12 +36,16 @@
 
 namespace mcast::obs {
 
-/// One completed span. Times are steady-clock nanoseconds.
+/// One completed span. Times are steady-clock nanoseconds. The id triple
+/// is zero for spans opened outside any request context.
 struct trace_event {
   std::string name;
   std::uint64_t start_ns = 0;
   std::uint64_t dur_ns = 0;
   std::uint32_t tid = 0;  ///< lane: the emitting thread's shard id
+  std::uint64_t trace_id = 0;   ///< request identity; 0 = no context
+  std::uint64_t span_id = 0;    ///< this span's own id within the process
+  std::uint64_t parent_id = 0;  ///< enclosing span's id; 0 = root
 };
 
 /// Everything the rings held at collection time, merged and ordered by
@@ -41,6 +54,32 @@ struct trace_dump {
   std::vector<trace_event> events;
   std::uint64_t dropped = 0;  ///< events overwritten by ring wraparound
 };
+
+/// Request identity carried by a thread: spans opened under it inherit
+/// `trace_id` and chain `parent_span` as their parent. Copy the frontend's
+/// `current_trace()` into a worker task and install it with `trace_scope`
+/// to keep cross-thread spans on one trace.
+struct trace_context {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
+};
+
+/// Deterministic trace-id mint: a salted splitmix64 chain over (seed,
+/// conn, op), so a fixed seed reproduces every request's id. Pure —
+/// usable under MCAST_OBS_DISABLED and never 0 (0 means "no trace").
+constexpr std::uint64_t trace_request_id(std::uint64_t seed,
+                                         std::uint64_t conn,
+                                         std::uint64_t op) noexcept {
+  std::uint64_t x = seed + 0x9e3779b97f4a7c15ull;
+  auto mix = [](std::uint64_t v) {
+    v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
+    v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
+    return v ^ (v >> 31);
+  };
+  x = mix(x + conn * 0xbf58476d1ce4e5b9ull);
+  x = mix(x + op * 0x94d049bb133111ebull);
+  return x == 0 ? 1 : x;
+}
 
 #if defined(MCAST_OBS_DISABLED)
 
@@ -51,6 +90,15 @@ class span {
   span(const span&) = delete;
   span& operator=(const span&) = delete;
 };
+
+class trace_scope {
+ public:
+  explicit trace_scope(trace_context) noexcept {}
+  trace_scope(const trace_scope&) = delete;
+  trace_scope& operator=(const trace_scope&) = delete;
+};
+
+inline trace_context current_trace() noexcept { return trace_context{}; }
 
 inline void trace_enable(std::size_t = 4096) noexcept {}
 inline void trace_disable() noexcept {}
@@ -75,6 +123,23 @@ void trace_clear() noexcept;
 /// Merges every thread's ring, ordered by (start_ns, tid, name).
 trace_dump trace_collect();
 
+/// The calling thread's active request context ({0,0} when none).
+trace_context current_trace() noexcept;
+
+/// RAII: installs `ctx` as the calling thread's context, restoring the
+/// previous one on destruction. Works while tracing is disabled, so the
+/// access log can attribute records without the span rings running.
+class trace_scope {
+ public:
+  explicit trace_scope(trace_context ctx) noexcept;
+  ~trace_scope();
+  trace_scope(const trace_scope&) = delete;
+  trace_scope& operator=(const trace_scope&) = delete;
+
+ private:
+  trace_context prev_;
+};
+
 class span {
  public:
   /// The const char* overload defers the string copy until tracing is
@@ -86,15 +151,23 @@ class span {
   span& operator=(const span&) = delete;
 
  private:
+  void begin() noexcept;
+
   std::string name_;
   std::uint64_t start_ns_ = 0;  ///< 0 = tracing was off at construction
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t span_id_ = 0;
+  std::uint64_t parent_id_ = 0;
+  std::uint64_t prev_parent_ = 0;
 };
 
 #endif  // MCAST_OBS_DISABLED
 
 /// Serializes a dump as Chrome trace_event JSON (load in chrome://tracing
 /// or https://ui.perfetto.dev). Timestamps are rebased to the earliest
-/// event so traces start near t=0.
+/// event so traces start near t=0. Events with a trace_id carry it (and
+/// their span/parent ids) as hex strings under "args"; traces whose spans
+/// cross lanes additionally get flow events binding the lanes together.
 void write_chrome_trace(std::ostream& out, const trace_dump& dump);
 
 /// write_chrome_trace to `path`; throws std::runtime_error on I/O failure.

@@ -7,6 +7,7 @@
 
 #include "common/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mcast::service {
 namespace {
@@ -106,10 +107,36 @@ long long retry_client::next_backoff_ms(int retry_index) {
   return std::max<long long>(ms, 0);
 }
 
+std::string retry_client::attempt_line(const std::string& request,
+                                       int attempt) const {
+  if (policy_.trace_base.empty()) return request;
+  json::value doc;
+  try {
+    doc = json::parse(request);
+  } catch (...) {
+    return request;  // unparseable: the server answers parse_error anyway
+  }
+  if (!doc.is(json::value::kind::object)) return request;
+  if (doc.get("trace") != nullptr) return request;  // caller's token wins
+  doc.set("trace", json::value::string(policy_.trace_base + "-a" +
+                                       std::to_string(attempt)));
+  return json::dump_compact(doc);
+}
+
 call_result retry_client::call(const std::string& request) {
   const auto started = std::chrono::steady_clock::now();
   const bool may_retry_ambiguous =
       policy_.retry_nonidempotent || idempotent_request(request);
+
+  // Client-side trace identity: one deterministic id per logical call, so
+  // a profiled client's call/attempt spans group per request and line up
+  // with the server's spans when both traces are inspected together.
+  const std::uint64_t call_index = calls_++;
+  obs::trace_scope trace_guard(obs::trace_context{
+      obs::trace_request_id(policy_.seed ^ 0x636c69656e746964ull, call_index,
+                            0),
+      0});
+  obs::span call_span("client.call");
 
   call_result result;
   for (int attempt = 0; attempt < std::max(1, policy_.max_attempts);
@@ -118,50 +145,54 @@ call_result retry_client::call(const std::string& request) {
     obs::add(obs::counter::retry_attempts);
 
     attempt_outcome out;
-    if (!ensure_connected()) {
-      out.kind = attempt_kind::retry_safe;  // nothing was sent
-      out.status = call_status::connect_refused;
-    } else if (!net::send_all(conn_.get(), request + "\n")) {
-      disconnect();
-      out.kind = attempt_kind::retry_ambiguous;
-      out.status = call_status::connection_lost;
-    } else {
-      std::string line;
-      const net::line_reader::status st =
-          reader_->read_line(line, policy_.attempt_timeout_ms);
-      if (st == net::line_reader::status::line) {
-        out.response = std::move(line);
-        json::value doc;
-        bool parsed = true;
-        try {
-          doc = json::parse(out.response);
-        } catch (...) {
-          parsed = false;
-        }
-        const json::value* ok = parsed ? doc.get("ok") : nullptr;
-        if (parsed && ok != nullptr && ok->is(json::value::kind::boolean) &&
-            ok->as_bool()) {
-          out.kind = attempt_kind::ok;
-          out.status = call_status::ok;
-        } else {
-          out.error_code = parsed ? extract_error_code(doc) : "";
-          out.status = call_status::server_error;
-          // overloaded/shed mean "not executed, come back later" — the
-          // retry case backoff exists for. Anything else is final.
-          out.kind = retryable_error_code(out.error_code)
-                         ? attempt_kind::retry_safe
-                         : attempt_kind::final_error;
-        }
-      } else if (st == net::line_reader::status::timeout) {
-        // The response may still arrive after we gave up; this connection
-        // can never be reused (a late line would answer the wrong call).
-        disconnect();
-        out.kind = attempt_kind::retry_ambiguous;
-        out.status = call_status::timeout;
-      } else {
+    {
+      obs::span attempt_span("client.attempt");
+      const std::string line_out = attempt_line(request, result.attempts);
+      if (!ensure_connected()) {
+        out.kind = attempt_kind::retry_safe;  // nothing was sent
+        out.status = call_status::connect_refused;
+      } else if (!net::send_all(conn_.get(), line_out + "\n")) {
         disconnect();
         out.kind = attempt_kind::retry_ambiguous;
         out.status = call_status::connection_lost;
+      } else {
+        std::string line;
+        const net::line_reader::status st =
+            reader_->read_line(line, policy_.attempt_timeout_ms);
+        if (st == net::line_reader::status::line) {
+          out.response = std::move(line);
+          json::value doc;
+          bool parsed = true;
+          try {
+            doc = json::parse(out.response);
+          } catch (...) {
+            parsed = false;
+          }
+          const json::value* ok = parsed ? doc.get("ok") : nullptr;
+          if (parsed && ok != nullptr && ok->is(json::value::kind::boolean) &&
+              ok->as_bool()) {
+            out.kind = attempt_kind::ok;
+            out.status = call_status::ok;
+          } else {
+            out.error_code = parsed ? extract_error_code(doc) : "";
+            out.status = call_status::server_error;
+            // overloaded/shed mean "not executed, come back later" — the
+            // retry case backoff exists for. Anything else is final.
+            out.kind = retryable_error_code(out.error_code)
+                           ? attempt_kind::retry_safe
+                           : attempt_kind::final_error;
+          }
+        } else if (st == net::line_reader::status::timeout) {
+          // The response may still arrive after we gave up; this connection
+          // can never be reused (a late line would answer the wrong call).
+          disconnect();
+          out.kind = attempt_kind::retry_ambiguous;
+          out.status = call_status::timeout;
+        } else {
+          disconnect();
+          out.kind = attempt_kind::retry_ambiguous;
+          out.status = call_status::connection_lost;
+        }
       }
     }
 

@@ -44,6 +44,13 @@ struct retry_policy {
   /// Retry ambiguous failures even for requests `idempotent_request`
   /// does not recognize. Off by default: an unknown op might not be pure.
   bool retry_nonidempotent = false;
+  /// Attempt-chain correlation: when non-empty, every attempt is sent
+  /// with `"trace": "<trace_base>-a<N>"` (N = 1-based attempt number) and
+  /// the server echoes it, so the access log and the final response both
+  /// say which attempt of which logical call produced them. Requests that
+  /// already carry a "trace" field keep it. "" disables the rewrite and
+  /// sends the request byte-for-byte as given.
+  std::string trace_base;
 };
 
 enum class call_status {
@@ -91,10 +98,14 @@ class retry_client {
  private:
   bool ensure_connected() noexcept;
   long long next_backoff_ms(int retry_index);
+  /// The line attempt `attempt` (1-based) actually sends: `request`
+  /// itself, or the trace_base rewrite described at retry_policy.
+  std::string attempt_line(const std::string& request, int attempt) const;
 
   std::uint16_t port_;
   retry_policy policy_;
   rng jitter_;
+  std::uint64_t calls_ = 0;  ///< call() count; keys the client trace ids
   net::unique_fd conn_;
   std::unique_ptr<net::line_reader> reader_;
 };

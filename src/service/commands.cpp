@@ -12,6 +12,7 @@
 #include "net/chaos.hpp"
 #include "net/server.hpp"
 #include "net/socket.hpp"
+#include "obs/access_log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "service/client.hpp"
@@ -83,6 +84,9 @@ struct serve_flags {
   std::size_t shard_workers = 2;
   std::size_t shard_queue = 256;
   std::string warm_spec = "ARPA";  // "none" disables the warm tier
+  std::string access_log_path;     // "" = access log off
+  std::uint64_t slow_us = 0;       // 0 = no slow-query threshold
+  std::uint64_t trace_seed = 0;    // salts the minted request trace ids
 };
 
 /// Warm-tier spec: "none", or comma-separated `name[:budget]` entries
@@ -182,6 +186,13 @@ serve_flags parse_serve_flags(const std::vector<std::string>& args) {
     } else if (flag_value(arg, "--warm", value)) {
       flags.warm_spec = value;
       parse_warm_spec(value);  // validate eagerly so bad specs die at parse
+    } else if (flag_value(arg, "--access-log", value)) {
+      if (value.empty()) die("--access-log= needs a file path");
+      flags.access_log_path = value;
+    } else if (flag_value(arg, "--slow-us", value)) {
+      flags.slow_us = parse_flag_u64(value, "--slow-us");
+    } else if (flag_value(arg, "--trace-seed", value)) {
+      flags.trace_seed = parse_flag_u64(value, "--trace-seed");
     } else {
       die("serve: unknown argument '" + arg + "'");
     }
@@ -208,6 +219,9 @@ int run_serve(const std::vector<std::string>& args) {
     obs::trace_clear();
     obs::trace_enable();
   }
+  if (!flags.access_log_path.empty()) {
+    obs::access_log_enable(flags.access_log_path, flags.slow_us * 1000);
+  }
 
   // --shards=N swaps the monolithic query_service for the sharded core
   // (service/shard_router.hpp); both expose the same handle()/set_*
@@ -233,6 +247,7 @@ int run_serve(const std::vector<std::string>& args) {
   config.line_deadline_ms = flags.line_deadline_ms;
   config.write_deadline_ms = flags.write_deadline_ms;
   config.drain_deadline_ms = flags.drain_ms;
+  config.trace_seed = flags.trace_seed;
   config.overload_response = error_response(
       error_code::overloaded, "connection queue full; retry later");
   config.overlong_response = error_response(
@@ -282,6 +297,10 @@ int run_serve(const std::vector<std::string>& args) {
               << " shard-queue=" << flags.shard_queue
               << " warm=" << sharded->warm_tier().size();
   }
+  if (!flags.access_log_path.empty()) {
+    std::cerr << " access-log=" << flags.access_log_path;
+    if (flags.slow_us > 0) std::cerr << " slow-us=" << flags.slow_us;
+  }
   std::cerr << "\n";
   if (config.chaos) {
     std::cerr << "[mcast_lab] serve: chaos enabled ("
@@ -303,6 +322,9 @@ int run_serve(const std::vector<std::string>& args) {
             << " request(s), " << stats.accepted << " accepted, "
             << stats.rejected << " rejected, " << stats.drain_forced
             << " force-closed\n";
+  if (!flags.access_log_path.empty()) {
+    obs::access_log_disable();  // flush before the process exits
+  }
   if (flags.metrics_summary) {
     obs::render_metrics_summary(std::cerr, obs::snapshot());
   }
@@ -346,6 +368,13 @@ int run_query(const std::vector<std::string>& args) {
       policy.backoff_base_ms = static_cast<int>(b);
     } else if (flag_value(arg, "--seed", value)) {
       policy.seed = parse_flag_u64(value, "--seed");
+    } else if (flag_value(arg, "--trace", value)) {
+      if (value.empty()) die("--trace= needs a token base");
+      if (value.size() > max_trace_token_bytes - 8) {
+        die("--trace token base is too long (limit " +
+            std::to_string(max_trace_token_bytes - 8) + " bytes)");
+      }
+      policy.trace_base = value;
     } else if (!arg.empty() && arg[0] == '-') {
       die("query: unknown option '" + arg + "'");
     } else {

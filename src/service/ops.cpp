@@ -1,6 +1,11 @@
 #include "service/ops.hpp"
 
+#include <chrono>
 #include <utility>
+
+#include "obs/access_log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mcast::service {
 
@@ -72,23 +77,88 @@ std::shared_ptr<const graph> resolve_topology(const json::value& req,
   return ctx.resolve(name, seed, static_cast<node_id>(budget));
 }
 
+namespace {
+
+// Latency attribution: one registry histogram per op name. Unknown ops
+// record nothing — they never ran a handler.
+void record_op_latency(const std::string& op, std::uint64_t ns) noexcept {
+  using obs::histogram;
+  if (op == "lmhat") {
+    obs::record(histogram::svc_op_lmhat_ns, ns);
+  } else if (op == "lm_estimate") {
+    obs::record(histogram::svc_op_lm_estimate_ns, ns);
+  } else if (op == "reachability") {
+    obs::record(histogram::svc_op_reachability_ns, ns);
+  } else if (op == "batch") {
+    obs::record(histogram::svc_op_batch_ns, ns);
+  } else if (op == "metrics" || op == "healthz") {
+    obs::record(histogram::svc_op_admin_ns, ns);
+  }
+}
+
+// Access-log annotation on the frontend thread. A batch envelope's slots
+// pass through here first and the envelope last, so the record that
+// survives describes the envelope — which is the request on the wire.
+void annotate_access(const json::value& req, const std::string& op,
+                     const std::string& trace, const char* outcome,
+                     const json::value* result) noexcept {
+  obs::access_entry* entry = obs::access_current();
+  if (entry == nullptr) return;
+  entry->op = op;
+  entry->token = trace;
+  entry->outcome = outcome;
+  entry->shed = outcome == std::string("shed");
+  const json::value* topo = req.get("topology");
+  if (topo != nullptr && topo->is(json::value::kind::string)) {
+    entry->topology = topo->as_string();
+  }
+  if (result != nullptr) {
+    const json::value* degraded = result->get("degraded");
+    if (degraded != nullptr && degraded->is(json::value::kind::boolean) &&
+        degraded->as_bool()) {
+      entry->degraded = true;
+    }
+  }
+}
+
+}  // namespace
+
 json::value response_document(const json::value& req,
                               const run_fn& run) noexcept {
   json::value id;  // null until the request parses far enough to have one
+  std::string trace;
+  std::string op;
   try {
     id = request_id(req);
-    const std::string op = require_string(req, "op");
-    return ok_document(op, run(op, req), id);
+    trace = trace_token(req);
+    op = require_string(req, "op");
+    const auto begun = std::chrono::steady_clock::now();
+    json::value result = run(op, req);
+    record_op_latency(
+        op, static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - begun)
+                    .count()));
+    annotate_access(req, op, trace, "ok", &result);
+    return ok_document(op, std::move(result), id, trace);
   } catch (const request_error& e) {
-    return error_document(e.code(), e.what(), id);
+    annotate_access(req, op, trace, error_code_name(e.code()), nullptr);
+    return error_document(e.code(), e.what(), id, trace);
   } catch (const std::invalid_argument& e) {
     // Domain preconditions (unknown catalog name, bad grid, ...) surface
     // as std::invalid_argument from the measurement stack.
-    return error_document(error_code::bad_request, e.what(), id);
+    annotate_access(req, op, trace, error_code_name(error_code::bad_request),
+                    nullptr);
+    return error_document(error_code::bad_request, e.what(), id, trace);
   } catch (const std::exception& e) {
-    return error_document(error_code::internal_error, e.what(), id);
+    annotate_access(req, op, trace, error_code_name(error_code::internal_error),
+                    nullptr);
+    return error_document(error_code::internal_error, e.what(), id, trace);
   } catch (...) {
-    return error_document(error_code::internal_error, "unknown error", id);
+    annotate_access(req, op, trace, error_code_name(error_code::internal_error),
+                    nullptr);
+    return error_document(error_code::internal_error, "unknown error", id,
+                          trace);
   }
 }
 
@@ -114,10 +184,25 @@ const json::value& batch_subops(const json::value& req,
 
 json::value subop_document(const json::value& sub,
                            const run_fn& run) noexcept {
+  return subop_document(sub, run, std::string());
+}
+
+json::value subop_document(const json::value& sub, const run_fn& run,
+                           const std::string& parent_trace) noexcept {
+  obs::span subop_span("batch.subop");
   if (!sub.is(json::value::kind::object)) {
     return error_document(error_code::bad_request,
                           "batch sub-op must be a JSON object",
-                          json::value());
+                          json::value(), parent_trace);
+  }
+  // Slots without their own token inherit the envelope's, so per-slot
+  // typed errors still correlate to the parent request client-side. A
+  // slot that sets one keeps it (and its document stays byte-for-byte
+  // the standalone response).
+  if (!parent_trace.empty() && sub.get("trace") == nullptr) {
+    json::value copy = sub;
+    copy.set("trace", json::value::string(parent_trace));
+    return response_document(copy, run);
   }
   return response_document(sub, run);
 }

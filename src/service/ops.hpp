@@ -139,7 +139,12 @@ const json::value& batch_subops(const json::value& req,
 
 /// The response document for one batch slot: non-objects get a typed
 /// bad_request doc, objects run through response_document(sub, run).
+/// Each slot is wrapped in a "batch.subop" span. A non-empty
+/// `parent_trace` (the envelope's token) is inherited by slots that lack
+/// their own "trace", so per-slot errors correlate to the parent request.
 json::value subop_document(const json::value& sub, const run_fn& run) noexcept;
+json::value subop_document(const json::value& sub, const run_fn& run,
+                           const std::string& parent_trace) noexcept;
 
 /// Throws the canonical bad_request for a nested "batch" sub-op. Both
 /// services call this from their sub-op runner so the message matches.

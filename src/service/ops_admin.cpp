@@ -21,7 +21,7 @@ double uptime_seconds(const op_context& ctx, const net::server_stats& stats) {
 }  // namespace
 
 json::value op_metrics(const json::value& req, const op_context& ctx) {
-  static const char* const bare[] = {"op", "id", nullptr};
+  static const char* const bare[] = {"op", "id", "trace", nullptr};
   reject_unknown_keys(req, bare);
   const net::server_stats stats = ctx.stats ? ctx.stats() : net::server_stats{};
   json::value server = json::value::object();
@@ -40,7 +40,7 @@ json::value op_metrics(const json::value& req, const op_context& ctx) {
 }
 
 json::value op_healthz(const json::value& req, const op_context& ctx) {
-  static const char* const bare[] = {"op", "id", nullptr};
+  static const char* const bare[] = {"op", "id", "trace", nullptr};
   reject_unknown_keys(req, bare);
   const net::server_stats stats = ctx.stats ? ctx.stats() : net::server_stats{};
   json::value result = json::value::object();

@@ -33,10 +33,10 @@ json::value point_row(const scaling_point& p) {
 
 lm_plan plan_lm_estimate(const json::value& req, const op_context& ctx) {
   static const char* const allowed[] = {
-      "op",          "id",    "topology",      "topology_seed",
-      "budget",      "seed",  "group_sizes",   "grid_points",
-      "sources",     "model", "receiver_sets", "threads",
-      nullptr};
+      "op",          "id",    "trace",         "topology",
+      "topology_seed", "budget", "seed",       "group_sizes",
+      "grid_points", "sources", "model",       "receiver_sets",
+      "threads",     nullptr};
   reject_unknown_keys(req, allowed);
   lm_plan plan;
   plan.g = resolve_topology(req, ctx);

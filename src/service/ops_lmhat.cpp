@@ -48,8 +48,8 @@ std::vector<double> n_grid(const json::value& req, std::size_t max_points) {
 }  // namespace
 
 json::value op_lmhat(const json::value& req, const op_context& ctx) {
-  static const char* const allowed[] = {"op", "id", "k",     "depth",
-                                        "n",  "model", nullptr};
+  static const char* const allowed[] = {"op",    "id",    "trace", "k",
+                                        "depth", "n",     "model", nullptr};
   reject_unknown_keys(req, allowed);
   require_member(req, "k");
   require_member(req, "depth");

@@ -11,9 +11,8 @@ namespace mcast::service {
 json::value op_reachability(const json::value& req, const op_context& ctx,
                             bool degraded) {
   static const char* const allowed[] = {
-      "op",     "id",      "topology", "topology_seed",
-      "budget", "source",  "sources",  "seed",
-      nullptr};
+      "op",     "id",      "trace",    "topology", "topology_seed",
+      "budget", "source",  "sources",  "seed",     nullptr};
   reject_unknown_keys(req, allowed);
   const auto shared = resolve_topology(req, ctx);
   const graph& g = *shared;

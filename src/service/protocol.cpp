@@ -43,22 +43,40 @@ std::string ok_response(const std::string& op, json::value result,
 }
 
 json::value error_document(error_code code, const std::string& message,
-                           const json::value& id) {
+                           const json::value& id, const std::string& trace) {
   json::value doc = json::value::object();
   doc.set("id", id);
+  if (!trace.empty()) doc.set("trace", json::value::string(trace));
   doc.set("ok", json::value::boolean(false));
   doc.set("error", error_doc(code, message));
   return doc;
 }
 
 json::value ok_document(const std::string& op, json::value result,
-                        const json::value& id) {
+                        const json::value& id, const std::string& trace) {
   json::value doc = json::value::object();
   doc.set("id", id);
+  if (!trace.empty()) doc.set("trace", json::value::string(trace));
   doc.set("ok", json::value::boolean(true));
   doc.set("op", json::value::string(op));
   doc.set("result", std::move(result));
   return doc;
+}
+
+std::string trace_token(const json::value& req) {
+  const json::value* v = req.get("trace");
+  if (v == nullptr) return std::string();
+  if (!v->is(json::value::kind::string)) {
+    throw request_error(error_code::bad_request,
+                        "field 'trace' must be a string");
+  }
+  const std::string& token = v->as_string();
+  if (token.size() > max_trace_token_bytes) {
+    throw request_error(error_code::bad_request,
+                        "field 'trace' exceeds " +
+                            std::to_string(max_trace_token_bytes) + " bytes");
+  }
+  return token;
 }
 
 json::value parse_request(const std::string& line) {

@@ -81,11 +81,25 @@ std::string ok_response(const std::string& op, json::value result,
 /// The response documents in object form — exactly what error_response /
 /// ok_response serialize (same keys, same order). The batch envelope
 /// embeds one per sub-op, so sub-op responses are byte-for-byte the lines
-/// the same requests would get standalone.
+/// the same requests would get standalone (given the same "trace" field).
+/// A non-empty `trace` — the client's request-correlation token — is
+/// echoed between "id" and "ok"; empty adds nothing, so responses without
+/// the feature are byte-identical to the pre-trace protocol.
 json::value error_document(error_code code, const std::string& message,
-                           const json::value& id);
+                           const json::value& id,
+                           const std::string& trace = std::string());
 json::value ok_document(const std::string& op, json::value result,
-                        const json::value& id);
+                        const json::value& id,
+                        const std::string& trace = std::string());
+
+/// Cap on the client "trace" token; longer tokens are bad_request.
+inline constexpr std::size_t max_trace_token_bytes = 128;
+
+/// Extracts the optional "trace" correlation token ("" when absent).
+/// Purely request-derived — echoing it cannot depend on server tracing
+/// state, which is what keeps responses byte-identical with observability
+/// on or off. Throws bad_request for non-string or oversized tokens.
+std::string trace_token(const json::value& req);
 
 // --- strict field extraction -------------------------------------------
 // All throw request_error(bad_request, ...) naming the offending field.

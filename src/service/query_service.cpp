@@ -1,8 +1,10 @@
 #include "service/query_service.hpp"
 
+#include <chrono>
 #include <utility>
 #include <vector>
 
+#include "obs/access_log.hpp"
 #include "obs/metrics.hpp"
 #include "topo/cache.hpp"
 
@@ -33,12 +35,26 @@ std::string query_service::handle(const std::string& line) noexcept {
   try {
     req = parse_request(line);
   } catch (const request_error& e) {
+    if (obs::access_entry* entry = obs::access_current()) {
+      entry->outcome = error_code_name(e.code());
+    }
     return error_response(e.code(), e.what(), json::value());
   }
-  return json::dump_compact(response_document(
+  json::value doc = response_document(
       req, [this](const std::string& op, const json::value& r) {
         return dispatch(op, r);
-      }));
+      });
+  const auto begun = std::chrono::steady_clock::now();
+  std::string response = json::dump_compact(doc);
+  const std::uint64_t serialize_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - begun)
+          .count());
+  obs::record(obs::histogram::svc_serialize_ns, serialize_ns);
+  if (obs::access_entry* entry = obs::access_current()) {
+    entry->serialize_ns = serialize_ns;
+  }
+  return response;
 }
 
 bool query_service::shed_gate(const std::string& op) const {
@@ -71,9 +87,10 @@ json::value query_service::dispatch(const std::string& op,
 }
 
 json::value query_service::run_batch(const json::value& req) {
-  static const char* const allowed[] = {"op", "id", "ops", nullptr};
+  static const char* const allowed[] = {"op", "id", "trace", "ops", nullptr};
   reject_unknown_keys(req, allowed);
   const json::value& ops = batch_subops(req, ctx_.limits);
+  const std::string parent_trace = trace_token(req);
   obs::add(obs::counter::svc_batch_requests);
 
   // Serial reference semantics: sub-ops run in request order on this
@@ -84,10 +101,12 @@ json::value query_service::run_batch(const json::value& req) {
   for (const json::value& sub : ops.items()) {
     obs::add(obs::counter::svc_batch_subops);
     docs.push_back(subop_document(
-        sub, [this](const std::string& op, const json::value& r) {
+        sub,
+        [this](const std::string& op, const json::value& r) {
           reject_nested_batch(op);
           return dispatch(op, r);
-        }));
+        },
+        parent_trace));
     obs::add(obs::counter::svc_batch_spliced);
   }
   return make_batch_result(std::move(docs));

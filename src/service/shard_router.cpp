@@ -1,14 +1,28 @@
 #include "service/shard_router.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <utility>
 
 #include "common/contract.hpp"
+#include "obs/access_log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/rng.hpp"
 
 namespace mcast::service {
+
+namespace {
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+}  // namespace
 
 // --- consistent_hash_ring ----------------------------------------------
 
@@ -121,6 +135,8 @@ service_shard::shard_stats service_shard::stats() const {
   s.inflight = inflight_;
   s.queue_depth_peak = queue_depth_peak_;
   s.inflight_peak = inflight_peak_;
+  s.queue_wait_ns = queue_wait_ns_.load(std::memory_order_relaxed);
+  s.task_ns = task_ns_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -197,12 +213,23 @@ std::string sharded_service::handle(const std::string& line) noexcept {
   try {
     req = parse_request(line);
   } catch (const request_error& e) {
+    if (obs::access_entry* entry = obs::access_current()) {
+      entry->outcome = error_code_name(e.code());
+    }
     return error_response(e.code(), e.what(), json::value());
   }
-  return json::dump_compact(response_document(
+  json::value doc = response_document(
       req, [this](const std::string& op, const json::value& r) {
         return dispatch(op, r);
-      }));
+      });
+  const auto begun = std::chrono::steady_clock::now();
+  std::string response = json::dump_compact(doc);
+  const std::uint64_t serialize_ns = elapsed_ns(begun);
+  obs::record(obs::histogram::svc_serialize_ns, serialize_ns);
+  if (obs::access_entry* entry = obs::access_current()) {
+    entry->serialize_ns = serialize_ns;
+  }
+  return response;
 }
 
 bool sharded_service::shed_gate(const std::string& op) const {
@@ -260,9 +287,10 @@ json::value sharded_service::dispatch_single(const std::string& op,
 }
 
 json::value sharded_service::run_batch(const json::value& req) {
-  static const char* const allowed[] = {"op", "id", "ops", nullptr};
+  static const char* const allowed[] = {"op", "id", "trace", "ops", nullptr};
   reject_unknown_keys(req, allowed);
   const json::value& ops = batch_subops(req, config_.limits);
+  const std::string parent_trace = trace_token(req);
   obs::add(obs::counter::svc_batch_requests);
 
   // Slots run in request order through the same routing as standalone
@@ -274,10 +302,12 @@ json::value sharded_service::run_batch(const json::value& req) {
   for (const json::value& sub : ops.items()) {
     obs::add(obs::counter::svc_batch_subops);
     docs.push_back(subop_document(
-        sub, [this](const std::string& op, const json::value& r) {
+        sub,
+        [this](const std::string& op, const json::value& r) {
           reject_nested_batch(op);
           return dispatch_single(op, r);
-        }));
+        },
+        parent_trace));
     obs::add(obs::counter::svc_batch_spliced);
   }
   return make_batch_result(std::move(docs));
@@ -291,14 +321,31 @@ json::value sharded_service::run_routed(const op_entry& entry,
   std::mutex mu;
   std::condition_variable cv;
   bool done = false;
+  std::uint64_t wait_ns = 0;
 
+  // The frontend's request context crosses to the shard worker by value;
+  // trace_scope installs it there so the shard.task span (and anything
+  // the handler opens) stays on this request's trace.
+  const obs::trace_context tctx = obs::current_trace();
+  const auto submitted = std::chrono::steady_clock::now();
   const op_context& ctx = shard_ctx_[shard];
-  const bool accepted = shards_[shard]->submit([&] {
-    try {
-      out = run_op(entry, req, ctx, degraded);
-    } catch (...) {
-      err = std::current_exception();
+  service_shard* home = shards_[shard].get();
+  const bool accepted = home->submit([&] {
+    wait_ns = elapsed_ns(submitted);
+    obs::record(obs::histogram::svc_shard_queue_wait_ns, wait_ns);
+    const auto task_begun = std::chrono::steady_clock::now();
+    {
+      obs::trace_scope trace_guard(tctx);
+      obs::span task_span("shard.task");
+      try {
+        out = run_op(entry, req, ctx, degraded);
+      } catch (...) {
+        err = std::current_exception();
+      }
     }
+    const std::uint64_t task_ns = elapsed_ns(task_begun);
+    obs::record(obs::histogram::svc_shard_task_ns, task_ns);
+    home->add_timing(wait_ns, task_ns);
     {
       std::lock_guard<std::mutex> lock(mu);
       done = true;
@@ -306,12 +353,22 @@ json::value sharded_service::run_routed(const op_entry& entry,
     cv.notify_one();
   });
   if (!accepted) {
+    // Admission refusal under load: tag the access record like a shed so
+    // the log separates capacity refusals from handler errors.
+    if (obs::access_entry* aentry = obs::access_current()) {
+      aentry->shard = static_cast<std::int64_t>(shard);
+      aentry->shed = true;
+    }
     throw request_error(error_code::overloaded,
                         "shard " + std::to_string(shard) +
                             " admission queue full; retry with backoff");
   }
   std::unique_lock<std::mutex> lock(mu);
   cv.wait(lock, [&] { return done; });
+  if (obs::access_entry* aentry = obs::access_current()) {
+    aentry->shard = static_cast<std::int64_t>(shard);
+    aentry->queue_wait_ns = std::max(aentry->queue_wait_ns, wait_ns);
+  }
   if (err) std::rethrow_exception(err);
   return out;
 }
@@ -332,12 +389,18 @@ json::value sharded_service::scatter_lm_estimate(const json::value& req,
   struct chunk_slot {
     std::vector<std::vector<mc_cell>> cells;
     std::exception_ptr err;
+    std::uint64_t wait_ns = 0;
   };
   std::vector<chunk_slot> slots(chunks);
   std::mutex mu;
   std::condition_variable cv;
   std::size_t finished = 0;
+  std::size_t fallbacks = 0;
 
+  // Every chunk — dispatched or folded inline on refusal — runs under the
+  // frontend's request context, so scatter.chunk spans on shard lanes
+  // join the request span across lanes.
+  const obs::trace_context tctx = obs::current_trace();
   for (std::size_t c = 0; c < chunks; ++c) {
     // Contiguous source ranges in chunk order: concatenating the chunk
     // results in index order reproduces the serial per-source sequence.
@@ -345,27 +408,49 @@ json::value sharded_service::scatter_lm_estimate(const json::value& req,
     const std::size_t end = (c + 1) * sources / chunks;
     const std::size_t shard = (home + c) % shards_.size();
     obs::add(obs::counter::svc_scatter_chunks);
-    auto work = [&, c, begin, end] {
-      try {
-        slots[c].cells = run_lm_sources(plan, begin, end);
-      } catch (...) {
-        slots[c].err = std::current_exception();
+    service_shard* owner = shards_[shard].get();
+    const auto submitted = std::chrono::steady_clock::now();
+    auto work = [&, c, begin, end, owner, submitted] {
+      const std::uint64_t wait_ns = elapsed_ns(submitted);
+      obs::record(obs::histogram::svc_shard_queue_wait_ns, wait_ns);
+      const auto task_begun = std::chrono::steady_clock::now();
+      {
+        obs::trace_scope trace_guard(tctx);
+        obs::span chunk_span("scatter.chunk");
+        try {
+          slots[c].cells = run_lm_sources(plan, begin, end);
+        } catch (...) {
+          slots[c].err = std::current_exception();
+        }
       }
+      const std::uint64_t task_ns = elapsed_ns(task_begun);
+      obs::record(obs::histogram::svc_shard_task_ns, task_ns);
+      owner->add_timing(wait_ns, task_ns);
       {
         std::lock_guard<std::mutex> lock(mu);
+        slots[c].wait_ns = wait_ns;
         ++finished;
       }
       cv.notify_one();
     };
-    if (!shards_[shard]->submit(work)) {
+    if (!owner->submit(work)) {
       // Bounded-queue fallback: the frontend folds this chunk itself
       // rather than failing a scatter other shards already accepted.
+      ++fallbacks;
       work();
     }
   }
   {
     std::unique_lock<std::mutex> lock(mu);
     cv.wait(lock, [&] { return finished == chunks; });
+    if (obs::access_entry* aentry = obs::access_current()) {
+      aentry->shard = static_cast<std::int64_t>(home);
+      aentry->fanout = chunks;
+      aentry->fallbacks = fallbacks;
+      for (const chunk_slot& slot : slots) {
+        aentry->queue_wait_ns = std::max(aentry->queue_wait_ns, slot.wait_ns);
+      }
+    }
   }
 
   // Gather: count every chunk spliced (the dispatched == spliced
@@ -400,6 +485,8 @@ json::value sharded_service::shard_metrics_json() const {
     row.set("inflight_peak", num_u(st.inflight_peak));
     row.set("tasks_executed", num_u(st.tasks_executed));
     row.set("rejected", num_u(st.rejected));
+    row.set("queue_wait_ns", num_u(st.queue_wait_ns));
+    row.set("task_ns", num_u(st.task_ns));
     row.set("lru_entries", num_u(lru.size()));
     row.set("lru_hits", num_u(cs.hits));
     row.set("lru_misses", num_u(cs.misses));

@@ -33,6 +33,7 @@
 // service_sharded expectation spec asserts dispatched == spliced.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -97,6 +98,8 @@ class service_shard {
     std::size_t inflight = 0;
     std::uint64_t queue_depth_peak = 0;
     std::uint64_t inflight_peak = 0;
+    std::uint64_t queue_wait_ns = 0;  ///< summed task queue wait
+    std::uint64_t task_ns = 0;        ///< summed task execution time
   };
 
   service_shard(std::size_t index, std::size_t workers,
@@ -110,6 +113,14 @@ class service_shard {
   /// Enqueues a task; false (and svc.shard.rejected) when the queue is
   /// at capacity. Tasks already queued always run, even during shutdown.
   bool submit(task_fn task);
+
+  /// Latency attribution feed: tasks report their own queue wait and run
+  /// time here (they alone know both ends), summed into stats() and the
+  /// per-shard rows of the `metrics` op.
+  void add_timing(std::uint64_t queue_wait_ns, std::uint64_t task_ns) noexcept {
+    queue_wait_ns_.fetch_add(queue_wait_ns, std::memory_order_relaxed);
+    task_ns_.fetch_add(task_ns, std::memory_order_relaxed);
+  }
 
   std::size_t index() const noexcept { return index_; }
   tiered_topology_cache& topology() noexcept { return cache_; }
@@ -135,6 +146,8 @@ class service_shard {
   std::uint64_t rejected_ = 0;
   std::uint64_t queue_depth_peak_ = 0;
   std::uint64_t inflight_peak_ = 0;
+  std::atomic<std::uint64_t> queue_wait_ns_{0};
+  std::atomic<std::uint64_t> task_ns_{0};
   std::vector<std::thread> workers_;
 };
 

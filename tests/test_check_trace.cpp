@@ -186,6 +186,133 @@ TEST(check_trace, budget_and_count_rules) {
   EXPECT_TRUE(check_trace("span nonexistent count == 0\n", doc).empty());
 }
 
+// ---------------------------------------------------------------------------
+// same_trace: per-request enclosure across lanes (args.trace_id).
+
+struct traced_span {
+  const char* name;
+  double ts_us;
+  double dur_us;
+  int tid;
+  const char* trace;  ///< args.trace_id hex string; nullptr = no args
+};
+
+json::value make_traced(const std::vector<traced_span>& spans) {
+  json::value events = json::value::array();
+  for (const traced_span& s : spans) {
+    json::value e = json::value::object();
+    e.set("name", json::value::string(s.name));
+    e.set("ph", json::value::string("X"));
+    e.set("ts", json::value::number(s.ts_us));
+    e.set("dur", json::value::number(s.dur_us));
+    e.set("pid", json::value::number(1.0));
+    e.set("tid", json::value::number(static_cast<double>(s.tid)));
+    if (s.trace != nullptr) {
+      json::value args = json::value::object();
+      args.set("trace_id", json::value::string(s.trace));
+      e.set("args", std::move(args));
+    }
+    events.push(std::move(e));
+  }
+  json::value doc = json::value::object();
+  doc.set("traceEvents", std::move(events));
+  return doc;
+}
+
+TEST(check_trace, same_trace_modifier_parses) {
+  const spec s = parse_spec("span chunk within request same_trace\n"
+                            "span chunk within request\n",
+                            "t.expect");
+  ASSERT_EQ(s.rules.size(), 2u);
+  EXPECT_TRUE(s.rules[0].same_trace);
+  EXPECT_FALSE(s.rules[1].same_trace);
+
+  // Anything after the parent glob other than `same_trace` is a typo the
+  // spec parser must name, not silently accept.
+  try {
+    parse_spec("span chunk within request sametrace\n", "t.expect");
+    FAIL() << "expected spec_error";
+  } catch (const spec_error& e) {
+    EXPECT_NE(std::string(e.what()).find("same_trace"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(check_trace, same_trace_distinguishes_interleaved_requests) {
+  // Two requests interleave: request B's chunk runs (in time) inside
+  // request A's root span on another lane. Plain `within` cannot tell
+  // them apart; `same_trace` pins the chunk to its own request.
+  const std::vector<traced_span> interleaved = {
+      {"request", 0.0, 1000.0, 1, "000000000000000a"},
+      {"request", 10.0, 500.0, 2, "000000000000000b"},
+      {"scatter.chunk", 50.0, 100.0, 3, "000000000000000b"},
+  };
+  EXPECT_TRUE(check_trace("span scatter.chunk within request\n",
+                          make_traced(interleaved))
+                  .empty());
+  EXPECT_TRUE(check_trace("span scatter.chunk within request same_trace\n",
+                          make_traced(interleaved))
+                  .empty());
+
+  // Drop request B's root: the chunk still sits inside A's span, so the
+  // plain rule passes — but the same_trace rule must flag it.
+  const std::vector<traced_span> orphan = {
+      {"request", 0.0, 1000.0, 1, "000000000000000a"},
+      {"scatter.chunk", 50.0, 100.0, 3, "000000000000000b"},
+  };
+  EXPECT_TRUE(check_trace("span scatter.chunk within request\n",
+                          make_traced(orphan))
+                  .empty());
+  const auto v = check_trace("span scatter.chunk within request same_trace\n",
+                             make_traced(orphan));
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].message.find("with the same trace id"), std::string::npos)
+      << v[0].message;
+}
+
+TEST(check_trace, same_trace_rejects_untagged_children) {
+  // A same_trace rule asserts the id plumbing itself: a child span with
+  // no trace id is a broken propagation path, not a pass.
+  const auto v = check_trace(
+      "span scatter.chunk within request same_trace\n",
+      make_traced({
+          {"request", 0.0, 1000.0, 1, "000000000000000a"},
+          {"scatter.chunk", 50.0, 100.0, 3, nullptr},
+      }));
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].message.find("carries no trace id"), std::string::npos)
+      << v[0].message;
+}
+
+TEST(check_trace, malformed_trace_ids_throw_with_index) {
+  const auto reject = [](const char* trace, const char* fragment) {
+    try {
+      parse_trace(make_traced({{"a", 0.0, 1.0, 1, trace}}));
+      FAIL() << "expected invalid_argument for trace_id '" << trace << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("traceEvents[0]"),
+                std::string::npos)
+          << e.what();
+    }
+  };
+  reject("", "trace_id");
+  reject("xyz", "trace_id");
+  reject("00000000000000001", "trace_id");  // 17 chars
+
+  // Absent args (or args without a trace_id) stay valid: untagged spans
+  // are the normal case outside the service.
+  EXPECT_EQ(parse_trace(make_traced({{"a", 0.0, 1.0, 1, nullptr}}))
+                .spans[0]
+                .trace_id,
+            0u);
+  EXPECT_EQ(parse_trace(make_traced({{"a", 0.0, 1.0, 1, "00ff"}}))
+                .spans[0]
+                .trace_id,
+            0xffu);
+}
+
 TEST(check_trace, bare_array_and_non_x_phases) {
   // Bare-array form, with a metadata event that has no name/dur: valid.
   const parsed_trace t = parse_trace(json::parse(

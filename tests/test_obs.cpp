@@ -13,7 +13,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/metrics_json.hpp"
 #include "obs/trace.hpp"
 
 namespace mcast::obs {
@@ -123,6 +125,29 @@ TEST_F(obs_test, histogram_handles_zero_and_huge_values) {
                    static_cast<double>(~std::uint64_t{0}));
 }
 
+TEST_F(obs_test, empty_histograms_serialize_as_finite_zeroes) {
+  // Regression: an untouched histogram must report mean/percentiles as
+  // plain 0, never NaN/Inf — NaN is not JSON, so one empty histogram
+  // would make the whole metrics document unparseable.
+  const histogram_summary empty{};
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+
+  const metrics_snapshot s = snapshot();  // nothing recorded anywhere
+  const json::value doc = metrics_to_json(s);
+  const json::value* hists = doc.get("histograms");
+  ASSERT_NE(hists, nullptr);
+  const json::value* h = hists->get("repair.latency_ns");
+  ASSERT_NE(h, nullptr);
+  EXPECT_DOUBLE_EQ(h->get("count")->as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(h->get("mean")->as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(h->get("p50")->as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(h->get("p99")->as_number(), 0.0);
+
+  // The serialized document must round-trip: a NaN anywhere would dump
+  // as a token json::parse rejects.
+  EXPECT_NO_THROW(json::parse(json::dump_compact(doc)));
+}
+
 TEST_F(obs_test, multi_thread_counters_merge_exactly) {
   constexpr int kThreads = 8;
   constexpr std::uint64_t kPerThread = 10000;
@@ -192,6 +217,75 @@ TEST_F(obs_test, spans_record_nested_scopes) {
   EXPECT_EQ(outer->tid, inner->tid);
   EXPECT_LE(outer->start_ns, inner->start_ns);
   EXPECT_GE(outer->start_ns + outer->dur_ns, inner->start_ns + inner->dur_ns);
+}
+
+TEST_F(obs_test, spans_inherit_the_installed_trace_context) {
+  trace_enable();
+  {
+    trace_scope scope(trace_context{0xabcull, 0});
+    MCAST_OBS_SPAN("outer");
+    MCAST_OBS_SPAN("inner");  // same scope: chains under outer
+  }
+  {
+    MCAST_OBS_SPAN("untagged");  // no context: the id triple stays 0
+  }
+  trace_disable();
+  const trace_dump dump = trace_collect();
+  const trace_event* outer = nullptr;
+  const trace_event* inner = nullptr;
+  const trace_event* untagged = nullptr;
+  for (const trace_event& e : dump.events) {
+    if (e.name == "outer") outer = &e;
+    if (e.name == "inner") inner = &e;
+    if (e.name == "untagged") untagged = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(untagged, nullptr);
+  EXPECT_EQ(outer->trace_id, 0xabcull);
+  EXPECT_EQ(inner->trace_id, 0xabcull);
+  EXPECT_NE(outer->span_id, 0u);
+  EXPECT_EQ(outer->parent_id, 0u);  // root of its request
+  EXPECT_EQ(inner->parent_id, outer->span_id);
+  EXPECT_EQ(untagged->trace_id, 0u);
+  EXPECT_EQ(untagged->span_id, 0u);
+}
+
+TEST_F(obs_test, context_survives_while_tracing_is_off) {
+  // The access log attributes records through current_trace() even when
+  // the span rings are not running, so contexts must work regardless.
+  EXPECT_EQ(current_trace().trace_id, 0u);
+  {
+    trace_scope scope(trace_context{77, 5});
+    EXPECT_EQ(current_trace().trace_id, 77u);
+    EXPECT_EQ(current_trace().parent_span, 5u);
+  }
+  EXPECT_EQ(current_trace().trace_id, 0u);
+}
+
+TEST_F(obs_test, chrome_trace_emits_id_args_and_cross_lane_flows) {
+  trace_dump dump;
+  // A two-lane trace: the root on lane 1, a child chunk on lane 2.
+  dump.events.push_back({"request", 1000, 5000, 1, 0xabcull, 0x1ull, 0});
+  dump.events.push_back(
+      {"scatter.chunk", 2000, 1000, 2, 0xabcull, 0x2ull, 0x1ull});
+  std::ostringstream out;
+  write_chrome_trace(out, dump);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"trace_id\": \"0000000000000abc\""),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\"parent\": \"0000000000000001\""), std::string::npos)
+      << text;
+  // The trace crosses lanes, so flow events bind them in the viewer.
+  EXPECT_NE(text.find("\"ph\": \"s\""), std::string::npos) << text;
+
+  // A single-lane trace needs no flows.
+  trace_dump one_lane;
+  one_lane.events.push_back({"request", 1000, 5000, 1, 0xb0bull, 0x3ull, 0});
+  std::ostringstream out2;
+  write_chrome_trace(out2, one_lane);
+  EXPECT_EQ(out2.str().find("\"ph\": \"s\""), std::string::npos);
 }
 
 TEST_F(obs_test, spans_cost_nothing_while_disabled) {

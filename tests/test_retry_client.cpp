@@ -9,7 +9,9 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "net/server.hpp"
 #include "net/socket.hpp"
@@ -169,6 +171,77 @@ TEST(retry_client_test, timeout_retries_only_idempotent_requests) {
   const call_result resent = opted_in.call("{\"op\":\"mutate\"}");
   EXPECT_EQ(resent.status, call_status::timeout);
   EXPECT_EQ(resent.attempts, 2);
+}
+
+TEST(retry_client_test, trace_base_tags_every_attempt) {
+  // Capture what each attempt actually sent; refuse twice, then succeed.
+  std::mutex mu;
+  std::vector<std::string> received;
+  net::line_server server(
+      tiny_config(), [&mu, &received](const std::string& line) {
+        std::lock_guard<std::mutex> lock(mu);
+        received.push_back(line);
+        return received.size() <= 2
+                   ? error_response(error_code::overloaded, "busy")
+                   : std::string("{\"ok\":true}");
+      });
+  retry_policy policy;
+  policy.max_attempts = 4;
+  policy.backoff_base_ms = 0;
+  policy.backoff_max_ms = 0;
+  policy.trace_base = "call";
+  retry_client client(server.port(), policy);
+  const call_result result = client.call("{\"op\":\"healthz\"}");
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.attempts, 3);
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(received.size(), 3u);
+  EXPECT_NE(received[0].find("\"trace\":\"call-a1\""), std::string::npos)
+      << received[0];
+  EXPECT_NE(received[1].find("\"trace\":\"call-a2\""), std::string::npos)
+      << received[1];
+  EXPECT_NE(received[2].find("\"trace\":\"call-a3\""), std::string::npos)
+      << received[2];
+}
+
+TEST(retry_client_test, existing_trace_field_wins_over_trace_base) {
+  std::mutex mu;
+  std::vector<std::string> received;
+  net::line_server server(
+      tiny_config(), [&mu, &received](const std::string& line) {
+        std::lock_guard<std::mutex> lock(mu);
+        received.push_back(line);
+        return std::string("{\"ok\":true}");
+      });
+  retry_policy policy;
+  policy.trace_base = "call";
+  retry_client client(server.port(), policy);
+  const call_result result =
+      client.call("{\"op\":\"healthz\",\"trace\":\"mine-a7\"}");
+  EXPECT_TRUE(result.ok());
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_NE(received[0].find("\"trace\":\"mine-a7\""), std::string::npos)
+      << received[0];
+  EXPECT_EQ(received[0].find("call-a1"), std::string::npos) << received[0];
+}
+
+TEST(retry_client_test, server_echoes_the_attempt_token) {
+  // Through the real service: the token is part of the request bytes, so
+  // the response carries it back and the caller can join client-side
+  // attempts with server-side access-log records.
+  auto svc = std::make_shared<query_service>();
+  net::line_server server(tiny_config(), [svc](const std::string& line) {
+    return svc->handle(line);
+  });
+  retry_policy policy;
+  policy.trace_base = "q";
+  retry_client client(server.port(), policy);
+  const call_result result =
+      client.call("{\"op\":\"lmhat\",\"k\":2,\"depth\":3,\"n\":[1,10]}");
+  EXPECT_TRUE(result.ok());
+  EXPECT_NE(result.response.find("\"trace\":\"q-a1\""), std::string::npos)
+      << result.response;
 }
 
 TEST(retry_client_test, backoff_schedule_is_seeded_and_deterministic) {

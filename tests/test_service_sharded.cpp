@@ -17,7 +17,9 @@
 #include "common/json.hpp"
 #include "net/server.hpp"
 #include "net/socket.hpp"
+#include "obs/access_log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/protocol.hpp"
 #include "service/query_service.hpp"
 #include "service/shard_router.hpp"
@@ -167,6 +169,55 @@ TEST(service_sharded, concurrent_clients_match_single_shard_serial_replay) {
   server.shutdown();
   server.wait();
   svc->shutdown();
+}
+
+TEST(service_sharded, responses_identical_with_tracing_and_access_log) {
+  if (!obs::snapshot().compiled_in) GTEST_SKIP() << "obs disabled";
+  // The observability acceptance bar: arming span rings and the access
+  // log must not move a single response byte, at any shard count.
+  const std::vector<std::string> requests = {
+      "{\"op\":\"lmhat\",\"trace\":\"t-a1\",\"k\":3,\"depth\":4,"
+      "\"n\":[1,10,100]}",
+      "{\"op\":\"lm_estimate\",\"topology\":\"ARPA\",\"group_sizes\":[2,4],"
+      "\"sources\":3,\"receiver_sets\":2,\"seed\":9}",
+      "{\"op\":\"reachability\",\"topology\":\"ARPA\",\"source\":5}",
+      "{\"op\":\"batch\",\"trace\":\"b-a2\",\"ops\":["
+      "{\"op\":\"lmhat\",\"k\":2,\"depth\":3,\"n\":[1,10]},"
+      "{\"op\":\"nosuch\"}]}",
+      "not json at all",
+  };
+
+  // Reference responses: observability fully quiet.
+  obs::trace_disable();
+  obs::trace_clear();
+  std::vector<std::string> expected;
+  {
+    sharded_config config;
+    config.shards = 2;
+    sharded_service svc(config);
+    for (const std::string& r : requests) expected.push_back(svc.handle(r));
+    svc.shutdown();
+  }
+
+  const std::string log_path =
+      ::testing::TempDir() + "sharded_identity_access.jsonl";
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{4}}) {
+    obs::trace_clear();
+    obs::trace_enable();
+    obs::access_log_enable(log_path);
+    sharded_config config;
+    config.shards = shards;
+    sharded_service svc(config);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      EXPECT_EQ(svc.handle(requests[i]), expected[i])
+          << "request " << i << " at " << shards << " shard(s)";
+    }
+    svc.shutdown();
+    obs::access_log_disable();
+    obs::trace_disable();
+    obs::trace_clear();
+  }
 }
 
 TEST(service_sharded, shutdown_is_idempotent_and_drains) {

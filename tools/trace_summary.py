@@ -1,7 +1,11 @@
 #!/usr/bin/env python3
 """Summarize a Chrome trace_event JSON file written by `mcast_lab run
---profile=<out.json>`: the top spans by cumulative duration, with call
-counts and mean/max per call. Standard library only.
+--profile=<out.json>` or `mcast_lab serve --profile=<out.json>`: the top
+spans by cumulative duration, with call counts and mean/max per call.
+When spans carry request identity (args.trace_id, the service's tracing
+layer), also the per-request view: spans grouped by trace id with each
+request's critical path — the chain of spans that bounds its wall time,
+so the slowest request names the stage to blame. Standard library only.
 
 Malformed events (not an object, missing "ph", or a complete event with a
 bad name/dur) are counted and reported, and their presence makes the exit
@@ -9,7 +13,7 @@ code non-zero: a half-written trace must fail CI, not quietly summarize
 whatever survived. `mcast_lab check` applies the same rule in-process.
 
 Usage:
-    tools/trace_summary.py trace.json [--top N]
+    tools/trace_summary.py trace.json [--top N] [--requests N]
 
 Exit codes: 0 clean, 1 malformed events skipped, 2 unreadable input.
 """
@@ -62,6 +66,74 @@ def summarize(events):
     return spans, skipped
 
 
+def group_requests(events):
+    """Group complete events by args.trace_id.
+
+    Returns (requests, skipped): requests maps trace id -> list of span
+    dicts {name, ts, dur, span, parent}; `skipped` counts events whose
+    args block is present but mistyped (a malformed artifact, same
+    contract as summarize). Untagged events are valid and ignored here.
+    """
+    requests = {}
+    skipped = 0
+    for e in events:
+        if not isinstance(e, dict) or e.get("ph") != "X":
+            continue
+        args = e.get("args")
+        if args is None:
+            continue
+        if not isinstance(args, dict):
+            skipped += 1
+            continue
+        trace_id = args.get("trace_id")
+        if trace_id is None:
+            continue
+        name = e.get("name")
+        dur = e.get("dur")
+        ts = e.get("ts")
+        if not isinstance(trace_id, str) or not isinstance(name, str) or \
+                isinstance(dur, bool) or not isinstance(dur, (int, float)) or \
+                isinstance(ts, bool) or not isinstance(ts, (int, float)):
+            skipped += 1
+            continue
+        requests.setdefault(trace_id, []).append({
+            "name": name, "ts": float(ts), "dur": float(dur),
+            "span": args.get("span"), "parent": args.get("parent"),
+        })
+    for spans in requests.values():
+        spans.sort(key=lambda s: (s["ts"], -s["dur"]))
+    return requests, skipped
+
+
+def critical_path(spans):
+    """The chain of spans bounding a request's wall time.
+
+    Walks the parent links written by the tracing layer (args.span /
+    args.parent): from the root, repeatedly descend into the child whose
+    span ends last — the stage the request actually waited for. Falls
+    back to just the longest span when the links are absent.
+    """
+    by_id = {s["span"]: s for s in spans if isinstance(s["span"], str)}
+    children = {}
+    root = None
+    for s in spans:
+        parent = s["parent"]
+        if isinstance(parent, str) and parent in by_id:
+            children.setdefault(parent, []).append(s)
+        elif root is None or s["ts"] < root["ts"]:
+            root = s
+    if root is None:
+        return [max(spans, key=lambda s: s["dur"])] if spans else []
+    path = [root]
+    node = root
+    while True:
+        kids = children.get(node["span"])
+        if not kids:
+            return path
+        node = max(kids, key=lambda s: s["ts"] + s["dur"])
+        path.append(node)
+
+
 def fmt_us(us):
     if us >= 1e6:
         return "%.2fs" % (us / 1e6)
@@ -75,6 +147,8 @@ def main(argv=None):
     parser.add_argument("trace", help="trace_event JSON file (--profile output)")
     parser.add_argument("--top", type=int, default=10,
                         help="rows to print (default 10)")
+    parser.add_argument("--requests", type=int, default=5,
+                        help="traced requests to detail (default 5)")
     args = parser.parse_args(argv)
 
     try:
@@ -99,6 +173,22 @@ def main(argv=None):
                      fmt_us(mean), fmt_us(agg["max_us"])))
     else:
         print("trace_summary: no complete spans in %s" % args.trace)
+
+    requests, req_skipped = group_requests(events)
+    skipped += req_skipped
+    if requests and args.requests > 0:
+        # Slowest requests first, wall time taken from each root span.
+        ranked = sorted(requests.items(),
+                        key=lambda kv: critical_path(kv[1])[0]["dur"],
+                        reverse=True)
+        shown = ranked[: args.requests]
+        print("%d traced request(s); slowest %d with critical paths:"
+              % (len(requests), len(shown)))
+        for trace_id, spans in shown:
+            path = critical_path(spans)
+            chain = " > ".join("%s (%s)" % (s["name"], fmt_us(s["dur"]))
+                               for s in path)
+            print("  %s  %d span(s)  %s" % (trace_id, len(spans), chain))
 
     if skipped:
         print("trace_summary: %d malformed event record(s) skipped"
