@@ -28,8 +28,9 @@ void register_ext_reachability_zoo(registry& reg);
 void register_ext_weighted(registry& reg);
 void register_ext_sessions(registry& reg);
 void register_ext_failures(registry& reg);
+void register_ext_churn(registry& reg);
 
-/// Installs the complete built-in suite (19 experiments).
+/// Installs the complete built-in suite (20 experiments).
 void register_builtin(registry& reg);
 
 }  // namespace mcast::lab

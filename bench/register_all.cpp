@@ -24,6 +24,7 @@ void register_builtin(registry& reg) {
   register_ext_weighted(reg);
   register_ext_sessions(reg);
   register_ext_failures(reg);
+  register_ext_churn(reg);
 }
 
 }  // namespace mcast::lab

@@ -1,0 +1,201 @@
+#include "group/churn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/contract.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace mcast {
+
+namespace {
+
+// Shared accounting for both drivers: lazy integrals over the
+// [warmup, warmup + horizon) window, window-scoped counters, and the
+// FIFO per-site lifetime pairing. Pairing is FIFO in both drivers on
+// purpose — instances at one site are indistinguishable to the tree, and
+// a replayed trace must histogram the same lifetimes the live run did.
+struct churn_accumulator {
+  double t_begin;
+  double t_end;
+  double last_change;
+  double links_integral = 0.0;
+  double cost_integral = 0.0;
+  double members_integral = 0.0;
+  std::size_t links = 0;
+  double cost = 0.0;
+  std::size_t members = 0;
+  churn_metrics metrics;
+  std::vector<std::deque<double>> join_times;  // per site, FIFO
+  double lifetime_sum = 0.0;
+  std::uint64_t lifetime_count = 0;
+
+  churn_accumulator(double warmup, double horizon, std::size_t nodes)
+      : t_begin(warmup),
+        t_end(warmup + horizon),
+        last_change(0.0),
+        join_times(nodes) {
+    metrics.duration = horizon;
+  }
+
+  void account(double now) {
+    const double from = std::max(last_change, t_begin);
+    const double to = std::min(now, t_end);
+    if (to > from) {
+      const double dt = to - from;
+      links_integral += static_cast<double>(links) * dt;
+      cost_integral += cost * dt;
+      members_integral += static_cast<double>(members) * dt;
+    }
+    last_change = now;
+  }
+
+  bool in_window(double now) const { return now >= t_begin && now <= t_end; }
+
+  void on_join(double now, node_id site, const group_snapshot& snap) {
+    links = snap.links;
+    cost = snap.cost;
+    members = snap.members;
+    join_times[site].push_back(now);
+    if (in_window(now)) {
+      ++metrics.joins;
+      metrics.links_grafted += snap.last_grafted;
+      metrics.peak_members = std::max(metrics.peak_members, snap.members);
+      metrics.peak_links = std::max(metrics.peak_links, snap.links);
+    }
+  }
+
+  void on_leave(double now, node_id site, const group_snapshot& snap) {
+    links = snap.links;
+    cost = snap.cost;
+    members = snap.members;
+    MCAST_ASSERT(!join_times[site].empty());
+    const double lifetime = now - join_times[site].front();
+    join_times[site].pop_front();
+    if (in_window(now)) {
+      ++metrics.leaves;
+      metrics.links_pruned += snap.last_pruned;
+      lifetime_sum += lifetime;
+      ++lifetime_count;
+      // Power-of-two buckets: bucket b covers [2^(b-7), 2^(b-6)); the
+      // ends clamp, so bucket 0 also holds anything shorter.
+      int b = 0;
+      if (lifetime > 0.0) {
+        b = static_cast<int>(std::floor(std::log2(lifetime))) + 7;
+      }
+      b = std::clamp(b, 0, static_cast<int>(churn_lifetime_buckets) - 1);
+      ++metrics.lifetime_histogram[static_cast<std::size_t>(b)];
+    }
+  }
+
+  churn_metrics finish(double horizon) {
+    account(t_end);
+    metrics.time_avg_links = links_integral / horizon;
+    metrics.time_avg_cost = cost_integral / horizon;
+    metrics.time_avg_members = members_integral / horizon;
+    metrics.mean_lifetime =
+        lifetime_count == 0
+            ? 0.0
+            : lifetime_sum / static_cast<double>(lifetime_count);
+    return metrics;
+  }
+};
+
+const source_tree& churn_base(group_manager& groups, const std::string& scope,
+                              const std::string& name) {
+  expects(groups.contains(scope, name), "churn: group does not exist");
+  const group_snapshot snap = groups.stats(scope, name);
+  expects(snap.members == 0, "churn: group must start empty");
+  return groups.delivery(scope, name).base();
+}
+
+}  // namespace
+
+churn_metrics run_poisson_churn(group_manager& groups,
+                                const std::string& scope,
+                                const std::string& name,
+                                const churn_workload& w, std::uint64_t seed,
+                                std::vector<membership_event>* trace) {
+  expects(w.join_rate > 0.0 && w.mean_lifetime > 0.0,
+          "run_poisson_churn: rates must be positive");
+  expects(w.horizon > 0.0 && w.warmup >= 0.0,
+          "run_poisson_churn: horizon must be positive, warmup non-negative");
+  const source_tree& base = churn_base(groups, scope, name);
+
+  // Join sites: every non-root node the routing base reaches.
+  std::vector<node_id> eligible;
+  eligible.reserve(base.node_count());
+  for (node_id v = 0; v < base.node_count(); ++v) {
+    if (v != base.source() && base.distance(v) != unreachable) {
+      eligible.push_back(v);
+    }
+  }
+  expects(!eligible.empty(),
+          "run_poisson_churn: routing base reaches no joinable site");
+
+  rng gen(seed);
+  event_queue events;
+  churn_accumulator acc(w.warmup, w.horizon, base.node_count());
+  const double t_end = w.warmup + w.horizon;
+
+  // Per join, the draw order is fixed (site, lifetime, next inter-arrival)
+  // so the trajectory is a pure function of the seed.
+  std::function<void()> next_join = [&] {
+    acc.account(events.now());
+    const node_id site = eligible[gen.below(eligible.size())];
+    const group_snapshot snap = groups.join(scope, name, site);
+    acc.on_join(events.now(), site, snap);
+    if (trace != nullptr) {
+      trace->push_back({events.now(), site, /*join=*/true});
+    }
+    events.schedule(events.now() + gen.exponential(1.0 / w.mean_lifetime),
+                    [&, site] {
+                      acc.account(events.now());
+                      const group_snapshot after =
+                          groups.leave(scope, name, site);
+                      acc.on_leave(events.now(), site, after);
+                      if (trace != nullptr) {
+                        trace->push_back({events.now(), site, /*join=*/false});
+                      }
+                    });
+    events.schedule(events.now() + gen.exponential(w.join_rate), next_join);
+  };
+  events.schedule(gen.exponential(w.join_rate), next_join);
+  events.run_until(t_end);
+  return acc.finish(w.horizon);
+}
+
+churn_metrics replay_membership(group_manager& groups,
+                                const std::string& scope,
+                                const std::string& name,
+                                const std::vector<membership_event>& trace,
+                                double horizon, double warmup) {
+  expects(horizon > 0.0 && warmup >= 0.0,
+          "replay_membership: horizon must be positive, warmup non-negative");
+  const source_tree& base = churn_base(groups, scope, name);
+  churn_accumulator acc(warmup, horizon, base.node_count());
+  const double t_end = warmup + horizon;
+
+  double prev = 0.0;
+  for (const membership_event& ev : trace) {
+    expects(ev.time >= prev,
+            "replay_membership: trace must be time-ordered and non-negative");
+    prev = ev.time;
+    if (ev.time > t_end) break;  // same horizon cut as the live run
+    acc.account(ev.time);
+    if (ev.join) {
+      const group_snapshot snap = groups.join(scope, name, ev.site);
+      acc.on_join(ev.time, ev.site, snap);
+    } else {
+      const group_snapshot snap = groups.leave(scope, name, ev.site);
+      acc.on_leave(ev.time, ev.site, snap);
+    }
+  }
+  return acc.finish(horizon);
+}
+
+}  // namespace mcast

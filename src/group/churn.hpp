@@ -1,0 +1,87 @@
+// Churn drivers — the workloads that make a group's tree a process.
+//
+// Two drivers feed join/leave sequences to one group_manager group over
+// the discrete-event core (sim/event_queue.hpp):
+//
+//   * Poisson churn — an M/M/∞ membership: joins arrive Poisson(join_rate)
+//     at uniform random non-root sites and each member stays an
+//     exponential(mean_lifetime) holding time, so the stationary mean
+//     group size is join_rate * mean_lifetime. This is the workload the
+//     ext_churn experiment sweeps to ask whether the m^0.8 law holds for
+//     the *time-averaged* tree.
+//   * Trace replay — a recorded membership_event sequence applied
+//     verbatim. run_poisson_churn can emit the trace it played, and
+//     replaying that trace on a fresh group must land byte-identical
+//     final state and time-averages (tests/test_group.cpp pins this), so
+//     measured workloads can be re-run against other tree modes.
+//
+// Both integrate links(t), cost(t) and members(t) lazily over the
+// post-warmup window and histogram completed member lifetimes in
+// power-of-two buckets. Deterministic given the seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "group/group_manager.hpp"
+
+namespace mcast {
+
+struct churn_workload {
+  double join_rate = 1.0;       ///< member joins per unit time, > 0
+  double mean_lifetime = 5.0;   ///< exponential holding time mean, > 0
+  double horizon = 100.0;       ///< simulated span after warmup, > 0
+  double warmup = 0.0;          ///< settle-in span excluded from averages
+};
+
+/// Lifetime histogram: bucket 0 holds lifetimes < 1/64 time units, bucket
+/// b holds [2^(b-7), 2^(b-6)), the last bucket everything longer.
+inline constexpr std::size_t churn_lifetime_buckets = 24;
+
+struct churn_metrics {
+  double duration = 0.0;          ///< measured span (the workload horizon)
+  double time_avg_links = 0.0;    ///< ⟨links(t)⟩ over the window
+  double time_avg_cost = 0.0;     ///< ⟨cost(t)⟩ (== links unweighted)
+  double time_avg_members = 0.0;  ///< ⟨members(t)⟩
+  std::size_t peak_members = 0;
+  std::size_t peak_links = 0;
+  std::uint64_t joins = 0;        ///< joins applied inside the window
+  std::uint64_t leaves = 0;
+  std::uint64_t links_grafted = 0;  ///< graft cost inside the window
+  std::uint64_t links_pruned = 0;   ///< prune cost inside the window
+  double mean_lifetime = 0.0;       ///< mean of completed lifetimes
+  std::array<std::uint64_t, churn_lifetime_buckets> lifetime_histogram{};
+};
+
+/// One membership change of a trace: a join (or leave) at `site`.
+struct membership_event {
+  double time = 0.0;
+  node_id site = 0;
+  bool join = true;
+};
+
+/// Runs Poisson churn against the named group (which must exist, be empty,
+/// and span at least 2 reachable nodes). Join sites are drawn uniformly
+/// from the non-root nodes the routing base reaches. When `trace` is
+/// non-null the applied events are appended to it in firing order.
+/// Deterministic given `seed`; the group is left with whatever members
+/// the horizon cut off mid-lifetime.
+churn_metrics run_poisson_churn(group_manager& groups,
+                                const std::string& scope,
+                                const std::string& name,
+                                const churn_workload& workload,
+                                std::uint64_t seed,
+                                std::vector<membership_event>* trace = nullptr);
+
+/// Replays a recorded trace against the named group (same preconditions).
+/// Events must be time-ordered and non-negative; the measurement window
+/// is [warmup, warmup + horizon) exactly as in run_poisson_churn.
+churn_metrics replay_membership(group_manager& groups,
+                                const std::string& scope,
+                                const std::string& name,
+                                const std::vector<membership_event>& trace,
+                                double horizon, double warmup);
+
+}  // namespace mcast

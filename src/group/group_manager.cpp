@@ -1,0 +1,216 @@
+#include "group/group_manager.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/contract.hpp"
+#include "obs/metrics.hpp"
+#include "sim/rng.hpp"
+
+namespace mcast {
+
+group_snapshot group_manager::create(const std::string& scope,
+                                     const std::string& name,
+                                     std::shared_ptr<const graph> g,
+                                     const group_config& config) {
+  expects(g != nullptr, "group_manager::create: null graph");
+  expects(!name.empty(), "group_manager::create: empty group name");
+  node_id root = config.root;
+  if (config.mode == group_mode::shared) {
+    rng gen(config.core_seed);
+    root = choose_core(*g, config.core, gen, config.core_probes);
+  } else {
+    expects_in_range(root < g->node_count(),
+                     "group_manager::create: root out of range");
+  }
+  if (config.weights != nullptr) {
+    expects(&config.weights->topology() == g.get(),
+            "group_manager::create: weights bound to a different graph");
+  }
+
+  group_state state;
+  state.mode = config.mode;
+  state.keepalive = g;
+  state.routing = std::make_shared<const source_tree>(*g, root);
+  state.delivery =
+      config.weights == nullptr
+          ? std::make_unique<dynamic_delivery_tree>(*state.routing)
+          : std::make_unique<dynamic_delivery_tree>(*state.routing,
+                                                    *config.weights);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  return insert_locked(scope, name, std::move(state));
+}
+
+group_snapshot group_manager::create(const std::string& scope,
+                                     const std::string& name,
+                                     std::shared_ptr<const source_tree> routing,
+                                     const edge_weights* weights) {
+  expects(routing != nullptr, "group_manager::create: null routing base");
+  expects(!name.empty(), "group_manager::create: empty group name");
+
+  group_state state;
+  state.mode = group_mode::source;
+  state.routing = std::move(routing);
+  state.delivery =
+      weights == nullptr
+          ? std::make_unique<dynamic_delivery_tree>(*state.routing)
+          : std::make_unique<dynamic_delivery_tree>(*state.routing, *weights);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  return insert_locked(scope, name, std::move(state));
+}
+
+group_snapshot group_manager::insert_locked(const std::string& scope,
+                                            const std::string& name,
+                                            group_state state) {
+  const group_key key{scope, name};
+  auto [it, inserted] = groups_.emplace(key, std::move(state));
+  expects(inserted, "group_manager::create: group already exists");
+  obs::add(obs::counter::group_created);
+  obs::gauge_max(obs::gauge::group_peak_groups, groups_.size());
+  return snapshot_locked(key, it->second);
+}
+
+group_snapshot group_manager::join(const std::string& scope,
+                                   const std::string& name, node_id site,
+                                   std::uint32_t count) {
+  expects(count >= 1, "group_manager::join: count must be >= 1");
+  std::lock_guard<std::mutex> lock(mu_);
+  group_state& s = find_locked(scope, name);
+  std::size_t gained = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    gained += s.delivery->join(site);
+  }
+  s.joins += count;
+  s.links_grafted += gained;
+  ++s.generation;
+  s.peak_members = std::max(s.peak_members, s.delivery->receiver_count());
+  s.peak_links = std::max(s.peak_links, s.delivery->link_count());
+  obs::add(obs::counter::group_joins, count);
+  obs::add(obs::counter::group_links_grafted, gained);
+  obs::record(obs::histogram::group_graft_links, gained);
+  obs::gauge_max(obs::gauge::group_peak_members, s.delivery->receiver_count());
+  group_snapshot snap = snapshot_locked({scope, name}, s);
+  snap.last_grafted = gained;
+  return snap;
+}
+
+group_snapshot group_manager::leave(const std::string& scope,
+                                    const std::string& name, node_id site,
+                                    std::uint32_t count) {
+  expects(count >= 1, "group_manager::leave: count must be >= 1");
+  std::lock_guard<std::mutex> lock(mu_);
+  group_state& s = find_locked(scope, name);
+  expects(site < s.routing->node_count() && s.delivery->receivers_at(site) >= count,
+          "group_manager::leave: fewer receivers joined than asked to leave");
+  std::size_t dropped = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    dropped += s.delivery->leave(site);
+  }
+  s.leaves += count;
+  s.links_pruned += dropped;
+  ++s.generation;
+  obs::add(obs::counter::group_leaves, count);
+  obs::add(obs::counter::group_links_pruned, dropped);
+  obs::record(obs::histogram::group_prune_links, dropped);
+  group_snapshot snap = snapshot_locked({scope, name}, s);
+  snap.last_pruned = dropped;
+  return snap;
+}
+
+group_snapshot group_manager::stats(const std::string& scope,
+                                    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_locked({scope, name}, find_locked(scope, name));
+}
+
+group_snapshot group_manager::rebase(
+    const std::string& scope, const std::string& name,
+    std::shared_ptr<const source_tree> routing,
+    std::unique_ptr<dynamic_delivery_tree> delivery) {
+  expects(routing != nullptr && delivery != nullptr,
+          "group_manager::rebase: null routing or delivery");
+  std::lock_guard<std::mutex> lock(mu_);
+  group_state& s = find_locked(scope, name);
+  s.routing = std::move(routing);
+  s.delivery = std::move(delivery);
+  ++s.generation;
+  s.peak_members = std::max(s.peak_members, s.delivery->receiver_count());
+  s.peak_links = std::max(s.peak_links, s.delivery->link_count());
+  obs::add(obs::counter::group_rebases);
+  return snapshot_locked({scope, name}, s);
+}
+
+const dynamic_delivery_tree& group_manager::delivery(
+    const std::string& scope, const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return *find_locked(scope, name).delivery;
+}
+
+bool group_manager::contains(const std::string& scope,
+                             const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return groups_.find({scope, name}) != groups_.end();
+}
+
+bool group_manager::erase(const std::string& scope, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool erased = groups_.erase({scope, name}) > 0;
+  if (erased) obs::add(obs::counter::group_removed);
+  return erased;
+}
+
+std::vector<group_snapshot> group_manager::list() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<group_snapshot> out;
+  out.reserve(groups_.size());
+  // std::map iterates in (scope, name) order — already the deterministic
+  // listing order the service renders.
+  for (const auto& [key, state] : groups_) {
+    out.push_back(snapshot_locked(key, state));
+  }
+  return out;
+}
+
+std::size_t group_manager::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return groups_.size();
+}
+
+group_manager::group_state& group_manager::find_locked(
+    const std::string& scope, const std::string& name) {
+  auto it = groups_.find({scope, name});
+  expects(it != groups_.end(), "group_manager: unknown group");
+  return it->second;
+}
+
+const group_manager::group_state& group_manager::find_locked(
+    const std::string& scope, const std::string& name) const {
+  auto it = groups_.find({scope, name});
+  expects(it != groups_.end(), "group_manager: unknown group");
+  return it->second;
+}
+
+group_snapshot group_manager::snapshot_locked(const group_key& key,
+                                              const group_state& state) const {
+  group_snapshot snap;
+  snap.scope = key.first;
+  snap.name = key.second;
+  snap.mode = state.mode;
+  snap.root = state.routing->source();
+  snap.generation = state.generation;
+  snap.members = state.delivery->receiver_count();
+  snap.sites = state.delivery->distinct_receiver_sites();
+  snap.links = state.delivery->link_count();
+  snap.cost = state.delivery->link_cost();
+  snap.joins = state.joins;
+  snap.leaves = state.leaves;
+  snap.links_grafted = state.links_grafted;
+  snap.links_pruned = state.links_pruned;
+  snap.peak_members = state.peak_members;
+  snap.peak_links = state.peak_links;
+  return snap;
+}
+
+}  // namespace mcast

@@ -11,6 +11,14 @@ dynamic_delivery_tree::dynamic_delivery_tree(const source_tree& tree)
       subtree_load_(tree.node_count(), 0),
       joined_at_(tree.node_count(), 0) {}
 
+dynamic_delivery_tree::dynamic_delivery_tree(const source_tree& tree,
+                                             const edge_weights& weights)
+    : dynamic_delivery_tree(tree) {
+  expects(weights.topology().node_count() == tree.node_count(),
+          "dynamic_delivery_tree: weights keyed to a different topology");
+  weights_ = &weights;
+}
+
 std::size_t dynamic_delivery_tree::join(node_id v) {
   expects_in_range(v < tree_->node_count(),
                    "dynamic_delivery_tree::join: node out of range");
@@ -23,7 +31,10 @@ std::size_t dynamic_delivery_tree::join(node_id v) {
   // Walk v -> source; each node whose load was 0 contributes a new link
   // (v, parent) — except the source, which has no uplink.
   for (node_id w = v; w != tree_->source(); w = tree_->parent(w)) {
-    if (subtree_load_[w]++ == 0) ++gained;
+    if (subtree_load_[w]++ == 0) {
+      ++gained;
+      if (weights_ != nullptr) cost_ += weights_->get(w, tree_->parent(w));
+    }
     // Counting continues rootward even after the path merges with the
     // existing tree: every ancestor's subtree population grows by one.
   }
@@ -43,11 +54,15 @@ std::size_t dynamic_delivery_tree::leave(node_id v) {
   std::size_t pruned = 0;
   for (node_id w = v; w != tree_->source(); w = tree_->parent(w)) {
     MCAST_ASSERT(subtree_load_[w] > 0);
-    if (--subtree_load_[w] == 0) ++pruned;
+    if (--subtree_load_[w] == 0) {
+      ++pruned;
+      if (weights_ != nullptr) cost_ -= weights_->get(w, tree_->parent(w));
+    }
   }
   MCAST_ASSERT(subtree_load_[tree_->source()] > 0);
   subtree_load_[tree_->source()]--;
   links_ -= pruned;
+  if (links_ == 0) cost_ = 0.0;  // pin the drained tree to exactly zero
   return pruned;
 }
 

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/weights.hpp"
 #include "multicast/spt.hpp"
 
 namespace mcast {
@@ -20,6 +21,12 @@ class dynamic_delivery_tree {
  public:
   /// Starts with an empty group. The source_tree must outlive this object.
   explicit dynamic_delivery_tree(const source_tree& tree);
+
+  /// Weighted variant: link_cost() sums `weights` over the current tree
+  /// links instead of counting them (the ext_weighted cost model). Both
+  /// the source_tree and the weights must outlive this object, and the
+  /// weights must be keyed to the same topology the tree routes over.
+  dynamic_delivery_tree(const source_tree& tree, const edge_weights& weights);
 
   /// Adds one receiver instance at node v (the same node may join multiple
   /// times — think several hosts behind one router). Returns the number of
@@ -32,6 +39,17 @@ class dynamic_delivery_tree {
 
   /// Current number of links in the delivery tree.
   std::size_t link_count() const noexcept { return links_; }
+
+  /// Cost of the current tree: the sum of link weights when constructed
+  /// with an edge_weights binding, otherwise exactly link_count().
+  /// Maintained incrementally in the same O(path) join/leave walks, so a
+  /// churn experiment reads it for free at every membership change.
+  double link_cost() const noexcept {
+    return weights_ == nullptr ? static_cast<double>(links_) : cost_;
+  }
+
+  /// The bound weights, or nullptr for the unweighted (link-count) model.
+  const edge_weights* weights() const noexcept { return weights_; }
 
   /// Current number of receiver instances (join() minus leave() calls).
   std::size_t receiver_count() const noexcept { return receivers_; }
@@ -65,6 +83,7 @@ class dynamic_delivery_tree {
 
  private:
   const source_tree* tree_;
+  const edge_weights* weights_ = nullptr;
   /// subtree_load_[v] = receivers at or below v; the link (v, parent(v))
   /// exists iff subtree_load_[v] > 0.
   std::vector<std::uint32_t> subtree_load_;
@@ -72,6 +91,7 @@ class dynamic_delivery_tree {
   std::size_t links_ = 0;
   std::size_t receivers_ = 0;
   std::size_t distinct_sites_ = 0;
+  double cost_ = 0.0;  ///< weighted link sum; meaningful only with weights_
 };
 
 }  // namespace mcast

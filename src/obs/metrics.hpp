@@ -96,7 +96,19 @@ namespace mcast::obs {
   X(retry_successes, "retry.successes")                          \
   X(retry_exhausted, "retry.exhausted")                          \
   X(svc_access_records, "svc.access.records")                    \
-  X(svc_access_slow, "svc.access.slow")
+  X(svc_access_slow, "svc.access.slow")                          \
+  X(group_created, "group.created")                              \
+  X(group_removed, "group.removed")                              \
+  X(group_joins, "group.joins")                                  \
+  X(group_leaves, "group.leaves")                                \
+  X(group_links_grafted, "group.links_grafted")                  \
+  X(group_links_pruned, "group.links_pruned")                    \
+  X(group_rebases, "group.rebases")                              \
+  X(svc_group_creates, "svc.group.creates")                      \
+  X(svc_group_joins, "svc.group.joins")                          \
+  X(svc_group_leaves, "svc.group.leaves")                        \
+  X(svc_group_stats, "svc.group.stats_reads")                    \
+  X(svc_group_lists, "svc.group.lists")
 
 #define MCAST_OBS_GAUGES(X)                  \
   X(sched_workers, "sched.workers")          \
@@ -106,7 +118,9 @@ namespace mcast::obs {
   X(svc_inflight_peak, "svc.inflight_peak")               \
   X(svc_shard_queue_depth_peak, "svc.shard.queue_depth_peak")  \
   X(svc_shard_inflight_peak, "svc.shard.inflight_peak")   \
-  X(topo_cache_warm_entries, "topo_cache.warm_entries")
+  X(topo_cache_warm_entries, "topo_cache.warm_entries")    \
+  X(group_peak_groups, "group.peak_groups")                \
+  X(group_peak_members, "group.peak_members")
 
 #define MCAST_OBS_HISTOGRAMS(X)                          \
   X(visited_per_pass, "traversal.visited_per_pass")      \
@@ -125,7 +139,10 @@ namespace mcast::obs {
   X(svc_shard_queue_wait_ns, "svc.shard.queue_wait_ns")  \
   X(svc_shard_task_ns, "svc.shard.task_ns")              \
   X(svc_serialize_ns, "svc.serialize_ns")                \
-  X(svc_write_ns, "svc.write_ns")
+  X(svc_write_ns, "svc.write_ns")                        \
+  X(group_graft_links, "group.graft_links_per_join")     \
+  X(group_prune_links, "group.prune_links_per_leave")    \
+  X(svc_op_group_ns, "svc.op.group_ns")
 
 #define MCAST_OBS_ENUM(id, name) id,
 enum class counter : std::uint16_t { MCAST_OBS_COUNTERS(MCAST_OBS_ENUM) };

@@ -17,6 +17,16 @@ const op_entry op_table[] = {
     {"reachability", op_kind::reachability, true, true},
     {"metrics", op_kind::metrics, false, false},
     {"healthz", op_kind::healthz, false, false},
+    // Group ops route by topology key like any topology-bound op; that is
+    // what pins each group to exactly one shard. group_list is the
+    // exception: it has no topology and merges every shard's manager on
+    // the frontend. None are sheddable — O(path) mutations are cheaper
+    // than the Monte-Carlo ops stay even when degraded.
+    {"group_create", op_kind::group_create, false, true},
+    {"group_join", op_kind::group_join, false, true},
+    {"group_leave", op_kind::group_leave, false, true},
+    {"group_stats", op_kind::group_stats, false, true},
+    {"group_list", op_kind::group_list, false, false},
 };
 
 }  // namespace
@@ -41,6 +51,16 @@ json::value run_op(const op_entry& entry, const json::value& req,
       return op_metrics(req, ctx);
     case op_kind::healthz:
       return op_healthz(req, ctx);
+    case op_kind::group_create:
+      return op_group_create(req, ctx);
+    case op_kind::group_join:
+      return op_group_join(req, ctx);
+    case op_kind::group_leave:
+      return op_group_leave(req, ctx);
+    case op_kind::group_stats:
+      return op_group_stats(req, ctx);
+    case op_kind::group_list:
+      return op_group_list(req, ctx);
   }
   throw request_error(error_code::internal_error, "unreachable op kind");
 }
@@ -93,6 +113,8 @@ void record_op_latency(const std::string& op, std::uint64_t ns) noexcept {
     obs::record(histogram::svc_op_batch_ns, ns);
   } else if (op == "metrics" || op == "healthz") {
     obs::record(histogram::svc_op_admin_ns, ns);
+  } else if (op.rfind("group_", 0) == 0) {
+    obs::record(histogram::svc_op_group_ns, ns);
   }
 }
 

@@ -28,6 +28,7 @@
 #include "common/json.hpp"
 #include "core/runner.hpp"
 #include "graph/graph.hpp"
+#include "group/group_manager.hpp"
 #include "net/server.hpp"
 #include "service/protocol.hpp"
 
@@ -62,13 +63,34 @@ struct op_context {
   topology_resolver resolve;                    ///< required
   std::function<net::server_stats()> stats;     ///< null => zeros + own uptime
   std::function<json::value()> shard_metrics;   ///< null => no "shards" array
+  /// Live group state for the group_* ops. The monolith binds its one
+  /// manager; the sharded host binds one per shard, so a group lives on
+  /// the shard its topology key routes to. Null in contexts that never
+  /// run group ops (the sharded frontend).
+  std::shared_ptr<group_manager> groups;
+  /// All live groups across the whole host — what group_list renders. The
+  /// monolith lists its manager; the sharded frontend merges every
+  /// shard's manager (each group exists on exactly one shard, so the
+  /// merge is a disjoint union).
+  std::function<std::vector<group_snapshot>()> group_list_all;
   std::chrono::steady_clock::time_point started =
       std::chrono::steady_clock::now();
 };
 
 // --- dispatch table ----------------------------------------------------
 
-enum class op_kind { lmhat, lm_estimate, reachability, metrics, healthz };
+enum class op_kind {
+  lmhat,
+  lm_estimate,
+  reachability,
+  metrics,
+  healthz,
+  group_create,
+  group_join,
+  group_leave,
+  group_stats,
+  group_list,
+};
 
 struct op_entry {
   const char* name;
@@ -97,6 +119,23 @@ json::value op_reachability(const json::value& req, const op_context& ctx,
                             bool degraded);
 json::value op_metrics(const json::value& req, const op_context& ctx);
 json::value op_healthz(const json::value& req, const op_context& ctx);
+
+// Group membership ops (service/ops_group.cpp). Stateful: the result is a
+// deterministic function of the request and the owning group's op
+// history, so responses stay byte-identical across shard counts as long
+// as per-group request order is preserved (which routing by topology key
+// guarantees for pipelined clients).
+json::value op_group_create(const json::value& req, const op_context& ctx);
+json::value op_group_join(const json::value& req, const op_context& ctx);
+json::value op_group_leave(const json::value& req, const op_context& ctx);
+json::value op_group_stats(const json::value& req, const op_context& ctx);
+json::value op_group_list(const json::value& req, const op_context& ctx);
+
+/// The canonical scope string for a request's topology fields
+/// ("<name>:<seed>:<budget>", same defaults as resolve_topology). Group
+/// identity is (scope, group name); every host composes it identically,
+/// which is what keeps group state portable between monolith and shards.
+std::string group_scope(const json::value& req, const op_context& ctx);
 
 // --- shared request plumbing -------------------------------------------
 

@@ -65,6 +65,8 @@ struct service_limits {
   unsigned max_kary_depth = 40;
   std::uint64_t max_budget = 200000;    ///< topology scaling budget cap
   std::size_t max_batch_ops = 64;       ///< sub-ops per batch envelope
+  std::size_t max_groups = 1024;        ///< live groups per group_manager
+  std::uint64_t max_group_op_count = 4096;  ///< "count" cap on group_join/leave
 };
 
 /// One serialized error line (no trailing newline).

@@ -16,6 +16,9 @@ query_service::query_service(service_limits limits) {
                     node_id budget) {
     return shared_topology_cache().get(name, seed, budget);
   };
+  // One manager holds every live group; group_list falls back to its
+  // list(), so no group_list_all merge hook is needed on the monolith.
+  ctx_.groups = std::make_shared<group_manager>();
 }
 
 void query_service::set_stats_source(std::function<net::server_stats()> fn) {

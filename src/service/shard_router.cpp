@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <iterator>
 #include <utility>
 
 #include "common/contract.hpp"
@@ -178,12 +179,30 @@ sharded_service::sharded_service(sharded_config config)
                                              node_id budget) {
       return shard->topology().get(name, seed, budget);
     };
+    // One group manager per shard: a group lives where its topology key
+    // routes, so every op on it runs on its home shard's workers and the
+    // per-group op order is the submission order — the property the
+    // byte-identity guarantee for group state rests on.
+    ctx.groups = std::make_shared<group_manager>();
     shard_ctx_.push_back(std::move(ctx));
   }
   frontend_ctx_.limits = config_.limits;
   frontend_ctx_.started = started;
   frontend_ctx_.resolve = shard_ctx_.front().resolve;
   frontend_ctx_.shard_metrics = [this] { return shard_metrics_json(); };
+  // group_list runs inline on the frontend and merges every shard's
+  // manager — each group exists on exactly one shard, so the union is
+  // disjoint and the handler's (scope, name) sort makes the rendering
+  // independent of the shard count.
+  frontend_ctx_.group_list_all = [this] {
+    std::vector<group_snapshot> all;
+    for (const op_context& ctx : shard_ctx_) {
+      std::vector<group_snapshot> part = ctx.groups->list();
+      all.insert(all.end(), std::make_move_iterator(part.begin()),
+                 std::make_move_iterator(part.end()));
+    }
+    return all;
+  };
 }
 
 sharded_service::~sharded_service() { shutdown(); }

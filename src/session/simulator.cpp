@@ -8,6 +8,7 @@
 #include "fault/degraded.hpp"
 #include "graph/components.hpp"
 #include "graph/workspace.hpp"
+#include "group/group_manager.hpp"
 #include "multicast/repair.hpp"
 #include "multicast/spt.hpp"
 #include "multicast/spt_cache.hpp"
@@ -27,9 +28,11 @@ struct member_slot {
 struct live_session {
   // Shared because the routing base may live in the simulator's spt_cache:
   // concurrent sessions with the same source (and repairs after the same
-  // failure event) reuse one SPT.
+  // failure event) reuse one SPT. The delivery tree itself lives in the
+  // simulator's group_manager under `group`; the session keeps the routing
+  // base for reachability checks without a manager lookup.
   std::shared_ptr<const source_tree> tree;
-  std::unique_ptr<dynamic_delivery_tree> delivery;
+  std::string group;                 // manager key within the sim scope
   std::vector<member_slot> members;  // every join ever made, by index
   event_queue::event_id end_event = 0;
   event_queue::event_id next_join_event = 0;
@@ -77,6 +80,13 @@ session_metrics simulate_sessions(const graph& g, const session_workload& w,
   // results (see session_workload::use_spt_cache).
   traversal_workspace ws;
   spt_cache cache(64);
+  // Every session's tree is a named group: the simulator is the group
+  // manager's reference embedder, so session churn exercises exactly the
+  // graft/prune path the live group_* service ops run. Names are a
+  // monotonic counter — the trajectory consumes no extra randomness.
+  group_manager groups;
+  const std::string sim_scope = "sim";
+  std::uint64_t next_group = 0;
 
   std::list<live_session> sessions;
   // Aggregate integrals, accumulated lazily: every state change first adds
@@ -120,10 +130,11 @@ session_metrics simulate_sessions(const graph& g, const session_workload& w,
   // SPT + tree, detach members the network lost, re-attach members it
   // regained. Caller has already account()ed the current time.
   auto repair_session = [&](live_session& s) {
-    const std::size_t old_links = s.delivery->link_count();
+    const dynamic_delivery_tree& broken = groups.delivery(sim_scope, s.group);
+    const std::size_t old_links = broken.link_count();
     repaired_tree r = w.use_spt_cache
-                          ? repair_delivery_tree(*s.delivery, view, cache, ws)
-                          : repair_delivery_tree(*s.delivery, view);
+                          ? repair_delivery_tree(broken, view, cache, ws)
+                          : repair_delivery_tree(broken, view);
 
     std::uint64_t detached = 0;
     std::uint64_t reattached = 0;
@@ -136,6 +147,9 @@ session_metrics simulate_sessions(const graph& g, const session_workload& w,
         --total_attached;
         ++detached;
       } else if (!m.attached && reachable) {
+        // Re-attach on the rebuilt tree before it is handed back to the
+        // manager: like the repair's own link delta, this is convergence
+        // churn and must not count as membership grafts.
         reattach_gained += r.delivery->join(m.site);
         m.attached = true;
         ++total_attached;
@@ -145,8 +159,9 @@ session_metrics simulate_sessions(const graph& g, const session_workload& w,
 
     total_links -= old_links;
     total_links += r.delivery->link_count();
-    s.tree = std::move(r.routing);
-    s.delivery = std::move(r.delivery);
+    s.tree = r.routing;
+    groups.rebase(sim_scope, s.group, std::move(r.routing),
+                  std::move(r.delivery));
 
     const std::size_t churn = r.report.churn() + reattach_gained;
     if (events.now() >= t_begin &&
@@ -172,9 +187,8 @@ session_metrics simulate_sessions(const graph& g, const session_workload& w,
           if (v == it->tree->source()) v = (v + 1) % g.node_count();
           const bool reachable = it->tree->distance(v) != unreachable;
           if (reachable) {
-            total_links -= it->delivery->link_count();
-            it->delivery->join(v);
-            total_links += it->delivery->link_count();
+            const group_snapshot snap = groups.join(sim_scope, it->group, v);
+            total_links += snap.last_grafted;
             ++total_attached;
           }
           ++total_members;
@@ -182,8 +196,9 @@ session_metrics simulate_sessions(const graph& g, const session_workload& w,
           if (events.now() >= t_begin) {
             ++metrics.joins;
             if (!reachable) ++metrics.receivers_disconnected;
-            group_size_sum +=
-                static_cast<double>(it->delivery->distinct_receiver_sites());
+            group_size_sum += static_cast<double>(
+                groups.delivery(sim_scope, it->group)
+                    .distinct_receiver_sites());
             ++group_size_samples;
           }
           // Member departure.
@@ -194,9 +209,9 @@ session_metrics simulate_sessions(const graph& g, const session_workload& w,
                 account(events.now());
                 member_slot& m = it->members[member_index];
                 if (m.attached) {
-                  total_links -= it->delivery->link_count();
-                  it->delivery->leave(m.site);
-                  total_links += it->delivery->link_count();
+                  const group_snapshot snap =
+                      groups.leave(sim_scope, it->group, m.site);
+                  total_links -= snap.last_pruned;
                   --total_attached;
                   m.attached = false;
                 }
@@ -217,12 +232,15 @@ session_metrics simulate_sessions(const graph& g, const session_workload& w,
     for (const member_slot& m : it->members) {
       if (m.active) ++active;
     }
-    total_links -= it->delivery->link_count();
+    const dynamic_delivery_tree& delivery =
+        groups.delivery(sim_scope, it->group);
+    total_links -= delivery.link_count();
     total_members -= active;
-    total_attached -= it->delivery->receiver_count();
+    total_attached -= delivery.receiver_count();
     if (events.now() >= t_begin) {
       metrics.leaves += active;
     }
+    groups.erase(sim_scope, it->group);
     sessions.erase(it);
     ++metrics.sessions_completed;
   };
@@ -240,7 +258,8 @@ session_metrics simulate_sessions(const graph& g, const session_workload& w,
       } else {
         it->tree = std::make_shared<const source_tree>(g, bfs_from(view, source));
       }
-      it->delivery = std::make_unique<dynamic_delivery_tree>(*it->tree);
+      it->group = std::to_string(next_group++);
+      groups.create(sim_scope, it->group, it->tree);
       it->end_event = events.schedule(
           events.now() + gen.exponential(1.0 / w.session_lifetime_mean),
           [&, it] { end_session(it); });

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "graph/weights.hpp"
 #include "multicast/delivery_tree.hpp"
 #include "multicast/dynamic_tree.hpp"
 #include "multicast/receivers.hpp"
@@ -15,6 +16,23 @@
 
 namespace mcast {
 namespace {
+
+// From-scratch weighted reference: walk every member's path to the source
+// and sum each tree link's weight once — the ground truth the incremental
+// accounting must track.
+double rebuild_weighted_cost(const source_tree& t, const edge_weights& w,
+                             const std::vector<node_id>& members) {
+  std::vector<char> on(t.node_count(), 0);
+  double cost = 0.0;
+  for (node_id m : members) {
+    for (node_id v = m; v != t.source(); v = t.parent(v)) {
+      if (on[v]) break;
+      on[v] = 1;
+      cost += w.get(v, t.parent(v));
+    }
+  }
+  return cost;
+}
 
 TEST(dynamic_tree, starts_empty) {
   const graph g = make_kary_tree(2, 3);
@@ -124,6 +142,87 @@ TEST(dynamic_tree, random_churn_matches_rebuild) {
   EXPECT_EQ(d.link_count(), 0u);
   EXPECT_EQ(d.receiver_count(), 0u);
   EXPECT_EQ(d.distinct_receiver_sites(), 0u);
+}
+
+TEST(dynamic_tree, unweighted_cost_equals_link_count) {
+  const graph g = make_kary_tree(2, 3);
+  const source_tree t(g, 0);
+  dynamic_delivery_tree d(t);
+  EXPECT_EQ(d.weights(), nullptr);
+  d.join(7);
+  d.join(8);
+  EXPECT_DOUBLE_EQ(d.link_cost(), static_cast<double>(d.link_count()));
+}
+
+TEST(dynamic_tree, weighted_ctor_rejects_mismatched_topology) {
+  const graph g = make_kary_tree(2, 3);
+  const graph other = make_ring(6);
+  const source_tree t(g, 0);
+  const edge_weights w(other);
+  EXPECT_THROW(dynamic_delivery_tree(t, w), std::invalid_argument);
+}
+
+TEST(dynamic_tree, weighted_cost_tracks_join_and_leave) {
+  const graph g = make_kary_tree(2, 3);
+  const source_tree t(g, 0);
+  edge_weights w(g);
+  w.assign([](node_id a, node_id b) {
+    return 1.0 + 0.125 * static_cast<double>(a + b);
+  });
+  dynamic_delivery_tree d(t, w);
+  EXPECT_EQ(d.weights(), &w);
+  d.join(7);  // path 0-1-3-7
+  EXPECT_DOUBLE_EQ(d.link_cost(),
+                   w.get(0, 1) + w.get(1, 3) + w.get(3, 7));
+  d.join(8);  // adds only 3-8
+  EXPECT_DOUBLE_EQ(
+      d.link_cost(),
+      w.get(0, 1) + w.get(1, 3) + w.get(3, 7) + w.get(3, 8));
+  d.leave(7);
+  EXPECT_DOUBLE_EQ(d.link_cost(), w.get(0, 1) + w.get(1, 3) + w.get(3, 8));
+  d.leave(8);
+  EXPECT_EQ(d.link_cost(), 0.0);  // drained trees pin to exactly zero
+}
+
+TEST(dynamic_tree, weighted_random_churn_matches_rebuild) {
+  waxman_params p;
+  p.nodes = 120;
+  const graph g = make_waxman(p, 7);
+  const source_tree t(g, 5);
+  edge_weights w(g);
+  rng wgen(13);
+  w.assign([&wgen](node_id, node_id) { return 0.5 + wgen.uniform(); });
+  dynamic_delivery_tree d(t, w);
+  rng gen(42);
+  std::vector<node_id> members;
+
+  for (int step = 0; step < 2000; ++step) {
+    const bool do_leave = !members.empty() && gen.chance(0.45);
+    if (do_leave) {
+      const std::size_t i = gen.below(members.size());
+      d.leave(members[i]);
+      members[i] = members.back();
+      members.pop_back();
+    } else {
+      node_id v = static_cast<node_id>(gen.below(g.node_count()));
+      if (v == t.source()) v = (v + 1) % g.node_count();
+      d.join(v);
+      members.push_back(v);
+    }
+    if (step % 100 == 0) {
+      // Incremental add/subtract vs a fresh sum: identical links, so the
+      // two can differ only by floating-point accumulation order.
+      EXPECT_NEAR(d.link_cost(), rebuild_weighted_cost(t, w, members), 1e-9)
+          << "diverged at step " << step;
+      EXPECT_EQ(d.link_count(), delivery_tree_size(t, members));
+    }
+  }
+  while (!members.empty()) {
+    d.leave(members.back());
+    members.pop_back();
+  }
+  EXPECT_EQ(d.link_cost(), 0.0);
+  EXPECT_EQ(d.link_count(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,327 @@
+// Group membership control plane: manager bookkeeping, churn drivers, and
+// the determinism contract (same op sequence => byte-identical state, at
+// any thread count, with trace replay equivalent to the live run).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/weights.hpp"
+#include "group/churn.hpp"
+#include "group/group_manager.hpp"
+#include "multicast/shared_tree.hpp"
+#include "sim/rng.hpp"
+#include "topo/kary.hpp"
+#include "topo/waxman.hpp"
+
+namespace mcast {
+namespace {
+
+std::shared_ptr<const graph> kary() {
+  return std::make_shared<const graph>(make_kary_tree(2, 3));
+}
+
+std::shared_ptr<const graph> waxman(std::uint64_t seed = 7) {
+  waxman_params p;
+  p.nodes = 120;
+  return std::make_shared<const graph>(make_waxman(p, seed));
+}
+
+void expect_equal(const group_snapshot& a, const group_snapshot& b) {
+  EXPECT_EQ(a.scope, b.scope);
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.mode, b.mode);
+  EXPECT_EQ(a.root, b.root);
+  EXPECT_EQ(a.generation, b.generation);
+  EXPECT_EQ(a.members, b.members);
+  EXPECT_EQ(a.sites, b.sites);
+  EXPECT_EQ(a.links, b.links);
+  EXPECT_EQ(a.cost, b.cost);  // bitwise: same op sequence, same arithmetic
+  EXPECT_EQ(a.joins, b.joins);
+  EXPECT_EQ(a.leaves, b.leaves);
+  EXPECT_EQ(a.links_grafted, b.links_grafted);
+  EXPECT_EQ(a.links_pruned, b.links_pruned);
+  EXPECT_EQ(a.peak_members, b.peak_members);
+  EXPECT_EQ(a.peak_links, b.peak_links);
+}
+
+void expect_equal(const churn_metrics& a, const churn_metrics& b) {
+  EXPECT_EQ(a.duration, b.duration);
+  EXPECT_EQ(a.time_avg_links, b.time_avg_links);
+  EXPECT_EQ(a.time_avg_cost, b.time_avg_cost);
+  EXPECT_EQ(a.time_avg_members, b.time_avg_members);
+  EXPECT_EQ(a.peak_members, b.peak_members);
+  EXPECT_EQ(a.peak_links, b.peak_links);
+  EXPECT_EQ(a.joins, b.joins);
+  EXPECT_EQ(a.leaves, b.leaves);
+  EXPECT_EQ(a.links_grafted, b.links_grafted);
+  EXPECT_EQ(a.links_pruned, b.links_pruned);
+  EXPECT_EQ(a.mean_lifetime, b.mean_lifetime);
+  EXPECT_EQ(a.lifetime_histogram, b.lifetime_histogram);
+}
+
+TEST(group_manager, create_join_leave_bookkeeping) {
+  group_manager groups;
+  const group_snapshot created = groups.create("s", "g", kary(), {});
+  EXPECT_EQ(created.mode, group_mode::source);
+  EXPECT_EQ(created.root, 0u);
+  EXPECT_EQ(created.generation, 0u);
+  EXPECT_EQ(created.members, 0u);
+  EXPECT_EQ(created.links, 0u);
+
+  const group_snapshot joined = groups.join("s", "g", 7);
+  EXPECT_EQ(joined.generation, 1u);
+  EXPECT_EQ(joined.members, 1u);
+  EXPECT_EQ(joined.sites, 1u);
+  EXPECT_EQ(joined.links, 3u);  // path 0-1-3-7
+  EXPECT_EQ(joined.last_grafted, 3u);
+  EXPECT_EQ(joined.joins, 1u);
+  EXPECT_EQ(joined.links_grafted, 3u);
+  EXPECT_EQ(joined.peak_links, 3u);
+
+  const group_snapshot sibling = groups.join("s", "g", 8);
+  EXPECT_EQ(sibling.links, 4u);
+  EXPECT_EQ(sibling.last_grafted, 1u);
+
+  const group_snapshot left = groups.leave("s", "g", 7);
+  EXPECT_EQ(left.generation, 3u);
+  EXPECT_EQ(left.members, 1u);
+  EXPECT_EQ(left.links, 3u);
+  EXPECT_EQ(left.last_pruned, 1u);
+  EXPECT_EQ(left.leaves, 1u);
+  EXPECT_EQ(left.peak_links, 4u);  // peak survives the prune
+
+  const group_snapshot read = groups.stats("s", "g");
+  EXPECT_EQ(read.last_grafted, 0u);  // reads report no per-op delta
+  EXPECT_EQ(read.last_pruned, 0u);
+  EXPECT_EQ(read.links, 3u);
+}
+
+TEST(group_manager, join_count_batches_instances) {
+  group_manager groups;
+  groups.create("s", "g", kary(), {});
+  const group_snapshot snap = groups.join("s", "g", 9, 3);
+  EXPECT_EQ(snap.members, 3u);
+  EXPECT_EQ(snap.sites, 1u);
+  EXPECT_EQ(snap.joins, 3u);
+  EXPECT_EQ(snap.last_grafted, 3u);  // first instance grafts the path
+  EXPECT_THROW(groups.leave("s", "g", 9, 4), std::invalid_argument);
+  const group_snapshot drained = groups.leave("s", "g", 9, 3);
+  EXPECT_EQ(drained.members, 0u);
+  EXPECT_EQ(drained.links, 0u);
+  EXPECT_EQ(drained.last_pruned, 3u);
+}
+
+TEST(group_manager, shared_mode_places_core_deterministically) {
+  const auto g = waxman();
+  group_config config;
+  config.mode = group_mode::shared;
+  config.core = core_strategy::degree_center;
+  config.core_seed = 11;
+
+  group_manager a;
+  group_manager b;
+  const group_snapshot sa = a.create("s", "g", g, config);
+  const group_snapshot sb = b.create("s", "g", g, config);
+  EXPECT_EQ(sa.mode, group_mode::shared);
+  EXPECT_EQ(sa.root, sb.root);
+
+  rng gen(config.core_seed);
+  EXPECT_EQ(sa.root, choose_core(*g, config.core, gen, config.core_probes));
+}
+
+TEST(group_manager, weighted_groups_report_cost) {
+  const auto g = kary();
+  edge_weights w(*g);
+  w.assign([](node_id a, node_id b) {
+    return 1.0 + 0.25 * static_cast<double>(a + b);
+  });
+  group_config config;
+  config.weights = &w;
+  group_manager groups;
+  groups.create("s", "g", g, config);
+  const group_snapshot snap = groups.join("s", "g", 7);
+  EXPECT_DOUBLE_EQ(snap.cost, w.get(0, 1) + w.get(1, 3) + w.get(3, 7));
+
+  // Unweighted groups report cost == links.
+  groups.create("s", "hop", g, {});
+  const group_snapshot hop = groups.join("s", "hop", 7);
+  EXPECT_DOUBLE_EQ(hop.cost, static_cast<double>(hop.links));
+}
+
+TEST(group_manager, precondition_errors) {
+  group_manager groups;
+  const auto g = kary();
+  groups.create("s", "g", g, {});
+  EXPECT_THROW(groups.create("s", "g", g, {}), std::invalid_argument);
+  EXPECT_THROW(groups.create("s", "", g, {}), std::invalid_argument);
+  group_config bad_root;
+  bad_root.root = g->node_count();
+  EXPECT_THROW(groups.create("s", "r", g, bad_root), std::out_of_range);
+  EXPECT_THROW(groups.join("s", "nope", 1), std::invalid_argument);
+  EXPECT_THROW(groups.leave("s", "nope", 1), std::invalid_argument);
+  EXPECT_THROW(groups.stats("s", "nope"), std::invalid_argument);
+  EXPECT_THROW(groups.leave("s", "g", 1), std::invalid_argument);
+  EXPECT_THROW(groups.join("s", "g", g->node_count()), std::out_of_range);
+}
+
+TEST(group_manager, list_sorted_and_erase) {
+  group_manager groups;
+  const auto g = kary();
+  groups.create("b", "y", g, {});
+  groups.create("a", "z", g, {});
+  groups.create("b", "x", g, {});
+  const std::vector<group_snapshot> all = groups.list();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].scope, "a");
+  EXPECT_EQ(all[1].name, "x");
+  EXPECT_EQ(all[2].name, "y");
+  EXPECT_TRUE(groups.contains("a", "z"));
+  EXPECT_TRUE(groups.erase("a", "z"));
+  EXPECT_FALSE(groups.erase("a", "z"));
+  EXPECT_FALSE(groups.contains("a", "z"));
+  EXPECT_EQ(groups.size(), 2u);
+}
+
+TEST(group_manager, rebase_keeps_counters_and_skips_graft_accounting) {
+  group_manager groups;
+  const auto g = waxman();
+  groups.create("s", "g", g, {});
+  groups.join("s", "g", 17);
+  groups.join("s", "g", 3);
+  const group_snapshot before = groups.stats("s", "g");
+
+  // Re-converge onto a different root, as the repair path would: a fresh
+  // routing base plus a rebuilt tree with the same receivers re-attached.
+  auto routing = std::make_shared<const source_tree>(*g, 9);
+  auto delivery = std::make_unique<dynamic_delivery_tree>(*routing);
+  delivery->join(17);
+  delivery->join(3);
+  const std::size_t rebuilt_links = delivery->link_count();
+  const group_snapshot after =
+      groups.rebase("s", "g", routing, std::move(delivery));
+
+  EXPECT_EQ(after.root, 9u);
+  EXPECT_EQ(after.generation, before.generation + 1);
+  EXPECT_EQ(after.links, rebuilt_links);
+  EXPECT_EQ(after.members, before.members);
+  // Convergence churn is not membership churn: graft/prune totals and the
+  // join/leave counts carry over untouched.
+  EXPECT_EQ(after.joins, before.joins);
+  EXPECT_EQ(after.links_grafted, before.links_grafted);
+  EXPECT_EQ(after.links_pruned, before.links_pruned);
+}
+
+TEST(group_churn, poisson_run_is_deterministic) {
+  const auto g = waxman();
+  churn_workload w;
+  w.join_rate = 4.0;
+  w.mean_lifetime = 3.0;
+  w.horizon = 50.0;
+  w.warmup = 5.0;
+
+  group_manager a;
+  a.create("s", "g", g, {});
+  const churn_metrics ma = run_poisson_churn(a, "s", "g", w, 99);
+  group_manager b;
+  b.create("s", "g", g, {});
+  const churn_metrics mb = run_poisson_churn(b, "s", "g", w, 99);
+
+  expect_equal(ma, mb);
+  expect_equal(a.stats("s", "g"), b.stats("s", "g"));
+  EXPECT_GT(ma.joins, 0u);
+  EXPECT_GT(ma.time_avg_links, 0.0);
+  // M/M/∞: stationary mean size is join_rate * mean_lifetime = 12; a
+  // 50-unit window stays in the right neighborhood.
+  EXPECT_GT(ma.time_avg_members, 4.0);
+  EXPECT_LT(ma.time_avg_members, 30.0);
+}
+
+TEST(group_churn, trace_replay_matches_live_run) {
+  const auto g = waxman();
+  churn_workload w;
+  w.join_rate = 3.0;
+  w.mean_lifetime = 4.0;
+  w.horizon = 40.0;
+  w.warmup = 8.0;
+
+  group_manager live;
+  live.create("s", "g", g, {});
+  std::vector<membership_event> trace;
+  const churn_metrics live_metrics =
+      run_poisson_churn(live, "s", "g", w, 123, &trace);
+  ASSERT_FALSE(trace.empty());
+
+  group_manager replayed;
+  replayed.create("s", "g", g, {});
+  const churn_metrics replay_metrics =
+      replay_membership(replayed, "s", "g", trace, w.horizon, w.warmup);
+
+  expect_equal(live_metrics, replay_metrics);
+  expect_equal(live.stats("s", "g"), replayed.stats("s", "g"));
+}
+
+TEST(group_churn, requires_existing_empty_group) {
+  const auto g = kary();
+  group_manager groups;
+  churn_workload w;
+  EXPECT_THROW(run_poisson_churn(groups, "s", "missing", w, 1),
+               std::invalid_argument);
+  groups.create("s", "g", g, {});
+  groups.join("s", "g", 7);
+  EXPECT_THROW(run_poisson_churn(groups, "s", "g", w, 1),
+               std::invalid_argument);
+}
+
+TEST(group_manager, concurrent_disjoint_groups_match_serial_replay) {
+  const auto g = waxman();
+  churn_workload w;
+  w.join_rate = 2.0;
+  w.mean_lifetime = 3.0;
+  w.horizon = 25.0;
+
+  constexpr std::size_t n_threads = 8;
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < n_threads; ++i) {
+    // Built via += rather than operator+ to sidestep a GCC 12 -Wrestrict
+    // false positive (PR105329) that -Werror builds would trip on.
+    std::string name = "g";
+    name += std::to_string(i);
+    names.push_back(name);
+  }
+  group_manager concurrent;
+  for (std::size_t i = 0; i < n_threads; ++i) {
+    concurrent.create("s", names[i], g, {});
+  }
+  std::vector<churn_metrics> concurrent_metrics(n_threads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(n_threads);
+    for (std::size_t i = 0; i < n_threads; ++i) {
+      threads.emplace_back([&, i] {
+        concurrent_metrics[i] =
+            run_poisson_churn(concurrent, "s", names[i], w, 1000 + i);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  group_manager serial;
+  for (std::size_t i = 0; i < n_threads; ++i) {
+    serial.create("s", names[i], g, {});
+    const churn_metrics m =
+        run_poisson_churn(serial, "s", names[i], w, 1000 + i);
+    expect_equal(concurrent_metrics[i], m);
+  }
+
+  const std::vector<group_snapshot> ca = concurrent.list();
+  const std::vector<group_snapshot> cs = serial.list();
+  ASSERT_EQ(ca.size(), cs.size());
+  for (std::size_t i = 0; i < ca.size(); ++i) expect_equal(ca[i], cs[i]);
+}
+
+}  // namespace
+}  // namespace mcast

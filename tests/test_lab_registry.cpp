@@ -30,7 +30,7 @@ TEST(lab_registry, exact_id_set_in_order) {
       "fig9",          "ablation_tiebreak", "ablation_mapping",
       "ablation_mixing", "ablation_ts_degree", "ext_shared_tree",
       "ext_reachability_zoo", "ext_weighted", "ext_sessions",
-      "ext_failures",
+      "ext_failures",  "ext_churn",
   };
   const registry reg = builtin();
   ASSERT_EQ(reg.all().size(), expected.size());
